@@ -1,0 +1,204 @@
+// Ablation (ours): the S7.3 fail-over design-space trade the paper
+// describes -- engaging *all* warm replicas per request (the implemented
+// design) versus the section's proposed refinement of taking the *first*
+// successful back-end ("less conservative, and lower latency ... use less
+// network overhead"). Request latency and per-request back-end work are
+// compared at 2 and 4 replicas.
+#include <memory>
+
+#include "apps/miniredis/command.hpp"
+#include "apps/miniredis/store.hpp"
+#include "bench/common.hpp"
+#include "core/builder.hpp"
+#include "core/compile.hpp"
+#include "core/interp.hpp"
+#include "patterns/failover.hpp"
+
+using namespace csaw;
+using namespace csaw::bench;
+using miniredis::Command;
+using miniredis::Mailbox;
+using miniredis::Response;
+
+namespace {
+
+struct FrontState {
+  Mailbox<Command> requests;
+  Mailbox<Response> responses;
+  Command current;
+  miniredis::Store canonical{0};
+};
+
+struct BackState {
+  miniredis::Store store{0};
+  Command current;
+  Response response;
+};
+
+struct Deployment {
+  std::unique_ptr<Engine> engine;
+  std::shared_ptr<FrontState> front = std::make_shared<FrontState>();
+  patterns::FailoverOptions opts;
+
+  Deployment(std::size_t backends, bool engage_all) {
+    opts.backends = backends;
+    opts.engage_all = engage_all;
+    opts.timeout_ms = 1000;
+    opts.reactivate_ms = 3000;
+    auto compiled = compile(patterns::failover(opts));
+    CSAW_CHECK(compiled.ok()) << compiled.error().to_string();
+
+    HostBindings b;
+    b.block("complain", [](HostCtx&) { return Status::ok_status(); });
+    b.block("H1", [](HostCtx& ctx) -> Status {
+      auto& st = ctx.state<FrontState>();
+      auto cmd = st.requests.peek(Deadline::after(std::chrono::seconds(1)));
+      if (!cmd) return make_error(Errc::kHostFailure, "no request");
+      st.current = std::move(*cmd);
+      return Status::ok_status();
+    });
+    b.block("H2", [](HostCtx& ctx) {
+      auto& st = ctx.state<BackState>();
+      if (st.current.op == Command::Op::kSet) {
+        st.store.set(st.current.key, st.current.value);
+        st.response = Response{true, ""};
+      } else {
+        auto v = st.store.get(st.current.key);
+        st.response = Response{v.has_value(), v.value_or("")};
+      }
+      return Status::ok_status();
+    });
+    b.block("H3", [](HostCtx& ctx) {
+      auto& st = ctx.state<FrontState>();
+      st.requests.try_pop();
+      return Status::ok_status();
+    });
+    b.saver("init_state", [](HostCtx& ctx) -> Result<SerializedValue> {
+      return SerializedValue{Symbol("img"),
+                             ctx.state<FrontState>().canonical.snapshot()};
+    });
+    b.saver("pack_state", [](HostCtx& ctx) -> Result<SerializedValue> {
+      auto& st = ctx.state<FrontState>();
+      if (st.current.op == Command::Op::kSet) {
+        st.canonical.set(st.current.key, st.current.value);
+      }
+      return SerializedValue{Symbol("img"), st.canonical.snapshot()};
+    });
+    b.restorer("unpack_state",
+               [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+                 if (ctx.instance() == Symbol("f")) {
+                   return ctx.state<FrontState>().canonical.restore(sv.bytes);
+                 }
+                 return ctx.state<BackState>().store.restore(sv.bytes);
+               });
+    b.saver("pack_request", [](HostCtx& ctx) -> Result<SerializedValue> {
+      return pack("cmd", ctx.state<FrontState>().current);
+    });
+    b.restorer("unpack_request",
+               [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+                 auto cmd = unpack<Command>("cmd", sv);
+                 if (!cmd) return cmd.error();
+                 ctx.state<BackState>().current = std::move(*cmd);
+                 return Status::ok_status();
+               });
+    b.saver("pack_preresp", [](HostCtx& ctx) -> Result<SerializedValue> {
+      return pack("resp", ctx.state<BackState>().response);
+    });
+    b.restorer("unpack_preresp",
+               [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+                 auto resp = unpack<Response>("resp", sv);
+                 if (!resp) return resp.error();
+                 ctx.state<FrontState>().responses.push(std::move(*resp));
+                 return Status::ok_status();
+               });
+
+    engine = std::make_unique<Engine>(std::move(compiled).value(),
+                                      std::move(b));
+    engine->set_state(Symbol("f"), front);
+    for (const auto& name : patterns::failover_backend_names(opts)) {
+      engine->set_state_factory(Symbol(name), [] {
+        return std::static_pointer_cast<void>(std::make_shared<BackState>());
+      });
+    }
+    CSAW_CHECK(engine->run_main().ok());
+  }
+
+  bool request(const Command& cmd, Cdf* latency) {
+    front->requests.push(cmd);
+    const auto give_up = Deadline::after(std::chrono::seconds(15));
+    const auto before = steady_now();
+    while (true) {
+      (void)engine->runtime().inject(addr("f", "c"),
+                                     Update::assert_prop(Symbol("Req")));
+      auto resp = front->responses.pop(
+          Deadline::after(std::chrono::seconds(2)).min(give_up));
+      if (resp) {
+        if (latency != nullptr) {
+          latency->add(to_ms(std::chrono::duration_cast<Nanos>(steady_now() -
+                                                               before)));
+        }
+        return true;
+      }
+      if (give_up.expired()) return false;
+    }
+  }
+
+  std::uint64_t backend_runs() const {
+    std::uint64_t total = 0;
+    for (const auto& name : patterns::failover_backend_names(opts)) {
+      total += engine->stats(addr(name, "serve")).runs.load();
+    }
+    return total;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const auto cfg = Config::from_env();
+  header("Ablation", "fail-over strategy: engage-all replicas vs "
+         "first-success (S7.3's proposed refinement)", cfg);
+  const int n = Config::env_int("CSAW_BENCH_CDF_N", 600);
+
+  TablePrinter t({"replicas", "strategy", "median(ms)", "p99(ms)",
+                  "backend-runs/req"});
+  double all_median2 = 0, first_median2 = 0;
+  double all_work2 = 0, first_work2 = 0;
+  for (std::size_t replicas : {2u, 4u}) {
+    for (bool engage_all : {true, false}) {
+      Deployment d(replicas, engage_all);
+      Cdf latency;
+      int ok = 0;
+      for (int i = 0; i < n; ++i) {
+        Command c;
+        c.op = i % 4 == 0 ? Command::Op::kSet : Command::Op::kGet;
+        c.key = "k" + std::to_string(i % 64);
+        c.value = "v";
+        if (d.request(c, &latency)) ++ok;
+      }
+      CSAW_CHECK(ok == n) << "requests stalled";
+      const double per_req =
+          static_cast<double>(d.backend_runs()) / static_cast<double>(n);
+      t.add_row({std::to_string(replicas),
+                 engage_all ? "engage-all" : "first-success",
+                 TablePrinter::fmt(latency.quantile(0.5), 3),
+                 TablePrinter::fmt(latency.quantile(0.99), 3),
+                 TablePrinter::fmt(per_req, 2)});
+      if (replicas == 2 && engage_all) {
+        all_median2 = latency.quantile(0.5);
+        all_work2 = per_req;
+      }
+      if (replicas == 2 && !engage_all) {
+        first_median2 = latency.quantile(0.5);
+        first_work2 = per_req;
+      }
+    }
+  }
+  std::printf("%s", t.render().c_str());
+  shape_check(first_work2 < all_work2,
+              "first-success does strictly less back-end work per request");
+  shape_check(first_median2 <= all_median2 * 1.2,
+              "first-success latency is competitive or better ('less "
+              "conservative, and lower latency')");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Shared bench harness for the paper-reproduction binaries.
+//
+// Every bench prints: a header naming the paper figure it regenerates, the
+// same rows/series the paper plots, and one or more trailing
+// "# shape-check:" lines asserting the figure's qualitative result (who
+// wins, where the dips are). Absolute numbers are NOT expected to match the
+// paper's 2012-era testbed -- see EXPERIMENTS.md.
+//
+// Time-series benches compress time: one tick stands for one paper-second.
+// Environment overrides: CSAW_BENCH_REPS, CSAW_BENCH_TICKS,
+// CSAW_BENCH_TICK_MS (the paper used 20 repetitions of 120 s).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/clock.hpp"
+#include "support/stats.hpp"
+
+namespace csaw::bench {
+
+struct Config {
+  int reps = 3;
+  int ticks = 120;
+  int tick_ms = 15;
+
+  static int env_int(const char* name, int fallback) {
+    const char* v = std::getenv(name);
+    return v != nullptr ? std::atoi(v) : fallback;
+  }
+
+  static Config from_env() {
+    Config c;
+    c.reps = env_int("CSAW_BENCH_REPS", c.reps);
+    c.ticks = env_int("CSAW_BENCH_TICKS", c.ticks);
+    c.tick_ms = env_int("CSAW_BENCH_TICK_MS", c.tick_ms);
+    return c;
+  }
+};
+
+inline void header(const std::string& figure, const std::string& what,
+                   const Config& c) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", figure.c_str(), what.c_str());
+  std::printf("(reps=%d, ticks=%d, tick=%dms; 1 tick ~ 1 paper-second)\n",
+              c.reps, c.ticks, c.tick_ms);
+  std::printf("==============================================================\n");
+}
+
+inline void shape_check(bool ok, const std::string& what) {
+  std::printf("# shape-check: %s -- %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  std::fflush(stdout);
+}
+
+// Runs `tick_fn(tick)` for each tick, which returns the metric for that
+// tick; repeated `reps` times via `reset_fn` building fresh state.
+inline SeriesAggregate run_series(
+    const Config& c, const std::function<void(int rep)>& reset_fn,
+    const std::function<double(int tick)>& tick_fn) {
+  SeriesAggregate agg;
+  for (int rep = 0; rep < c.reps; ++rep) {
+    reset_fn(rep);
+    std::vector<double> run;
+    run.reserve(static_cast<std::size_t>(c.ticks));
+    for (int t = 0; t < c.ticks; ++t) {
+      run.push_back(tick_fn(t));
+    }
+    agg.add_run(run);
+  }
+  return agg;
+}
+
+// Closed-loop driver: calls `op` repeatedly until the tick budget elapses;
+// returns how many completed.
+inline double closed_loop_tick(int tick_ms, const std::function<void()>& op) {
+  const auto end = steady_now() + Millis(tick_ms);
+  double count = 0;
+  while (steady_now() < end) {
+    op();
+    ++count;
+  }
+  return count;
+}
+
+inline void print_series(const std::string& x_label,
+                         const std::string& y_label,
+                         const SeriesAggregate& agg, double y_scale = 1.0) {
+  std::printf("%-8s %-12s %-12s\n", x_label.c_str(), y_label.c_str(),
+              "stddev");
+  for (std::size_t t = 0; t < agg.ticks(); ++t) {
+    std::printf("%-8zu %-12.3f %-12.3f\n", t, agg.mean_at(t) * y_scale,
+                agg.stddev_at(t) * y_scale);
+  }
+}
+
+// Multi-series (e.g. per-shard cumulative counts) side by side.
+inline void print_multi_series(const std::string& x_label,
+                               const std::vector<std::string>& names,
+                               const std::vector<SeriesAggregate>& series,
+                               double y_scale = 1.0) {
+  std::printf("%-8s", x_label.c_str());
+  for (const auto& n : names) std::printf(" %-14s", n.c_str());
+  std::printf("\n");
+  std::size_t ticks = 0;
+  for (const auto& s : series) ticks = std::max(ticks, s.ticks());
+  for (std::size_t t = 0; t < ticks; ++t) {
+    std::printf("%-8zu", t);
+    for (const auto& s : series) {
+      std::printf(" %-14.2f", t < s.ticks() ? s.mean_at(t) * y_scale : 0.0);
+    }
+    std::printf("\n");
+  }
+}
+
+inline void print_cdf(const std::string& name, Cdf& cdf,
+                      std::size_t resolution = 20) {
+  std::printf("--- CDF: %s (n=%zu, mean=%.4f ms) ---\n", name.c_str(),
+              cdf.count(), cdf.mean());
+  std::printf("%-12s %-12s\n", "P(X<=x)", "latency_ms");
+  for (const auto& pt : cdf.points(resolution)) {
+    std::printf("%-12.3f %-12.4f\n", pt.cumulative, pt.value);
+  }
+}
+
+}  // namespace csaw::bench

@@ -1,0 +1,125 @@
+// Shared harness for the cURL remote-audit benches (Figs 25a/25b/26a).
+//
+// Three configurations, as in S10.3:
+//   original  -- plain minicurl download, no auditing
+//   same-vm   -- audited; the auditor instance is reached over a loopback
+//                IPC link (LinkModel::same_vm)
+//   cross-vm  -- audited; the auditor sits behind an emulated 1GbE
+//                inter-VM link (LinkModel::cross_vm_1gbe)
+//
+// Download time = modeled transfer time + measured audit cost (see
+// minicurl/transfer.hpp for why this preserves overhead percentages).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/minicurl/transfer.hpp"
+#include "core/builder.hpp"
+#include "core/compile.hpp"
+#include "core/interp.hpp"
+#include "patterns/snapshot.hpp"
+#include "support/stats.hpp"
+
+namespace csaw::bench {
+
+struct CurlAuditHarness {
+  struct ActState {
+    minicurl::Progress latest;
+  };
+  struct AudState {
+    std::size_t snapshots = 0;
+  };
+
+  std::shared_ptr<ActState> act = std::make_shared<ActState>();
+  std::shared_ptr<AudState> aud = std::make_shared<AudState>();
+  std::unique_ptr<Engine> engine;
+
+  explicit CurlAuditHarness(LinkModel link) {
+    patterns::SnapshotOptions popts;
+    popts.timeout_ms = 2000;
+    auto compiled = compile(patterns::remote_snapshot(popts));
+    CSAW_CHECK(compiled.ok()) << compiled.error().to_string();
+
+    HostBindings b;
+    b.block("complain", [](HostCtx&) { return Status::ok_status(); });
+    b.block("H1", [](HostCtx&) { return Status::ok_status(); });
+    b.block("H2", [](HostCtx&) { return Status::ok_status(); });
+    b.saver("capture_state", [](HostCtx& ctx) -> Result<SerializedValue> {
+      return pack("minicurl.Progress", ctx.state<ActState>().latest);
+    });
+    b.restorer("ingest_state",
+               [](HostCtx& ctx, const SerializedValue&) -> Status {
+                 ++ctx.state<AudState>().snapshots;
+                 return Status::ok_status();
+               });
+
+    EngineOptions eopts;
+    eopts.runtime.default_link = link;
+    engine = std::make_unique<Engine>(std::move(compiled).value(),
+                                      std::move(b), eopts);
+    engine->set_state(Symbol("Act"), act);
+    engine->set_state(Symbol("Aud"), aud);
+    auto st = engine->run_main();
+    CSAW_CHECK(st.ok()) << st.error().to_string();
+  }
+
+  // Audited download: snapshot progress every `every` chunks.
+  Result<double> download(std::uint64_t size, std::size_t every = 16) {
+    minicurl::TransferOptions topts;
+    topts.progress_every = every;
+    minicurl::Client client(topts);
+    return client.download("bench://file", size,
+                           [this](const minicurl::Progress& p) -> Status {
+                             act->latest = p;
+                             return engine->call(
+                                 "Act", "j",
+                                 Deadline::after(std::chrono::seconds(10)));
+                           });
+  }
+};
+
+inline Result<double> plain_download(std::uint64_t size) {
+  minicurl::Client client(minicurl::TransferOptions{});
+  return client.download("bench://file", size);
+}
+
+struct CurlPoint {
+  std::uint64_t size;
+  double original_ms = 0, original_sd = 0;
+  double same_vm_ms = 0, same_vm_sd = 0;
+  double cross_vm_ms = 0, cross_vm_sd = 0;
+};
+
+// Runs the three configurations over the given sizes, `reps` times each.
+inline std::vector<CurlPoint> run_curl_matrix(
+    const std::vector<std::uint64_t>& sizes, int reps) {
+  CurlAuditHarness same_vm(LinkModel::same_vm());
+  CurlAuditHarness cross_vm(LinkModel::cross_vm_1gbe());
+  std::vector<CurlPoint> out;
+  for (auto size : sizes) {
+    CurlPoint pt;
+    pt.size = size;
+    RunningStat orig, same, cross;
+    for (int r = 0; r < reps; ++r) {
+      auto o = plain_download(size);
+      auto s = same_vm.download(size);
+      auto c = cross_vm.download(size);
+      CSAW_CHECK(o.ok() && s.ok() && c.ok()) << "download failed";
+      orig.add(*o);
+      same.add(*s);
+      cross.add(*c);
+    }
+    pt.original_ms = orig.mean();
+    pt.original_sd = orig.stddev();
+    pt.same_vm_ms = same.mean();
+    pt.same_vm_sd = same.stddev();
+    pt.cross_vm_ms = cross.mean();
+    pt.cross_vm_sd = cross.stddev();
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace csaw::bench

@@ -1,0 +1,116 @@
+// Fig 24c: "Checkpointing Overhead" (Suricata), normalized against the
+// unmodified pipeline, plus the S10.3 sharding-overhead figure ("the
+// performance overhead of the sharding feature is around 60%").
+//
+// The paper reports overhead "usually less than 10%" with spikes of ~19x
+// during checkpoint-restart-and-resume. We print normalized overhead per
+// tick (modified rate vs unmodified rate) on a run with checkpoints and one
+// crash-restart, and the steady-state overhead of 5-tuple steering.
+#include <memory>
+
+#include "apps/minisuricata/services.hpp"
+#include "bench/common.hpp"
+
+using namespace csaw;
+using namespace csaw::bench;
+
+int main() {
+  const auto cfg = Config::from_env();
+  header("Fig 24c", "normalized overhead of Suricata reconfigurations", cfg);
+
+  constexpr int kCheckpointEvery = 15;
+  const int crash_at = cfg.ticks / 2;
+
+  // --- unmodified baseline rate ------------------------------------------------
+  std::unique_ptr<minisuricata::PlainService> plain;
+  std::unique_ptr<minisuricata::FlowGenerator> gen;
+  auto base = run_series(
+      cfg,
+      [&](int rep) {
+        plain = std::make_unique<minisuricata::PlainService>();
+        gen = std::make_unique<minisuricata::FlowGenerator>(
+            minisuricata::FlowGenOptions{},
+            7000 + static_cast<std::uint64_t>(rep));
+      },
+      [&](int) {
+        return closed_loop_tick(cfg.tick_ms,
+                                [&] { plain->process(gen->next()); });
+      });
+
+  // --- checkpointed pipeline ----------------------------------------------------
+  std::unique_ptr<minisuricata::CheckpointedService> ckpt;
+  auto modified = run_series(
+      cfg,
+      [&](int rep) {
+        ckpt = std::make_unique<minisuricata::CheckpointedService>();
+        gen = std::make_unique<minisuricata::FlowGenerator>(
+            minisuricata::FlowGenOptions{},
+            7000 + static_cast<std::uint64_t>(rep));
+        for (int i = 0; i < 30000; ++i) (void)ckpt->process(gen->next());
+      },
+      [&](int tick) {
+        const auto end = steady_now() + Millis(cfg.tick_ms);
+        if (tick > 0 && tick % kCheckpointEvery == 0) (void)ckpt->checkpoint();
+        if (tick == crash_at) (void)ckpt->crash_and_resume();
+        double count = 0;
+        while (steady_now() < end) {
+          (void)ckpt->process(gen->next());
+          ++count;
+        }
+        return count;
+      });
+
+  // Normalized overhead = baseline_rate / modified_rate (1.0 = free;
+  // paper's log-scale y-axis).
+  std::printf("%-8s %-16s\n", "t(s)", "norm.overhead(x)");
+  double steady_overhead = 0, spike = 0;
+  int steady_n = 0;
+  for (std::size_t t = 0; t < modified.ticks(); ++t) {
+    const double m = modified.mean_at(t);
+    const double b = base.mean_at(std::min(t, base.ticks() - 1));
+    const double overhead = m > 0 ? b / m : 99.0;
+    std::printf("%-8zu %-16.2f\n", t, overhead);
+    const int ti = static_cast<int>(t);
+    if (ti == crash_at || (ti > 0 && ti % kCheckpointEvery == 0)) {
+      spike = std::max(spike, overhead);
+    } else if (ti > 0) {
+      steady_overhead += overhead;
+      ++steady_n;
+    }
+  }
+  steady_overhead /= std::max(steady_n, 1);
+  std::printf("steady overhead %.2fx; worst checkpoint/restart spike %.2fx\n",
+              steady_overhead, spike);
+  shape_check(steady_overhead < 1.25,
+              "steady-state checkpointing overhead is small (paper: <10%)");
+  shape_check(spike > 1.5,
+              "checkpoint-restart ticks spike well above steady state "
+              "(paper: ~19x at restart)");
+
+  // --- sharding overhead (S10.3 text: ~60%) -------------------------------------
+  std::unique_ptr<minisuricata::SteeredService> steered;
+  auto sharded = run_series(
+      cfg,
+      [&](int rep) {
+        steered = std::make_unique<minisuricata::SteeredService>();
+        gen = std::make_unique<minisuricata::FlowGenerator>(
+            minisuricata::FlowGenOptions{},
+            7000 + static_cast<std::uint64_t>(rep));
+      },
+      [&](int) {
+        return closed_loop_tick(cfg.tick_ms,
+                                [&] { (void)steered->process(gen->next()); });
+      });
+  double base_mean = 0, shard_mean = 0;
+  for (std::size_t t = 0; t < base.ticks(); ++t) base_mean += base.mean_at(t);
+  for (std::size_t t = 0; t < sharded.ticks(); ++t) shard_mean += sharded.mean_at(t);
+  base_mean /= static_cast<double>(base.ticks());
+  shard_mean /= static_cast<double>(sharded.ticks());
+  const double shard_overhead = 100.0 * (base_mean / shard_mean - 1.0);
+  std::printf("sharding: unmodified %.0f pkt/tick vs steered %.0f pkt/tick "
+              "-> overhead %.0f%%\n",
+              base_mean, shard_mean, shard_overhead);
+  shape_check(shard_overhead > 15.0,
+              "packet steering costs real throughput (paper: ~60%)");
+  return 0;
+}

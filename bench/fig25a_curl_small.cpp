@@ -1,0 +1,39 @@
+// Fig 25a: "cURL performance (averaged)" -- download time vs file size for
+// small files (1 KB to 10 MB), comparing the original client against the
+// remote-audited configurations placed in the same VM and across VMs.
+// The paper's shape: absolute times grow with size; audited > original;
+// cross-VM >= same-VM.
+#include "bench/common.hpp"
+#include "bench/curl_common.hpp"
+
+using namespace csaw;
+using namespace csaw::bench;
+
+int main() {
+  const auto cfg = Config::from_env();
+  header("Fig 25a", "cURL download time vs file size (small files)", cfg);
+
+  const std::vector<std::uint64_t> sizes = {
+      1 << 10, 10 << 10, 100 << 10, 1 << 20, 10 << 20};  // 1KB..10MB
+  const auto points = run_curl_matrix(sizes, cfg.reps);
+
+  TablePrinter t({"size", "original(ms)", "same-vm(ms)", "cross-vm(ms)",
+                  "sd(orig)", "sd(cross)"});
+  bool ordered = true;
+  for (const auto& p : points) {
+    t.add_row({std::to_string(p.size >> 10) + "KB",
+               TablePrinter::fmt(p.original_ms, 3),
+               TablePrinter::fmt(p.same_vm_ms, 3),
+               TablePrinter::fmt(p.cross_vm_ms, 3),
+               TablePrinter::fmt(p.original_sd, 3),
+               TablePrinter::fmt(p.cross_vm_sd, 3)});
+    if (!(p.original_ms <= p.same_vm_ms && p.same_vm_ms <= p.cross_vm_ms * 1.2)) {
+      ordered = false;
+    }
+  }
+  std::printf("%s", t.render().c_str());
+  shape_check(ordered, "original <= same-vm <= cross-vm at every size");
+  shape_check(points.back().original_ms > points.front().original_ms * 100,
+              "download time grows with file size");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig 25b: "cURL overhead as percentage" -- the Fig 25a data expressed as
+// time increase over the original client, across the paper's full size
+// range (1 KB to 1.2 GB). The paper's shape: overhead is largest for small
+// files (fixed audit cost amortizes poorly), falls below ~20% overall, and
+// cross-VM placement costs at least as much as same-VM.
+#include "bench/common.hpp"
+#include "bench/curl_common.hpp"
+
+using namespace csaw;
+using namespace csaw::bench;
+
+int main() {
+  const auto cfg = Config::from_env();
+  header("Fig 25b", "cURL remote-audit overhead (%) vs file size", cfg);
+
+  const std::vector<std::uint64_t> sizes = {
+      1ull << 10,   10ull << 10,  100ull << 10, 1ull << 20,  10ull << 20,
+      20ull << 20,  50ull << 20,  100ull << 20, 400ull << 20,
+      700ull << 20, 1200ull << 20};
+  const auto points = run_curl_matrix(sizes, cfg.reps);
+
+  TablePrinter t({"size(MB)", "same-vm(%)", "cross-vm(%)"});
+  double small_cross = 0, large_cross = 0;
+  bool cross_ge_same_mostly = true;
+  int violations = 0;
+  for (const auto& p : points) {
+    const double same_pct = 100.0 * (p.same_vm_ms / p.original_ms - 1.0);
+    const double cross_pct = 100.0 * (p.cross_vm_ms / p.original_ms - 1.0);
+    t.add_row({TablePrinter::fmt(static_cast<double>(p.size) / (1 << 20), 3),
+               TablePrinter::fmt(same_pct, 2), TablePrinter::fmt(cross_pct, 2)});
+    if (cross_pct + 2.0 < same_pct) ++violations;
+    if (p.size == sizes.front()) small_cross = cross_pct;
+    if (p.size == sizes.back()) large_cross = cross_pct;
+  }
+  cross_ge_same_mostly = violations <= 2;
+  std::printf("%s", t.render().c_str());
+  shape_check(small_cross > large_cross,
+              "overhead shrinks as file size grows (fixed cost amortizes)");
+  shape_check(large_cross < 20.0,
+              "large-file overhead stays under the paper's ~20% band");
+  shape_check(cross_ge_same_mostly,
+              "cross-VM costs at least as much as same-VM (within noise)");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fig 25c: "Redis performance overhead (GET)" -- response-latency CDFs for
+// unmodified miniredis and the three DSL-rearchitected derivatives.
+#include "bench/redis_cdf_common.hpp"
+
+using namespace csaw;
+using namespace csaw::bench;
+
+int main() {
+  const auto cfg = Config::from_env();
+  header("Fig 25c", "GET latency CDF: baseline / replication / shard-key / "
+         "shard-size", cfg);
+  const int n = Config::env_int("CSAW_BENCH_CDF_N", 4000);
+  auto cdfs = run_redis_cdfs(miniredis::Command::Op::kGet, n);
+  report_cdfs(cdfs);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Fig 26a: "Performance of modified cURL" over large files (20 MB to
+// 1.2 GB), complementing Fig 25a. The paper notes the differences for
+// large files are "less intelligible" -- transfer time dominates and the
+// three lines nearly coincide; the shape-check asserts the audited
+// configurations stay within a small factor of the original.
+#include "bench/common.hpp"
+#include "bench/curl_common.hpp"
+
+using namespace csaw;
+using namespace csaw::bench;
+
+int main() {
+  const auto cfg = Config::from_env();
+  header("Fig 26a", "cURL download time vs file size (large files)", cfg);
+
+  const std::vector<std::uint64_t> sizes = {20ull << 20,  50ull << 20,
+                                            100ull << 20, 400ull << 20,
+                                            700ull << 20, 1200ull << 20};
+  const auto points = run_curl_matrix(sizes, cfg.reps);
+
+  TablePrinter t({"size(MB)", "original(s)", "same-vm(s)", "cross-vm(s)"});
+  bool close = true;
+  for (const auto& p : points) {
+    t.add_row({std::to_string(p.size >> 20),
+               TablePrinter::fmt(p.original_ms / 1000.0, 3),
+               TablePrinter::fmt(p.same_vm_ms / 1000.0, 3),
+               TablePrinter::fmt(p.cross_vm_ms / 1000.0, 3)});
+    if (p.cross_vm_ms > p.original_ms * 1.25) close = false;
+  }
+  std::printf("%s", t.render().c_str());
+  // Linear growth: 1200MB takes ~60x as long as 20MB.
+  const double ratio = points.back().original_ms / points.front().original_ms;
+  shape_check(ratio > 40 && ratio < 80, "transfer time scales linearly");
+  shape_check(close, "audit overhead is marginal for large files");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fig 26b: "Performance overhead of modified Redis (SET)" -- the complement
+// of Fig 25c for a SET workload ("the results for SET are similar").
+#include "bench/redis_cdf_common.hpp"
+
+using namespace csaw;
+using namespace csaw::bench;
+
+int main() {
+  const auto cfg = Config::from_env();
+  header("Fig 26b", "SET latency CDF: baseline / replication / shard-key / "
+         "shard-size", cfg);
+  const int n = Config::env_int("CSAW_BENCH_CDF_N", 4000);
+  auto cdfs = run_redis_cdfs(miniredis::Command::Op::kSet, n);
+  report_cdfs(cdfs);
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Microbenchmarks (google-benchmark) for the DSL runtime's primitive costs
+// and the DESIGN.md ablations:
+//   * one full junction handoff (Fig 3 roundtrip)
+//   * acked vs fire-and-forget pushes (ablation 2)
+//   * KV-table local ops, pending-update application, rollback (ablation 4)
+//   * formula evaluation and compilation
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/builder.hpp"
+#include "core/compile.hpp"
+#include "core/interp.hpp"
+#include "kv/table.hpp"
+
+namespace csaw {
+namespace {
+
+ProgramSpec handoff_spec() {
+  ProgramBuilder p("micro");
+  p.type("tau_f")
+      .junction("j")
+      .init_prop("Work", false)
+      .init_data("n")
+      .body(e_seq({
+          e_save("n", "sv"),
+          e_write("n", jref("g", "j")),
+          e_assert(pr("Work"), jref("g", "j")),
+          e_wait({}, f_not(f_prop("Work"))),
+      }));
+  p.type("tau_g")
+      .junction("j")
+      .init_prop("Work", false)
+      .init_data("n")
+      .guard(f_prop("Work"))
+      .auto_schedule()
+      .body(e_retract(pr("Work"), jref("f", "j")));
+  p.instance("f", "tau_f", {{"j", {}}});
+  p.instance("g", "tau_g", {{"j", {}}});
+  p.main_body(e_par({e_start(inst("f")), e_start(inst("g"))}));
+  return p.build();
+}
+
+HostBindings handoff_bindings() {
+  HostBindings b;
+  b.saver("sv", [](HostCtx&) -> Result<SerializedValue> {
+    return sv_dyn(DynValue(1));
+  });
+  return b;
+}
+
+void BM_JunctionHandoffRoundtrip(benchmark::State& state) {
+  auto compiled = compile(handoff_spec());
+  Engine engine(std::move(compiled).value(), handoff_bindings());
+  (void)engine.run_main();
+  for (auto _ : state) {
+    auto st = engine.call("f", "j", Deadline::after(std::chrono::seconds(10)));
+    CSAW_CHECK(st.ok()) << st.error().to_string();
+  }
+}
+BENCHMARK(BM_JunctionHandoffRoundtrip);
+
+void BM_JunctionHandoffOverTcp(benchmark::State& state) {
+  // Transport ablation: the same handoff with every envelope crossing a
+  // real loopback TCP connection (libcompart's sockets-backed channels).
+  auto compiled = compile(handoff_spec());
+  EngineOptions opts;
+  opts.runtime.transport = Transport::kTcpLoopback;
+  Engine engine(std::move(compiled).value(), handoff_bindings(), opts);
+  (void)engine.run_main();
+  for (auto _ : state) {
+    auto st = engine.call("f", "j", Deadline::after(std::chrono::seconds(10)));
+    CSAW_CHECK(st.ok()) << st.error().to_string();
+  }
+}
+BENCHMARK(BM_JunctionHandoffOverTcp);
+
+void BM_PushAcked(benchmark::State& state) {
+  auto compiled = compile(handoff_spec());
+  Engine engine(std::move(compiled).value(), handoff_bindings());
+  (void)engine.run_main();
+  auto& rt = engine.runtime();
+  for (auto _ : state) {
+    auto st = rt.push(addr("g", "j"), Update::assert_prop(Symbol("Work")),
+                      Deadline::after(std::chrono::seconds(5)),
+                      Symbol("bench"));
+    benchmark::DoNotOptimize(st.ok());
+  }
+}
+BENCHMARK(BM_PushAcked);
+
+void BM_PushFireAndForget(benchmark::State& state) {
+  // Ablation: without acks the sender never learns of failures --
+  // otherwise[t] cannot catch anything -- but pushes are cheaper.
+  auto compiled = compile(handoff_spec());
+  EngineOptions opts;
+  opts.runtime.acks_enabled = false;
+  Engine engine(std::move(compiled).value(), handoff_bindings(), opts);
+  (void)engine.run_main();
+  auto& rt = engine.runtime();
+  for (auto _ : state) {
+    auto st = rt.push(addr("g", "j"), Update::assert_prop(Symbol("Work")),
+                      Deadline::after(std::chrono::seconds(5)),
+                      Symbol("bench"));
+    benchmark::DoNotOptimize(st.ok());
+  }
+}
+BENCHMARK(BM_PushFireAndForget);
+
+KvTable::Spec micro_spec() {
+  KvTable::Spec s;
+  s.props = {{Symbol("P"), false}, {Symbol("Q"), true}};
+  s.data = {Symbol("n")};
+  return s;
+}
+
+void BM_TableLocalPropWrite(benchmark::State& state) {
+  KvTable t(micro_spec(), "bench");
+  bool v = false;
+  for (auto _ : state) {
+    (void)t.set_prop_local(Symbol("P"), v);
+    v = !v;
+  }
+}
+BENCHMARK(BM_TableLocalPropWrite);
+
+void BM_TablePendingApply(benchmark::State& state) {
+  KvTable t(micro_spec(), "bench");
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 16; ++i) {
+      (void)t.enqueue(Update::assert_prop(Symbol("P")));
+    }
+    state.ResumeTiming();
+    t.apply_pending();
+  }
+}
+BENCHMARK(BM_TablePendingApply);
+
+void BM_TableSnapshotRollback(benchmark::State& state) {
+  KvTable t(micro_spec(), "bench");
+  (void)t.save_local(Symbol("n"), sv_dyn(DynValue(std::string(256, 'x'))));
+  for (auto _ : state) {
+    auto snap = t.snapshot();
+    (void)t.set_prop_local(Symbol("P"), true);
+    t.restore_snapshot(snap);
+  }
+}
+BENCHMARK(BM_TableSnapshotRollback);
+
+void BM_FormulaEval(benchmark::State& state) {
+  KvTable t(micro_spec(), "bench");
+  const auto f = f_and(f_not(f_prop("P")), f_or(f_prop("Q"), f_prop("P")));
+  for (auto _ : state) {
+    auto v = eval_formula(*f, t, nullptr, nullptr);
+    benchmark::DoNotOptimize(v.ok());
+  }
+}
+BENCHMARK(BM_FormulaEval);
+
+void BM_CompileSnapshotPattern(benchmark::State& state) {
+  for (auto _ : state) {
+    auto compiled = compile(handoff_spec());
+    benchmark::DoNotOptimize(compiled.ok());
+  }
+}
+BENCHMARK(BM_CompileSnapshotPattern);
+
+}  // namespace
+}  // namespace csaw
+
+BENCHMARK_MAIN();

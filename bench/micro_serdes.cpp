@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark) for the serialization framework,
+// including the depth-limit ablation from DESIGN.md (design choice 3).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "apps/miniredis/store.hpp"
+#include "serdes/archive.hpp"
+#include "serdes/value.hpp"
+
+namespace csaw {
+namespace {
+
+void BM_StoreSnapshot(benchmark::State& state) {
+  miniredis::Store store(0);
+  const auto keys = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < keys; ++i) {
+    store.set("key:" + std::to_string(i), std::string(64, 'v'));
+  }
+  for (auto _ : state) {
+    auto image = store.snapshot();
+    benchmark::DoNotOptimize(image.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(keys) * 64);
+}
+BENCHMARK(BM_StoreSnapshot)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_StoreRestore(benchmark::State& state) {
+  miniredis::Store store(0);
+  for (int i = 0; i < 2000; ++i) {
+    store.set("key:" + std::to_string(i), std::string(64, 'v'));
+  }
+  const auto image = store.snapshot();
+  miniredis::Store replica(0);
+  for (auto _ : state) {
+    auto st = replica.restore(image);
+    benchmark::DoNotOptimize(st.ok());
+  }
+}
+BENCHMARK(BM_StoreRestore);
+
+struct ListNode {
+  std::int64_t value = 0;
+  std::unique_ptr<ListNode> next;
+};
+
+template <typename Ar>
+void serdes_fields(Ar& ar, ListNode& v) {
+  ar.field(v.value);
+  ar.field(v.next);
+}
+
+// Depth-limit ablation: encoding cost of a 1000-node list under different
+// truncation depths -- the guard trades completeness for bounded buffers.
+void BM_LinkedListDepthSweep(benchmark::State& state) {
+  ListNode head;
+  ListNode* cur = &head;
+  for (int i = 0; i < 1000; ++i) {
+    cur->next = std::make_unique<ListNode>();
+    cur = cur->next.get();
+    cur->value = i;
+  }
+  SerdesLimits limits;
+  limits.max_depth = static_cast<std::size_t>(state.range(0));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    Encoder enc(limits);
+    enc.field(head);
+    bytes = enc.size();
+    auto out = enc.take();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["encoded_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_LinkedListDepthSweep)->Arg(8)->Arg(64)->Arg(512)->Arg(2000);
+
+void BM_DynValueRoundtrip(benchmark::State& state) {
+  DynMap m;
+  for (int i = 0; i < 32; ++i) {
+    m["k" + std::to_string(i)] = DynValue(std::string(48, 'x'));
+  }
+  const DynValue v(std::move(m));
+  for (auto _ : state) {
+    auto bytes = v.to_bytes();
+    auto back = DynValue::from_bytes(bytes);
+    benchmark::DoNotOptimize(back.ok());
+  }
+}
+BENCHMARK(BM_DynValueRoundtrip);
+
+void BM_VarintEncode(benchmark::State& state) {
+  for (auto _ : state) {
+    ByteWriter w;
+    for (std::uint64_t i = 0; i < 1000; ++i) w.uvarint(i * 2654435761u);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_VarintEncode);
+
+}  // namespace
+}  // namespace csaw
+
+BENCHMARK_MAIN();

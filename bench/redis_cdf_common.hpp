@@ -1,0 +1,109 @@
+// Shared harness for the Redis latency-CDF benches (Figs 25c / 26b):
+// per-request latency distributions for the unmodified baseline and the
+// three DSL-built derivatives (replication-by-checkpointing, key-hash
+// sharding, object-size sharding), as redis-benchmark reports them.
+#pragma once
+
+#include <memory>
+#include <thread>
+
+#include "apps/miniredis/services.hpp"
+#include "apps/miniredis/workload.hpp"
+#include "bench/common.hpp"
+
+namespace csaw::bench {
+
+struct CdfSet {
+  Cdf baseline, replication, shard_key, shard_size;
+};
+
+// Measures per-request latency for `n` requests of the given op against
+// each configuration. "Replication" runs the Fig 4 checkpoint architecture
+// with a checkpoint every `ckpt_every` requests, which is what produces the
+// paper's long tail ("'replication' ... involves checkpointing and
+// restarting Redis ... this experiment also features the longest tail
+// latency albeit for a very small percentile").
+inline CdfSet run_redis_cdfs(miniredis::Command::Op op, int n,
+                             int ckpt_every = 250) {
+  using miniredis::Command;
+  CdfSet out;
+
+  constexpr std::size_t kKeyspace = 6000;
+  miniredis::WorkloadOptions wopts;
+  wopts.keyspace = kKeyspace;
+  wopts.get_fraction = op == Command::Op::kGet ? 1.0 : 0.0;
+  wopts.value_bytes = 64;
+
+  auto preload = [&](auto& service) {
+    for (std::size_t i = 0; i < kKeyspace; ++i) {
+      Command c;
+      c.op = Command::Op::kSet;
+      c.key = miniredis::key_name(i);
+      c.value.assign(256, 'v');
+      (void)service.request(c);
+    }
+  };
+  auto measure = [&](auto& service, Cdf& cdf, std::uint64_t seed,
+                     const std::function<void(int)>& per_request = nullptr) {
+    miniredis::Workload w(wopts, seed);
+    cdf.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      if (per_request) per_request(i);
+      const auto cmd = w.next();
+      const auto before = steady_now();
+      auto r = service.request(cmd);
+      CSAW_CHECK(r.ok()) << r.error().to_string();
+      cdf.add(to_ms(std::chrono::duration_cast<Nanos>(steady_now() - before)));
+    }
+  };
+
+  {
+    miniredis::BaselineService svc;
+    preload(svc);
+    measure(svc, out.baseline, 11);
+  }
+  {
+    miniredis::CheckpointedService svc;
+    preload(svc);
+    measure(svc, out.replication, 12, [&](int i) {
+      if (i > 0 && i % ckpt_every == 0) (void)svc.checkpoint_async();
+    });
+  }
+  {
+    miniredis::ShardedService::Options sopts;
+    sopts.mode = miniredis::ShardedService::Mode::kByKeyHash;
+    miniredis::ShardedService svc(sopts);
+    preload(svc);
+    measure(svc, out.shard_key, 13);
+  }
+  {
+    miniredis::ShardedService::Options sopts;
+    sopts.mode = miniredis::ShardedService::Mode::kByObjectSize;
+    miniredis::ShardedService svc(sopts);
+    preload(svc);
+    measure(svc, out.shard_size, 14);
+  }
+  return out;
+}
+
+inline void report_cdfs(CdfSet& set) {
+  print_cdf("baseline", set.baseline);
+  print_cdf("replication", set.replication);
+  print_cdf("shard-by-key-hash", set.shard_key);
+  print_cdf("shard-by-object-size", set.shard_size);
+
+  // The paper's qualitative results (Fig 25c / 26b): the baseline is
+  // fastest; the DSL derivatives add noticeable but low overhead; the
+  // replication configuration has the longest tail.
+  const double base50 = set.baseline.quantile(0.5);
+  const double key50 = set.shard_key.quantile(0.5);
+  const double size50 = set.shard_size.quantile(0.5);
+  shape_check(base50 < key50 && base50 < size50,
+              "baseline median is fastest (overhead noticeable but low)");
+  const double repl_tail = set.replication.quantile(1.0);
+  shape_check(repl_tail >= set.baseline.quantile(1.0) &&
+                  repl_tail > 3.0 * set.replication.quantile(0.5),
+              "replication has the longest tail latency (small percentile)");
+}
+
+}  // namespace csaw::bench

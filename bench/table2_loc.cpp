@@ -1,0 +1,108 @@
+// Table 2: "Effort (LoC) needed to support software extensions."
+//
+// Reproduces the paper's methodology: lines of DSL code per feature
+// (rendered by the pretty-printer, the analogue of the paper's concrete
+// syntax) against (a) the host-language glue needed to embed the feature
+// ("Redis(DSL)": host-block/saver/restorer bindings) and (b) the direct-C++
+// re-architecture written without the DSL ("Redis(C)"), which includes its
+// own hand-rolled communication/synchronization substrate -- the paper's
+// control added 195 shared lines to each feature; ours is
+// src/patterns/baseline_comm.hpp, counted into every feature the same way.
+//
+// The paper's qualitative result to reproduce: per feature,
+//   DSL LoC  <  direct-C LoC,   and the glue is small.
+#include <fstream>
+#include <sstream>
+
+#include "bench/common.hpp"
+#include "core/pretty.hpp"
+#include "patterns/caching.hpp"
+#include "patterns/sharding.hpp"
+#include "patterns/snapshot.hpp"
+
+using namespace csaw;
+using namespace csaw::bench;
+
+namespace {
+
+// Counts non-empty lines between LOC-COUNT-BEGIN(tag) and -END(tag).
+std::size_t marked_loc(const std::string& path, const std::string& tag) {
+  std::ifstream in(path);
+  CSAW_CHECK(in.good()) << "cannot open " << path;
+  std::string line;
+  bool counting = false;
+  std::size_t loc = 0;
+  const std::string begin = "LOC-COUNT-BEGIN(" + tag + ")";
+  const std::string end = "LOC-COUNT-END(" + tag + ")";
+  while (std::getline(in, line)) {
+    if (line.find(begin) != std::string::npos) {
+      counting = true;
+      continue;
+    }
+    if (line.find(end) != std::string::npos) counting = false;
+    if (!counting) continue;
+    bool nonspace = false;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') nonspace = true;
+    }
+    if (nonspace) ++loc;
+  }
+  return loc;
+}
+
+}  // namespace
+
+int main() {
+  const auto cfg = Config::from_env();
+  header("Table 2", "effort (LoC) to support software extensions", cfg);
+
+  const std::string src = CSAW_SOURCE_DIR;
+  const std::string services = src + "/src/apps/miniredis/services.cpp";
+  const std::size_t shared_c =
+      marked_loc(src + "/src/patterns/baseline_comm.hpp", "baseline_shared");
+
+  struct Row {
+    std::string feature;
+    std::size_t dsl;
+    std::size_t glue;
+    std::size_t direct_c;
+  };
+  std::vector<Row> rows;
+  rows.push_back(Row{
+      "Checkpointing", pretty_loc(patterns::remote_snapshot({})),
+      marked_loc(services, "glue_checkpoint"),
+      marked_loc(src + "/src/patterns/baseline_checkpoint.cpp",
+                 "baseline_checkpoint") +
+          shared_c});
+  rows.push_back(Row{
+      "Sharding", pretty_loc(patterns::sharding({})),
+      marked_loc(services, "glue_sharding"),
+      marked_loc(src + "/src/patterns/baseline_sharding.cpp",
+                 "baseline_sharding") +
+          shared_c});
+  rows.push_back(Row{
+      "Caching", pretty_loc(patterns::caching({})),
+      marked_loc(services, "glue_caching"),
+      marked_loc(src + "/src/patterns/baseline_caching.cpp",
+                 "baseline_caching") +
+          shared_c});
+
+  TablePrinter t({"Feature", "DSL", "Redis(DSL) glue", "Redis(C)"});
+  bool dsl_wins = true;
+  for (const auto& r : rows) {
+    t.add_row({r.feature, std::to_string(r.dsl), std::to_string(r.glue),
+               std::to_string(r.direct_c)});
+    if (r.dsl >= r.direct_c) dsl_wins = false;
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("(shared comm/sync substrate counted into each Redis(C) row: "
+              "%zu LoC; the paper's equivalent added 195)\n",
+              shared_c);
+  std::printf("paper's Table 2 for comparison: Checkpointing 79 vs 332, "
+              "Sharding 105 vs 314, Caching 106 vs 306\n");
+  shape_check(dsl_wins,
+              "every feature needs fewer DSL lines than direct C++ lines");
+  shape_check(rows[0].glue < 120 && rows[1].glue < 150 && rows[2].glue < 150,
+              "host-glue per feature stays small");
+  return 0;
+}

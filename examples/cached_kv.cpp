@@ -1,0 +1,144 @@
+// Inline cache in front of a slow store (paper use-case 5 / S7.2's Fig 7
+// applied to the Redis caching scenario of S10.1): 90% of GETs hit 10% of
+// the keys; the cache instance absorbs the hot set and the back-end only
+// sees misses and writes.
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "apps/miniredis/command.hpp"
+#include "apps/miniredis/store.hpp"
+#include "apps/miniredis/workload.hpp"
+#include "core/compile.hpp"
+#include "core/interp.hpp"
+#include "patterns/caching.hpp"
+
+using namespace csaw;
+using miniredis::Command;
+using miniredis::Mailbox;
+using miniredis::Response;
+
+namespace {
+
+struct CacheState {
+  Mailbox<Command> requests;
+  Mailbox<Response> responses;
+  Command current;
+  Response result;
+  std::map<std::string, std::string> cache;  // policy lives in host code
+  std::uint64_t hits = 0, misses = 0;
+};
+
+struct FunState {
+  miniredis::Store store{2000};  // the "expensive" backing store
+  Command current;
+  Response response;
+};
+
+}  // namespace
+
+int main() {
+  auto compiled = compile(patterns::caching({}));
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "%s\n", compiled.error().to_string().c_str());
+    return 1;
+  }
+
+  auto cache = std::make_shared<CacheState>();
+  auto fun = std::make_shared<FunState>();
+
+  HostBindings b;
+  b.block("complain", [](HostCtx&) { return Status::ok_status(); });
+  b.block("CheckCacheable", [](HostCtx& ctx) -> Status {
+    auto& st = ctx.state<CacheState>();
+    auto req = st.requests.pop(Deadline::after(std::chrono::seconds(5)));
+    if (!req) return make_error(Errc::kHostFailure, "no request");
+    st.current = std::move(*req);
+    // Only GETs are memoizable; SETs must reach the store (and invalidate).
+    return ctx.set_prop("Cacheable", st.current.op == Command::Op::kGet);
+  });
+  b.block("LookupCache", [](HostCtx& ctx) -> Status {
+    auto& st = ctx.state<CacheState>();
+    auto it = st.cache.find(st.current.key);
+    if (it != st.cache.end()) {
+      st.result = Response{true, it->second};
+      st.responses.push(st.result);
+      ++st.hits;
+      return ctx.set_prop("Cached", true);
+    }
+    ++st.misses;
+    return ctx.set_prop("Cached", false);
+  });
+  b.block("UpdateCache", [](HostCtx& ctx) {
+    auto& st = ctx.state<CacheState>();
+    if (st.result.found) st.cache[st.current.key] = st.result.value;
+    return Status::ok_status();
+  });
+  b.saver("pack_request", [](HostCtx& ctx) -> Result<SerializedValue> {
+    auto& st = ctx.state<CacheState>();
+    if (st.current.op == Command::Op::kSet) st.cache.erase(st.current.key);
+    return pack("miniredis.Command", st.current);
+  });
+  b.restorer("unpack_request",
+             [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+               auto cmd = unpack<Command>("miniredis.Command", sv);
+               if (!cmd) return cmd.error();
+               ctx.state<FunState>().current = std::move(*cmd);
+               return Status::ok_status();
+             });
+  b.block("F", [](HostCtx& ctx) {
+    auto& st = ctx.state<FunState>();
+    if (st.current.op == Command::Op::kSet) {
+      st.store.set(st.current.key, st.current.value);
+      st.response = Response{true, ""};
+    } else {
+      auto v = st.store.get(st.current.key);
+      st.response = Response{v.has_value(), v.value_or("")};
+    }
+    return Status::ok_status();
+  });
+  b.saver("pack_response", [](HostCtx& ctx) -> Result<SerializedValue> {
+    return pack("miniredis.Response", ctx.state<FunState>().response);
+  });
+  b.restorer("deliver_response",
+             [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+               auto resp = unpack<Response>("miniredis.Response", sv);
+               if (!resp) return resp.error();
+               auto& st = ctx.state<CacheState>();
+               st.result = std::move(*resp);
+               st.responses.push(st.result);
+               return Status::ok_status();
+             });
+
+  Engine engine(std::move(compiled).value(), std::move(b));
+  engine.set_state(Symbol("Cache"), cache);
+  engine.set_state(Symbol("Fun"), fun);
+  if (auto st = engine.run_main(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.error().to_string().c_str());
+    return 1;
+  }
+
+  miniredis::WorkloadOptions wopts;
+  wopts.keyspace = 500;
+  wopts.get_fraction = 0.9;
+  wopts.popularity = miniredis::WorkloadOptions::Popularity::kSkewed90_10;
+  miniredis::Workload workload(wopts, 7);
+  for (int i = 0; i < 1000; ++i) {
+    cache->requests.push(workload.next());
+    auto st = engine.call("Cache", "j", Deadline::after(std::chrono::seconds(10)));
+    if (!st.ok()) {
+      std::fprintf(stderr, "request %d: %s\n", i, st.error().to_string().c_str());
+      return 1;
+    }
+    (void)cache->responses.pop(Deadline::after(std::chrono::seconds(5)));
+  }
+
+  const auto& stats = fun->store.stats();
+  std::printf("1000 requests: cache hits=%llu misses=%llu; backing store saw "
+              "%llu gets + %llu sets\n",
+              static_cast<unsigned long long>(cache->hits),
+              static_cast<unsigned long long>(cache->misses),
+              static_cast<unsigned long long>(stats.gets),
+              static_cast<unsigned long long>(stats.sets));
+  return 0;
+}

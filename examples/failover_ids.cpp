@@ -1,0 +1,158 @@
+// Fail-over for a network-monitoring pipeline (paper use-case 1, the
+// Suricata Availability+Diagnostics scenario of S2): the same S7.3 fail-over
+// architecture the Redis tests use, re-bound to minisuricata -- demonstrating
+// the paper's reuse claim ("the same logic is applied to both Redis and
+// Suricata").
+//
+// A crash of one replica mid-stream is injected; packets keep flowing
+// through the survivor, and the crashed replica re-registers with its flow
+// table resynchronized from the canonical state.
+#include <cstdio>
+#include <memory>
+
+#include "apps/miniredis/command.hpp"  // for the Mailbox utility
+#include "apps/minisuricata/packet.hpp"
+#include "apps/minisuricata/pipeline.hpp"
+#include "core/builder.hpp"
+#include "core/compile.hpp"
+#include "core/interp.hpp"
+#include "patterns/failover.hpp"
+
+using namespace csaw;
+using minisuricata::Packet;
+
+namespace {
+
+struct FrontState {
+  miniredis::Mailbox<Packet> packets;
+  miniredis::Mailbox<bool> done;
+  Packet current;
+  minisuricata::Pipeline canonical{0};  // the canonical flow table
+};
+
+struct BackState {
+  minisuricata::Pipeline pipeline{0};
+  Packet current;
+};
+
+}  // namespace
+
+int main() {
+  patterns::FailoverOptions opts;
+  opts.backends = 2;
+  opts.timeout_ms = 300;
+  opts.reactivate_ms = 400;
+  auto compiled = compile(patterns::failover(opts));
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "%s\n", compiled.error().to_string().c_str());
+    return 1;
+  }
+
+  auto front = std::make_shared<FrontState>();
+  HostBindings b;
+  b.block("complain", [](HostCtx&) { return Status::ok_status(); });
+  b.block("H1", [](HostCtx& ctx) -> Status {
+    auto& st = ctx.state<FrontState>();
+    auto p = st.packets.peek(Deadline::after(std::chrono::seconds(1)));
+    if (!p) return make_error(Errc::kHostFailure, "no packet");
+    st.current = *p;
+    return Status::ok_status();
+  });
+  b.block("H2", [](HostCtx& ctx) {
+    auto& st = ctx.state<BackState>();
+    st.pipeline.process(st.current);
+    return Status::ok_status();
+  });
+  b.block("H3", [](HostCtx& ctx) {
+    auto& st = ctx.state<FrontState>();
+    st.packets.try_pop();
+    st.done.push(true);
+    return Status::ok_status();
+  });
+  b.saver("init_state", [](HostCtx& ctx) -> Result<SerializedValue> {
+    return SerializedValue{Symbol("flowtable"),
+                           ctx.state<FrontState>().canonical.snapshot()};
+  });
+  b.saver("pack_state", [](HostCtx& ctx) -> Result<SerializedValue> {
+    auto& st = ctx.state<FrontState>();
+    st.canonical.process(st.current);
+    return SerializedValue{Symbol("flowtable"), st.canonical.snapshot()};
+  });
+  b.restorer("unpack_state",
+             [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+               if (ctx.instance() == Symbol("f")) {
+                 return ctx.state<FrontState>().canonical.restore(sv.bytes);
+               }
+               return ctx.state<BackState>().pipeline.restore(sv.bytes);
+             });
+  b.saver("pack_request", [](HostCtx& ctx) -> Result<SerializedValue> {
+    return pack("suricata.Packet", ctx.state<FrontState>().current);
+  });
+  b.restorer("unpack_request",
+             [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+               auto p = unpack<Packet>("suricata.Packet", sv);
+               if (!p) return p.error();
+               ctx.state<BackState>().current = *p;
+               return Status::ok_status();
+             });
+  b.saver("pack_preresp", [](HostCtx&) -> Result<SerializedValue> {
+    return sv_dyn(DynValue(true));  // packet processing has no payload reply
+  });
+  b.restorer("unpack_preresp", [](HostCtx&, const SerializedValue&) {
+    return Status::ok_status();
+  });
+
+  Engine engine(std::move(compiled).value(), std::move(b));
+  engine.set_state(Symbol("f"), front);
+  for (const auto& name : patterns::failover_backend_names(opts)) {
+    engine.set_state_factory(Symbol(name), [] {
+      return std::static_pointer_cast<void>(std::make_shared<BackState>());
+    });
+  }
+  if (auto st = engine.run_main(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.error().to_string().c_str());
+    return 1;
+  }
+
+  minisuricata::FlowGenerator gen({}, 99);
+  auto feed_one = [&](int i) -> bool {
+    front->packets.push(gen.next());
+    const auto give_up = Deadline::after(std::chrono::seconds(15));
+    while (true) {
+      auto st = engine.runtime().inject(addr("f", "c"),
+                                        Update::assert_prop(Symbol("Req")));
+      if (!st.ok()) return false;
+      if (front->done.pop(Deadline::after(std::chrono::seconds(2)).min(give_up))) {
+        return true;
+      }
+      if (give_up.expired()) {
+        std::fprintf(stderr, "packet %d stalled\n", i);
+        return false;
+      }
+    }
+  };
+
+  for (int i = 0; i < 30; ++i) {
+    if (!feed_one(i)) return 1;
+  }
+  std::printf("30 packets processed at full capacity\n");
+
+  engine.crash("b1");
+  std::printf("replica b1 crashed; continuing on the survivor...\n");
+  for (int i = 30; i < 50; ++i) {
+    if (!feed_one(i)) return 1;
+  }
+
+  if (auto st = engine.start_instance("b1"); !st.ok()) {
+    std::fprintf(stderr, "restart failed: %s\n", st.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("replica b1 restarted; re-registration in progress...\n");
+  for (int i = 50; i < 80; ++i) {
+    if (!feed_one(i)) return 1;
+  }
+  std::printf("80 packets processed across a crash; canonical flow table "
+              "tracks %zu flows\n",
+              front->canonical.flow_count());
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Sharded key-value store (paper use-case 4 / S5.2 applied to Redis).
+//
+// The reusable sharding pattern from src/patterns routes commands from a
+// front-end to four miniredis back-ends. The shard choice is a host-side
+// function -- this example demonstrates BOTH of the paper's variants by
+// flipping one lambda: key-hash (djb2) and object-size classes.
+#include <cstdio>
+#include <memory>
+
+#include "apps/miniredis/command.hpp"
+#include "apps/miniredis/store.hpp"
+#include "apps/miniredis/workload.hpp"
+#include "core/compile.hpp"
+#include "core/interp.hpp"
+#include "patterns/sharding.hpp"
+#include "support/rng.hpp"
+
+using namespace csaw;
+using miniredis::Command;
+using miniredis::Mailbox;
+using miniredis::Response;
+
+namespace {
+
+struct FrontState {
+  Mailbox<Command> requests;
+  Mailbox<Response> responses;
+  Command current;
+  bool by_size = false;  // flip for object-size sharding
+  // Size-aware sharding needs a key->size map at the router (S5.2: "a
+  // custom table that maps keys to object sizes").
+  std::map<std::string, std::size_t> size_of;
+};
+
+struct BackState {
+  miniredis::Store store{500};
+  Command current;
+  Response response;
+};
+
+std::size_t choose_shard(FrontState& st, std::size_t shards) {
+  if (!st.by_size) return djb2(st.current.key) % shards;
+  // Quantized size classes (S5.2): 0-4KB, 4-16KB, 16-64KB, >64KB.
+  std::size_t size = st.current.op == Command::Op::kSet
+                         ? st.current.value.size()
+                         : st.size_of[st.current.key];
+  if (st.current.op == Command::Op::kSet) st.size_of[st.current.key] = size;
+  if (size <= 4 * 1024) return 0;
+  if (size <= 16 * 1024) return 1;
+  if (size <= 64 * 1024) return 2;
+  return 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool by_size = argc > 1 && std::string(argv[1]) == "--by-size";
+
+  patterns::ShardingOptions opts;
+  opts.backends = 4;
+  auto compiled = compile(patterns::sharding(opts));
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "%s\n", compiled.error().to_string().c_str());
+    return 1;
+  }
+
+  auto front = std::make_shared<FrontState>();
+  front->by_size = by_size;
+  std::vector<std::shared_ptr<BackState>> backs;
+
+  HostBindings b;
+  b.block("complain", [](HostCtx& ctx) {
+    std::fprintf(stderr, "[%s] complain()\n", ctx.instance().str().c_str());
+    return Status::ok_status();
+  });
+  b.block("Choose", [](HostCtx& ctx) -> Status {
+    auto& st = ctx.state<FrontState>();
+    auto cmd = st.requests.pop(Deadline::after(std::chrono::seconds(5)));
+    if (!cmd) return make_error(Errc::kHostFailure, "no request");
+    st.current = std::move(*cmd);
+    return ctx.set_idx("tgt",
+                       static_cast<std::int64_t>(choose_shard(st, 4)));
+  });
+  b.saver("pack_request", [](HostCtx& ctx) -> Result<SerializedValue> {
+    return pack("miniredis.Command", ctx.state<FrontState>().current);
+  });
+  b.restorer("unpack_request",
+             [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+               auto cmd = unpack<Command>("miniredis.Command", sv);
+               if (!cmd) return cmd.error();
+               ctx.state<BackState>().current = std::move(*cmd);
+               return Status::ok_status();
+             });
+  b.block("H_back", [](HostCtx& ctx) {
+    auto& st = ctx.state<BackState>();
+    if (st.current.op == Command::Op::kSet) {
+      st.store.set(st.current.key, st.current.value);
+      st.response = Response{true, ""};
+    } else {
+      auto v = st.store.get(st.current.key);
+      st.response = Response{v.has_value(), v.value_or("")};
+    }
+    return Status::ok_status();
+  });
+  b.saver("pack_response", [](HostCtx& ctx) -> Result<SerializedValue> {
+    return pack("miniredis.Response", ctx.state<BackState>().response);
+  });
+  b.restorer("deliver_response",
+             [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+               auto resp = unpack<Response>("miniredis.Response", sv);
+               if (!resp) return resp.error();
+               ctx.state<FrontState>().responses.push(std::move(*resp));
+               return Status::ok_status();
+             });
+
+  Engine engine(std::move(compiled).value(), std::move(b));
+  engine.set_state(Symbol("Fnt"), front);
+  for (const auto& name : patterns::shard_backend_names(opts)) {
+    backs.push_back(std::make_shared<BackState>());
+    engine.set_state(Symbol(name), backs.back());
+  }
+  if (auto st = engine.run_main(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.error().to_string().c_str());
+    return 1;
+  }
+
+  // Drive a small workload through the architecture.
+  miniredis::WorkloadOptions wopts;
+  wopts.keyspace = 200;
+  wopts.get_fraction = 0.3;
+  if (by_size) {
+    wopts.size_classes = {512, 8 * 1024, 32 * 1024, 128 * 1024};
+    wopts.size_class_mass = {0.55, 0.25, 0.15, 0.05};
+  }
+  miniredis::Workload workload(wopts, 42);
+  for (int i = 0; i < 400; ++i) {
+    front->requests.push(workload.next());
+    auto st = engine.call("Fnt", "j", Deadline::after(std::chrono::seconds(10)));
+    if (!st.ok()) {
+      std::fprintf(stderr, "request %d: %s\n", i, st.error().to_string().c_str());
+      return 1;
+    }
+    (void)front->responses.pop(Deadline::after(std::chrono::seconds(5)));
+  }
+
+  std::printf("sharding mode: %s\n", by_size ? "object-size classes" : "djb2 key hash");
+  for (std::size_t s = 0; s < backs.size(); ++s) {
+    const auto& stats = backs[s]->store.stats();
+    std::printf("  shard %zu: %llu gets, %llu sets, %zu keys resident\n", s,
+                static_cast<unsigned long long>(stats.gets),
+                static_cast<unsigned long long>(stats.sets),
+                backs[s]->store.size());
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// minicurl: a chunked file-transfer client against an in-process byte server
+// with a bandwidth/latency model, standing in for cURL v7.72 on the paper's
+// 1GbE research testbed (see DESIGN.md "Substitutions").
+//
+// The cURL experiments (Figs 25a/25b/26a) measure the *relative* overhead of
+// remote-audit snapshots against the transfer time as a function of file
+// size. That ratio depends on (a) how long a transfer of S bytes takes and
+// (b) how often and how expensively progress is snapshotted -- both of which
+// this model reproduces. `time_scale` compresses wall-clock time (a 1.2 GB
+// download need not take 10 real seconds); since both the numerator and the
+// denominator scale together, overhead percentages are preserved.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serdes/archive.hpp"
+#include "support/clock.hpp"
+#include "support/result.hpp"
+
+namespace csaw::minicurl {
+
+struct LinkProfile {
+  std::uint64_t bytes_per_sec = 125'000'000;  // 1GbE
+  Nanos rtt = std::chrono::microseconds(400);
+};
+
+// Download progress, the state captured by the remote-audit architecture.
+struct Progress {
+  std::string url;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t transferred = 0;
+  std::uint64_t chunks = 0;
+  double elapsed_ms = 0;
+};
+
+template <typename Ar>
+void serdes_fields(Ar& ar, Progress& p) {
+  ar.field(p.url);
+  ar.field(p.total_bytes);
+  ar.field(p.transferred);
+  ar.field(p.chunks);
+  ar.field(p.elapsed_ms);
+}
+
+struct TransferOptions {
+  LinkProfile link;
+  std::size_t chunk_bytes = 256 * 1024;
+  // Wall-clock pacing: 0 (default) runs the transfer model analytically
+  // with no real sleeping -- the returned duration is the modeled transfer
+  // time plus the *measured* time spent in progress hooks, which preserves
+  // overhead ratios exactly. A value > 0 paces the loop in real time at
+  // simulated/time_scale (only sensible when the scaled chunk time exceeds
+  // OS timer resolution).
+  double time_scale = 0.0;
+  // Invoke the progress hook every N chunks (0 = never). The audited
+  // configurations snapshot from this hook.
+  std::size_t progress_every = 0;
+};
+
+class Client {
+ public:
+  explicit Client(TransferOptions options) : options_(options) {}
+
+  using ProgressHook = std::function<Status(const Progress&)>;
+
+  // Simulates downloading `size` bytes from `url`; returns the *simulated*
+  // transfer time in milliseconds (uncompressed). The hook's real execution
+  // time adds to the measured wall-clock like cURL's write callbacks do.
+  Result<double> download(const std::string& url, std::uint64_t size,
+                          const ProgressHook& hook = nullptr);
+
+  [[nodiscard]] const TransferOptions& options() const { return options_; }
+
+ private:
+  TransferOptions options_;
+};
+
+}  // namespace csaw::minicurl

@@ -1,0 +1,108 @@
+// Commands, responses, and the request mailbox shared between bench clients
+// (the redis-benchmark stand-in) and the server instance's junctions.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "serdes/archive.hpp"
+#include "support/clock.hpp"
+
+namespace csaw::miniredis {
+
+struct Command {
+  enum class Op : std::uint8_t { kGet, kSet, kDel };
+  Op op = Op::kGet;
+  std::string key;
+  std::string value;  // kSet only
+};
+
+template <typename Ar>
+void serdes_fields(Ar& ar, Command& c) {
+  ar.field(c.op);
+  ar.field(c.key);
+  ar.field(c.value);
+}
+
+struct Response {
+  bool found = false;
+  std::string value;
+};
+
+template <typename Ar>
+void serdes_fields(Ar& ar, Response& r) {
+  ar.field(r.found);
+  ar.field(r.value);
+}
+
+// A small MPMC blocking queue: clients push commands, the front-end
+// junction's host block pops them (this is the host-side "application
+// logic" that schedules the junction in the paper's model).
+template <typename T>
+class Mailbox {
+ public:
+  void push(T item) {
+    {
+      std::scoped_lock lock(mu_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  std::optional<T> pop(Deadline deadline = Deadline::infinite()) {
+    std::unique_lock lock(mu_);
+    while (items_.empty()) {
+      if (deadline.is_infinite()) {
+        cv_.wait(lock);
+      } else if (cv_.wait_until(lock, deadline.when()) ==
+                     std::cv_status::timeout &&
+                 items_.empty()) {
+        return std::nullopt;
+      }
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Copies the front item without removing it; pair with try_pop() on
+  // completion for at-least-once intake (an aborted junction scheduling must
+  // not lose the request).
+  std::optional<T> peek(Deadline deadline = Deadline::infinite()) {
+    std::unique_lock lock(mu_);
+    while (items_.empty()) {
+      if (deadline.is_infinite()) {
+        cv_.wait(lock);
+      } else if (cv_.wait_until(lock, deadline.when()) ==
+                     std::cv_status::timeout &&
+                 items_.empty()) {
+        return std::nullopt;
+      }
+    }
+    return items_.front();
+  }
+
+  std::optional<T> try_pop() {
+    std::scoped_lock lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+};
+
+}  // namespace csaw::miniredis

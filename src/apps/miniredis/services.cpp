@@ -1,0 +1,385 @@
+#include "apps/miniredis/services.hpp"
+
+#include <deque>
+
+#include "core/compile.hpp"
+#include "support/rng.hpp"
+
+namespace csaw::miniredis {
+namespace {
+
+constexpr auto kCallDeadline = std::chrono::seconds(10);
+
+Response apply(Store& store, const Command& c) {
+  switch (c.op) {
+    case Command::Op::kGet: {
+      auto v = store.get(c.key);
+      return Response{v.has_value(), v.value_or("")};
+    }
+    case Command::Op::kSet:
+      store.set(c.key, c.value);
+      return Response{true, ""};
+    case Command::Op::kDel:
+      return Response{store.del(c.key), ""};
+  }
+  return Response{};
+}
+
+}  // namespace
+
+// --- BaselineService ------------------------------------------------------------
+
+Result<Response> BaselineService::request(const Command& command) {
+  return apply(store_, command);
+}
+
+CheckpointedService::Options CheckpointedService::make_default_options() {
+  return Options{};
+}
+ShardedService::Options ShardedService::make_default_options() {
+  return Options{};
+}
+CachedService::Options CachedService::make_default_options() {
+  return Options{};
+}
+
+// --- CheckpointedService ----------------------------------------------------------
+// LOC-COUNT-BEGIN(glue_checkpoint)
+
+struct CheckpointedService::ActState {
+  explicit ActState(std::uint64_t cost) : store(cost) {}
+  std::mutex mu;  // the single-threaded server: queries block on checkpoints
+  Store store;
+};
+
+struct CheckpointedService::AudState {
+  std::mutex mu;
+  Bytes last;
+  std::size_t count = 0;
+};
+
+CheckpointedService::CheckpointedService(Options options) {
+  patterns::SnapshotOptions popts;
+  popts.timeout_ms = options.timeout_ms;
+  aud_ = std::make_shared<AudState>();
+
+  HostBindings b;
+  b.block("complain", [](HostCtx&) { return Status::ok_status(); });
+  b.block("H1", [](HostCtx&) { return Status::ok_status(); });
+  b.block("H2", [](HostCtx&) { return Status::ok_status(); });
+  b.saver("capture_state", [](HostCtx& ctx) -> Result<SerializedValue> {
+    auto& act = ctx.state<ActState>();
+    std::scoped_lock lock(act.mu);
+    return SerializedValue{Symbol("store.image"), act.store.snapshot()};
+  });
+  b.restorer("ingest_state",
+             [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+               auto& aud = ctx.state<AudState>();
+               std::scoped_lock lock(aud.mu);
+               aud.last = sv.bytes;
+               ++aud.count;
+               return Status::ok_status();
+             });
+
+  auto compiled = compile(patterns::remote_snapshot(popts));
+  CSAW_CHECK(compiled.ok()) << compiled.error().to_string();
+  EngineOptions eopts;
+  eopts.runtime.default_link = options.link;
+  engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
+                                     eopts);
+  const auto cost = options.op_cost_ns;
+  engine_->set_state_factory(Symbol("Act"), [this, cost] {
+    act_ = std::make_shared<ActState>(cost);
+    return std::static_pointer_cast<void>(act_);
+  });
+  engine_->set_state(Symbol("Aud"), aud_);
+  auto st = engine_->run_main();
+  CSAW_CHECK(st.ok()) << st.error().to_string();
+}
+
+Result<Response> CheckpointedService::request(const Command& command) {
+  auto act = act_;
+  std::scoped_lock lock(act->mu);
+  return apply(act->store, command);
+}
+
+Status CheckpointedService::checkpoint() {
+  return engine_->call("Act", "j", Deadline::after(kCallDeadline));
+}
+
+Status CheckpointedService::checkpoint_async() {
+  return engine_->schedule("Act", "j");
+}
+
+Status CheckpointedService::crash_and_resume() {
+  engine_->crash("Act");
+  CSAW_TRY(engine_->start_instance("Act"));  // fresh, empty store
+  Bytes image;
+  {
+    std::scoped_lock lock(aud_->mu);
+    image = aud_->last;
+  }
+  if (image.empty()) return Status::ok_status();  // nothing checkpointed yet
+  auto act = act_;
+  std::scoped_lock lock(act->mu);
+  return act->store.restore(image);
+}
+
+std::size_t CheckpointedService::checkpoints_taken() const {
+  std::scoped_lock lock(aud_->mu);
+  return aud_->count;
+}
+
+std::size_t CheckpointedService::keyspace_size() const {
+  auto act = act_;
+  std::scoped_lock lock(act->mu);
+  return act->store.size();
+}
+
+// LOC-COUNT-END(glue_checkpoint)
+
+// --- ShardedService ----------------------------------------------------------------
+// LOC-COUNT-BEGIN(glue_sharding)
+
+struct ShardedService::FrontState {
+  Mailbox<Command> requests;
+  Mailbox<Response> responses;
+  Command current;
+  // Size-aware routing keeps a key -> size-class table at the router
+  // (S5.2's "custom table that maps keys to object sizes").
+  std::mutex mu;
+  std::unordered_map<std::string, std::size_t> size_class;
+  const ShardedService* owner = nullptr;
+};
+
+struct ShardedService::BackState {
+  explicit BackState(std::uint64_t cost) : store(cost) {}
+  Store store;
+  Command current;
+  Response response;
+  std::atomic<std::uint64_t> processed{0};
+};
+
+ShardedService::ShardedService(Options options) : options_(std::move(options)) {
+  patterns::ShardingOptions popts;
+  popts.backends = options_.shards;
+  popts.timeout_ms = options_.timeout_ms;
+
+  front_ = std::make_shared<FrontState>();
+  front_->owner = this;
+
+  HostBindings b;
+  b.block("complain", [](HostCtx&) { return Status::ok_status(); });
+  b.block("Choose", [](HostCtx& ctx) -> Status {
+    auto& st = ctx.state<FrontState>();
+    auto cmd = st.requests.pop(Deadline::after(std::chrono::seconds(5)));
+    if (!cmd) return make_error(Errc::kHostFailure, "no request");
+    st.current = std::move(*cmd);
+    return ctx.set_idx("tgt", static_cast<std::int64_t>(
+                                  st.owner->shard_of(st.current)));
+  });
+  b.saver("pack_request", [](HostCtx& ctx) -> Result<SerializedValue> {
+    return pack("miniredis.Command", ctx.state<FrontState>().current);
+  });
+  b.restorer("unpack_request",
+             [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+               auto cmd = unpack<Command>("miniredis.Command", sv);
+               if (!cmd) return cmd.error();
+               ctx.state<BackState>().current = std::move(*cmd);
+               return Status::ok_status();
+             });
+  b.block("H_back", [](HostCtx& ctx) {
+    auto& st = ctx.state<BackState>();
+    st.response = apply(st.store, st.current);
+    st.processed.fetch_add(1);
+    return Status::ok_status();
+  });
+  b.saver("pack_response", [](HostCtx& ctx) -> Result<SerializedValue> {
+    return pack("miniredis.Response", ctx.state<BackState>().response);
+  });
+  b.restorer("deliver_response",
+             [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+               auto resp = unpack<Response>("miniredis.Response", sv);
+               if (!resp) return resp.error();
+               ctx.state<FrontState>().responses.push(std::move(*resp));
+               return Status::ok_status();
+             });
+
+  auto compiled = compile(patterns::sharding(popts));
+  CSAW_CHECK(compiled.ok()) << compiled.error().to_string();
+  EngineOptions eopts;
+  eopts.runtime.default_link = options_.link;
+  engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
+                                     eopts);
+  engine_->set_state(Symbol(popts.front_instance), front_);
+  for (const auto& name : patterns::shard_backend_names(popts)) {
+    backs_.push_back(std::make_shared<BackState>(options_.op_cost_ns));
+    engine_->set_state(Symbol(name), backs_.back());
+  }
+  auto st = engine_->run_main();
+  CSAW_CHECK(st.ok()) << st.error().to_string();
+}
+
+std::size_t ShardedService::shard_of(const Command& command) const {
+  if (options_.mode == Mode::kByKeyHash) {
+    return djb2(command.key) % options_.shards;
+  }
+  // Object-size classes; SETs are classified by their value size and the
+  // class is remembered so GET/DEL route to the same shard.
+  std::scoped_lock lock(front_->mu);
+  if (command.op == Command::Op::kSet) {
+    std::size_t cls = 0;
+    while (cls < options_.size_bounds.size() &&
+           command.value.size() > options_.size_bounds[cls]) {
+      ++cls;
+    }
+    cls = std::min(cls, options_.shards - 1);
+    front_->size_class[command.key] = cls;
+    return cls;
+  }
+  auto it = front_->size_class.find(command.key);
+  return it == front_->size_class.end() ? 0 : it->second;
+}
+
+Result<Response> ShardedService::request(const Command& command) {
+  front_->requests.push(command);
+  CSAW_TRY(engine_->call("Fnt", "j", Deadline::after(kCallDeadline)));
+  auto resp = front_->responses.pop(Deadline::after(kCallDeadline));
+  if (!resp) return make_error(Errc::kTimeout, "no response from shard");
+  return *resp;
+}
+
+std::vector<std::uint64_t> ShardedService::shard_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(backs_.size());
+  for (const auto& back : backs_) out.push_back(back->processed.load());
+  return out;
+}
+
+// LOC-COUNT-END(glue_sharding)
+
+// --- CachedService ------------------------------------------------------------------
+// LOC-COUNT-BEGIN(glue_caching)
+
+struct CachedService::CacheState {
+  Mailbox<Command> requests;
+  Mailbox<Response> responses;
+  Command current;
+  Response result;
+  // FIFO-bounded memo table; policy is host-side per S7.2.
+  std::unordered_map<std::string, std::string> cache;
+  std::deque<std::string> fifo;
+  std::size_t capacity = 4096;
+  bool enabled = true;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+};
+
+struct CachedService::FunState {
+  explicit FunState(std::uint64_t cost) : store(cost) {}
+  Store store;
+  Command current;
+  Response response;
+};
+
+CachedService::CachedService(Options options) : options_(std::move(options)) {
+  patterns::CachingOptions popts;
+  popts.timeout_ms = options_.timeout_ms;
+
+  cache_ = std::make_shared<CacheState>();
+  cache_->capacity = options_.cache_capacity;
+  cache_->enabled = options_.cache_enabled;
+  fun_ = std::make_shared<FunState>(options_.op_cost_ns);
+
+  HostBindings b;
+  b.block("complain", [](HostCtx&) { return Status::ok_status(); });
+  b.block("CheckCacheable", [](HostCtx& ctx) -> Status {
+    auto& st = ctx.state<CacheState>();
+    auto cmd = st.requests.pop(Deadline::after(std::chrono::seconds(5)));
+    if (!cmd) return make_error(Errc::kHostFailure, "no request");
+    st.current = std::move(*cmd);
+    const bool cacheable =
+        st.enabled && st.current.op == Command::Op::kGet;
+    if (st.current.op != Command::Op::kGet) {
+      // Writes invalidate (the cache fronts a mutable store).
+      st.cache.erase(st.current.key);
+    }
+    return ctx.set_prop("Cacheable", cacheable);
+  });
+  b.block("LookupCache", [](HostCtx& ctx) -> Status {
+    auto& st = ctx.state<CacheState>();
+    auto it = st.cache.find(st.current.key);
+    if (it != st.cache.end()) {
+      st.result = Response{true, it->second};
+      st.responses.push(st.result);
+      st.hits.fetch_add(1);
+      return ctx.set_prop("Cached", true);
+    }
+    st.misses.fetch_add(1);
+    return ctx.set_prop("Cached", false);
+  });
+  b.block("UpdateCache", [](HostCtx& ctx) {
+    auto& st = ctx.state<CacheState>();
+    if (!st.result.found) return Status::ok_status();
+    if (st.cache.size() >= st.capacity && !st.fifo.empty()) {
+      st.cache.erase(st.fifo.front());
+      st.fifo.pop_front();
+    }
+    if (st.cache.emplace(st.current.key, st.result.value).second) {
+      st.fifo.push_back(st.current.key);
+    }
+    return Status::ok_status();
+  });
+  b.saver("pack_request", [](HostCtx& ctx) -> Result<SerializedValue> {
+    return pack("miniredis.Command", ctx.state<CacheState>().current);
+  });
+  b.restorer("unpack_request",
+             [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+               auto cmd = unpack<Command>("miniredis.Command", sv);
+               if (!cmd) return cmd.error();
+               ctx.state<FunState>().current = std::move(*cmd);
+               return Status::ok_status();
+             });
+  b.block("F", [](HostCtx& ctx) {
+    auto& st = ctx.state<FunState>();
+    st.response = apply(st.store, st.current);
+    return Status::ok_status();
+  });
+  b.saver("pack_response", [](HostCtx& ctx) -> Result<SerializedValue> {
+    return pack("miniredis.Response", ctx.state<FunState>().response);
+  });
+  b.restorer("deliver_response",
+             [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+               auto resp = unpack<Response>("miniredis.Response", sv);
+               if (!resp) return resp.error();
+               auto& st = ctx.state<CacheState>();
+               st.result = *resp;
+               st.responses.push(std::move(*resp));
+               return Status::ok_status();
+             });
+
+  auto compiled = compile(patterns::caching(popts));
+  CSAW_CHECK(compiled.ok()) << compiled.error().to_string();
+  EngineOptions eopts;
+  eopts.runtime.default_link = options_.link;
+  engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
+                                     eopts);
+  engine_->set_state(Symbol("Cache"), cache_);
+  engine_->set_state(Symbol("Fun"), fun_);
+  auto st = engine_->run_main();
+  CSAW_CHECK(st.ok()) << st.error().to_string();
+}
+
+Result<Response> CachedService::request(const Command& command) {
+  cache_->requests.push(command);
+  CSAW_TRY(engine_->call("Cache", "j", Deadline::after(kCallDeadline)));
+  auto resp = cache_->responses.pop(Deadline::after(kCallDeadline));
+  if (!resp) return make_error(Errc::kTimeout, "no response");
+  return *resp;
+}
+
+std::uint64_t CachedService::hits() const { return cache_->hits.load(); }
+std::uint64_t CachedService::misses() const { return cache_->misses.load(); }
+// LOC-COUNT-END(glue_caching)
+
+}  // namespace csaw::miniredis

@@ -1,0 +1,167 @@
+// miniredis deployments behind C-Saw architectures.
+//
+// Each service wires one architecture pattern to the miniredis substrate and
+// exposes the same request() interface, so benches and applications can swap
+// architectures the way the paper swaps DSL expressions:
+//
+//   BaselineService      -- unmodified single store (the paper's "Baseline")
+//   CheckpointedService  -- Fig 4 snapshot architecture checkpointing the
+//                           keyspace to an auditor; supports crash + resume
+//                           (the paper's Checkpointing / "Replication")
+//   ShardedService       -- Fig 5 N-ary sharding by key hash (djb2),
+//                           object-size class, or a custom chooser
+//   CachedService        -- Fig 7 inline cache in front of the store
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "apps/miniredis/command.hpp"
+#include "apps/miniredis/store.hpp"
+#include "core/interp.hpp"
+#include "patterns/caching.hpp"
+#include "patterns/sharding.hpp"
+#include "patterns/snapshot.hpp"
+
+namespace csaw::miniredis {
+
+// Default per-command CPU cost (models Redis command processing).
+constexpr std::uint64_t kDefaultOpCostNs = 900;
+
+class Service {
+ public:
+  virtual ~Service() = default;
+  virtual Result<Response> request(const Command& command) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+// --- unmodified ---------------------------------------------------------------
+
+class BaselineService : public Service {
+ public:
+  explicit BaselineService(std::uint64_t op_cost_ns = kDefaultOpCostNs)
+      : store_(op_cost_ns) {}
+
+  Result<Response> request(const Command& command) override;
+  [[nodiscard]] std::string name() const override { return "baseline"; }
+  Store& store() { return store_; }
+
+ private:
+  Store store_;
+};
+
+// --- checkpointing (Fig 4 snapshot pattern) -------------------------------------
+
+class CheckpointedService : public Service {
+ public:
+  struct Options {
+    std::uint64_t op_cost_ns = kDefaultOpCostNs;
+    std::int64_t timeout_ms = 2000;
+    LinkModel link = LinkModel::in_process();
+  };
+
+  CheckpointedService() : CheckpointedService(make_default_options()) {}
+  explicit CheckpointedService(Options options);
+
+  Result<Response> request(const Command& command) override;
+  [[nodiscard]] std::string name() const override { return "checkpointed"; }
+
+  // Drives one snapshot of the whole keyspace through the architecture.
+  Status checkpoint();
+  // Requests a snapshot without waiting for it (overlaps serving traffic,
+  // like the paper's interval checkpointer).
+  Status checkpoint_async();
+  // Crash the serving instance (its store is lost) and resume it from the
+  // auditor's last checkpoint.
+  Status crash_and_resume();
+
+  [[nodiscard]] std::size_t checkpoints_taken() const;
+  [[nodiscard]] std::size_t keyspace_size() const;
+
+ private:
+  static Options make_default_options();
+  struct ActState;
+  struct AudState;
+  std::shared_ptr<ActState> act_;
+  std::shared_ptr<AudState> aud_;
+  std::unique_ptr<Engine> engine_;
+};
+
+// --- sharding (Fig 5) ------------------------------------------------------------
+
+class ShardedService : public Service {
+ public:
+  enum class Mode { kByKeyHash, kByObjectSize };
+
+  struct Options {
+    std::size_t shards = 4;
+    Mode mode = Mode::kByKeyHash;
+    std::uint64_t op_cost_ns = kDefaultOpCostNs;
+    std::int64_t timeout_ms = 2000;
+    LinkModel link = LinkModel::in_process();
+    // Object-size class boundaries (inclusive upper bounds; last is +inf).
+    std::vector<std::size_t> size_bounds = {4 * 1024, 16 * 1024, 64 * 1024};
+  };
+
+  ShardedService() : ShardedService(make_default_options()) {}
+  explicit ShardedService(Options options);
+
+  Result<Response> request(const Command& command) override;
+  [[nodiscard]] std::string name() const override {
+    return options_.mode == Mode::kByKeyHash ? "shard-key" : "shard-size";
+  }
+
+  static Options make_default_options();
+
+  // Which shard index the service would route this key/value to.
+  [[nodiscard]] std::size_t shard_of(const Command& command) const;
+  // Per-shard processed-request counters.
+  [[nodiscard]] std::vector<std::uint64_t> shard_counts() const;
+
+ private:
+  struct FrontState;
+  struct BackState;
+  Options options_;
+  std::shared_ptr<FrontState> front_;
+  std::vector<std::shared_ptr<BackState>> backs_;
+  std::unique_ptr<Engine> engine_;
+};
+
+// --- caching (Fig 7) --------------------------------------------------------------
+
+class CachedService : public Service {
+ public:
+  struct Options {
+    bool cache_enabled = true;  // false = same architecture, cache bypassed
+    std::size_t cache_capacity = 4096;
+    std::uint64_t op_cost_ns = kDefaultOpCostNs;
+    std::int64_t timeout_ms = 2000;
+    LinkModel link = LinkModel::in_process();
+  };
+
+  CachedService() : CachedService(make_default_options()) {}
+  explicit CachedService(Options options);
+  static Options make_default_options();
+
+  Result<Response> request(const Command& command) override;
+  [[nodiscard]] std::string name() const override {
+    return options_.cache_enabled ? "cached" : "uncached";
+  }
+
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+ private:
+  struct CacheState;
+  struct FunState;
+  Options options_;
+  std::shared_ptr<CacheState> cache_;
+  std::shared_ptr<FunState> fun_;
+  std::unique_ptr<Engine> engine_;
+};
+
+}  // namespace csaw::miniredis

@@ -1,0 +1,87 @@
+#include "apps/miniredis/workload.hpp"
+
+#include "support/check.hpp"
+
+namespace csaw::miniredis {
+
+std::string key_name(std::size_t index) {
+  return "key:" + std::to_string(index);
+}
+
+Workload::Workload(WorkloadOptions options, std::uint64_t seed)
+    : options_(std::move(options)), rng_(seed) {
+  CSAW_CHECK(options_.keyspace > 0) << "empty keyspace";
+  if (options_.popularity == WorkloadOptions::Popularity::kWeighted) {
+    CSAW_CHECK(!options_.slice_weights.empty()) << "weighted without weights";
+    double total = 0;
+    for (double w : options_.slice_weights) total += w;
+    double acc = 0;
+    for (double w : options_.slice_weights) {
+      acc += w / total;
+      slice_cdf_.push_back(acc);
+    }
+  }
+  if (!options_.size_classes.empty()) {
+    CSAW_CHECK(options_.size_classes.size() == options_.size_class_mass.size())
+        << "size class/mass length mismatch";
+  }
+}
+
+std::size_t Workload::draw_key_index() {
+  switch (options_.popularity) {
+    case WorkloadOptions::Popularity::kUniform:
+      return rng_.below(options_.keyspace);
+    case WorkloadOptions::Popularity::kSkewed90_10: {
+      // 90% of requests on the first 10% of the keyspace.
+      const std::size_t hot = std::max<std::size_t>(1, options_.keyspace / 10);
+      if (rng_.chance(0.9)) return rng_.below(hot);
+      return hot + rng_.below(std::max<std::size_t>(1, options_.keyspace - hot));
+    }
+    case WorkloadOptions::Popularity::kWeighted: {
+      const double u = rng_.uniform();
+      std::size_t slice = 0;
+      while (slice + 1 < slice_cdf_.size() && slice_cdf_[slice] < u) ++slice;
+      const std::size_t slices = options_.slice_weights.size();
+      const std::size_t width = options_.keyspace / slices;
+      return slice * width + rng_.below(std::max<std::size_t>(1, width));
+    }
+  }
+  return 0;
+}
+
+std::size_t Workload::draw_value_size() {
+  if (options_.size_classes.empty()) return options_.value_bytes;
+  const double u = rng_.uniform();
+  double acc = 0;
+  for (std::size_t i = 0; i < options_.size_classes.size(); ++i) {
+    acc += options_.size_class_mass[i];
+    if (u < acc) return options_.size_classes[i];
+  }
+  return options_.size_classes.back();
+}
+
+Command Workload::next() {
+  Command c;
+  const std::size_t key = draw_key_index();
+  c.key = key_name(key);
+  if (rng_.uniform() < options_.get_fraction) {
+    c.op = Command::Op::kGet;
+  } else {
+    c.op = Command::Op::kSet;
+    c.value.assign(draw_value_size(), 'v');
+  }
+  return c;
+}
+
+std::size_t Workload::slice_of_key(const std::string& key) const {
+  const auto pos = key.find(':');
+  CSAW_CHECK(pos != std::string::npos) << "malformed key " << key;
+  const auto index = std::stoull(key.substr(pos + 1));
+  const std::size_t slices = options_.slice_weights.empty()
+                                 ? 1
+                                 : options_.slice_weights.size();
+  const std::size_t width = options_.keyspace / slices;
+  return std::min<std::size_t>(slices - 1, index / std::max<std::size_t>(1, width));
+}
+
+}  // namespace csaw::miniredis

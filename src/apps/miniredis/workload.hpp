@@ -1,0 +1,59 @@
+// Workload generation mirroring the paper's redis-benchmark usage (S10.1).
+//
+//   * default: uniform key popularity over a fixed keyspace, GET/SET mix;
+//   * skewed: "90% of requests are directed at 10% of the entries" for the
+//     caching experiment;
+//   * weighted: uneven per-shard pressure for the sharding experiment
+//     ("uneven workloads place different pressure on different back-ends");
+//   * sized: values drawn from size classes for object-size sharding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/miniredis/command.hpp"
+#include "support/rng.hpp"
+
+namespace csaw::miniredis {
+
+struct WorkloadOptions {
+  std::size_t keyspace = 2000;
+  double get_fraction = 0.8;  // rest are SET
+  std::size_t value_bytes = 64;
+
+  enum class Popularity { kUniform, kSkewed90_10, kWeighted };
+  Popularity popularity = Popularity::kUniform;
+  // kWeighted: relative weight of key-range slices (e.g. {4,3,2,1}).
+  std::vector<double> slice_weights;
+
+  // When non-empty, SET values are drawn from these size classes (bytes)
+  // with the matching probability mass in `size_class_mass`.
+  std::vector<std::size_t> size_classes;
+  std::vector<double> size_class_mass;
+};
+
+class Workload {
+ public:
+  Workload(WorkloadOptions options, std::uint64_t seed);
+
+  Command next();
+  [[nodiscard]] const WorkloadOptions& options() const { return options_; }
+
+  // The key drawn for request i of a slice-weighted workload lands in slice
+  // floor(key_index * slices / keyspace); exposed for ratio checks.
+  [[nodiscard]] std::size_t slice_of_key(const std::string& key) const;
+
+ private:
+  std::size_t draw_key_index();
+  std::size_t draw_value_size();
+
+  WorkloadOptions options_;
+  Rng rng_;
+  std::vector<double> slice_cdf_;
+};
+
+// Key naming shared by workloads and shard checks: "key:<index>".
+std::string key_name(std::size_t index);
+
+}  // namespace csaw::miniredis

@@ -1,0 +1,54 @@
+#include "apps/minisuricata/packet.hpp"
+
+#include <cmath>
+
+namespace csaw::minisuricata {
+
+FlowGenerator::FlowGenerator(FlowGenOptions options, std::uint64_t seed)
+    : options_(options), rng_(seed) {
+  flows_.reserve(options_.concurrent_flows);
+  for (std::size_t i = 0; i < options_.concurrent_flows; ++i) {
+    flows_.push_back(make_flow());
+  }
+}
+
+FlowGenerator::LiveFlow FlowGenerator::make_flow() {
+  LiveFlow flow;
+  flow.tuple.src_ip = static_cast<std::uint32_t>(rng_.next());
+  flow.tuple.dst_ip = static_cast<std::uint32_t>(rng_.next());
+  flow.tuple.src_port = static_cast<std::uint16_t>(1024 + rng_.below(60000));
+  flow.tuple.dst_port =
+      rng_.chance(0.7) ? 443 : static_cast<std::uint16_t>(rng_.below(1024));
+  flow.tuple.proto = rng_.chance(0.85) ? 6 : 17;  // mostly TCP, some UDP
+  // Bounded Pareto sample for flow length.
+  const double u = rng_.uniform();
+  const double alpha = options_.heavy_tail_alpha;
+  const double lo = static_cast<double>(options_.min_flow_packets);
+  const double hi = static_cast<double>(options_.max_flow_packets);
+  const double x =
+      std::pow(-(u * std::pow(hi, alpha) - u * std::pow(lo, alpha) -
+                 std::pow(hi, alpha)) /
+                   (std::pow(hi * lo, alpha)),
+               -1.0 / alpha);
+  flow.remaining = static_cast<std::size_t>(x);
+  if (flow.remaining < options_.min_flow_packets) {
+    flow.remaining = options_.min_flow_packets;
+  }
+  if (flow.remaining > options_.max_flow_packets) {
+    flow.remaining = options_.max_flow_packets;
+  }
+  return flow;
+}
+
+Packet FlowGenerator::next() {
+  const std::size_t i = rng_.below(flows_.size());
+  LiveFlow& flow = flows_[i];
+  Packet p;
+  p.tuple = flow.tuple;
+  p.size = static_cast<std::uint16_t>(64 + rng_.below(1400));
+  p.payload_sig = static_cast<std::uint32_t>(rng_.next());
+  if (--flow.remaining == 0) flow = make_flow();
+  return p;
+}
+
+}  // namespace csaw::minisuricata

@@ -1,0 +1,98 @@
+// minisuricata packet model: 5-tuples and a synthetic flow mixture standing
+// in for bigFlows.pcap (see DESIGN.md "Substitutions").
+//
+// The Suricata experiments need (a) many concurrent flows identified by
+// their 5-tuple, (b) a heavy-tailed flow-size distribution ("several flows
+// from different applications"), and (c) per-packet processing cost. The
+// generator produces exactly that, deterministically per seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serdes/archive.hpp"
+#include "support/rng.hpp"
+
+namespace csaw::minisuricata {
+
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 6;  // TCP
+
+  friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+
+  // Steering hash over the 5-tuple (S10.1: "the 5-tuple of each packet ...
+  // is hashed to determine which of four back-end Suricata instances should
+  // process it"). Fields are packed explicitly -- hashing a struct image
+  // would include indeterminate padding bytes.
+  [[nodiscard]] std::uint64_t hash() const {
+    std::uint8_t packed[13];
+    auto put32 = [&](std::size_t at, std::uint32_t v) {
+      for (int i = 0; i < 4; ++i) packed[at + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+    };
+    put32(0, src_ip);
+    put32(4, dst_ip);
+    packed[8] = static_cast<std::uint8_t>(src_port);
+    packed[9] = static_cast<std::uint8_t>(src_port >> 8);
+    packed[10] = static_cast<std::uint8_t>(dst_port);
+    packed[11] = static_cast<std::uint8_t>(dst_port >> 8);
+    packed[12] = proto;
+    return fnv1a(packed, sizeof(packed));
+  }
+};
+
+template <typename Ar>
+void serdes_fields(Ar& ar, FiveTuple& t) {
+  ar.field(t.src_ip);
+  ar.field(t.dst_ip);
+  ar.field(t.src_port);
+  ar.field(t.dst_port);
+  ar.field(t.proto);
+}
+
+struct Packet {
+  FiveTuple tuple;
+  std::uint16_t size = 0;     // bytes on the wire
+  std::uint32_t payload_sig = 0;  // stands in for payload content
+};
+
+template <typename Ar>
+void serdes_fields(Ar& ar, Packet& p) {
+  ar.field(p.tuple);
+  ar.field(p.size);
+  ar.field(p.payload_sig);
+}
+
+struct FlowGenOptions {
+  std::size_t concurrent_flows = 256;
+  // Pareto-ish flow lengths: most flows short, a heavy tail of elephants.
+  double heavy_tail_alpha = 1.3;
+  std::size_t min_flow_packets = 4;
+  std::size_t max_flow_packets = 40000;
+};
+
+// Produces an endless packet stream drawn from a churning set of flows.
+class FlowGenerator {
+ public:
+  FlowGenerator(FlowGenOptions options, std::uint64_t seed);
+
+  Packet next();
+
+ private:
+  struct LiveFlow {
+    FiveTuple tuple;
+    std::size_t remaining;
+  };
+
+  LiveFlow make_flow();
+
+  FlowGenOptions options_;
+  Rng rng_;
+  std::vector<LiveFlow> flows_;
+};
+
+}  // namespace csaw::minisuricata

@@ -1,0 +1,66 @@
+#include "apps/minisuricata/pipeline.hpp"
+
+#include <chrono>
+
+namespace csaw::minisuricata {
+namespace {
+
+struct FlowTableImage {
+  std::unordered_map<std::uint64_t, FlowState> flows;
+  PipelineStats stats;
+};
+
+template <typename Ar>
+void serdes_fields(Ar& ar, FlowTableImage& img) {
+  ar.field(img.flows);
+  ar.field(img.stats);
+}
+
+}  // namespace
+
+Pipeline::Pipeline(std::uint64_t per_packet_cost_ns)
+    : per_packet_cost_ns_(per_packet_cost_ns) {}
+
+void Pipeline::burn() {
+  if (per_packet_cost_ns_ == 0) return;
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::nanoseconds(per_packet_cost_ns_);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+void Pipeline::process(const Packet& packet) {
+  burn();  // decode + detect CPU work
+  auto& flow = flows_[packet.tuple.hash()];
+  ++flow.packets;
+  flow.bytes += packet.size;
+  flow.last_sig = packet.payload_sig;
+  // A toy detection rule: flag flows whose payload signature hits a sparse
+  // pattern (a stand-in for signature matching).
+  if ((packet.payload_sig & 0xFFFF) == 0xBEEF && !flow.flagged) {
+    flow.flagged = true;
+    ++stats_.alerts;
+  }
+  ++stats_.packets;
+  stats_.bytes += packet.size;
+}
+
+Bytes Pipeline::snapshot() const {
+  FlowTableImage img{flows_, stats_};
+  return encode(std::move(img));
+}
+
+Status Pipeline::restore(const Bytes& snapshot) {
+  auto img = decode<FlowTableImage>(snapshot);
+  if (!img) return img.error();
+  flows_ = std::move(img->flows);
+  stats_ = img->stats;
+  return Status::ok_status();
+}
+
+void Pipeline::clear() {
+  flows_.clear();
+  stats_ = PipelineStats{};
+}
+
+}  // namespace csaw::minisuricata

@@ -1,0 +1,67 @@
+// minisuricata detection pipeline: decode -> flow tracking -> detection, a
+// miniature of Suricata's graph-based packet handling (the paper compares it
+// to Click). Each stage costs CPU work; the flow table is the serializable
+// state the checkpointing architecture captures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "apps/minisuricata/packet.hpp"
+#include "support/result.hpp"
+
+namespace csaw::minisuricata {
+
+struct FlowState {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint32_t last_sig = 0;
+  bool flagged = false;  // matched a detection rule
+};
+
+template <typename Ar>
+void serdes_fields(Ar& ar, FlowState& f) {
+  ar.field(f.packets);
+  ar.field(f.bytes);
+  ar.field(f.last_sig);
+  ar.field(f.flagged);
+}
+
+struct PipelineStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t alerts = 0;
+};
+
+template <typename Ar>
+void serdes_fields(Ar& ar, PipelineStats& s) {
+  ar.field(s.packets);
+  ar.field(s.bytes);
+  ar.field(s.alerts);
+}
+
+class Pipeline {
+ public:
+  // `per_packet_cost_ns` models decode+detect CPU work per packet.
+  explicit Pipeline(std::uint64_t per_packet_cost_ns = 600);
+
+  void process(const Packet& packet);
+
+  [[nodiscard]] const PipelineStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+
+  // --- checkpointing (flow table) -----------------------------------------
+  [[nodiscard]] Bytes snapshot() const;
+  Status restore(const Bytes& snapshot);
+  void clear();
+
+ private:
+  void burn();
+
+  std::uint64_t per_packet_cost_ns_;
+  std::unordered_map<std::uint64_t, FlowState> flows_;
+  PipelineStats stats_;
+};
+
+}  // namespace csaw::minisuricata

@@ -1,0 +1,50 @@
+// Channel models.
+//
+// libcompart channels wrap OS IPC (TCP sockets, pipes). Our channels are
+// in-process queues with an explicit link model so that the paper's
+// deployment variations -- same-VM vs cross-VM placement, 1GbE links,
+// transient network outages -- become parameter choices instead of testbed
+// hardware. Every message experiences: optional drop, propagation latency
+// (+/- jitter), and serialization delay bytes/bandwidth.
+#pragma once
+
+#include <cstdint>
+
+#include "support/clock.hpp"
+
+namespace csaw {
+
+struct LinkModel {
+  Nanos latency = Nanos::zero();
+  double jitter_frac = 0.0;     // uniform in [1-j, 1+j] applied to latency
+  double drop_prob = 0.0;       // probability a message silently vanishes
+  std::uint64_t bytes_per_sec = 0;  // 0 = infinite bandwidth
+
+  // Handy presets used by the benches.
+  static LinkModel in_process() { return LinkModel{}; }
+  static LinkModel same_vm() {
+    // Loopback IPC: tens of microseconds.
+    return LinkModel{std::chrono::microseconds(30), 0.2, 0.0, 0};
+  }
+  static LinkModel cross_vm_1gbe() {
+    // The paper's research-testbed 1GbE link between VMs.
+    return LinkModel{std::chrono::microseconds(180), 0.25, 0.0,
+                     125'000'000ull};
+  }
+
+  [[nodiscard]] Nanos transfer_time(std::size_t bytes, double jitter_u) const {
+    auto total = latency;
+    if (jitter_frac > 0.0) {
+      const double scale = 1.0 + jitter_frac * (2.0 * jitter_u - 1.0);
+      total = Nanos(static_cast<Nanos::rep>(
+          static_cast<double>(total.count()) * scale));
+    }
+    if (bytes_per_sec > 0) {
+      total += Nanos(static_cast<Nanos::rep>(
+          1e9 * static_cast<double>(bytes) / static_cast<double>(bytes_per_sec)));
+    }
+    return total;
+  }
+};
+
+}  // namespace csaw

@@ -1,0 +1,38 @@
+// Messages routed between instances.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kv/update.hpp"
+#include "support/clock.hpp"
+#include "support/symbol.hpp"
+
+namespace csaw {
+
+// Fully-qualified junction address ("instance::junction").
+struct JunctionAddr {
+  Symbol instance;
+  Symbol junction;
+
+  [[nodiscard]] std::string qualified() const {
+    return instance.str() + "::" + junction.str();
+  }
+  friend auto operator<=>(const JunctionAddr&, const JunctionAddr&) = default;
+};
+
+struct Envelope {
+  enum class Kind { kUpdate, kAck };
+
+  Kind kind = Kind::kUpdate;
+  std::uint64_t seq = 0;       // correlates acks with updates
+  Symbol from_instance;
+  JunctionAddr to;             // for kUpdate; for kAck `to.instance` is the
+                               // original sender awaiting the ack
+  Update update;               // kUpdate payload
+  bool nack = false;           // kAck: true if delivery failed
+  std::string nack_reason;
+  SteadyTime deliver_at{};     // set by the router
+};
+
+}  // namespace csaw

@@ -1,0 +1,74 @@
+// The message router: a single delivery thread draining a time-ordered queue.
+//
+// Senders never block in the router (they block, if at all, awaiting acks in
+// the Runtime); the delivery thread never blocks on instance state (table
+// enqueue is lock-brief). This keeps the system deadlock-free by
+// construction: there is exactly one blocking edge (sender -> ack) and it
+// carries a deadline.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "compart/link.hpp"
+#include "compart/message.hpp"
+#include "support/rng.hpp"
+
+namespace csaw {
+
+class Router {
+ public:
+  using DeliverFn = std::function<void(Envelope&&)>;
+
+  Router(LinkModel default_link, std::uint64_t seed, DeliverFn deliver);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // Schedules `env` for delivery after the (from,to)-link's delay; may drop.
+  void send(Envelope env, std::size_t payload_bytes);
+
+  // Per-instance-pair link override; (a,b) is directional.
+  void set_link(Symbol from, Symbol to, LinkModel model);
+  // Blocks/unblocks both directions between a and b (network partition).
+  void set_partition(Symbol a, Symbol b, bool blocked);
+
+  struct Counters {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;      // by drop_prob
+    std::uint64_t partitioned = 0;  // by partitions
+  };
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  void run();
+  [[nodiscard]] LinkModel link_for(Symbol from, Symbol to) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  LinkModel default_link_;
+  std::map<std::pair<Symbol, Symbol>, LinkModel> overrides_;
+  std::map<std::pair<Symbol, Symbol>, bool> partitions_;
+  Rng rng_;
+  DeliverFn deliver_;
+  Counters counters_;
+
+  struct Later {
+    bool operator()(const Envelope& a, const Envelope& b) const {
+      return a.deliver_at > b.deliver_at;
+    }
+  };
+  std::priority_queue<Envelope, std::vector<Envelope>, Later> queue_;
+  bool stop_ = false;
+  std::thread thread_;  // started last, joined in destructor
+};
+
+}  // namespace csaw

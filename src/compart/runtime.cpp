@@ -1,0 +1,426 @@
+#include "compart/runtime.hpp"
+
+#include "compart/tcp.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace csaw {
+
+namespace {
+// Poll slice while awaiting acks so that crash/stop abort flags are noticed
+// even under an infinite deadline.
+constexpr auto kAckPollSlice = std::chrono::milliseconds(5);
+}  // namespace
+
+bool RuntimeView::instance_running(Symbol instance) const {
+  return rt_->is_running(instance);
+}
+
+Result<bool> RuntimeView::remote_prop(const JunctionAddr& at,
+                                      Symbol prop) const {
+  auto* inst = rt_->find(at.instance);
+  if (inst == nullptr) {
+    return make_error(Errc::kUndefinedName,
+                      "unknown instance '" + at.instance.str() + "'");
+  }
+  std::scoped_lock lock(inst->mu);
+  if (inst->state != Runtime::InstanceRt::State::kRunning) {
+    return make_error(Errc::kUnreachable,
+                      at.qualified() + " is not running (ternary @-read)");
+  }
+  auto* junction = rt_->find_junction(*inst, at.junction);
+  if (junction == nullptr) {
+    return make_error(Errc::kUndefinedName,
+                      "unknown junction " + at.qualified());
+  }
+  return junction->table->prop(prop);
+}
+
+Runtime::Runtime(RuntimeOptions options) : options_(options) {
+  if (options_.transport == Transport::kTcpLoopback) {
+    // Envelopes the router releases are pushed through a real loopback TCP
+    // connection; the TCP reader thread performs the delivery.
+    tcp_ = std::make_unique<TcpLoop>(
+        [this](Envelope&& env) { deliver_local(std::move(env)); });
+    router_ = std::make_unique<Router>(
+        options_.default_link, options_.seed,
+        [this](Envelope&& env) { tcp_->send(env); });
+  } else {
+    router_ = std::make_unique<Router>(
+        options_.default_link, options_.seed,
+        [this](Envelope&& env) { deliver_local(std::move(env)); });
+  }
+}
+
+Runtime::~Runtime() { shutdown(); }
+
+void Runtime::add_instance(InstanceDesc desc) {
+  CSAW_CHECK(!instances_.contains(desc.name))
+      << "duplicate instance '" << desc.name << "'";
+  auto inst = std::make_unique<InstanceRt>();
+  inst->desc = std::move(desc);
+  for (const auto& jdesc : inst->desc.junctions) {
+    auto jrt = std::make_unique<JunctionRt>();
+    jrt->desc = jdesc;
+    inst->junctions.push_back(std::move(jrt));
+  }
+  instances_.emplace(inst->desc.name, std::move(inst));
+}
+
+Status Runtime::start(Symbol instance) {
+  auto* inst = find(instance);
+  if (inst == nullptr) {
+    return make_error(Errc::kUndefinedName,
+                      "start of unknown instance '" + instance.str() + "'");
+  }
+  std::scoped_lock lock(inst->mu);
+  if (inst->state == InstanceRt::State::kRunning ||
+      inst->state == InstanceRt::State::kStopping) {
+    return make_error(Errc::kLifecycle,
+                      "instance '" + instance.str() + "' already started");
+  }
+  // Previous run's threads (stopped or crashed) may still need reaping.
+  for (auto& jrt : inst->junctions) {
+    if (jrt->thread.joinable()) jrt->thread.join();
+  }
+  // Fresh tables: restart re-initializes state from the declarations; any
+  // durable state must flow back through the architecture (e.g. the
+  // fail-over pattern's Activating protocol), exactly as in the paper.
+  for (auto& jrt : inst->junctions) {
+    jrt->table = std::make_unique<KvTable>(
+        jrt->desc.table_spec, instance.str() + "::" + jrt->desc.name.str());
+    jrt->pending_schedules = 0;
+  }
+  inst->abort.store(false);
+  inst->state = InstanceRt::State::kRunning;
+  // "When an instance is started, its junctions are started concurrently in
+  // an arbitrary order" (S6).
+  for (auto& jrt : inst->junctions) {
+    auto* j = jrt.get();
+    j->thread = std::thread([this, inst, j] { junction_loop(*inst, *j); });
+  }
+  return Status::ok_status();
+}
+
+Status Runtime::stop_locked_state(InstanceRt& inst,
+                                  InstanceRt::State final_state) {
+  {
+    std::scoped_lock lock(inst.mu);
+    if (inst.state != InstanceRt::State::kRunning) {
+      return make_error(Errc::kLifecycle, "instance '" + inst.desc.name.str() +
+                                              "' is not running");
+    }
+    for (const auto& jrt : inst.junctions) {
+      CSAW_CHECK(jrt->thread.get_id() != std::this_thread::get_id())
+          << "an instance cannot stop itself";
+    }
+    inst.state = InstanceRt::State::kStopping;
+    inst.abort.store(true);
+    for (auto& jrt : inst.junctions) {
+      if (jrt->table) jrt->table->interrupt();
+    }
+    inst.cv.notify_all();
+  }
+  ack_cv_.notify_all();  // unblock the instance's pending pushes
+  for (auto& jrt : inst.junctions) {
+    if (jrt->thread.joinable()) jrt->thread.join();
+  }
+  {
+    std::scoped_lock lock(inst.mu);
+    inst.state = final_state;
+  }
+  return Status::ok_status();
+}
+
+Status Runtime::stop(Symbol instance) {
+  auto* inst = find(instance);
+  if (inst == nullptr) {
+    return make_error(Errc::kUndefinedName,
+                      "stop of unknown instance '" + instance.str() + "'");
+  }
+  return stop_locked_state(*inst, InstanceRt::State::kDown);
+}
+
+void Runtime::crash(Symbol instance) {
+  auto* inst = find(instance);
+  if (inst == nullptr) return;
+  (void)stop_locked_state(*inst, InstanceRt::State::kCrashed);
+}
+
+bool Runtime::is_running(Symbol instance) const {
+  auto* inst = find(instance);
+  if (inst == nullptr) return false;
+  std::scoped_lock lock(inst->mu);
+  return inst->state == InstanceRt::State::kRunning;
+}
+
+void Runtime::shutdown() {
+  for (auto& [name, inst] : instances_) {
+    (void)stop_locked_state(*inst, InstanceRt::State::kDown);
+    for (auto& jrt : inst->junctions) {
+      if (jrt->thread.joinable()) jrt->thread.join();
+    }
+  }
+}
+
+Status Runtime::push(const JunctionAddr& to, Update update, Deadline deadline,
+                     Symbol from_instance, const std::atomic<bool>* abort) {
+  const std::size_t payload =
+      update.value.size() + update.key.str().size() + 16;
+  Envelope env;
+  env.kind = Envelope::Kind::kUpdate;
+  env.from_instance = from_instance;
+  env.to = to;
+  env.update = std::move(update);
+
+  if (!options_.acks_enabled) {
+    env.seq = 0;  // no ack requested
+    router_->send(std::move(env), payload);
+    return Status::ok_status();
+  }
+
+  const std::uint64_t seq = next_seq_.fetch_add(1);
+  env.seq = seq;
+  {
+    std::scoped_lock lock(ack_mu_);
+    pending_acks_.insert(seq);
+  }
+  router_->send(std::move(env), payload);
+
+  std::unique_lock lock(ack_mu_);
+  while (true) {
+    if (auto it = ack_results_.find(seq); it != ack_results_.end()) {
+      Status st = it->second;
+      ack_results_.erase(it);
+      pending_acks_.erase(seq);
+      return st;
+    }
+    if (abort != nullptr && abort->load(std::memory_order_relaxed)) {
+      pending_acks_.erase(seq);
+      return make_error(Errc::kUnreachable, "sender aborted while pushing");
+    }
+    if (deadline.expired()) {
+      pending_acks_.erase(seq);
+      return make_error(Errc::kTimeout,
+                        "no ack from " + to.qualified() + " before deadline");
+    }
+    const auto slice = Deadline::after(kAckPollSlice).min(deadline);
+    ack_cv_.wait_until(lock, slice.when());
+  }
+}
+
+Status Runtime::inject(const JunctionAddr& to, Update update) {
+  auto* inst = find(to.instance);
+  if (inst == nullptr) {
+    return make_error(Errc::kUndefinedName,
+                      "inject into unknown instance '" + to.instance.str() +
+                          "'");
+  }
+  std::scoped_lock lock(inst->mu);
+  if (inst->state != InstanceRt::State::kRunning) {
+    return make_error(Errc::kUnreachable,
+                      to.qualified() + " is not running");
+  }
+  auto* jrt = find_junction(*inst, to.junction);
+  if (jrt == nullptr) {
+    return make_error(Errc::kUndefinedName,
+                      "unknown junction " + to.qualified());
+  }
+  auto st = jrt->table->enqueue(update);
+  inst->cv.notify_all();
+  return st;
+}
+
+Status Runtime::schedule(Symbol instance, Symbol junction) {
+  auto* inst = find(instance);
+  if (inst == nullptr) {
+    return make_error(Errc::kUndefinedName,
+                      "schedule on unknown instance '" + instance.str() + "'");
+  }
+  std::scoped_lock lock(inst->mu);
+  if (inst->state != InstanceRt::State::kRunning) {
+    return make_error(Errc::kUnreachable,
+                      "instance '" + instance.str() + "' is not running");
+  }
+  auto* jrt = find_junction(*inst, junction);
+  if (jrt == nullptr) {
+    return make_error(Errc::kUndefinedName,
+                      "unknown junction '" + junction.str() + "'");
+  }
+  ++jrt->pending_schedules;
+  inst->cv.notify_all();
+  return Status::ok_status();
+}
+
+Status Runtime::call(Symbol instance, Symbol junction, Deadline deadline) {
+  auto* inst = find(instance);
+  if (inst == nullptr) {
+    return make_error(Errc::kUndefinedName,
+                      "call on unknown instance '" + instance.str() + "'");
+  }
+  std::uint64_t target;
+  {
+    std::scoped_lock lock(inst->mu);
+    if (inst->state != InstanceRt::State::kRunning) {
+      return make_error(Errc::kUnreachable,
+                        "instance '" + instance.str() + "' is not running");
+    }
+    auto* jrt = find_junction(*inst, junction);
+    if (jrt == nullptr) {
+      return make_error(Errc::kUndefinedName,
+                        "unknown junction '" + junction.str() + "'");
+    }
+    target = jrt->completed + 1;
+    ++jrt->pending_schedules;
+    inst->cv.notify_all();
+  }
+  std::unique_lock lock(inst->mu);
+  auto* jrt = find_junction(*inst, junction);
+  while (jrt->completed < target) {
+    if (inst->state != InstanceRt::State::kRunning) {
+      return make_error(Errc::kUnreachable,
+                        "instance '" + instance.str() + "' went down mid-call");
+    }
+    if (deadline.expired()) {
+      return make_error(Errc::kTimeout, "call to " + instance.str() +
+                                            "::" + junction.str() +
+                                            " timed out");
+    }
+    const auto slice = Deadline::after(kAckPollSlice).min(deadline);
+    inst->cv.wait_until(lock, slice.when());
+  }
+  return Status::ok_status();
+}
+
+KvTable& Runtime::table(Symbol instance, Symbol junction) {
+  auto* inst = find(instance);
+  CSAW_CHECK(inst != nullptr) << "unknown instance '" << instance << "'";
+  std::scoped_lock lock(inst->mu);
+  auto* jrt = find_junction(*inst, junction);
+  CSAW_CHECK(jrt != nullptr) << "unknown junction '" << junction << "'";
+  CSAW_CHECK(jrt->table != nullptr)
+      << instance << "::" << junction << " has no table (never started)";
+  return *jrt->table;
+}
+
+std::uint64_t Runtime::runs_completed(Symbol instance, Symbol junction) const {
+  auto* inst = find(instance);
+  CSAW_CHECK(inst != nullptr) << "unknown instance '" << instance << "'";
+  std::scoped_lock lock(inst->mu);
+  auto* jrt = find_junction(*inst, junction);
+  CSAW_CHECK(jrt != nullptr) << "unknown junction '" << junction << "'";
+  return jrt->completed;
+}
+
+Runtime::InstanceRt* Runtime::find(Symbol instance) const {
+  auto it = instances_.find(instance);
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+Runtime::JunctionRt* Runtime::find_junction(InstanceRt& inst,
+                                            Symbol junction) const {
+  for (auto& jrt : inst.junctions) {
+    if (jrt->desc.name == junction) return jrt.get();
+  }
+  return nullptr;
+}
+
+void Runtime::junction_loop(InstanceRt& inst, JunctionRt& jrt) {
+  const RuntimeView rtv(this);
+  while (true) {
+    {
+      std::scoped_lock lock(inst.mu);
+      if (inst.state != InstanceRt::State::kRunning) return;
+    }
+    if (inst.abort.load(std::memory_order_relaxed)) return;
+    jrt.table->apply_pending();
+    bool want = false;
+    {
+      std::scoped_lock lock(inst.mu);
+      want = jrt.desc.auto_schedule || jrt.pending_schedules > 0;
+    }
+    if (want && jrt.desc.guard && !jrt.desc.guard(*jrt.table, rtv)) {
+      want = false;
+    }
+    if (!want) {
+      std::unique_lock lock(inst.mu);
+      if (inst.state != InstanceRt::State::kRunning) return;
+      inst.cv.wait_for(lock, options_.idle_poll);
+      continue;
+    }
+    if (!jrt.desc.auto_schedule) {
+      std::scoped_lock lock(inst.mu);
+      if (jrt.pending_schedules == 0) continue;
+      --jrt.pending_schedules;
+    }
+    jrt.table->begin_run();
+    JunctionEnv env(*this, inst.desc.name, jrt.desc.name, *jrt.table,
+                    inst.abort);
+    jrt.desc.body(env);
+    jrt.table->end_run();
+    {
+      std::scoped_lock lock(inst.mu);
+      ++jrt.completed;
+    }
+    inst.cv.notify_all();
+  }
+}
+
+void Runtime::deliver_local(Envelope&& env) { deliver(std::move(env)); }
+
+void Runtime::deliver(Envelope&& env) {
+  if (env.kind == Envelope::Kind::kAck) {
+    std::scoped_lock lock(ack_mu_);
+    if (pending_acks_.contains(env.seq)) {
+      ack_results_.emplace(
+          env.seq, env.nack ? Status(make_error(Errc::kUnreachable,
+                                                env.nack_reason))
+                            : Status::ok_status());
+      ack_cv_.notify_all();
+    }
+    return;
+  }
+
+  auto* inst = find(env.to.instance);
+  if (inst == nullptr) {
+    send_ack(env, true, "unknown instance " + env.to.instance.str());
+    return;
+  }
+  std::scoped_lock lock(inst->mu);
+  if (inst->state != InstanceRt::State::kRunning) {
+    if (options_.nack_when_down) {
+      send_ack(env, true, env.to.qualified() + " is down");
+    }
+    // else: vanish; the sender discovers the failure by timeout.
+    return;
+  }
+  auto* jrt = find_junction(*inst, env.to.junction);
+  if (jrt == nullptr) {
+    send_ack(env, true, "unknown junction " + env.to.qualified());
+    return;
+  }
+  auto st = jrt->table->enqueue(env.update);
+  inst->cv.notify_all();
+  if (st.ok()) {
+    send_ack(env, false, {});
+  } else {
+    send_ack(env, true, st.error().to_string());
+  }
+}
+
+void Runtime::send_ack(const Envelope& original, bool nack,
+                       std::string reason) {
+  if (original.seq == 0) return;  // fire-and-forget
+  Envelope ack;
+  ack.kind = Envelope::Kind::kAck;
+  ack.seq = original.seq;
+  ack.from_instance = original.to.instance;
+  ack.to = JunctionAddr{original.from_instance, Symbol()};
+  ack.nack = nack;
+  ack.nack_reason = std::move(reason);
+  router_->send(std::move(ack), 16);
+}
+
+}  // namespace csaw

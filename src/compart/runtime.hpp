@@ -1,0 +1,238 @@
+// The distributed runtime (libcompart equivalent, paper S3 "Running software
+// composed using C-Saw").
+//
+// An *instance* is an independently-failing unit of execution hosting one or
+// more *junctions*; each junction owns a KV table and a body (in this repo,
+// the body is produced by the DSL interpreter in src/core, but the runtime
+// only sees an opaque callable -- the layering mirrors the paper, where
+// libcompart knows nothing about the DSL).
+//
+// When an instance starts, "its junctions are started concurrently" (paper
+// S6): each junction runs on its own thread --
+//   loop:
+//     apply pending KV updates; if the guard holds and the junction is
+//     scheduled (auto-scheduled, or requested by host logic via
+//     schedule()/call()), run the body;
+//     else block until a message arrives or a schedule request is made.
+// Per-junction threads matter: a junction that blocks for long stretches
+// (the fail-over pattern's reactivate watchdog sits in `wait` for its whole
+// inactivity window) must not starve its siblings.
+//
+// Remote updates are ack'd: the pushing junction blocks until the target
+// applied the update (or a deadline/crash intervenes), which is what lets
+// the DSL's `otherwise[t]` observe remote failure. Fire-and-forget mode
+// exists for the ablation bench.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compart/link.hpp"
+#include "compart/message.hpp"
+#include "compart/router.hpp"
+#include "kv/table.hpp"
+#include "support/result.hpp"
+
+namespace csaw {
+
+class Runtime;
+class JunctionEnv;
+
+// Read-only view of runtime-wide state available to guards and `verify`:
+// liveness of instances (the paper's S(i) predicate) and -- for `verify`'s
+// ternary-logic f@P checks only -- remote proposition reads.
+class RuntimeView {
+ public:
+  [[nodiscard]] bool instance_running(Symbol instance) const;
+  // Error (kUnreachable) if the instance is not running, per the paper:
+  // "verify will return an error if it needs to evaluate f@P and f is not
+  // running".
+  Result<bool> remote_prop(const JunctionAddr& at, Symbol prop) const;
+
+ private:
+  friend class Runtime;
+  explicit RuntimeView(const Runtime* rt) : rt_(rt) {}
+  const Runtime* rt_;
+};
+
+// Guards read their own table through brief per-key locked reads (not a held
+// table lock) so that guards containing remote reads (@-formulas, S(i))
+// cannot deadlock two instances that guard on each other.
+using GuardFn = std::function<bool(const KvTable&, const RuntimeView&)>;
+using BodyFn = std::function<void(JunctionEnv&)>;
+
+struct JunctionDesc {
+  Symbol name;
+  KvTable::Spec table_spec;
+  GuardFn guard;  // null = always schedulable
+  BodyFn body;
+  // Auto junctions run whenever their guard holds (back-ends driven purely
+  // by KV state); manual junctions run when host logic schedule()s them
+  // (front-ends driven by client requests).
+  bool auto_schedule = false;
+};
+
+struct InstanceDesc {
+  Symbol name;
+  Symbol type;
+  std::vector<JunctionDesc> junctions;
+};
+
+enum class Transport {
+  kInProcess,    // router delivers via direct calls (default)
+  kTcpLoopback,  // every envelope crosses a real 127.0.0.1 TCP connection
+};
+
+struct RuntimeOptions {
+  LinkModel default_link = LinkModel::in_process();
+  Transport transport = Transport::kInProcess;
+  // If true, a push to a stopped/crashed instance nacks at delivery time;
+  // if false it vanishes and the sender discovers failure by timeout (the
+  // distributed-faithful mode used by the fail-over benches).
+  bool nack_when_down = true;
+  // Fire-and-forget pushes (ablation; breaks otherwise-failure detection).
+  bool acks_enabled = true;
+  // Fallback poll period for auto junctions whose guards depend on state
+  // the runtime cannot observe changing (e.g. wall-clock).
+  Nanos idle_poll = std::chrono::milliseconds(2);
+  std::uint64_t seed = 1;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Registration (not thread-safe against concurrent operation; do it
+  // before starting instances).
+  void add_instance(InstanceDesc desc);
+
+  // --- lifecycle ----------------------------------------------------------
+  // Starting an already-started instance or stopping a stopped one is a
+  // kLifecycle error (paper S6 "Start and stop"). Restarting a stopped or
+  // crashed instance re-initializes its KV tables from the declarations.
+  Status start(Symbol instance);
+  Status stop(Symbol instance);
+  // Fault injection: the instance aborts mid-body and drops all state.
+  void crash(Symbol instance);
+  [[nodiscard]] bool is_running(Symbol instance) const;
+  // Stops every running instance (also done by the destructor).
+  void shutdown();
+
+  // --- messaging -----------------------------------------------------------
+  // Pushes `update` to the junction at `to`, blocking until ack or
+  // deadline. `abort` (optional) lets a crashing sender bail out early.
+  Status push(const JunctionAddr& to, Update update, Deadline deadline,
+              Symbol from_instance, const std::atomic<bool>* abort = nullptr);
+
+  // Synchronously injects an update into a junction's table, bypassing the
+  // router: models an external client mutating junction state (the paper's
+  // "Req is asserted externally to process client request", Fig 13).
+  Status inject(const JunctionAddr& to, Update update);
+
+  // --- host-side scheduling -------------------------------------------------
+  // Requests one run of a (manual) junction.
+  Status schedule(Symbol instance, Symbol junction);
+  // schedule() + block until that run completes; kTimeout on deadline.
+  Status call(Symbol instance, Symbol junction, Deadline deadline = {});
+
+  // --- accessors --------------------------------------------------------------
+  // Table access for host logic and tests. The pointer stays valid while
+  // the instance is running; a restart swaps in a fresh table.
+  KvTable& table(Symbol instance, Symbol junction);
+  [[nodiscard]] RuntimeView view() const { return RuntimeView(this); }
+  Router& router() { return *router_; }
+  [[nodiscard]] const RuntimeOptions& options() const { return options_; }
+
+  // Total completed junction runs (progress metric for benches).
+  [[nodiscard]] std::uint64_t runs_completed(Symbol instance,
+                                             Symbol junction) const;
+
+ private:
+  friend class RuntimeView;
+  friend class JunctionEnv;
+
+  struct JunctionRt {
+    JunctionDesc desc;
+    std::unique_ptr<KvTable> table;
+    std::uint64_t pending_schedules = 0;  // guarded by InstanceRt::mu
+    std::uint64_t completed = 0;
+    std::thread thread;
+  };
+
+  struct InstanceRt {
+    enum class State { kDown, kRunning, kStopping, kCrashed };
+
+    InstanceDesc desc;
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    State state = State::kDown;
+    std::atomic<bool> abort{false};
+    std::vector<std::unique_ptr<JunctionRt>> junctions;
+  };
+
+  InstanceRt* find(Symbol instance) const;
+  void deliver_local(Envelope&& env);
+  JunctionRt* find_junction(InstanceRt& inst, Symbol junction) const;
+  void junction_loop(InstanceRt& inst, JunctionRt& jrt);
+  void deliver(Envelope&& env);
+  void send_ack(const Envelope& original, bool nack, std::string reason);
+  Status stop_locked_state(InstanceRt& inst, InstanceRt::State final_state);
+
+  RuntimeOptions options_;
+  std::map<Symbol, std::unique_ptr<InstanceRt>> instances_;
+  std::unique_ptr<class TcpLoop> tcp_;  // only in kTcpLoopback mode
+  std::unique_ptr<Router> router_;
+
+  // Ack correlation. pending_acks_ holds seqs someone is still waiting for;
+  // acks for abandoned seqs (timed-out pushes) are dropped on delivery.
+  std::mutex ack_mu_;
+  std::condition_variable ack_cv_;
+  std::map<std::uint64_t, Status> ack_results_;
+  std::set<std::uint64_t> pending_acks_;
+  std::atomic<std::uint64_t> next_seq_{1};
+};
+
+// Handle passed to junction bodies; the interpreter talks to the world only
+// through this.
+class JunctionEnv {
+ public:
+  JunctionEnv(Runtime& rt, Symbol instance, Symbol junction, KvTable& table,
+              const std::atomic<bool>& abort)
+      : rt_(rt), self_{instance, junction}, table_(table), abort_(abort) {}
+
+  [[nodiscard]] KvTable& table() { return table_; }
+  [[nodiscard]] const JunctionAddr& self() const { return self_; }
+  [[nodiscard]] std::string qualified() const { return self_.qualified(); }
+  [[nodiscard]] bool aborted() const {
+    return abort_.load(std::memory_order_relaxed);
+  }
+
+  Status push(const JunctionAddr& to, Update update, Deadline deadline) {
+    return rt_.push(to, std::move(update), deadline, self_.instance, &abort_);
+  }
+  Status start_instance(Symbol name) { return rt_.start(name); }
+  Status stop_instance(Symbol name) { return rt_.stop(name); }
+  [[nodiscard]] RuntimeView runtime_view() const { return rt_.view(); }
+  [[nodiscard]] Runtime& runtime() { return rt_; }
+
+ private:
+  Runtime& rt_;
+  JunctionAddr self_;
+  KvTable& table_;
+  const std::atomic<bool>& abort_;
+};
+
+}  // namespace csaw

@@ -1,0 +1,107 @@
+#include "compart/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <mutex>
+
+#include "compart/wire.hpp"
+#include "support/check.hpp"
+
+namespace csaw {
+namespace {
+
+// Reads exactly n bytes; false on EOF/error.
+bool read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (n > 0) {
+    const auto got = ::read(fd, p, n);
+    if (got <= 0) return false;
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (n > 0) {
+    const auto put = ::write(fd, p, n);
+    if (put <= 0) return false;
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpLoop::TcpLoop(DeliverFn deliver) : deliver_(std::move(deliver)) {
+  // Loopback listener on an ephemeral port; connect to ourselves; accept.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  CSAW_CHECK(listener >= 0) << "socket() failed";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  CSAW_CHECK(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) == 0)
+      << "bind() failed";
+  CSAW_CHECK(::listen(listener, 1) == 0) << "listen() failed";
+  socklen_t len = sizeof(addr);
+  CSAW_CHECK(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                           &len) == 0)
+      << "getsockname() failed";
+
+  write_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  CSAW_CHECK(write_fd_ >= 0) << "socket() failed";
+  CSAW_CHECK(::connect(write_fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) == 0)
+      << "connect() to loopback failed";
+  read_fd_ = ::accept(listener, nullptr, nullptr);
+  CSAW_CHECK(read_fd_ >= 0) << "accept() failed";
+  ::close(listener);
+
+  // Latency matters more than throughput for control messages.
+  int one = 1;
+  ::setsockopt(write_fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+TcpLoop::~TcpLoop() {
+  // Closing the write side EOFs the reader, which then exits.
+  if (write_fd_ >= 0) ::shutdown(write_fd_, SHUT_RDWR);
+  if (reader_.joinable()) reader_.join();
+  if (write_fd_ >= 0) ::close(write_fd_);
+  if (read_fd_ >= 0) ::close(read_fd_);
+}
+
+void TcpLoop::send(const Envelope& env) {
+  const Bytes payload = encode_envelope(env);
+  std::uint32_t frame_len = htonl(static_cast<std::uint32_t>(payload.size()));
+  std::scoped_lock lock(write_mu_);
+  if (!write_exact(write_fd_, &frame_len, sizeof(frame_len))) return;
+  (void)write_exact(write_fd_, payload.data(), payload.size());
+}
+
+void TcpLoop::reader_loop() {
+  while (true) {
+    std::uint32_t frame_len = 0;
+    if (!read_exact(read_fd_, &frame_len, sizeof(frame_len))) return;
+    Bytes payload(ntohl(frame_len));
+    if (!payload.empty() &&
+        !read_exact(read_fd_, payload.data(), payload.size())) {
+      return;
+    }
+    auto env = decode_envelope(payload);
+    if (!env.ok()) continue;  // corrupt frame: drop, like a bad packet
+    deliver_(std::move(*env));
+  }
+}
+
+}  // namespace csaw

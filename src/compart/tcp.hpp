@@ -1,0 +1,48 @@
+// Loopback-TCP leg for the router (libcompart's "channels wrap OS-provided
+// IPC, including TCP sockets").
+//
+// When RuntimeOptions::transport == kTcpLoopback, every envelope travels
+// through a real 127.0.0.1 TCP connection: the router's delivery thread
+// writes length-prefixed encoded envelopes; a reader thread decodes them and
+// performs the delivery. Messages thus cross the kernel's network stack
+// (syscalls, socket buffers, loopback scheduling) instead of a mutex-guarded
+// queue -- the realistic-IPC configuration, and an ablation axis for the
+// microbenchmarks.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "compart/message.hpp"
+#include "support/result.hpp"
+
+namespace csaw {
+
+class TcpLoop {
+ public:
+  using DeliverFn = std::function<void(Envelope&&)>;
+
+  // Establishes the loopback connection; CHECK-fails if sockets are
+  // unavailable (the environment cannot provide the transport at all).
+  explicit TcpLoop(DeliverFn deliver);
+  ~TcpLoop();
+
+  TcpLoop(const TcpLoop&) = delete;
+  TcpLoop& operator=(const TcpLoop&) = delete;
+
+  // Writes one envelope to the socket (thread-safe); delivery happens on
+  // the reader thread.
+  void send(const Envelope& env);
+
+ private:
+  void reader_loop();
+
+  DeliverFn deliver_;
+  int write_fd_ = -1;
+  int read_fd_ = -1;
+  std::mutex write_mu_;
+  std::thread reader_;
+};
+
+}  // namespace csaw

@@ -1,0 +1,80 @@
+#include "compart/wire.hpp"
+
+namespace csaw {
+namespace {
+
+void put_symbol(ByteWriter& w, Symbol s) {
+  w.str(s.valid() ? s.str() : std::string());
+}
+
+Result<Symbol> get_symbol(ByteReader& r) {
+  auto s = r.str();
+  if (!s) return s.error();
+  if (s->empty()) return Symbol();
+  return Symbol(*s);
+}
+
+}  // namespace
+
+Bytes encode_envelope(const Envelope& env) {
+  ByteWriter w;
+  w.u8(env.kind == Envelope::Kind::kUpdate ? 0 : 1);
+  w.uvarint(env.seq);
+  put_symbol(w, env.from_instance);
+  put_symbol(w, env.to.instance);
+  put_symbol(w, env.to.junction);
+  w.u8(static_cast<std::uint8_t>(env.update.kind));
+  put_symbol(w, env.update.key);
+  put_symbol(w, env.update.value.type);
+  w.blob(env.update.value.bytes);
+  w.str(env.update.from);
+  w.u8(env.nack ? 1 : 0);
+  w.str(env.nack_reason);
+  return w.take();
+}
+
+Result<Envelope> decode_envelope(const Bytes& data) {
+  ByteReader r(data);
+  Envelope env;
+  auto kind = r.u8();
+  if (!kind) return kind.error();
+  env.kind = *kind == 0 ? Envelope::Kind::kUpdate : Envelope::Kind::kAck;
+  auto seq = r.uvarint();
+  if (!seq) return seq.error();
+  env.seq = *seq;
+  auto from = get_symbol(r);
+  if (!from) return from.error();
+  env.from_instance = *from;
+  auto to_inst = get_symbol(r);
+  if (!to_inst) return to_inst.error();
+  env.to.instance = *to_inst;
+  auto to_junction = get_symbol(r);
+  if (!to_junction) return to_junction.error();
+  env.to.junction = *to_junction;
+  auto ukind = r.u8();
+  if (!ukind) return ukind.error();
+  if (*ukind > 2) return make_error(Errc::kDecode, "bad update kind");
+  env.update.kind = static_cast<Update::Kind>(*ukind);
+  auto key = get_symbol(r);
+  if (!key) return key.error();
+  env.update.key = *key;
+  auto vtype = get_symbol(r);
+  if (!vtype) return vtype.error();
+  env.update.value.type = *vtype;
+  auto vbytes = r.blob();
+  if (!vbytes) return vbytes.error();
+  env.update.value.bytes = std::move(*vbytes);
+  auto ufrom = r.str();
+  if (!ufrom) return ufrom.error();
+  env.update.from = std::move(*ufrom);
+  auto nack = r.u8();
+  if (!nack) return nack.error();
+  env.nack = *nack != 0;
+  auto reason = r.str();
+  if (!reason) return reason.error();
+  env.nack_reason = std::move(*reason);
+  if (!r.exhausted()) return make_error(Errc::kDecode, "trailing bytes");
+  return env;
+}
+
+}  // namespace csaw

@@ -1,0 +1,17 @@
+// Wire encoding of envelopes for OS-level transports.
+//
+// libcompart's "channels wrap OS-provided IPC, including TCP sockets and
+// pipes"; the in-process router optionally forwards every envelope through a
+// real loopback TCP connection (compart/tcp.hpp), which requires a byte
+// encoding of Envelope. Symbols travel as their spellings.
+#pragma once
+
+#include "compart/message.hpp"
+#include "serdes/archive.hpp"
+
+namespace csaw {
+
+Bytes encode_envelope(const Envelope& env);
+Result<Envelope> decode_envelope(const Bytes& data);
+
+}  // namespace csaw

@@ -1,0 +1,499 @@
+// Constructors and renderers for the AST types (value, names, formula, expr,
+// program declarations).
+#include <sstream>
+
+#include "core/program.hpp"
+#include "support/check.hpp"
+
+namespace csaw {
+
+// --- CtValue -----------------------------------------------------------------
+
+std::string CtValue::mangle() const {
+  if (is_none()) return "<none>";
+  if (is_symbol()) return as_symbol().str();
+  if (is_junction()) return as_junction().qualified();
+  if (is_int()) return std::to_string(as_int());
+  if (is_string()) return as_string();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& e : as_list()) {
+    if (!first) out += ",";
+    first = false;
+    out += e.mangle();
+  }
+  return out + "}";
+}
+
+// --- NameTerm ----------------------------------------------------------------
+
+std::string NameTerm::to_string() const {
+  switch (kind) {
+    case Kind::kConcrete:
+      return addr.junction.valid() ? addr.qualified() : addr.instance.str();
+    case Kind::kVar:
+      return var.str();
+    case Kind::kMeJunction:
+      return "me::junction";
+    case Kind::kMeInstance:
+      return "me::instance";
+    case Kind::kMeInstanceJunction:
+      return "me::instance::" + junction.str();
+    case Kind::kIdx:
+      return var.str();
+  }
+  return "<?>";
+}
+
+// --- Formula -----------------------------------------------------------------
+
+namespace {
+FormulaPtr mk_formula(Formula f) { return std::make_shared<Formula>(std::move(f)); }
+}  // namespace
+
+FormulaPtr f_false() {
+  Formula f;
+  f.kind = Formula::Kind::kFalse;
+  return mk_formula(std::move(f));
+}
+
+FormulaPtr f_true() { return f_not(f_false()); }
+
+FormulaPtr f_prop(Symbol name) {
+  Formula f;
+  f.kind = Formula::Kind::kProp;
+  f.prop = name;
+  return mk_formula(std::move(f));
+}
+
+FormulaPtr f_prop(std::string_view name) { return f_prop(Symbol(name)); }
+
+FormulaPtr f_prop_idx(std::string_view name, NameTerm index) {
+  Formula f;
+  f.kind = Formula::Kind::kProp;
+  f.prop = Symbol(name);
+  f.index = std::move(index);
+  return mk_formula(std::move(f));
+}
+
+FormulaPtr f_prop_at(NameTerm at, std::string_view name,
+                     std::optional<NameTerm> index) {
+  Formula f;
+  f.kind = Formula::Kind::kProp;
+  f.prop = Symbol(name);
+  f.index = std::move(index);
+  f.at = std::move(at);
+  return mk_formula(std::move(f));
+}
+
+FormulaPtr f_not(FormulaPtr inner) {
+  CSAW_CHECK(inner != nullptr) << "f_not(null)";
+  Formula f;
+  f.kind = Formula::Kind::kNot;
+  f.lhs = std::move(inner);
+  return mk_formula(std::move(f));
+}
+
+static FormulaPtr binop(Formula::Kind kind, FormulaPtr a, FormulaPtr b) {
+  CSAW_CHECK(a != nullptr && b != nullptr) << "binary formula with null child";
+  Formula f;
+  f.kind = kind;
+  f.lhs = std::move(a);
+  f.rhs = std::move(b);
+  return mk_formula(std::move(f));
+}
+
+FormulaPtr f_and(FormulaPtr a, FormulaPtr b) {
+  return binop(Formula::Kind::kAnd, std::move(a), std::move(b));
+}
+FormulaPtr f_or(FormulaPtr a, FormulaPtr b) {
+  return binop(Formula::Kind::kOr, std::move(a), std::move(b));
+}
+FormulaPtr f_implies(FormulaPtr a, FormulaPtr b) {
+  return binop(Formula::Kind::kImplies, std::move(a), std::move(b));
+}
+
+FormulaPtr f_running(NameTerm instance) {
+  Formula f;
+  f.kind = Formula::Kind::kRunning;
+  f.instance = std::move(instance);
+  return mk_formula(std::move(f));
+}
+
+FormulaPtr f_for(Formula::Kind fold_op, std::string_view var,
+                 std::string_view set, FormulaPtr body) {
+  CSAW_CHECK(fold_op == Formula::Kind::kAnd || fold_op == Formula::Kind::kOr)
+      << "formula for-fold must use and/or";
+  Formula f;
+  f.kind = Formula::Kind::kFor;
+  f.var = Symbol(var);
+  f.set = Symbol(set);
+  f.fold_op = fold_op;
+  f.body = std::move(body);
+  return mk_formula(std::move(f));
+}
+
+bool formula_is_local(const Formula& f) {
+  switch (f.kind) {
+    case Formula::Kind::kFalse:
+      return true;
+    case Formula::Kind::kProp:
+      return !f.at.has_value();
+    case Formula::Kind::kNot:
+      return formula_is_local(*f.lhs);
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+      return formula_is_local(*f.lhs) && formula_is_local(*f.rhs);
+    case Formula::Kind::kRunning:
+      return false;
+    case Formula::Kind::kFor:
+      return formula_is_local(*f.body);
+  }
+  return false;
+}
+
+void formula_props(const Formula& f, std::vector<Symbol>& out) {
+  switch (f.kind) {
+    case Formula::Kind::kFalse:
+      return;
+    case Formula::Kind::kProp:
+      if (!f.at.has_value()) out.push_back(f.prop);
+      return;
+    case Formula::Kind::kNot:
+      formula_props(*f.lhs, out);
+      return;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+      formula_props(*f.lhs, out);
+      formula_props(*f.rhs, out);
+      return;
+    case Formula::Kind::kRunning:
+      return;
+    case Formula::Kind::kFor:
+      formula_props(*f.body, out);
+      return;
+  }
+}
+
+std::string Formula::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kFalse:
+      os << "false";
+      break;
+    case Kind::kProp:
+      if (at) os << at->to_string() << "@";
+      os << prop;
+      if (index) os << "[" << index->to_string() << "]";
+      break;
+    case Kind::kNot:
+      os << "!" << lhs->to_string();
+      break;
+    case Kind::kAnd:
+      os << "(" << lhs->to_string() << " & " << rhs->to_string() << ")";
+      break;
+    case Kind::kOr:
+      os << "(" << lhs->to_string() << " | " << rhs->to_string() << ")";
+      break;
+    case Kind::kImplies:
+      os << "(" << lhs->to_string() << " -> " << rhs->to_string() << ")";
+      break;
+    case Kind::kRunning:
+      os << "S(" << instance.to_string() << ")";
+      break;
+    case Kind::kFor:
+      os << "for " << var << " in " << set
+         << (fold_op == Kind::kAnd ? " and " : " or ") << body->to_string();
+      break;
+  }
+  return os.str();
+}
+
+// --- Expr --------------------------------------------------------------------
+
+namespace {
+ExprPtr mk(Expr e) { return std::make_shared<Expr>(std::move(e)); }
+
+Expr base(Expr::Kind k) {
+  Expr e;
+  e.kind = k;
+  return e;
+}
+}  // namespace
+
+ExprPtr e_skip() { return mk(base(Expr::Kind::kSkip)); }
+ExprPtr e_return() { return mk(base(Expr::Kind::kReturn)); }
+ExprPtr e_retry() { return mk(base(Expr::Kind::kRetry)); }
+ExprPtr e_break() { return mk(base(Expr::Kind::kBreakStmt)); }
+
+ExprPtr e_host(std::string_view binding, std::vector<Symbol> writes) {
+  auto e = base(Expr::Kind::kHost);
+  e.host_binding = Symbol(binding);
+  e.host_writes = std::move(writes);
+  return mk(std::move(e));
+}
+
+ExprPtr e_write(std::string_view data, NameTerm to) {
+  auto e = base(Expr::Kind::kWrite);
+  e.data = Symbol(data);
+  e.target = std::move(to);
+  return mk(std::move(e));
+}
+
+ExprPtr e_wait(std::vector<Symbol> admit_data, FormulaPtr f) {
+  CSAW_CHECK(f != nullptr) << "wait with null formula";
+  auto e = base(Expr::Kind::kWait);
+  e.keys = std::move(admit_data);
+  e.formula = std::move(f);
+  return mk(std::move(e));
+}
+
+ExprPtr e_save(std::string_view data, std::string_view provider) {
+  auto e = base(Expr::Kind::kSave);
+  e.data = Symbol(data);
+  e.io_binding = Symbol(provider);
+  return mk(std::move(e));
+}
+
+ExprPtr e_restore(std::string_view data, std::string_view consumer) {
+  auto e = base(Expr::Kind::kRestore);
+  e.data = Symbol(data);
+  e.io_binding = Symbol(consumer);
+  return mk(std::move(e));
+}
+
+ExprPtr e_assert(PropRef p, std::optional<NameTerm> target) {
+  auto e = base(Expr::Kind::kAssert);
+  e.prop = std::move(p);
+  e.target = std::move(target);
+  return mk(std::move(e));
+}
+
+ExprPtr e_retract(PropRef p, std::optional<NameTerm> target) {
+  auto e = base(Expr::Kind::kRetract);
+  e.prop = std::move(p);
+  e.target = std::move(target);
+  return mk(std::move(e));
+}
+
+ExprPtr e_start(NameTerm instance) {
+  auto e = base(Expr::Kind::kStart);
+  e.instance = std::move(instance);
+  return mk(std::move(e));
+}
+
+ExprPtr e_stop(NameTerm instance) {
+  auto e = base(Expr::Kind::kStop);
+  e.instance = std::move(instance);
+  return mk(std::move(e));
+}
+
+ExprPtr e_verify(FormulaPtr g) {
+  CSAW_CHECK(g != nullptr) << "verify with null formula";
+  auto e = base(Expr::Kind::kVerify);
+  e.formula = std::move(g);
+  return mk(std::move(e));
+}
+
+ExprPtr e_keep(std::vector<Symbol> keys) {
+  auto e = base(Expr::Kind::kKeep);
+  e.keys = std::move(keys);
+  return mk(std::move(e));
+}
+
+ExprPtr e_seq(std::vector<ExprPtr> children) {
+  CSAW_CHECK(!children.empty()) << "empty seq";
+  if (children.size() == 1) return children[0];
+  auto e = base(Expr::Kind::kSeq);
+  e.children = std::move(children);
+  return mk(std::move(e));
+}
+
+ExprPtr e_par(std::vector<ExprPtr> children) {
+  CSAW_CHECK(!children.empty()) << "empty par";
+  if (children.size() == 1) return children[0];
+  auto e = base(Expr::Kind::kPar);
+  e.children = std::move(children);
+  return mk(std::move(e));
+}
+
+ExprPtr e_parn(std::string_view label, std::vector<ExprPtr> children) {
+  auto e = base(Expr::Kind::kParN);
+  e.par_label = Symbol(label);
+  e.children = std::move(children);
+  return mk(std::move(e));
+}
+
+ExprPtr e_otherwise(ExprPtr a, TimeRef t, ExprPtr b) {
+  CSAW_CHECK(a != nullptr && b != nullptr) << "otherwise with null child";
+  auto e = base(Expr::Kind::kOtherwise);
+  e.children = {std::move(a), std::move(b)};
+  e.timeout = t;
+  return mk(std::move(e));
+}
+
+ExprPtr e_fate(ExprPtr body) {
+  CSAW_CHECK(body != nullptr) << "fate block with null body";
+  auto e = base(Expr::Kind::kFate);
+  e.children = {std::move(body)};
+  return mk(std::move(e));
+}
+
+ExprPtr e_txn(ExprPtr body) {
+  CSAW_CHECK(body != nullptr) << "txn block with null body";
+  auto e = base(Expr::Kind::kTxn);
+  e.children = {std::move(body)};
+  return mk(std::move(e));
+}
+
+ExprPtr e_case(std::vector<CaseArm> arms, ExprPtr otherwise_body) {
+  CSAW_CHECK(otherwise_body != nullptr) << "case requires an otherwise branch";
+  auto e = base(Expr::Kind::kCase);
+  e.arms = std::move(arms);
+  e.case_otherwise = std::move(otherwise_body);
+  return mk(std::move(e));
+}
+
+ExprPtr e_call(std::string_view fn, std::vector<CallArg> args) {
+  auto e = base(Expr::Kind::kCall);
+  e.callee = Symbol(fn);
+  e.call_args = std::move(args);
+  return mk(std::move(e));
+}
+
+ExprPtr e_for(std::string_view var, SetRef set, Expr::Kind op, ExprPtr body,
+              TimeRef timeout) {
+  CSAW_CHECK(op == Expr::Kind::kSeq || op == Expr::Kind::kPar ||
+             op == Expr::Kind::kParN || op == Expr::Kind::kOtherwise)
+      << "unsupported for-fold operator";
+  CSAW_CHECK(body != nullptr) << "for with null body";
+  auto e = base(Expr::Kind::kFor);
+  e.for_var = Symbol(var);
+  e.for_set = std::move(set);
+  e.for_op = op;
+  e.for_timeout = timeout;
+  e.for_body = std::move(body);
+  return mk(std::move(e));
+}
+
+ExprPtr e_if(FormulaPtr f, ExprPtr then_e, ExprPtr else_e) {
+  // Sugar: case { F => E; break  otherwise => E' } -- matching the paper's
+  // use of `if` in S7's examples.
+  std::vector<CaseArm> arms;
+  arms.push_back(
+      case_arm(std::move(f), std::move(then_e), Terminator::kBreak));
+  return e_case(std::move(arms), else_e != nullptr ? std::move(else_e) : e_skip());
+}
+
+CaseArm case_arm_for(std::string_view var, SetRef set, FormulaPtr guard,
+                     ExprPtr body, Terminator term) {
+  CaseArm arm;
+  arm.guard = std::move(guard);
+  arm.body = std::move(body);
+  arm.term = term;
+  arm.is_for = true;
+  arm.for_var = Symbol(var);
+  arm.for_set = std::move(set);
+  return arm;
+}
+
+PropRef pr(std::string_view base) { return PropRef{Symbol(base), std::nullopt}; }
+
+PropRef pr_idx(std::string_view base, NameTerm index) {
+  return PropRef{Symbol(base), std::move(index)};
+}
+
+std::string expr_kind_name(Expr::Kind k) {
+  switch (k) {
+    case Expr::Kind::kSkip: return "skip";
+    case Expr::Kind::kReturn: return "return";
+    case Expr::Kind::kRetry: return "retry";
+    case Expr::Kind::kBreakStmt: return "break";
+    case Expr::Kind::kHost: return "host";
+    case Expr::Kind::kWrite: return "write";
+    case Expr::Kind::kWait: return "wait";
+    case Expr::Kind::kSave: return "save";
+    case Expr::Kind::kRestore: return "restore";
+    case Expr::Kind::kAssert: return "assert";
+    case Expr::Kind::kRetract: return "retract";
+    case Expr::Kind::kStart: return "start";
+    case Expr::Kind::kStop: return "stop";
+    case Expr::Kind::kVerify: return "verify";
+    case Expr::Kind::kKeep: return "keep";
+    case Expr::Kind::kSeq: return "seq";
+    case Expr::Kind::kPar: return "par";
+    case Expr::Kind::kParN: return "parn";
+    case Expr::Kind::kOtherwise: return "otherwise";
+    case Expr::Kind::kFate: return "fate";
+    case Expr::Kind::kTxn: return "txn";
+    case Expr::Kind::kCase: return "case";
+    case Expr::Kind::kCall: return "call";
+    case Expr::Kind::kFor: return "for";
+    case Expr::Kind::kLoopScope: return "loop-scope";
+    case Expr::Kind::kIfMember: return "if-member";
+  }
+  return "?";
+}
+
+// --- Decl --------------------------------------------------------------------
+
+Decl Decl::init_prop(std::string_view name, bool initial) {
+  Decl d;
+  d.kind = Kind::kInitProp;
+  d.name = Symbol(name);
+  d.initial = initial;
+  return d;
+}
+
+Decl Decl::init_data(std::string_view name) {
+  Decl d;
+  d.kind = Kind::kInitData;
+  d.name = Symbol(name);
+  return d;
+}
+
+Decl Decl::guard_decl(FormulaPtr f) {
+  CSAW_CHECK(f != nullptr) << "guard with null formula";
+  Decl d;
+  d.kind = Kind::kGuard;
+  d.guard = std::move(f);
+  return d;
+}
+
+Decl Decl::set_decl(std::string_view name) {
+  Decl d;
+  d.kind = Kind::kSet;
+  d.name = Symbol(name);
+  return d;
+}
+
+Decl Decl::subset_decl(std::string_view name, SetRef of) {
+  Decl d;
+  d.kind = Kind::kSubset;
+  d.name = Symbol(name);
+  d.of_set = std::move(of);
+  return d;
+}
+
+Decl Decl::idx_decl(std::string_view name, SetRef of) {
+  Decl d;
+  d.kind = Kind::kIdx;
+  d.name = Symbol(name);
+  d.of_set = std::move(of);
+  return d;
+}
+
+Decl Decl::for_init_prop(std::string_view var, SetRef set,
+                         std::string_view prop, bool initial) {
+  Decl d;
+  d.kind = Kind::kForInitProp;
+  d.var = Symbol(var);
+  d.of_set = std::move(set);
+  d.name = Symbol(prop);
+  d.initial = initial;
+  return d;
+}
+
+}  // namespace csaw

@@ -1,0 +1,197 @@
+// The embedded-DSL authoring surface.
+//
+// A C-Saw architecture is authored as a ProgramSpec through these fluent
+// builders -- the C++ analogue of the paper's concrete syntax. Example
+// (the paper's Fig 3, H1;H2 split into f and g):
+//
+//   ProgramBuilder p("fig3");
+//   p.type("tau_f").junction("junction")
+//       .param("g", ParamDecl::Kind::kJunction)
+//       .init_prop("Work", false)
+//       .init_data("n")
+//       .body(e_seq({
+//           e_host("H1"),
+//           e_save("n", "save_state"),
+//           e_write("n", NameTerm::variable(Symbol("g"))),
+//           e_assert(pr("Work"), NameTerm::variable(Symbol("g"))),
+//           e_wait({}, f_not(f_prop("Work"))),
+//       }));
+//   ...
+//   p.instance("f", "tau_f", {{"junction", {CtValue(addr("g","junction"))}}});
+//   p.main_body(e_par({e_start(inst("f")), e_start(inst("g"))}));
+//   ProgramSpec spec = p.build();
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+
+namespace csaw {
+
+// Shorthand constructors for common terms.
+inline JunctionAddr addr(std::string_view instance, std::string_view junction) {
+  return JunctionAddr{Symbol(instance), Symbol(junction)};
+}
+inline NameTerm jref(std::string_view instance, std::string_view junction) {
+  return NameTerm::concrete(addr(instance, junction));
+}
+inline NameTerm inst(std::string_view instance) {
+  return NameTerm::concrete(JunctionAddr{Symbol(instance), Symbol()});
+}
+inline NameTerm var(std::string_view name) {
+  return NameTerm::variable(Symbol(name));
+}
+inline NameTerm idxvar(std::string_view name) {
+  return NameTerm::idx(Symbol(name));
+}
+
+class JunctionBuilder {
+ public:
+  explicit JunctionBuilder(JunctionDef* def) : def_(def) {}
+
+  JunctionBuilder& param(std::string_view name,
+                         ParamDecl::Kind kind = ParamDecl::Kind::kValue) {
+    def_->params.push_back(ParamDecl{Symbol(name), kind});
+    return *this;
+  }
+  JunctionBuilder& init_prop(std::string_view name, bool initial = false) {
+    def_->decls.push_back(Decl::init_prop(name, initial));
+    return *this;
+  }
+  JunctionBuilder& init_data(std::string_view name) {
+    def_->decls.push_back(Decl::init_data(name));
+    return *this;
+  }
+  JunctionBuilder& guard(FormulaPtr f) {
+    def_->decls.push_back(Decl::guard_decl(std::move(f)));
+    return *this;
+  }
+  JunctionBuilder& set_decl(std::string_view name) {
+    def_->decls.push_back(Decl::set_decl(name));
+    return *this;
+  }
+  JunctionBuilder& subset(std::string_view name, SetRef of) {
+    def_->decls.push_back(Decl::subset_decl(name, std::move(of)));
+    return *this;
+  }
+  JunctionBuilder& idx(std::string_view name, SetRef of) {
+    def_->decls.push_back(Decl::idx_decl(name, std::move(of)));
+    return *this;
+  }
+  JunctionBuilder& for_init_prop(std::string_view var_name, SetRef set,
+                                 std::string_view prop, bool initial = false) {
+    def_->decls.push_back(Decl::for_init_prop(var_name, std::move(set), prop,
+                                              initial));
+    return *this;
+  }
+  JunctionBuilder& auto_schedule(bool on = true) {
+    def_->auto_schedule = on;
+    return *this;
+  }
+  JunctionBuilder& retry_budget(int budget) {
+    def_->retry_budget = budget;
+    return *this;
+  }
+  JunctionBuilder& body(ExprPtr e) {
+    def_->body = std::move(e);
+    return *this;
+  }
+
+ private:
+  JunctionDef* def_;
+};
+
+class TypeBuilder {
+ public:
+  explicit TypeBuilder(InstanceTypeDef* def) : def_(def) {}
+
+  JunctionBuilder junction(std::string_view name) {
+    def_->junctions.push_back(JunctionDef{});
+    def_->junctions.back().name = Symbol(name);
+    return JunctionBuilder(&def_->junctions.back());
+  }
+
+ private:
+  InstanceTypeDef* def_;
+};
+
+class FunctionBuilder {
+ public:
+  explicit FunctionBuilder(FunctionDef* def) : def_(def) {}
+
+  FunctionBuilder& param(std::string_view name,
+                         ParamDecl::Kind kind = ParamDecl::Kind::kValue) {
+    def_->params.push_back(ParamDecl{Symbol(name), kind});
+    return *this;
+  }
+  FunctionBuilder& init_prop(std::string_view name, bool initial = false) {
+    def_->decls.push_back(Decl::init_prop(name, initial));
+    return *this;
+  }
+  FunctionBuilder& for_init_prop(std::string_view var_name, SetRef set,
+                                 std::string_view prop, bool initial = false) {
+    def_->decls.push_back(Decl::for_init_prop(var_name, std::move(set), prop,
+                                              initial));
+    return *this;
+  }
+  FunctionBuilder& body(ExprPtr e) {
+    def_->body = std::move(e);
+    return *this;
+  }
+
+ private:
+  FunctionDef* def_;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name) { spec_.name = std::move(name); }
+
+  // Returns a builder for the named type, creating it on first use; calling
+  // type("tau_f") again extends the same type with more junctions. The
+  // returned builder is invalidated by the next type()/instance() call --
+  // use it immediately.
+  TypeBuilder type(std::string_view name) {
+    const Symbol s(name);
+    for (auto& t : spec_.types) {
+      if (t.name == s) return TypeBuilder(&t);
+    }
+    spec_.types.push_back(InstanceTypeDef{s, {}});
+    return TypeBuilder(&spec_.types.back());
+  }
+  FunctionBuilder function(std::string_view name) {
+    spec_.functions.push_back(FunctionDef{});
+    spec_.functions.back().name = Symbol(name);
+    return FunctionBuilder(&spec_.functions.back());
+  }
+  ProgramBuilder& instance(
+      std::string_view name, std::string_view type,
+      std::map<std::string, std::vector<CtValue>> junction_args = {}) {
+    InstanceDecl decl;
+    decl.name = Symbol(name);
+    decl.type = Symbol(type);
+    for (auto& [junction, args] : junction_args) {
+      decl.junction_args.emplace(Symbol(junction), std::move(args));
+    }
+    spec_.instances.push_back(std::move(decl));
+    return *this;
+  }
+  ProgramBuilder& main_body(ExprPtr e) {
+    spec_.main_body = std::move(e);
+    return *this;
+  }
+  ProgramBuilder& config(std::string_view name, CtValue value) {
+    spec_.config[Symbol(name)] = std::move(value);
+    return *this;
+  }
+
+  ProgramSpec build() { return spec_; }
+  [[nodiscard]] const ProgramSpec& spec() const { return spec_; }
+
+ private:
+  ProgramSpec spec_;
+};
+
+}  // namespace csaw

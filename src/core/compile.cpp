@@ -1,0 +1,831 @@
+#include "core/compile.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace csaw {
+
+std::string mangle_addr(const JunctionAddr& a) {
+  return a.junction.valid() ? a.qualified() : a.instance.str();
+}
+
+std::string mangle_prop(Symbol base, const CtValue& index) {
+  if (index.is_junction()) {
+    return base.str() + "[" + mangle_addr(index.as_junction()) + "]";
+  }
+  return base.str() + "[" + index.mangle() + "]";
+}
+
+const CompiledInstance* CompiledProgram::find_instance(Symbol name) const {
+  for (const auto& inst : instances) {
+    if (inst.name == name) return &inst;
+  }
+  return nullptr;
+}
+
+const CompiledJunction* CompiledProgram::find_junction(
+    const JunctionAddr& addr) const {
+  const auto* inst = find_instance(addr.instance);
+  if (inst == nullptr) return nullptr;
+  for (const auto& j : inst->junctions) {
+    if (j.addr.junction == addr.junction) return &j;
+  }
+  return nullptr;
+}
+
+namespace {
+
+using Env = std::map<Symbol, CtValue>;
+
+struct Compiler {
+  const ProgramSpec& spec;
+  std::unordered_map<Symbol, const FunctionDef*> functions;
+  std::unordered_map<Symbol, const InstanceDecl*> instance_decls;
+  std::unordered_map<Symbol, const InstanceTypeDef*> type_defs;
+
+  // Per-junction accumulation while compiling one junction.
+  struct Jctx {
+    JunctionAddr self;                 // invalid junction for `main`
+    CompiledJunction* out = nullptr;   // null for `main`
+    // prop name -> initial value (accumulated from decls and inlined
+    // function decls)
+    std::map<Symbol, bool> props;
+    std::set<Symbol> data;
+    std::map<Symbol, CtList> sets;     // named sets in scope
+    int loop_depth = 0;
+    int txn_depth = 0;
+    int call_depth = 0;
+    bool in_main = false;
+  };
+
+  explicit Compiler(const ProgramSpec& s) : spec(s) {
+    for (const auto& f : s.functions) functions.emplace(f.name, &f);
+    for (const auto& i : s.instances) instance_decls.emplace(i.name, &i);
+    for (const auto& t : s.types) type_defs.emplace(t.name, &t);
+  }
+
+  static Error err(const std::string& where, const std::string& what) {
+    return make_error(Errc::kInvalidProgram, where + ": " + what);
+  }
+
+  // --- value & name resolution ------------------------------------------
+
+  Result<CtValue> lookup(const Env& env, Symbol name,
+                         const std::string& where) const {
+    if (auto it = env.find(name); it != env.end()) return it->second;
+    if (auto it = spec.config.find(name); it != spec.config.end()) {
+      return it->second;
+    }
+    return err(where, "unbound name '" + name.str() + "'");
+  }
+
+  static Result<JunctionAddr> as_addr(const CtValue& v,
+                                      const std::string& where) {
+    if (v.is_junction()) return v.as_junction();
+    if (v.is_symbol()) return JunctionAddr{v.as_symbol(), Symbol()};
+    return err(where, "value '" + v.mangle() + "' is not a junction/instance");
+  }
+
+  Result<NameTerm> resolve_term(const NameTerm& t, const Env& env,
+                                const Jctx& j,
+                                const std::string& where) const {
+    switch (t.kind) {
+      case NameTerm::Kind::kConcrete:
+        return t;
+      case NameTerm::Kind::kVar: {
+        auto v = lookup(env, t.var, where);
+        if (!v) return v.error();
+        auto a = as_addr(*v, where);
+        if (!a) return a.error();
+        return NameTerm::concrete(*a);
+      }
+      case NameTerm::Kind::kMeJunction:
+        if (j.in_main) return err(where, "me::junction used in main");
+        return NameTerm::concrete(j.self);
+      case NameTerm::Kind::kMeInstance:
+        if (j.in_main) return err(where, "me::instance used in main");
+        return NameTerm::concrete(JunctionAddr{j.self.instance, Symbol()});
+      case NameTerm::Kind::kMeInstanceJunction:
+        if (j.in_main) return err(where, "me::instance::<j> used in main");
+        return NameTerm::concrete(JunctionAddr{j.self.instance, t.junction});
+      case NameTerm::Kind::kIdx: {
+        if (j.out == nullptr) return err(where, "idx variable in main");
+        auto it = j.out->idx_vars.find(t.var);
+        if (it == j.out->idx_vars.end()) {
+          return err(where, "undeclared idx variable '" + t.var.str() + "'");
+        }
+        NameTerm resolved = t;
+        resolved.elements = it->second;
+        return resolved;
+      }
+    }
+    return err(where, "unresolvable name term");
+  }
+
+  Result<CtList> resolve_set(const SetRef& s, const Env& env, const Jctx& j,
+                             const std::string& where) const {
+    CtList raw;
+    if (s.is_literal) {
+      raw = s.literal;
+    } else {
+      if (auto it = j.sets.find(s.name); it != j.sets.end()) {
+        raw = it->second;
+      } else {
+        auto v = lookup(env, s.name, where);
+        if (!v) return v.error();
+        if (!v->is_list()) {
+          return err(where, "'" + s.name.str() + "' is not a set");
+        }
+        raw = v->as_list();
+      }
+    }
+    // Resolve element-level variables; reject nested sets (paper: sets can
+    // contain any data "but not other sets").
+    CtList out;
+    out.reserve(raw.size());
+    for (const auto& e : raw) {
+      if (e.is_list()) return err(where, "sets may not contain sets");
+      out.push_back(e);
+    }
+    return out;
+  }
+
+  static Result<std::vector<JunctionAddr>> set_as_addrs(
+      const CtList& elems, const std::string& where) {
+    std::vector<JunctionAddr> out;
+    out.reserve(elems.size());
+    for (const auto& e : elems) {
+      auto a = as_addr(e, where);
+      if (!a) return a.error();
+      out.push_back(*a);
+    }
+    return out;
+  }
+
+  // Resolves a prop index term to either a compile-time CtValue (mangled
+  // into the name) or a runtime idx NameTerm.
+  struct ResolvedProp {
+    Symbol name;                      // mangled when compile-time
+    std::optional<NameTerm> runtime;  // kIdx term when runtime-indexed
+  };
+
+  Result<ResolvedProp> resolve_prop(const PropRef& p, const Env& env,
+                                    const Jctx& j,
+                                    const std::string& where) const {
+    // Proposition *names* can be parameters (Fig 16's Watch(tgt, prop)
+    // asserts the prop passed in; "it must be resolvable at compile-time").
+    Symbol base = p.base;
+    if (auto it = env.find(base); it != env.end() && it->second.is_symbol()) {
+      base = it->second.as_symbol();
+    }
+    if (!p.index.has_value()) return ResolvedProp{base, std::nullopt};
+    const NameTerm& ix = *p.index;
+    if (ix.kind == NameTerm::Kind::kIdx) {
+      auto t = resolve_term(ix, env, j, where);
+      if (!t) return t.error();
+      return ResolvedProp{base, *t};
+    }
+    auto t = resolve_term(ix, env, j, where);
+    if (!t) return t.error();
+    return ResolvedProp{Symbol(mangle_prop(base, CtValue(t->addr))),
+                        std::nullopt};
+  }
+
+  // --- formula compilation ------------------------------------------------
+
+  Result<FormulaPtr> compile_formula(const FormulaPtr& f, const Env& env,
+                                     const Jctx& j,
+                                     const std::string& where) const {
+    CSAW_CHECK(f != nullptr) << where << ": null formula";
+    switch (f->kind) {
+      case Formula::Kind::kFalse:
+        return f;
+      case Formula::Kind::kProp: {
+        auto rp = resolve_prop(PropRef{f->prop, f->index}, env, j, where);
+        if (!rp) return rp.error();
+        Formula out;
+        out.kind = Formula::Kind::kProp;
+        out.prop = rp->name;
+        out.index = rp->runtime;
+        if (f->at.has_value()) {
+          auto at = resolve_term(*f->at, env, j, where);
+          if (!at) return at.error();
+          out.at = *at;
+        }
+        return FormulaPtr(std::make_shared<Formula>(std::move(out)));
+      }
+      case Formula::Kind::kNot: {
+        auto l = compile_formula(f->lhs, env, j, where);
+        if (!l) return l.error();
+        return f_not(*l);
+      }
+      case Formula::Kind::kAnd:
+      case Formula::Kind::kOr:
+      case Formula::Kind::kImplies: {
+        auto l = compile_formula(f->lhs, env, j, where);
+        if (!l) return l.error();
+        auto r = compile_formula(f->rhs, env, j, where);
+        if (!r) return r.error();
+        if (f->kind == Formula::Kind::kAnd) return f_and(*l, *r);
+        if (f->kind == Formula::Kind::kOr) return f_or(*l, *r);
+        return f_implies(*l, *r);
+      }
+      case Formula::Kind::kRunning: {
+        auto t = resolve_term(f->instance, env, j, where);
+        if (!t) return t.error();
+        return f_running(*t);
+      }
+      case Formula::Kind::kFor: {
+        // for v in S (and|or) F[v] -- the S6 identities:
+        //   empty & or  -> false;  empty & and -> !false
+        auto elems = resolve_set(SetRef::named(f->set), env, j, where);
+        if (!elems) return elems.error();
+        if (elems->empty()) {
+          return f->fold_op == Formula::Kind::kOr ? f_false()
+                                                  : f_not(f_false());
+        }
+        FormulaPtr acc;
+        // Right-associative fold.
+        for (auto it = elems->rbegin(); it != elems->rend(); ++it) {
+          Env inner = env;
+          inner[f->var] = *it;
+          auto body = compile_formula(f->body, inner, j, where);
+          if (!body) return body.error();
+          if (!acc) {
+            acc = *body;
+          } else {
+            acc = f->fold_op == Formula::Kind::kOr ? f_or(*body, acc)
+                                                   : f_and(*body, acc);
+          }
+        }
+        return acc;
+      }
+    }
+    return err(where, "unknown formula kind");
+  }
+
+  // --- timeout resolution ---------------------------------------------------
+
+  Result<TimeRef> resolve_time(const TimeRef& t, const Env& env,
+                               const std::string& where) const {
+    if (t.kind != TimeRef::Kind::kVar) return t;
+    auto v = lookup(env, t.var, where);
+    if (!v) return v.error();
+    if (!v->is_int()) {
+      return err(where, "timeout '" + t.var.str() + "' is not an integer");
+    }
+    return TimeRef::ms(v->as_int());
+  }
+
+  // --- declaration processing -----------------------------------------------
+
+  Status process_decls(const std::vector<Decl>& decls, const Env& env,
+                       Jctx& j, const std::string& where,
+                       FormulaPtr* guard_out) {
+    for (const auto& d : decls) {
+      switch (d.kind) {
+        case Decl::Kind::kInitProp: {
+          // The declared name may itself be a parameter (Fig 16's Watch
+          // declares "init prop !prop" for its prop parameter).
+          Symbol name = d.name;
+          if (auto b = env.find(name); b != env.end() && b->second.is_symbol()) {
+            name = b->second.as_symbol();
+          }
+          auto it = j.props.find(name);
+          if (it != j.props.end() && it->second != d.initial) {
+            return err(where, "conflicting re-declaration of prop '" +
+                                  name.str() + "'");
+          }
+          j.props[name] = d.initial;
+          break;
+        }
+        case Decl::Kind::kInitData:
+          j.data.insert(d.name);
+          break;
+        case Decl::Kind::kGuard: {
+          if (guard_out == nullptr) {
+            return err(where, "guard declared outside a junction");
+          }
+          auto g = compile_formula(d.guard, env, j, where + " guard");
+          if (!g) return g.error();
+          *guard_out = *guard_out == nullptr ? *g : f_and(*guard_out, *g);
+          break;
+        }
+        case Decl::Kind::kSet: {
+          auto v = lookup(env, d.name, where + " set " + d.name.str());
+          if (!v) return v.error();
+          if (!v->is_list()) {
+            return err(where, "set '" + d.name.str() + "' bound to non-set");
+          }
+          j.sets[d.name] = v->as_list();
+          break;
+        }
+        case Decl::Kind::kSubset: {
+          if (j.out == nullptr) return err(where, "subset in main");
+          auto elems = resolve_set(d.of_set, env, j, where);
+          if (!elems) return elems.error();
+          auto addrs = set_as_addrs(*elems, where);
+          if (!addrs) return addrs.error();
+          j.out->subset_vars[d.name] = *addrs;
+          j.data.insert(d.name);  // bitmask lives in the table
+          break;
+        }
+        case Decl::Kind::kIdx: {
+          if (j.out == nullptr) return err(where, "idx in main");
+          auto elems = resolve_set(d.of_set, env, j, where);
+          if (!elems) return elems.error();
+          auto addrs = set_as_addrs(*elems, where);
+          if (!addrs) return addrs.error();
+          j.out->idx_vars[d.name] = *addrs;
+          j.data.insert(d.name);  // the chosen index lives in the table
+          break;
+        }
+        case Decl::Kind::kForInitProp: {
+          auto elems = resolve_set(d.of_set, env, j, where);
+          if (!elems) return elems.error();
+          for (const auto& e : *elems) {
+            const Symbol name(mangle_prop(d.name, e));
+            auto it = j.props.find(name);
+            if (it != j.props.end() && it->second != d.initial) {
+              return err(where, "conflicting re-declaration of prop '" +
+                                    name.str() + "'");
+            }
+            j.props[name] = d.initial;
+          }
+          break;
+        }
+      }
+    }
+    return Status::ok_status();
+  }
+
+  // --- expression compilation -----------------------------------------------
+
+  Result<ExprPtr> compile_expr(const ExprPtr& e, const Env& env, Jctx& j,
+                               const std::string& where) {
+    CSAW_CHECK(e != nullptr) << where << ": null expr";
+    switch (e->kind) {
+      case Expr::Kind::kSkip:
+      case Expr::Kind::kReturn:
+        return e;
+      case Expr::Kind::kRetry:
+        if (j.in_main) return err(where, "retry in main");
+        return e;
+      case Expr::Kind::kBreakStmt:
+        if (j.loop_depth == 0) {
+          return err(where, "break outside an unrolled for");
+        }
+        return e;
+      case Expr::Kind::kHost: {
+        if (j.txn_depth > 0) {
+          return err(where,
+                     "host block inside <|...|> (rollback is undefined "
+                     "for host code)");
+        }
+        for (const auto& w : e->host_writes) {
+          const bool known = j.props.contains(w) || j.data.contains(w) ||
+                             (j.out != nullptr &&
+                              (j.out->idx_vars.contains(w) ||
+                               j.out->subset_vars.contains(w)));
+          if (!known) {
+            return err(where, "host write-set names undeclared '" + w.str() +
+                                  "'");
+          }
+        }
+        return e;
+      }
+      case Expr::Kind::kWrite: {
+        if (!j.data.contains(e->data)) {
+          return err(where, "write of undeclared data '" + e->data.str() + "'");
+        }
+        if (j.out != nullptr && (j.out->idx_vars.contains(e->data) ||
+                                 j.out->subset_vars.contains(e->data))) {
+          return err(where, "indices and sets must not be transmitted ('" +
+                                e->data.str() + "')");
+        }
+        auto t = resolve_term(*e->target, env, j, where);
+        if (!t) return t.error();
+        if (t->kind == NameTerm::Kind::kConcrete && !j.in_main &&
+            t->addr == j.self) {
+          return err(where, "write to self is redundant and forbidden");
+        }
+        Expr out = *e;
+        out.target = *t;
+        return ExprPtr(std::make_shared<Expr>(std::move(out)));
+      }
+      case Expr::Kind::kWait: {
+        auto f = compile_formula(e->formula, env, j, where + " wait");
+        if (!f) return f.error();
+        if (!formula_is_local(**f)) {
+          return err(where, "wait formulas must be local (no @ or S())");
+        }
+        for (const auto& k : e->keys) {
+          if (!j.data.contains(k)) {
+            return err(where,
+                       "wait admits undeclared data '" + k.str() + "'");
+          }
+        }
+        Expr out = *e;
+        out.formula = *f;
+        return ExprPtr(std::make_shared<Expr>(std::move(out)));
+      }
+      case Expr::Kind::kSave:
+      case Expr::Kind::kRestore: {
+        if (!j.data.contains(e->data)) {
+          return err(where, std::string(e->kind == Expr::Kind::kSave
+                                            ? "save"
+                                            : "restore") +
+                                " of undeclared data '" + e->data.str() + "'");
+        }
+        return e;
+      }
+      case Expr::Kind::kAssert:
+      case Expr::Kind::kRetract: {
+        auto rp = resolve_prop(e->prop, env, j, where);
+        if (!rp) return rp.error();
+        Expr out = *e;
+        out.prop.base = rp->name;
+        out.prop.index = rp->runtime;
+        if (e->target.has_value()) {
+          auto t = resolve_term(*e->target, env, j, where);
+          if (!t) return t.error();
+          if (t->kind == NameTerm::Kind::kConcrete && !j.in_main &&
+              t->addr == j.self) {
+            return err(where,
+                       "assert/retract to self: drop the [target] instead");
+          }
+          out.target = *t;
+        }
+        // Local side of the update must name a declared prop (when not
+        // runtime-indexed; runtime-indexed names are checked at eval).
+        if (!rp->runtime.has_value() && !j.in_main &&
+            !j.props.contains(rp->name)) {
+          return err(where,
+                     "assert/retract of undeclared prop '" + rp->name.str() +
+                         "'");
+        }
+        return ExprPtr(std::make_shared<Expr>(std::move(out)));
+      }
+      case Expr::Kind::kStart:
+      case Expr::Kind::kStop: {
+        auto t = resolve_term(e->instance, env, j, where);
+        if (!t) return t.error();
+        if (t->kind == NameTerm::Kind::kConcrete) {
+          if (t->addr.junction.valid()) {
+            return err(where, "start/stop takes an instance, got junction " +
+                                  t->addr.qualified());
+          }
+          if (!instance_decls.contains(t->addr.instance)) {
+            return err(where, "start/stop of undeclared instance '" +
+                                  t->addr.instance.str() + "'");
+          }
+        }
+        Expr out = *e;
+        out.instance = *t;
+        return ExprPtr(std::make_shared<Expr>(std::move(out)));
+      }
+      case Expr::Kind::kVerify: {
+        auto f = compile_formula(e->formula, env, j, where + " verify");
+        if (!f) return f.error();
+        Expr out = *e;
+        out.formula = *f;
+        return ExprPtr(std::make_shared<Expr>(std::move(out)));
+      }
+      case Expr::Kind::kKeep: {
+        for (const auto& k : e->keys) {
+          if (!j.props.contains(k) && !j.data.contains(k)) {
+            return err(where, "keep of undeclared name '" + k.str() + "'");
+          }
+        }
+        return e;
+      }
+      case Expr::Kind::kSeq:
+      case Expr::Kind::kPar:
+      case Expr::Kind::kParN: {
+        Expr out = *e;
+        out.children.clear();
+        for (const auto& c : e->children) {
+          auto cc = compile_expr(c, env, j, where);
+          if (!cc) return cc.error();
+          out.children.push_back(*cc);
+        }
+        return ExprPtr(std::make_shared<Expr>(std::move(out)));
+      }
+      case Expr::Kind::kOtherwise: {
+        auto a = compile_expr(e->children[0], env, j, where);
+        if (!a) return a.error();
+        auto b = compile_expr(e->children[1], env, j, where);
+        if (!b) return b.error();
+        auto t = resolve_time(e->timeout, env, where);
+        if (!t) return t.error();
+        Expr out = *e;
+        out.children = {*a, *b};
+        out.timeout = *t;
+        return ExprPtr(std::make_shared<Expr>(std::move(out)));
+      }
+      case Expr::Kind::kFate: {
+        auto body = compile_expr(e->children[0], env, j, where);
+        if (!body) return body.error();
+        Expr out = *e;
+        out.children = {*body};
+        return ExprPtr(std::make_shared<Expr>(std::move(out)));
+      }
+      case Expr::Kind::kTxn: {
+        ++j.txn_depth;
+        auto body = compile_expr(e->children[0], env, j, where);
+        --j.txn_depth;
+        if (!body) return body.error();
+        Expr out = *e;
+        out.children = {*body};
+        return ExprPtr(std::make_shared<Expr>(std::move(out)));
+      }
+      case Expr::Kind::kCase:
+        return compile_case(e, env, j, where);
+      case Expr::Kind::kCall:
+        return compile_call(e, env, j, where);
+      case Expr::Kind::kFor:
+        return compile_for(e, env, j, where);
+      case Expr::Kind::kLoopScope:
+      case Expr::Kind::kIfMember:
+        return err(where, "internal node in source program");
+    }
+    return err(where, "unknown expression kind");
+  }
+
+  Result<ExprPtr> compile_case(const ExprPtr& e, const Env& env, Jctx& j,
+                               const std::string& where) {
+    if (e->arms.empty()) {
+      return err(where, "case must have at least one non-otherwise arm");
+    }
+    Expr out = *e;
+    out.arms.clear();
+    for (const auto& arm : e->arms) {
+      if (arm.is_for) {
+        // `for` arms expand into one arm per set element.
+        auto elems = resolve_set(arm.for_set, env, j, where + " case-for");
+        if (!elems) return elems.error();
+        for (const auto& elem : *elems) {
+          Env inner = env;
+          inner[arm.for_var] = elem;
+          auto g = compile_formula(arm.guard, inner, j, where + " case-arm");
+          if (!g) return g.error();
+          ExprPtr body = arm.body != nullptr ? arm.body : e_skip();
+          auto b = compile_expr(body, inner, j, where + " case-arm");
+          if (!b) return b.error();
+          out.arms.push_back(case_arm(*g, *b, arm.term));
+        }
+        continue;
+      }
+      auto g = compile_formula(arm.guard, env, j, where + " case-arm");
+      if (!g) return g.error();
+      ExprPtr body = arm.body != nullptr ? arm.body : e_skip();
+      auto b = compile_expr(body, env, j, where + " case-arm");
+      if (!b) return b.error();
+      out.arms.push_back(case_arm(*g, *b, arm.term));
+    }
+    if (out.arms.empty()) {
+      return err(where, "case expanded to zero arms");
+    }
+    if (out.arms.back().term == Terminator::kNext) {
+      return err(where, "'next' may not be used immediately before otherwise");
+    }
+    auto ob = compile_expr(e->case_otherwise, env, j, where + " case-otherwise");
+    if (!ob) return ob.error();
+    out.case_otherwise = *ob;
+    return ExprPtr(std::make_shared<Expr>(std::move(out)));
+  }
+
+  Result<ExprPtr> compile_call(const ExprPtr& e, const Env& env, Jctx& j,
+                               const std::string& where) {
+    auto it = functions.find(e->callee);
+    if (it == functions.end()) {
+      return err(where, "call of undefined function '" + e->callee.str() + "'");
+    }
+    const FunctionDef& fn = *it->second;
+    if (fn.params.size() != e->call_args.size()) {
+      std::ostringstream os;
+      os << "function '" << fn.name << "' expects " << fn.params.size()
+         << " args, got " << e->call_args.size();
+      return err(where, os.str());
+    }
+    if (j.call_depth > 16) {
+      return err(where, "function inlining too deep (recursive templates?)");
+    }
+    // Template expansion: bind argument values in an extended environment.
+    Env inner = env;
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      const CallArg& arg = e->call_args[i];
+      if (std::holds_alternative<CtValue>(arg)) {
+        inner[fn.params[i].name] = std::get<CtValue>(arg);
+      } else {
+        auto t = resolve_term(std::get<NameTerm>(arg), env, j, where);
+        if (!t) return t.error();
+        if (t->kind == NameTerm::Kind::kIdx) {
+          return err(where, "idx variables cannot be passed to functions");
+        }
+        inner[fn.params[i].name] = CtValue(t->addr);
+      }
+    }
+    // The function's declarations merge into the containing junction.
+    CSAW_TRY(process_decls(fn.decls, inner, j,
+                           where + " (decls of " + fn.name.str() + ")",
+                           nullptr));
+    ++j.call_depth;
+    auto body = compile_expr(fn.body, inner, j,
+                             where + " -> " + fn.name.str() + "()");
+    --j.call_depth;
+    if (!body) return body.error();
+    // Inlined bodies keep `return`-leaves-the-junction semantics because the
+    // interpreter propagates kReturn through everything except fate scopes,
+    // and inlining introduces no fate scope.
+    return *body;
+  }
+
+  Result<ExprPtr> compile_for(const ExprPtr& e, const Env& env, Jctx& j,
+                              const std::string& where) {
+    // Iterating a runtime subset unrolls over the *parent* set with a
+    // runtime membership check per element.
+    if (!e->for_set.is_literal && j.out != nullptr &&
+        j.out->subset_vars.contains(e->for_set.name)) {
+      return compile_for_subset(e, env, j, where);
+    }
+    auto elems = resolve_set(e->for_set, env, j, where + " for");
+    if (!elems) return elems.error();
+
+    if (elems->empty()) {
+      // S6: empty-set identities. (or/and identities apply to formulas;
+      // for statements every operator yields skip.)
+      return e_skip();
+    }
+    std::vector<ExprPtr> bodies;
+    bodies.reserve(elems->size());
+    for (const auto& elem : *elems) {
+      Env inner = env;
+      inner[e->for_var] = elem;
+      ++j.loop_depth;
+      auto b = compile_expr(e->for_body, inner, j, where + " for-body");
+      --j.loop_depth;
+      if (!b) return b.error();
+      bodies.push_back(*b);
+    }
+    return fold_bodies(e, std::move(bodies));
+  }
+
+  Result<ExprPtr> compile_for_subset(const ExprPtr& e, const Env& env,
+                                     Jctx& j, const std::string& where) {
+    const Symbol subset = e->for_set.name;
+    const auto& parents = j.out->subset_vars.at(subset);
+    if (parents.empty()) return e_skip();
+    std::vector<ExprPtr> bodies;
+    bodies.reserve(parents.size());
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      Env inner = env;
+      inner[e->for_var] = CtValue(parents[i]);
+      ++j.loop_depth;
+      auto b = compile_expr(e->for_body, inner, j, where + " for-body");
+      --j.loop_depth;
+      if (!b) return b.error();
+      Expr guard;
+      guard.kind = Expr::Kind::kIfMember;
+      guard.subset_var = subset;
+      guard.member_index = i;
+      guard.children = {*b};
+      bodies.push_back(std::make_shared<Expr>(std::move(guard)));
+    }
+    return fold_bodies(e, std::move(bodies));
+  }
+
+  static Result<ExprPtr> fold_bodies(const ExprPtr& e,
+                                     std::vector<ExprPtr> bodies) {
+    ExprPtr folded;
+    switch (e->for_op) {
+      case Expr::Kind::kSeq:
+        folded = e_seq(std::move(bodies));
+        break;
+      case Expr::Kind::kPar:
+        folded = e_par(std::move(bodies));
+        break;
+      case Expr::Kind::kParN:
+        folded = e_parn(e->par_label.valid() ? e->par_label.str() : "for",
+                        std::move(bodies));
+        break;
+      case Expr::Kind::kOtherwise: {
+        // Right-associative: E[1] otherwise[t] (E[2] otherwise[t] E[3]).
+        folded = bodies.back();
+        for (auto it = bodies.rbegin() + 1; it != bodies.rend(); ++it) {
+          folded = e_otherwise(*it, e->for_timeout, e_fate(folded));
+        }
+        break;
+      }
+      default:
+        return make_error(Errc::kInvalidProgram, "bad for operator");
+    }
+    // The loop scope catches kBreakStmt ("using break we can exit the loop
+    // early").
+    Expr scope;
+    scope.kind = Expr::Kind::kLoopScope;
+    scope.children = {folded};
+    return ExprPtr(std::make_shared<Expr>(std::move(scope)));
+  }
+
+  // --- junction & program compilation ----------------------------------------
+
+  Result<CompiledJunction> compile_junction(const InstanceDecl& inst,
+                                            const JunctionDef& def) {
+    const std::string where =
+        inst.name.str() + "::" + def.name.str();
+    CompiledJunction out;
+    out.addr = JunctionAddr{inst.name, def.name};
+    out.auto_schedule = def.auto_schedule;
+    out.retry_budget = def.retry_budget;
+
+    // Bind junction parameters from the instance declaration.
+    Env env;
+    std::vector<CtValue> args;
+    if (auto it = inst.junction_args.find(def.name);
+        it != inst.junction_args.end()) {
+      args = it->second;
+    }
+    if (args.size() != def.params.size()) {
+      std::ostringstream os;
+      os << "junction takes " << def.params.size() << " args, instance '"
+         << inst.name << "' provides " << args.size();
+      return err(where, os.str());
+    }
+    for (std::size_t i = 0; i < def.params.size(); ++i) {
+      env[def.params[i].name] = args[i];
+    }
+
+    Jctx j;
+    j.self = out.addr;
+    j.out = &out;
+
+    FormulaPtr guard;
+    CSAW_TRY(process_decls(def.decls, env, j, where, &guard));
+    out.guard = guard;
+
+    if (def.body == nullptr) return err(where, "junction has no body");
+    auto body = compile_expr(def.body, env, j, where);
+    if (!body) return body.error();
+    out.body = *body;
+
+    // Assemble the table spec: declared props, data, plus idx/subset slots.
+    for (const auto& [name, initial] : j.props) {
+      out.table_spec.props.emplace_back(name, initial);
+      out.declared_props.push_back(name);
+    }
+    for (const auto& name : j.data) {
+      out.table_spec.data.push_back(name);
+      out.declared_data.push_back(name);
+    }
+    return out;
+  }
+
+  Result<CompiledProgram> run() {
+    CompiledProgram out;
+    out.name = spec.name;
+    out.spec = spec;
+
+    for (const auto& inst : spec.instances) {
+      auto t = type_defs.find(inst.type);
+      if (t == type_defs.end()) {
+        return err(inst.name.str(),
+                   "undefined instance type '" + inst.type.str() + "'");
+      }
+      CompiledInstance ci;
+      ci.name = inst.name;
+      ci.type = inst.type;
+      for (const auto& jd : t->second->junctions) {
+        auto cj = compile_junction(inst, jd);
+        if (!cj) return cj.error();
+        ci.junctions.push_back(std::move(*cj));
+      }
+      out.instances.push_back(std::move(ci));
+    }
+
+    if (spec.main_body == nullptr) {
+      return err(spec.name, "program has no main");
+    }
+    Jctx mainctx;
+    mainctx.in_main = true;
+    Env env;  // config is consulted by lookup()
+    auto main_body = compile_expr(spec.main_body, env, mainctx, "main");
+    if (!main_body) return main_body.error();
+    out.main_body = *main_body;
+    return out;
+  }
+};
+
+}  // namespace
+
+Result<CompiledProgram> compile(const ProgramSpec& spec) {
+  Compiler c(spec);
+  return c.run();
+}
+
+}  // namespace csaw

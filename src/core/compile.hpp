@@ -1,0 +1,75 @@
+// Compilation of a ProgramSpec into a runnable CompiledProgram.
+//
+// Compilation performs, in the paper's terms (S6):
+//   * template expansion: function calls inline (their declarations merge
+//     into the containing junction); `for` loops unroll with the documented
+//     identities (empty set -> false / !false / skip; singleton -> one
+//     instantiation; right-associative folding);
+//   * name resolution: parameters, me::junction / me::instance::<j>,
+//     for-variables, and set contents resolve to concrete values; indexed
+//     propositions mangle to flat KV keys (Backend[b1::serve]); `idx` and
+//     `subset` variables resolve to their baked element lists (their values
+//     remain runtime state in the KV table);
+//   * validation: case well-formedness (non-empty, no `next` immediately
+//     before otherwise), no communication-to-self, no host blocks inside
+//     transactional brackets, `write` only of declared data (never of idx or
+//     subset variables), wait formulas local-only, declared-before-use.
+//
+// The compiled tree reuses the Expr/Formula node types with every name
+// concrete; kCall and kFor no longer appear.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+#include "kv/table.hpp"
+
+namespace csaw {
+
+struct CompiledJunction {
+  JunctionAddr addr;
+  KvTable::Spec table_spec;
+  FormulaPtr guard;  // null = always schedulable; names concrete
+  ExprPtr body;
+  bool auto_schedule = false;
+  int retry_budget = 3;
+
+  // idx variable -> the elements it indexes (set order). The index value
+  // itself is an integer stored under the variable's name in the KV table.
+  std::map<Symbol, std::vector<JunctionAddr>> idx_vars;
+  // subset variable -> parent-set elements; the membership bitmask is
+  // stored under the variable's name in the KV table.
+  std::map<Symbol, std::vector<JunctionAddr>> subset_vars;
+
+  // Declared names (for host-write validation at runtime).
+  std::vector<Symbol> declared_props;
+  std::vector<Symbol> declared_data;
+};
+
+struct CompiledInstance {
+  Symbol name;
+  Symbol type;
+  std::vector<CompiledJunction> junctions;
+};
+
+struct CompiledProgram {
+  std::string name;
+  std::vector<CompiledInstance> instances;
+  ExprPtr main_body;
+  ProgramSpec spec;  // retained for pretty-printing / LoC accounting
+
+  [[nodiscard]] const CompiledInstance* find_instance(Symbol name) const;
+  [[nodiscard]] const CompiledJunction* find_junction(
+      const JunctionAddr& addr) const;
+};
+
+Result<CompiledProgram> compile(const ProgramSpec& spec);
+
+// Mangles a value used as a proposition index: Backend + b1::serve ->
+// "Backend[b1::serve]". Exposed for tests and the interpreter.
+std::string mangle_prop(Symbol base, const CtValue& index);
+std::string mangle_addr(const JunctionAddr& a);
+
+}  // namespace csaw

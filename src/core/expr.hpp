@@ -1,0 +1,209 @@
+// The C-Saw expression language E (Table 1 of the paper).
+//
+// Source trees may contain parameters, for-loops, and function calls; the
+// compiler (core/compile.hpp) inlines functions, unrolls loops, resolves
+// every name, and validates the result. Compiled trees reuse the same node
+// type with the invariant that only runtime-meaningful kinds remain.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/formula.hpp"
+#include "core/names.hpp"
+#include "core/value.hpp"
+
+namespace csaw {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+// How a case arm terminates (grammar: F => E'; T).
+enum class Terminator {
+  kBreak,       // leave the case expression
+  kNext,        // retry the case, matching only after this arm
+  kReconsider,  // re-match the case; fail if the match would not change
+};
+
+// A set in `for` position: a named (declared/parameter) set or a literal.
+struct SetRef {
+  bool is_literal = false;
+  Symbol name;     // when !is_literal
+  CtList literal;  // when is_literal
+
+  static SetRef named(Symbol s) { return SetRef{false, s, {}}; }
+  static SetRef lit(CtList l) { return SetRef{true, Symbol(), std::move(l)}; }
+};
+
+struct CaseArm {
+  FormulaPtr guard;
+  ExprPtr body;  // may be null: an arm can be a bare terminator
+  Terminator term = Terminator::kBreak;
+  // A `for`-generated arm family (paper Fig 10: "for b in backends
+  // !Call & InitBackend[b] => ..."): expands to one arm per set element,
+  // with `for_var` bound in both guard and body.
+  bool is_for = false;
+  Symbol for_var;
+  SetRef for_set;
+};
+
+// Builds an ordinary case arm (avoids partial aggregate initialization).
+inline CaseArm case_arm(FormulaPtr guard, ExprPtr body, Terminator term) {
+  CaseArm arm;
+  arm.guard = std::move(guard);
+  arm.body = std::move(body);
+  arm.term = term;
+  return arm;
+}
+
+// Builds a for-expanded case arm.
+CaseArm case_arm_for(std::string_view var, SetRef set, FormulaPtr guard,
+                     ExprPtr body, Terminator term);
+
+// Reference to a (possibly indexed) proposition in a statement position.
+struct PropRef {
+  Symbol base;
+  std::optional<NameTerm> index;
+};
+
+// Timeout operand of `otherwise[t]`: a parameter variable, a literal
+// duration in milliseconds, or absent (untimed otherwise).
+struct TimeRef {
+  enum class Kind { kInfinite, kVar, kMillis };
+  Kind kind = Kind::kInfinite;
+  Symbol var;
+  std::int64_t millis = 0;
+
+  static TimeRef infinite() { return TimeRef{}; }
+  static TimeRef variable(Symbol v) { return TimeRef{Kind::kVar, v, 0}; }
+  static TimeRef ms(std::int64_t m) { return TimeRef{Kind::kMillis, Symbol(), m}; }
+};
+
+// Function-call argument: a compile-time value or a name term (variable,
+// junction reference, ...).
+using CallArg = std::variant<CtValue, NameTerm>;
+
+struct Expr {
+  enum class Kind {
+    // primitives
+    kSkip,
+    kReturn,       // leaves the enclosing fate scope / junction
+    kRetry,        // restart the junction (bounded per scheduling)
+    kBreakStmt,    // early exit from an unrolled `for` (kLoopScope)
+    kHost,         // |_H_|{V...}: host-language block
+    kWrite,        // write(n, gamma)
+    kWait,         // wait [n...] F
+    kSave,         // save(..., n)
+    kRestore,      // restore(n, ...)
+    kAssert,       // assert [gamma] P
+    kRetract,      // retract [gamma] P
+    kStart,        // start iota
+    kStop,         // stop iota
+    kVerify,       // verify G
+    kKeep,         // keep (discard queued updates)
+    // composition
+    kSeq,          // E1; E2; ...
+    kPar,          // E1 + E2 + ...
+    kParN,         // ||n {E...}
+    kOtherwise,    // E1 otherwise[t] E2
+    kFate,         // <E>  (no rollback)
+    kTxn,          // <|E|>  (rollback on failure)
+    kCase,
+    // compile-time-only
+    kCall,         // f(args): template expansion
+    kFor,          // for v in S op E[v]: unrolled
+    // internal (produced by compilation)
+    kLoopScope,    // catches kBreakStmt from an unrolled for
+    kIfMember,     // guard on runtime subset membership
+  };
+
+  Kind kind = Kind::kSkip;
+
+  // kHost
+  Symbol host_binding;
+  std::vector<Symbol> host_writes;  // the {V...} writable-state list
+
+  // kWrite / kSave / kRestore / kKeep
+  Symbol data;
+  Symbol io_binding;          // kSave: provider, kRestore: consumer
+  std::vector<Symbol> keys;   // kKeep; kWait admit-list
+
+  // kAssert / kRetract
+  PropRef prop;
+  std::optional<NameTerm> target;  // also kWrite's destination
+
+  // kWait / kVerify
+  FormulaPtr formula;
+
+  // kStart / kStop
+  NameTerm instance;
+
+  // children: kSeq/kPar/kParN (all), kOtherwise (a,b), kFate/kTxn/kLoopScope
+  // (single), kIfMember (single)
+  std::vector<ExprPtr> children;
+  Symbol par_label;  // kParN
+
+  // kOtherwise
+  TimeRef timeout;
+
+  // kCase
+  std::vector<CaseArm> arms;
+  ExprPtr case_otherwise;  // required by the grammar
+
+  // kCall
+  Symbol callee;
+  std::vector<CallArg> call_args;
+
+  // kFor
+  Symbol for_var;
+  SetRef for_set;
+  Kind for_op = Kind::kSeq;      // kSeq/kPar/kParN/kOtherwise
+  TimeRef for_timeout;           // when for_op == kOtherwise
+  ExprPtr for_body;
+
+  // kIfMember
+  Symbol subset_var;
+  std::size_t member_index = 0;  // position within the parent set
+};
+
+// --- constructors (the embedded DSL surface) --------------------------------
+
+ExprPtr e_skip();
+ExprPtr e_return();
+ExprPtr e_retry();
+ExprPtr e_break();
+ExprPtr e_host(std::string_view binding, std::vector<Symbol> writes = {});
+ExprPtr e_write(std::string_view data, NameTerm to);
+ExprPtr e_wait(std::vector<Symbol> admit_data, FormulaPtr f);
+ExprPtr e_save(std::string_view data, std::string_view provider);
+ExprPtr e_restore(std::string_view data, std::string_view consumer);
+ExprPtr e_assert(PropRef p, std::optional<NameTerm> target = std::nullopt);
+ExprPtr e_retract(PropRef p, std::optional<NameTerm> target = std::nullopt);
+ExprPtr e_start(NameTerm instance);
+ExprPtr e_stop(NameTerm instance);
+ExprPtr e_verify(FormulaPtr g);
+ExprPtr e_keep(std::vector<Symbol> keys);
+ExprPtr e_seq(std::vector<ExprPtr> children);
+ExprPtr e_par(std::vector<ExprPtr> children);
+ExprPtr e_parn(std::string_view label, std::vector<ExprPtr> children);
+ExprPtr e_otherwise(ExprPtr a, TimeRef t, ExprPtr b);
+ExprPtr e_fate(ExprPtr body);
+ExprPtr e_txn(ExprPtr body);
+ExprPtr e_case(std::vector<CaseArm> arms, ExprPtr otherwise_body);
+ExprPtr e_call(std::string_view fn, std::vector<CallArg> args = {});
+ExprPtr e_for(std::string_view var, SetRef set, Expr::Kind op, ExprPtr body,
+              TimeRef timeout = TimeRef::infinite());
+// Sugar: if F then E [else E'] lowers to a case expression.
+ExprPtr e_if(FormulaPtr f, ExprPtr then_e, ExprPtr else_e = nullptr);
+
+// Convenience for PropRef.
+PropRef pr(std::string_view base);
+PropRef pr_idx(std::string_view base, NameTerm index);
+
+// Rendering used by the pretty-printer and error messages.
+std::string expr_kind_name(Expr::Kind k);
+
+}  // namespace csaw

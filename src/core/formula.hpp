@@ -1,0 +1,89 @@
+// Propositional formulas F and junction-relative formulas G (Table 1).
+//
+//   F ::= P | false | !F | F1 & F2 | F1 | F2 | F1 -> F2
+//   G ::= F | gamma@F
+//
+// Extensions used by the paper's own examples (S7):
+//   * indexed propositions          Backend[tgt], Run[o]
+//   * the liveness predicate        S(i)     (watched fail-over guards)
+//   * remote reads                  b@Active (verify / guards only)
+//   * for-folds over sets           for x in S  op F[x]   (op in {and, or})
+//
+// Formulas are immutable trees shared by shared_ptr<const Formula>.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/names.hpp"
+#include "core/value.hpp"
+#include "support/symbol.hpp"
+
+namespace csaw {
+
+struct Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+struct Formula {
+  enum class Kind {
+    kFalse,
+    kProp,      // base name, optional index term, optional at-junction
+    kNot,
+    kAnd,
+    kOr,
+    kImplies,
+    kRunning,   // S(i): instance liveness
+    kFor,       // compile-time fold: expanded away by compilation
+  };
+
+  Kind kind = Kind::kFalse;
+
+  // kProp
+  Symbol prop;                        // base name (pre-mangling)
+  std::optional<NameTerm> index;      // Backend[<index>]
+  std::optional<NameTerm> at;         // gamma@P (remote read)
+
+  // kNot / kAnd / kOr / kImplies
+  FormulaPtr lhs;
+  FormulaPtr rhs;
+
+  // kRunning
+  NameTerm instance;
+
+  // kFor: fold `body` over `set` with kAnd/kOr as `fold_op`
+  Symbol var;
+  Symbol set;        // set name (declared set or parameter)
+  Kind fold_op = Kind::kAnd;
+  FormulaPtr body;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// --- constructors ----------------------------------------------------------
+
+FormulaPtr f_false();
+FormulaPtr f_true();  // sugar: !false
+FormulaPtr f_prop(Symbol name);
+FormulaPtr f_prop(std::string_view name);
+// Indexed proposition: Backend[idx_term].
+FormulaPtr f_prop_idx(std::string_view name, NameTerm index);
+// Remote proposition: at@P or at@P[idx].
+FormulaPtr f_prop_at(NameTerm at, std::string_view name,
+                     std::optional<NameTerm> index = std::nullopt);
+FormulaPtr f_not(FormulaPtr f);
+FormulaPtr f_and(FormulaPtr a, FormulaPtr b);
+FormulaPtr f_or(FormulaPtr a, FormulaPtr b);
+FormulaPtr f_implies(FormulaPtr a, FormulaPtr b);
+FormulaPtr f_running(NameTerm instance);
+FormulaPtr f_for(Formula::Kind fold_op, std::string_view var,
+                 std::string_view set, FormulaPtr body);
+
+// Is `f` free of remote reads (@, S)? `wait` formulas must be local.
+bool formula_is_local(const Formula& f);
+
+// Collects the (mangled, post-compilation) proposition names read by `f`.
+void formula_props(const Formula& f, std::vector<Symbol>& out);
+
+}  // namespace csaw

@@ -1,0 +1,837 @@
+#include "core/interp.hpp"
+
+#include <cstdio>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace csaw {
+
+namespace {
+const Symbol kDynType("csaw.dyn");
+}  // namespace
+
+SerializedValue sv_dyn(const DynValue& v) {
+  return SerializedValue{kDynType, v.to_bytes()};
+}
+
+Result<DynValue> dyn_sv(const SerializedValue& sv) {
+  if (sv.type != kDynType) {
+    return make_error(Errc::kTypeMismatch,
+                      "expected csaw.dyn, got '" + sv.type.str() + "'");
+  }
+  return DynValue::from_bytes(sv.bytes);
+}
+
+// --- formula evaluation ------------------------------------------------------
+
+namespace {
+
+// Resolves a runtime-indexed proposition name: Work[<idx tgt>] -> Work[b2].
+template <typename DataRead>
+Result<Symbol> resolve_indexed_prop(const Formula& f, DataRead&& read_data,
+                                    const CompiledJunction* cj) {
+  if (!f.index.has_value()) return f.prop;
+  CSAW_CHECK(f.index->kind == NameTerm::Kind::kIdx)
+      << "compiled formula with non-idx index";
+  if (cj == nullptr) {
+    return make_error(Errc::kInternal, "idx formula without junction context");
+  }
+  auto raw = read_data(f.index->var);
+  if (!raw) return raw.error();
+  auto dyn = dyn_sv(*raw);
+  if (!dyn) return dyn.error();
+  if (!dyn->is_int()) {
+    return make_error(Errc::kTypeMismatch,
+                      "idx '" + f.index->var.str() + "' is not an integer");
+  }
+  const auto& elems = f.index->elements;
+  const auto i = dyn->as_int();
+  if (i < 0 || static_cast<std::size_t>(i) >= elems.size()) {
+    return make_error(Errc::kUndefinedName,
+                      "idx '" + f.index->var.str() + "' out of range");
+  }
+  return Symbol(mangle_prop(f.prop, CtValue(elems[static_cast<std::size_t>(i)])));
+}
+
+template <typename PropRead, typename DataRead>
+Result<bool> eval_f(const Formula& f, PropRead&& read_prop,
+                    DataRead&& read_data, const CompiledJunction* cj,
+                    const RuntimeView* rtv) {
+  switch (f.kind) {
+    case Formula::Kind::kFalse:
+      return false;
+    case Formula::Kind::kProp: {
+      auto name = resolve_indexed_prop(f, read_data, cj);
+      if (!name) return name.error();
+      if (f.at.has_value()) {
+        if (rtv == nullptr) {
+          return make_error(Errc::kInternal,
+                            "remote read without runtime view");
+        }
+        JunctionAddr at = f.at->addr;
+        return rtv->remote_prop(at, *name);
+      }
+      return read_prop(*name);
+    }
+    case Formula::Kind::kNot: {
+      auto v = eval_f(*f.lhs, read_prop, read_data, cj, rtv);
+      if (!v) return v.error();
+      return !*v;
+    }
+    case Formula::Kind::kAnd: {
+      auto a = eval_f(*f.lhs, read_prop, read_data, cj, rtv);
+      if (!a) return a.error();
+      if (!*a) return false;
+      return eval_f(*f.rhs, read_prop, read_data, cj, rtv);
+    }
+    case Formula::Kind::kOr: {
+      auto a = eval_f(*f.lhs, read_prop, read_data, cj, rtv);
+      if (!a) return a.error();
+      if (*a) return true;
+      return eval_f(*f.rhs, read_prop, read_data, cj, rtv);
+    }
+    case Formula::Kind::kImplies: {
+      auto a = eval_f(*f.lhs, read_prop, read_data, cj, rtv);
+      if (!a) return a.error();
+      if (!*a) return true;
+      return eval_f(*f.rhs, read_prop, read_data, cj, rtv);
+    }
+    case Formula::Kind::kRunning:
+      if (rtv == nullptr) {
+        return make_error(Errc::kInternal, "S() without runtime view");
+      }
+      return rtv->instance_running(f.instance.addr.instance);
+    case Formula::Kind::kFor:
+      return make_error(Errc::kInternal, "uncompiled for-formula at runtime");
+  }
+  return make_error(Errc::kInternal, "unknown formula kind");
+}
+
+}  // namespace
+
+Result<bool> eval_formula(const Formula& f, const KvTable& table,
+                          const CompiledJunction* junction,
+                          const RuntimeView* rtv) {
+  return eval_f(
+      f, [&](Symbol p) { return table.prop(p); },
+      [&](Symbol d) { return table.data(d); }, junction, rtv);
+}
+
+Result<bool> eval_formula_view(const Formula& f, const TableView& view,
+                               const CompiledJunction* junction) {
+  return eval_f(
+      f,
+      [&](Symbol p) -> Result<bool> {
+        if (!view.has_prop(p)) {
+          return make_error(Errc::kUndefinedName,
+                            "prop '" + p.str() + "' not declared");
+        }
+        return view.prop(p);
+      },
+      [&](Symbol d) { return view.data(d); }, junction, nullptr);
+}
+
+// --- HostCtx -----------------------------------------------------------------
+
+Result<bool> HostCtx::prop(std::string_view name) const {
+  return env_.table().prop(Symbol(name));
+}
+
+Result<SerializedValue> HostCtx::data(std::string_view name) const {
+  return env_.table().data(Symbol(name));
+}
+
+Result<DynValue> HostCtx::data_dyn(std::string_view name) const {
+  auto sv = data(name);
+  if (!sv) return sv.error();
+  return dyn_sv(*sv);
+}
+
+bool HostCtx::data_defined(std::string_view name) const {
+  return env_.table().data_defined(Symbol(name));
+}
+
+Status HostCtx::check_writable(Symbol name) const {
+  for (const auto& w : writable_) {
+    if (w == name) return Status::ok_status();
+  }
+  return make_error(Errc::kHostFailure,
+                    "host block may not write '" + name.str() +
+                        "' (not in its {V...} write set)");
+}
+
+Status HostCtx::set_prop(std::string_view name, bool value) {
+  const Symbol s(name);
+  CSAW_TRY(check_writable(s));
+  return env_.table().set_prop_local(s, value);
+}
+
+Status HostCtx::save(std::string_view name, SerializedValue value) {
+  const Symbol s(name);
+  CSAW_TRY(check_writable(s));
+  return env_.table().save_local(s, std::move(value));
+}
+
+Status HostCtx::save_dyn(std::string_view name, const DynValue& value) {
+  return save(name, sv_dyn(value));
+}
+
+Status HostCtx::set_idx(std::string_view name, std::int64_t index) {
+  const Symbol s(name);
+  CSAW_TRY(check_writable(s));
+  auto it = junction_.idx_vars.find(s);
+  if (it == junction_.idx_vars.end()) {
+    return make_error(Errc::kUndefinedName,
+                      "'" + s.str() + "' is not an idx variable");
+  }
+  if (index < 0 || static_cast<std::size_t>(index) >= it->second.size()) {
+    return make_error(Errc::kHostFailure,
+                      "idx '" + s.str() + "' out of range (contract with "
+                      "host language violated)");
+  }
+  return env_.table().save_local(s, sv_dyn(DynValue(index)));
+}
+
+Status HostCtx::set_subset(std::string_view name,
+                           const std::vector<bool>& members) {
+  const Symbol s(name);
+  CSAW_TRY(check_writable(s));
+  auto it = junction_.subset_vars.find(s);
+  if (it == junction_.subset_vars.end()) {
+    return make_error(Errc::kUndefinedName,
+                      "'" + s.str() + "' is not a subset variable");
+  }
+  if (members.size() != it->second.size()) {
+    return make_error(Errc::kHostFailure,
+                      "subset '" + s.str() + "' membership size mismatch");
+  }
+  DynArray arr;
+  arr.reserve(members.size());
+  for (bool m : members) arr.emplace_back(m);
+  return env_.table().save_local(s, sv_dyn(DynValue(std::move(arr))));
+}
+
+// --- the evaluator -----------------------------------------------------------
+
+namespace {
+
+enum class Flow { kOk, kFail, kReturn, kBreak, kRetry };
+
+struct EvalResult {
+  Flow flow = Flow::kOk;
+  Error error{};
+
+  static EvalResult ok() { return EvalResult{}; }
+  static EvalResult fail(Error e) { return EvalResult{Flow::kFail, std::move(e)}; }
+};
+
+struct Interp {
+  Engine& engine;
+  JunctionEnv* env;                  // null while evaluating `main`
+  const CompiledJunction* cj;        // null for `main`
+  JunctionStats* stats;              // null for `main`
+  std::shared_ptr<void> state;
+  const EngineOptions& options;
+  Deadline deadline;
+
+  // --- helpers --------------------------------------------------------------
+
+  EvalResult guard_entry(const Expr& e) {
+    if (env != nullptr && env->aborted()) {
+      return EvalResult::fail(
+          make_error(Errc::kUnreachable, where() + ": instance aborting"));
+    }
+    if (deadline.expired()) {
+      return EvalResult::fail(make_error(
+          Errc::kTimeout, where() + ": deadline expired before " +
+                              expr_kind_name(e.kind)));
+    }
+    if (options.trace) {
+      std::fprintf(stderr, "[csaw] %s: %s\n", where().c_str(),
+                   expr_kind_name(e.kind).c_str());
+    }
+    return EvalResult::ok();
+  }
+
+  [[nodiscard]] std::string where() const {
+    return env != nullptr ? env->qualified() : std::string("main");
+  }
+
+  EvalResult need_junction(const Expr& e) {
+    if (env == nullptr || cj == nullptr) {
+      return EvalResult::fail(make_error(
+          Errc::kInvalidProgram,
+          expr_kind_name(e.kind) + " is not permitted in main"));
+    }
+    return EvalResult::ok();
+  }
+
+  // Resolves a (possibly idx) name term to a concrete address at runtime.
+  Result<JunctionAddr> resolve_addr(const NameTerm& t) {
+    switch (t.kind) {
+      case NameTerm::Kind::kConcrete:
+        return t.addr;
+      case NameTerm::Kind::kIdx: {
+        auto raw = env->table().data(t.var);
+        if (!raw) return raw.error();
+        auto dyn = dyn_sv(*raw);
+        if (!dyn) return dyn.error();
+        if (!dyn->is_int()) {
+          return make_error(Errc::kTypeMismatch,
+                            "idx '" + t.var.str() + "' is not an integer");
+        }
+        const auto i = dyn->as_int();
+        if (i < 0 || static_cast<std::size_t>(i) >= t.elements.size()) {
+          return make_error(Errc::kUndefinedName,
+                            "idx '" + t.var.str() + "' out of range");
+        }
+        return t.elements[static_cast<std::size_t>(i)];
+      }
+      default:
+        return make_error(Errc::kInternal,
+                          "unresolved name term '" + t.to_string() +
+                              "' at runtime");
+    }
+  }
+
+  // If `a` names only an instance, resolve to its sole junction.
+  Result<JunctionAddr> fill_junction(JunctionAddr a) {
+    if (a.junction.valid()) return a;
+    const auto* inst = engine.program().find_instance(a.instance);
+    if (inst == nullptr) {
+      return make_error(Errc::kUndefinedName,
+                        "unknown instance '" + a.instance.str() + "'");
+    }
+    if (inst->junctions.size() != 1) {
+      return make_error(Errc::kInvalidProgram,
+                        "instance '" + a.instance.str() +
+                            "' has several junctions; qualify the target");
+    }
+    return inst->junctions.front().addr;
+  }
+
+  Result<Symbol> resolve_prop_name(const PropRef& p) {
+    if (!p.index.has_value()) return p.base;
+    auto a = resolve_addr(*p.index);
+    if (!a) return a.error();
+    return Symbol(mangle_prop(p.base, CtValue(*a)));
+  }
+
+  // Pre-resolves runtime indices in a formula so wait-admission sets are
+  // concrete.
+  Result<FormulaPtr> freeze_indices(const FormulaPtr& f) {
+    switch (f->kind) {
+      case Formula::Kind::kFalse:
+        return f;
+      case Formula::Kind::kProp: {
+        if (!f->index.has_value()) return f;
+        auto a = resolve_addr(*f->index);
+        if (!a) return a.error();
+        Formula out = *f;
+        out.prop = Symbol(mangle_prop(f->prop, CtValue(*a)));
+        out.index.reset();
+        return FormulaPtr(std::make_shared<Formula>(std::move(out)));
+      }
+      case Formula::Kind::kNot: {
+        auto l = freeze_indices(f->lhs);
+        if (!l) return l.error();
+        return f_not(*l);
+      }
+      case Formula::Kind::kAnd:
+      case Formula::Kind::kOr:
+      case Formula::Kind::kImplies: {
+        auto l = freeze_indices(f->lhs);
+        if (!l) return l.error();
+        auto r = freeze_indices(f->rhs);
+        if (!r) return r.error();
+        if (f->kind == Formula::Kind::kAnd) return f_and(*l, *r);
+        if (f->kind == Formula::Kind::kOr) return f_or(*l, *r);
+        return f_implies(*l, *r);
+      }
+      default:
+        return f;
+    }
+  }
+
+  // --- dispatch ---------------------------------------------------------------
+
+  EvalResult eval(const Expr& e) {
+    if (auto g = guard_entry(e); g.flow != Flow::kOk) return g;
+    switch (e.kind) {
+      case Expr::Kind::kSkip:
+        return EvalResult::ok();
+      case Expr::Kind::kReturn:
+        return EvalResult{Flow::kReturn, {}};
+      case Expr::Kind::kRetry:
+        return EvalResult{Flow::kRetry, {}};
+      case Expr::Kind::kBreakStmt:
+        return EvalResult{Flow::kBreak, {}};
+      case Expr::Kind::kHost:
+        return eval_host(e);
+      case Expr::Kind::kWrite:
+        return eval_write(e);
+      case Expr::Kind::kWait:
+        return eval_wait(e);
+      case Expr::Kind::kSave:
+        return eval_save(e);
+      case Expr::Kind::kRestore:
+        return eval_restore(e);
+      case Expr::Kind::kAssert:
+        return eval_assert(e, true);
+      case Expr::Kind::kRetract:
+        return eval_assert(e, false);
+      case Expr::Kind::kStart:
+        return eval_start_stop(e, true);
+      case Expr::Kind::kStop:
+        return eval_start_stop(e, false);
+      case Expr::Kind::kVerify:
+        return eval_verify(e);
+      case Expr::Kind::kKeep: {
+        if (auto r = need_junction(e); r.flow != Flow::kOk) return r;
+        env->table().keep(e.keys);
+        return EvalResult::ok();
+      }
+      case Expr::Kind::kSeq: {
+        for (const auto& c : e.children) {
+          auto r = eval(*c);
+          if (r.flow != Flow::kOk) return r;
+        }
+        return EvalResult::ok();
+      }
+      case Expr::Kind::kPar:
+      case Expr::Kind::kParN:
+        return eval_par(e);
+      case Expr::Kind::kOtherwise:
+        return eval_otherwise(e);
+      case Expr::Kind::kFate:
+      case Expr::Kind::kTxn:
+        return eval_block(e);
+      case Expr::Kind::kCase:
+        return eval_case(e);
+      case Expr::Kind::kLoopScope: {
+        auto r = eval(*e.children[0]);
+        if (r.flow == Flow::kBreak) return EvalResult::ok();
+        return r;
+      }
+      case Expr::Kind::kIfMember:
+        return eval_if_member(e);
+      case Expr::Kind::kCall:
+      case Expr::Kind::kFor:
+        return EvalResult::fail(
+            make_error(Errc::kInternal, "uncompiled node at runtime"));
+    }
+    return EvalResult::fail(make_error(Errc::kInternal, "unknown expr kind"));
+  }
+
+  EvalResult eval_host(const Expr& e) {
+    if (auto r = need_junction(e); r.flow != Flow::kOk) return r;
+    auto it = engine.host_bindings().blocks.find(e.host_binding);
+    if (it == engine.host_bindings().blocks.end()) {
+      return EvalResult::fail(make_error(
+          Errc::kHostFailure,
+          "unbound host block '" + e.host_binding.str() + "'"));
+    }
+    HostCtx ctx(*env, *cj, e.host_writes, state, engine);
+    auto st = it->second(ctx);
+    if (!st.ok()) return EvalResult::fail(st.error());
+    return EvalResult::ok();
+  }
+
+  EvalResult eval_write(const Expr& e) {
+    if (auto r = need_junction(e); r.flow != Flow::kOk) return r;
+    auto value = env->table().data(e.data);
+    if (!value) return EvalResult::fail(value.error());
+    auto a = resolve_addr(*e.target);
+    if (!a) return EvalResult::fail(a.error());
+    auto to = fill_junction(*a);
+    if (!to) return EvalResult::fail(to.error());
+    if (*to == env->self()) {
+      return EvalResult::fail(make_error(
+          Errc::kInvalidProgram, "write to self (idx resolved to self)"));
+    }
+    auto st = env->push(*to, Update::write_data(e.data, std::move(*value),
+                                                env->qualified()),
+                        deadline);
+    if (!st.ok()) return EvalResult::fail(st.error());
+    return EvalResult::ok();
+  }
+
+  EvalResult eval_wait(const Expr& e) {
+    if (auto r = need_junction(e); r.flow != Flow::kOk) return r;
+    auto frozen = freeze_indices(e.formula);
+    if (!frozen) return EvalResult::fail(frozen.error());
+    std::vector<Symbol> admit;
+    formula_props(**frozen, admit);
+    admit.insert(admit.end(), e.keys.begin(), e.keys.end());
+    const FormulaPtr f = *frozen;
+    const CompiledJunction* junction = cj;
+    auto st = env->table().wait(
+        [f, junction](const TableView& view) {
+          auto v = eval_formula_view(*f, view, junction);
+          // An evaluation error inside wait means a mis-structured program;
+          // treat as unsatisfied and let the deadline surface it.
+          return v.ok() && *v;
+        },
+        admit, deadline);
+    if (!st.ok()) return EvalResult::fail(st.error());
+    return EvalResult::ok();
+  }
+
+  EvalResult eval_save(const Expr& e) {
+    if (auto r = need_junction(e); r.flow != Flow::kOk) return r;
+    auto it = engine.host_bindings().savers.find(e.io_binding);
+    if (it == engine.host_bindings().savers.end()) {
+      return EvalResult::fail(make_error(
+          Errc::kHostFailure,
+          "unbound save provider '" + e.io_binding.str() + "'"));
+    }
+    std::vector<Symbol> writable{e.data};
+    HostCtx ctx(*env, *cj, writable, state, engine);
+    auto value = it->second(ctx);
+    if (!value) return EvalResult::fail(value.error());
+    auto st = env->table().save_local(e.data, std::move(*value));
+    if (!st.ok()) return EvalResult::fail(st.error());
+    return EvalResult::ok();
+  }
+
+  EvalResult eval_restore(const Expr& e) {
+    if (auto r = need_junction(e); r.flow != Flow::kOk) return r;
+    auto value = env->table().data(e.data);
+    if (!value) return EvalResult::fail(value.error());
+    auto it = engine.host_bindings().restorers.find(e.io_binding);
+    if (it == engine.host_bindings().restorers.end()) {
+      return EvalResult::fail(make_error(
+          Errc::kHostFailure,
+          "unbound restore consumer '" + e.io_binding.str() + "'"));
+    }
+    std::vector<Symbol> writable;  // restore consumers read only
+    HostCtx ctx(*env, *cj, writable, state, engine);
+    auto st = it->second(ctx, *value);
+    if (!st.ok()) return EvalResult::fail(st.error());
+    return EvalResult::ok();
+  }
+
+  EvalResult eval_assert(const Expr& e, bool value) {
+    if (auto r = need_junction(e); r.flow != Flow::kOk) return r;
+    auto name = resolve_prop_name(e.prop);
+    if (!name) return EvalResult::fail(name.error());
+    // Fig 20 gives assert[g]P both writes {Wr_J, Wr_g}. The local write goes
+    // first -- so that an immediate echo from the target (e.g. a back-end
+    // retracting Run right after being engaged) stamps *later* than our own
+    // write and survives the local-priority rule. If the remote push then
+    // fails, the local write is reverted: Fig 22's retry path (Aud
+    // re-matching Work=tt after a failed `retract [Act] Work`) requires a
+    // failed assert/retract to commit neither side.
+    auto old = env->table().prop(*name);
+    if (!old) return EvalResult::fail(old.error());
+    auto st = env->table().set_prop_local(*name, value);
+    if (!st.ok()) return EvalResult::fail(st.error());
+    if (e.target.has_value()) {
+      auto a = resolve_addr(*e.target);
+      if (!a) return EvalResult::fail(a.error());
+      auto to = fill_junction(*a);
+      if (!to) return EvalResult::fail(to.error());
+      if (*to == env->self()) {
+        return EvalResult::fail(make_error(Errc::kInvalidProgram,
+                                           "assert/retract to self"));
+      }
+      auto update = value ? Update::assert_prop(*name, env->qualified())
+                          : Update::retract_prop(*name, env->qualified());
+      auto pst = env->push(*to, std::move(update), deadline);
+      if (!pst.ok()) {
+        (void)env->table().set_prop_local(*name, *old);
+        return EvalResult::fail(pst.error());
+      }
+    }
+    return EvalResult::ok();
+  }
+
+  EvalResult eval_start_stop(const Expr& e, bool is_start) {
+    Result<JunctionAddr> a =
+        env != nullptr ? resolve_addr(e.instance)
+                       : Result<JunctionAddr>(e.instance.addr);
+    if (!a) return EvalResult::fail(a.error());
+    const Symbol instance = a->instance;
+    auto st = is_start ? engine.start_with_state(instance)
+                       : engine.runtime().stop(instance);
+    if (!st.ok()) return EvalResult::fail(st.error());
+    return EvalResult::ok();
+  }
+
+  EvalResult eval_verify(const Expr& e) {
+    if (auto r = need_junction(e); r.flow != Flow::kOk) return r;
+    const RuntimeView rtv = env->runtime_view();
+    auto v = eval_formula(*e.formula, env->table(), cj, &rtv);
+    if (!v) {
+      if (stats != nullptr) stats->verify_failures.fetch_add(1);
+      return EvalResult::fail(make_error(
+          Errc::kVerifyFailed, where() + ": verify undecidable: " +
+                                   v.error().to_string()));
+    }
+    if (!*v) {
+      if (stats != nullptr) stats->verify_failures.fetch_add(1);
+      return EvalResult::fail(make_error(
+          Errc::kVerifyFailed,
+          where() + ": verify failed: " + e.formula->to_string()));
+    }
+    return EvalResult::ok();
+  }
+
+  EvalResult eval_par(const Expr& e) {
+    const std::size_t n = e.children.size();
+    std::vector<EvalResult> results(n);
+    {
+      std::vector<std::jthread> threads;
+      threads.reserve(n - 1);
+      for (std::size_t i = 1; i < n; ++i) {
+        threads.emplace_back([this, &e, &results, i] {
+          results[i] = eval(*e.children[i]);
+        });
+      }
+      results[0] = eval(*e.children[0]);
+    }
+    // Fate sharing: any failing branch fails the composition; otherwise a
+    // `return` in any branch returns.
+    for (const auto& r : results) {
+      if (r.flow == Flow::kFail) return r;
+    }
+    for (const auto& r : results) {
+      if (r.flow != Flow::kOk) return r;
+    }
+    return EvalResult::ok();
+  }
+
+  EvalResult eval_otherwise(const Expr& e) {
+    Deadline inner = deadline;
+    if (e.timeout.kind == TimeRef::Kind::kMillis) {
+      inner = deadline.min(Deadline::after(Millis(e.timeout.millis)));
+    }
+    Interp scoped = *this;
+    scoped.deadline = inner;
+    auto r = scoped.eval(*e.children[0]);
+    if (r.flow == Flow::kFail) {
+      return eval(*e.children[1]);
+    }
+    return r;
+  }
+
+  EvalResult eval_block(const Expr& e) {
+    const bool is_txn = e.kind == Expr::Kind::kTxn;
+    std::optional<KvTable::Snapshot> snap;
+    if (is_txn && env != nullptr) snap = env->table().snapshot();
+    auto r = eval(*e.children[0]);
+    if (r.flow == Flow::kReturn) return EvalResult::ok();  // leaves the scope
+    if (r.flow == Flow::kFail && snap.has_value()) {
+      env->table().restore_snapshot(*snap);  // clean rollback
+    }
+    return r;
+  }
+
+  EvalResult eval_if_member(const Expr& e) {
+    if (auto r = need_junction(e); r.flow != Flow::kOk) return r;
+    auto raw = env->table().data(e.subset_var);
+    if (!raw) return EvalResult::fail(raw.error());
+    auto dyn = dyn_sv(*raw);
+    if (!dyn) return EvalResult::fail(dyn.error());
+    if (!dyn->is_array()) {
+      return EvalResult::fail(make_error(
+          Errc::kTypeMismatch,
+          "subset '" + e.subset_var.str() + "' is not a membership array"));
+    }
+    const auto& arr = dyn->as_array();
+    if (e.member_index >= arr.size() || !arr[e.member_index].is_bool()) {
+      return EvalResult::fail(make_error(
+          Errc::kHostFailure,
+          "subset '" + e.subset_var.str() + "' membership malformed"));
+    }
+    if (!arr[e.member_index].as_bool()) return EvalResult::ok();
+    return eval(*e.children[0]);
+  }
+
+  EvalResult eval_case(const Expr& e) {
+    // Matching starts at arm 0; `next` re-matches after the matched arm;
+    // `reconsider` re-matches from the start and fails if the match would
+    // not change.
+    constexpr std::size_t kNoArm = static_cast<std::size_t>(-1);
+    std::size_t start = 0;
+    std::size_t current = kNoArm;
+    for (int iter = 0; iter < options.case_budget; ++iter) {
+      std::size_t match = kNoArm;
+      for (std::size_t i = start; i < e.arms.size(); ++i) {
+        auto v = eval_arm_guard(*e.arms[i].guard);
+        if (!v) return EvalResult::fail(v.error());
+        if (*v) {
+          match = i;
+          break;
+        }
+      }
+      if (match == kNoArm) {
+        return eval(*e.case_otherwise);
+      }
+      if (current != kNoArm && match == current && start == 0) {
+        // reconsider with an unchanged match: the expression fails.
+        return EvalResult::fail(make_error(
+            Errc::kExhausted,
+            where() + ": reconsider did not find a different match"));
+      }
+      current = match;
+      const CaseArm& arm = e.arms[match];
+      auto r = eval(*arm.body);
+      if (r.flow != Flow::kOk) return r;
+      switch (arm.term) {
+        case Terminator::kBreak:
+          return EvalResult::ok();
+        case Terminator::kNext:
+          start = match + 1;
+          current = kNoArm;
+          continue;
+        case Terminator::kReconsider:
+          start = 0;
+          continue;
+      }
+    }
+    return EvalResult::fail(make_error(
+        Errc::kExhausted, where() + ": case exceeded its iteration budget"));
+  }
+
+  Result<bool> eval_arm_guard(const Formula& f) {
+    if (env == nullptr) {
+      return make_error(Errc::kInvalidProgram, "case in main");
+    }
+    const RuntimeView rtv = env->runtime_view();
+    return eval_formula(f, env->table(), cj, &rtv);
+  }
+};
+
+}  // namespace
+
+// --- Engine ------------------------------------------------------------------
+
+Engine::Engine(CompiledProgram program, HostBindings bindings,
+               EngineOptions options)
+    : program_(std::move(program)),
+      bindings_(std::move(bindings)),
+      options_(options) {
+  runtime_ = std::make_unique<Runtime>(options_.runtime);
+  register_instances();
+}
+
+Engine::~Engine() { runtime_->shutdown(); }
+
+void Engine::register_instances() {
+  for (const auto& inst : program_.instances) {
+    InstanceDesc desc;
+    desc.name = inst.name;
+    desc.type = inst.type;
+    for (const auto& cj : inst.junctions) {
+      junctions_.emplace(
+          cj.addr, JunctionRef{&cj, std::make_unique<JunctionStats>()});
+      JunctionDesc jd;
+      jd.name = cj.addr.junction;
+      jd.table_spec = cj.table_spec;
+      jd.guard = make_guard(cj);
+      jd.body = make_body(cj);
+      jd.auto_schedule = cj.auto_schedule;
+      desc.junctions.push_back(std::move(jd));
+    }
+    runtime_->add_instance(std::move(desc));
+  }
+}
+
+GuardFn Engine::make_guard(const CompiledJunction& cj) {
+  if (cj.guard == nullptr) return nullptr;
+  const CompiledJunction* junction = &cj;
+  const FormulaPtr guard = cj.guard;
+  return [junction, guard](const KvTable& table, const RuntimeView& rtv) {
+    auto v = eval_formula(*guard, table, junction, &rtv);
+    // Undecidable guards (remote side down, idx still undef) simply mean
+    // "not schedulable yet".
+    return v.ok() && *v;
+  };
+}
+
+BodyFn Engine::make_body(const CompiledJunction& cj) {
+  const CompiledJunction* junction = &cj;
+  return [this, junction](JunctionEnv& env) {
+    auto& ref = junctions_.at(junction->addr);
+    ref.stats->runs.fetch_add(1);
+    auto state = state_for(junction->addr.instance);
+    for (int attempt = 0;; ++attempt) {
+      Interp interp{*this,     &env,      junction, ref.stats.get(),
+                    state,     options_,  Deadline::infinite()};
+      auto r = interp.eval(*junction->body);
+      if (r.flow == Flow::kRetry) {
+        if (attempt < junction->retry_budget) {
+          ref.stats->retries.fetch_add(1);
+          continue;
+        }
+        ref.stats->failures.fetch_add(1);
+        return;
+      }
+      if (r.flow == Flow::kFail) {
+        ref.stats->failures.fetch_add(1);
+        if (options_.trace) {
+          std::fprintf(stderr, "[csaw] %s: body failed: %s\n",
+                       junction->addr.qualified().c_str(),
+                       r.error.to_string().c_str());
+        }
+      }
+      return;
+    }
+  };
+}
+
+Status Engine::run_main(Deadline deadline) {
+  Interp interp{*this, nullptr, nullptr, nullptr, nullptr, options_, deadline};
+  auto r = interp.eval(*program_.main_body);
+  if (r.flow == Flow::kFail) return r.error;
+  return Status::ok_status();
+}
+
+void Engine::set_state(Symbol instance, std::shared_ptr<void> state) {
+  std::scoped_lock lock(state_mu_);
+  states_[instance] = std::move(state);
+}
+
+void Engine::set_state_factory(Symbol instance,
+                               std::function<std::shared_ptr<void>()> factory) {
+  std::scoped_lock lock(state_mu_);
+  state_factories_[instance] = std::move(factory);
+}
+
+std::shared_ptr<void> Engine::state_for(Symbol instance) {
+  std::scoped_lock lock(state_mu_);
+  auto it = states_.find(instance);
+  return it == states_.end() ? nullptr : it->second;
+}
+
+Status Engine::start_with_state(Symbol instance) {
+  {
+    std::scoped_lock lock(state_mu_);
+    if (auto it = state_factories_.find(instance);
+        it != state_factories_.end()) {
+      // Factory-made state models the instance's own memory: rebuilt fresh
+      // on every (re)start.
+      states_[instance] = it->second();
+    }
+  }
+  return runtime_->start(instance);
+}
+
+Status Engine::call(std::string_view instance, std::string_view junction,
+                    Deadline deadline) {
+  return runtime_->call(Symbol(instance), Symbol(junction), deadline);
+}
+
+Status Engine::schedule(std::string_view instance, std::string_view junction) {
+  return runtime_->schedule(Symbol(instance), Symbol(junction));
+}
+
+const JunctionStats& Engine::stats(const JunctionAddr& addr) const {
+  auto it = junctions_.find(addr);
+  CSAW_CHECK(it != junctions_.end()) << "unknown junction " << addr.qualified();
+  return *it->second.stats;
+}
+
+}  // namespace csaw

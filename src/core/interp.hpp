@@ -1,0 +1,192 @@
+// The C-Saw interpreter and engine.
+//
+// Engine lowers a CompiledProgram onto the compart runtime: each compiled
+// junction becomes a compart JunctionDesc whose body is a closure over the
+// tree-walking evaluator; guards become GuardFn closures. Host-language
+// blocks, save-providers and restore-consumers are bound by name through
+// HostBindings -- the analogue of the paper's |_H_|{V} embedding, with the
+// write-set restriction enforced at runtime.
+#pragma once
+
+#include <any>
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compart/runtime.hpp"
+#include "core/compile.hpp"
+#include "serdes/value.hpp"
+#include "support/rng.hpp"
+
+namespace csaw {
+
+class Engine;
+
+// Helpers for the common "DynValue in a SerializedValue" payload shape.
+SerializedValue sv_dyn(const DynValue& v);
+Result<DynValue> dyn_sv(const SerializedValue& sv);
+
+// Handle given to host blocks: read access to the junction's table, write
+// access restricted to the block's declared write set {V...}.
+class HostCtx {
+ public:
+  HostCtx(JunctionEnv& env, const CompiledJunction& junction,
+          const std::vector<Symbol>& writable, std::shared_ptr<void> state,
+          Engine& engine)
+      : env_(env), junction_(junction), writable_(writable),
+        state_(std::move(state)), engine_(engine) {}
+
+  // --- reads (arbitrary junction state; paper S4) -----------------------
+  Result<bool> prop(std::string_view name) const;
+  Result<SerializedValue> data(std::string_view name) const;
+  Result<DynValue> data_dyn(std::string_view name) const;
+  [[nodiscard]] bool data_defined(std::string_view name) const;
+
+  // --- writes (only names in the write set) ------------------------------
+  Status set_prop(std::string_view name, bool value);
+  Status save(std::string_view name, SerializedValue value);
+  Status save_dyn(std::string_view name, const DynValue& value);
+  // idx: choose element `index` of the variable's baked set.
+  Status set_idx(std::string_view name, std::int64_t index);
+  // subset: one membership flag per parent-set element.
+  Status set_subset(std::string_view name, const std::vector<bool>& members);
+
+  // --- context -------------------------------------------------------------
+  [[nodiscard]] Symbol instance() const { return env_.self().instance; }
+  [[nodiscard]] Symbol junction() const { return env_.self().junction; }
+  [[nodiscard]] bool aborted() const { return env_.aborted(); }
+  Engine& engine() { return engine_; }
+
+  // Per-instance application state (registered via Engine::set_state*).
+  template <typename T>
+  T& state() {
+    CSAW_CHECK(state_ != nullptr)
+        << "no app state registered for instance " << instance();
+    return *static_cast<T*>(state_.get());
+  }
+  [[nodiscard]] bool has_state() const { return state_ != nullptr; }
+
+ private:
+  Status check_writable(Symbol name) const;
+
+  JunctionEnv& env_;
+  const CompiledJunction& junction_;
+  const std::vector<Symbol>& writable_;
+  std::shared_ptr<void> state_;
+  Engine& engine_;
+};
+
+using HostFn = std::function<Status(HostCtx&)>;
+using SaveFn = std::function<Result<SerializedValue>(HostCtx&)>;
+using RestoreFn = std::function<Status(HostCtx&, const SerializedValue&)>;
+
+struct HostBindings {
+  std::map<Symbol, HostFn> blocks;
+  std::map<Symbol, SaveFn> savers;
+  std::map<Symbol, RestoreFn> restorers;
+
+  HostBindings& block(std::string_view name, HostFn fn) {
+    blocks[Symbol(name)] = std::move(fn);
+    return *this;
+  }
+  HostBindings& saver(std::string_view name, SaveFn fn) {
+    savers[Symbol(name)] = std::move(fn);
+    return *this;
+  }
+  HostBindings& restorer(std::string_view name, RestoreFn fn) {
+    restorers[Symbol(name)] = std::move(fn);
+    return *this;
+  }
+};
+
+struct EngineOptions {
+  RuntimeOptions runtime;
+  // Cap on case re-evaluation via next/reconsider within one execution of a
+  // case expression (safety net for oscillating matches).
+  int case_budget = 64;
+  bool trace = false;  // per-statement trace to stderr
+};
+
+// Per-junction execution statistics.
+struct JunctionStats {
+  std::atomic<std::uint64_t> runs{0};
+  std::atomic<std::uint64_t> failures{0};  // body finished with kFail
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> verify_failures{0};
+};
+
+class Engine {
+ public:
+  Engine(CompiledProgram program, HostBindings bindings,
+         EngineOptions options = {});
+  ~Engine();
+
+  // Executes `main` (start statements etc.). Synchronous; instances keep
+  // running afterwards until stop()/shutdown.
+  Status run_main(Deadline deadline = {});
+
+  Runtime& runtime() { return *runtime_; }
+  [[nodiscard]] const CompiledProgram& program() const { return program_; }
+  [[nodiscard]] const HostBindings& host_bindings() const { return bindings_; }
+
+  // Application state for an instance. A plain state object persists across
+  // crash/restart (it models infra outside the instance, e.g. a client
+  // request queue); a factory-made state is rebuilt on every start (it
+  // models the instance's own memory, which a crash destroys).
+  void set_state(Symbol instance, std::shared_ptr<void> state);
+  void set_state_factory(Symbol instance,
+                         std::function<std::shared_ptr<void>()> factory);
+
+  // Convenience pass-throughs.
+  Status call(std::string_view instance, std::string_view junction,
+              Deadline deadline = {});
+  Status schedule(std::string_view instance, std::string_view junction);
+  void crash(std::string_view instance) { runtime_->crash(Symbol(instance)); }
+  Status start_instance(std::string_view instance) {
+    return start_with_state(Symbol(instance));
+  }
+  // Starts an instance, rebuilding factory-made app state first. The DSL's
+  // `start` statement routes here.
+  Status start_with_state(Symbol instance);
+
+  [[nodiscard]] const JunctionStats& stats(const JunctionAddr& addr) const;
+
+ private:
+  friend class HostCtx;
+  struct JunctionRef {
+    const CompiledJunction* junction;
+    std::unique_ptr<JunctionStats> stats;
+  };
+
+  void register_instances();
+  BodyFn make_body(const CompiledJunction& cj);
+  GuardFn make_guard(const CompiledJunction& cj);
+  std::shared_ptr<void> state_for(Symbol instance);
+
+  CompiledProgram program_;
+  HostBindings bindings_;
+  EngineOptions options_;
+  std::unique_ptr<Runtime> runtime_;
+  std::map<JunctionAddr, JunctionRef> junctions_;
+  std::mutex state_mu_;
+  std::map<Symbol, std::shared_ptr<void>> states_;
+  std::map<Symbol, std::function<std::shared_ptr<void>()>> state_factories_;
+};
+
+// --- formula evaluation (exposed for guards, tests, semantics checks) -------
+
+// Evaluates a compiled local formula against a table via brief locked reads.
+// `junction` provides idx-variable element lists (may be null if the formula
+// has no runtime indices). Remote reads require `rtv` (else error).
+Result<bool> eval_formula(const Formula& f, const KvTable& table,
+                          const CompiledJunction* junction,
+                          const RuntimeView* rtv);
+
+// Same, against a TableView (inside `wait`, lock already held); local only.
+Result<bool> eval_formula_view(const Formula& f, const TableView& view,
+                               const CompiledJunction* junction);
+
+}  // namespace csaw

@@ -1,0 +1,76 @@
+// Name terms: the DSL's references to junctions, instances, and indexed set
+// elements.
+//
+// Source programs use parameters ('g'), the special names me::junction and
+// me::instance::<j>, for-bound variables, and idx/subset variables declared
+// with `idx`/`subset` syntax. Compilation resolves every term either to a
+// concrete JunctionAddr or to a *runtime-indexed* term (an idx variable over
+// a baked element list, read from the KV table when the statement executes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compart/message.hpp"
+#include "support/symbol.hpp"
+
+namespace csaw {
+
+struct NameTerm {
+  enum class Kind {
+    kConcrete,           // fully resolved junction address
+    kVar,                // parameter / for-variable, resolved at compile time
+    kMeJunction,         // me::junction
+    kMeInstance,         // me::instance (instance-level, e.g. start/stop)
+    kMeInstanceJunction, // me::instance::<junction>
+    kIdx,                // idx variable: runtime-chosen element of a set
+  };
+
+  Kind kind = Kind::kConcrete;
+  JunctionAddr addr;    // kConcrete
+  Symbol var;           // kVar / kIdx: the variable's name
+  Symbol junction;      // kMeInstanceJunction: the junction within me
+  // kIdx after compilation: the elements the index ranges over, in set
+  // order. The index value itself lives in the junction's KV table.
+  std::vector<JunctionAddr> elements;
+
+  static NameTerm concrete(JunctionAddr a) {
+    NameTerm t;
+    t.kind = Kind::kConcrete;
+    t.addr = a;
+    return t;
+  }
+  static NameTerm variable(Symbol v) {
+    NameTerm t;
+    t.kind = Kind::kVar;
+    t.var = v;
+    return t;
+  }
+  static NameTerm me_junction() {
+    NameTerm t;
+    t.kind = Kind::kMeJunction;
+    return t;
+  }
+  static NameTerm me_instance() {
+    NameTerm t;
+    t.kind = Kind::kMeInstance;
+    return t;
+  }
+  static NameTerm me_instance_junction(Symbol junction) {
+    NameTerm t;
+    t.kind = Kind::kMeInstanceJunction;
+    t.junction = junction;
+    return t;
+  }
+  static NameTerm idx(Symbol var) {
+    NameTerm t;
+    t.kind = Kind::kIdx;
+    t.var = var;
+    return t;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace csaw

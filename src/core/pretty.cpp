@@ -1,0 +1,271 @@
+#include "core/pretty.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace csaw {
+namespace {
+
+std::string ind(int n) { return std::string(static_cast<std::size_t>(n) * 2, ' '); }
+
+std::string prop_ref(const PropRef& p) {
+  std::string out = p.base.str();
+  if (p.index.has_value()) out += "[" + p.index->to_string() + "]";
+  return out;
+}
+
+std::string set_ref(const SetRef& s) {
+  if (!s.is_literal) return s.name.str();
+  return "{" + join_map(s.literal, ", ",
+                        [](const CtValue& v) { return v.mangle(); }) + "}";
+}
+
+std::string time_ref(const TimeRef& t) {
+  switch (t.kind) {
+    case TimeRef::Kind::kInfinite: return "";
+    case TimeRef::Kind::kVar: return "[" + t.var.str() + "]";
+    case TimeRef::Kind::kMillis: return "[" + std::to_string(t.millis) + "ms]";
+  }
+  return "";
+}
+
+const char* term_name(Terminator t) {
+  switch (t) {
+    case Terminator::kBreak: return "break";
+    case Terminator::kNext: return "next";
+    case Terminator::kReconsider: return "reconsider";
+  }
+  return "?";
+}
+
+void render(const Expr& e, int level, std::ostringstream& os) {
+  switch (e.kind) {
+    case Expr::Kind::kSkip: os << ind(level) << "skip;\n"; return;
+    case Expr::Kind::kReturn: os << ind(level) << "return;\n"; return;
+    case Expr::Kind::kRetry: os << ind(level) << "retry;\n"; return;
+    case Expr::Kind::kBreakStmt: os << ind(level) << "break;\n"; return;
+    case Expr::Kind::kHost: {
+      os << ind(level) << "|_" << e.host_binding << "_|";
+      if (!e.host_writes.empty()) {
+        os << "{" << join_map(e.host_writes, ", ",
+                              [](Symbol s) { return s.str(); }) << "}";
+      }
+      os << ";\n";
+      return;
+    }
+    case Expr::Kind::kWrite:
+      os << ind(level) << "write(" << e.data << ", "
+         << e.target->to_string() << ");\n";
+      return;
+    case Expr::Kind::kWait:
+      os << ind(level) << "wait ["
+         << join_map(e.keys, ", ", [](Symbol s) { return s.str(); }) << "] "
+         << e.formula->to_string() << ";\n";
+      return;
+    case Expr::Kind::kSave:
+      os << ind(level) << "save(" << e.io_binding << ", " << e.data << ");\n";
+      return;
+    case Expr::Kind::kRestore:
+      os << ind(level) << "restore(" << e.data << ", " << e.io_binding
+         << ");\n";
+      return;
+    case Expr::Kind::kAssert:
+    case Expr::Kind::kRetract:
+      os << ind(level)
+         << (e.kind == Expr::Kind::kAssert ? "assert [" : "retract [")
+         << (e.target.has_value() ? e.target->to_string() : "") << "] "
+         << prop_ref(e.prop) << ";\n";
+      return;
+    case Expr::Kind::kStart:
+      os << ind(level) << "start " << e.instance.to_string() << ";\n";
+      return;
+    case Expr::Kind::kStop:
+      os << ind(level) << "stop " << e.instance.to_string() << ";\n";
+      return;
+    case Expr::Kind::kVerify:
+      os << ind(level) << "verify " << e.formula->to_string() << ";\n";
+      return;
+    case Expr::Kind::kKeep:
+      os << ind(level) << "keep ["
+         << join_map(e.keys, ", ", [](Symbol s) { return s.str(); }) << "];\n";
+      return;
+    case Expr::Kind::kSeq:
+      for (const auto& c : e.children) render(*c, level, os);
+      return;
+    case Expr::Kind::kPar: {
+      bool first = true;
+      for (const auto& c : e.children) {
+        if (!first) os << ind(level) << "+\n";
+        first = false;
+        render(*c, level, os);
+      }
+      return;
+    }
+    case Expr::Kind::kParN: {
+      os << ind(level) << "||" << e.par_label << " {\n";
+      for (const auto& c : e.children) render(*c, level + 1, os);
+      os << ind(level) << "}\n";
+      return;
+    }
+    case Expr::Kind::kOtherwise:
+      render(*e.children[0], level, os);
+      os << ind(level) << "otherwise" << time_ref(e.timeout) << "\n";
+      render(*e.children[1], level + 1, os);
+      return;
+    case Expr::Kind::kFate:
+      os << ind(level) << "<\n";
+      render(*e.children[0], level + 1, os);
+      os << ind(level) << ">\n";
+      return;
+    case Expr::Kind::kTxn:
+      os << ind(level) << "<|\n";
+      render(*e.children[0], level + 1, os);
+      os << ind(level) << "|>\n";
+      return;
+    case Expr::Kind::kCase: {
+      os << ind(level) << "case {\n";
+      for (const auto& arm : e.arms) {
+        os << ind(level + 1);
+        if (arm.is_for) {
+          os << "for " << arm.for_var << " in " << set_ref(arm.for_set) << " ";
+        }
+        os << arm.guard->to_string() << " =>\n";
+        render(*arm.body, level + 2, os);
+        os << ind(level + 2) << term_name(arm.term) << "\n";
+      }
+      os << ind(level + 1) << "otherwise =>\n";
+      render(*e.case_otherwise, level + 2, os);
+      os << ind(level) << "}\n";
+      return;
+    }
+    case Expr::Kind::kCall: {
+      os << ind(level) << e.callee << "("
+         << join_map(e.call_args, ", ",
+                     [](const CallArg& a) {
+                       if (std::holds_alternative<CtValue>(a)) {
+                         return std::get<CtValue>(a).mangle();
+                       }
+                       return std::get<NameTerm>(a).to_string();
+                     })
+         << ");\n";
+      return;
+    }
+    case Expr::Kind::kFor: {
+      const char* op = e.for_op == Expr::Kind::kSeq   ? ";"
+                       : e.for_op == Expr::Kind::kPar ? "+"
+                       : e.for_op == Expr::Kind::kParN ? "||"
+                                                        : "otherwise";
+      os << ind(level) << "for " << e.for_var << " in " << set_ref(e.for_set)
+         << " " << op << time_ref(e.for_timeout) << "\n";
+      render(*e.for_body, level + 1, os);
+      return;
+    }
+    case Expr::Kind::kLoopScope:
+      render(*e.children[0], level, os);
+      return;
+    case Expr::Kind::kIfMember:
+      os << ind(level) << "if " << e.subset_var << "[" << e.member_index
+         << "] then\n";
+      render(*e.children[0], level + 1, os);
+      return;
+  }
+}
+
+}  // namespace
+
+std::string pretty_expr(const Expr& e, int indent) {
+  std::ostringstream os;
+  render(e, indent, os);
+  return os.str();
+}
+
+std::string pretty_decl(const Decl& d) {
+  std::ostringstream os;
+  os << "| ";
+  switch (d.kind) {
+    case Decl::Kind::kInitProp:
+      os << "init prop " << (d.initial ? "" : "!") << d.name;
+      break;
+    case Decl::Kind::kInitData:
+      os << "init data " << d.name;
+      break;
+    case Decl::Kind::kGuard:
+      os << "guard " << d.guard->to_string();
+      break;
+    case Decl::Kind::kSet:
+      os << "set " << d.name;
+      break;
+    case Decl::Kind::kSubset:
+      os << "subset " << d.name << " of " << set_ref(d.of_set);
+      break;
+    case Decl::Kind::kIdx:
+      os << "idx " << d.name << " of " << set_ref(d.of_set);
+      break;
+    case Decl::Kind::kForInitProp:
+      os << "for " << d.var << " in " << set_ref(d.of_set) << " init prop "
+         << (d.initial ? "" : "!") << d.name << "[" << d.var << "]";
+      break;
+  }
+  return os.str();
+}
+
+std::string pretty_junction(const JunctionDef& def, std::string_view type) {
+  std::ostringstream os;
+  os << "def " << type << "::" << def.name << "("
+     << join_map(def.params, ", ",
+                 [](const ParamDecl& p) { return p.name.str(); })
+     << ") <|\n";
+  for (const auto& d : def.decls) os << "  " << pretty_decl(d) << "\n";
+  os << pretty_expr(*def.body, 1);
+  return os.str();
+}
+
+std::string pretty_program(const ProgramSpec& spec) {
+  std::ostringstream os;
+  os << "InstanceTypes = {"
+     << join_map(spec.types, ", ",
+                 [](const InstanceTypeDef& t) { return t.name.str(); })
+     << "}\n";
+  os << "Instances = {"
+     << join_map(spec.instances, ", ",
+                 [](const InstanceDecl& i) {
+                   return i.name.str() + " : " + i.type.str();
+                 })
+     << "}\n";
+  if (spec.main_body != nullptr) {
+    os << "def main() <|\n" << pretty_expr(*spec.main_body, 1);
+  }
+  for (const auto& fn : spec.functions) {
+    os << "def " << fn.name << "("
+       << join_map(fn.params, ", ",
+                   [](const ParamDecl& p) { return p.name.str(); })
+       << ") <|\n";
+    for (const auto& d : fn.decls) os << "  " << pretty_decl(d) << "\n";
+    os << pretty_expr(*fn.body, 1);
+  }
+  for (const auto& type : spec.types) {
+    for (const auto& j : type.junctions) {
+      os << pretty_junction(j, type.name.str());
+    }
+  }
+  return os.str();
+}
+
+std::size_t pretty_loc(const ProgramSpec& spec) {
+  const std::string text = pretty_program(spec);
+  std::size_t loc = 0;
+  bool nonspace = false;
+  for (char c : text) {
+    if (c == '\n') {
+      if (nonspace) ++loc;
+      nonspace = false;
+    } else if (c != ' ' && c != '\t') {
+      nonspace = true;
+    }
+  }
+  if (nonspace) ++loc;
+  return loc;
+}
+
+}  // namespace csaw

@@ -1,0 +1,104 @@
+// Program structure: declarations, junction/type/function definitions, and
+// the ProgramSpec authored via core/builder.hpp.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/expr.hpp"
+
+namespace csaw {
+
+// Junction-level declarations (the "| ..." lines in the paper's figures).
+struct Decl {
+  enum class Kind {
+    kInitProp,     // init prop [not] P
+    kInitData,     // init data n
+    kGuard,        // guard F
+    kSet,          // set S  (value bound at compile time via args/config)
+    kSubset,       // subset s of S  (runtime-populated by host code)
+    kIdx,          // idx i of S     (runtime choice function from host code)
+    kForInitProp,  // for v in S init prop [not] P[v]
+  };
+
+  Kind kind = Kind::kInitProp;
+  Symbol name;          // P / n / S / s / i
+  bool initial = false; // kInitProp / kForInitProp
+  FormulaPtr guard;     // kGuard
+  SetRef of_set;        // kSubset / kIdx / kForInitProp's domain
+  Symbol var;           // kForInitProp loop variable
+
+  static Decl init_prop(std::string_view name, bool initial);
+  static Decl init_data(std::string_view name);
+  static Decl guard_decl(FormulaPtr f);
+  static Decl set_decl(std::string_view name);
+  static Decl subset_decl(std::string_view name, SetRef of);
+  static Decl idx_decl(std::string_view name, SetRef of);
+  static Decl for_init_prop(std::string_view var, SetRef set,
+                            std::string_view prop, bool initial);
+};
+
+// Parameter of a definition, with a light kind annotation used for arity and
+// kind checking of instance arguments / calls.
+struct ParamDecl {
+  enum class Kind { kJunction, kInstance, kPropName, kDataName, kSet, kTime,
+                    kValue };
+  Symbol name;
+  Kind kind = Kind::kValue;
+};
+
+struct JunctionDef {
+  Symbol name;
+  std::vector<ParamDecl> params;
+  std::vector<Decl> decls;
+  ExprPtr body;
+  // Auto junctions are scheduled by the runtime whenever their guard holds;
+  // manual junctions are scheduled by host logic (client requests etc.).
+  bool auto_schedule = false;
+  // Bound on `retry` within one scheduling (paper: "a fixed number of
+  // times").
+  int retry_budget = 3;
+};
+
+struct InstanceTypeDef {
+  Symbol name;
+  std::vector<JunctionDef> junctions;
+};
+
+// Functions are compile-time templates (paper S6 "Functions and brackets"):
+// they inline at call sites; `return` inside leaves the *junction*.
+// Their declarations merge into the containing junction's declarations.
+struct FunctionDef {
+  Symbol name;
+  std::vector<ParamDecl> params;
+  std::vector<Decl> decls;
+  ExprPtr body;
+};
+
+// An instance declaration with its per-junction argument bindings.
+//
+// Deviation from the paper, documented in DESIGN.md: the paper passes
+// junction arguments syntactically at `start` sites inside `main`; since all
+// such values are compile-time constants ("set must be specified at load
+// time"), we bind them in the instance declaration and `start` statements
+// carry only the instance name. This keeps compilation fully static.
+struct InstanceDecl {
+  Symbol name;
+  Symbol type;
+  std::map<Symbol, std::vector<CtValue>> junction_args;
+};
+
+struct ProgramSpec {
+  std::string name;  // for diagnostics and pretty-printing
+  std::vector<InstanceTypeDef> types;
+  std::vector<InstanceDecl> instances;
+  std::vector<FunctionDef> functions;
+  // `main`: the distinguished start-up expression (start statements, etc.).
+  ExprPtr main_body;
+  // Compile-time configuration (timeout values, set contents, N, ...).
+  std::map<Symbol, CtValue> config;
+};
+
+}  // namespace csaw

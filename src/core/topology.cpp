@@ -1,0 +1,90 @@
+#include "core/topology.hpp"
+
+#include <sstream>
+
+namespace csaw {
+namespace {
+
+// Fills `out` with every junction the statement can communicate with.
+void targets(const CompiledProgram& program, const Expr& e,
+             std::set<JunctionAddr>& out) {
+  auto add_term = [&](const NameTerm& t) {
+    switch (t.kind) {
+      case NameTerm::Kind::kConcrete: {
+        JunctionAddr a = t.addr;
+        if (!a.junction.valid()) {
+          // Instance-only target: resolves to its sole junction.
+          const auto* inst = program.find_instance(a.instance);
+          if (inst != nullptr && inst->junctions.size() == 1) {
+            a = inst->junctions.front().addr;
+          }
+        }
+        out.insert(a);
+        break;
+      }
+      case NameTerm::Kind::kIdx:
+        for (const auto& elem : t.elements) out.insert(elem);
+        break;
+      default:
+        break;
+    }
+  };
+
+  switch (e.kind) {
+    case Expr::Kind::kWrite:
+      add_term(*e.target);
+      return;
+    case Expr::Kind::kAssert:
+    case Expr::Kind::kRetract:
+      if (e.target.has_value()) add_term(*e.target);
+      return;
+    case Expr::Kind::kCase:
+      for (const auto& arm : e.arms) targets(program, *arm.body, out);
+      targets(program, *e.case_otherwise, out);
+      return;
+    default:
+      for (const auto& c : e.children) targets(program, *c, out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<JunctionAddr> Topology::targets_of(const JunctionAddr& from) const {
+  std::vector<JunctionAddr> out;
+  for (const auto& e : edges) {
+    if (e.from == from) out.push_back(e.to);
+  }
+  return out;
+}
+
+std::string Topology::to_dot() const {
+  std::ostringstream os;
+  os << "digraph topology {\n";
+  for (const auto& n : nodes) {
+    os << "  \"" << n.qualified() << "\";\n";
+  }
+  for (const auto& e : edges) {
+    os << "  \"" << e.from.qualified() << "\" -> \"" << e.to.qualified()
+       << "\";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+Topology derive_topology(const CompiledProgram& program) {
+  Topology topo;
+  for (const auto& inst : program.instances) {
+    for (const auto& j : inst.junctions) {
+      topo.nodes.insert(j.addr);
+      std::set<JunctionAddr> tgts;
+      targets(program, *j.body, tgts);
+      for (const auto& t : tgts) {
+        topo.edges.insert(TopologyEdge{j.addr, t});
+      }
+    }
+  }
+  return topo;
+}
+
+}  // namespace csaw

@@ -1,0 +1,41 @@
+// Topology derivation (paper S8.7).
+//
+// Topo produces a directed graph whose nodes are junctions and whose edges
+// indicate communication from one junction to another, computed by syntactic
+// analysis of each junction's compiled expression: assert/retract/write
+// targets contribute edges; composition recurses. Runtime-indexed targets
+// (idx variables) contribute one edge per possible element.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/compile.hpp"
+
+namespace csaw {
+
+struct TopologyEdge {
+  JunctionAddr from;
+  JunctionAddr to;
+  friend auto operator<=>(const TopologyEdge&, const TopologyEdge&) = default;
+};
+
+struct Topology {
+  std::set<TopologyEdge> edges;
+  std::set<JunctionAddr> nodes;
+
+  [[nodiscard]] bool has_edge(const JunctionAddr& from,
+                              const JunctionAddr& to) const {
+    return edges.contains(TopologyEdge{from, to});
+  }
+  [[nodiscard]] std::vector<JunctionAddr> targets_of(
+      const JunctionAddr& from) const;
+
+  // Graphviz rendering of the communication graph.
+  [[nodiscard]] std::string to_dot() const;
+};
+
+Topology derive_topology(const CompiledProgram& program);
+
+}  // namespace csaw

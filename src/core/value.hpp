@@ -1,0 +1,62 @@
+// Compile-time values of the DSL (paper S6 "Parameters, data types,
+// indexing").
+//
+// Definitions accept parameters: propositions, named data, junction/instance
+// references, sets, and timeouts. All of these are resolved during
+// compilation ("sets have a fixed size at compile time", "set must be
+// specified at load time"); only `idx` and `subset` variables carry runtime
+// state, and they live in the junction's KV table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "compart/message.hpp"
+#include "support/result.hpp"
+#include "support/symbol.hpp"
+
+namespace csaw {
+
+class CtValue;
+using CtList = std::vector<CtValue>;
+
+class CtValue {
+ public:
+  using Storage =
+      std::variant<std::monostate, Symbol, JunctionAddr, std::int64_t,
+                   std::string, CtList>;
+
+  CtValue() = default;
+  CtValue(Symbol s) : v_(s) {}                    // NOLINT
+  CtValue(JunctionAddr a) : v_(a) {}              // NOLINT
+  CtValue(std::int64_t n) : v_(n) {}              // NOLINT
+  CtValue(int n) : v_(std::int64_t{n}) {}         // NOLINT
+  CtValue(std::string s) : v_(std::move(s)) {}    // NOLINT
+  CtValue(CtList l) : v_(std::move(l)) {}         // NOLINT
+
+  [[nodiscard]] bool is_none() const { return std::holds_alternative<std::monostate>(v_); }
+  [[nodiscard]] bool is_symbol() const { return std::holds_alternative<Symbol>(v_); }
+  [[nodiscard]] bool is_junction() const { return std::holds_alternative<JunctionAddr>(v_); }
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_list() const { return std::holds_alternative<CtList>(v_); }
+
+  [[nodiscard]] Symbol as_symbol() const { return std::get<Symbol>(v_); }
+  [[nodiscard]] const JunctionAddr& as_junction() const { return std::get<JunctionAddr>(v_); }
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+  [[nodiscard]] const CtList& as_list() const { return std::get<CtList>(v_); }
+
+  bool operator==(const CtValue& other) const { return v_ == other.v_; }
+
+  // A short, unique rendering used for name mangling of indexed
+  // propositions: Backend[b1], Run[o], ...
+  [[nodiscard]] std::string mangle() const;
+
+ private:
+  Storage v_;
+};
+
+}  // namespace csaw

@@ -1,0 +1,38 @@
+// Updates exchanged between junctions' KV tables.
+//
+// The DSL's three cross-junction primitives map onto the three update kinds:
+//   assert  [g] P  ->  AssertProp(P)   (also sets P locally at the sender)
+//   retract [g] P  ->  RetractProp(P)
+//   write(n, g)    ->  WriteData(n, bytes)
+#pragma once
+
+#include <string>
+
+#include "serdes/registry.hpp"
+#include "support/symbol.hpp"
+
+namespace csaw {
+
+struct Update {
+  enum class Kind { kAssertProp, kRetractProp, kWriteData };
+
+  Kind kind = Kind::kAssertProp;
+  Symbol key;
+  SerializedValue value;  // only for kWriteData
+  std::string from;       // fully-qualified sender junction, for tracing
+
+  static Update assert_prop(Symbol key, std::string from = {}) {
+    return Update{Kind::kAssertProp, key, {}, std::move(from)};
+  }
+  static Update retract_prop(Symbol key, std::string from = {}) {
+    return Update{Kind::kRetractProp, key, {}, std::move(from)};
+  }
+  static Update write_data(Symbol key, SerializedValue value,
+                           std::string from = {}) {
+    return Update{Kind::kWriteData, key, std::move(value), std::move(from)};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace csaw

@@ -1,0 +1,101 @@
+// Direct-C++ inline caching (Table 2 "Caching / Redis(C)").
+// LOC-COUNT-BEGIN(baseline_caching)
+#include <atomic>
+#include <deque>
+
+#include "patterns/baselines.hpp"
+
+namespace csaw::baseline {
+namespace {
+
+enum Tag : std::uint32_t {
+  kTagGet = 1,
+  kTagSet = 2,
+  kTagDel = 3,
+  kTagFound = 100,
+  kTagMissing = 101,
+};
+
+}  // namespace
+
+struct CachedRedis::Impl {
+  explicit Impl(std::size_t cap, std::uint64_t cost)
+      : capacity(cap),
+        store(cost),
+        fun("fun", [this](const Frame& f) { return serve(f); }) {}
+
+  Frame serve(const Frame& request) {
+    std::string key, value;
+    if (!read_text_frame(request, &key, &value).ok()) {
+      return make_frame(kTagMissing, {});
+    }
+    switch (request.tag) {
+      case kTagGet: {
+        auto v = store.get(key);
+        if (!v) return make_text_frame(kTagMissing, "", "");
+        return make_text_frame(kTagFound, *v, "");
+      }
+      case kTagSet:
+        store.set(key, value);
+        return make_text_frame(kTagFound, "", "");
+      case kTagDel:
+        return make_text_frame(store.del(key) ? kTagFound : kTagMissing, "",
+                               "");
+      default:
+        return make_text_frame(kTagMissing, "", "");
+    }
+  }
+
+  void cache_put(const std::string& key, const std::string& value) {
+    if (cache.size() >= capacity && !fifo.empty()) {
+      cache.erase(fifo.front());
+      fifo.pop_front();
+    }
+    if (cache.emplace(key, value).second) fifo.push_back(key);
+  }
+
+  std::size_t capacity;
+  std::unordered_map<std::string, std::string> cache;
+  std::deque<std::string> fifo;
+  std::atomic<std::uint64_t> hits{0};
+  miniredis::Store store;
+  Peer fun;
+};
+
+CachedRedis::CachedRedis(std::size_t capacity, std::uint64_t op_cost_ns)
+    : impl_(std::make_unique<Impl>(capacity, op_cost_ns)) {}
+
+CachedRedis::~CachedRedis() = default;
+
+Result<miniredis::Response> CachedRedis::request(
+    const miniredis::Command& command) {
+  using Op = miniredis::Command::Op;
+  if (command.op == Op::kGet) {
+    auto it = impl_->cache.find(command.key);
+    if (it != impl_->cache.end()) {
+      impl_->hits.fetch_add(1);
+      return miniredis::Response{true, it->second};
+    }
+  } else {
+    impl_->cache.erase(command.key);  // writes invalidate
+  }
+  std::uint32_t tag = command.op == Op::kGet   ? kTagGet
+                      : command.op == Op::kSet ? kTagSet
+                                               : kTagDel;
+  auto resp = impl_->fun.call(
+      make_text_frame(tag, command.key, command.value),
+      Deadline::after(std::chrono::seconds(5)));
+  if (!resp) return resp.error();
+  std::string value, unused;
+  CSAW_TRY(read_text_frame(*resp, &value, &unused));
+  miniredis::Response out{resp->tag == kTagFound, value};
+  if (command.op == Op::kGet && out.found) {
+    impl_->cache_put(command.key, out.value);
+  }
+  return out;
+}
+
+std::uint64_t CachedRedis::hits() const { return impl_->hits.load(); }
+
+}  // namespace csaw::baseline
+// LOC-COUNT-END(baseline_caching)

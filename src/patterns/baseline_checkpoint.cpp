@@ -1,0 +1,108 @@
+// Direct-C++ checkpointing (Table 2 "Checkpointing / Redis(C)").
+// LOC-COUNT-BEGIN(baseline_checkpoint)
+#include <mutex>
+
+#include "patterns/baselines.hpp"
+
+namespace csaw::baseline {
+namespace {
+
+enum Tag : std::uint32_t {
+  kTagSnapshot = 1,
+  kTagFetch = 2,
+  kTagAck = 100,
+  kTagImage = 101,
+  kTagEmpty = 102,
+};
+
+}  // namespace
+
+struct CheckpointedRedis::Impl {
+  explicit Impl(std::uint64_t cost)
+      : store(cost),
+        auditor("auditor", [this](const Frame& f) { return serve(f); }) {}
+
+  // The auditor peer: retains the latest snapshot and serves it back on
+  // request (the recovery path).
+  Frame serve(const Frame& request) {
+    std::scoped_lock lock(aud_mu);
+    switch (request.tag) {
+      case kTagSnapshot:
+        last_image = request.payload;
+        ++snapshots;
+        return make_frame(kTagAck, {});
+      case kTagFetch:
+        if (last_image.empty()) return make_frame(kTagEmpty, {});
+        return make_frame(kTagImage, last_image);
+      default:
+        return make_frame(kTagAck, {});
+    }
+  }
+
+  std::mutex store_mu;
+  miniredis::Store store;
+  std::mutex aud_mu;
+  Bytes last_image;
+  std::size_t snapshots = 0;
+  Peer auditor;
+};
+
+CheckpointedRedis::CheckpointedRedis(std::uint64_t op_cost_ns)
+    : impl_(std::make_unique<Impl>(op_cost_ns)) {}
+
+CheckpointedRedis::~CheckpointedRedis() = default;
+
+miniredis::Response CheckpointedRedis::request(
+    const miniredis::Command& command) {
+  std::scoped_lock lock(impl_->store_mu);
+  using Op = miniredis::Command::Op;
+  switch (command.op) {
+    case Op::kGet: {
+      auto v = impl_->store.get(command.key);
+      return miniredis::Response{v.has_value(), v.value_or("")};
+    }
+    case Op::kSet:
+      impl_->store.set(command.key, command.value);
+      return miniredis::Response{true, ""};
+    case Op::kDel:
+      return miniredis::Response{impl_->store.del(command.key), ""};
+  }
+  return miniredis::Response{};
+}
+
+Status CheckpointedRedis::checkpoint() {
+  Bytes image;
+  {
+    std::scoped_lock lock(impl_->store_mu);
+    image = impl_->store.snapshot();
+  }
+  auto resp = impl_->auditor.call(make_frame(kTagSnapshot, image),
+                                  Deadline::after(std::chrono::seconds(5)));
+  if (!resp) return resp.error();
+  if (resp->tag != kTagAck) {
+    return make_error(Errc::kInternal, "unexpected auditor reply");
+  }
+  return Status::ok_status();
+}
+
+Status CheckpointedRedis::crash_and_resume() {
+  {
+    // The crash: the serving store loses everything.
+    std::scoped_lock lock(impl_->store_mu);
+    impl_->store.clear();
+  }
+  auto resp = impl_->auditor.call(make_frame(kTagFetch, {}),
+                                  Deadline::after(std::chrono::seconds(5)));
+  if (!resp) return resp.error();
+  if (resp->tag == kTagEmpty) return Status::ok_status();
+  std::scoped_lock lock(impl_->store_mu);
+  return impl_->store.restore(resp->payload);
+}
+
+std::size_t CheckpointedRedis::checkpoints_taken() const {
+  std::scoped_lock lock(impl_->aud_mu);
+  return impl_->snapshots;
+}
+
+}  // namespace csaw::baseline
+// LOC-COUNT-END(baseline_checkpoint)

@@ -1,0 +1,99 @@
+// Direct-C++ key-hash sharding (Table 2 "Sharding / Redis(C)").
+// LOC-COUNT-BEGIN(baseline_sharding)
+#include <atomic>
+
+#include "patterns/baselines.hpp"
+#include "support/rng.hpp"
+
+namespace csaw::baseline {
+namespace {
+
+enum Tag : std::uint32_t {
+  kTagGet = 1,
+  kTagSet = 2,
+  kTagDel = 3,
+  kTagFound = 100,
+  kTagMissing = 101,
+};
+
+std::uint32_t tag_of(miniredis::Command::Op op) {
+  using Op = miniredis::Command::Op;
+  switch (op) {
+    case Op::kGet: return kTagGet;
+    case Op::kSet: return kTagSet;
+    case Op::kDel: return kTagDel;
+  }
+  return kTagGet;
+}
+
+}  // namespace
+
+struct ShardedRedis::Impl {
+  struct Shard {
+    explicit Shard(std::size_t index, std::uint64_t cost)
+        : store(cost),
+          peer("shard" + std::to_string(index),
+               [this](const Frame& f) { return serve(f); }) {}
+
+    Frame serve(const Frame& request) {
+      std::string key, value;
+      if (!read_text_frame(request, &key, &value).ok()) {
+        return make_frame(kTagMissing, {});
+      }
+      processed.fetch_add(1);
+      switch (request.tag) {
+        case kTagGet: {
+          auto v = store.get(key);
+          if (!v) return make_text_frame(kTagMissing, "", "");
+          return make_text_frame(kTagFound, *v, "");
+        }
+        case kTagSet:
+          store.set(key, value);
+          return make_text_frame(kTagFound, "", "");
+        case kTagDel:
+          return make_text_frame(store.del(key) ? kTagFound : kTagMissing,
+                                 "", "");
+        default:
+          return make_text_frame(kTagMissing, "", "");
+      }
+    }
+
+    miniredis::Store store;
+    std::atomic<std::uint64_t> processed{0};
+    Peer peer;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards;
+};
+
+ShardedRedis::ShardedRedis(std::size_t shards, std::uint64_t op_cost_ns)
+    : impl_(std::make_unique<Impl>()) {
+  for (std::size_t i = 0; i < shards; ++i) {
+    impl_->shards.push_back(std::make_unique<Impl::Shard>(i, op_cost_ns));
+  }
+}
+
+ShardedRedis::~ShardedRedis() = default;
+
+Result<miniredis::Response> ShardedRedis::request(
+    const miniredis::Command& command) {
+  const std::size_t shard = djb2(command.key) % impl_->shards.size();
+  auto resp = impl_->shards[shard]->peer.call(
+      make_text_frame(tag_of(command.op), command.key, command.value),
+      Deadline::after(std::chrono::seconds(5)));
+  if (!resp) return resp.error();
+  std::string value, unused;
+  CSAW_TRY(read_text_frame(*resp, &value, &unused));
+  return miniredis::Response{resp->tag == kTagFound, value};
+}
+
+std::vector<std::uint64_t> ShardedRedis::shard_counts() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& shard : impl_->shards) {
+    out.push_back(shard->processed.load());
+  }
+  return out;
+}
+
+}  // namespace csaw::baseline
+// LOC-COUNT-END(baseline_sharding)

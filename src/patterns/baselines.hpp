@@ -1,0 +1,69 @@
+// Direct-C++ re-architectures of miniredis -- the Table 2 control
+// experiment ("Redis(C) is the LoC needed to rearchitecture directly in C
+// ... developed without knowledge of the DSL").
+//
+// Each class implements one of the three features (checkpointing, sharding,
+// caching) directly on the baseline_comm peer framework: hand-written
+// message tags, framing, retry/timeout handling, and state management --
+// the work the DSL performs declaratively. The bench bench/table2_loc
+// counts these sources against the DSL expressions.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/miniredis/command.hpp"
+#include "apps/miniredis/store.hpp"
+#include "patterns/baseline_comm.hpp"
+
+namespace csaw::baseline {
+
+// Checkpointing: a serving store plus an auditor peer holding snapshots.
+class CheckpointedRedis {
+ public:
+  explicit CheckpointedRedis(std::uint64_t op_cost_ns = 900);
+  ~CheckpointedRedis();
+
+  miniredis::Response request(const miniredis::Command& command);
+  Status checkpoint();
+  Status crash_and_resume();
+  [[nodiscard]] std::size_t checkpoints_taken() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Key-hash sharding across N backend stores, each on its own peer.
+class ShardedRedis {
+ public:
+  explicit ShardedRedis(std::size_t shards = 4, std::uint64_t op_cost_ns = 900);
+  ~ShardedRedis();
+
+  Result<miniredis::Response> request(const miniredis::Command& command);
+  [[nodiscard]] std::vector<std::uint64_t> shard_counts() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// An inline cache peer in front of a store peer.
+class CachedRedis {
+ public:
+  explicit CachedRedis(std::size_t capacity = 4096,
+                       std::uint64_t op_cost_ns = 900);
+  ~CachedRedis();
+
+  Result<miniredis::Response> request(const miniredis::Command& command);
+  [[nodiscard]] std::uint64_t hits() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace csaw::baseline

@@ -1,0 +1,94 @@
+#include "patterns/caching.hpp"
+
+#include "patterns/common.hpp"
+
+namespace csaw::patterns {
+
+ProgramSpec caching(const CachingOptions& o) {
+  ProgramBuilder p("caching");
+  p.function(o.complain).body(e_host(o.complain));
+
+  // def tau_Cache :: (t) <|  (Fig 7, left)
+  //   | init prop !Work | init prop !Cacheable
+  //   | init prop !Cached | init prop !NewValue
+  //   | init data n | init data m
+  //   retract [] NewValue;             <- reset added: Fig 7 leaves NewValue
+  //                                       asserted across schedulings, which
+  //                                       would re-run UpdateCache on the
+  //                                       next hit (see DESIGN.md)
+  //   |_CheckCacheable_|{Cacheable};
+  //   case {
+  //     Cacheable =>
+  //       |_LookupCache_|{Cached};
+  //       next
+  //     !Cacheable | (Cacheable & !Cached) =>
+  //       save(..., n);
+  //       < write(n, Fun); assert [Fun] Work;
+  //         wait [m] !Work; restore(m, ...);
+  //         assert [] NewValue;
+  //       > otherwise[t] complain();
+  //       next
+  //     Cacheable & NewValue =>
+  //       |_UpdateCache_|; break
+  //     otherwise => skip
+  //   }
+  std::vector<CaseArm> arms;
+  arms.push_back(case_arm(
+      f_prop("Cacheable"),
+      e_host(o.lookup_cache, {Symbol("Cached")}),
+      Terminator::kNext));
+  arms.push_back(case_arm(
+      f_or(f_not(f_prop("Cacheable")),
+           f_and(f_prop("Cacheable"), f_not(f_prop("Cached")))),
+      e_seq({
+          e_save("n", o.pack_request),
+          e_otherwise(
+              e_fate(e_seq({
+                  e_write("n", jref(o.fun_instance, o.junction)),
+                  e_assert(pr("Work"), jref(o.fun_instance, o.junction)),
+                  e_wait({Symbol("m")}, f_not(f_prop("Work"))),
+                  e_restore("m", o.deliver_response),
+                  e_assert(pr("NewValue")),
+              })),
+              TimeRef::variable(Symbol("t")), e_call(o.complain)),
+      }),
+      Terminator::kNext));
+  arms.push_back(case_arm(
+      f_and(f_prop("Cacheable"), f_prop("NewValue")),
+      e_host(o.update_cache),
+      Terminator::kBreak));
+
+  p.type("tau_Cache")
+      .junction(o.junction)
+      .param("t", ParamDecl::Kind::kTime)
+      .init_prop("Work", false)
+      .init_prop("Cacheable", false)
+      .init_prop("Cached", false)
+      .init_prop("NewValue", false)
+      .init_data("n")
+      .init_data("m")
+      .body(e_seq({
+          e_retract(pr("NewValue")),
+          e_host(o.check_cacheable, {Symbol("Cacheable")}),
+          e_case(std::move(arms), e_skip()),
+      }));
+
+  // def tau_Fun :: (t) <| -- Fig 7's right side, which "we largely reuse"
+  // from Fig 4's tau_Auditing; shared with the sharding pattern.
+  add_worker_junction(p.type("tau_Fun"),
+                      WorkerJunctionNames{o.cache_instance, o.junction, o.f,
+                                          o.unpack_request, o.pack_response,
+                                          o.complain});
+
+  p.instance(o.cache_instance, "tau_Cache",
+             {{o.junction, {CtValue(o.timeout_ms)}}});
+  p.instance(o.fun_instance, "tau_Fun",
+             {{o.junction, {CtValue(o.timeout_ms)}}});
+
+  // def main(t) <| start Cache(t) + start Fun(t)
+  p.main_body(e_par({e_start(inst(o.cache_instance)),
+                     e_start(inst(o.fun_instance))}));
+  return p.build();
+}
+
+}  // namespace csaw::patterns

@@ -1,0 +1,45 @@
+// Inline caching architecture (paper S7.2, Fig 7; use-case (5) of Fig 1).
+//
+// tau_Cache fronts a pure function computed by tau_Fun; cacheability
+// classification, lookup and update are host-side concerns ("the features of
+// the cache, such as its sizes and eviction strategy, are orthogonal to the
+// architecture", S7.2). tau_Fun reuses the worker junction shared with the
+// snapshot/sharding patterns -- Fig 7's tau_Fun "is closely based on
+// tau_Auditing".
+//
+// Required host bindings:
+//   block "CheckCacheable"{Cacheable} -- pops the request, classifies it
+//   block "LookupCache"{Cached}       -- consults the cache; serves on hit
+//   block "UpdateCache"               -- installs the new value
+//   block "F"                         -- the computed function (back-end)
+//   restorer "unpack_request", savers "pack_request"/"pack_response",
+//   restorer "deliver_response", block "complain"
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/program.hpp"
+
+namespace csaw::patterns {
+
+struct CachingOptions {
+  std::string cache_instance = "Cache";
+  std::string fun_instance = "Fun";
+  std::string junction = "j";
+  std::int64_t timeout_ms = 500;
+
+  std::string check_cacheable = "CheckCacheable";
+  std::string lookup_cache = "LookupCache";
+  std::string update_cache = "UpdateCache";
+  std::string f = "F";
+  std::string pack_request = "pack_request";
+  std::string unpack_request = "unpack_request";
+  std::string pack_response = "pack_response";
+  std::string deliver_response = "deliver_response";
+  std::string complain = "complain";
+};
+
+ProgramSpec caching(const CachingOptions& options = {});
+
+}  // namespace csaw::patterns

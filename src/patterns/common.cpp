@@ -1,0 +1,45 @@
+#include "patterns/common.hpp"
+
+namespace csaw::patterns {
+
+void add_worker_junction(TypeBuilder type, const WorkerJunctionNames& n) {
+  const bool responds = !n.pack_response.empty();
+
+  // The Work arm's handoff: optionally ship the response, then release the
+  // front-end. Failure-awareness + single retry exactly as Fig 4/Fig 7.
+  ExprPtr handoff;
+  if (responds) {
+    handoff = e_txn(e_seq({
+        e_save("m", n.pack_response),
+        e_write("m", jref(n.front_instance, n.junction)),
+        e_retract(pr("Work"), jref(n.front_instance, n.junction)),
+    }));
+  } else {
+    handoff = e_retract(pr("Work"), jref(n.front_instance, n.junction));
+  }
+
+  std::vector<CaseArm> arms;
+  arms.push_back(case_arm(
+      f_prop("Work"),
+      e_otherwise(std::move(handoff), TimeRef::variable(Symbol("t")),
+                  e_if(f_not(f_prop("Retried")), e_assert(pr("Retried")),
+                       e_call(n.complain))),
+      Terminator::kReconsider));
+
+  auto junction = type.junction(n.junction)
+                      .param("t", ParamDecl::Kind::kTime)
+                      .init_prop("Work", false)
+                      .init_prop("Retried", false)
+                      .init_data("n")
+                      .guard(f_prop("Work"))
+                      .auto_schedule();
+  if (responds) junction.init_data("m");
+  junction.body(e_seq({
+      e_restore("n", n.unpack_request),
+      e_host(n.h_work),
+      e_retract(pr("Retried")),
+      e_case(std::move(arms), e_skip()),
+  }));
+}
+
+}  // namespace csaw::patterns

@@ -1,0 +1,41 @@
+// Shared building blocks reused across architecture patterns -- the concrete
+// realization of the paper's reuse claim ("the same architectural
+// description can be reused in different applications", S3; tau_Fun in Fig 7
+// "is closely based on tau_Auditing in Fig 4").
+#pragma once
+
+#include <string>
+
+#include "core/builder.hpp"
+
+namespace csaw::patterns {
+
+struct WorkerJunctionNames {
+  std::string front_instance;   // who to respond to
+  std::string junction;         // junction name on both sides
+  std::string h_work;           // host block doing the actual work
+  std::string unpack_request;   // restorer for the inbound request n
+  std::string pack_response;    // saver for the outbound response m ("" = none)
+  std::string complain;
+};
+
+// Builds the guarded worker junction shared by tau_Auditing (Fig 4),
+// tau_Back (Fig 5) and tau_Fun (Fig 7):
+//
+//   | init prop !Work | init prop !Retried | init data n [| init data m]
+//   | guard Work
+//   restore(n, ...); |_H_|; retract [] Retried;
+//   case {
+//     Work => [save(..., m); write(m, Front);] retract [Front] Work
+//             otherwise[t] if !Retried then assert [] Retried;
+//                          else complain();
+//             reconsider
+//     otherwise => skip
+//   }
+//
+// When pack_response is non-empty the response m is written back before the
+// Work retraction (Fig 7's tau_Fun); the write+retract share a transactional
+// block so a failed handoff rolls back cleanly.
+void add_worker_junction(TypeBuilder type, const WorkerJunctionNames& names);
+
+}  // namespace csaw::patterns

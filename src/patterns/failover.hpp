@@ -1,0 +1,75 @@
+// Fail-over architecture with warm replicas (paper S7.3, Figs 8-14;
+// use-case (1) of Fig 1).
+//
+// One front-end instance with two junctions -- f::c faces clients, f::b
+// faces back-ends and owns the canonical state -- plus N >= 2 back-end
+// instances, each with three junctions: startup (registration), serve
+// (request handling + activation), and reactivate (inactivity watchdog that
+// deregisters a silent back-end so it re-registers, arrow (5) of Fig 8).
+// Client requests fan out to every registered back-end ("implicit fail-over
+// between warm replicas"); as long as one back-end responds the system keeps
+// functioning, and back-ends that time out are deregistered and
+// re-initialized when they come back (state resynchronized during
+// registration, Fig 9).
+//
+// This is the pattern the paper applies unchanged to both Redis and
+// Suricata ("the same logic is applied to both Redis and Suricata", S7.3).
+//
+// Required host bindings:
+//   block "H1"  -- front-end pre-processing (pop client request)
+//   block "H2"  -- back-end request processing
+//   block "H3"  -- front-end post-processing (deliver response)
+//   block "complain"
+//   saver "init_state" / "pack_state", restorer "unpack_state"
+//       -- canonical-state management (front + back activation)
+//   saver "pack_request", restorer "unpack_request"
+//   saver "pack_preresp", restorer "unpack_preresp"
+//
+// Deviations from the figures, recorded in DESIGN.md: f::b seeds its
+// canonical `state` with save(init_state) during Starting (the figures
+// assume it exists); declarations the figures elide (InitBackend/Call/
+// HaveAtLeastOne at f::b, failover-side props) are declared explicitly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+
+namespace csaw::patterns {
+
+struct FailoverOptions {
+  std::string front_instance = "f";
+  std::string back_prefix = "b";  // back-ends are b1..bN
+  std::size_t backends = 2;
+  std::int64_t timeout_ms = 300;
+  // Inactivity window before a back-end re-registers; the paper's main uses
+  // 3*t.
+  std::int64_t reactivate_ms = 900;
+  // true  = engage every registered back-end in parallel (the paper's S7.3
+  //         design: warm replicas all process each request);
+  // false = the paper's suggested improvement (i)/(ii): try back-ends in
+  //         order and take the first success -- "less conservative, and
+  //         lower latency ... a single back-end responding would be
+  //         sufficient", with less network overhead.
+  bool engage_all = true;
+
+  std::string h1 = "H1";
+  std::string h2 = "H2";
+  std::string h3 = "H3";
+  std::string complain = "complain";
+  std::string init_state = "init_state";
+  std::string pack_state = "pack_state";
+  std::string unpack_state = "unpack_state";
+  std::string pack_request = "pack_request";
+  std::string unpack_request = "unpack_request";
+  std::string pack_preresp = "pack_preresp";
+  std::string unpack_preresp = "unpack_preresp";
+};
+
+ProgramSpec failover(const FailoverOptions& options = {});
+
+std::vector<std::string> failover_backend_names(const FailoverOptions& options);
+
+}  // namespace csaw::patterns

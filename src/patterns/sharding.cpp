@@ -1,0 +1,176 @@
+#include "patterns/sharding.hpp"
+
+#include "patterns/common.hpp"
+
+namespace csaw::patterns {
+
+std::vector<std::string> shard_backend_names(const ShardingOptions& o) {
+  std::vector<std::string> names;
+  names.reserve(o.backends);
+  for (std::size_t i = 1; i <= o.backends; ++i) {
+    names.push_back(o.back_prefix + std::to_string(i));
+  }
+  return names;
+}
+
+ProgramSpec sharding(const ShardingOptions& o) {
+  ProgramBuilder p("sharding");
+  const auto backs = shard_backend_names(o);
+
+  CtList back_addrs;
+  for (const auto& b : backs) back_addrs.emplace_back(addr(b, o.junction));
+  p.config("Backs", CtValue(back_addrs));
+  p.function(o.complain).body(e_host(o.complain));
+
+  // def tau_Front :: (t) <|  (Fig 5)
+  //   | init prop !Work  | init data n  | init data m
+  //   | idx tgt of {Bck1, ..., BckN}
+  //   |_Choose_|{tgt}; save(..., n);
+  //   < write(n, tgt); assert [tgt] Work; wait [m] !Work;
+  //     restore(m, ...) >
+  //   otherwise[t] complain();
+  p.type("tau_Front")
+      .junction(o.junction)
+      .param("t", ParamDecl::Kind::kTime)
+      .init_prop("Work", false)
+      .init_data("n")
+      .init_data("m")
+      .idx("tgt", SetRef::named(Symbol("Backs")))
+      .body(e_seq({
+          e_host(o.choose, {Symbol("tgt")}),
+          e_save("n", o.pack_request),
+          e_otherwise(
+              e_fate(e_seq({
+                  e_write("n", idxvar("tgt")),
+                  e_assert(pr("Work"), idxvar("tgt")),
+                  e_wait({Symbol("m")}, f_not(f_prop("Work"))),
+                  e_restore("m", o.deliver_response),
+              })),
+              TimeRef::variable(Symbol("t")), e_call(o.complain)),
+      }));
+
+  // def tau_Back :: (t) <| -- "closely follows tau_Auditing" (S5.2); the
+  // shared worker junction adds the Fig 7-style response path.
+  add_worker_junction(p.type("tau_Back"),
+                      WorkerJunctionNames{o.front_instance, o.junction,
+                                          o.h_back, o.unpack_request,
+                                          o.pack_response, o.complain});
+
+  p.instance(o.front_instance, "tau_Front",
+             {{o.junction, {CtValue(o.timeout_ms)}}});
+  for (const auto& b : backs) {
+    p.instance(b, "tau_Back", {{o.junction, {CtValue(o.timeout_ms)}}});
+  }
+
+  std::vector<ExprPtr> starts{e_start(inst(o.front_instance))};
+  for (const auto& b : backs) starts.push_back(e_start(inst(b)));
+  p.main_body(e_par(std::move(starts)));
+  return p.build();
+}
+
+ProgramSpec parallel_sharding(const ParallelShardingOptions& o) {
+  ProgramBuilder p("parallel_sharding");
+  std::vector<std::string> backs;
+  for (std::size_t i = 1; i <= o.backends; ++i) {
+    backs.push_back(o.back_prefix + std::to_string(i));
+  }
+  CtList back_addrs;
+  for (const auto& b : backs) back_addrs.emplace_back(addr(b, o.junction));
+  p.config("Backs", CtValue(back_addrs));
+  p.function(o.complain).body(e_host(o.complain));
+
+  // def tau_Front :: (t) <|  (S7.1 Fig 6, with Work made per-back-end as the
+  // section's opening paragraph prescribes; ActiveBackend starts true --
+  // back-ends are presumed usable until a handoff times out)
+  //   | init data n
+  //   | set Backs
+  //   | for tgt in Backs init prop ActiveBackend[tgt]
+  //   | for tgt in Backs init prop !Work[tgt]
+  //   | subset tgt of Backs
+  //   | init prop !HaveAtLeastOne
+  //   |_ChooseSet_|{tgt}; save(..., n);
+  //   retract [] HaveAtLeastOne;
+  //   for b in tgt +
+  //     if ActiveBackend[b] then
+  //       <| write(n, b); assert [b] Work[b]; wait [] !Work[b];
+  //          assert [] HaveAtLeastOne;
+  //       |> otherwise[t] retract [] ActiveBackend[b];
+  //   if !HaveAtLeastOne then complain();
+  auto fan_body = e_if(
+      f_prop_idx("ActiveBackend", var("b")),
+      e_otherwise(
+          e_txn(e_seq({
+              e_write("n", var("b")),
+              e_assert(pr_idx("Work", var("b")), var("b")),
+              e_wait({}, f_not(f_prop_idx("Work", var("b")))),
+              e_assert(pr("HaveAtLeastOne")),
+          })),
+          TimeRef::variable(Symbol("t")),
+          e_retract(pr_idx("ActiveBackend", var("b")))));
+
+  p.type("tau_Front")
+      .junction(o.junction)
+      .param("t", ParamDecl::Kind::kTime)
+      .init_data("n")
+      .set_decl("Backs")
+      .for_init_prop("tgt", SetRef::named(Symbol("Backs")), "ActiveBackend",
+                     true)
+      .for_init_prop("tgt", SetRef::named(Symbol("Backs")), "Work", false)
+      .subset("tgt", SetRef::named(Symbol("Backs")))
+      .init_prop("HaveAtLeastOne", false)
+      .body(e_seq({
+          e_host(o.choose_set, {Symbol("tgt")}),
+          e_save("n", o.pack_request),
+          e_retract(pr("HaveAtLeastOne")),
+          e_for("b", SetRef::named(Symbol("tgt")), Expr::Kind::kPar,
+                std::move(fan_body)),
+          e_if(f_not(f_prop("HaveAtLeastOne")), e_call(o.complain)),
+      }));
+
+  // Back-end: the worker junction keyed by its own Work[self] proposition.
+  {
+    std::vector<CaseArm> arms;
+    arms.push_back(case_arm(
+        f_prop_idx("Work", var("self")),
+        e_otherwise(
+            e_retract(pr_idx("Work", var("self")),
+                      jref(o.front_instance, o.junction)),
+            TimeRef::variable(Symbol("t")),
+            e_if(f_not(f_prop("Retried")), e_assert(pr("Retried")),
+                 e_call(o.complain))),
+        Terminator::kReconsider));
+    p.type("tau_Back")
+        .junction(o.junction)
+        .param("t", ParamDecl::Kind::kTime)
+        .param("self", ParamDecl::Kind::kJunction)
+        .param("selfset", ParamDecl::Kind::kSet)
+        .for_init_prop("s", SetRef::named(Symbol("selfset")), "Work", false)
+        .init_prop("Retried", false)
+        .init_data("n")
+        .guard(f_for(Formula::Kind::kOr, "s", "selfset",
+                     f_prop_idx("Work", var("s"))))
+        .auto_schedule()
+        .body(e_seq({
+            e_restore("n", o.unpack_request),
+            e_host(o.h_back),
+            e_retract(pr("Retried")),
+            e_case(std::move(arms), e_skip()),
+        }));
+  }
+
+  p.instance(o.front_instance, "tau_Front",
+             {{o.junction, {CtValue(o.timeout_ms)}}});
+  for (const auto& b : backs) {
+    const CtValue self(addr(b, o.junction));
+    p.instance(b, "tau_Back",
+               {{o.junction,
+                 {CtValue(o.timeout_ms), self, CtValue(CtList{self})}}});
+  }
+
+  std::vector<ExprPtr> starts{e_start(inst(o.front_instance))};
+  for (const auto& b : backs) starts.push_back(e_start(inst(b)));
+  p.main_body(e_par(std::move(starts)));
+  return p.build();
+}
+
+}  // namespace csaw::patterns

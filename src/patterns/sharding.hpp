@@ -1,0 +1,72 @@
+// N-ary sharding architectures.
+//
+// 1. `sharding` -- the paper's Fig 5: a front-end with an `idx tgt` choice
+//    function over N back-ends. |_Choose_|{tgt} is "sufficiently abstract to
+//    implement different types of sharding" (S5.2): key-hash (djb2),
+//    object-size classes, or 5-tuple packet steering are all host-side
+//    choices. We add a response path (data m) following Fig 7's
+//    request/response shape so that GET-style workloads can flow back.
+//
+// 2. `parallel_sharding` -- S7.1 Fig 6: fan-out to a *subset* of back-ends
+//    in parallel with per-back-end liveness (ActiveBackend[b]) and a
+//    HaveAtLeastOne success check; used for replication/availability.
+//
+// Required host bindings for `sharding`:
+//   block "Choose"{tgt}       -- pops a request, picks the shard index
+//   saver "pack_request"      -- serializes the pending request into n
+//   block "H_back"            -- back-end processing (reads request state)
+//   restorer "unpack_request" -- back-end intake of n
+//   saver "pack_response"     -- back-end serializes response into m
+//   restorer "deliver_response" -- front-end hands the response to the client
+//   block "complain"
+// For `parallel_sharding`:
+//   block "ChooseSet"{tgt}    -- picks the subset of back-ends to engage
+//   (rest as above; no response path -- it is a replication pattern)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+
+namespace csaw::patterns {
+
+struct ShardingOptions {
+  std::string front_instance = "Fnt";
+  std::string back_prefix = "Bck";  // back-ends are Bck1..BckN
+  std::size_t backends = 4;
+  std::string junction = "j";
+  std::int64_t timeout_ms = 500;
+
+  std::string choose = "Choose";
+  std::string pack_request = "pack_request";
+  std::string h_back = "H_back";
+  std::string unpack_request = "unpack_request";
+  std::string pack_response = "pack_response";
+  std::string deliver_response = "deliver_response";
+  std::string complain = "complain";
+};
+
+ProgramSpec sharding(const ShardingOptions& options = {});
+
+// Names of the back-end instances for the given options.
+std::vector<std::string> shard_backend_names(const ShardingOptions& options);
+
+struct ParallelShardingOptions {
+  std::string front_instance = "Fnt";
+  std::string back_prefix = "Bck";
+  std::size_t backends = 3;
+  std::string junction = "j";
+  std::int64_t timeout_ms = 500;
+
+  std::string choose_set = "ChooseSet";
+  std::string pack_request = "pack_request";
+  std::string h_back = "H_back";
+  std::string unpack_request = "unpack_request";
+  std::string complain = "complain";
+};
+
+ProgramSpec parallel_sharding(const ParallelShardingOptions& options = {});
+
+}  // namespace csaw::patterns

@@ -1,0 +1,80 @@
+#include "patterns/snapshot.hpp"
+
+#include "core/builder.hpp"
+
+namespace csaw::patterns {
+
+ProgramSpec remote_snapshot(const SnapshotOptions& o) {
+  ProgramBuilder p("remote_snapshot");
+  p.config("t", CtValue(o.timeout_ms));
+
+  // def complain() <| |_..._|
+  p.function(o.complain).body(e_host(o.complain));
+
+  // def tau_Actual :: (t) <|  (Fig 4, left)
+  //   | init prop !Work  | init data n
+  //   |_H1_|; save(..., n);
+  //   < write(n, Aud); assert [Aud] Work; wait [] !Work; >
+  //   otherwise[t] complain();
+  p.type("tau_Actual")
+      .junction(o.junction)
+      .param("t", ParamDecl::Kind::kTime)
+      .init_prop("Work", false)
+      .init_data("n")
+      .body(e_seq({
+          e_host(o.h1),
+          e_save("n", o.capture),
+          e_otherwise(
+              e_fate(e_seq({
+                  e_write("n", jref(o.auditor_instance, o.junction)),
+                  e_assert(pr("Work"), jref(o.auditor_instance, o.junction)),
+                  e_wait({}, f_not(f_prop("Work"))),
+              })),
+              TimeRef::variable(Symbol("t")), e_call(o.complain)),
+      }));
+
+  // def tau_Auditing :: (t) <|  (Fig 4, right)
+  //   | init prop !Work | init prop !Retried | init data n | guard Work
+  //   restore(n, ...); |_H2_|; retract [] Retried;
+  //   case {
+  //     Work => retract [Act] Work otherwise[t]
+  //               if !Retried then assert [] Retried; else complain();
+  //             reconsider
+  //     otherwise => skip
+  //   }
+  std::vector<CaseArm> arms;
+  arms.push_back(case_arm(
+      f_prop("Work"),
+      e_otherwise(e_retract(pr("Work"), jref(o.actual_instance, o.junction)),
+                  TimeRef::variable(Symbol("t")),
+                  e_if(f_not(f_prop("Retried")), e_assert(pr("Retried")),
+                       e_call(o.complain))),
+      Terminator::kReconsider));
+
+  p.type("tau_Auditing")
+      .junction(o.junction)
+      .param("t", ParamDecl::Kind::kTime)
+      .init_prop("Work", false)
+      .init_prop("Retried", false)
+      .init_data("n")
+      .guard(f_prop("Work"))
+      .auto_schedule()
+      .body(e_seq({
+          e_restore("n", o.ingest),
+          e_host(o.h2),
+          e_retract(pr("Retried")),
+          e_case(std::move(arms), e_skip()),
+      }));
+
+  p.instance(o.actual_instance, "tau_Actual",
+             {{o.junction, {CtValue(o.timeout_ms)}}});
+  p.instance(o.auditor_instance, "tau_Auditing",
+             {{o.junction, {CtValue(o.timeout_ms)}}});
+
+  // def main(t) <| start Act(t) + start Aud(t)
+  p.main_body(e_par({e_start(inst(o.actual_instance)),
+                     e_start(inst(o.auditor_instance))}));
+  return p.build();
+}
+
+}  // namespace csaw::patterns

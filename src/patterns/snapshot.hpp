@@ -1,0 +1,45 @@
+// Remote-snapshot architecture (paper Fig 4; use-cases (2) one-time and (3)
+// continuous from Fig 1).
+//
+// Two instance types: tau_Actual (the application, which captures state and
+// ships it out) and tau_Auditing (the remote logger), coordinating through
+// the Work proposition with timeout-based failure-awareness and one
+// retry (the Retried flag + reconsider).
+//
+// Continuous snapshots (use-case 3) reuse this architecture by repeatedly
+// scheduling Act's junction during a single execution, exactly as S5.1
+// describes. The same pattern also implements *checkpointing* for Redis and
+// Suricata (S10.1): capture_state serializes the application state and the
+// auditor retains it for restart.
+//
+// Required host bindings (names configurable via options):
+//   block   "H1"            -- the application logic before the snapshot
+//   block   "H2"            -- the auditor's logic on receiving a snapshot
+//   block   "complain"      -- failure reporting
+//   saver   "capture_state" -- serializes the state to snapshot
+//   restorer "ingest_state" -- the auditor's intake of a snapshot
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/program.hpp"
+
+namespace csaw::patterns {
+
+struct SnapshotOptions {
+  std::string actual_instance = "Act";
+  std::string auditor_instance = "Aud";
+  std::string junction = "j";
+  std::int64_t timeout_ms = 500;
+
+  std::string h1 = "H1";
+  std::string h2 = "H2";
+  std::string complain = "complain";
+  std::string capture = "capture_state";
+  std::string ingest = "ingest_state";
+};
+
+ProgramSpec remote_snapshot(const SnapshotOptions& options = {});
+
+}  // namespace csaw::patterns

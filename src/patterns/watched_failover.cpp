@@ -1,0 +1,207 @@
+#include "patterns/watched_failover.hpp"
+
+#include "core/builder.hpp"
+
+namespace csaw::patterns {
+
+ProgramSpec watched_failover(const WatchedFailoverOptions& o) {
+  ProgramBuilder p("watched_failover");
+  const std::string f = o.front_instance;
+  const std::string w = o.watchdog_instance;
+  const std::string prim = o.primary_instance;
+  const std::string spare = o.spare_instance;
+  const TimeRef t = TimeRef::variable(Symbol("t"));
+  p.config("t", CtValue(o.timeout_ms));
+
+  const CtValue o_addr(addr(prim, "j"));
+  const CtValue s_addr(addr(spare, "j"));
+  const CtList both{o_addr, s_addr};
+  p.config("os", CtValue(both));
+
+  p.function(o.complain).body(e_host(o.complain));
+
+  // def RunBackend(n, t, tgt) <|
+  //   <| write(n, tgt); assert [tgt] Run[tgt] |> otherwise[t] complain();
+  p.function("RunBackend")
+      .param("tgt", ParamDecl::Kind::kJunction)
+      .body(e_otherwise(e_txn(e_seq({
+                            e_write("n", var("tgt")),
+                            e_assert(pr_idx("Run", var("tgt")), var("tgt")),
+                        })),
+                        t, e_call(o.complain)));
+
+  // def reply(t, other) <|   (Fig 17)
+  //   verify !Reply@f;
+  //   verify S(other) -> !Reply@other;   <- S()-guarded so the check is not
+  //       "needed" when the other back-end is down (ternary logic, S6)
+  //   < save(..., m); write(m, f); assert [f] Reply; >
+  //   otherwise[t] complain();
+  p.function("reply")
+      .param("other", ParamDecl::Kind::kJunction)
+      .body(e_seq({
+          e_verify(f_not(f_prop_at(jref(f, "j"), "Reply"))),
+          e_verify(f_implies(
+              f_running(var("other")),
+              f_not(f_prop_at(var("other"), "Reply")))),
+          e_otherwise(e_fate(e_seq({
+                          e_save("m", o.pack_reply),
+                          e_write("m", jref(f, "j")),
+                          e_assert(pr("Reply"), jref(f, "j")),
+                      })),
+                      t, e_call(o.complain)),
+      }));
+
+  // def Watch(tgt, prop) <|  (Fig 16)
+  p.function("Watch")
+      .param("tgt", ParamDecl::Kind::kJunction)
+      .param("prop", ParamDecl::Kind::kPropName)
+      .init_prop("prop", false)
+      .body(e_otherwise(e_txn(e_seq({
+                            e_assert(pr("prop"), var("tgt")),
+                            e_assert(pr("prop"), jref(f, "j")),
+                        })),
+                        TimeRef::infinite(), e_call(o.complain)));
+
+  // --- tau_f :: (t)  (Fig 16) -----------------------------------------------
+  {
+    std::vector<CaseArm> arms;
+    arms.push_back(case_arm(
+        f_and(f_prop("failover"), f_not(f_prop("nofailover"))),
+        e_call("RunBackend", {NameTerm::concrete(s_addr.as_junction())}),
+        Terminator::kBreak));
+    arms.push_back(case_arm(
+        f_and(f_not(f_prop("failover")), f_prop("nofailover")),
+        e_call("RunBackend", {NameTerm::concrete(o_addr.as_junction())}),
+        Terminator::kBreak));
+
+    p.type("tau_f")
+        .junction("j")
+        .param("t", ParamDecl::Kind::kTime)
+        .init_prop("Reply", false)
+        .for_init_prop("tgt", SetRef::named(Symbol("os")), "Run", false)
+        .init_prop("failover", false)
+        .init_prop("nofailover", false)
+        .init_data("n")
+        .init_data("m")
+        // Junction won't be scheduled until !Reply (Fig 16's comment).
+        .guard(f_not(f_prop("Reply")))
+        .body(e_seq({
+            e_host(o.h1),
+            e_save("n", o.pack_request),
+            e_verify(f_and(
+                f_not(f_prop_idx("Run", NameTerm::concrete(o_addr.as_junction()))),
+                f_and(f_not(f_prop_idx("Run",
+                                       NameTerm::concrete(s_addr.as_junction()))),
+                      f_not(f_prop("Reply"))))),
+            e_verify(f_not(f_and(f_prop("failover"), f_prop("nofailover")))),
+            e_case(std::move(arms),
+                   e_otherwise(
+                       e_par({e_call("RunBackend",
+                                     {NameTerm::concrete(o_addr.as_junction())}),
+                              e_call("RunBackend",
+                                     {NameTerm::concrete(s_addr.as_junction())})}),
+                       t, e_call(o.complain))),
+            // Don't wait too long for completion, prioritize throughput
+            // (Fig 16's comment). If Reply hasn't been set, the guard keeps
+            // this junction unscheduled until it is.
+            e_otherwise(e_wait({Symbol("m")}, f_prop("Reply")), t, e_return()),
+            e_retract(pr("Reply")),
+            e_restore("m", o.unpack_reply),
+            e_host(o.h3),
+        }));
+  }
+
+  // --- back-ends tau_o / tau_s  (Fig 17) -------------------------------------
+  auto add_backend = [&](const std::string& type, const CtValue& other,
+                         bool reply_on_failover) {
+    ExprPtr tail;
+    if (reply_on_failover) {
+      // tau_s replies only when the watchdog declared fail-over.
+      std::vector<CaseArm> arms;
+      arms.push_back(case_arm(
+          f_prop("failover"),
+          e_seq({e_call("reply", {NameTerm::concrete(other.as_junction())}),
+                 e_retract(pr("Reply"))}),
+          Terminator::kBreak));
+      tail = e_case(std::move(arms), e_skip());
+    } else {
+      // tau_o always replies.
+      tail = e_seq({e_call("reply", {NameTerm::concrete(other.as_junction())}),
+                    e_retract(pr("Reply"))});
+    }
+    p.type(type)
+        .junction("j")
+        .param("t", ParamDecl::Kind::kTime)
+        .param("selfset", ParamDecl::Kind::kSet)
+        .for_init_prop("tgt", SetRef::named(Symbol("selfset")), "Run", false)
+        .init_prop("Reply", false)
+        .init_prop("failover", false)
+        .init_prop("nofailover", false)
+        .init_data("n")
+        .init_data("m")
+        .guard(f_for(Formula::Kind::kOr, "s", "selfset",
+                     f_prop_idx("Run", var("s"))))
+        .auto_schedule()
+        .body(e_seq({
+            e_verify(f_not(f_prop("Reply"))),
+            e_restore("n", o.unpack_request),
+            e_host(o.h2),
+            e_otherwise(e_retract(pr_idx("Run", NameTerm::me_junction()), jref(f, "j")),
+                        t, e_call(o.complain)),
+            std::move(tail),
+        }));
+  };
+  add_backend("tau_o", s_addr, /*reply_on_failover=*/false);
+  add_backend("tau_s", o_addr, /*reply_on_failover=*/true);
+
+  // --- watchdog tau_w  (Fig 16) ----------------------------------------------
+  {
+    auto tw = p.type("tau_w");
+    tw.junction("cs")
+        .guard(f_and(f_not(f_running(NameTerm::concrete(
+                         JunctionAddr{Symbol(prim), Symbol()}))),
+                     f_and(f_running(NameTerm::concrete(
+                               JunctionAddr{Symbol(spare), Symbol()})),
+                           f_running(NameTerm::concrete(
+                               JunctionAddr{Symbol(f), Symbol()})))))
+        .auto_schedule()
+        .body(e_call("Watch", {NameTerm::concrete(s_addr.as_junction()),
+                               CtValue(Symbol("failover"))}));
+    tw.junction("co")
+        .guard(f_and(f_not(f_running(NameTerm::concrete(
+                         JunctionAddr{Symbol(spare), Symbol()}))),
+                     f_and(f_running(NameTerm::concrete(
+                               JunctionAddr{Symbol(prim), Symbol()})),
+                           f_running(NameTerm::concrete(
+                               JunctionAddr{Symbol(f), Symbol()})))))
+        .auto_schedule()
+        .body(e_call("Watch", {NameTerm::concrete(o_addr.as_junction()),
+                               CtValue(Symbol("nofailover"))}));
+    tw.junction("cunrecov")
+        .guard(f_or(f_and(f_not(f_running(NameTerm::concrete(
+                              JunctionAddr{Symbol(spare), Symbol()}))),
+                          f_not(f_running(NameTerm::concrete(
+                              JunctionAddr{Symbol(prim), Symbol()})))),
+                    f_not(f_running(
+                        NameTerm::concrete(JunctionAddr{Symbol(f), Symbol()})))))
+        .auto_schedule()
+        .body(e_call(o.complain));
+  }
+
+  // --- instances & main -------------------------------------------------------
+  p.instance(f, "tau_f", {{"j", {CtValue(o.timeout_ms)}}});
+  p.instance(prim, "tau_o",
+             {{"j", {CtValue(o.timeout_ms), CtValue(CtList{o_addr})}}});
+  p.instance(spare, "tau_s",
+             {{"j", {CtValue(o.timeout_ms), CtValue(CtList{s_addr})}}});
+  p.instance(w, "tau_w", {});
+
+  // def main(t) <| (start w + start o + start s); start f  (Fig 16)
+  p.main_body(e_seq({
+      e_par({e_start(inst(w)), e_start(inst(prim)), e_start(inst(spare))}),
+      e_start(inst(f)),
+  }));
+  return p.build();
+}
+
+}  // namespace csaw::patterns

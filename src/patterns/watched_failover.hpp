@@ -1,0 +1,47 @@
+// "Watched" fail-over (paper S7.4, Figs 15-17): an alternative point in the
+// design space for the same fail-over concept.
+//
+// Two back-ends o (preferred) and s (spare), one front-end f, and a
+// watchdog instance w that arbitrates back-end liveness through three
+// guarded junctions: cs (only s is alive -> assert failover), co (only o is
+// alive -> assert nofailover), and cunrecov (both back-ends gone, or f
+// itself gone -> complain). Unlike S7.3, the front-end engages a single
+// back-end at a time; when neither watchdog verdict is in, it runs both and
+// takes whichever replies (Fig 16's case-otherwise arm).
+//
+// Required host bindings:
+//   block "H1" -- front-end pre-processing (pop client request)
+//   block "H2" -- back-end processing (both o and s)
+//   block "H3" -- front-end post-processing (deliver response)
+//   block "complain"
+//   saver "pack_request", restorer "unpack_request"
+//   saver "pack_reply", restorer "unpack_reply"
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/program.hpp"
+
+namespace csaw::patterns {
+
+struct WatchedFailoverOptions {
+  std::string front_instance = "f";
+  std::string watchdog_instance = "w";
+  std::string primary_instance = "o";
+  std::string spare_instance = "s";
+  std::int64_t timeout_ms = 300;
+
+  std::string h1 = "H1";
+  std::string h2 = "H2";
+  std::string h3 = "H3";
+  std::string complain = "complain";
+  std::string pack_request = "pack_request";
+  std::string unpack_request = "unpack_request";
+  std::string pack_reply = "pack_reply";
+  std::string unpack_reply = "unpack_reply";
+};
+
+ProgramSpec watched_failover(const WatchedFailoverOptions& options = {});
+
+}  // namespace csaw::patterns

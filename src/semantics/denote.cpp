@@ -1,0 +1,415 @@
+#include "semantics/denote.hpp"
+
+#include "semantics/dnf.hpp"
+#include "support/check.hpp"
+
+namespace csaw {
+namespace {
+
+std::string render_target(const NameTerm& t) {
+  switch (t.kind) {
+    case NameTerm::Kind::kConcrete:
+      // The paper's figures subscript events by instance (Wr_Aud, Start(Act));
+      // we follow that convention.
+      return t.addr.instance.str();
+    case NameTerm::Kind::kIdx:
+      return t.var.str();
+    default:
+      return t.to_string();
+  }
+}
+
+std::string render_prop(const PropRef& p) {
+  if (!p.index.has_value()) return p.base.str();
+  return p.base.str() + "[" + p.index->to_string() + "]";
+}
+
+struct Denoter {
+  DenoteOptions options;
+  std::size_t total_events = 0;
+
+  // The eta environment: continuations for control-flow statements.
+  struct Eta {
+    ExprPtr sub = e_skip();
+    ExprPtr ret = e_skip();
+    ExprPtr brk = e_skip();
+    ExprPtr reconsider = e_skip();
+    ExprPtr next = e_skip();
+  };
+
+  Status budget_check(const EventStructure& es) {
+    total_events += es.size();
+    if (total_events > options.max_events) {
+      return make_error(Errc::kExhausted, "event-structure budget exceeded");
+    }
+    return Status::ok_status();
+  }
+
+  static EventStructure placeholder(const std::string& what) {
+    EventStructure es;
+    es.add_event(SemLabel::ad_hoc("<cut:" + what + ">"));
+    return es;
+  }
+
+  // Decomposes a formula into the staged DNF read pattern: per disjunct a
+  // Synch_J prefix enabling parallel reads; disjunct Synchs pairwise
+  // conflict. Rightmost events are the reads (or the Synch of an empty
+  // clause).
+  Result<EventStructure> formula_reads(const Formula& f,
+                                       const std::string& junction) {
+    auto dnf = to_dnf(f);
+    if (!dnf) return dnf.error();
+    EventStructure out;
+    std::vector<EventId> synchs;
+    for (const auto& clause : *dnf) {
+      const EventId synch = out.add_event(SemLabel::synch(junction));
+      synchs.push_back(synch);
+      for (const auto& lit : clause) {
+        const EventId rd = out.add_event(
+            SemLabel::rd(junction, lit.prop, lit.positive ? "tt" : "ff"));
+        out.add_enable(synch, rd);
+      }
+    }
+    for (std::size_t i = 0; i < synchs.size(); ++i) {
+      for (std::size_t k = i + 1; k < synchs.size(); ++k) {
+        out.add_conflict(synchs[i], synchs[k]);
+      }
+    }
+    // `false` (empty DNF): a single impossible marker event keeps later
+    // compositions well-formed.
+    if (synchs.empty()) {
+      out.add_event(SemLabel::ad_hoc("<false>"));
+    }
+    return out;
+  }
+
+  Result<EventStructure> denote(const Expr& e, const std::string& junction,
+                                const Eta& eta, int budget) {
+    switch (e.kind) {
+      case Expr::Kind::kSkip:
+      case Expr::Kind::kRestore:
+        // [[skip]] = [[restore(n, ...)]] = (empty, empty, empty) (Fig 20).
+        return EventStructure{};
+      case Expr::Kind::kHost: {
+        EventStructure es;
+        if (e.host_writes.empty()) {
+          // Abstracted behavior gets an ad hoc label, as the paper does for
+          // complain() (S8.2).
+          es.add_event(SemLabel::ad_hoc(e.host_binding.str()));
+        }
+        for (const auto& v : e.host_writes) {
+          es.add_event(SemLabel::wr(junction, v.str(), "*"));
+        }
+        CSAW_TRY(budget_check(es));
+        return es;
+      }
+      case Expr::Kind::kSave: {
+        EventStructure es;
+        es.add_event(SemLabel::wr(junction, e.data.str(), "*"));
+        CSAW_TRY(budget_check(es));
+        return es;
+      }
+      case Expr::Kind::kWrite: {
+        EventStructure es;
+        es.add_event(
+            SemLabel::wr(render_target(*e.target), e.data.str(), "*"));
+        CSAW_TRY(budget_check(es));
+        return es;
+      }
+      case Expr::Kind::kAssert:
+      case Expr::Kind::kRetract: {
+        const std::string value =
+            e.kind == Expr::Kind::kAssert ? "tt" : "ff";
+        EventStructure es;
+        es.add_event(SemLabel::wr(junction, render_prop(e.prop), value));
+        if (e.target.has_value()) {
+          es.add_event(SemLabel::wr(render_target(*e.target),
+                                    render_prop(e.prop), value));
+        }
+        CSAW_TRY(budget_check(es));
+        return es;
+      }
+      case Expr::Kind::kWait: {
+        // Staged expansion (S8.5): first the DNF of F, then reads of the
+        // admitted data keys, sequenced after each disjunct.
+        auto reads = formula_reads(*e.formula, junction);
+        if (!reads) return reads.error();
+        EventStructure data_reads;
+        for (const auto& n : e.keys) {
+          data_reads.add_event(SemLabel::rd(junction, n.str(), "*"));
+        }
+        CSAW_TRY(budget_check(*reads));
+        if (data_reads.size() == 0) return *reads;
+        CSAW_TRY(budget_check(data_reads));
+        return es_seq(std::move(*reads), data_reads);
+      }
+      case Expr::Kind::kStart: {
+        EventStructure es;
+        es.add_event(SemLabel::start(junction, render_target(e.instance)));
+        CSAW_TRY(budget_check(es));
+        return es;
+      }
+      case Expr::Kind::kStop: {
+        EventStructure es;
+        es.add_event(SemLabel::stop(junction, render_target(e.instance)));
+        CSAW_TRY(budget_check(es));
+        return es;
+      }
+      case Expr::Kind::kVerify:
+        // Not given in Fig 20; we model verify as the reads that decide it.
+        return formula_reads(*e.formula, junction);
+      case Expr::Kind::kKeep: {
+        EventStructure es;
+        es.add_event(SemLabel::ad_hoc("keep"));
+        return es;
+      }
+      case Expr::Kind::kReturn:
+        // [[return]] = [[eta(return)]].
+        if (budget <= 0) return placeholder("return");
+        return denote(*eta.ret, junction, eta, budget - 1);
+      case Expr::Kind::kRetry:
+        if (budget <= 0) return placeholder("retry");
+        return placeholder("retry");  // [[J]]: cut at the junction boundary
+      case Expr::Kind::kBreakStmt:
+        if (budget <= 0) return placeholder("break");
+        return denote(*eta.brk, junction, eta, budget - 1);
+      case Expr::Kind::kSeq: {
+        // [[E1;E2]]: eta{sub -> E2} while denoting E1.
+        EventStructure acc;
+        bool have = false;
+        for (std::size_t i = 0; i < e.children.size(); ++i) {
+          Eta inner = eta;
+          if (i + 1 < e.children.size()) inner.sub = e.children[i + 1];
+          auto part = denote(*e.children[i], junction, inner, budget);
+          if (!part) return part.error();
+          if (!have) {
+            acc = std::move(*part);
+            have = true;
+          } else {
+            acc = es_seq(std::move(acc), *part);
+          }
+        }
+        return acc;
+      }
+      case Expr::Kind::kPar: {
+        EventStructure acc;
+        for (const auto& c : e.children) {
+          auto part = denote(*c, junction, eta, budget);
+          if (!part) return part.error();
+          acc = es_plus(std::move(acc), *part);
+        }
+        return acc;
+      }
+      case Expr::Kind::kParN: {
+        EventStructure acc;
+        bool have = false;
+        for (const auto& c : e.children) {
+          auto part = denote(*c, junction, eta, budget);
+          if (!part) return part.error();
+          if (!have) {
+            acc = std::move(*part);
+            have = true;
+          } else {
+            acc = es_parn(acc, *part);
+          }
+          CSAW_TRY(budget_check(acc));
+        }
+        return acc;
+      }
+      case Expr::Kind::kOtherwise: {
+        auto a = denote(*e.children[0], junction, eta, budget);
+        if (!a) return a.error();
+        auto b = denote(*e.children[1], junction, eta, budget);
+        if (!b) return b.error();
+        auto combined = es_otherwise(std::move(*a), *b);
+        CSAW_TRY(budget_check(combined));
+        return combined;
+      }
+      case Expr::Kind::kFate: {
+        Eta inner = eta;
+        inner.ret = eta.sub;
+        return denote(*e.children[0], junction, inner, budget);
+      }
+      case Expr::Kind::kTxn: {
+        Eta inner = eta;
+        inner.ret = eta.sub;
+        auto body = denote(*e.children[0], junction, inner, budget);
+        if (!body) return body.error();
+        return es_txn(std::move(*body), junction);
+      }
+      case Expr::Kind::kCase:
+        return denote_case(e, 0, junction, eta, budget);
+      case Expr::Kind::kLoopScope:
+      case Expr::Kind::kIfMember:
+        return denote(*e.children[0], junction, eta, budget);
+      case Expr::Kind::kCall:
+      case Expr::Kind::kFor:
+        return make_error(Errc::kInternal, "uncompiled node in denotation");
+    }
+    return make_error(Errc::kInternal, "unknown expr kind");
+  }
+
+  // case(i) of S8.3's supporting definitions.
+  Result<EventStructure> denote_case(const Expr& e, std::size_t i,
+                                     const std::string& junction,
+                                     const Eta& eta, int budget) {
+    if (i >= e.arms.size()) {
+      return denote(*e.case_otherwise, junction, eta, budget);
+    }
+    const CaseArm& arm = e.arms[i];
+
+    // eta' adjustments: break leaves the case (continues with eta.sub);
+    // reconsider re-denotes the whole case; next denotes the reduced case.
+    Eta arm_eta = eta;
+    arm_eta.brk = eta.sub;
+
+    auto guard_es = formula_reads(*arm.guard, junction);
+    if (!guard_es) return guard_es.error();
+    auto not_guard_es = formula_reads(*f_not(arm.guard), junction);
+    if (!not_guard_es) return not_guard_es.error();
+
+    auto body = denote(*arm.body, junction, arm_eta, budget);
+    if (!body) return body.error();
+
+    // Terminator continuation.
+    EventStructure term_es;
+    switch (arm.term) {
+      case Terminator::kBreak:
+        term_es = EventStructure{};  // falls through to eta.sub via seq
+        break;
+      case Terminator::kNext: {
+        if (budget <= 0) {
+          term_es = placeholder("next");
+        } else {
+          auto next_es = denote_case(e, i + 1, junction, eta, budget - 1);
+          if (!next_es) return next_es.error();
+          term_es = std::move(*next_es);
+        }
+        break;
+      }
+      case Terminator::kReconsider: {
+        if (budget <= 0) {
+          term_es = placeholder("reconsider");
+        } else {
+          auto re_es = denote_case(e, 0, junction, eta, budget - 1);
+          if (!re_es) return re_es.error();
+          term_es = std::move(*re_es);
+        }
+        break;
+      }
+    }
+    EventStructure taken = es_seq(std::move(*guard_es), *body);
+    if (term_es.size() > 0) taken = es_seq(std::move(taken), term_es);
+
+    auto rest = denote_case(e, i + 1, junction, eta, budget);
+    if (!rest) return rest.error();
+    EventStructure not_taken = es_seq(std::move(*not_guard_es), *rest);
+
+    // The two entries are in (minimal) conflict between their Synchs.
+    const auto left_a = taken.leftmost();
+    const auto left_b = not_taken.leftmost();
+    EventStructure out = es_plus(std::move(taken), not_taken);
+    for (EventId a : left_a) {
+      for (EventId b : left_b) out.add_conflict(a, b);
+    }
+    CSAW_TRY(budget_check(out));
+    return out;
+  }
+};
+
+}  // namespace
+
+Result<EventStructure> denote_junction(const CompiledJunction& junction,
+                                       DenoteOptions options) {
+  Denoter d{options};
+  const std::string j = junction.addr.instance.str();
+  EventStructure sched;
+  const EventId sched_ev = sched.add_event(SemLabel::sched(j));
+
+  // A guarded junction reads its guard right after scheduling (Fig 22's
+  // leading Rd(Work,tt)).
+  EventStructure guard_es;
+  if (junction.guard != nullptr) {
+    auto g = d.formula_reads(*junction.guard, j);
+    if (!g) return g.error();
+    guard_es = std::move(*g);
+  }
+
+  auto body = d.denote(*junction.body, j, Denoter::Eta{}, options.unfold_budget);
+  if (!body) return body.error();
+
+  EventStructure out = std::move(sched);
+  (void)sched_ev;
+  if (guard_es.size() > 0) out = es_seq(std::move(out), guard_es);
+  out = es_seq(std::move(out), *body);
+
+  EventStructure unsched;
+  unsched.add_event(SemLabel::unsched(j));
+  out = es_seq(std::move(out), unsched);
+  return out;
+}
+
+Result<EventStructure> denote_program(const CompiledProgram& program,
+                                      DenoteOptions options) {
+  Denoter d{options};
+  // Start-up portion (S8.4): main enables Start_init(iota) events which
+  // enable the initialization writes of each instance's declarations.
+  EventStructure out;
+  const EventId main_ev = out.add_event(SemLabel::ad_hoc("main"));
+  auto main_es =
+      d.denote(*program.main_body, "init", Denoter::Eta{}, options.unfold_budget);
+  if (!main_es) return main_es.error();
+  const auto left = main_es->leftmost();
+  out.merge(*main_es);
+  for (EventId l : left) out.add_enable(main_ev, l);
+
+  // Initialization writes hang off the corresponding Start event.
+  for (const auto& inst : program.instances) {
+    const auto starts = out.find(SemLabel::start("init", inst.name.str()));
+    for (const auto& junction : inst.junctions) {
+      for (const auto& [prop, initial] : junction.table_spec.props) {
+        const EventId wr = out.add_event(SemLabel::wr(
+            inst.name.str(), prop.str(), initial ? "tt" : "ff"));
+        for (EventId s : starts) out.add_enable(s, wr);
+      }
+    }
+  }
+
+  // Each junction's structure, connected by the cross-junction enablement
+  // arrows of Fig 18: a write event produced in one junction's structure and
+  // addressed at instance X enables the matching read events in X's
+  // structure.
+  std::vector<EventStructure> junction_structures;
+  for (const auto& inst : program.instances) {
+    for (const auto& junction : inst.junctions) {
+      auto es = denote_junction(junction, options);
+      if (!es) return es.error();
+      junction_structures.push_back(std::move(*es));
+    }
+  }
+  for (auto& es : junction_structures) out.merge(es);
+
+  // Cross edges: Wr_X(K,V) (emitted anywhere) -> Rd_X(K,V).
+  std::vector<std::pair<EventId, const SemEvent*>> writes;
+  std::vector<std::pair<EventId, const SemEvent*>> reads;
+  for (const auto& [id, ev] : out.events()) {
+    if (ev.label.kind == SemLabel::Kind::kWr) writes.emplace_back(id, &ev);
+    if (ev.label.kind == SemLabel::Kind::kRd) reads.emplace_back(id, &ev);
+  }
+  for (const auto& [wid, wev] : writes) {
+    for (const auto& [rid, rev] : reads) {
+      if (wev->label.junction == rev->label.junction &&
+          wev->label.key == rev->label.key &&
+          (wev->label.value == rev->label.value ||
+           wev->label.value == "*") &&
+          !out.le(rid, wid)) {
+        out.add_enable(wid, rid);
+      }
+    }
+  }
+  auto st = out.validate();
+  if (!st.ok()) return st.error();
+  return out;
+}
+
+}  // namespace csaw

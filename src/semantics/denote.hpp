@@ -1,0 +1,36 @@
+// Denotational mapping [[E]]^eta_J from compiled DSL statements to event
+// structures (paper S8.4/S8.5).
+//
+// The paper gives an infinitary semantics (otherwise/retry/reconsider unroll
+// without bound); an executable reproduction must bound the unrolling, so
+// `DenoteOptions::unfold_budget` limits how many times retry / reconsider /
+// next / return continuations re-denote their targets. Beyond the budget a
+// placeholder ad hoc event ("<cut:...>") marks the cut, exactly as the paper
+// abstracts complain() with an ad hoc label. The paper itself notes the
+// implementation "only requires a weaker version of this semantics where
+// unnecessary program behavior is curtailed" (S8.5).
+#pragma once
+
+#include "core/compile.hpp"
+#include "semantics/structure.hpp"
+
+namespace csaw {
+
+struct DenoteOptions {
+  int unfold_budget = 1;
+  std::size_t max_events = 50000;
+};
+
+// [[body]] of one junction, wrapped Sched_J -> ... -> Unsched_J as in the
+// paper's Fig 21/22.
+Result<EventStructure> denote_junction(const CompiledJunction& junction,
+                                       DenoteOptions options = {});
+
+// Program-level semantics: the start-up portion (main event, Start_init
+// events, initialization writes; S8.4) composed with every junction's
+// structure, plus the cross-junction enablement edges of Fig 18 (a write
+// event targeting junction g enables g's matching read events).
+Result<EventStructure> denote_program(const CompiledProgram& program,
+                                      DenoteOptions options = {});
+
+}  // namespace csaw

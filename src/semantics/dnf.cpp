@@ -1,0 +1,130 @@
+#include "semantics/dnf.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace csaw {
+namespace {
+
+std::string literal_name(const Formula& f) {
+  std::string name;
+  if (f.at.has_value()) name += f.at->to_string() + "@";
+  name += f.prop.str();
+  if (f.index.has_value()) name += "[" + f.index->to_string() + "]";
+  return name;
+}
+
+// Cross product of two DNFs (conjunction distribution).
+Result<Dnf> cross(const Dnf& a, const Dnf& b, std::size_t max_clauses) {
+  Dnf out;
+  if (a.size() * b.size() > max_clauses) {
+    return make_error(Errc::kInvalidProgram, "DNF clause blowup");
+  }
+  for (const auto& ca : a) {
+    for (const auto& cb : b) {
+      DnfClause clause = ca;
+      clause.insert(clause.end(), cb.begin(), cb.end());
+      out.push_back(std::move(clause));
+    }
+  }
+  return out;
+}
+
+// polarity=true computes DNF(f); polarity=false computes DNF(!f).
+Result<Dnf> build(const Formula& f, bool polarity, std::size_t max_clauses) {
+  switch (f.kind) {
+    case Formula::Kind::kFalse:
+      // false -> empty disjunction; !false -> one vacuous clause.
+      return polarity ? Dnf{} : Dnf{DnfClause{}};
+    case Formula::Kind::kProp:
+      return Dnf{DnfClause{DnfLiteral{literal_name(f), polarity}}};
+    case Formula::Kind::kRunning:
+      return Dnf{DnfClause{
+          DnfLiteral{"S(" + f.instance.to_string() + ")", polarity}}};
+    case Formula::Kind::kNot:
+      return build(*f.lhs, !polarity, max_clauses);
+    case Formula::Kind::kAnd: {
+      auto a = build(*f.lhs, polarity, max_clauses);
+      if (!a) return a.error();
+      auto b = build(*f.rhs, polarity, max_clauses);
+      if (!b) return b.error();
+      if (polarity) return cross(*a, *b, max_clauses);
+      // !(A & B) = !A | !B
+      a->insert(a->end(), b->begin(), b->end());
+      return a;
+    }
+    case Formula::Kind::kOr: {
+      auto a = build(*f.lhs, polarity, max_clauses);
+      if (!a) return a.error();
+      auto b = build(*f.rhs, polarity, max_clauses);
+      if (!b) return b.error();
+      if (!polarity) return cross(*a, *b, max_clauses);
+      a->insert(a->end(), b->begin(), b->end());
+      return a;
+    }
+    case Formula::Kind::kImplies: {
+      // A -> B  ==  !A | B
+      auto na = build(*f.lhs, !polarity, max_clauses);
+      if (!na) return na.error();
+      auto b = build(*f.rhs, polarity, max_clauses);
+      if (!b) return b.error();
+      if (polarity) {
+        na->insert(na->end(), b->begin(), b->end());
+        return na;
+      }
+      // !(A -> B) = A & !B
+      return cross(*na, *b, max_clauses);
+    }
+    case Formula::Kind::kFor:
+      return make_error(Errc::kInternal, "uncompiled for-formula in DNF");
+  }
+  return make_error(Errc::kInternal, "unknown formula kind");
+}
+
+}  // namespace
+
+Result<Dnf> to_dnf(const Formula& f, std::size_t max_clauses) {
+  auto dnf = build(f, true, max_clauses);
+  if (!dnf) return dnf.error();
+  Dnf out;
+  for (auto& clause : *dnf) {
+    // Deduplicate literals; drop contradictory clauses.
+    std::sort(clause.begin(), clause.end());
+    clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+    bool contradictory = false;
+    for (std::size_t i = 0; i + 1 < clause.size(); ++i) {
+      if (clause[i].prop == clause[i + 1].prop &&
+          clause[i].positive != clause[i + 1].positive) {
+        contradictory = true;
+        break;
+      }
+    }
+    if (!contradictory) out.push_back(std::move(clause));
+  }
+  return out;
+}
+
+std::string dnf_to_string(const Dnf& dnf) {
+  if (dnf.empty()) return "false";
+  std::ostringstream os;
+  bool first_clause = true;
+  for (const auto& clause : dnf) {
+    if (!first_clause) os << " | ";
+    first_clause = false;
+    if (clause.empty()) {
+      os << "true";
+      continue;
+    }
+    os << "(";
+    bool first = true;
+    for (const auto& lit : clause) {
+      if (!first) os << " & ";
+      first = false;
+      os << (lit.positive ? "" : "!") << lit.prop;
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+}  // namespace csaw

@@ -1,0 +1,35 @@
+// Disjunctive normal form of compiled formulas (paper S8.3).
+//
+// Formulas guarding waits and case arms are decomposed into DNF; each
+// disjunct becomes a set of read-event literals prefixed by a Synch event,
+// with distinct disjuncts in minimal conflict ("each element set is a strict
+// alternative").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/formula.hpp"
+#include "support/result.hpp"
+
+namespace csaw {
+
+struct DnfLiteral {
+  std::string prop;  // rendered name; remote reads render as "g@P", S(i) as "S(i)"
+  bool positive = true;
+
+  friend auto operator<=>(const DnfLiteral&, const DnfLiteral&) = default;
+};
+
+using DnfClause = std::vector<DnfLiteral>;  // conjunction of literals
+using Dnf = std::vector<DnfClause>;         // disjunction of clauses
+
+// Converts to DNF; contradictory clauses (P and !P) are dropped. An empty
+// result denotes `false`; a result containing an empty clause denotes a
+// vacuously true disjunct. Errors if the clause count would exceed
+// `max_clauses` (exponential blowup guard).
+Result<Dnf> to_dnf(const Formula& f, std::size_t max_clauses = 4096);
+
+std::string dnf_to_string(const Dnf& dnf);
+
+}  // namespace csaw

@@ -1,0 +1,71 @@
+// Events and labels of the C-Saw event-structure semantics (paper S8.2).
+//
+//   L in { Rd_J(K,V), Wr_J(K,V), Start_J(g), Stop_J(g), Sched_J,
+//          Unsched_J, Synch_J(K...), Wait_J(K...,K), ad hoc }
+//
+// An event is (id, label, outward); "outward" tracks whether the event can
+// enable events through composition (manipulated by isolate()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace csaw {
+
+struct SemLabel {
+  enum class Kind {
+    kRd,
+    kWr,
+    kStart,
+    kStop,
+    kSched,
+    kUnsched,
+    kSynch,
+    kWait,
+    kAdHoc,  // abstracted behavior, e.g. "complain"
+  };
+
+  Kind kind = Kind::kAdHoc;
+  std::string junction;  // the J subscript ("f", or a set "{Act,Aud}")
+  std::string key;       // K: proposition/data name
+  std::string value;     // V: "tt", "ff", or "*"
+  std::string text;      // Start/Stop target or ad hoc text
+
+  static SemLabel rd(std::string j, std::string k, std::string v) {
+    return SemLabel{Kind::kRd, std::move(j), std::move(k), std::move(v), {}};
+  }
+  static SemLabel wr(std::string j, std::string k, std::string v) {
+    return SemLabel{Kind::kWr, std::move(j), std::move(k), std::move(v), {}};
+  }
+  static SemLabel start(std::string j, std::string target) {
+    return SemLabel{Kind::kStart, std::move(j), {}, {}, std::move(target)};
+  }
+  static SemLabel stop(std::string j, std::string target) {
+    return SemLabel{Kind::kStop, std::move(j), {}, {}, std::move(target)};
+  }
+  static SemLabel sched(std::string j) {
+    return SemLabel{Kind::kSched, std::move(j), {}, {}, {}};
+  }
+  static SemLabel unsched(std::string j) {
+    return SemLabel{Kind::kUnsched, std::move(j), {}, {}, {}};
+  }
+  static SemLabel synch(std::string j) {
+    return SemLabel{Kind::kSynch, std::move(j), {}, {}, {}};
+  }
+  static SemLabel ad_hoc(std::string text) {
+    return SemLabel{Kind::kAdHoc, {}, {}, {}, std::move(text)};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+  bool operator==(const SemLabel&) const = default;
+};
+
+using EventId = std::uint64_t;
+
+struct SemEvent {
+  EventId id = 0;
+  SemLabel label;
+  bool outward = true;
+};
+
+}  // namespace csaw

@@ -1,0 +1,368 @@
+#include "semantics/structure.hpp"
+
+#include <atomic>
+#include <deque>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace csaw {
+namespace {
+
+std::atomic<EventId> g_next_event_id{1};
+
+std::pair<EventId, EventId> ordered(EventId a, EventId b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+
+}  // namespace
+
+std::string SemLabel::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kRd: os << "Rd_" << junction << "(" << key << "," << value << ")"; break;
+    case Kind::kWr: os << "Wr_" << junction << "(" << key << "," << value << ")"; break;
+    case Kind::kStart: os << "Start_" << junction << "(" << text << ")"; break;
+    case Kind::kStop: os << "Stop_" << junction << "(" << text << ")"; break;
+    case Kind::kSched: os << "Sched_" << junction; break;
+    case Kind::kUnsched: os << "Unsched_" << junction; break;
+    case Kind::kSynch: os << "Synch_" << junction; break;
+    case Kind::kWait: os << "Wait_" << junction << "(" << key << ")"; break;
+    case Kind::kAdHoc: os << text; break;
+  }
+  return os.str();
+}
+
+EventId EventStructure::add_event(SemLabel label, bool outward) {
+  const EventId id = g_next_event_id.fetch_add(1);
+  events_.emplace(id, SemEvent{id, std::move(label), outward});
+  return id;
+}
+
+void EventStructure::add_enable(EventId from, EventId to) {
+  CSAW_CHECK(events_.contains(from) && events_.contains(to))
+      << "enable edge references unknown event";
+  CSAW_CHECK(from != to) << "self-enablement";
+  enable_.emplace(from, to);
+}
+
+void EventStructure::add_conflict(EventId a, EventId b) {
+  CSAW_CHECK(events_.contains(a) && events_.contains(b))
+      << "conflict references unknown event";
+  CSAW_CHECK(a != b) << "irreflexivity violated";
+  conflict_.insert(ordered(a, b));
+}
+
+void EventStructure::merge(const EventStructure& other) {
+  for (const auto& [id, ev] : other.events_) {
+    CSAW_CHECK(!events_.contains(id)) << "merge with overlapping ids";
+    events_.emplace(id, ev);
+  }
+  enable_.insert(other.enable_.begin(), other.enable_.end());
+  conflict_.insert(other.conflict_.begin(), other.conflict_.end());
+}
+
+std::pair<EventStructure, std::map<EventId, EventId>>
+EventStructure::fresh_copy() const {
+  EventStructure out;
+  std::map<EventId, EventId> remap;
+  for (const auto& [id, ev] : events_) {
+    remap[id] = out.add_event(ev.label, ev.outward);
+  }
+  for (const auto& [a, b] : enable_) out.enable_.emplace(remap.at(a), remap.at(b));
+  for (const auto& [a, b] : conflict_) {
+    out.conflict_.insert(ordered(remap.at(a), remap.at(b)));
+  }
+  return {std::move(out), std::move(remap)};
+}
+
+void EventStructure::isolate_all() {
+  for (auto& [id, ev] : events_) ev.outward = false;
+}
+
+std::vector<EventId> EventStructure::leftmost() const {
+  std::set<EventId> has_pred;
+  for (const auto& [a, b] : enable_) has_pred.insert(b);
+  std::vector<EventId> out;
+  for (const auto& [id, ev] : events_) {
+    if (!has_pred.contains(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<EventId> EventStructure::rightmost() const {
+  std::set<EventId> has_succ;
+  for (const auto& [a, b] : enable_) has_succ.insert(a);
+  std::vector<EventId> out;
+  for (const auto& [id, ev] : events_) {
+    if (!has_succ.contains(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<EventId> EventStructure::rightmost_outward() const {
+  std::vector<EventId> out;
+  for (EventId id : rightmost()) {
+    if (events_.at(id).outward) out.push_back(id);
+  }
+  return out;
+}
+
+bool EventStructure::le(EventId a, EventId b) const {
+  if (a == b) return true;
+  // BFS along immediate-causality edges.
+  std::deque<EventId> frontier{a};
+  std::set<EventId> seen{a};
+  while (!frontier.empty()) {
+    const EventId cur = frontier.front();
+    frontier.pop_front();
+    for (const auto& [x, y] : enable_) {
+      if (x == cur && !seen.contains(y)) {
+        if (y == b) return true;
+        seen.insert(y);
+        frontier.push_back(y);
+      }
+    }
+  }
+  return false;
+}
+
+bool EventStructure::strictly_before(EventId a, EventId b) const {
+  return a != b && le(a, b);
+}
+
+std::set<EventId> EventStructure::causes(EventId e) const {
+  std::set<EventId> out{e};
+  std::deque<EventId> frontier{e};
+  while (!frontier.empty()) {
+    const EventId cur = frontier.front();
+    frontier.pop_front();
+    for (const auto& [x, y] : enable_) {
+      if (y == cur && !out.contains(x)) {
+        out.insert(x);
+        frontier.push_back(x);
+      }
+    }
+  }
+  return out;
+}
+
+bool EventStructure::is_configuration(const std::set<EventId>& config) const {
+  for (EventId e : config) {
+    if (!events_.contains(e)) return false;
+    // Downward closure: every cause of e is in the configuration.
+    for (EventId c : causes(e)) {
+      if (!config.contains(c)) return false;
+    }
+  }
+  // Conflict-freedom (pairwise, inherited conflicts included).
+  for (EventId a : config) {
+    for (EventId b : config) {
+      if (a < b && in_conflict(a, b)) return false;
+    }
+  }
+  return true;
+}
+
+bool EventStructure::in_conflict(EventId a, EventId b) const {
+  if (a == b) return false;
+  // Inherited conflict: exists a' <= a, b' <= b with (a', b') a minimal
+  // conflict.
+  const auto ca = causes(a);
+  const auto cb = causes(b);
+  for (const auto& [x, y] : conflict_) {
+    if ((ca.contains(x) && cb.contains(y)) ||
+        (ca.contains(y) && cb.contains(x))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EventStructure::concurrent(EventId a, EventId b) const {
+  return a != b && !le(a, b) && !le(b, a) && !in_conflict(a, b);
+}
+
+std::vector<std::set<EventId>> EventStructure::configurations(
+    std::size_t max_configs) const {
+  std::set<std::set<EventId>> seen;
+  std::deque<std::set<EventId>> frontier;
+  seen.insert(std::set<EventId>{});
+  frontier.push_back(std::set<EventId>{});
+  while (!frontier.empty() && seen.size() < max_configs) {
+    const auto config = frontier.front();
+    frontier.pop_front();
+    for (const auto& [id, ev] : events_) {
+      if (config.contains(id)) continue;
+      // Enabled: all causes present. Consistent: no conflict with members.
+      bool ok = true;
+      for (EventId c : causes(id)) {
+        if (c != id && !config.contains(c)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      for (EventId m : config) {
+        if (in_conflict(id, m)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      auto next = config;
+      next.insert(id);
+      if (seen.insert(next).second) frontier.push_back(next);
+      if (seen.size() >= max_configs) break;
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+Status EventStructure::validate() const {
+  // Edge endpoints exist.
+  for (const auto& [a, b] : enable_) {
+    if (!events_.contains(a) || !events_.contains(b)) {
+      return make_error(Errc::kInternal, "dangling enablement edge");
+    }
+  }
+  for (const auto& [a, b] : conflict_) {
+    if (!events_.contains(a) || !events_.contains(b)) {
+      return make_error(Errc::kInternal, "dangling conflict pair");
+    }
+    if (a == b) return make_error(Errc::kInternal, "reflexive conflict");
+  }
+  // Acyclicity (antisymmetry of <=): Kahn's algorithm.
+  std::map<EventId, int> indeg;
+  for (const auto& [id, ev] : events_) indeg[id] = 0;
+  for (const auto& [a, b] : enable_) ++indeg[b];
+  std::deque<EventId> queue;
+  for (const auto& [id, d] : indeg) {
+    if (d == 0) queue.push_back(id);
+  }
+  std::size_t visited = 0;
+  while (!queue.empty()) {
+    const EventId cur = queue.front();
+    queue.pop_front();
+    ++visited;
+    for (const auto& [a, b] : enable_) {
+      if (a == cur && --indeg[b] == 0) queue.push_back(b);
+    }
+  }
+  if (visited != events_.size()) {
+    return make_error(Errc::kInternal, "enablement contains a cycle");
+  }
+  // Finite causes holds for any finite structure; check anyway by bounding.
+  for (const auto& [id, ev] : events_) {
+    if (causes(id).size() > events_.size()) {
+      return make_error(Errc::kInternal, "causes exceed structure size");
+    }
+  }
+  return Status::ok_status();
+}
+
+std::vector<EventId> EventStructure::find(const SemLabel& label) const {
+  std::vector<EventId> out;
+  for (const auto& [id, ev] : events_) {
+    if (ev.label == label) out.push_back(id);
+  }
+  return out;
+}
+
+std::string EventStructure::to_dot() const {
+  std::ostringstream os;
+  os << "digraph events {\n  rankdir=TB;\n";
+  for (const auto& [id, ev] : events_) {
+    os << "  e" << id << " [label=\"" << ev.label.to_string() << "\""
+       << (ev.outward ? "" : ", style=dashed") << "];\n";
+  }
+  for (const auto& [a, b] : enable_) {
+    os << "  e" << a << " -> e" << b << ";\n";
+  }
+  for (const auto& [a, b] : conflict_) {
+    os << "  e" << a << " -> e" << b
+       << " [dir=none, style=dotted, color=red, constraint=false];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+EventStructure es_plus(EventStructure a, const EventStructure& b) {
+  a.merge(b);
+  return a;
+}
+
+EventStructure es_seq(EventStructure a, const EventStructure& b) {
+  const auto right = a.rightmost_outward();
+  const auto left = b.leftmost();
+  a.merge(b);
+  for (EventId r : right) {
+    for (EventId l : left) a.add_enable(r, l);
+  }
+  return a;
+}
+
+EventStructure es_parn(const EventStructure& a, const EventStructure& b) {
+  // Fig 20's || rule: both structures plus fresh copies arranged so that
+  // each side's periphery enables the other's copy, with conflicts keeping
+  // original and copy mutually exclusive. We implement the printed rule.
+  auto [ca, mapa] = a.fresh_copy();
+  auto [cb, mapb] = b.fresh_copy();
+  EventStructure out;
+  out.merge(a);
+  out.merge(b);
+  out.merge(ca);
+  out.merge(cb);
+  for (EventId r : a.rightmost_outward()) {
+    for (const auto& [old_id, new_id] : mapb) out.add_enable(r, new_id);
+  }
+  for (EventId r : b.rightmost_outward()) {
+    for (const auto& [old_id, new_id] : mapa) out.add_enable(r, new_id);
+  }
+  // Copies conflict with the enablement-later part of their originals.
+  for (const auto& [eid, ev] : a.events()) {
+    for (const auto& [e2, ev2] : a.events()) {
+      if (a.strictly_before(e2, eid)) out.add_conflict(eid, mapa.at(e2));
+    }
+  }
+  for (const auto& [eid, ev] : b.events()) {
+    for (const auto& [e2, ev2] : b.events()) {
+      if (b.strictly_before(e2, eid)) out.add_conflict(eid, mapb.at(e2));
+    }
+  }
+  return out;
+}
+
+EventStructure es_otherwise(EventStructure a, const EventStructure& b) {
+  EventStructure out;
+  // Record a's structure before isolation for predecessor queries.
+  const EventStructure a_orig = a;
+  a.isolate_all();
+  out.merge(a);
+  for (const auto& [eid, ev] : a_orig.events()) {
+    auto [copy, remap] = b.fresh_copy();
+    const auto copy_left = copy.leftmost();
+    out.merge(copy);
+    // The copy is enabled by e's strict predecessors ...
+    for (const auto& [pid, pev] : a_orig.events()) {
+      if (a_orig.strictly_before(pid, eid)) {
+        for (EventId l : copy_left) out.add_enable(pid, l);
+      }
+    }
+    // ... and conflicts with e itself (taking the fallback excludes e).
+    for (EventId l : copy_left) out.add_conflict(eid, l);
+  }
+  return out;
+}
+
+EventStructure es_txn(EventStructure a, const std::string& junction) {
+  const auto left = a.leftmost();
+  a.isolate_all();
+  const EventId synch = a.add_event(SemLabel::synch(junction));
+  for (EventId l : left) {
+    if (l != synch) a.add_enable(synch, l);
+  }
+  return a;
+}
+
+}  // namespace csaw

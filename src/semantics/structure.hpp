@@ -1,0 +1,119 @@
+// Event structures (Winskel): (S, <=, #) with enablement and conflict
+// (paper S8.1), plus the composition operators of Fig 19/20.
+//
+// We store the *immediate causality* edges (the graphical notation's arrows)
+// and the *minimal conflict* pairs (the zigzags); the full <= and # relations
+// are derived: <= is the reflexive-transitive closure, and # is inherited
+// downward (e1 # e2 and e2 <= e3 implies e1 # e3), which makes conflict
+// inheritance hold by construction. `validate()` checks the remaining
+// axioms: <= antisymmetric (acyclic edges), # irreflexive, finite causes.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "semantics/event.hpp"
+#include "support/result.hpp"
+
+namespace csaw {
+
+class EventStructure {
+ public:
+  EventStructure() = default;
+
+  // --- construction -----------------------------------------------------
+  EventId add_event(SemLabel label, bool outward = true);
+  void add_enable(EventId from, EventId to);    // immediate causality
+  void add_conflict(EventId a, EventId b);      // minimal conflict
+
+  // Union of two structures (ids must be globally unique, which they are:
+  // ids come from a process-wide counter).
+  void merge(const EventStructure& other);
+
+  // A fresh copy with new event ids (the paper's natural-map). Returns the
+  // id mapping old -> new.
+  [[nodiscard]] std::pair<EventStructure, std::map<EventId, EventId>>
+  fresh_copy() const;
+
+  // Sets outward := false on all events (the paper's isolate, lifted).
+  void isolate_all();
+
+  // --- periphery ----------------------------------------------------------
+  // Leftmost: events with no predecessor. Rightmost: events with no
+  // successor. (Paper's left/right periphery definitions; on an edge-free
+  // structure both equal S.) Only outward events enable through
+  // composition, so rightmost_outward() is what `;` connects from.
+  [[nodiscard]] std::vector<EventId> leftmost() const;
+  [[nodiscard]] std::vector<EventId> rightmost() const;
+  [[nodiscard]] std::vector<EventId> rightmost_outward() const;
+
+  // --- derived relations ----------------------------------------------------
+  [[nodiscard]] bool le(EventId a, EventId b) const;          // a <= b
+  [[nodiscard]] bool strictly_before(EventId a, EventId b) const;
+  [[nodiscard]] bool in_conflict(EventId a, EventId b) const; // inherited #
+  [[nodiscard]] bool concurrent(EventId a, EventId b) const;
+  // [e] = the causes of e (downward closure).
+  [[nodiscard]] std::set<EventId> causes(EventId e) const;
+
+  // A *configuration* is a possible execution state: a finite set of events
+  // that is downward-closed under <= and conflict-free (Winskel). Used by
+  // tests to check that claimed traces of the runtime are admitted by the
+  // denotational semantics.
+  [[nodiscard]] bool is_configuration(const std::set<EventId>& events) const;
+
+  // Enumerates all configurations reachable by repeatedly adding one
+  // enabled, non-conflicting event (breadth-first), up to `max_configs`.
+  // This is a small finite model explorer: reachability properties of an
+  // architecture ("complain only occurs on failure branches") become set
+  // queries over the result.
+  [[nodiscard]] std::vector<std::set<EventId>> configurations(
+      std::size_t max_configs = 10000) const;
+
+  // --- axioms -----------------------------------------------------------------
+  // Checks: enablement acyclic, minimal-conflict irreflexive and between
+  // existing events, finite causes. Conflict inheritance holds by
+  // construction (derived #).
+  [[nodiscard]] Status validate() const;
+
+  // --- access -------------------------------------------------------------------
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] const std::map<EventId, SemEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] const std::set<std::pair<EventId, EventId>>& enablings() const {
+    return enable_;
+  }
+  [[nodiscard]] const std::set<std::pair<EventId, EventId>>& conflicts() const {
+    return conflict_;
+  }
+  // All event ids whose label equals `label`.
+  [[nodiscard]] std::vector<EventId> find(const SemLabel& label) const;
+
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  std::map<EventId, SemEvent> events_;
+  std::set<std::pair<EventId, EventId>> enable_;    // immediate causality
+  std::set<std::pair<EventId, EventId>> conflict_;  // minimal conflicts
+};
+
+// --- composition operators (Fig 19/20) ----------------------------------------
+
+// E1 + E2: plain union.
+EventStructure es_plus(EventStructure a, const EventStructure& b);
+// E1 ; E2: union plus enablement from E1's (outward) rightmost periphery to
+// E2's leftmost periphery.
+EventStructure es_seq(EventStructure a, const EventStructure& b);
+// ||: interleaving composition with fresh copies per Fig 20.
+EventStructure es_parn(const EventStructure& a, const EventStructure& b);
+// E1 otherwise E2: isolate E1; hang a fresh copy of E2 off every event of
+// E1 (enabled by that event's strict predecessors, in conflict with the
+// event itself).
+EventStructure es_otherwise(EventStructure a, const EventStructure& b);
+// <|E|>: isolate E and prefix a Synch event enabling E's leftmost periphery.
+EventStructure es_txn(EventStructure a, const std::string& junction);
+
+}  // namespace csaw

@@ -1,0 +1,297 @@
+// C-strider-style type-aware traversal (paper S9).
+//
+// The paper's serializer statically analyzes C struct definitions (with
+// libclang) and emits per-field serialization calls, with recursion limited
+// to a configurable maximum depth so linked structures cannot overflow the
+// buffer. We reproduce the same capability with a C++ customization point:
+// each serializable type provides
+//
+//   template <typename Ar> void serdes_fields(Ar& ar, T& value);
+//
+// which lists its fields once; a single definition drives both encoding and
+// decoding (the Ar parameter is an Encoder or a Decoder). Pointer-shaped
+// fields (unique_ptr) are nullable and depth-limited: chains longer than
+// `Limits::max_depth` are truncated on encode, exactly like the paper's
+// bounded linked-list traversal.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serdes/buffer.hpp"
+#include "support/result.hpp"
+
+namespace csaw {
+
+struct SerdesLimits {
+  // Maximum pointer-chase depth; deeper tails are truncated (encode) or
+  // rejected (decode of a stream claiming more depth than allowed).
+  std::size_t max_depth = 64;
+  // Maximum element count for containers; defends the decode path.
+  std::size_t max_elems = 1u << 22;
+};
+
+template <typename T, typename Ar>
+concept HasSerdesFields = requires(Ar& ar, T& v) { serdes_fields(ar, v); };
+
+class Encoder {
+ public:
+  explicit Encoder(SerdesLimits limits = {}) : limits_(limits) {}
+
+  // --- field visitors -------------------------------------------------
+  void field(bool& v) { w_.u8(v ? 1 : 0); }
+  void field(std::uint8_t& v) { w_.u8(v); }
+  void field(std::uint16_t& v) { w_.uvarint(v); }
+  void field(std::uint32_t& v) { w_.uvarint(v); }
+  void field(std::uint64_t& v) { w_.uvarint(v); }
+  void field(std::int8_t& v) { w_.svarint(v); }
+  void field(std::int16_t& v) { w_.svarint(v); }
+  void field(std::int32_t& v) { w_.svarint(v); }
+  void field(std::int64_t& v) { w_.svarint(v); }
+  void field(float& v) { w_.f64(v); }
+  void field(double& v) { w_.f64(v); }
+  void field(std::string& v) { w_.str(v); }
+  void field(Bytes& v) { w_.blob(v); }
+
+  template <typename E>
+    requires std::is_enum_v<E>
+  void field(E& v) {
+    w_.svarint(static_cast<std::int64_t>(v));
+  }
+
+  template <typename T>
+    requires HasSerdesFields<T, Encoder>
+  void field(T& v) {
+    serdes_fields(*this, v);
+  }
+
+  template <typename T>
+  void field(std::vector<T>& v) {
+    w_.uvarint(v.size());
+    for (auto& e : v) field(e);
+  }
+
+  template <typename T, std::size_t N>
+  void field(std::array<T, N>& v) {
+    for (auto& e : v) field(e);
+  }
+
+  template <typename A, typename B>
+  void field(std::pair<A, B>& v) {
+    field(v.first);
+    field(v.second);
+  }
+
+  template <typename K, typename V>
+  void field(std::map<K, V>& v) {
+    w_.uvarint(v.size());
+    for (auto& [k, val] : v) {
+      K key = k;  // maps expose const keys; serialize a copy
+      field(key);
+      field(val);
+    }
+  }
+
+  template <typename K, typename V>
+  void field(std::unordered_map<K, V>& v) {
+    w_.uvarint(v.size());
+    for (auto& [k, val] : v) {
+      K key = k;
+      field(key);
+      field(val);
+    }
+  }
+
+  template <typename T>
+  void field(std::optional<T>& v) {
+    w_.u8(v.has_value() ? 1 : 0);
+    if (v) field(*v);
+  }
+
+  // Nullable owned pointer: the depth-limited case. Once `max_depth`
+  // pointer hops have been taken on the current path, the remainder is
+  // encoded as null ("truncated") and `truncated()` reports it.
+  template <typename T>
+  void field(std::unique_ptr<T>& v) {
+    if (v && depth_ < limits_.max_depth) {
+      w_.u8(1);
+      ++depth_;
+      field(*v);
+      --depth_;
+    } else {
+      if (v) truncated_ = true;
+      w_.u8(0);
+    }
+  }
+
+  // --- results ---------------------------------------------------------
+  Bytes take() { return w_.take(); }
+  [[nodiscard]] std::size_t size() const { return w_.size(); }
+  [[nodiscard]] bool truncated() const { return truncated_; }
+
+ private:
+  SerdesLimits limits_;
+  ByteWriter w_;
+  std::size_t depth_ = 0;
+  bool truncated_ = false;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data, SerdesLimits limits = {})
+      : limits_(limits), r_(data) {}
+  explicit Decoder(const Bytes& data, SerdesLimits limits = {})
+      : limits_(limits), r_(data) {}
+  // A Decoder views the buffer; it must outlive the Decoder.
+  explicit Decoder(Bytes&&, SerdesLimits = {}) = delete;
+
+  void field(bool& v) { v = take(r_.u8()) != 0; }
+  void field(std::uint8_t& v) { v = take(r_.u8()); }
+  void field(std::uint16_t& v) { v = static_cast<std::uint16_t>(take(r_.uvarint())); }
+  void field(std::uint32_t& v) { v = static_cast<std::uint32_t>(take(r_.uvarint())); }
+  void field(std::uint64_t& v) { v = take(r_.uvarint()); }
+  void field(std::int8_t& v) { v = static_cast<std::int8_t>(take(r_.svarint())); }
+  void field(std::int16_t& v) { v = static_cast<std::int16_t>(take(r_.svarint())); }
+  void field(std::int32_t& v) { v = static_cast<std::int32_t>(take(r_.svarint())); }
+  void field(std::int64_t& v) { v = take(r_.svarint()); }
+  void field(float& v) { v = static_cast<float>(take(r_.f64())); }
+  void field(double& v) { v = take(r_.f64()); }
+  void field(std::string& v) { v = take(r_.str()); }
+  void field(Bytes& v) { v = take(r_.blob()); }
+
+  template <typename E>
+    requires std::is_enum_v<E>
+  void field(E& v) {
+    v = static_cast<E>(take(r_.svarint()));
+  }
+
+  template <typename T>
+    requires HasSerdesFields<T, Decoder>
+  void field(T& v) {
+    serdes_fields(*this, v);
+  }
+
+  template <typename T>
+  void field(std::vector<T>& v) {
+    const auto n = take(r_.uvarint());
+    if (n > limits_.max_elems) return fail("container too large");
+    v.clear();
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n && ok(); ++i) field(v.emplace_back());
+  }
+
+  template <typename T, std::size_t N>
+  void field(std::array<T, N>& v) {
+    for (auto& e : v) field(e);
+  }
+
+  template <typename A, typename B>
+  void field(std::pair<A, B>& v) {
+    field(v.first);
+    field(v.second);
+  }
+
+  template <typename K, typename V>
+  void field(std::map<K, V>& v) {
+    const auto n = take(r_.uvarint());
+    if (n > limits_.max_elems) return fail("map too large");
+    v.clear();
+    for (std::uint64_t i = 0; i < n && ok(); ++i) {
+      K key{};
+      V val{};
+      field(key);
+      field(val);
+      v.emplace(std::move(key), std::move(val));
+    }
+  }
+
+  template <typename K, typename V>
+  void field(std::unordered_map<K, V>& v) {
+    const auto n = take(r_.uvarint());
+    if (n > limits_.max_elems) return fail("map too large");
+    v.clear();
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n && ok(); ++i) {
+      K key{};
+      V val{};
+      field(key);
+      field(val);
+      v.emplace(std::move(key), std::move(val));
+    }
+  }
+
+  template <typename T>
+  void field(std::optional<T>& v) {
+    if (take(r_.u8()) != 0) {
+      v.emplace();
+      field(*v);
+    } else {
+      v.reset();
+    }
+  }
+
+  template <typename T>
+  void field(std::unique_ptr<T>& v) {
+    if (take(r_.u8()) != 0) {
+      if (depth_ >= limits_.max_depth) return fail("pointer depth exceeded");
+      ++depth_;
+      v = std::make_unique<T>();
+      field(*v);
+      --depth_;
+    } else {
+      v.reset();
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  [[nodiscard]] Status status() const {
+    return error_ ? Status(*error_) : Status::ok_status();
+  }
+  [[nodiscard]] bool exhausted() const { return r_.exhausted(); }
+
+ private:
+  template <typename T>
+  T take(Result<T> r) {
+    if (!r.ok()) {
+      if (!error_) error_ = r.error();
+      return T{};
+    }
+    return std::move(r).value();
+  }
+
+  void fail(std::string msg) {
+    if (!error_) error_ = make_error(Errc::kDecode, std::move(msg));
+  }
+
+  SerdesLimits limits_;
+  ByteReader r_;
+  std::size_t depth_ = 0;
+  std::optional<Error> error_;
+};
+
+// One-shot helpers.
+template <typename T>
+Bytes encode(T value, SerdesLimits limits = {}) {
+  Encoder enc(limits);
+  enc.field(value);
+  return enc.take();
+}
+
+template <typename T>
+Result<T> decode(const Bytes& data, SerdesLimits limits = {}) {
+  Decoder dec(data, limits);
+  T value{};
+  dec.field(value);
+  if (!dec.ok()) return dec.status().error();
+  if (!dec.exhausted()) return make_error(Errc::kDecode, "trailing bytes");
+  return value;
+}
+
+}  // namespace csaw

@@ -1,0 +1,104 @@
+#include "serdes/buffer.hpp"
+
+#include <bit>
+
+namespace csaw {
+
+void ByteWriter::uvarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::svarint(std::int64_t v) {
+  // Zigzag: maps small negatives to small unsigned codes.
+  uvarint((static_cast<std::uint64_t>(v) << 1) ^
+          static_cast<std::uint64_t>(v >> 63));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+void ByteWriter::raw(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  out_.insert(out_.end(), p, p + len);
+}
+
+void ByteWriter::str(std::string_view s) {
+  uvarint(s.size());
+  raw(s.data(), s.size());
+}
+
+void ByteWriter::blob(const Bytes& b) {
+  uvarint(b.size());
+  raw(b.data(), b.size());
+}
+
+Result<std::uint8_t> ByteReader::u8() {
+  if (pos_ >= data_.size()) return make_error(Errc::kDecode, "u8 past end");
+  return data_[pos_++];
+}
+
+Result<std::uint64_t> ByteReader::uvarint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= data_.size()) return make_error(Errc::kDecode, "varint past end");
+    if (shift >= 64) return make_error(Errc::kDecode, "varint overflow");
+    const std::uint8_t byte = data_[pos_++];
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+Result<std::int64_t> ByteReader::svarint() {
+  auto raw = uvarint();
+  if (!raw) return raw.error();
+  const std::uint64_t u = *raw;
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+Result<double> ByteReader::f64() {
+  if (remaining() < 8) return make_error(Errc::kDecode, "f64 past end");
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  }
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> ByteReader::str() {
+  auto len = uvarint();
+  if (!len) return len.error();
+  if (*len > remaining()) return make_error(Errc::kDecode, "string past end");
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), *len);
+  pos_ += *len;
+  return s;
+}
+
+Result<Bytes> ByteReader::blob() {
+  auto len = uvarint();
+  if (!len) return len.error();
+  if (*len > remaining()) return make_error(Errc::kDecode, "blob past end");
+  Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+          data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
+  pos_ += *len;
+  return b;
+}
+
+Status ByteReader::raw(void* dst, std::size_t len) {
+  if (len > remaining()) return make_error(Errc::kDecode, "raw past end");
+  std::memcpy(dst, data_.data() + pos_, len);
+  pos_ += len;
+  return Status::ok_status();
+}
+
+}  // namespace csaw

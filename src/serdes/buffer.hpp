@@ -1,0 +1,66 @@
+// Bounds-checked byte buffers with varint encoding.
+//
+// The wire format used for all C-Saw messages and KV-table payloads:
+//   * unsigned integers: LEB128 varint
+//   * signed integers:   zigzag + varint
+//   * doubles:           8-byte little-endian IEEE-754
+//   * strings/bytes:     varint length prefix + raw bytes
+// Reads never run past the buffer; a malformed stream yields Errc::kDecode
+// rather than undefined behavior.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/result.hpp"
+
+namespace csaw {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void uvarint(std::uint64_t v);
+  void svarint(std::int64_t v);
+  void f64(double v);
+  void raw(const void* data, std::size_t len);
+  void str(std::string_view s);
+  void blob(const Bytes& b);
+
+  [[nodiscard]] const Bytes& bytes() const { return out_; }
+  Bytes take() { return std::move(out_); }
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit ByteReader(const Bytes& data) : data_(data.data(), data.size()) {}
+  // A ByteReader views the buffer; it must outlive the reader.
+  explicit ByteReader(Bytes&&) = delete;
+
+  Result<std::uint8_t> u8();
+  Result<std::uint64_t> uvarint();
+  Result<std::int64_t> svarint();
+  Result<double> f64();
+  Result<std::string> str();
+  Result<Bytes> blob();
+  Status raw(void* dst, std::size_t len);
+
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace csaw

@@ -1,0 +1,61 @@
+// Type-tagged serialized payloads.
+//
+// Every payload stored in a KV table or sent over a channel carries the
+// interned name of its source type; restore on the receiving side checks the
+// tag before decoding, turning cross-instance type confusion into a
+// recoverable kTypeMismatch instead of garbage data. This mirrors the
+// contract of the paper's generated serializers, where both sides #include
+// the same generated definitions.
+#pragma once
+
+#include <utility>
+
+#include "serdes/archive.hpp"
+#include "support/symbol.hpp"
+
+namespace csaw {
+
+struct SerializedValue {
+  Symbol type;  // interned type name; invalid for the empty value
+  Bytes bytes;
+
+  [[nodiscard]] bool empty() const { return !type.valid() && bytes.empty(); }
+  [[nodiscard]] std::size_t size() const { return bytes.size(); }
+
+  bool operator==(const SerializedValue& other) const {
+    return type == other.type && bytes == other.bytes;
+  }
+};
+
+// Serializes `value` under the interned type name of T.
+template <typename T>
+SerializedValue pack(std::string_view type_name, T value,
+                     SerdesLimits limits = {}) {
+  return SerializedValue{Symbol(type_name), encode(std::move(value), limits)};
+}
+
+// Type-checked deserialization.
+template <typename T>
+Result<T> unpack(std::string_view type_name, const SerializedValue& sv,
+                 SerdesLimits limits = {}) {
+  if (sv.type != Symbol(type_name)) {
+    return make_error(Errc::kTypeMismatch,
+                      "expected type '" + std::string(type_name) + "' got '" +
+                          sv.type.str() + "'");
+  }
+  return decode<T>(sv.bytes, limits);
+}
+
+// serdes_fields for SerializedValue itself so it can nest in messages.
+template <typename Ar>
+void serdes_fields(Ar& ar, SerializedValue& sv) {
+  std::string name = sv.type.valid() ? sv.type.str() : std::string();
+  ar.field(name);
+  if constexpr (requires { ar.take(); }) {  // Encoder
+  } else {
+    sv.type = name.empty() ? Symbol() : Symbol(name);
+  }
+  ar.field(sv.bytes);
+}
+
+}  // namespace csaw

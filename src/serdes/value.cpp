@@ -1,0 +1,173 @@
+#include "serdes/value.hpp"
+
+#include <sstream>
+
+namespace csaw {
+namespace {
+
+enum Tag : std::uint8_t {
+  kNull = 0,
+  kFalse = 1,
+  kTrue = 2,
+  kInt = 3,
+  kDouble = 4,
+  kString = 5,
+  kBytes = 6,
+  kArray = 7,
+  kMap = 8,
+};
+
+constexpr std::size_t kMaxDynDepth = 64;
+
+void render(const DynValue& v, std::ostringstream& os) {
+  if (v.is_null()) {
+    os << "null";
+  } else if (v.is_bool()) {
+    os << (v.as_bool() ? "true" : "false");
+  } else if (v.is_int()) {
+    os << v.as_int();
+  } else if (v.is_double()) {
+    os << v.as_double();
+  } else if (v.is_string()) {
+    os << '"' << v.as_string() << '"';
+  } else if (v.is_bytes()) {
+    os << "<" << v.as_bytes().size() << " bytes>";
+  } else if (v.is_array()) {
+    os << '[';
+    bool first = true;
+    for (const auto& e : v.as_array()) {
+      if (!first) os << ',';
+      first = false;
+      render(e, os);
+    }
+    os << ']';
+  } else {
+    os << '{';
+    bool first = true;
+    for (const auto& [k, e] : v.as_map()) {
+      if (!first) os << ',';
+      first = false;
+      os << '"' << k << "\":";
+      render(e, os);
+    }
+    os << '}';
+  }
+}
+
+}  // namespace
+
+void DynValue::encode(ByteWriter& w) const {
+  if (is_null()) {
+    w.u8(kNull);
+  } else if (is_bool()) {
+    w.u8(as_bool() ? kTrue : kFalse);
+  } else if (is_int()) {
+    w.u8(kInt);
+    w.svarint(as_int());
+  } else if (is_double()) {
+    w.u8(kDouble);
+    w.f64(as_double());
+  } else if (is_string()) {
+    w.u8(kString);
+    w.str(as_string());
+  } else if (is_bytes()) {
+    w.u8(kBytes);
+    w.blob(as_bytes());
+  } else if (is_array()) {
+    w.u8(kArray);
+    w.uvarint(as_array().size());
+    for (const auto& e : as_array()) e.encode(w);
+  } else {
+    w.u8(kMap);
+    w.uvarint(as_map().size());
+    for (const auto& [k, e] : as_map()) {
+      w.str(k);
+      e.encode(w);
+    }
+  }
+}
+
+Result<DynValue> DynValue::decode(ByteReader& r, std::size_t depth) {
+  if (depth > kMaxDynDepth) return make_error(Errc::kDecode, "DynValue too deep");
+  auto tag = r.u8();
+  if (!tag) return tag.error();
+  switch (*tag) {
+    case kNull:
+      return DynValue();
+    case kFalse:
+      return DynValue(false);
+    case kTrue:
+      return DynValue(true);
+    case kInt: {
+      auto v = r.svarint();
+      if (!v) return v.error();
+      return DynValue(*v);
+    }
+    case kDouble: {
+      auto v = r.f64();
+      if (!v) return v.error();
+      return DynValue(*v);
+    }
+    case kString: {
+      auto v = r.str();
+      if (!v) return v.error();
+      return DynValue(std::move(*v));
+    }
+    case kBytes: {
+      auto v = r.blob();
+      if (!v) return v.error();
+      return DynValue(std::move(*v));
+    }
+    case kArray: {
+      auto n = r.uvarint();
+      if (!n) return n.error();
+      if (*n > r.remaining()) return make_error(Errc::kDecode, "array too large");
+      DynArray arr;
+      arr.reserve(*n);
+      for (std::uint64_t i = 0; i < *n; ++i) {
+        auto e = decode(r, depth + 1);
+        if (!e) return e.error();
+        arr.push_back(std::move(*e));
+      }
+      return DynValue(std::move(arr));
+    }
+    case kMap: {
+      auto n = r.uvarint();
+      if (!n) return n.error();
+      if (*n > r.remaining()) return make_error(Errc::kDecode, "map too large");
+      DynMap map;
+      for (std::uint64_t i = 0; i < *n; ++i) {
+        auto k = r.str();
+        if (!k) return k.error();
+        auto e = decode(r, depth + 1);
+        if (!e) return e.error();
+        map.emplace(std::move(*k), std::move(*e));
+      }
+      return DynValue(std::move(map));
+    }
+    default:
+      return make_error(Errc::kDecode, "bad DynValue tag");
+  }
+}
+
+Bytes DynValue::to_bytes() const {
+  ByteWriter w;
+  encode(w);
+  return w.take();
+}
+
+Result<DynValue> DynValue::from_bytes(const Bytes& data) {
+  ByteReader r(data);
+  auto v = decode(r);
+  if (!v) return v.error();
+  if (!r.exhausted()) return make_error(Errc::kDecode, "trailing bytes");
+  return v;
+}
+
+std::string DynValue::to_string() const {
+  std::ostringstream os;
+  render(*this, os);
+  return os.str();
+}
+
+}  // namespace csaw

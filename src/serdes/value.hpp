@@ -1,0 +1,77 @@
+// Dynamic values.
+//
+// KV tables store "named data" whose shape the DSL never inspects; the host
+// language produces and consumes it. For inspectability (tests, tracing,
+// checkpoint dumps) we provide a small dynamic value model alongside the
+// static archive framework: null / bool / int / double / string / bytes /
+// array / map, with a canonical byte encoding.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "serdes/buffer.hpp"
+#include "support/result.hpp"
+
+namespace csaw {
+
+class DynValue;
+using DynArray = std::vector<DynValue>;
+using DynMap = std::map<std::string, DynValue>;
+
+class DynValue {
+ public:
+  using Storage = std::variant<std::monostate, bool, std::int64_t, double,
+                               std::string, Bytes, DynArray, DynMap>;
+
+  DynValue() = default;
+  DynValue(bool v) : v_(v) {}                   // NOLINT
+  DynValue(std::int64_t v) : v_(v) {}           // NOLINT
+  DynValue(int v) : v_(std::int64_t{v}) {}      // NOLINT
+  DynValue(double v) : v_(v) {}                 // NOLINT
+  DynValue(std::string v) : v_(std::move(v)) {} // NOLINT
+  DynValue(const char* v) : v_(std::string(v)) {} // NOLINT
+  DynValue(Bytes v) : v_(std::move(v)) {}       // NOLINT
+  DynValue(DynArray v) : v_(std::move(v)) {}    // NOLINT
+  DynValue(DynMap v) : v_(std::move(v)) {}      // NOLINT
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_bytes() const { return std::holds_alternative<Bytes>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<DynArray>(v_); }
+  [[nodiscard]] bool is_map() const { return std::holds_alternative<DynMap>(v_); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  [[nodiscard]] double as_double() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+  [[nodiscard]] const Bytes& as_bytes() const { return std::get<Bytes>(v_); }
+  [[nodiscard]] const DynArray& as_array() const { return std::get<DynArray>(v_); }
+  [[nodiscard]] const DynMap& as_map() const { return std::get<DynMap>(v_); }
+  DynArray& mutable_array() { return std::get<DynArray>(v_); }
+  DynMap& mutable_map() { return std::get<DynMap>(v_); }
+
+  bool operator==(const DynValue& other) const { return v_ == other.v_; }
+
+  // Canonical byte encoding (tag byte + payload).
+  void encode(ByteWriter& w) const;
+  static Result<DynValue> decode(ByteReader& r, std::size_t depth = 0);
+
+  Bytes to_bytes() const;
+  static Result<DynValue> from_bytes(const Bytes& data);
+
+  // Human-readable (JSON-ish) rendering for traces and test messages.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Storage v_;
+};
+
+}  // namespace csaw

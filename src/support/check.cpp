@@ -1,0 +1,15 @@
+#include "support/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace csaw {
+
+void panic(std::string_view message, const char* file, int line) {
+  std::fprintf(stderr, "[csaw panic] %s:%d: %.*s\n", file, line,
+               static_cast<int>(message.size()), message.data());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace csaw

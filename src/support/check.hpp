@@ -1,0 +1,48 @@
+// Invariant checking and panic support.
+//
+// CSAW_CHECK is used for programmer invariants that must hold regardless of
+// input (contract violations abort the process). Recoverable conditions use
+// csaw::Result instead (see result.hpp).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace csaw {
+
+// Prints `message` with source location to stderr and aborts.
+[[noreturn]] void panic(std::string_view message, const char* file, int line);
+
+namespace detail {
+
+// Collects streamed context for CSAW_CHECK failure messages.
+class PanicStream {
+ public:
+  PanicStream(const char* cond, const char* file, int line)
+      : file_(file), line_(line) {
+    os_ << "CHECK failed: " << cond;
+  }
+  [[noreturn]] ~PanicStream() { panic(os_.str(), file_, line_); }
+
+  template <typename T>
+  PanicStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream os_;
+  const char* file_;
+  int line_;
+};
+
+}  // namespace detail
+}  // namespace csaw
+
+#define CSAW_CHECK(cond)                                           \
+  if (cond) {                                                      \
+  } else                                                           \
+    ::csaw::detail::PanicStream(#cond, __FILE__, __LINE__) << ": "
+
+#define CSAW_PANIC(msg) ::csaw::panic((msg), __FILE__, __LINE__)

@@ -1,0 +1,12 @@
+#include "support/clock.hpp"
+
+namespace csaw {
+
+Nanos Deadline::remaining() const {
+  if (is_infinite()) return Nanos::max();
+  const auto now = steady_now();
+  if (now >= when_) return Nanos::zero();
+  return std::chrono::duration_cast<Nanos>(when_ - now);
+}
+
+}  // namespace csaw

@@ -1,0 +1,57 @@
+// Time utilities.
+//
+// All runtime deadlines ('otherwise[t]') are expressed in nanoseconds on the
+// steady clock. Benches that reproduce the paper's 120-second traces run a
+// *compressed* tick loop: one paper-second is mapped to a configurable number
+// of real milliseconds (see bench/bench_common.hpp), which preserves the
+// shapes of throughput-vs-time curves.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace csaw {
+
+using Nanos = std::chrono::nanoseconds;
+using Millis = std::chrono::milliseconds;
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+inline SteadyTime steady_now() { return std::chrono::steady_clock::now(); }
+
+inline double to_ms(Nanos d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+// A deadline that may be infinite. Composable: nested `otherwise` scopes take
+// the tighter of the two deadlines.
+class Deadline {
+ public:
+  // Infinite deadline.
+  Deadline() = default;
+
+  static Deadline after(Nanos d) { return Deadline(steady_now() + d); }
+  static Deadline at(SteadyTime t) { return Deadline(t); }
+  static Deadline infinite() { return Deadline(); }
+
+  [[nodiscard]] bool is_infinite() const { return !finite_; }
+  [[nodiscard]] bool expired() const { return finite_ && steady_now() >= when_; }
+  [[nodiscard]] SteadyTime when() const { return when_; }
+
+  // The tighter of two deadlines.
+  [[nodiscard]] Deadline min(Deadline other) const {
+    if (is_infinite()) return other;
+    if (other.is_infinite()) return *this;
+    return Deadline(when_ < other.when_ ? when_ : other.when_);
+  }
+
+  // Time remaining; zero if expired, a large value if infinite.
+  [[nodiscard]] Nanos remaining() const;
+
+ private:
+  explicit Deadline(SteadyTime when) : finite_(true), when_(when) {}
+
+  bool finite_ = false;
+  SteadyTime when_{};
+};
+
+}  // namespace csaw

@@ -1,0 +1,31 @@
+#include "support/result.hpp"
+
+namespace csaw {
+
+const char* errc_name(Errc c) {
+  switch (c) {
+    case Errc::kInvalidProgram: return "invalid-program";
+    case Errc::kUndefinedName: return "undefined-name";
+    case Errc::kUndefData: return "undef-data";
+    case Errc::kTypeMismatch: return "type-mismatch";
+    case Errc::kDecode: return "decode";
+    case Errc::kTimeout: return "timeout";
+    case Errc::kUnreachable: return "unreachable";
+    case Errc::kLifecycle: return "lifecycle";
+    case Errc::kVerifyFailed: return "verify-failed";
+    case Errc::kHostFailure: return "host-failure";
+    case Errc::kExhausted: return "exhausted";
+    case Errc::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out = "[";
+  out += errc_name(code);
+  out += "] ";
+  out += message;
+  return out;
+}
+
+}  // namespace csaw

@@ -1,0 +1,108 @@
+// Minimal expected-style result type (C++20 predates std::expected).
+//
+// Recoverable failures -- malformed DSL programs, serialization mismatches,
+// runtime coordination failures -- are reported as csaw::Error values, not
+// exceptions, so that the interpreter's failure-handling ('otherwise',
+// transactional blocks) can route them deterministically.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "support/check.hpp"
+
+namespace csaw {
+
+enum class Errc {
+  kInvalidProgram,   // static validation of a DSL program failed
+  kUndefinedName,    // reference to an undeclared symbol
+  kUndefData,        // write/restore of `undef` data (see paper S6)
+  kTypeMismatch,     // serialization type tag mismatch
+  kDecode,           // malformed byte stream
+  kTimeout,          // deadline expired (otherwise[t])
+  kUnreachable,      // target instance stopped/crashed/partitioned
+  kLifecycle,        // start of a started instance, stop of a stopped one
+  kVerifyFailed,     // `verify` formula was false (or undecidable)
+  kHostFailure,      // host block reported failure
+  kExhausted,        // retry/reconsider budget exhausted
+  kInternal,
+};
+
+const char* errc_name(Errc c);
+
+struct Error {
+  Errc code = Errc::kInternal;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+inline Error make_error(Errc code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : state_(std::move(error)) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & {
+    CSAW_CHECK(ok()) << error().to_string();
+    return std::get<T>(state_);
+  }
+  const T& value() const& {
+    CSAW_CHECK(ok()) << error().to_string();
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    CSAW_CHECK(ok()) << error().to_string();
+    return std::get<T>(std::move(state_));
+  }
+
+  const Error& error() const {
+    CSAW_CHECK(!ok()) << "error() on ok Result";
+    return std::get<Error>(state_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // ok
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT
+
+  static Status ok_status() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    CSAW_CHECK(!ok()) << "error() on ok Status";
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+#define CSAW_TRY(expr)                          \
+  do {                                          \
+    auto csaw_try_status_ = (expr);             \
+    if (!csaw_try_status_.ok()) return csaw_try_status_.error(); \
+  } while (false)
+
+}  // namespace csaw

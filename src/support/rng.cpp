@@ -1,0 +1,109 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace csaw {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed the four words via splitmix64 per the xoshiro authors' advice.
+  for (auto& word : s_) word = splitmix64(seed);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  CSAW_CHECK(bound > 0) << "below(0)";
+  // Lemire's nearly-divisionless bounded sampling.
+  auto mul = static_cast<unsigned __int128>(next()) * bound;
+  auto low = static_cast<std::uint64_t>(mul);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      mul = static_cast<unsigned __int128>(next()) * bound;
+      low = static_cast<std::uint64_t>(mul);
+    }
+  }
+  return static_cast<std::uint64_t>(mul >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  CSAW_CHECK(lo <= hi) << "empty range";
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next() : below(span));
+}
+
+double Rng::uniform() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+Zipf::Zipf(std::size_t n, double s) {
+  CSAW_CHECK(n > 0) << "Zipf over empty domain";
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+}
+
+std::size_t Zipf::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  // Binary search for the first CDF entry >= u.
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::uint64_t djb2(std::string_view data) {
+  std::uint64_t hash = 5381;
+  for (unsigned char c : data) hash = hash * 33 + c;
+  return hash;
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace csaw

@@ -1,0 +1,59 @@
+// Deterministic random number generation and the hash functions used by the
+// paper's workloads.
+//
+// All workload generators seed explicitly so that benches and tests are
+// reproducible run-to-run (the paper averages 20 repetitions; we re-seed per
+// repetition with rep-derived seeds).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace csaw {
+
+// xoshiro256** by Blackman & Vigna: fast, high quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  std::uint64_t next();
+
+  // Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  // Uniform in [0, 1).
+  double uniform();
+
+  // True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Zipf-distributed sampler over [0, n) with exponent `s`, via a precomputed
+// inverse-CDF table. Used for the paper's "90% of requests on 10% of the
+// keys" read-skew workloads (S10.1 Caching).
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s);
+
+  std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// djb2 -- the string hash the paper uses for key-based sharding (S10.1,
+// citing Yigit's hash page).
+std::uint64_t djb2(std::string_view data);
+
+// FNV-1a 64-bit, used for 5-tuple packet steering.
+std::uint64_t fnv1a(const void* data, std::size_t len);
+
+}  // namespace csaw

@@ -1,0 +1,128 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace csaw {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void Cdf::sort_if_needed() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::quantile(double q) {
+  CSAW_CHECK(!samples_.empty()) << "quantile of empty CDF";
+  CSAW_CHECK(q >= 0.0 && q <= 1.0) << "quantile out of range: " << q;
+  sort_if_needed();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+double Cdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<Cdf::Point> Cdf::points(std::size_t resolution) {
+  std::vector<Point> out;
+  if (samples_.empty()) return out;
+  sort_if_needed();
+  out.reserve(resolution);
+  for (std::size_t i = 1; i <= resolution; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(resolution);
+    out.push_back(Point{quantile(q), q});
+  }
+  return out;
+}
+
+double TimeSeries::total() const {
+  return std::accumulate(values.begin(), values.end(), 0.0);
+}
+
+void SeriesAggregate::add_run(const std::vector<double>& run) {
+  if (run.size() > per_tick_.size()) per_tick_.resize(run.size());
+  for (std::size_t i = 0; i < run.size(); ++i) per_tick_[i].add(run[i]);
+  ++runs_;
+}
+
+std::size_t SeriesAggregate::ticks() const { return per_tick_.size(); }
+
+double SeriesAggregate::mean_at(std::size_t t) const {
+  CSAW_CHECK(t < per_tick_.size()) << "tick out of range";
+  return per_tick_[t].mean();
+}
+
+double SeriesAggregate::stddev_at(std::size_t t) const {
+  CSAW_CHECK(t < per_tick_.size()) << "tick out of range";
+  return per_tick_[t].stddev();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  CSAW_CHECK(cells.size() == headers_.size())
+      << "row width " << cells.size() << " != header width " << headers_.size();
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace csaw

@@ -1,0 +1,97 @@
+// Statistics used by the evaluation harness: running mean/stddev over the
+// paper's 20-repetition protocol, latency CDFs, and per-tick time series.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csaw {
+
+// Welford's online mean/variance.
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Sample collector with quantiles and CDF emission, as redis-benchmark does
+// for the paper's latency distribution figures (Fig 25c / 26b).
+class Cdf {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  // Quantile q in [0,1]; nearest-rank.
+  double quantile(double q);
+  double mean() const;
+
+  struct Point {
+    double value;       // x: e.g. latency in ms
+    double cumulative;  // y: P(X <= value)
+  };
+  // `resolution` evenly spaced probability steps.
+  std::vector<Point> points(std::size_t resolution = 200);
+
+ private:
+  void sort_if_needed();
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+// A named series of per-tick values (e.g. KQueries/s per simulated second).
+struct TimeSeries {
+  std::string name;
+  std::vector<double> values;
+
+  void add(double v) { values.push_back(v); }
+  [[nodiscard]] double total() const;
+};
+
+// Aggregates repeated runs of the same series into mean +/- stddev per tick,
+// reproducing the paper's "averaged results, bars show standard deviation".
+class SeriesAggregate {
+ public:
+  void add_run(const std::vector<double>& run);
+  [[nodiscard]] std::size_t ticks() const;
+  [[nodiscard]] double mean_at(std::size_t t) const;
+  [[nodiscard]] double stddev_at(std::size_t t) const;
+  [[nodiscard]] std::size_t runs() const { return runs_; }
+
+ private:
+  std::vector<RunningStat> per_tick_;
+  std::size_t runs_ = 0;
+};
+
+// Fixed-width column table printer for bench output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Renders with aligned columns to the returned string.
+  [[nodiscard]] std::string render() const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace csaw

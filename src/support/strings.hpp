@@ -1,0 +1,40 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csaw {
+
+template <typename Range, typename Fn>
+std::string join_map(const Range& range, std::string_view sep, Fn&& fn) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : range) {
+    if (!first) os << sep;
+    first = false;
+    os << fn(item);
+  }
+  return os.str();
+}
+
+template <typename Range>
+std::string join(const Range& range, std::string_view sep) {
+  return join_map(range, sep, [](const auto& x) { return x; });
+}
+
+inline std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace csaw

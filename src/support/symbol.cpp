@@ -1,0 +1,55 @@
+#include "support/symbol.hpp"
+
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace csaw {
+namespace {
+
+// The intern table. A deque keeps string addresses stable so `str()` can
+// return references without holding the lock.
+struct InternTable {
+  std::shared_mutex mu;
+  std::unordered_map<std::string_view, std::uint32_t> index;
+  std::deque<std::string> spellings;
+
+  static InternTable& instance() {
+    static InternTable* table = new InternTable();  // intentionally leaked
+    return *table;
+  }
+
+  std::uint32_t intern(std::string_view name) {
+    {
+      std::shared_lock lock(mu);
+      if (auto it = index.find(name); it != index.end()) return it->second;
+    }
+    std::unique_lock lock(mu);
+    if (auto it = index.find(name); it != index.end()) return it->second;
+    spellings.emplace_back(name);
+    const auto id = static_cast<std::uint32_t>(spellings.size() - 1);
+    index.emplace(spellings.back(), id);
+    return id;
+  }
+
+  const std::string& spelling(std::uint32_t id) {
+    std::shared_lock lock(mu);
+    return spellings[id];
+  }
+};
+
+}  // namespace
+
+Symbol::Symbol(std::string_view name) : id_(InternTable::instance().intern(name)) {}
+
+const std::string& Symbol::str() const {
+  static const std::string kInvalidSpelling = "<invalid>";
+  if (!valid()) return kInvalidSpelling;
+  return InternTable::instance().spelling(id_);
+}
+
+std::ostream& operator<<(std::ostream& os, Symbol s) { return os << s.str(); }
+
+}  // namespace csaw

@@ -1,0 +1,53 @@
+// Interned string symbols.
+//
+// Every name in a C-Saw program -- propositions, data keys, instances,
+// junctions, sets, parameters -- is interned into a process-wide table so
+// that the interpreter compares names by integer id instead of string
+// contents. Interning is thread-safe; symbol ids are stable for the lifetime
+// of the process.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace csaw {
+
+class Symbol {
+ public:
+  // The default-constructed symbol is the distinguished invalid symbol; it
+  // never compares equal to any interned symbol.
+  constexpr Symbol() = default;
+
+  // Interns `name` (or finds the existing entry) and returns its symbol.
+  explicit Symbol(std::string_view name);
+
+  [[nodiscard]] constexpr bool valid() const { return id_ != kInvalid; }
+  [[nodiscard]] constexpr std::uint32_t id() const { return id_; }
+
+  // The interned spelling. Invalid symbols print as "<invalid>".
+  [[nodiscard]] const std::string& str() const;
+
+  friend constexpr auto operator<=>(Symbol, Symbol) = default;
+
+ private:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t id_ = kInvalid;
+};
+
+// Convenience literal-ish spelling: sym("Work").
+inline Symbol sym(std::string_view name) { return Symbol(name); }
+
+std::ostream& operator<<(std::ostream& os, Symbol s);
+
+}  // namespace csaw
+
+template <>
+struct std::hash<csaw::Symbol> {
+  std::size_t operator()(csaw::Symbol s) const noexcept {
+    return std::hash<std::uint32_t>{}(s.id());
+  }
+};

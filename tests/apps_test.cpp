@@ -1,0 +1,204 @@
+// Tests for the application substrates: miniredis, minicurl, minisuricata.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/minicurl/transfer.hpp"
+#include "apps/miniredis/store.hpp"
+#include "apps/miniredis/workload.hpp"
+#include "apps/minisuricata/packet.hpp"
+#include "apps/minisuricata/pipeline.hpp"
+
+namespace csaw {
+namespace {
+
+// --- miniredis -----------------------------------------------------------------
+
+TEST(MiniRedis, GetSetDelAndStats) {
+  miniredis::Store store(0);
+  EXPECT_FALSE(store.get("a").has_value());
+  store.set("a", "1");
+  store.set("b", "2");
+  EXPECT_EQ(store.get("a"), "1");
+  EXPECT_TRUE(store.del("a"));
+  EXPECT_FALSE(store.del("a"));
+  EXPECT_FALSE(store.get("a").has_value());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stats().sets, 2u);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().misses, 2u);
+  EXPECT_EQ(store.object_size("b"), 1u);
+  EXPECT_EQ(store.object_size("zz"), 0u);
+}
+
+TEST(MiniRedis, SnapshotRestoreRoundtrip) {
+  miniredis::Store store(0);
+  for (int i = 0; i < 100; ++i) {
+    store.set("k" + std::to_string(i), std::string(static_cast<size_t>(i), 'x'));
+  }
+  const auto image = store.snapshot();
+  miniredis::Store replica(0);
+  ASSERT_TRUE(replica.restore(image).ok());
+  EXPECT_EQ(replica.size(), 100u);
+  EXPECT_EQ(replica.get("k7"), std::string(7, 'x'));
+  // Malformed image rejected.
+  Bytes garbage{0xff, 0xff, 0xff};
+  EXPECT_FALSE(replica.restore(garbage).ok());
+}
+
+TEST(MiniRedisWorkload, UniformCoversKeyspace) {
+  miniredis::WorkloadOptions opts;
+  opts.keyspace = 50;
+  opts.get_fraction = 0.5;
+  miniredis::Workload w(opts, 1);
+  std::set<std::string> keys;
+  int gets = 0;
+  for (int i = 0; i < 5000; ++i) {
+    auto c = w.next();
+    keys.insert(c.key);
+    if (c.op == miniredis::Command::Op::kGet) ++gets;
+  }
+  EXPECT_EQ(keys.size(), 50u);
+  EXPECT_NEAR(gets / 5000.0, 0.5, 0.05);
+}
+
+TEST(MiniRedisWorkload, Skewed90_10) {
+  miniredis::WorkloadOptions opts;
+  opts.keyspace = 1000;
+  opts.popularity = miniredis::WorkloadOptions::Popularity::kSkewed90_10;
+  miniredis::Workload w(opts, 2);
+  int hot = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    auto c = w.next();
+    const auto idx = std::stoull(c.key.substr(4));
+    if (idx < 100) ++hot;
+  }
+  EXPECT_NEAR(hot / static_cast<double>(kN), 0.9, 0.02);
+}
+
+TEST(MiniRedisWorkload, WeightedSlices) {
+  // The paper's uneven sharding workload: pressure ratio ~4:3:2:1.
+  miniredis::WorkloadOptions opts;
+  opts.keyspace = 4000;
+  opts.popularity = miniredis::WorkloadOptions::Popularity::kWeighted;
+  opts.slice_weights = {4, 3, 2, 1};
+  miniredis::Workload w(opts, 3);
+  std::vector<int> counts(4, 0);
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[w.slice_of_key(w.next().key)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(counts[3]), 4.0, 0.5);
+  EXPECT_NEAR(counts[1] / static_cast<double>(counts[3]), 3.0, 0.4);
+  EXPECT_NEAR(counts[2] / static_cast<double>(counts[3]), 2.0, 0.3);
+}
+
+TEST(MiniRedisWorkload, SizeClasses) {
+  miniredis::WorkloadOptions opts;
+  opts.keyspace = 100;
+  opts.get_fraction = 0.0;  // all SETs
+  opts.size_classes = {64, 4096, 65536};
+  opts.size_class_mass = {0.7, 0.2, 0.1};
+  miniredis::Workload w(opts, 4);
+  std::map<std::size_t, int> seen;
+  for (int i = 0; i < 5000; ++i) ++seen[w.next().value.size()];
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_NEAR(seen[64] / 5000.0, 0.7, 0.05);
+  EXPECT_NEAR(seen[65536] / 5000.0, 0.1, 0.03);
+}
+
+// --- minicurl -----------------------------------------------------------------
+
+TEST(MiniCurl, TransferTimeScalesWithSize) {
+  minicurl::TransferOptions opts;
+  opts.time_scale = 2000.0;
+  minicurl::Client client(opts);
+  auto t1 = client.download("u", 1 << 20);   // 1 MB
+  auto t4 = client.download("u", 4 << 20);   // 4 MB
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t4.ok());
+  // 4x the bytes ~= 4x the (simulated) time, within scheduling noise.
+  EXPECT_GT(*t4, *t1 * 2.0);
+  // 1 MB over 1GbE ~ 8.4 ms simulated.
+  EXPECT_GT(*t1, 2.0);
+  EXPECT_LT(*t1, 80.0);
+}
+
+TEST(MiniCurl, ProgressHookFiresAndCanAbort) {
+  minicurl::TransferOptions opts;
+  opts.time_scale = 5000.0;
+  opts.chunk_bytes = 64 * 1024;
+  opts.progress_every = 4;
+  minicurl::Client client(opts);
+  int calls = 0;
+  std::uint64_t last = 0;
+  auto t = client.download("u", 1 << 20, [&](const minicurl::Progress& p) {
+    ++calls;
+    EXPECT_GT(p.transferred, last);
+    last = p.transferred;
+    EXPECT_EQ(p.total_bytes, 1u << 20);
+    return Status::ok_status();
+  });
+  ASSERT_TRUE(t.ok());
+  EXPECT_GE(calls, 4);  // 16 chunks / every-4 = 4 calls
+  EXPECT_EQ(last, 1u << 20);
+
+  // A failing hook aborts the transfer (like a cURL write callback).
+  auto aborted = client.download("u", 1 << 20, [](const minicurl::Progress&) {
+    return Status(make_error(Errc::kHostFailure, "abort"));
+  });
+  EXPECT_FALSE(aborted.ok());
+}
+
+// --- minisuricata ---------------------------------------------------------------
+
+TEST(MiniSuricata, FlowGeneratorProducesManyFlows) {
+  minisuricata::FlowGenerator gen({}, 5);
+  std::set<std::uint64_t> flows;
+  for (int i = 0; i < 20000; ++i) flows.insert(gen.next().tuple.hash());
+  // Churning concurrent flows: far more distinct flows than the live set.
+  EXPECT_GT(flows.size(), 200u);
+}
+
+TEST(MiniSuricata, FiveTupleHashSpreadsOverShards) {
+  minisuricata::FlowGenerator gen({}, 6);
+  std::vector<int> counts(4, 0);
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[gen.next().tuple.hash() % 4];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(kN), 0.25, 0.08);
+  }
+}
+
+TEST(MiniSuricata, SameFlowAlwaysSameShard) {
+  minisuricata::FiveTuple t{0x0a000001, 0x0a000002, 1234, 443, 6};
+  const auto h = t.hash();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(t.hash(), h);
+  minisuricata::FiveTuple t2 = t;
+  t2.src_port = 1235;
+  EXPECT_NE(t2.hash(), h);
+}
+
+TEST(MiniSuricata, PipelineTracksFlowsAndCheckpoints) {
+  minisuricata::Pipeline pipe(0);
+  minisuricata::FlowGenerator gen({}, 7);
+  for (int i = 0; i < 5000; ++i) pipe.process(gen.next());
+  EXPECT_EQ(pipe.stats().packets, 5000u);
+  EXPECT_GT(pipe.flow_count(), 50u);
+  const auto image = pipe.snapshot();
+
+  minisuricata::Pipeline replica(0);
+  ASSERT_TRUE(replica.restore(image).ok());
+  EXPECT_EQ(replica.flow_count(), pipe.flow_count());
+  EXPECT_EQ(replica.stats().packets, 5000u);
+
+  pipe.clear();
+  EXPECT_EQ(pipe.flow_count(), 0u);
+  EXPECT_EQ(pipe.stats().packets, 0u);
+}
+
+}  // namespace
+}  // namespace csaw

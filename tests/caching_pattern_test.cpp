@@ -1,0 +1,159 @@
+// Integration test of the Fig 7 caching architecture: memoization of a pure
+// function, with the back-end (tau_Fun) consulted only on cacheable misses
+// and non-cacheable requests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+
+#include "apps/miniredis/command.hpp"
+#include "core/builder.hpp"
+#include "core/compile.hpp"
+#include "core/interp.hpp"
+#include "patterns/caching.hpp"
+
+namespace csaw {
+namespace {
+
+using miniredis::Mailbox;
+
+struct Request {
+  std::string key;
+  bool cacheable = true;
+};
+
+struct CacheState {
+  Mailbox<Request> requests;
+  Mailbox<std::string> responses;
+  Request current;
+  std::string result;
+  std::map<std::string, std::string> cache;
+  std::atomic<int> hits{0};
+  std::atomic<int> misses{0};
+};
+
+struct FunState {
+  std::string current_key;
+  std::string result;
+  std::atomic<int> computed{0};
+};
+
+struct Fixture {
+  std::unique_ptr<Engine> engine;
+  std::shared_ptr<CacheState> cache = std::make_shared<CacheState>();
+  std::shared_ptr<FunState> fun = std::make_shared<FunState>();
+
+  Fixture() {
+    auto compiled = compile(patterns::caching({}));
+    CSAW_CHECK(compiled.ok()) << compiled.error().to_string();
+
+    HostBindings b;
+    b.block("complain", [](HostCtx&) { return Status::ok_status(); });
+    b.block("CheckCacheable", [](HostCtx& ctx) -> Status {
+      auto& st = ctx.state<CacheState>();
+      auto req = st.requests.pop(Deadline::after(std::chrono::seconds(5)));
+      if (!req) return make_error(Errc::kHostFailure, "no request");
+      st.current = std::move(*req);
+      return ctx.set_prop("Cacheable", st.current.cacheable);
+    });
+    b.block("LookupCache", [](HostCtx& ctx) -> Status {
+      auto& st = ctx.state<CacheState>();
+      auto it = st.cache.find(st.current.key);
+      if (it != st.cache.end()) {
+        st.result = it->second;
+        st.responses.push(it->second);
+        st.hits.fetch_add(1);
+        return ctx.set_prop("Cached", true);
+      }
+      st.misses.fetch_add(1);
+      return ctx.set_prop("Cached", false);
+    });
+    b.block("UpdateCache", [](HostCtx& ctx) -> Status {
+      auto& st = ctx.state<CacheState>();
+      st.cache[st.current.key] = st.result;
+      return Status::ok_status();
+    });
+    b.saver("pack_request", [](HostCtx& ctx) -> Result<SerializedValue> {
+      return sv_dyn(DynValue(ctx.state<CacheState>().current.key));
+    });
+    b.restorer("unpack_request",
+               [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+                 auto v = dyn_sv(sv);
+                 if (!v) return v.error();
+                 ctx.state<FunState>().current_key = v->as_string();
+                 return Status::ok_status();
+               });
+    // |_F_|: the pure function being memoized.
+    b.block("F", [](HostCtx& ctx) -> Status {
+      auto& st = ctx.state<FunState>();
+      st.result = "f(" + st.current_key + ")";
+      st.computed.fetch_add(1);
+      return Status::ok_status();
+    });
+    b.saver("pack_response", [](HostCtx& ctx) -> Result<SerializedValue> {
+      return sv_dyn(DynValue(ctx.state<FunState>().result));
+    });
+    b.restorer("deliver_response",
+               [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+                 auto v = dyn_sv(sv);
+                 if (!v) return v.error();
+                 auto& st = ctx.state<CacheState>();
+                 st.result = v->as_string();
+                 st.responses.push(st.result);
+                 return Status::ok_status();
+               });
+
+    engine = std::make_unique<Engine>(std::move(compiled).value(), std::move(b));
+    engine->set_state(Symbol("Cache"), cache);
+    engine->set_state(Symbol("Fun"), fun);
+    auto st = engine->run_main();
+    CSAW_CHECK(st.ok()) << st.error().to_string();
+  }
+
+  std::string request(std::string key, bool cacheable = true) {
+    cache->requests.push(Request{std::move(key), cacheable});
+    auto st = engine->call("Cache", "j", Deadline::after(std::chrono::seconds(10)));
+    CSAW_CHECK(st.ok()) << st.error().to_string();
+    auto resp = cache->responses.pop(Deadline::after(std::chrono::seconds(5)));
+    CSAW_CHECK(resp.has_value()) << "no response";
+    return *resp;
+  }
+};
+
+TEST(CachingPattern, MissThenHitMemoizes) {
+  Fixture fx;
+  EXPECT_EQ(fx.request("a"), "f(a)");
+  EXPECT_EQ(fx.fun->computed.load(), 1);
+  EXPECT_EQ(fx.cache->misses.load(), 1);
+
+  // Second request for the same key: served from cache, F not re-run.
+  EXPECT_EQ(fx.request("a"), "f(a)");
+  EXPECT_EQ(fx.fun->computed.load(), 1);
+  EXPECT_EQ(fx.cache->hits.load(), 1);
+
+  EXPECT_EQ(fx.request("b"), "f(b)");
+  EXPECT_EQ(fx.fun->computed.load(), 2);
+}
+
+TEST(CachingPattern, NonCacheableAlwaysComputes) {
+  Fixture fx;
+  EXPECT_EQ(fx.request("x", /*cacheable=*/false), "f(x)");
+  EXPECT_EQ(fx.request("x", /*cacheable=*/false), "f(x)");
+  EXPECT_EQ(fx.fun->computed.load(), 2);
+  EXPECT_TRUE(fx.cache->cache.empty());
+}
+
+TEST(CachingPattern, SkewedWorkloadMostlyHits) {
+  Fixture fx;
+  // 50 requests over 5 keys: 45 hits after the first 5 misses.
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "k" + std::to_string(i % 5);
+    EXPECT_EQ(fx.request(key), "f(" + key + ")");
+  }
+  EXPECT_EQ(fx.fun->computed.load(), 5);
+  EXPECT_EQ(fx.cache->hits.load(), 45);
+}
+
+}  // namespace
+}  // namespace csaw

@@ -1,0 +1,232 @@
+// Unit tests for the compart runtime: router link models, lifecycle rules,
+// ack'd pushes, nack-vs-timeout failure discovery, crash injection, guards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "compart/runtime.hpp"
+
+namespace csaw {
+namespace {
+
+const Symbol kWork("Work");
+
+InstanceDesc echo_instance(std::string_view name,
+                           std::atomic<int>* runs = nullptr) {
+  // One auto junction guarded on Work: each delivery of `assert Work`
+  // triggers one run that retracts it locally.
+  JunctionDesc j;
+  j.name = Symbol("j");
+  j.table_spec.props = {{kWork, false}};
+  j.guard = [](const KvTable& t, const RuntimeView&) { return *t.prop(kWork); };
+  j.body = [runs](JunctionEnv& env) {
+    if (runs != nullptr) runs->fetch_add(1);
+    (void)env.table().set_prop_local(kWork, false);
+  };
+  j.auto_schedule = true;
+  InstanceDesc d;
+  d.name = Symbol(name);
+  d.type = Symbol("echo");
+  d.junctions.push_back(std::move(j));
+  return d;
+}
+
+TEST(Runtime, LifecycleRules) {
+  Runtime rt;
+  rt.add_instance(echo_instance("a"));
+  EXPECT_FALSE(rt.is_running(Symbol("a")));
+  ASSERT_TRUE(rt.start(Symbol("a")).ok());
+  EXPECT_TRUE(rt.is_running(Symbol("a")));
+  // "Once started, an instance cannot be started again until it is stopped."
+  auto twice = rt.start(Symbol("a"));
+  ASSERT_FALSE(twice.ok());
+  EXPECT_EQ(twice.error().code, Errc::kLifecycle);
+  ASSERT_TRUE(rt.stop(Symbol("a")).ok());
+  // "Similarly, a stopped instance cannot be stopped."
+  auto again = rt.stop(Symbol("a"));
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code, Errc::kLifecycle);
+  // Restart is allowed.
+  ASSERT_TRUE(rt.start(Symbol("a")).ok());
+  EXPECT_TRUE(rt.is_running(Symbol("a")));
+}
+
+TEST(Runtime, UnknownInstanceErrors) {
+  Runtime rt;
+  EXPECT_EQ(rt.start(Symbol("ghost")).error().code, Errc::kUndefinedName);
+  EXPECT_EQ(rt.stop(Symbol("ghost")).error().code, Errc::kUndefinedName);
+  EXPECT_FALSE(rt.is_running(Symbol("ghost")));
+}
+
+TEST(Runtime, PushIsAckedAndDrivesGuardedJunction) {
+  std::atomic<int> runs{0};
+  Runtime rt;
+  rt.add_instance(echo_instance("a", &runs));
+  ASSERT_TRUE(rt.start(Symbol("a")).ok());
+  auto st = rt.push(JunctionAddr{Symbol("a"), Symbol("j")},
+                    Update::assert_prop(kWork),
+                    Deadline::after(std::chrono::seconds(5)), Symbol("test"));
+  ASSERT_TRUE(st.ok()) << st.error().to_string();
+  // The ack means the table applied the update; the run follows shortly.
+  for (int i = 0; i < 200 && runs.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(Runtime, PushToDownInstanceNacksWhenConfigured) {
+  Runtime rt;  // nack_when_down defaults to true
+  rt.add_instance(echo_instance("a"));
+  auto st = rt.push(JunctionAddr{Symbol("a"), Symbol("j")},
+                    Update::assert_prop(kWork),
+                    Deadline::after(std::chrono::seconds(5)), Symbol("test"));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::kUnreachable);
+}
+
+TEST(Runtime, PushToDownInstanceTimesOutInDistributedMode) {
+  RuntimeOptions opts;
+  opts.nack_when_down = false;  // failure discovered only by timeout
+  Runtime rt(opts);
+  rt.add_instance(echo_instance("a"));
+  const auto before = steady_now();
+  auto st = rt.push(JunctionAddr{Symbol("a"), Symbol("j")},
+                    Update::assert_prop(kWork),
+                    Deadline::after(std::chrono::milliseconds(80)),
+                    Symbol("test"));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::kTimeout);
+  EXPECT_GE(steady_now() - before, std::chrono::milliseconds(75));
+}
+
+TEST(Runtime, PushToUnknownJunctionNacks) {
+  Runtime rt;
+  rt.add_instance(echo_instance("a"));
+  ASSERT_TRUE(rt.start(Symbol("a")).ok());
+  auto st = rt.push(JunctionAddr{Symbol("a"), Symbol("nope")},
+                    Update::assert_prop(kWork),
+                    Deadline::after(std::chrono::seconds(5)), Symbol("test"));
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(Runtime, FireAndForgetModeNeverBlocks) {
+  RuntimeOptions opts;
+  opts.acks_enabled = false;  // the ablation configuration
+  Runtime rt(opts);
+  rt.add_instance(echo_instance("a"));
+  // Target is down; the push still "succeeds" (failure is undetectable).
+  auto st = rt.push(JunctionAddr{Symbol("a"), Symbol("j")},
+                    Update::assert_prop(kWork), Deadline::infinite(),
+                    Symbol("test"));
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(Runtime, LinkLatencyDelaysDelivery) {
+  RuntimeOptions opts;
+  opts.default_link.latency = std::chrono::milliseconds(60);
+  std::atomic<int> runs{0};
+  Runtime rt(opts);
+  rt.add_instance(echo_instance("a", &runs));
+  ASSERT_TRUE(rt.start(Symbol("a")).ok());
+  const auto before = steady_now();
+  auto st = rt.push(JunctionAddr{Symbol("a"), Symbol("j")},
+                    Update::assert_prop(kWork),
+                    Deadline::after(std::chrono::seconds(5)), Symbol("test"));
+  ASSERT_TRUE(st.ok());
+  // Round trip: update latency + ack latency.
+  EXPECT_GE(steady_now() - before, std::chrono::milliseconds(110));
+}
+
+TEST(Runtime, PartitionMakesPeerUnreachable) {
+  RuntimeOptions opts;
+  opts.nack_when_down = false;
+  Runtime rt(opts);
+  rt.add_instance(echo_instance("a"));
+  ASSERT_TRUE(rt.start(Symbol("a")).ok());
+  rt.router().set_partition(Symbol("test"), Symbol("a"), true);
+  auto st = rt.push(JunctionAddr{Symbol("a"), Symbol("j")},
+                    Update::assert_prop(kWork),
+                    Deadline::after(std::chrono::milliseconds(60)),
+                    Symbol("test"));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::kTimeout);
+  // Heal the partition: reachable again.
+  rt.router().set_partition(Symbol("test"), Symbol("a"), false);
+  EXPECT_TRUE(rt.push(JunctionAddr{Symbol("a"), Symbol("j")},
+                      Update::assert_prop(kWork),
+                      Deadline::after(std::chrono::seconds(5)), Symbol("test"))
+                  .ok());
+}
+
+TEST(Runtime, DropProbabilityLosesMessages) {
+  RuntimeOptions opts;
+  opts.nack_when_down = false;
+  opts.default_link.drop_prob = 1.0;  // everything vanishes
+  Runtime rt(opts);
+  rt.add_instance(echo_instance("a"));
+  ASSERT_TRUE(rt.start(Symbol("a")).ok());
+  auto st = rt.push(JunctionAddr{Symbol("a"), Symbol("j")},
+                    Update::assert_prop(kWork),
+                    Deadline::after(std::chrono::milliseconds(50)),
+                    Symbol("test"));
+  EXPECT_FALSE(st.ok());
+  EXPECT_GE(rt.router().counters().dropped, 1u);
+}
+
+TEST(Runtime, CrashAbortsAndAllowsRestart) {
+  std::atomic<int> runs{0};
+  Runtime rt;
+  rt.add_instance(echo_instance("a", &runs));
+  ASSERT_TRUE(rt.start(Symbol("a")).ok());
+  rt.crash(Symbol("a"));
+  EXPECT_FALSE(rt.is_running(Symbol("a")));
+  // Crash of a non-running instance is a no-op.
+  rt.crash(Symbol("a"));
+  ASSERT_TRUE(rt.start(Symbol("a")).ok());
+  EXPECT_TRUE(rt.is_running(Symbol("a")));
+  // Fresh tables after restart: Work is back to its declared initial.
+  EXPECT_FALSE(*rt.table(Symbol("a"), Symbol("j")).prop(kWork));
+}
+
+TEST(Runtime, ManualSchedulingViaCall) {
+  std::atomic<int> runs{0};
+  JunctionDesc j;
+  j.name = Symbol("j");
+  j.body = [&runs](JunctionEnv&) { runs.fetch_add(1); };
+  j.auto_schedule = false;
+  InstanceDesc d;
+  d.name = Symbol("m");
+  d.type = Symbol("manual");
+  d.junctions.push_back(std::move(j));
+
+  Runtime rt;
+  rt.add_instance(std::move(d));
+  ASSERT_TRUE(rt.start(Symbol("m")).ok());
+  // Without scheduling, a manual junction never runs.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(runs.load(), 0);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(rt.call(Symbol("m"), Symbol("j"),
+                        Deadline::after(std::chrono::seconds(5)))
+                    .ok());
+  }
+  EXPECT_EQ(runs.load(), 3);
+  EXPECT_EQ(rt.runs_completed(Symbol("m"), Symbol("j")), 3u);
+}
+
+TEST(Runtime, RemotePropReadsRequireRunningInstance) {
+  Runtime rt;
+  rt.add_instance(echo_instance("a"));
+  auto down = rt.view().remote_prop(JunctionAddr{Symbol("a"), Symbol("j")},
+                                    kWork);
+  ASSERT_FALSE(down.ok());
+  EXPECT_EQ(down.error().code, Errc::kUnreachable);
+  ASSERT_TRUE(rt.start(Symbol("a")).ok());
+  auto up = rt.view().remote_prop(JunctionAddr{Symbol("a"), Symbol("j")},
+                                  kWork);
+  ASSERT_TRUE(up.ok());
+  EXPECT_FALSE(*up);
+}
+
+}  // namespace
+}  // namespace csaw

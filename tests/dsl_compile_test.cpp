@@ -1,0 +1,298 @@
+// Unit tests for compilation: template expansion, for-unrolling identities
+// (S6), name resolution/mangling, and the static validity rules.
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "core/compile.hpp"
+#include "core/pretty.hpp"
+
+namespace csaw {
+namespace {
+
+// A minimal two-instance skeleton whose junction body we vary per test.
+ProgramSpec skeleton(ExprPtr body, std::vector<Decl> extra_decls = {}) {
+  ProgramBuilder p("skeleton");
+  auto j = p.type("tau").junction("j").init_prop("P", false).init_prop(
+      "Q", true);
+  j.init_data("n");
+  for (auto& d : extra_decls) {
+    if (d.kind == Decl::Kind::kGuard) {
+      j.guard(d.guard);
+    }
+  }
+  j.body(std::move(body));
+  p.type("tau_peer").junction("j").init_prop("P", false).init_data("n").body(
+      e_skip());
+  p.instance("a", "tau", {{"j", {}}});
+  p.instance("b", "tau_peer", {{"j", {}}});
+  p.main_body(e_par({e_start(inst("a")), e_start(inst("b"))}));
+  return p.build();
+}
+
+Error compile_error(ProgramSpec spec) {
+  auto r = compile(spec);
+  CSAW_CHECK(!r.ok()) << "expected compilation to fail";
+  return r.error();
+}
+
+const Expr& junction_body(const CompiledProgram& p, std::string_view instance) {
+  const auto* inst = p.find_instance(Symbol(instance));
+  CSAW_CHECK(inst != nullptr) << "no instance";
+  return *inst->junctions.front().body;
+}
+
+TEST(Compile, SkeletonCompiles) {
+  auto r = compile(skeleton(e_skip()));
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r->instances.size(), 2u);
+}
+
+// --- for-unrolling identities (S6 "Template-based Recursion") ---------------
+
+TEST(Compile, ForOverEmptySetIsSkip) {
+  auto spec = skeleton(
+      e_for("x", SetRef::lit({}), Expr::Kind::kSeq, e_assert(pr("P"))));
+  auto r = compile(spec);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(junction_body(*r, "a").kind, Expr::Kind::kSkip);
+}
+
+TEST(Compile, ForOverSingletonIsOneInstantiation) {
+  auto spec = skeleton(e_for("x", SetRef::lit({CtValue(addr("b", "j"))}),
+                             Expr::Kind::kSeq, e_write("n", var("x"))));
+  auto r = compile(spec);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  const Expr& body = junction_body(*r, "a");
+  // Loop scope wrapping exactly one write with the element substituted.
+  ASSERT_EQ(body.kind, Expr::Kind::kLoopScope);
+  const Expr& inner = *body.children[0];
+  ASSERT_EQ(inner.kind, Expr::Kind::kWrite);
+  EXPECT_EQ(inner.target->addr, addr("b", "j"));
+}
+
+TEST(Compile, ForUnrollsInOrderWithSeq) {
+  // Two elements: body must appear twice, in set order.
+  ProgramBuilder p("two");
+  p.type("tau").junction("j").init_prop("P", false).init_data("n").body(
+      e_for("x",
+            SetRef::lit({CtValue(addr("b", "j")), CtValue(addr("c", "j"))}),
+            Expr::Kind::kSeq, e_write("n", var("x"))));
+  p.type("tau_peer").junction("j").init_data("n").init_prop("P", false).body(
+      e_skip());
+  p.instance("a", "tau", {{"j", {}}});
+  p.instance("b", "tau_peer", {{"j", {}}});
+  p.instance("c", "tau_peer", {{"j", {}}});
+  p.main_body(e_start(inst("a")));
+  auto r = compile(p.build());
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  const Expr& body = junction_body(*r, "a");
+  ASSERT_EQ(body.kind, Expr::Kind::kLoopScope);
+  const Expr& seq = *body.children[0];
+  ASSERT_EQ(seq.kind, Expr::Kind::kSeq);
+  ASSERT_EQ(seq.children.size(), 2u);
+  EXPECT_EQ(seq.children[0]->target->addr, addr("b", "j"));
+  EXPECT_EQ(seq.children[1]->target->addr, addr("c", "j"));
+}
+
+TEST(Compile, FormulaForFoldIdentities) {
+  // empty & or -> false ; empty & and -> !false (S6).
+  ProgramBuilder p("folds");
+  p.config("empty", CtValue(CtList{}));
+  p.type("tau")
+      .junction("j")
+      .init_prop("P", false)
+      .guard(f_or(f_for(Formula::Kind::kOr, "x", "empty", f_prop("P")),
+                  f_for(Formula::Kind::kAnd, "x", "empty", f_prop("P"))))
+      .body(e_skip());
+  p.instance("a", "tau", {{"j", {}}});
+  p.main_body(e_start(inst("a")));
+  auto r = compile(p.build());
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  const auto& guard = *r->instances[0].junctions[0].guard;
+  // (false | !false)
+  ASSERT_EQ(guard.kind, Formula::Kind::kOr);
+  EXPECT_EQ(guard.lhs->kind, Formula::Kind::kFalse);
+  ASSERT_EQ(guard.rhs->kind, Formula::Kind::kNot);
+  EXPECT_EQ(guard.rhs->lhs->kind, Formula::Kind::kFalse);
+}
+
+TEST(Compile, PropMangling) {
+  EXPECT_EQ(mangle_prop(Symbol("Backend"), CtValue(addr("b1", "serve"))),
+            "Backend[b1::serve]");
+  EXPECT_EQ(mangle_prop(Symbol("Run"),
+                        CtValue(JunctionAddr{Symbol("o"), Symbol()})),
+            "Run[o]");
+}
+
+TEST(Compile, ForInitPropDeclaresMangledFamily) {
+  ProgramBuilder p("fam");
+  p.config("S", CtValue(CtList{CtValue(addr("b", "j")), CtValue(addr("c", "j"))}));
+  p.type("tau")
+      .junction("j")
+      .for_init_prop("x", SetRef::named(Symbol("S")), "Ready", true)
+      .body(e_skip());
+  p.instance("a", "tau", {{"j", {}}});
+  p.instance("b", "tau", {{"j", {}}});
+  p.instance("c", "tau", {{"j", {}}});
+  p.main_body(e_start(inst("a")));
+  auto r = compile(p.build());
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  const auto& props = r->instances[0].junctions[0].table_spec.props;
+  ASSERT_EQ(props.size(), 2u);
+  EXPECT_EQ(props[0].first.str(), "Ready[b::j]");
+  EXPECT_TRUE(props[0].second);
+}
+
+// --- validity rules -----------------------------------------------------------
+
+TEST(Compile, CaseNextBeforeOtherwiseRejected) {
+  std::vector<CaseArm> arms;
+  arms.push_back(case_arm(f_prop("P"), e_skip(), Terminator::kNext));
+  auto err = compile_error(skeleton(e_case(std::move(arms), e_skip())));
+  EXPECT_NE(err.message.find("next"), std::string::npos);
+}
+
+TEST(Compile, EmptyCaseRejected) {
+  auto err = compile_error(skeleton(e_case({}, e_skip())));
+  EXPECT_EQ(err.code, Errc::kInvalidProgram);
+}
+
+TEST(Compile, WriteToSelfRejected) {
+  auto err = compile_error(skeleton(e_write("n", jref("a", "j"))));
+  EXPECT_NE(err.message.find("self"), std::string::npos);
+}
+
+TEST(Compile, AssertToSelfRejected) {
+  auto err = compile_error(skeleton(e_assert(pr("P"), jref("a", "j"))));
+  EXPECT_NE(err.message.find("self"), std::string::npos);
+}
+
+TEST(Compile, HostBlockInsideTxnRejected) {
+  // "The |_..._| syntax is not allowed in <|E|> since roll-back is
+  // undefined for it" (S6).
+  auto err = compile_error(skeleton(e_txn(e_host("H"))));
+  EXPECT_NE(err.message.find("host"), std::string::npos);
+}
+
+TEST(Compile, WaitFormulaMustBeLocal) {
+  auto err = compile_error(
+      skeleton(e_wait({}, f_prop_at(jref("b", "j"), "P"))));
+  EXPECT_NE(err.message.find("local"), std::string::npos);
+}
+
+TEST(Compile, WriteOfUndeclaredDataRejected) {
+  auto err = compile_error(skeleton(e_write("ghost", jref("b", "j"))));
+  EXPECT_NE(err.message.find("undeclared"), std::string::npos);
+}
+
+TEST(Compile, BreakOutsideLoopRejected) {
+  auto err = compile_error(skeleton(e_break()));
+  EXPECT_NE(err.message.find("break"), std::string::npos);
+}
+
+TEST(Compile, RetryInMainRejected) {
+  ProgramBuilder p("bad");
+  p.type("tau").junction("j").body(e_skip());
+  p.instance("a", "tau", {{"j", {}}});
+  p.main_body(e_retry());
+  auto r = compile(p.build());
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(Compile, StartOfUndeclaredInstanceRejected) {
+  ProgramBuilder p("bad");
+  p.type("tau").junction("j").body(e_skip());
+  p.instance("a", "tau", {{"j", {}}});
+  p.main_body(e_start(inst("ghost")));
+  EXPECT_FALSE(compile(p.build()).ok());
+}
+
+TEST(Compile, ArityMismatchRejected) {
+  ProgramBuilder p("bad");
+  p.type("tau").junction("j").param("t", ParamDecl::Kind::kTime).body(e_skip());
+  p.instance("a", "tau", {{"j", {}}});  // expects one arg
+  p.main_body(e_start(inst("a")));
+  auto r = compile(p.build());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("args"), std::string::npos);
+}
+
+TEST(Compile, UnknownFunctionRejected) {
+  auto err = compile_error(skeleton(e_call("nope")));
+  EXPECT_NE(err.message.find("undefined function"), std::string::npos);
+}
+
+TEST(Compile, IndicesMustNotBeTransmitted) {
+  // "Neither indices nor sets should be serialized or transmitted between
+  // junctions" (S6).
+  ProgramBuilder p("bad");
+  p.config("S", CtValue(CtList{CtValue(addr("b", "j"))}));
+  p.type("tau")
+      .junction("j")
+      .idx("i", SetRef::named(Symbol("S")))
+      .body(e_write("i", jref("b", "j")));
+  p.type("tau_peer").junction("j").init_data("i").body(e_skip());
+  p.instance("a", "tau", {{"j", {}}});
+  p.instance("b", "tau_peer", {{"j", {}}});
+  p.main_body(e_start(inst("a")));
+  auto r = compile(p.build());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("transmitted"), std::string::npos);
+}
+
+TEST(Compile, FunctionDeclsMergeIntoJunction) {
+  // Watch-style: a function declaring a proposition used by the junction.
+  ProgramBuilder p("merge");
+  p.function("flagit").init_prop("Flag", false).body(e_assert(pr("Flag")));
+  p.type("tau").junction("j").body(e_call("flagit"));
+  p.instance("a", "tau", {{"j", {}}});
+  p.main_body(e_start(inst("a")));
+  auto r = compile(p.build());
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  const auto& props = r->instances[0].junctions[0].table_spec.props;
+  ASSERT_EQ(props.size(), 1u);
+  EXPECT_EQ(props[0].first.str(), "Flag");
+}
+
+TEST(Compile, SetsMayNotContainSets) {
+  ProgramBuilder p("bad");
+  p.config("S", CtValue(CtList{CtValue(CtList{})}));
+  p.type("tau").junction("j").body(
+      e_for("x", SetRef::named(Symbol("S")), Expr::Kind::kSeq, e_skip()));
+  p.instance("a", "tau", {{"j", {}}});
+  p.main_body(e_start(inst("a")));
+  auto r = compile(p.build());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("sets"), std::string::npos);
+}
+
+TEST(Compile, ConflictingPropRedeclarationRejected) {
+  ProgramBuilder p("bad");
+  p.type("tau")
+      .junction("j")
+      .init_prop("P", true)
+      .init_prop("P", false)
+      .body(e_skip());
+  p.instance("a", "tau", {{"j", {}}});
+  p.main_body(e_start(inst("a")));
+  auto r = compile(p.build());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("conflicting"), std::string::npos);
+}
+
+TEST(Pretty, RendersProgramAndCountsLoc) {
+  auto spec = skeleton(e_seq({
+      e_host("H1", {Symbol("P")}),
+      e_save("n", "sv"),
+      e_write("n", jref("b", "j")),
+      e_wait({}, f_not(f_prop("P"))),
+  }));
+  const auto text = pretty_program(spec);
+  EXPECT_NE(text.find("def tau::j"), std::string::npos);
+  EXPECT_NE(text.find("wait [] !P"), std::string::npos);
+  EXPECT_NE(text.find("InstanceTypes"), std::string::npos);
+  EXPECT_GT(pretty_loc(spec), 10u);
+}
+
+}  // namespace
+}  // namespace csaw

@@ -1,0 +1,297 @@
+// Runtime control-flow semantics: case (break/next/reconsider), retry
+// budgets, fate vs transactional blocks, otherwise deadlines, verify's
+// ternary logic, parallel fate-sharing, and loop break.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "core/compile.hpp"
+#include "core/interp.hpp"
+
+namespace csaw {
+namespace {
+
+// Shared log of which host blocks ran, in order.
+struct RunLog {
+  std::mutex mu;
+  std::vector<std::string> events;
+  void add(const std::string& e) {
+    std::scoped_lock lock(mu);
+    events.push_back(e);
+  }
+  std::vector<std::string> snapshot() {
+    std::scoped_lock lock(mu);
+    return events;
+  }
+};
+
+// Builds a one-instance program with the given junction body/decls, binds
+// each named host block to a log entry (a block named "fail:X" logs X and
+// fails), runs the junction once, and returns the log.
+struct Harness {
+  std::shared_ptr<RunLog> log = std::make_shared<RunLog>();
+  std::unique_ptr<Engine> engine;
+
+  explicit Harness(ExprPtr body,
+                   std::function<void(JunctionBuilder&)> configure = nullptr,
+                   int retry_budget = 3) {
+    ProgramBuilder p("harness");
+    auto j = p.type("tau").junction("j").retry_budget(retry_budget);
+    j.init_prop("P", false).init_prop("Q", false).init_data("n");
+    if (configure) configure(j);
+    j.body(std::move(body));
+    p.instance("a", "tau", {{"j", {}}});
+    p.main_body(e_start(inst("a")));
+    auto compiled = compile(p.build());
+    CSAW_CHECK(compiled.ok()) << compiled.error().to_string();
+
+    HostBindings b;
+    auto lg = log;
+    for (const char* name :
+         {"h1", "h2", "h3", "h4", "fail:x", "fail:y", "complain"}) {
+      const std::string n = name;
+      const bool fails = n.rfind("fail:", 0) == 0;
+      b.block(n, [lg, n, fails](HostCtx&) -> Status {
+        lg->add(n);
+        if (fails) return make_error(Errc::kHostFailure, "scripted failure");
+        return Status::ok_status();
+      });
+    }
+    b.saver("sv", [](HostCtx&) -> Result<SerializedValue> {
+      return sv_dyn(DynValue(1));
+    });
+    engine = std::make_unique<Engine>(std::move(compiled).value(), std::move(b));
+    CSAW_CHECK(engine->run_main().ok());
+  }
+
+  void run_once() {
+    auto st = engine->call("a", "j", Deadline::after(std::chrono::seconds(10)));
+    CSAW_CHECK(st.ok()) << st.error().to_string();
+  }
+
+  KvTable& table() { return engine->runtime().table(Symbol("a"), Symbol("j")); }
+  const JunctionStats& stats() { return engine->stats(addr("a", "j")); }
+};
+
+TEST(ControlFlow, CaseBreakLeavesCase) {
+  // P false -> arm 2 (!P) matches, breaks; h3 after the case still runs.
+  std::vector<CaseArm> arms;
+  arms.push_back(case_arm(f_prop("P"), e_host("h1"), Terminator::kBreak));
+  arms.push_back(case_arm(f_not(f_prop("P")), e_host("h2"), Terminator::kBreak));
+  Harness h(e_seq({e_case(std::move(arms), e_host("h4")), e_host("h3")}));
+  h.run_once();
+  EXPECT_EQ(h.log->snapshot(), (std::vector<std::string>{"h2", "h3"}));
+}
+
+TEST(ControlFlow, CaseOtherwiseWhenNothingMatches) {
+  std::vector<CaseArm> arms;
+  arms.push_back(case_arm(f_prop("P"), e_host("h1"), Terminator::kBreak));
+  Harness h(e_case(std::move(arms), e_host("h4")));
+  h.run_once();
+  EXPECT_EQ(h.log->snapshot(), (std::vector<std::string>{"h4"}));
+}
+
+TEST(ControlFlow, CaseNextMatchesOnlyLaterArms) {
+  // Arm 1 matches (!P), asserts P, says next; arm 2's guard (P) is checked
+  // only among arms AFTER arm 1 -- and matches.
+  std::vector<CaseArm> arms;
+  arms.push_back(case_arm(f_not(f_prop("P")),
+                         e_seq({e_host("h1"), e_assert(pr("P"))}),
+                         Terminator::kNext));
+  arms.push_back(case_arm(f_prop("P"), e_host("h2"), Terminator::kBreak));
+  Harness h(e_case(std::move(arms), e_host("h4")));
+  h.run_once();
+  EXPECT_EQ(h.log->snapshot(), (std::vector<std::string>{"h1", "h2"}));
+}
+
+TEST(ControlFlow, CaseNextFallsToOtherwiseIfNoLaterMatch) {
+  std::vector<CaseArm> arms;
+  arms.push_back(case_arm(f_not(f_prop("P")), e_host("h1"), Terminator::kNext));
+  arms.push_back(case_arm(f_prop("P"), e_host("h2"), Terminator::kBreak));
+  // h1's arm does not change P, so arm 2 (P) cannot match.
+  Harness h(e_case(std::move(arms), e_host("h4")));
+  h.run_once();
+  EXPECT_EQ(h.log->snapshot(), (std::vector<std::string>{"h1", "h4"}));
+}
+
+TEST(ControlFlow, ReconsiderWithChangedMatchReruns) {
+  // Arm 1 (!P) asserts P then reconsiders; the new match is arm 2 (P).
+  std::vector<CaseArm> arms;
+  arms.push_back(case_arm(f_not(f_prop("P")),
+                         e_seq({e_host("h1"), e_assert(pr("P"))}),
+                         Terminator::kReconsider));
+  arms.push_back(case_arm(f_prop("P"), e_host("h2"), Terminator::kBreak));
+  Harness h(e_case(std::move(arms), e_host("h4")));
+  h.run_once();
+  EXPECT_EQ(h.log->snapshot(), (std::vector<std::string>{"h1", "h2"}));
+}
+
+TEST(ControlFlow, ReconsiderWithUnchangedMatchFails) {
+  // "otherwise the expression fails" (S6): the body fails, recorded in
+  // junction stats.
+  std::vector<CaseArm> arms;
+  arms.push_back(case_arm(f_not(f_prop("P")), e_host("h1"),
+                         Terminator::kReconsider));
+  Harness h(e_case(std::move(arms), e_host("h4")));
+  h.run_once();
+  EXPECT_EQ(h.log->snapshot(), (std::vector<std::string>{"h1"}));
+  EXPECT_EQ(h.stats().failures.load(), 1u);
+}
+
+TEST(ControlFlow, RetryRestartsJunctionBoundedTimes) {
+  // Body: h1; retry. Budget 2 -> h1 runs 1 + 2 times, then the junction
+  // gives up (failure recorded).
+  Harness h(e_seq({e_host("h1"), e_retry()}), nullptr, /*retry_budget=*/2);
+  h.run_once();
+  EXPECT_EQ(h.log->snapshot().size(), 3u);
+  EXPECT_EQ(h.stats().retries.load(), 2u);
+  EXPECT_EQ(h.stats().failures.load(), 1u);
+}
+
+TEST(ControlFlow, OtherwiseRunsFallbackOnFailure) {
+  Harness h(e_otherwise(e_host("fail:x"), TimeRef::ms(1000), e_host("h2")));
+  h.run_once();
+  EXPECT_EQ(h.log->snapshot(), (std::vector<std::string>{"fail:x", "h2"}));
+  EXPECT_EQ(h.stats().failures.load(), 0u);
+}
+
+TEST(ControlFlow, OtherwiseDeadlineBoundsWait) {
+  const auto before = steady_now();
+  Harness h(e_otherwise(e_wait({}, f_prop("P")), TimeRef::ms(80), e_host("h2")));
+  h.run_once();
+  EXPECT_GE(steady_now() - before, std::chrono::milliseconds(75));
+  EXPECT_EQ(h.log->snapshot(), (std::vector<std::string>{"h2"}));
+}
+
+TEST(ControlFlow, NestedOtherwiseTakesTighterDeadline) {
+  const auto before = steady_now();
+  Harness h(e_otherwise(
+      e_otherwise(e_wait({}, f_prop("P")), TimeRef::ms(5000), e_host("h1")),
+      TimeRef::ms(80), e_host("h2")));
+  h.run_once();
+  const auto elapsed = steady_now() - before;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(3000));
+  // The inner wait fails on the OUTER deadline; the inner otherwise handles
+  // it first (h1), which completes fine... but the outer deadline has
+  // passed, so anything after still fails outward. The inner fallback runs.
+  EXPECT_FALSE(h.log->snapshot().empty());
+}
+
+TEST(ControlFlow, TxnRollsBackOnFailure) {
+  // <| assert P; fail |> otherwise h2: P must be rolled back.
+  Harness h(e_otherwise(e_txn(e_seq({e_assert(pr("P")), e_verify(f_false())})),
+                        TimeRef::ms(1000), e_host("h2")));
+  h.run_once();
+  EXPECT_FALSE(*h.table().prop(Symbol("P")));
+  EXPECT_EQ(h.log->snapshot(), (std::vector<std::string>{"h2"}));
+}
+
+TEST(ControlFlow, FateBlockDoesNotRollBack) {
+  Harness h(e_otherwise(e_fate(e_seq({e_assert(pr("P")), e_verify(f_false())})),
+                        TimeRef::ms(1000), e_host("h2")));
+  h.run_once();
+  EXPECT_TRUE(*h.table().prop(Symbol("P")));  // persists despite failure
+}
+
+TEST(ControlFlow, ReturnLeavesFateScope) {
+  // < h1; return; h2 >; h3  --  return exits the block; h3 still runs.
+  Harness h(e_seq({e_fate(e_seq({e_host("h1"), e_return(), e_host("h2")})),
+                   e_host("h3")}));
+  h.run_once();
+  EXPECT_EQ(h.log->snapshot(), (std::vector<std::string>{"h1", "h3"}));
+}
+
+TEST(ControlFlow, TopLevelReturnEndsJunction) {
+  Harness h(e_seq({e_host("h1"), e_return(), e_host("h2")}));
+  h.run_once();
+  EXPECT_EQ(h.log->snapshot(), (std::vector<std::string>{"h1"}));
+  EXPECT_EQ(h.stats().failures.load(), 0u);
+}
+
+TEST(ControlFlow, ParallelBranchesAllRun) {
+  Harness h(e_par({e_host("h1"), e_host("h2"), e_host("h3")}));
+  h.run_once();
+  auto events = h.log->snapshot();
+  std::sort(events.begin(), events.end());
+  EXPECT_EQ(events, (std::vector<std::string>{"h1", "h2", "h3"}));
+}
+
+TEST(ControlFlow, ParallelFateSharing) {
+  // One branch fails -> the composition fails -> otherwise runs.
+  Harness h(e_otherwise(e_par({e_host("h1"), e_host("fail:x")}),
+                        TimeRef::ms(1000), e_host("h2")));
+  h.run_once();
+  auto events = h.log->snapshot();
+  EXPECT_EQ(events.back(), "h2");
+}
+
+TEST(ControlFlow, BreakExitsUnrolledLoopEarly) {
+  // for x in {1,2,3} ; { h1; break }  -- h1 runs once.
+  Harness h(e_for("x", SetRef::lit({CtValue(1), CtValue(2), CtValue(3)}),
+                  Expr::Kind::kSeq, e_seq({e_host("h1"), e_break()})));
+  h.run_once();
+  EXPECT_EQ(h.log->snapshot(), (std::vector<std::string>{"h1"}));
+}
+
+TEST(ControlFlow, VerifyTrueSucceedsFalseFails) {
+  {
+    Harness h(e_seq({e_verify(f_not(f_prop("P"))), e_host("h1")}));
+    h.run_once();
+    EXPECT_EQ(h.log->snapshot(), (std::vector<std::string>{"h1"}));
+  }
+  {
+    Harness h(e_seq({e_verify(f_prop("P")), e_host("h1")}));
+    h.run_once();
+    EXPECT_TRUE(h.log->snapshot().empty());
+    EXPECT_EQ(h.stats().verify_failures.load(), 1u);
+  }
+}
+
+TEST(ControlFlow, VerifyTernaryShortCircuit) {
+  // S(ghost) -> ghost@P: ghost is not even declared; but the implication
+  // short-circuits on S(ghost)=false, so the verify is decidable and true.
+  ProgramBuilder p("tern");
+  p.type("tau").junction("j").init_prop("P", false).body(
+      e_verify(f_implies(f_running(inst("ghost2")),
+                         f_prop_at(jref("ghost2", "j"), "P"))));
+  p.type("ghost_t").junction("j").init_prop("P", false).body(e_skip());
+  p.instance("a", "tau", {{"j", {}}});
+  p.instance("ghost2", "ghost_t", {{"j", {}}});
+  p.main_body(e_start(inst("a")));  // ghost2 never started
+  auto compiled = compile(p.build());
+  ASSERT_TRUE(compiled.ok()) << compiled.error().to_string();
+  Engine engine(std::move(compiled).value(), HostBindings{});
+  ASSERT_TRUE(engine.run_main().ok());
+  ASSERT_TRUE(engine.call("a", "j", Deadline::after(std::chrono::seconds(5))).ok());
+  EXPECT_EQ(engine.stats(addr("a", "j")).verify_failures.load(), 0u);
+  // The direct (non-guarded) remote read of a down instance is undecidable:
+  // "verify will return an error" (S6).
+}
+
+TEST(ControlFlow, HostWriteSetEnforced) {
+  ProgramBuilder p("ws");
+  p.type("tau").junction("j").init_prop("P", false).init_prop("Q", false).body(
+      e_host("writer", {Symbol("P")}));
+  p.instance("a", "tau", {{"j", {}}});
+  p.main_body(e_start(inst("a")));
+  auto compiled = compile(p.build());
+  ASSERT_TRUE(compiled.ok());
+  std::atomic<bool> p_ok{false}, q_rejected{false};
+  HostBindings b;
+  b.block("writer", [&](HostCtx& ctx) -> Status {
+    p_ok = ctx.set_prop("P", true).ok();
+    q_rejected = !ctx.set_prop("Q", true).ok();
+    return Status::ok_status();
+  });
+  Engine engine(std::move(compiled).value(), std::move(b));
+  ASSERT_TRUE(engine.run_main().ok());
+  ASSERT_TRUE(engine.call("a", "j", Deadline::after(std::chrono::seconds(5))).ok());
+  EXPECT_TRUE(p_ok.load());
+  EXPECT_TRUE(q_rejected.load());
+}
+
+}  // namespace
+}  // namespace csaw

@@ -1,0 +1,151 @@
+// End-to-end test of the paper's Fig 3: the program "H1;H2" typified into
+// tau_f (instance f) and tau_g (instance g), coordinating through the Work
+// proposition and the named data n.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "core/builder.hpp"
+#include "core/compile.hpp"
+#include "core/interp.hpp"
+
+namespace csaw {
+namespace {
+
+// Shared observation state for the H1/H2 host blocks.
+struct Fig3State {
+  std::atomic<int> h1_runs{0};
+  std::atomic<int> h2_runs{0};
+  std::string transferred;
+};
+
+ProgramSpec fig3_spec() {
+  ProgramBuilder p("fig3");
+
+  // def tau_f::junction(g) <|
+  //   | init prop !Work   | init data n
+  //   |_H1_|; save(..., n); write(n, g); assert [g] Work; wait [] !Work
+  p.type("tau_f")
+      .junction("junction")
+      .param("g", ParamDecl::Kind::kJunction)
+      .init_prop("Work", false)
+      .init_data("n")
+      .body(e_seq({
+          e_host("H1"),
+          e_save("n", "save_n"),
+          e_write("n", var("g")),
+          e_assert(pr("Work"), var("g")),
+          e_wait({}, f_not(f_prop("Work"))),
+      }));
+
+  // def tau_g::junction(f) <|
+  //   | init prop !Work  | init data n  | guard Work
+  //   restore(n, ...); |_H2_|; retract [f] Work
+  p.type("tau_g")
+      .junction("junction")
+      .param("f", ParamDecl::Kind::kJunction)
+      .init_prop("Work", false)
+      .init_data("n")
+      .guard(f_prop("Work"))
+      .auto_schedule()
+      .body(e_seq({
+          e_restore("n", "restore_n"),
+          e_host("H2"),
+          e_retract(pr("Work"), var("f")),
+      }));
+
+  p.instance("f", "tau_f",
+             {{"junction", {CtValue(addr("g", "junction"))}}});
+  p.instance("g", "tau_g",
+             {{"junction", {CtValue(addr("f", "junction"))}}});
+
+  // def main() <| start f + start g
+  p.main_body(e_par({e_start(inst("f")), e_start(inst("g"))}));
+  return p.build();
+}
+
+TEST(Fig3, CompilesAndRunsOneHandoff) {
+  auto compiled = compile(fig3_spec());
+  ASSERT_TRUE(compiled.ok()) << compiled.error().to_string();
+
+  auto state = std::make_shared<Fig3State>();
+  HostBindings bindings;
+  bindings.block("H1", [state](HostCtx&) {
+    state->h1_runs.fetch_add(1);
+    return Status::ok_status();
+  });
+  bindings.block("H2", [state](HostCtx&) {
+    state->h2_runs.fetch_add(1);
+    return Status::ok_status();
+  });
+  bindings.saver("save_n", [](HostCtx&) -> Result<SerializedValue> {
+    return sv_dyn(DynValue(std::string("payload-from-H1")));
+  });
+  bindings.restorer("restore_n",
+                    [state](HostCtx&, const SerializedValue& sv) -> Status {
+                      auto v = dyn_sv(sv);
+                      if (!v) return v.error();
+                      state->transferred = v->as_string();
+                      return Status::ok_status();
+                    });
+
+  Engine engine(std::move(compiled).value(), std::move(bindings));
+  ASSERT_TRUE(engine.run_main().ok());
+  ASSERT_TRUE(engine.runtime().is_running(Symbol("f")));
+  ASSERT_TRUE(engine.runtime().is_running(Symbol("g")));
+
+  // One scheduling of f::junction drives the whole H1 -> g -> H2 handoff:
+  // f blocks in `wait [] !Work` until g retracts Work.
+  auto st = engine.call("f", "junction",
+                        Deadline::after(std::chrono::seconds(5)));
+  ASSERT_TRUE(st.ok()) << st.error().to_string();
+
+  EXPECT_EQ(state->h1_runs.load(), 1);
+  EXPECT_EQ(state->h2_runs.load(), 1);
+  EXPECT_EQ(state->transferred, "payload-from-H1");
+
+  // Work ends retracted on both sides.
+  EXPECT_FALSE(
+      *engine.runtime().table(Symbol("f"), Symbol("junction")).prop(Symbol("Work")));
+  const auto& fstats = engine.stats(addr("f", "junction"));
+  EXPECT_EQ(fstats.runs.load(), 1u);
+  EXPECT_EQ(fstats.failures.load(), 0u);
+}
+
+TEST(Fig3, RepeatedHandoffs) {
+  auto compiled = compile(fig3_spec());
+  ASSERT_TRUE(compiled.ok()) << compiled.error().to_string();
+
+  auto state = std::make_shared<Fig3State>();
+  HostBindings bindings;
+  bindings.block("H1", [state](HostCtx&) {
+    state->h1_runs.fetch_add(1);
+    return Status::ok_status();
+  });
+  bindings.block("H2", [state](HostCtx&) {
+    state->h2_runs.fetch_add(1);
+    return Status::ok_status();
+  });
+  bindings.saver("save_n", [](HostCtx&) -> Result<SerializedValue> {
+    return sv_dyn(DynValue(std::int64_t{42}));
+  });
+  bindings.restorer("restore_n", [](HostCtx&, const SerializedValue&) {
+    return Status::ok_status();
+  });
+
+  Engine engine(std::move(compiled).value(), std::move(bindings));
+  ASSERT_TRUE(engine.run_main().ok());
+
+  constexpr int kRounds = 25;
+  for (int i = 0; i < kRounds; ++i) {
+    auto st = engine.call("f", "junction",
+                          Deadline::after(std::chrono::seconds(5)));
+    ASSERT_TRUE(st.ok()) << "round " << i << ": " << st.error().to_string();
+  }
+  EXPECT_EQ(state->h1_runs.load(), kRounds);
+  EXPECT_EQ(state->h2_runs.load(), kRounds);
+}
+
+}  // namespace
+}  // namespace csaw

@@ -1,0 +1,130 @@
+// Failure-injection tests: lossy and partitioned links exercising the
+// failure-awareness machinery the patterns rely on -- Fig 4's timeout +
+// Retried retry, nack-vs-timeout discovery, and recovery after healing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "core/builder.hpp"
+#include "core/compile.hpp"
+#include "core/interp.hpp"
+#include "patterns/snapshot.hpp"
+
+namespace csaw {
+namespace {
+
+struct Counters {
+  std::atomic<int> complaints{0};
+  std::atomic<int> audited{0};
+};
+
+struct Fixture {
+  std::unique_ptr<Engine> engine;
+  std::shared_ptr<Counters> counters = std::make_shared<Counters>();
+
+  explicit Fixture(RuntimeOptions ropts, std::int64_t timeout_ms = 150) {
+    patterns::SnapshotOptions opts;
+    opts.timeout_ms = timeout_ms;
+    auto compiled = compile(patterns::remote_snapshot(opts));
+    CSAW_CHECK(compiled.ok()) << compiled.error().to_string();
+
+    HostBindings b;
+    auto c = counters;
+    b.block("complain", [c](HostCtx&) {
+      c->complaints.fetch_add(1);
+      return Status::ok_status();
+    });
+    b.block("H1", [](HostCtx&) { return Status::ok_status(); });
+    b.block("H2", [c](HostCtx&) {
+      c->audited.fetch_add(1);
+      return Status::ok_status();
+    });
+    b.saver("capture_state", [](HostCtx&) -> Result<SerializedValue> {
+      return sv_dyn(DynValue(1));
+    });
+    b.restorer("ingest_state", [](HostCtx&, const SerializedValue&) {
+      return Status::ok_status();
+    });
+
+    EngineOptions eopts;
+    eopts.runtime = ropts;
+    engine = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
+                                      eopts);
+    engine->set_state(Symbol("Act"), counters);
+    engine->set_state(Symbol("Aud"), counters);
+    CSAW_CHECK(engine->run_main().ok());
+  }
+
+  Status snapshot_once(int timeout_s = 10) {
+    return engine->call("Act", "j",
+                        Deadline::after(std::chrono::seconds(timeout_s)));
+  }
+};
+
+TEST(FaultInjection, LossyLinkStillMakesProgress) {
+  // 30% message loss with timeout-based discovery: the architecture's
+  // otherwise/Retried logic keeps snapshots flowing, at the cost of
+  // complaints for rounds whose retries also failed.
+  RuntimeOptions ropts;
+  ropts.nack_when_down = false;
+  ropts.default_link.drop_prob = 0.30;
+  ropts.seed = 7;
+  Fixture fx(ropts);
+  constexpr int kRounds = 12;
+  for (int i = 0; i < kRounds; ++i) {
+    ASSERT_TRUE(fx.snapshot_once(20).ok()) << "round " << i;
+  }
+  // Despite the losses, a solid majority of rounds audited successfully.
+  EXPECT_GE(fx.counters->audited.load(), kRounds / 2);
+  // And the runs never wedge: every call() returned.
+}
+
+TEST(FaultInjection, PartitionComplainsHealReconnects) {
+  RuntimeOptions ropts;
+  ropts.nack_when_down = false;  // partitions look like silence
+  Fixture fx(ropts, /*timeout_ms=*/120);
+  ASSERT_TRUE(fx.snapshot_once().ok());
+  EXPECT_EQ(fx.counters->complaints.load(), 0);
+  const int audited_before = fx.counters->audited.load();
+
+  fx.engine->runtime().router().set_partition(Symbol("Act"), Symbol("Aud"),
+                                              true);
+  ASSERT_TRUE(fx.snapshot_once().ok());
+  // The write/assert to Aud timed out; Act complained.
+  EXPECT_GE(fx.counters->complaints.load(), 1);
+
+  fx.engine->runtime().router().set_partition(Symbol("Act"), Symbol("Aud"),
+                                              false);
+  ASSERT_TRUE(fx.snapshot_once().ok());
+  EXPECT_GT(fx.counters->audited.load(), audited_before);
+}
+
+TEST(FaultInjection, RetriedFlagRetriesRemoteRetraction) {
+  // Drop exactly the auditor's first retraction: Aud's `retract [Act] Work
+  // otherwise[t] ...assert Retried...reconsider` must retry and succeed the
+  // second time (Fig 4's annotated behavior / Fig 22's structure).
+  RuntimeOptions ropts;
+  ropts.nack_when_down = false;
+  Fixture fx(ropts, /*timeout_ms=*/150);
+
+  // Drop Aud->Act traffic only for the retraction window: partition just
+  // after the snapshot lands at Aud. Simplest deterministic approximation:
+  // a 100%-lossy Aud->Act link for the first attempt, healed before the
+  // retry would give a clean two-phase test; instead exercise it
+  // statistically with a half-lossy directed link.
+  fx.engine->runtime().router().set_link(Symbol("Aud"), Symbol("Act"),
+                                         LinkModel{{}, 0.0, 0.5, 0});
+  int ok_rounds = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (fx.snapshot_once(20).ok()) ++ok_rounds;
+  }
+  EXPECT_EQ(ok_rounds, 10);             // the junction call itself never wedges
+  EXPECT_GE(fx.counters->audited.load(), 5);
+  const auto& aud_stats = fx.engine->stats(addr("Aud", "j"));
+  // The retry path ran at least once across 10 half-lossy rounds.
+  EXPECT_GT(aud_stats.runs.load(), 0u);
+}
+
+}  // namespace
+}  // namespace csaw

@@ -1,0 +1,222 @@
+// Unit tests for the KV table: declarations, undef semantics, pending-update
+// queuing, the (ordered) local-priority rule, wait admission, keep,
+// transactional rollback, multi-waiter support, interruption.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "kv/table.hpp"
+#include "serdes/value.hpp"
+
+namespace csaw {
+namespace {
+
+const Symbol kWork("Work");
+const Symbol kOther("Other");
+const Symbol kN("n");
+const Symbol kM("m");
+
+KvTable::Spec spec() {
+  KvTable::Spec s;
+  s.props = {{kWork, false}, {kOther, true}};
+  s.data = {kN, kM};
+  return s;
+}
+
+SerializedValue payload(const std::string& text) {
+  return SerializedValue{Symbol("test"), Bytes(text.begin(), text.end())};
+}
+
+TEST(KvTable, DeclaredNamesAndInitials) {
+  KvTable t(spec(), "j");
+  EXPECT_FALSE(*t.prop(kWork));
+  EXPECT_TRUE(*t.prop(kOther));
+  EXPECT_FALSE(t.prop(Symbol("Missing")).ok());
+  EXPECT_FALSE(t.set_prop_local(Symbol("Missing"), true).ok());
+}
+
+TEST(KvTable, DataStartsUndefAndReadsFailUntilSave) {
+  KvTable t(spec(), "j");
+  EXPECT_FALSE(t.data_defined(kN));
+  auto r = t.data(kN);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kUndefData);
+  ASSERT_TRUE(t.save_local(kN, payload("hello")).ok());
+  EXPECT_TRUE(t.data_defined(kN));
+  EXPECT_TRUE(t.data(kN).ok());
+  EXPECT_FALSE(t.save_local(Symbol("nope"), payload("x")).ok());
+}
+
+TEST(KvTable, PendingUpdatesApplyAtScheduling) {
+  KvTable t(spec(), "j");
+  ASSERT_TRUE(t.enqueue(Update::assert_prop(kWork)).ok());
+  EXPECT_FALSE(*t.prop(kWork));  // not yet applied
+  t.apply_pending();
+  EXPECT_TRUE(*t.prop(kWork));
+}
+
+TEST(KvTable, EnqueueOfUndeclaredKeyRejected) {
+  KvTable t(spec(), "j");
+  EXPECT_FALSE(t.enqueue(Update::assert_prop(Symbol("Ghost"))).ok());
+  EXPECT_FALSE(t.enqueue(Update::write_data(Symbol("ghost"), payload("x"))).ok());
+}
+
+TEST(KvTable, LocalPriorityDropsOlderRemoteUpdate) {
+  KvTable t(spec(), "j");
+  t.apply_pending();
+  t.begin_run();
+  // Remote update arrives during the run, THEN the junction writes locally:
+  // the local write wins ("local updates have priority").
+  ASSERT_TRUE(t.enqueue(Update::assert_prop(kWork)).ok());
+  ASSERT_TRUE(t.set_prop_local(kWork, false).ok());
+  t.end_run();
+  t.apply_pending();
+  EXPECT_FALSE(*t.prop(kWork));
+  EXPECT_EQ(t.counters().dropped_local_priority, 1u);
+}
+
+TEST(KvTable, LocalPriorityKeepsNewerRemoteUpdate) {
+  KvTable t(spec(), "j");
+  t.begin_run();
+  // The junction writes locally FIRST; a remote update arriving later must
+  // survive (it is newer information).
+  ASSERT_TRUE(t.set_prop_local(kWork, false).ok());
+  ASSERT_TRUE(t.enqueue(Update::assert_prop(kWork)).ok());
+  t.end_run();
+  t.apply_pending();
+  EXPECT_TRUE(*t.prop(kWork));
+  EXPECT_EQ(t.counters().dropped_local_priority, 0u);
+}
+
+TEST(KvTable, LocalPriorityAblationKeepsStaleUpdate) {
+  // DESIGN.md ablation 1: with the rule disabled, the older remote update
+  // survives end_run and stomps the local write at the next scheduling.
+  auto s = spec();
+  s.local_priority = false;
+  KvTable t(std::move(s), "j");
+  t.begin_run();
+  ASSERT_TRUE(t.enqueue(Update::assert_prop(kWork)).ok());
+  ASSERT_TRUE(t.set_prop_local(kWork, false).ok());
+  t.end_run();
+  t.apply_pending();
+  EXPECT_TRUE(*t.prop(kWork));  // the stale remote assert won
+  EXPECT_EQ(t.counters().dropped_local_priority, 0u);
+}
+
+TEST(KvTable, KeepDiscardsQueuedUpdates) {
+  KvTable t(spec(), "j");
+  ASSERT_TRUE(t.enqueue(Update::assert_prop(kWork)).ok());
+  ASSERT_TRUE(t.enqueue(Update::write_data(kN, payload("z"))).ok());
+  const Symbol keys[] = {kWork};
+  t.keep(keys);
+  t.apply_pending();
+  EXPECT_FALSE(*t.prop(kWork));        // discarded
+  EXPECT_TRUE(t.data_defined(kN));     // untouched by keep
+  EXPECT_EQ(t.counters().dropped_keep, 1u);
+}
+
+TEST(KvTable, WaitAdmitsOnlyListedKeys) {
+  KvTable t(spec(), "j");
+  t.begin_run();
+  std::thread updater([&t] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Other is NOT admitted: must queue. Work is admitted: applies.
+    ASSERT_TRUE(t.enqueue(Update::retract_prop(kOther)).ok());
+    ASSERT_TRUE(t.enqueue(Update::assert_prop(kWork)).ok());
+  });
+  const Symbol admit[] = {kWork};
+  auto st = t.wait([&](const TableView& v) { return v.prop(kWork); }, admit,
+                   Deadline::after(std::chrono::seconds(5)));
+  updater.join();
+  ASSERT_TRUE(st.ok()) << st.error().to_string();
+  EXPECT_TRUE(*t.prop(kWork));
+  EXPECT_TRUE(*t.prop(kOther));  // retraction still pending
+  t.end_run();
+  t.apply_pending();
+  EXPECT_FALSE(*t.prop(kOther));
+}
+
+TEST(KvTable, WaitFlushesQueuedAdmittedUpdatesOnEntry) {
+  KvTable t(spec(), "j");
+  t.begin_run();
+  ASSERT_TRUE(t.set_prop_local(kWork, true).ok());
+  // The retraction raced in before the wait started.
+  ASSERT_TRUE(t.enqueue(Update::retract_prop(kWork)).ok());
+  const Symbol admit[] = {kWork};
+  auto st = t.wait([&](const TableView& v) { return !v.prop(kWork); }, admit,
+                   Deadline::after(std::chrono::milliseconds(200)));
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(KvTable, WaitTimesOut) {
+  KvTable t(spec(), "j");
+  const Symbol admit[] = {kWork};
+  auto st = t.wait([&](const TableView& v) { return v.prop(kWork); }, admit,
+                   Deadline::after(std::chrono::milliseconds(30)));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::kTimeout);
+}
+
+TEST(KvTable, ConcurrentWaitersEachGetTheirKeys) {
+  KvTable t(spec(), "j");
+  std::atomic<int> done{0};
+  std::thread w1([&] {
+    const Symbol admit[] = {kWork};
+    auto st = t.wait([&](const TableView& v) { return v.prop(kWork); }, admit,
+                     Deadline::after(std::chrono::seconds(5)));
+    EXPECT_TRUE(st.ok());
+    done.fetch_add(1);
+  });
+  std::thread w2([&] {
+    const Symbol admit[] = {kOther};
+    auto st = t.wait([&](const TableView& v) { return !v.prop(kOther); }, admit,
+                     Deadline::after(std::chrono::seconds(5)));
+    EXPECT_TRUE(st.ok());
+    done.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(t.enqueue(Update::assert_prop(kWork)).ok());
+  ASSERT_TRUE(t.enqueue(Update::retract_prop(kOther)).ok());
+  w1.join();
+  w2.join();
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(KvTable, InterruptUnblocksWait) {
+  KvTable t(spec(), "j");
+  std::thread waiter([&] {
+    const Symbol admit[] = {kWork};
+    auto st = t.wait([&](const TableView& v) { return v.prop(kWork); }, admit,
+                     Deadline::infinite());
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.error().code, Errc::kUnreachable);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.interrupt();
+  waiter.join();
+}
+
+TEST(KvTable, SnapshotRollbackRestoresContents) {
+  KvTable t(spec(), "j");
+  ASSERT_TRUE(t.save_local(kN, payload("original")).ok());
+  ASSERT_TRUE(t.set_prop_local(kWork, true).ok());
+  const auto snap = t.snapshot();
+  ASSERT_TRUE(t.set_prop_local(kWork, false).ok());
+  ASSERT_TRUE(t.save_local(kN, payload("changed")).ok());
+  ASSERT_TRUE(t.save_local(kM, payload("new")).ok());
+  t.restore_snapshot(snap);
+  EXPECT_TRUE(*t.prop(kWork));
+  EXPECT_EQ(t.data(kN)->bytes, payload("original").bytes);
+  EXPECT_FALSE(t.data_defined(kM));  // back to undef
+}
+
+TEST(KvTable, DebugStringMentionsContents) {
+  KvTable t(spec(), "owner::j");
+  const auto s = t.debug_string();
+  EXPECT_NE(s.find("owner::j"), std::string::npos);
+  EXPECT_NE(s.find("Work"), std::string::npos);
+  EXPECT_NE(s.find("undef"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csaw

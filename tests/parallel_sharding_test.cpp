@@ -1,0 +1,143 @@
+// Integration test of the S7.1 parallel-sharding/replication architecture:
+// the front-end fans a request out to a runtime-chosen *subset* of
+// back-ends in parallel, tracks per-back-end usability (ActiveBackend), and
+// complains only when no back-end remains viable.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "apps/miniredis/command.hpp"
+#include "core/builder.hpp"
+#include "core/compile.hpp"
+#include "core/interp.hpp"
+#include "patterns/sharding.hpp"
+
+namespace csaw {
+namespace {
+
+using miniredis::Mailbox;
+
+struct FrontState {
+  Mailbox<std::string> requests;
+  std::string current;
+  std::vector<bool> chosen;  // which back-ends to engage this round
+  std::atomic<int> complaints{0};
+};
+
+struct BackState {
+  std::vector<std::string> received;
+  std::atomic<int> runs{0};
+};
+
+struct Fixture {
+  static constexpr std::size_t kBackends = 3;
+  std::unique_ptr<Engine> engine;
+  std::shared_ptr<FrontState> front = std::make_shared<FrontState>();
+  std::vector<std::shared_ptr<BackState>> backs;
+
+  Fixture() {
+    patterns::ParallelShardingOptions opts;
+    opts.backends = kBackends;
+    opts.timeout_ms = 300;
+    auto compiled = compile(patterns::parallel_sharding(opts));
+    CSAW_CHECK(compiled.ok()) << compiled.error().to_string();
+
+    HostBindings b;
+    b.block("complain", [fs = front](HostCtx&) {
+      fs->complaints.fetch_add(1);
+      return Status::ok_status();
+    });
+    b.block("ChooseSet", [](HostCtx& ctx) -> Status {
+      auto& st = ctx.state<FrontState>();
+      auto req = st.requests.pop(Deadline::after(std::chrono::seconds(5)));
+      if (!req) return make_error(Errc::kHostFailure, "no request");
+      st.current = std::move(*req);
+      return ctx.set_subset("tgt", st.chosen);
+    });
+    b.saver("pack_request", [](HostCtx& ctx) -> Result<SerializedValue> {
+      return sv_dyn(DynValue(ctx.state<FrontState>().current));
+    });
+    b.restorer("unpack_request",
+               [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+                 auto v = dyn_sv(sv);
+                 if (!v) return v.error();
+                 ctx.state<BackState>().received.push_back(v->as_string());
+                 return Status::ok_status();
+               });
+    b.block("H_back", [](HostCtx& ctx) {
+      ctx.state<BackState>().runs.fetch_add(1);
+      return Status::ok_status();
+    });
+
+    engine = std::make_unique<Engine>(std::move(compiled).value(), std::move(b));
+    engine->set_state(Symbol("Fnt"), front);
+    for (std::size_t i = 1; i <= kBackends; ++i) {
+      backs.push_back(std::make_shared<BackState>());
+      engine->set_state(Symbol("Bck" + std::to_string(i)), backs.back());
+    }
+    auto st = engine->run_main();
+    CSAW_CHECK(st.ok()) << st.error().to_string();
+  }
+
+  void replicate(const std::string& payload, std::vector<bool> to) {
+    front->chosen = std::move(to);
+    front->requests.push(payload);
+    auto st = engine->call("Fnt", "j", Deadline::after(std::chrono::seconds(10)));
+    CSAW_CHECK(st.ok()) << st.error().to_string();
+  }
+};
+
+TEST(ParallelSharding, ReplicatesToChosenSubset) {
+  Fixture fx;
+  fx.replicate("alpha", {true, true, false});
+  EXPECT_EQ(fx.backs[0]->received, (std::vector<std::string>{"alpha"}));
+  EXPECT_EQ(fx.backs[1]->received, (std::vector<std::string>{"alpha"}));
+  EXPECT_TRUE(fx.backs[2]->received.empty());
+
+  fx.replicate("beta", {false, false, true});
+  EXPECT_TRUE(fx.backs[0]->received.size() == 1);
+  EXPECT_EQ(fx.backs[2]->received, (std::vector<std::string>{"beta"}));
+  EXPECT_EQ(fx.front->complaints.load(), 0);
+}
+
+TEST(ParallelSharding, FullFanOutReachesAll) {
+  Fixture fx;
+  for (int i = 0; i < 5; ++i) {
+    fx.replicate("msg" + std::to_string(i), {true, true, true});
+  }
+  for (const auto& back : fx.backs) {
+    EXPECT_EQ(back->received.size(), 5u);
+  }
+}
+
+TEST(ParallelSharding, DeadBackendIsDeactivatedAndOthersCarryOn) {
+  Fixture fx;
+  fx.engine->runtime().crash(Symbol("Bck2"));
+  // The branch to Bck2 fails and ActiveBackend[Bck2] is retracted; the
+  // others succeed, so HaveAtLeastOne holds -> no complaint.
+  fx.replicate("survivor", {true, true, true});
+  EXPECT_EQ(fx.backs[0]->received, (std::vector<std::string>{"survivor"}));
+  EXPECT_EQ(fx.backs[2]->received, (std::vector<std::string>{"survivor"}));
+  EXPECT_EQ(fx.front->complaints.load(), 0);
+  // Deactivation is sticky: subsequent rounds skip Bck2 immediately.
+  EXPECT_FALSE(*fx.engine->runtime()
+                    .table(Symbol("Fnt"), Symbol("j"))
+                    .prop(Symbol("ActiveBackend[Bck2::j]")));
+  fx.replicate("again", {true, true, true});
+  EXPECT_EQ(fx.backs[0]->received.size(), 2u);
+}
+
+TEST(ParallelSharding, AllDeadComplains) {
+  Fixture fx;
+  for (std::size_t i = 1; i <= Fixture::kBackends; ++i) {
+    fx.engine->runtime().crash(Symbol("Bck" + std::to_string(i)));
+  }
+  fx.replicate("doomed", {true, true, true});
+  // No viable back-end: "alert the operator that the computation cannot
+  // terminate successfully" (S7.1).
+  EXPECT_GE(fx.front->complaints.load(), 1);
+}
+
+}  // namespace
+}  // namespace csaw

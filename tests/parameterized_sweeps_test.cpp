@@ -1,0 +1,224 @@
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+//   * the Fig 3 handoff is correct under every channel condition (latency
+//     profiles, lossy links, both transports);
+//   * sharding invariants hold for any shard count;
+//   * keyspace snapshots roundtrip at any scale;
+//   * case/reconsider budgets behave for any retry budget.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/miniredis/services.hpp"
+#include "apps/miniredis/workload.hpp"
+#include "core/builder.hpp"
+#include "core/compile.hpp"
+#include "core/interp.hpp"
+#include "support/rng.hpp"
+
+namespace csaw {
+namespace {
+
+// --- handoff under channel conditions -------------------------------------------
+
+struct ChannelCase {
+  const char* name;
+  LinkModel link;
+  Transport transport;
+  bool nack_when_down;
+};
+
+class HandoffSweep : public ::testing::TestWithParam<ChannelCase> {};
+
+TEST_P(HandoffSweep, Fig3HandoffCompletesAndTransfersData) {
+  const auto& param = GetParam();
+  ProgramBuilder p(std::string("sweep_") + param.name);
+  p.type("tau_f")
+      .junction("j")
+      .init_prop("Work", false)
+      .init_data("n")
+      .body(e_seq({
+          e_save("n", "sv"),
+          e_otherwise(e_fate(e_seq({
+                          e_write("n", jref("g", "j")),
+                          e_assert(pr("Work"), jref("g", "j")),
+                          e_wait({}, f_not(f_prop("Work"))),
+                      })),
+                      TimeRef::ms(2000), e_host("complain")),
+      }));
+  p.type("tau_g")
+      .junction("j")
+      .init_prop("Work", false)
+      .init_data("n")
+      .guard(f_prop("Work"))
+      .auto_schedule()
+      .body(e_seq({
+          e_restore("n", "rs"),
+          e_otherwise(e_retract(pr("Work"), jref("f", "j")), TimeRef::ms(2000),
+                      e_skip()),
+      }));
+  p.instance("f", "tau_f", {{"j", {}}});
+  p.instance("g", "tau_g", {{"j", {}}});
+  p.main_body(e_par({e_start(inst("f")), e_start(inst("g"))}));
+  auto compiled = compile(p.build());
+  ASSERT_TRUE(compiled.ok()) << compiled.error().to_string();
+
+  std::atomic<int> received{0}, complaints{0};
+  HostBindings b;
+  b.saver("sv", [](HostCtx&) -> Result<SerializedValue> {
+    return sv_dyn(DynValue(std::string("payload")));
+  });
+  b.restorer("rs", [&received](HostCtx&, const SerializedValue& sv) -> Status {
+    auto v = dyn_sv(sv);
+    if (!v || v->as_string() != "payload") {
+      return make_error(Errc::kHostFailure, "corrupted payload");
+    }
+    received.fetch_add(1);
+    return Status::ok_status();
+  });
+  b.block("complain", [&complaints](HostCtx&) {
+    complaints.fetch_add(1);
+    return Status::ok_status();
+  });
+
+  EngineOptions opts;
+  opts.runtime.default_link = param.link;
+  opts.runtime.transport = param.transport;
+  opts.runtime.nack_when_down = param.nack_when_down;
+  opts.runtime.seed = 99;
+  Engine engine(std::move(compiled).value(), std::move(b), opts);
+  ASSERT_TRUE(engine.run_main().ok());
+
+  constexpr int kRounds = 8;
+  for (int i = 0; i < kRounds; ++i) {
+    auto st = engine.call("f", "j", Deadline::after(std::chrono::seconds(20)));
+    ASSERT_TRUE(st.ok()) << param.name << " round " << i;
+  }
+  // Under loss, some rounds may complain instead of delivering; the
+  // invariant is progress + no corruption + accounting consistency.
+  EXPECT_EQ(engine.stats(addr("f", "j")).runs.load(),
+            static_cast<std::uint64_t>(kRounds));
+  EXPECT_GE(received.load() + complaints.load(), 1);
+  if (param.link.drop_prob == 0.0) {
+    EXPECT_EQ(received.load(), kRounds);
+    EXPECT_EQ(complaints.load(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Channels, HandoffSweep,
+    ::testing::Values(
+        ChannelCase{"in_process", LinkModel::in_process(),
+                    Transport::kInProcess, true},
+        ChannelCase{"same_vm", LinkModel::same_vm(), Transport::kInProcess,
+                    true},
+        ChannelCase{"cross_vm", LinkModel::cross_vm_1gbe(),
+                    Transport::kInProcess, true},
+        ChannelCase{"lossy10", LinkModel{{}, 0.0, 0.10, 0},
+                    Transport::kInProcess, false},
+        ChannelCase{"lossy25", LinkModel{{}, 0.0, 0.25, 0},
+                    Transport::kInProcess, false},
+        ChannelCase{"tcp", LinkModel::in_process(), Transport::kTcpLoopback,
+                    true},
+        ChannelCase{"tcp_latency", LinkModel::same_vm(),
+                    Transport::kTcpLoopback, true}),
+    [](const ::testing::TestParamInfo<ChannelCase>& info) {
+      return info.param.name;
+    });
+
+// --- sharding invariants for any shard count ------------------------------------
+
+class ShardCountSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardCountSweep, RoutingIsTotalDeterministicAndAnswersMatch) {
+  const std::size_t shards = GetParam();
+  miniredis::ShardedService::Options opts;
+  opts.shards = shards;
+  opts.op_cost_ns = 0;
+  miniredis::ShardedService svc(opts);
+
+  std::vector<std::uint64_t> expected(shards, 0);
+  for (int i = 0; i < 30; ++i) {
+    miniredis::Command set;
+    set.op = miniredis::Command::Op::kSet;
+    set.key = miniredis::key_name(static_cast<std::size_t>(i));
+    set.value = "v" + std::to_string(i);
+    const auto shard = svc.shard_of(set);
+    ASSERT_LT(shard, shards);
+    EXPECT_EQ(shard, djb2(set.key) % shards);  // deterministic djb2 routing
+    ++expected[shard];
+    ASSERT_TRUE(svc.request(set).ok());
+  }
+  for (int i = 0; i < 30; ++i) {
+    miniredis::Command get;
+    get.op = miniredis::Command::Op::kGet;
+    get.key = miniredis::key_name(static_cast<std::size_t>(i));
+    auto r = svc.request(get);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->found);
+    EXPECT_EQ(r->value, "v" + std::to_string(i));
+    ++expected[svc.shard_of(get)];
+  }
+  EXPECT_EQ(svc.shard_counts(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ShardCountSweep,
+                         ::testing::Values(2, 3, 4, 8));
+
+// --- snapshot scale sweep ----------------------------------------------------------
+
+class SnapshotScaleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SnapshotScaleSweep, KeyspaceImageRoundtripsAtScale) {
+  const std::size_t keys = GetParam();
+  miniredis::Store store(0);
+  Rng rng(keys);
+  for (std::size_t i = 0; i < keys; ++i) {
+    store.set(miniredis::key_name(i),
+              std::string(rng.below(200) + 1, static_cast<char>('a' + i % 26)));
+  }
+  const auto image = store.snapshot();
+  miniredis::Store replica(0);
+  ASSERT_TRUE(replica.restore(image).ok());
+  EXPECT_EQ(replica.size(), keys);
+  for (std::size_t i = 0; i < keys; i += std::max<std::size_t>(1, keys / 17)) {
+    EXPECT_EQ(replica.get(miniredis::key_name(i)),
+              store.get(miniredis::key_name(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, SnapshotScaleSweep,
+                         ::testing::Values(0, 1, 17, 500, 5000));
+
+// --- retry budget sweep --------------------------------------------------------------
+
+class RetryBudgetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RetryBudgetSweep, RetryRunsExactlyBudgetTimes) {
+  const int budget = GetParam();
+  ProgramBuilder p("retry_sweep");
+  p.type("tau").junction("j").retry_budget(budget).body(
+      e_seq({e_host("tick"), e_retry()}));
+  p.instance("a", "tau", {{"j", {}}});
+  p.main_body(e_start(inst("a")));
+  auto compiled = compile(p.build());
+  ASSERT_TRUE(compiled.ok());
+  std::atomic<int> ticks{0};
+  HostBindings b;
+  b.block("tick", [&ticks](HostCtx&) {
+    ticks.fetch_add(1);
+    return Status::ok_status();
+  });
+  Engine engine(std::move(compiled).value(), std::move(b));
+  ASSERT_TRUE(engine.run_main().ok());
+  ASSERT_TRUE(engine.call("a", "j", Deadline::after(std::chrono::seconds(10))).ok());
+  // "retry ... can only be invoked a fixed number of times within a single
+  // scheduling" (S6): 1 initial run + budget retries.
+  EXPECT_EQ(ticks.load(), 1 + budget);
+  EXPECT_EQ(engine.stats(addr("a", "j")).retries.load(),
+            static_cast<std::uint64_t>(budget));
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, RetryBudgetSweep, ::testing::Values(0, 1, 5));
+
+}  // namespace
+}  // namespace csaw

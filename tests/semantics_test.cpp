@@ -1,0 +1,408 @@
+// Tests for the event-structure semantics (paper S8): axioms, composition
+// operators, DNF, and the denotation of the paper's own examples.
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "core/compile.hpp"
+#include "patterns/snapshot.hpp"
+#include "semantics/denote.hpp"
+#include "semantics/dnf.hpp"
+#include "semantics/structure.hpp"
+#include "support/rng.hpp"
+
+namespace csaw {
+namespace {
+
+TEST(EventStructure, LeftRightPeriphery) {
+  EventStructure es;
+  const auto a = es.add_event(SemLabel::ad_hoc("a"));
+  const auto b = es.add_event(SemLabel::ad_hoc("b"));
+  const auto c = es.add_event(SemLabel::ad_hoc("c"));
+  es.add_enable(a, b);
+  es.add_enable(b, c);
+  EXPECT_EQ(es.leftmost(), std::vector<EventId>{a});
+  EXPECT_EQ(es.rightmost(), std::vector<EventId>{c});
+  EXPECT_TRUE(es.le(a, c));
+  EXPECT_FALSE(es.le(c, a));
+  EXPECT_TRUE(es.validate().ok());
+}
+
+TEST(EventStructure, ConflictInheritance) {
+  // a # b and b <= c  implies  a # c (computed via causes).
+  EventStructure es;
+  const auto a = es.add_event(SemLabel::ad_hoc("a"));
+  const auto b = es.add_event(SemLabel::ad_hoc("b"));
+  const auto c = es.add_event(SemLabel::ad_hoc("c"));
+  es.add_enable(b, c);
+  es.add_conflict(a, b);
+  EXPECT_TRUE(es.in_conflict(a, b));
+  EXPECT_TRUE(es.in_conflict(a, c));
+  EXPECT_FALSE(es.in_conflict(b, c));
+}
+
+TEST(EventStructure, ConcurrencyDefinition) {
+  // Concurrent: incomparable by <= and not conflicting (S8.1).
+  EventStructure es;
+  const auto a = es.add_event(SemLabel::ad_hoc("a"));
+  const auto b = es.add_event(SemLabel::ad_hoc("b"));
+  const auto c = es.add_event(SemLabel::ad_hoc("c"));
+  es.add_enable(a, b);
+  EXPECT_TRUE(es.concurrent(b, c));
+  EXPECT_FALSE(es.concurrent(a, b));  // ordered
+  es.add_conflict(b, c);
+  EXPECT_FALSE(es.concurrent(b, c));  // conflicting
+}
+
+TEST(EventStructure, ValidateRejectsCycles) {
+  EventStructure es;
+  const auto a = es.add_event(SemLabel::ad_hoc("a"));
+  const auto b = es.add_event(SemLabel::ad_hoc("b"));
+  es.add_enable(a, b);
+  es.add_enable(b, a);
+  EXPECT_FALSE(es.validate().ok());
+}
+
+TEST(EventStructure, SeqComposesRightmostToLeftmost) {
+  EventStructure a;
+  const auto a1 = a.add_event(SemLabel::wr("f", "n", "*"));
+  EventStructure b;
+  const auto b1 = b.add_event(SemLabel::rd("g", "n", "*"));
+  auto seq = es_seq(std::move(a), b);
+  EXPECT_TRUE(seq.le(a1, b1));
+  EXPECT_TRUE(seq.validate().ok());
+}
+
+TEST(EventStructure, PlusIsDisjointUnion) {
+  EventStructure a;
+  const auto a1 = a.add_event(SemLabel::ad_hoc("a"));
+  EventStructure b;
+  const auto b1 = b.add_event(SemLabel::ad_hoc("b"));
+  auto plus = es_plus(std::move(a), b);
+  EXPECT_EQ(plus.size(), 2u);
+  EXPECT_TRUE(plus.concurrent(a1, b1));
+}
+
+TEST(EventStructure, TxnPrefixesSynchAndIsolates) {
+  EventStructure body;
+  const auto w = body.add_event(SemLabel::wr("f", "P", "tt"));
+  auto txn = es_txn(std::move(body), "f");
+  EXPECT_EQ(txn.size(), 2u);
+  const auto synchs = txn.find(SemLabel::synch("f"));
+  ASSERT_EQ(synchs.size(), 1u);
+  EXPECT_TRUE(txn.le(synchs[0], w));
+  EXPECT_FALSE(txn.events().at(w).outward);  // isolated
+}
+
+TEST(EventStructure, OtherwiseHangsFallbackInConflict) {
+  EventStructure a;
+  const auto a1 = a.add_event(SemLabel::ad_hoc("try"));
+  EventStructure b;
+  b.add_event(SemLabel::ad_hoc("complain"));
+  auto comb = es_otherwise(std::move(a), b);
+  // One fallback copy per event of a; the copy conflicts with its event.
+  ASSERT_EQ(comb.size(), 2u);
+  const auto complains = comb.find(SemLabel::ad_hoc("complain"));
+  ASSERT_EQ(complains.size(), 1u);
+  EXPECT_TRUE(comb.in_conflict(a1, complains[0]));
+  EXPECT_TRUE(comb.validate().ok());
+}
+
+TEST(EventStructure, FreshCopyPreservesShape) {
+  EventStructure es;
+  const auto a = es.add_event(SemLabel::ad_hoc("a"));
+  const auto b = es.add_event(SemLabel::ad_hoc("b"));
+  es.add_enable(a, b);
+  auto [copy, remap] = es.fresh_copy();
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_TRUE(copy.le(remap.at(a), remap.at(b)));
+  EXPECT_NE(remap.at(a), a);  // fresh ids
+}
+
+TEST(EventStructure, DotOutputHasNodesAndEdges) {
+  EventStructure es;
+  const auto a = es.add_event(SemLabel::sched("f"));
+  const auto b = es.add_event(SemLabel::unsched("f"));
+  es.add_enable(a, b);
+  const auto dot = es.to_dot();
+  EXPECT_NE(dot.find("Sched_f"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(EventStructure, ConfigurationPredicate) {
+  // a -> b, c # b: {} , {a}, {a,b}, {a,c} are configurations; {b} is not
+  // (not downward-closed); {a,b,c} is not (conflict).
+  EventStructure es;
+  const auto a = es.add_event(SemLabel::ad_hoc("a"));
+  const auto b = es.add_event(SemLabel::ad_hoc("b"));
+  const auto c = es.add_event(SemLabel::ad_hoc("c"));
+  es.add_enable(a, b);
+  es.add_conflict(b, c);
+  EXPECT_TRUE(es.is_configuration({}));
+  EXPECT_TRUE(es.is_configuration({a}));
+  EXPECT_TRUE(es.is_configuration({a, b}));
+  EXPECT_TRUE(es.is_configuration({a, c}));
+  EXPECT_FALSE(es.is_configuration({b}));
+  EXPECT_FALSE(es.is_configuration({a, b, c}));
+  EXPECT_FALSE(es.is_configuration({a, EventId{999999}}));
+}
+
+TEST(EventStructure, ConfigurationEnumerationSmall) {
+  // a -> b, b # c: configurations are {}, {a}, {c}, {a,b}, {a,c}.
+  EventStructure es;
+  const auto a = es.add_event(SemLabel::ad_hoc("a"));
+  const auto b = es.add_event(SemLabel::ad_hoc("b"));
+  const auto c = es.add_event(SemLabel::ad_hoc("c"));
+  es.add_enable(a, b);
+  es.add_conflict(b, c);
+  auto configs = es.configurations();
+  EXPECT_EQ(configs.size(), 5u);
+  for (const auto& config : configs) {
+    EXPECT_TRUE(es.is_configuration(config));
+  }
+}
+
+TEST(EventStructure, SnapshotComplainOnlyOnFailureBranches) {
+  // Model exploration of Fig 4's Act junction: every configuration
+  // containing a complain event must exclude the success path's final
+  // read (Rd(Work,ff)) -- complain and completion are alternatives.
+  auto compiled = compile(patterns::remote_snapshot({}));
+  ASSERT_TRUE(compiled.ok());
+  const auto* act = compiled->find_junction(addr("Act", "j"));
+  ASSERT_NE(act, nullptr);
+  auto es = denote_junction(*act);
+  ASSERT_TRUE(es.ok());
+  const auto complains = es->find(SemLabel::ad_hoc("complain"));
+  ASSERT_FALSE(complains.empty());
+  const auto success_reads = es->find(SemLabel::rd("Act", "Work", "ff"));
+  ASSERT_FALSE(success_reads.empty());
+  std::size_t with_complain = 0;
+  for (const auto& config : es->configurations(20000)) {
+    bool has_complain = false;
+    for (EventId e : complains) has_complain |= config.contains(e);
+    if (!has_complain) continue;
+    ++with_complain;
+    for (EventId r : success_reads) {
+      EXPECT_FALSE(config.contains(r))
+          << "complain configuration contains the success read";
+    }
+  }
+  EXPECT_GT(with_complain, 0u);
+}
+
+// --- DNF -----------------------------------------------------------------------
+
+// Evaluates a formula under an assignment (props indexed by name).
+bool eval_assignment(const Formula& f, const std::map<std::string, bool>& a) {
+  switch (f.kind) {
+    case Formula::Kind::kFalse: return false;
+    case Formula::Kind::kProp: return a.at(f.prop.str());
+    case Formula::Kind::kNot: return !eval_assignment(*f.lhs, a);
+    case Formula::Kind::kAnd:
+      return eval_assignment(*f.lhs, a) && eval_assignment(*f.rhs, a);
+    case Formula::Kind::kOr:
+      return eval_assignment(*f.lhs, a) || eval_assignment(*f.rhs, a);
+    case Formula::Kind::kImplies:
+      return !eval_assignment(*f.lhs, a) || eval_assignment(*f.rhs, a);
+    default: return false;
+  }
+}
+
+bool eval_dnf(const Dnf& dnf, const std::map<std::string, bool>& a) {
+  for (const auto& clause : dnf) {
+    bool all = true;
+    for (const auto& lit : clause) {
+      if (a.at(lit.prop) != lit.positive) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+// Property: to_dnf preserves truth over all assignments of 3 props.
+class DnfProperty : public ::testing::TestWithParam<int> {};
+
+FormulaPtr random_formula(Rng& rng, int depth) {
+  const char* props[] = {"A", "B", "C"};
+  if (depth == 0 || rng.chance(0.3)) {
+    if (rng.chance(0.1)) return f_false();
+    return f_prop(props[rng.below(3)]);
+  }
+  switch (rng.below(4)) {
+    case 0: return f_not(random_formula(rng, depth - 1));
+    case 1:
+      return f_and(random_formula(rng, depth - 1),
+                   random_formula(rng, depth - 1));
+    case 2:
+      return f_or(random_formula(rng, depth - 1),
+                  random_formula(rng, depth - 1));
+    default:
+      return f_implies(random_formula(rng, depth - 1),
+                       random_formula(rng, depth - 1));
+  }
+}
+
+TEST_P(DnfProperty, DnfEquivalentToFormula) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const auto f = random_formula(rng, 4);
+  auto dnf = to_dnf(*f);
+  ASSERT_TRUE(dnf.ok()) << dnf.error().to_string();
+  for (int mask = 0; mask < 8; ++mask) {
+    const std::map<std::string, bool> a{{"A", (mask & 1) != 0},
+                                        {"B", (mask & 2) != 0},
+                                        {"C", (mask & 4) != 0}};
+    EXPECT_EQ(eval_dnf(*dnf, a), eval_assignment(*f, a))
+        << f->to_string() << " vs " << dnf_to_string(*dnf) << " mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFormulas, DnfProperty, ::testing::Range(0, 50));
+
+TEST(Dnf, DropsContradictoryClauses) {
+  // A & !A -> empty DNF (false).
+  auto dnf = to_dnf(*f_and(f_prop("A"), f_not(f_prop("A"))));
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_TRUE(dnf->empty());
+}
+
+// --- denotation of the paper's examples ---------------------------------------
+
+ProgramSpec fig3_like() {
+  ProgramBuilder p("fig3");
+  p.type("tau_f")
+      .junction("junction")
+      .init_prop("Work", false)
+      .init_data("n")
+      .body(e_seq({
+          e_host("H1"),
+          e_save("n", "sv"),
+          e_write("n", jref("g", "junction")),
+          e_assert(pr("Work"), jref("g", "junction")),
+          e_wait({}, f_not(f_prop("Work"))),
+      }));
+  p.type("tau_g")
+      .junction("junction")
+      .init_prop("Work", false)
+      .init_data("n")
+      .guard(f_prop("Work"))
+      .body(e_seq({
+          e_restore("n", "rs"),
+          e_host("H2"),
+          e_retract(pr("Work"), jref("f", "junction")),
+      }));
+  p.instance("f", "tau_f", {{"junction", {}}});
+  p.instance("g", "tau_g", {{"junction", {}}});
+  p.main_body(e_par({e_start(inst("f")), e_start(inst("g"))}));
+  return p.build();
+}
+
+TEST(EventStructure, SuccessfulHandoffIsAConfiguration) {
+  // The Fig 3 success trace -- Sched, write n (local+remote), assert Work
+  // (local+remote), read Work=ff, Unsched -- forms a configuration of f's
+  // denotation; mixing in a conflicting branch does not.
+  auto compiled = compile(fig3_like());
+  ASSERT_TRUE(compiled.ok());
+  const auto* f = compiled->find_junction(addr("f", "junction"));
+  ASSERT_NE(f, nullptr);
+  auto es = denote_junction(*f);
+  ASSERT_TRUE(es.ok());
+  std::set<EventId> trace;
+  for (const auto& [id, ev] : es->events()) {
+    trace.insert(id);
+  }
+  // The full event set of a conflict-free straight-line junction would be a
+  // configuration; f has a wait whose DNF here is a single disjunct, so the
+  // whole structure is conflict-free and downward-closing the full set
+  // trivially holds.
+  EXPECT_TRUE(es->is_configuration(trace));
+}
+
+TEST(Denote, Fig3JunctionStructureMatchesFig18) {
+  auto compiled = compile(fig3_like());
+  ASSERT_TRUE(compiled.ok()) << compiled.error().to_string();
+  const auto* f = compiled->find_junction(addr("f", "junction"));
+  ASSERT_NE(f, nullptr);
+  auto es = denote_junction(*f);
+  ASSERT_TRUE(es.ok()) << es.error().to_string();
+  ASSERT_TRUE(es->validate().ok());
+
+  // The Fig 18 chain: Sched_f <= Wr_f(n,*) <= Wr_g(n,*) <= Wr(Work,tt)
+  // <= Rd_f(Work,ff) <= Unsched_f.
+  auto one = [&](const SemLabel& l) {
+    auto ids = es->find(l);
+    CSAW_CHECK(ids.size() == 1) << l.to_string() << ": " << ids.size();
+    return ids[0];
+  };
+  const auto sched = one(SemLabel::sched("f"));
+  const auto wr_n_local = one(SemLabel::wr("f", "n", "*"));
+  const auto wr_n_remote = one(SemLabel::wr("g", "n", "*"));
+  const auto wr_work_local = one(SemLabel::wr("f", "Work", "tt"));
+  const auto wr_work_remote = one(SemLabel::wr("g", "Work", "tt"));
+  const auto unsched = one(SemLabel::unsched("f"));
+  EXPECT_TRUE(es->le(sched, wr_n_local));
+  EXPECT_TRUE(es->le(wr_n_local, wr_n_remote));
+  EXPECT_TRUE(es->le(wr_n_remote, wr_work_local));
+  EXPECT_TRUE(es->le(wr_work_local, unsched));
+  EXPECT_TRUE(es->concurrent(wr_work_local, wr_work_remote) ||
+              es->le(wr_work_local, wr_work_remote) ||
+              es->le(wr_work_remote, wr_work_local));
+  // The wait's read of Work=ff precedes Unsched.
+  const auto rd = one(SemLabel::rd("f", "Work", "ff"));
+  EXPECT_TRUE(es->le(rd, unsched));
+}
+
+TEST(Denote, ProgramLevelStartupConnectsInitialization) {
+  auto compiled = compile(fig3_like());
+  ASSERT_TRUE(compiled.ok());
+  auto es = denote_program(*compiled);
+  ASSERT_TRUE(es.ok()) << es.error().to_string();
+  ASSERT_TRUE(es->validate().ok());
+  // main enables Start_init(f) which enables f's Work=ff initialization
+  // write (S8.4's start-up portion).
+  const auto mains = es->find(SemLabel::ad_hoc("main"));
+  ASSERT_EQ(mains.size(), 1u);
+  const auto starts = es->find(SemLabel::start("init", "f"));
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_TRUE(es->le(mains[0], starts[0]));
+  bool found_init_write = false;
+  for (const auto& [id, ev] : es->events()) {
+    if (ev.label.kind == SemLabel::Kind::kWr && ev.label.junction == "f" &&
+        ev.label.key == "Work" && ev.label.value == "ff" &&
+        es->le(starts[0], id)) {
+      found_init_write = true;
+    }
+  }
+  EXPECT_TRUE(found_init_write);
+}
+
+TEST(Denote, SnapshotPatternDenotesAndValidates) {
+  // The Fig 4 architecture's full event structure satisfies the axioms,
+  // and the otherwise-based failure handling shows up as conflicts.
+  auto compiled = compile(patterns::remote_snapshot({}));
+  ASSERT_TRUE(compiled.ok());
+  const auto* act = compiled->find_junction(addr("Act", "j"));
+  ASSERT_NE(act, nullptr);
+  auto es = denote_junction(*act);
+  ASSERT_TRUE(es.ok()) << es.error().to_string();
+  EXPECT_TRUE(es->validate().ok());
+  EXPECT_FALSE(es->conflicts().empty());  // failure branches conflict
+  EXPECT_GT(es->size(), 5u);
+}
+
+TEST(Denote, EveryPatternJunctionSatisfiesAxioms) {
+  auto compiled = compile(patterns::remote_snapshot({}));
+  ASSERT_TRUE(compiled.ok());
+  for (const auto& inst : compiled->instances) {
+    for (const auto& j : inst.junctions) {
+      auto es = denote_junction(j);
+      ASSERT_TRUE(es.ok()) << j.addr.qualified() << ": "
+                           << es.error().to_string();
+      EXPECT_TRUE(es->validate().ok()) << j.addr.qualified();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csaw

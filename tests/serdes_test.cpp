@@ -1,0 +1,252 @@
+// Unit tests for the serialization framework (paper S9): buffers, the
+// C-strider-style field traversal, depth-limited recursion, dynamic values,
+// and type-tagged payloads.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "serdes/archive.hpp"
+#include "serdes/buffer.hpp"
+#include "serdes/registry.hpp"
+#include "serdes/value.hpp"
+
+namespace csaw {
+namespace {
+
+TEST(Buffer, VarintRoundtripEdges) {
+  ByteWriter w;
+  const std::uint64_t values[] = {0, 1, 127, 128, 16383, 16384,
+                                  0xffffffffull, ~0ull};
+  for (auto v : values) w.uvarint(v);
+  ByteReader r(w.bytes());
+  for (auto v : values) {
+    auto got = r.uvarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Buffer, ZigzagHandlesNegatives) {
+  ByteWriter w;
+  const std::int64_t values[] = {0, -1, 1, -64, 63, INT64_MIN, INT64_MAX};
+  for (auto v : values) w.svarint(v);
+  ByteReader r(w.bytes());
+  for (auto v : values) {
+    auto got = r.svarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(Buffer, MalformedStreamsAreRejectedNotUB) {
+  {
+    const Bytes empty;
+    ByteReader r(empty);
+    EXPECT_FALSE(r.u8().ok());
+    EXPECT_FALSE(r.uvarint().ok());
+  }
+  {
+    // Truncated varint (continuation bit set, no next byte).
+    Bytes data{0x80};
+    ByteReader r(data);
+    EXPECT_FALSE(r.uvarint().ok());
+  }
+  {
+    // Length prefix beyond buffer.
+    ByteWriter w;
+    w.uvarint(100);
+    ByteReader r(w.bytes());
+    EXPECT_FALSE(r.str().ok());
+  }
+  {
+    // Varint overflow (>10 bytes of continuation).
+    Bytes data(11, 0xff);
+    ByteReader r(data);
+    EXPECT_FALSE(r.uvarint().ok());
+  }
+}
+
+// A representative "C struct" shape: nested records, containers, strings.
+struct Inner {
+  std::int32_t a = 0;
+  std::string label;
+  bool operator==(const Inner&) const = default;
+};
+
+template <typename Ar>
+void serdes_fields(Ar& ar, Inner& v) {
+  ar.field(v.a);
+  ar.field(v.label);
+}
+
+struct Outer {
+  double x = 0;
+  std::vector<Inner> items;
+  std::map<std::string, std::uint64_t> counts;
+  std::optional<Inner> maybe;
+  bool operator==(const Outer&) const = default;
+};
+
+template <typename Ar>
+void serdes_fields(Ar& ar, Outer& v) {
+  ar.field(v.x);
+  ar.field(v.items);
+  ar.field(v.counts);
+  ar.field(v.maybe);
+}
+
+TEST(Archive, NestedStructRoundtrip) {
+  Outer o;
+  o.x = 3.25;
+  o.items = {{1, "one"}, {2, "two"}};
+  o.counts = {{"k", 7}, {"j", 9}};
+  o.maybe = Inner{42, "present"};
+  auto bytes = encode(o);
+  auto back = decode<Outer>(bytes);
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(*back, o);
+}
+
+TEST(Archive, TrailingBytesRejected) {
+  auto bytes = encode(Inner{5, "x"});
+  bytes.push_back(0);
+  EXPECT_FALSE(decode<Inner>(bytes).ok());
+}
+
+// The paper's depth-limited linked-list case.
+struct ListNode {
+  std::int64_t value = 0;
+  std::unique_ptr<ListNode> next;
+};
+
+template <typename Ar>
+void serdes_fields(Ar& ar, ListNode& v) {
+  ar.field(v.value);
+  ar.field(v.next);
+}
+
+ListNode make_list(int length) {
+  ListNode head;
+  ListNode* cur = &head;
+  for (int i = 0; i < length; ++i) {
+    cur->value = i;
+    if (i + 1 < length) {
+      cur->next = std::make_unique<ListNode>();
+      cur = cur->next.get();
+    }
+  }
+  return head;
+}
+
+int list_length(const ListNode& head) {
+  int n = 1;
+  const ListNode* cur = &head;
+  while (cur->next) {
+    cur = cur->next.get();
+    ++n;
+  }
+  return n;
+}
+
+TEST(Archive, LinkedListWithinDepthRoundtrips) {
+  SerdesLimits limits;
+  limits.max_depth = 64;
+  auto head = make_list(50);
+  Encoder enc(limits);
+  enc.field(head);
+  EXPECT_FALSE(enc.truncated());
+  const Bytes bytes50 = enc.take();
+  auto back = decode<ListNode>(bytes50, limits);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(list_length(*back), 50);
+}
+
+TEST(Archive, LinkedListBeyondDepthIsTruncatedNotOverflowed) {
+  // "linked lists are only serialized up to a maximum length ... it
+  // protects against overflowing the serialization buffer" (S9).
+  SerdesLimits limits;
+  limits.max_depth = 10;
+  auto head = make_list(100);
+  Encoder enc(limits);
+  enc.field(head);
+  EXPECT_TRUE(enc.truncated());
+  const Bytes bytes100 = enc.take();
+  auto back = decode<ListNode>(bytes100, limits);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(list_length(*back), 11);  // head + max_depth hops
+}
+
+TEST(Archive, DecodeRejectsDeeperThanLimit) {
+  SerdesLimits wide;
+  wide.max_depth = 64;
+  auto head = make_list(30);
+  Encoder enc(wide);
+  enc.field(head);
+  const auto bytes = enc.take();
+  SerdesLimits narrow;
+  narrow.max_depth = 5;
+  EXPECT_FALSE(decode<ListNode>(bytes, narrow).ok());
+}
+
+TEST(Archive, OversizedContainerCountRejected) {
+  ByteWriter w;
+  w.uvarint(1u << 30);  // claims a billion elements
+  SerdesLimits limits;
+  limits.max_elems = 1000;
+  const Bytes huge = w.take();
+  EXPECT_FALSE(decode<std::vector<std::int32_t>>(huge, limits).ok());
+}
+
+TEST(DynValue, AllShapesRoundtrip) {
+  DynMap m;
+  m["b"] = DynValue(true);
+  m["i"] = DynValue(std::int64_t{-42});
+  m["d"] = DynValue(2.5);
+  m["s"] = DynValue(std::string("text"));
+  m["bytes"] = DynValue(Bytes{1, 2, 3});
+  m["arr"] = DynValue(DynArray{DynValue(1), DynValue("two"), DynValue()});
+  const DynValue v(std::move(m));
+  auto back = DynValue::from_bytes(v.to_bytes());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, v);
+}
+
+TEST(DynValue, MalformedTagRejected) {
+  Bytes data{0x77};
+  EXPECT_FALSE(DynValue::from_bytes(data).ok());
+}
+
+TEST(DynValue, ToStringIsReadable) {
+  DynMap m;
+  m["n"] = DynValue(3);
+  EXPECT_EQ(DynValue(std::move(m)).to_string(), "{\"n\":3}");
+}
+
+TEST(Registry, PackUnpackChecksTypeTag) {
+  auto sv = pack("test.Inner", Inner{9, "tagged"});
+  auto ok = unpack<Inner>("test.Inner", sv);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->label, "tagged");
+  auto bad = unpack<Inner>("test.Other", sv);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, Errc::kTypeMismatch);
+}
+
+TEST(Registry, SerializedValueNestsInMessages) {
+  struct Envelope {
+    SerializedValue payload;
+  };
+  auto sv = pack("test.Inner", Inner{1, "deep"});
+  Encoder enc;
+  enc.field(sv);
+  const Bytes bytes = enc.take();
+  Decoder dec(bytes);
+  SerializedValue back;
+  dec.field(back);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(back, sv);
+}
+
+}  // namespace
+}  // namespace csaw

@@ -1,0 +1,189 @@
+// Integration test of the Fig 5 sharding pattern over miniredis: a front-end
+// routes commands to 4 back-end stores by djb2 key hash (the paper's S10.1
+// configuration) and returns responses to the client.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "apps/miniredis/command.hpp"
+#include "apps/miniredis/store.hpp"
+#include "apps/miniredis/workload.hpp"
+#include "core/compile.hpp"
+#include "core/interp.hpp"
+#include "core/builder.hpp"
+#include "core/topology.hpp"
+#include "patterns/sharding.hpp"
+#include "support/rng.hpp"
+
+namespace csaw {
+namespace {
+
+using miniredis::Command;
+using miniredis::Mailbox;
+using miniredis::Response;
+using miniredis::Store;
+
+constexpr std::size_t kShards = 4;
+
+// Host-side state shared by the bench client and the junction host blocks.
+struct FrontState {
+  Mailbox<Command> requests;
+  Mailbox<Response> responses;
+  Command current;  // request being processed by the junction
+  std::mutex mu;
+  std::map<std::string, int> complaints;
+};
+
+struct BackState {
+  Store store;
+  Command current;
+  Response response;
+};
+
+struct Fixture {
+  std::unique_ptr<Engine> engine;
+  std::shared_ptr<FrontState> front = std::make_shared<FrontState>();
+  std::vector<std::shared_ptr<BackState>> backs;
+
+  static std::size_t shard_of(const std::string& key) {
+    return djb2(key) % kShards;
+  }
+
+  explicit Fixture(patterns::ShardingOptions opts = {}) {
+    opts.backends = kShards;
+    auto spec = patterns::sharding(opts);
+    auto compiled = compile(spec);
+    CSAW_CHECK(compiled.ok()) << compiled.error().to_string();
+
+    auto front_state = front;
+    HostBindings b;
+    b.block("complain", [front_state](HostCtx& ctx) {
+      std::scoped_lock lock(front_state->mu);
+      ++front_state->complaints[ctx.instance().str()];
+      return Status::ok_status();
+    });
+    // |_Choose_|{tgt}: pop the next request, pick the shard by key hash.
+    b.block("Choose", [](HostCtx& ctx) -> Status {
+      auto& st = ctx.state<FrontState>();
+      auto cmd = st.requests.pop(Deadline::after(std::chrono::seconds(5)));
+      if (!cmd) return make_error(Errc::kHostFailure, "no request");
+      st.current = std::move(*cmd);
+      return ctx.set_idx("tgt", static_cast<std::int64_t>(shard_of(st.current.key)));
+    });
+    b.saver("pack_request", [](HostCtx& ctx) -> Result<SerializedValue> {
+      return pack("miniredis.Command", ctx.state<FrontState>().current);
+    });
+    b.restorer("unpack_request",
+               [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+                 auto cmd = unpack<Command>("miniredis.Command", sv);
+                 if (!cmd) return cmd.error();
+                 ctx.state<BackState>().current = std::move(*cmd);
+                 return Status::ok_status();
+               });
+    b.block("H_back", [](HostCtx& ctx) -> Status {
+      auto& st = ctx.state<BackState>();
+      switch (st.current.op) {
+        case Command::Op::kGet: {
+          auto v = st.store.get(st.current.key);
+          st.response = Response{v.has_value(), v.value_or("")};
+          break;
+        }
+        case Command::Op::kSet:
+          st.store.set(st.current.key, st.current.value);
+          st.response = Response{true, ""};
+          break;
+        case Command::Op::kDel:
+          st.response = Response{st.store.del(st.current.key), ""};
+          break;
+      }
+      return Status::ok_status();
+    });
+    b.saver("pack_response", [](HostCtx& ctx) -> Result<SerializedValue> {
+      return pack("miniredis.Response", ctx.state<BackState>().response);
+    });
+    b.restorer("deliver_response",
+               [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+                 auto resp = unpack<Response>("miniredis.Response", sv);
+                 if (!resp) return resp.error();
+                 ctx.state<FrontState>().responses.push(std::move(*resp));
+                 return Status::ok_status();
+               });
+
+    engine = std::make_unique<Engine>(std::move(compiled).value(), std::move(b));
+    engine->set_state(Symbol(opts.front_instance), front);
+    for (const auto& name : patterns::shard_backend_names(opts)) {
+      backs.push_back(std::make_shared<BackState>());
+      engine->set_state(Symbol(name), backs.back());
+    }
+    auto st = engine->run_main();
+    CSAW_CHECK(st.ok()) << st.error().to_string();
+  }
+
+  Response request(Command cmd) {
+    front->requests.push(std::move(cmd));
+    auto st = engine->call("Fnt", "j", Deadline::after(std::chrono::seconds(10)));
+    CSAW_CHECK(st.ok()) << st.error().to_string();
+    auto resp = front->responses.pop(Deadline::after(std::chrono::seconds(5)));
+    CSAW_CHECK(resp.has_value()) << "no response";
+    return *resp;
+  }
+};
+
+TEST(ShardingPattern, RoutesByKeyHashAndAnswers) {
+  Fixture fx;
+  // SET then GET through the architecture.
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = miniredis::key_name(static_cast<std::size_t>(i));
+    Command set;
+    set.op = Command::Op::kSet;
+    set.key = key;
+    set.value = "value-" + std::to_string(i);
+    EXPECT_TRUE(fx.request(set).found);
+  }
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = miniredis::key_name(static_cast<std::size_t>(i));
+    Command get;
+    get.op = Command::Op::kGet;
+    get.key = key;
+    auto resp = fx.request(get);
+    EXPECT_TRUE(resp.found) << key;
+    EXPECT_EQ(resp.value, "value-" + std::to_string(i));
+  }
+  // Every key must live in exactly the shard its hash selects.
+  std::vector<std::uint64_t> expected(kShards, 0);
+  for (int i = 0; i < 40; ++i) {
+    ++expected[Fixture::shard_of(miniredis::key_name(static_cast<std::size_t>(i)))];
+  }
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(fx.backs[s]->store.size(), expected[s]) << "shard " << s;
+  }
+  EXPECT_TRUE(fx.front->complaints.empty());
+}
+
+TEST(ShardingPattern, MissesReportNotFound) {
+  Fixture fx;
+  Command get;
+  get.op = Command::Op::kGet;
+  get.key = "absent";
+  EXPECT_FALSE(fx.request(get).found);
+}
+
+TEST(ShardingPattern, TopologyIsStar) {
+  auto spec = patterns::sharding({});
+  auto compiled = compile(spec);
+  ASSERT_TRUE(compiled.ok()) << compiled.error().to_string();
+  const auto topo = derive_topology(*compiled);
+  // Front reaches every back-end; every back-end reaches only the front.
+  const auto front = addr("Fnt", "j");
+  for (std::size_t i = 1; i <= 4; ++i) {
+    const auto back = addr("Bck" + std::to_string(i), "j");
+    EXPECT_TRUE(topo.has_edge(front, back));
+    EXPECT_TRUE(topo.has_edge(back, front));
+    EXPECT_EQ(topo.targets_of(back).size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace csaw

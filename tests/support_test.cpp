@@ -1,0 +1,152 @@
+// Unit tests for the support layer: symbols, RNG/hashes, statistics, time.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "support/clock.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+#include "support/symbol.hpp"
+
+namespace csaw {
+namespace {
+
+TEST(Symbol, InterningIsStableAndEqualByContent) {
+  const Symbol a("Work");
+  const Symbol b("Work");
+  const Symbol c("Retried");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.str(), "Work");
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(Symbol().valid());
+  EXPECT_EQ(Symbol().str(), "<invalid>");
+}
+
+TEST(Symbol, ConcurrentInterningYieldsConsistentIds) {
+  std::vector<std::thread> threads;
+  std::vector<std::uint32_t> ids(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([i, &ids] {
+      ids[static_cast<std::size_t>(i)] = Symbol("concurrent-test-sym").id();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(ids[0], ids[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Zipf, SkewsTowardLowRanks) {
+  Rng rng(11);
+  Zipf zipf(1000, 1.0);
+  std::size_t low = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.sample(rng) < 100) ++low;
+  }
+  // With s=1, the first 10% of ranks draw well over half the mass.
+  EXPECT_GT(low, static_cast<std::size_t>(kSamples) / 2);
+}
+
+TEST(Hashes, Djb2MatchesKnownValues) {
+  // djb2("") == 5381; djb2 is deterministic and spreads.
+  EXPECT_EQ(djb2(""), 5381u);
+  EXPECT_NE(djb2("a"), djb2("b"));
+  EXPECT_EQ(djb2("key:123"), djb2("key:123"));
+}
+
+TEST(Stats, RunningStatMeanAndStddev) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, CdfQuantiles) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_EQ(cdf.quantile(0.5), 50);
+  EXPECT_EQ(cdf.quantile(0.99), 99);
+  EXPECT_EQ(cdf.quantile(1.0), 100);
+  auto pts = cdf.points(10);
+  ASSERT_EQ(pts.size(), 10u);
+  EXPECT_DOUBLE_EQ(pts.back().cumulative, 1.0);
+  EXPECT_EQ(pts.back().value, 100);
+}
+
+TEST(Stats, SeriesAggregateAveragesRuns) {
+  SeriesAggregate agg;
+  agg.add_run({1.0, 2.0, 3.0});
+  agg.add_run({3.0, 4.0, 5.0});
+  ASSERT_EQ(agg.ticks(), 3u);
+  EXPECT_DOUBLE_EQ(agg.mean_at(0), 2.0);
+  EXPECT_DOUBLE_EQ(agg.mean_at(2), 4.0);
+  EXPECT_GT(agg.stddev_at(0), 0.0);
+}
+
+TEST(Stats, TablePrinterAligns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.50"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Deadline, InfiniteNeverExpires) {
+  const Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining(), Nanos::max());
+}
+
+TEST(Deadline, FiniteExpiresAndMins) {
+  const auto near = Deadline::after(std::chrono::milliseconds(1));
+  const auto far = Deadline::after(std::chrono::seconds(60));
+  EXPECT_FALSE(far.expired());
+  EXPECT_EQ(near.min(far).when(), near.when());
+  EXPECT_EQ(far.min(near).when(), near.when());
+  EXPECT_EQ(Deadline().min(near).when(), near.when());
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  EXPECT_TRUE(near.expired());
+  EXPECT_EQ(near.remaining(), Nanos::zero());
+}
+
+TEST(Strings, JoinAndSplit) {
+  EXPECT_EQ(join(std::vector<std::string>{"a", "b", "c"}, ","), "a,b,c");
+  const auto parts = split("x::y::z", ':');
+  ASSERT_EQ(parts.size(), 5u);  // "x", "", "y", "", "z"
+  EXPECT_EQ(parts[0], "x");
+  EXPECT_EQ(parts[4], "z");
+}
+
+}  // namespace
+}  // namespace csaw

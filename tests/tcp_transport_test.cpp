@@ -1,0 +1,131 @@
+// Tests for the loopback-TCP transport: envelope wire encoding, and a full
+// Fig 3 handoff where every KV update crosses a real kernel socket.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "compart/wire.hpp"
+#include "core/builder.hpp"
+#include "core/compile.hpp"
+#include "core/interp.hpp"
+
+namespace csaw {
+namespace {
+
+TEST(Wire, EnvelopeRoundtrip) {
+  Envelope env;
+  env.kind = Envelope::Kind::kUpdate;
+  env.seq = 77;
+  env.from_instance = Symbol("f");
+  env.to = addr("g", "junction");
+  env.update = Update::write_data(
+      Symbol("n"), SerializedValue{Symbol("t"), Bytes{1, 2, 3}}, "f::j");
+  const auto bytes = encode_envelope(env);
+  auto back = decode_envelope(bytes);
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back->seq, 77u);
+  EXPECT_EQ(back->to, env.to);
+  EXPECT_EQ(back->update.kind, Update::Kind::kWriteData);
+  EXPECT_EQ(back->update.value.bytes, (Bytes{1, 2, 3}));
+  EXPECT_EQ(back->update.from, "f::j");
+}
+
+TEST(Wire, AckRoundtripWithNack) {
+  Envelope env;
+  env.kind = Envelope::Kind::kAck;
+  env.seq = 9;
+  env.from_instance = Symbol("g");
+  env.to = JunctionAddr{Symbol("f"), Symbol()};
+  env.nack = true;
+  env.nack_reason = "down";
+  auto back = decode_envelope(encode_envelope(env));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->kind, Envelope::Kind::kAck);
+  EXPECT_TRUE(back->nack);
+  EXPECT_EQ(back->nack_reason, "down");
+  EXPECT_FALSE(back->to.junction.valid());
+}
+
+TEST(Wire, MalformedFramesRejected) {
+  EXPECT_FALSE(decode_envelope(Bytes{}).ok());
+  EXPECT_FALSE(decode_envelope(Bytes{0xff, 0xff}).ok());
+  auto good = encode_envelope(Envelope{});
+  good.push_back(0);  // trailing garbage
+  EXPECT_FALSE(decode_envelope(good).ok());
+}
+
+TEST(TcpTransport, Fig3HandoffOverRealSockets) {
+  ProgramBuilder p("tcp_fig3");
+  p.type("tau_f")
+      .junction("j")
+      .init_prop("Work", false)
+      .init_data("n")
+      .body(e_seq({
+          e_host("H1"),
+          e_save("n", "sv"),
+          e_write("n", jref("g", "j")),
+          e_assert(pr("Work"), jref("g", "j")),
+          e_wait({}, f_not(f_prop("Work"))),
+      }));
+  p.type("tau_g")
+      .junction("j")
+      .init_prop("Work", false)
+      .init_data("n")
+      .guard(f_prop("Work"))
+      .auto_schedule()
+      .body(e_seq({e_host("H2"), e_retract(pr("Work"), jref("f", "j"))}));
+  p.instance("f", "tau_f", {{"j", {}}});
+  p.instance("g", "tau_g", {{"j", {}}});
+  p.main_body(e_par({e_start(inst("f")), e_start(inst("g"))}));
+  auto compiled = compile(p.build());
+  ASSERT_TRUE(compiled.ok()) << compiled.error().to_string();
+
+  std::atomic<int> h1{0}, h2{0};
+  HostBindings b;
+  b.block("H1", [&h1](HostCtx&) {
+    h1.fetch_add(1);
+    return Status::ok_status();
+  });
+  b.block("H2", [&h2](HostCtx&) {
+    h2.fetch_add(1);
+    return Status::ok_status();
+  });
+  b.saver("sv", [](HostCtx&) -> Result<SerializedValue> {
+    return sv_dyn(DynValue(std::string("over-tcp")));
+  });
+
+  EngineOptions opts;
+  opts.runtime.transport = Transport::kTcpLoopback;
+  Engine engine(std::move(compiled).value(), std::move(b), opts);
+  ASSERT_TRUE(engine.run_main().ok());
+  for (int i = 0; i < 10; ++i) {
+    auto st = engine.call("f", "j", Deadline::after(std::chrono::seconds(10)));
+    ASSERT_TRUE(st.ok()) << "round " << i << ": " << st.error().to_string();
+  }
+  EXPECT_EQ(h1.load(), 10);
+  EXPECT_EQ(h2.load(), 10);
+}
+
+TEST(TcpTransport, NackTravelsOverSockets) {
+  // Push to a down instance: the nack must make the round trip through the
+  // socket path too.
+  ProgramBuilder p("tcp_nack");
+  p.type("tau").junction("j").init_prop("P", false).body(e_skip());
+  p.instance("a", "tau", {{"j", {}}});
+  p.main_body(e_skip());  // nothing started
+  auto compiled = compile(p.build());
+  ASSERT_TRUE(compiled.ok());
+  EngineOptions opts;
+  opts.runtime.transport = Transport::kTcpLoopback;
+  Engine engine(std::move(compiled).value(), HostBindings{}, opts);
+  ASSERT_TRUE(engine.run_main().ok());
+  auto st = engine.runtime().push(addr("a", "j"),
+                                  Update::assert_prop(Symbol("P")),
+                                  Deadline::after(std::chrono::seconds(5)),
+                                  Symbol("test"));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::kUnreachable);
+}
+
+}  // namespace
+}  // namespace csaw

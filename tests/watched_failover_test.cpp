@@ -1,0 +1,145 @@
+// Integration test of the S7.4 "watched" fail-over: a watchdog instance
+// arbitrates which back-end serves; killing the preferred back-end o drives
+// the system through Fig 15's orange states into serving from the spare s.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "apps/miniredis/command.hpp"
+#include "core/builder.hpp"
+#include "core/compile.hpp"
+#include "core/interp.hpp"
+#include "patterns/watched_failover.hpp"
+
+namespace csaw {
+namespace {
+
+using miniredis::Mailbox;
+
+struct FrontState {
+  Mailbox<std::string> requests;
+  Mailbox<std::string> responses;
+  std::string current;
+  std::string reply;
+  std::atomic<int> complaints{0};
+};
+
+struct BackState {
+  std::string current;
+  std::string reply;
+  std::atomic<int> served{0};
+};
+
+struct Fixture {
+  std::unique_ptr<Engine> engine;
+  std::shared_ptr<FrontState> front = std::make_shared<FrontState>();
+  std::shared_ptr<BackState> back_o = std::make_shared<BackState>();
+  std::shared_ptr<BackState> back_s = std::make_shared<BackState>();
+
+  Fixture() {
+    patterns::WatchedFailoverOptions opts;
+    opts.timeout_ms = 300;
+    auto compiled = compile(patterns::watched_failover(opts));
+    CSAW_CHECK(compiled.ok()) << compiled.error().to_string();
+
+    HostBindings b;
+    b.block("complain", [fs = front](HostCtx&) {
+      fs->complaints.fetch_add(1);
+      return Status::ok_status();
+    });
+    b.block("H1", [](HostCtx& ctx) -> Status {
+      auto& st = ctx.state<FrontState>();
+      auto req = st.requests.peek(Deadline::after(std::chrono::seconds(1)));
+      if (!req) return make_error(Errc::kHostFailure, "no request");
+      st.current = std::move(*req);
+      return Status::ok_status();
+    });
+    b.block("H2", [](HostCtx& ctx) {
+      auto& st = ctx.state<BackState>();
+      st.reply = ctx.instance().str() + ":" + st.current;
+      st.served.fetch_add(1);
+      return Status::ok_status();
+    });
+    b.block("H3", [](HostCtx& ctx) {
+      auto& st = ctx.state<FrontState>();
+      st.requests.try_pop();
+      st.responses.push(st.reply);
+      return Status::ok_status();
+    });
+    b.saver("pack_request", [](HostCtx& ctx) -> Result<SerializedValue> {
+      return sv_dyn(DynValue(ctx.state<FrontState>().current));
+    });
+    b.restorer("unpack_request",
+               [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+                 auto v = dyn_sv(sv);
+                 if (!v) return v.error();
+                 ctx.state<BackState>().current = v->as_string();
+                 return Status::ok_status();
+               });
+    b.saver("pack_reply", [](HostCtx& ctx) -> Result<SerializedValue> {
+      return sv_dyn(DynValue(ctx.state<BackState>().reply));
+    });
+    b.restorer("unpack_reply",
+               [](HostCtx& ctx, const SerializedValue& sv) -> Status {
+                 auto v = dyn_sv(sv);
+                 if (!v) return v.error();
+                 ctx.state<FrontState>().reply = v->as_string();
+                 return Status::ok_status();
+               });
+
+    EngineOptions eopts;
+    eopts.trace = std::getenv("CSAW_TRACE") != nullptr;
+    engine = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
+                                      eopts);
+    engine->set_state(Symbol("f"), front);
+    engine->set_state(Symbol("o"), back_o);
+    engine->set_state(Symbol("s"), back_s);
+    auto st = engine->run_main();
+    CSAW_CHECK(st.ok()) << st.error().to_string();
+  }
+
+  Result<std::string> request(const std::string& text, int timeout_s = 10) {
+    front->requests.push(text);
+    const auto give_up = Deadline::after(std::chrono::seconds(timeout_s));
+    while (true) {
+      auto st = engine->schedule("f", "j");
+      if (!st.ok()) return st.error();
+      auto resp = front->responses.pop(
+          Deadline::after(std::chrono::seconds(2)).min(give_up));
+      if (resp) return *resp;
+      if (give_up.expired()) return make_error(Errc::kTimeout, "no reply");
+    }
+  }
+};
+
+TEST(WatchedFailover, NormalOperationPrefersReplier) {
+  Fixture fx;
+  for (int i = 0; i < 6; ++i) {
+    auto r = fx.request("req" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    // With both back-ends alive the watchdog asserts neither flag; both run
+    // the request and o's reply is taken (s only replies under fail-over).
+    EXPECT_EQ(*r, "o:req" + std::to_string(i));
+  }
+  EXPECT_GT(fx.back_o->served.load(), 0);
+}
+
+TEST(WatchedFailover, SpareTakesOverWhenPrimaryDies) {
+  Fixture fx;
+  auto r1 = fx.request("before");
+  ASSERT_TRUE(r1.ok()) << r1.error().to_string();
+  EXPECT_EQ(*r1, "o:before");
+
+  fx.engine->crash("o");
+  // Give the watchdog a moment to notice !S(o) and assert failover at s & f.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  auto r2 = fx.request("after", 15);
+  ASSERT_TRUE(r2.ok()) << r2.error().to_string();
+  EXPECT_EQ(*r2, "s:after");
+  EXPECT_GT(fx.back_s->served.load(), 0);
+}
+
+}  // namespace
+}  // namespace csaw
