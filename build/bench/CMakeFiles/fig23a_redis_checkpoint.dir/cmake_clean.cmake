@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23a_redis_checkpoint.dir/fig23a_redis_checkpoint.cpp.o"
+  "CMakeFiles/fig23a_redis_checkpoint.dir/fig23a_redis_checkpoint.cpp.o.d"
+  "fig23a_redis_checkpoint"
+  "fig23a_redis_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23a_redis_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

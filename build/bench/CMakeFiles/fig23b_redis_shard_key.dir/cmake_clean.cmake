@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23b_redis_shard_key.dir/fig23b_redis_shard_key.cpp.o"
+  "CMakeFiles/fig23b_redis_shard_key.dir/fig23b_redis_shard_key.cpp.o.d"
+  "fig23b_redis_shard_key"
+  "fig23b_redis_shard_key.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23b_redis_shard_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

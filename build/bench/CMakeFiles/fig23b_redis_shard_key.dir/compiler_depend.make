@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig23b_redis_shard_key.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23c_redis_caching.dir/fig23c_redis_caching.cpp.o"
+  "CMakeFiles/fig23c_redis_caching.dir/fig23c_redis_caching.cpp.o.d"
+  "fig23c_redis_caching"
+  "fig23c_redis_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23c_redis_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

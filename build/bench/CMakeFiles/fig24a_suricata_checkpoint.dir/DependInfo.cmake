@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig24a_suricata_checkpoint.cpp" "bench/CMakeFiles/fig24a_suricata_checkpoint.dir/fig24a_suricata_checkpoint.cpp.o" "gcc" "bench/CMakeFiles/fig24a_suricata_checkpoint.dir/fig24a_suricata_checkpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/semantics/CMakeFiles/csaw_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/csaw_minicurl.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/csaw_minisuricata.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/csaw_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/csaw_miniredis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/csaw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compart/CMakeFiles/csaw_compart.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/csaw_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/serdes/CMakeFiles/csaw_serdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csaw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24a_suricata_checkpoint.dir/fig24a_suricata_checkpoint.cpp.o"
+  "CMakeFiles/fig24a_suricata_checkpoint.dir/fig24a_suricata_checkpoint.cpp.o.d"
+  "fig24a_suricata_checkpoint"
+  "fig24a_suricata_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24a_suricata_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24b_suricata_shard.dir/fig24b_suricata_shard.cpp.o"
+  "CMakeFiles/fig24b_suricata_shard.dir/fig24b_suricata_shard.cpp.o.d"
+  "fig24b_suricata_shard"
+  "fig24b_suricata_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24b_suricata_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24c_suricata_overhead.dir/fig24c_suricata_overhead.cpp.o"
+  "CMakeFiles/fig24c_suricata_overhead.dir/fig24c_suricata_overhead.cpp.o.d"
+  "fig24c_suricata_overhead"
+  "fig24c_suricata_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24c_suricata_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig24c_suricata_overhead.
+# This may be replaced when dependencies are built.

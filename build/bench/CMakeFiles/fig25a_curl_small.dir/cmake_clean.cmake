@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25a_curl_small.dir/fig25a_curl_small.cpp.o"
+  "CMakeFiles/fig25a_curl_small.dir/fig25a_curl_small.cpp.o.d"
+  "fig25a_curl_small"
+  "fig25a_curl_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25a_curl_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig25a_curl_small.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25b_curl_overhead.dir/fig25b_curl_overhead.cpp.o"
+  "CMakeFiles/fig25b_curl_overhead.dir/fig25b_curl_overhead.cpp.o.d"
+  "fig25b_curl_overhead"
+  "fig25b_curl_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25b_curl_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

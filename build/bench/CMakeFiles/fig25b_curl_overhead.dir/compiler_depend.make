@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig25b_curl_overhead.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25c_redis_get_cdf.dir/fig25c_redis_get_cdf.cpp.o"
+  "CMakeFiles/fig25c_redis_get_cdf.dir/fig25c_redis_get_cdf.cpp.o.d"
+  "fig25c_redis_get_cdf"
+  "fig25c_redis_get_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25c_redis_get_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig25c_redis_get_cdf.
+# This may be replaced when dependencies are built.

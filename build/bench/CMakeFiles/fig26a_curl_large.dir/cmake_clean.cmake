@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig26a_curl_large.dir/fig26a_curl_large.cpp.o"
+  "CMakeFiles/fig26a_curl_large.dir/fig26a_curl_large.cpp.o.d"
+  "fig26a_curl_large"
+  "fig26a_curl_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26a_curl_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

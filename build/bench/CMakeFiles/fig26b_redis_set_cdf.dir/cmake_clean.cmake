@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig26b_redis_set_cdf.dir/fig26b_redis_set_cdf.cpp.o"
+  "CMakeFiles/fig26b_redis_set_cdf.dir/fig26b_redis_set_cdf.cpp.o.d"
+  "fig26b_redis_set_cdf"
+  "fig26b_redis_set_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26b_redis_set_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig26b_redis_set_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig26c_redis_shard_size.dir/fig26c_redis_shard_size.cpp.o"
+  "CMakeFiles/fig26c_redis_shard_size.dir/fig26c_redis_shard_size.cpp.o.d"
+  "fig26c_redis_shard_size"
+  "fig26c_redis_shard_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26c_redis_shard_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig26c_redis_shard_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_serdes.dir/micro_serdes.cpp.o"
+  "CMakeFiles/micro_serdes.dir/micro_serdes.cpp.o.d"
+  "micro_serdes"
+  "micro_serdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_serdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cached_kv.dir/cached_kv.cpp.o"
+  "CMakeFiles/cached_kv.dir/cached_kv.cpp.o.d"
+  "cached_kv"
+  "cached_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cached_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_ids.dir/failover_ids.cpp.o"
+  "CMakeFiles/failover_ids.dir/failover_ids.cpp.o.d"
+  "failover_ids"
+  "failover_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

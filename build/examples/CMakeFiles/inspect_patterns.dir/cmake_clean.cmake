@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_patterns.dir/inspect_patterns.cpp.o"
+  "CMakeFiles/inspect_patterns.dir/inspect_patterns.cpp.o.d"
+  "inspect_patterns"
+  "inspect_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_audit.dir/remote_audit.cpp.o"
+  "CMakeFiles/remote_audit.dir/remote_audit.cpp.o.d"
+  "remote_audit"
+  "remote_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csaw_minicurl.dir/minicurl/transfer.cpp.o"
+  "CMakeFiles/csaw_minicurl.dir/minicurl/transfer.cpp.o.d"
+  "libcsaw_minicurl.a"
+  "libcsaw_minicurl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csaw_minicurl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csaw_miniredis.dir/miniredis/services.cpp.o"
+  "CMakeFiles/csaw_miniredis.dir/miniredis/services.cpp.o.d"
+  "CMakeFiles/csaw_miniredis.dir/miniredis/store.cpp.o"
+  "CMakeFiles/csaw_miniredis.dir/miniredis/store.cpp.o.d"
+  "CMakeFiles/csaw_miniredis.dir/miniredis/workload.cpp.o"
+  "CMakeFiles/csaw_miniredis.dir/miniredis/workload.cpp.o.d"
+  "libcsaw_miniredis.a"
+  "libcsaw_miniredis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csaw_miniredis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for csaw_miniredis.
+# This may be replaced when dependencies are built.

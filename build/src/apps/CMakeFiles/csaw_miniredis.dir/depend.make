@@ -1,0 +1,2 @@
+# Empty dependencies file for csaw_miniredis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csaw_minisuricata.dir/minisuricata/packet.cpp.o"
+  "CMakeFiles/csaw_minisuricata.dir/minisuricata/packet.cpp.o.d"
+  "CMakeFiles/csaw_minisuricata.dir/minisuricata/pipeline.cpp.o"
+  "CMakeFiles/csaw_minisuricata.dir/minisuricata/pipeline.cpp.o.d"
+  "CMakeFiles/csaw_minisuricata.dir/minisuricata/services.cpp.o"
+  "CMakeFiles/csaw_minisuricata.dir/minisuricata/services.cpp.o.d"
+  "libcsaw_minisuricata.a"
+  "libcsaw_minisuricata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csaw_minisuricata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

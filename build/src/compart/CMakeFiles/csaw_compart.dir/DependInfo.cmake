@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compart/router.cpp" "src/compart/CMakeFiles/csaw_compart.dir/router.cpp.o" "gcc" "src/compart/CMakeFiles/csaw_compart.dir/router.cpp.o.d"
+  "/root/repo/src/compart/runtime.cpp" "src/compart/CMakeFiles/csaw_compart.dir/runtime.cpp.o" "gcc" "src/compart/CMakeFiles/csaw_compart.dir/runtime.cpp.o.d"
+  "/root/repo/src/compart/tcp.cpp" "src/compart/CMakeFiles/csaw_compart.dir/tcp.cpp.o" "gcc" "src/compart/CMakeFiles/csaw_compart.dir/tcp.cpp.o.d"
+  "/root/repo/src/compart/wire.cpp" "src/compart/CMakeFiles/csaw_compart.dir/wire.cpp.o" "gcc" "src/compart/CMakeFiles/csaw_compart.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kv/CMakeFiles/csaw_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/serdes/CMakeFiles/csaw_serdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csaw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csaw_compart.dir/router.cpp.o"
+  "CMakeFiles/csaw_compart.dir/router.cpp.o.d"
+  "CMakeFiles/csaw_compart.dir/runtime.cpp.o"
+  "CMakeFiles/csaw_compart.dir/runtime.cpp.o.d"
+  "CMakeFiles/csaw_compart.dir/tcp.cpp.o"
+  "CMakeFiles/csaw_compart.dir/tcp.cpp.o.d"
+  "CMakeFiles/csaw_compart.dir/wire.cpp.o"
+  "CMakeFiles/csaw_compart.dir/wire.cpp.o.d"
+  "libcsaw_compart.a"
+  "libcsaw_compart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csaw_compart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

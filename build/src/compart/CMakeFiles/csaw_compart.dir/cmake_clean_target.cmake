@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcsaw_compart.a"
+)

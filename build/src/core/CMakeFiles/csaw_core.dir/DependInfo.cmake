@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ast.cpp" "src/core/CMakeFiles/csaw_core.dir/ast.cpp.o" "gcc" "src/core/CMakeFiles/csaw_core.dir/ast.cpp.o.d"
+  "/root/repo/src/core/compile.cpp" "src/core/CMakeFiles/csaw_core.dir/compile.cpp.o" "gcc" "src/core/CMakeFiles/csaw_core.dir/compile.cpp.o.d"
+  "/root/repo/src/core/interp.cpp" "src/core/CMakeFiles/csaw_core.dir/interp.cpp.o" "gcc" "src/core/CMakeFiles/csaw_core.dir/interp.cpp.o.d"
+  "/root/repo/src/core/pretty.cpp" "src/core/CMakeFiles/csaw_core.dir/pretty.cpp.o" "gcc" "src/core/CMakeFiles/csaw_core.dir/pretty.cpp.o.d"
+  "/root/repo/src/core/topology.cpp" "src/core/CMakeFiles/csaw_core.dir/topology.cpp.o" "gcc" "src/core/CMakeFiles/csaw_core.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compart/CMakeFiles/csaw_compart.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/csaw_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/serdes/CMakeFiles/csaw_serdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csaw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

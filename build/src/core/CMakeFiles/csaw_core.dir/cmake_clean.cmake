@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csaw_core.dir/ast.cpp.o"
+  "CMakeFiles/csaw_core.dir/ast.cpp.o.d"
+  "CMakeFiles/csaw_core.dir/compile.cpp.o"
+  "CMakeFiles/csaw_core.dir/compile.cpp.o.d"
+  "CMakeFiles/csaw_core.dir/interp.cpp.o"
+  "CMakeFiles/csaw_core.dir/interp.cpp.o.d"
+  "CMakeFiles/csaw_core.dir/pretty.cpp.o"
+  "CMakeFiles/csaw_core.dir/pretty.cpp.o.d"
+  "CMakeFiles/csaw_core.dir/topology.cpp.o"
+  "CMakeFiles/csaw_core.dir/topology.cpp.o.d"
+  "libcsaw_core.a"
+  "libcsaw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csaw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csaw_kv.dir/table.cpp.o"
+  "CMakeFiles/csaw_kv.dir/table.cpp.o.d"
+  "libcsaw_kv.a"
+  "libcsaw_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csaw_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

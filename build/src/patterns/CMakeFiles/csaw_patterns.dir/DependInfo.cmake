@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/patterns/baseline_caching.cpp" "src/patterns/CMakeFiles/csaw_patterns.dir/baseline_caching.cpp.o" "gcc" "src/patterns/CMakeFiles/csaw_patterns.dir/baseline_caching.cpp.o.d"
+  "/root/repo/src/patterns/baseline_checkpoint.cpp" "src/patterns/CMakeFiles/csaw_patterns.dir/baseline_checkpoint.cpp.o" "gcc" "src/patterns/CMakeFiles/csaw_patterns.dir/baseline_checkpoint.cpp.o.d"
+  "/root/repo/src/patterns/baseline_sharding.cpp" "src/patterns/CMakeFiles/csaw_patterns.dir/baseline_sharding.cpp.o" "gcc" "src/patterns/CMakeFiles/csaw_patterns.dir/baseline_sharding.cpp.o.d"
+  "/root/repo/src/patterns/caching.cpp" "src/patterns/CMakeFiles/csaw_patterns.dir/caching.cpp.o" "gcc" "src/patterns/CMakeFiles/csaw_patterns.dir/caching.cpp.o.d"
+  "/root/repo/src/patterns/common.cpp" "src/patterns/CMakeFiles/csaw_patterns.dir/common.cpp.o" "gcc" "src/patterns/CMakeFiles/csaw_patterns.dir/common.cpp.o.d"
+  "/root/repo/src/patterns/failover.cpp" "src/patterns/CMakeFiles/csaw_patterns.dir/failover.cpp.o" "gcc" "src/patterns/CMakeFiles/csaw_patterns.dir/failover.cpp.o.d"
+  "/root/repo/src/patterns/sharding.cpp" "src/patterns/CMakeFiles/csaw_patterns.dir/sharding.cpp.o" "gcc" "src/patterns/CMakeFiles/csaw_patterns.dir/sharding.cpp.o.d"
+  "/root/repo/src/patterns/snapshot.cpp" "src/patterns/CMakeFiles/csaw_patterns.dir/snapshot.cpp.o" "gcc" "src/patterns/CMakeFiles/csaw_patterns.dir/snapshot.cpp.o.d"
+  "/root/repo/src/patterns/watched_failover.cpp" "src/patterns/CMakeFiles/csaw_patterns.dir/watched_failover.cpp.o" "gcc" "src/patterns/CMakeFiles/csaw_patterns.dir/watched_failover.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/csaw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/csaw_miniredis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csaw_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/compart/CMakeFiles/csaw_compart.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/csaw_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/serdes/CMakeFiles/csaw_serdes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csaw_patterns.dir/baseline_caching.cpp.o"
+  "CMakeFiles/csaw_patterns.dir/baseline_caching.cpp.o.d"
+  "CMakeFiles/csaw_patterns.dir/baseline_checkpoint.cpp.o"
+  "CMakeFiles/csaw_patterns.dir/baseline_checkpoint.cpp.o.d"
+  "CMakeFiles/csaw_patterns.dir/baseline_sharding.cpp.o"
+  "CMakeFiles/csaw_patterns.dir/baseline_sharding.cpp.o.d"
+  "CMakeFiles/csaw_patterns.dir/caching.cpp.o"
+  "CMakeFiles/csaw_patterns.dir/caching.cpp.o.d"
+  "CMakeFiles/csaw_patterns.dir/common.cpp.o"
+  "CMakeFiles/csaw_patterns.dir/common.cpp.o.d"
+  "CMakeFiles/csaw_patterns.dir/failover.cpp.o"
+  "CMakeFiles/csaw_patterns.dir/failover.cpp.o.d"
+  "CMakeFiles/csaw_patterns.dir/sharding.cpp.o"
+  "CMakeFiles/csaw_patterns.dir/sharding.cpp.o.d"
+  "CMakeFiles/csaw_patterns.dir/snapshot.cpp.o"
+  "CMakeFiles/csaw_patterns.dir/snapshot.cpp.o.d"
+  "CMakeFiles/csaw_patterns.dir/watched_failover.cpp.o"
+  "CMakeFiles/csaw_patterns.dir/watched_failover.cpp.o.d"
+  "libcsaw_patterns.a"
+  "libcsaw_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csaw_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

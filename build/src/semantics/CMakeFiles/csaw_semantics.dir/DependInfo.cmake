@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantics/denote.cpp" "src/semantics/CMakeFiles/csaw_semantics.dir/denote.cpp.o" "gcc" "src/semantics/CMakeFiles/csaw_semantics.dir/denote.cpp.o.d"
+  "/root/repo/src/semantics/dnf.cpp" "src/semantics/CMakeFiles/csaw_semantics.dir/dnf.cpp.o" "gcc" "src/semantics/CMakeFiles/csaw_semantics.dir/dnf.cpp.o.d"
+  "/root/repo/src/semantics/structure.cpp" "src/semantics/CMakeFiles/csaw_semantics.dir/structure.cpp.o" "gcc" "src/semantics/CMakeFiles/csaw_semantics.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/csaw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csaw_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/compart/CMakeFiles/csaw_compart.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/csaw_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/serdes/CMakeFiles/csaw_serdes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

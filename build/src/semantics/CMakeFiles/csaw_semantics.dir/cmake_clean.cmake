@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csaw_semantics.dir/denote.cpp.o"
+  "CMakeFiles/csaw_semantics.dir/denote.cpp.o.d"
+  "CMakeFiles/csaw_semantics.dir/dnf.cpp.o"
+  "CMakeFiles/csaw_semantics.dir/dnf.cpp.o.d"
+  "CMakeFiles/csaw_semantics.dir/structure.cpp.o"
+  "CMakeFiles/csaw_semantics.dir/structure.cpp.o.d"
+  "libcsaw_semantics.a"
+  "libcsaw_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csaw_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

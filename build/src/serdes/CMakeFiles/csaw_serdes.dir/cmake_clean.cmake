@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csaw_serdes.dir/buffer.cpp.o"
+  "CMakeFiles/csaw_serdes.dir/buffer.cpp.o.d"
+  "CMakeFiles/csaw_serdes.dir/value.cpp.o"
+  "CMakeFiles/csaw_serdes.dir/value.cpp.o.d"
+  "libcsaw_serdes.a"
+  "libcsaw_serdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csaw_serdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csaw_support.dir/check.cpp.o"
+  "CMakeFiles/csaw_support.dir/check.cpp.o.d"
+  "CMakeFiles/csaw_support.dir/clock.cpp.o"
+  "CMakeFiles/csaw_support.dir/clock.cpp.o.d"
+  "CMakeFiles/csaw_support.dir/result.cpp.o"
+  "CMakeFiles/csaw_support.dir/result.cpp.o.d"
+  "CMakeFiles/csaw_support.dir/rng.cpp.o"
+  "CMakeFiles/csaw_support.dir/rng.cpp.o.d"
+  "CMakeFiles/csaw_support.dir/stats.cpp.o"
+  "CMakeFiles/csaw_support.dir/stats.cpp.o.d"
+  "CMakeFiles/csaw_support.dir/symbol.cpp.o"
+  "CMakeFiles/csaw_support.dir/symbol.cpp.o.d"
+  "libcsaw_support.a"
+  "libcsaw_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csaw_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caching_pattern_test.dir/caching_pattern_test.cpp.o"
+  "CMakeFiles/caching_pattern_test.dir/caching_pattern_test.cpp.o.d"
+  "caching_pattern_test"
+  "caching_pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caching_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

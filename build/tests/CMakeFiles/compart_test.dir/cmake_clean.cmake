@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compart_test.dir/compart_test.cpp.o"
+  "CMakeFiles/compart_test.dir/compart_test.cpp.o.d"
+  "compart_test"
+  "compart_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_compile_test.dir/dsl_compile_test.cpp.o"
+  "CMakeFiles/dsl_compile_test.dir/dsl_compile_test.cpp.o.d"
+  "dsl_compile_test"
+  "dsl_compile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

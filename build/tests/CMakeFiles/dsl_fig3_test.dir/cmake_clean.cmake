@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_fig3_test.dir/dsl_fig3_test.cpp.o"
+  "CMakeFiles/dsl_fig3_test.dir/dsl_fig3_test.cpp.o.d"
+  "dsl_fig3_test"
+  "dsl_fig3_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_fig3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_runtime_features_test.dir/dsl_runtime_features_test.cpp.o"
+  "CMakeFiles/dsl_runtime_features_test.dir/dsl_runtime_features_test.cpp.o.d"
+  "dsl_runtime_features_test"
+  "dsl_runtime_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_runtime_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_pattern_test.dir/failover_pattern_test.cpp.o"
+  "CMakeFiles/failover_pattern_test.dir/failover_pattern_test.cpp.o.d"
+  "failover_pattern_test"
+  "failover_pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

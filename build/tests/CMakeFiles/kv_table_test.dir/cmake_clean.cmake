@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_table_test.dir/kv_table_test.cpp.o"
+  "CMakeFiles/kv_table_test.dir/kv_table_test.cpp.o.d"
+  "kv_table_test"
+  "kv_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_sharding_test.dir/parallel_sharding_test.cpp.o"
+  "CMakeFiles/parallel_sharding_test.dir/parallel_sharding_test.cpp.o.d"
+  "parallel_sharding_test"
+  "parallel_sharding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_sharding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameterized_sweeps_test.dir/parameterized_sweeps_test.cpp.o"
+  "CMakeFiles/parameterized_sweeps_test.dir/parameterized_sweeps_test.cpp.o.d"
+  "parameterized_sweeps_test"
+  "parameterized_sweeps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameterized_sweeps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

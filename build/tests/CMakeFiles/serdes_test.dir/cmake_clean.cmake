@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serdes_test.dir/serdes_test.cpp.o"
+  "CMakeFiles/serdes_test.dir/serdes_test.cpp.o.d"
+  "serdes_test"
+  "serdes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serdes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharding_pattern_test.dir/sharding_pattern_test.cpp.o"
+  "CMakeFiles/sharding_pattern_test.dir/sharding_pattern_test.cpp.o.d"
+  "sharding_pattern_test"
+  "sharding_pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharding_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_pattern_test.dir/snapshot_pattern_test.cpp.o"
+  "CMakeFiles/snapshot_pattern_test.dir/snapshot_pattern_test.cpp.o.d"
+  "snapshot_pattern_test"
+  "snapshot_pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watched_failover_test.dir/watched_failover_test.cpp.o"
+  "CMakeFiles/watched_failover_test.dir/watched_failover_test.cpp.o.d"
+  "watched_failover_test"
+  "watched_failover_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watched_failover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
