@@ -13,10 +13,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/clock.hpp"
 #include "support/stats.hpp"
 
@@ -39,6 +43,43 @@ struct Config {
     c.tick_ms = env_int("CSAW_BENCH_TICK_MS", c.tick_ms);
     return c;
   }
+};
+
+// Optional observability session, enabled by `--trace-out <path>` on the
+// bench command line. When enabled, the bench passes sink()/metrics() into
+// the service under test and calls finish() before exiting, which drains
+// the tracer and writes the combined JSON document (schema: obs/export.hpp).
+// When disabled, sink()/metrics() are null and the run is untraced -- the
+// default, so timing figures are unaffected.
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace-out") == 0) path_ = argv[i + 1];
+    }
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+  obs::TraceSink* sink() { return enabled() ? &tracer_ : nullptr; }
+  obs::Metrics* metrics() { return enabled() ? &metrics_ : nullptr; }
+
+  // Writes the JSON document; returns false (after printing the error) if
+  // the output file cannot be written.
+  bool finish() {
+    if (!enabled()) return true;
+    auto st = obs::write_trace_json_file(path_, &tracer_, &metrics_);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--trace-out: %s\n", st.error().to_string().c_str());
+      return false;
+    }
+    std::printf("# trace written to %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  obs::Tracer tracer_;
+  obs::Metrics metrics_;
 };
 
 inline void header(const std::string& figure, const std::string& what,

@@ -14,8 +14,9 @@
 using namespace csaw;
 using namespace csaw::bench;
 
-int main() {
+int main(int argc, char** argv) {
   const auto cfg = Config::from_env();
+  ObsSession obs(argc, argv);
   header("Fig 23a", "Redis query rate under 15s checkpointing + crash at t=60",
          cfg);
 
@@ -28,7 +29,10 @@ int main() {
   auto agg = run_series(
       cfg,
       [&](int rep) {
-        service = std::make_unique<miniredis::CheckpointedService>();
+        miniredis::CheckpointedService::Options sopts;
+        sopts.trace_sink = obs.sink();
+        sopts.metrics = obs.metrics();
+        service = std::make_unique<miniredis::CheckpointedService>(sopts);
         miniredis::WorkloadOptions wopts;
         wopts.keyspace = 6000;
         wopts.get_fraction = 0.7;
@@ -101,5 +105,8 @@ int main() {
   shape_check(after > 0.8 * steady, "rate recovers after crash-resume (post "
               + TablePrinter::fmt(after * to_kqps) + " vs steady "
               + TablePrinter::fmt(steady * to_kqps) + ")");
-  return 0;
+
+  // Engines hold borrowed pointers into the session: tear down first.
+  service.reset();
+  return obs.finish() ? 0 : 1;
 }

@@ -17,8 +17,9 @@
 using namespace csaw;
 using namespace csaw::bench;
 
-int main() {
+int main(int argc, char** argv) {
   auto cfg = Config::from_env();
+  ObsSession obs(argc, argv);
   cfg.ticks = Config::env_int("CSAW_BENCH_TICKS", 100);  // the paper plots 100 s
   header("Fig 23b",
          "cumulative requests per shard, key-sharded (djb2), uneven workload",
@@ -34,6 +35,8 @@ int main() {
   for (int rep = 0; rep < cfg.reps; ++rep) {
     miniredis::ShardedService::Options sopts;
     sopts.shards = kShards;
+    sopts.trace_sink = obs.sink();
+    sopts.metrics = obs.metrics();
     auto service = std::make_unique<miniredis::ShardedService>(sopts);
 
     // Uneven pressure per *back-end*: keys are grouped by the shard their
@@ -102,5 +105,5 @@ int main() {
                   final_counts[1] > final_counts[2] &&
                   final_counts[2] > final_counts[3],
               "cumulative lines strictly ordered by workload weight");
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

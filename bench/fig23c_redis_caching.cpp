@@ -18,7 +18,8 @@ using namespace csaw::bench;
 
 namespace {
 
-SeriesAggregate run_variant(const Config& cfg, bool cache_enabled) {
+SeriesAggregate run_variant(const Config& cfg, bool cache_enabled,
+                            ObsSession& obs) {
   std::unique_ptr<miniredis::CachedService> service;
   std::unique_ptr<miniredis::Workload> workload;
   return run_series(
@@ -26,6 +27,8 @@ SeriesAggregate run_variant(const Config& cfg, bool cache_enabled) {
       [&](int rep) {
         miniredis::CachedService::Options sopts;
         sopts.cache_enabled = cache_enabled;
+        sopts.trace_sink = obs.sink();
+        sopts.metrics = obs.metrics();
         service = std::make_unique<miniredis::CachedService>(sopts);
         miniredis::WorkloadOptions wopts;
         wopts.keyspace = 2000;
@@ -51,12 +54,13 @@ SeriesAggregate run_variant(const Config& cfg, bool cache_enabled) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const auto cfg = Config::from_env();
+  ObsSession obs(argc, argv);
   header("Fig 23c", "query rate with vs without caching (90/10 skew)", cfg);
 
-  auto cached = run_variant(cfg, true);
-  auto uncached = run_variant(cfg, false);
+  auto cached = run_variant(cfg, true, obs);
+  auto uncached = run_variant(cfg, false, obs);
 
   print_multi_series("t(s)", {"with-caching(KQ/s)", "no-caching(KQ/s)"},
                      {cached, uncached}, (1000.0 / cfg.tick_ms) / 1000.0);
@@ -72,5 +76,5 @@ int main() {
               cached_mean, uncached_mean, gain_pct);
   shape_check(cached_mean > uncached_mean,
               "caching sustains a higher query rate on the skewed workload");
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -13,7 +13,8 @@
 using namespace csaw;
 using namespace csaw::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
   const auto cfg = Config::from_env();
   header("Fig 24a",
          "Suricata packet rate under 15s flow-table checkpointing + crash",
@@ -28,7 +29,10 @@ int main() {
   auto agg = run_series(
       cfg,
       [&](int rep) {
-        service = std::make_unique<minisuricata::CheckpointedService>();
+        minisuricata::CheckpointedService::Options sopts;
+        sopts.trace_sink = obs.sink();
+        sopts.metrics = obs.metrics();
+        service = std::make_unique<minisuricata::CheckpointedService>(sopts);
         minisuricata::FlowGenOptions gopts;
         gopts.concurrent_flows = 512;
         gen = std::make_unique<minisuricata::FlowGenerator>(
@@ -82,5 +86,5 @@ int main() {
   }
   shape_check(after / std::max(after_n, 1) > 0.8 * steady,
               "packet rate recovers after crash-resume");
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

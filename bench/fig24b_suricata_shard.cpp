@@ -13,7 +13,8 @@
 using namespace csaw;
 using namespace csaw::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
   const auto cfg = Config::from_env();
   header("Fig 24b", "cumulative packets per back-end, steered by 5-tuple hash",
          cfg);
@@ -24,7 +25,10 @@ int main() {
   bool affinity_ok = true;
 
   for (int rep = 0; rep < cfg.reps; ++rep) {
-    auto service = std::make_unique<minisuricata::SteeredService>();
+    minisuricata::SteeredService::Options sopts;
+    sopts.trace_sink = obs.sink();
+    sopts.metrics = obs.metrics();
+    auto service = std::make_unique<minisuricata::SteeredService>(sopts);
     minisuricata::FlowGenOptions gopts;
     gopts.concurrent_flows = 512;
     minisuricata::FlowGenerator gen(gopts,
@@ -70,5 +74,5 @@ int main() {
   shape_check(total > 0 && mn / mx > 0.55,
               "5-tuple hash distributes traffic across all four instances");
   shape_check(affinity_ok, "every packet of a flow lands on the same shard");
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -81,9 +81,10 @@ void BM_PushAcked(benchmark::State& state) {
   (void)engine.run_main();
   auto& rt = engine.runtime();
   for (auto _ : state) {
-    auto st = rt.push(addr("g", "j"), Update::assert_prop(Symbol("Work")),
-                      Deadline::after(std::chrono::seconds(5)),
-                      Symbol("bench"));
+    auto st = rt.push({.to = addr("g", "j"),
+                       .update = Update::assert_prop(Symbol("Work")),
+                       .deadline = Deadline::after(std::chrono::seconds(5)),
+                       .from = Symbol("bench")});
     benchmark::DoNotOptimize(st.ok());
   }
 }
@@ -99,9 +100,10 @@ void BM_PushFireAndForget(benchmark::State& state) {
   (void)engine.run_main();
   auto& rt = engine.runtime();
   for (auto _ : state) {
-    auto st = rt.push(addr("g", "j"), Update::assert_prop(Symbol("Work")),
-                      Deadline::after(std::chrono::seconds(5)),
-                      Symbol("bench"));
+    auto st = rt.push({.to = addr("g", "j"),
+                       .update = Update::assert_prop(Symbol("Work")),
+                       .deadline = Deadline::after(std::chrono::seconds(5)),
+                       .from = Symbol("bench")});
     benchmark::DoNotOptimize(st.ok());
   }
 }

@@ -1,0 +1,136 @@
+// Observability: tracing and metrics for a running architecture.
+//
+// Attaches a Tracer and a Metrics registry to the quickstart handoff
+// architecture (Fig 3), drives a few handoffs plus one crash/restart, then
+// prints the merged event timeline, the counter values, push-latency
+// percentiles, and finally the combined JSON document that benches emit
+// under --trace-out. Run:  ./build/examples/observability
+#include <cstdio>
+#include <iostream>
+
+#include "core/builder.hpp"
+#include "core/compile.hpp"
+#include "core/interp.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+using namespace csaw;
+
+int main() {
+  // Same architecture as examples/quickstart.cpp, minus the narration.
+  ProgramBuilder p("observability");
+  p.type("tau_f")
+      .junction("junction")
+      .param("g", ParamDecl::Kind::kJunction)
+      .init_prop("Work", false)
+      .init_data("n")
+      .body(e_seq({
+          e_host("H1"),
+          e_save("n", "capture"),
+          e_write("n", var("g")),
+          e_assert(pr("Work"), var("g")),
+          e_wait({}, f_not(f_prop("Work"))),
+      }));
+  p.type("tau_g")
+      .junction("junction")
+      .param("f", ParamDecl::Kind::kJunction)
+      .init_prop("Work", false)
+      .init_data("n")
+      .guard(f_prop("Work"))
+      .auto_schedule()
+      .body(e_seq({
+          e_restore("n", "ingest"),
+          e_host("H2"),
+          e_retract(pr("Work"), var("f")),
+      }));
+  p.instance("f", "tau_f", {{"junction", {CtValue(addr("g", "junction"))}}});
+  p.instance("g", "tau_g", {{"junction", {CtValue(addr("f", "junction"))}}});
+  p.main_body(e_par({e_start(inst("f")), e_start(inst("g"))}));
+
+  auto compiled = compile(p.build());
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 compiled.error().to_string().c_str());
+    return 1;
+  }
+
+  HostBindings bindings;
+  bindings.block("H1", [](HostCtx& ctx) {
+    // Host blocks can emit their own events into the same timeline.
+    ctx.trace(Symbol("h1_begin"));
+    return Status::ok_status();
+  });
+  bindings.saver("capture", [](HostCtx&) -> Result<SerializedValue> {
+    return sv_dyn(DynValue(std::string("intermediate result")));
+  });
+  bindings.restorer("ingest", [](HostCtx&, const SerializedValue&) {
+    return Status::ok_status();
+  });
+  bindings.block("H2", [](HostCtx&) { return Status::ok_status(); });
+
+  // The observability session: both sinks are borrowed by the runtime, so
+  // they must outlive the engine.
+  obs::Tracer tracer;
+  obs::Metrics metrics;
+  EngineOptions opts;
+  opts.runtime.trace_sink = &tracer;
+  opts.runtime.metrics = &metrics;
+
+  {
+    Engine engine(std::move(compiled).value(), std::move(bindings), opts);
+    if (auto st = engine.run_main(); !st.ok()) {
+      std::fprintf(stderr, "main failed: %s\n", st.error().to_string().c_str());
+      return 1;
+    }
+    for (int i = 0; i < 3; ++i) {
+      auto st = engine.call("f", "junction",
+                            Deadline::after(std::chrono::seconds(5)));
+      if (!st.ok()) {
+        std::fprintf(stderr, "handoff %d failed: %s\n", i,
+                     st.error().to_string().c_str());
+        return 1;
+      }
+    }
+    // Crash and restart g so the lifecycle events show up too.
+    engine.runtime().crash(Symbol("g"));
+    if (auto st = engine.runtime().start(Symbol("g")); !st.ok()) {
+      std::fprintf(stderr, "restart failed: %s\n",
+                   st.error().to_string().c_str());
+      return 1;
+    }
+  }  // engine down: safe to drain without concurrent recording
+
+  std::printf("--- event timeline ---\n");
+  const auto t0 = tracer.epoch();
+  for (const auto& e : tracer.drain()) {
+    std::printf("%10.1fus  %-18s %s", to_ms(e.at - t0) * 1000.0,
+                trace_kind_name(e.kind), e.instance.str().c_str());
+    if (e.junction.valid()) std::printf("::%s", e.junction.str().c_str());
+    if (e.peer.valid()) std::printf(" -> %s", e.peer.str().c_str());
+    if (e.label.valid()) std::printf(" [%s]", e.label.str().c_str());
+    if (e.value_ns != 0) std::printf(" (%.1fus)", e.value_ns / 1000.0);
+    std::printf("\n");
+  }
+
+  std::printf("--- counters ---\n");
+  metrics.for_each_counter([](const std::string& name, const obs::Counter& c) {
+    std::printf("%-24s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(c.value()));
+  });
+
+  const auto& lat = metrics.histogram("push_latency_ns");
+  std::printf("--- push latency ---\n");
+  std::printf("count=%llu p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus\n",
+              static_cast<unsigned long long>(lat.count()),
+              lat.quantile(0.50) / 1000.0, lat.quantile(0.90) / 1000.0,
+              lat.quantile(0.99) / 1000.0,
+              static_cast<double>(lat.max_seen()) / 1000.0);
+
+  // Benches pass both the tracer and the registry to write_trace_json and
+  // get the full document; drain() above already consumed the events, so
+  // this export carries the metrics section only.
+  std::printf("--- JSON export (what benches write under --trace-out) ---\n");
+  obs::write_trace_json(std::cout, nullptr, &metrics);
+  return 0;
+}

@@ -85,6 +85,8 @@ CheckpointedService::CheckpointedService(Options options) {
   CSAW_CHECK(compiled.ok()) << compiled.error().to_string();
   EngineOptions eopts;
   eopts.runtime.default_link = options.link;
+  eopts.runtime.trace_sink = options.trace_sink;
+  eopts.runtime.metrics = options.metrics;
   engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
                                      eopts);
   const auto cost = options.op_cost_ns;
@@ -209,6 +211,8 @@ ShardedService::ShardedService(Options options) : options_(std::move(options)) {
   CSAW_CHECK(compiled.ok()) << compiled.error().to_string();
   EngineOptions eopts;
   eopts.runtime.default_link = options_.link;
+  eopts.runtime.trace_sink = options_.trace_sink;
+  eopts.runtime.metrics = options_.metrics;
   engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
                                      eopts);
   engine_->set_state(Symbol(popts.front_instance), front_);
@@ -362,6 +366,8 @@ CachedService::CachedService(Options options) : options_(std::move(options)) {
   CSAW_CHECK(compiled.ok()) << compiled.error().to_string();
   EngineOptions eopts;
   eopts.runtime.default_link = options_.link;
+  eopts.runtime.trace_sink = options_.trace_sink;
+  eopts.runtime.metrics = options_.metrics;
   engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
                                      eopts);
   engine_->set_state(Symbol("Cache"), cache_);

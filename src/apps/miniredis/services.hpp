@@ -62,6 +62,10 @@ class CheckpointedService : public Service {
     std::uint64_t op_cost_ns = kDefaultOpCostNs;
     std::int64_t timeout_ms = 2000;
     LinkModel link = LinkModel::in_process();
+    // Optional observability taps, forwarded to the underlying runtime;
+    // both borrowed and must outlive the service.
+    obs::TraceSink* trace_sink = nullptr;
+    obs::Metrics* metrics = nullptr;
   };
 
   CheckpointedService() : CheckpointedService(make_default_options()) {}
@@ -105,6 +109,9 @@ class ShardedService : public Service {
     LinkModel link = LinkModel::in_process();
     // Object-size class boundaries (inclusive upper bounds; last is +inf).
     std::vector<std::size_t> size_bounds = {4 * 1024, 16 * 1024, 64 * 1024};
+    // Optional observability taps (borrowed; must outlive the service).
+    obs::TraceSink* trace_sink = nullptr;
+    obs::Metrics* metrics = nullptr;
   };
 
   ShardedService() : ShardedService(make_default_options()) {}
@@ -141,6 +148,9 @@ class CachedService : public Service {
     std::uint64_t op_cost_ns = kDefaultOpCostNs;
     std::int64_t timeout_ms = 2000;
     LinkModel link = LinkModel::in_process();
+    // Optional observability taps (borrowed; must outlive the service).
+    obs::TraceSink* trace_sink = nullptr;
+    obs::Metrics* metrics = nullptr;
   };
 
   CachedService() : CachedService(make_default_options()) {}

@@ -55,7 +55,11 @@ CheckpointedService::CheckpointedService(Options options) {
 
   auto compiled = compile(patterns::remote_snapshot(popts));
   CSAW_CHECK(compiled.ok()) << compiled.error().to_string();
-  engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b));
+  EngineOptions eopts;
+  eopts.runtime.trace_sink = options.trace_sink;
+  eopts.runtime.metrics = options.metrics;
+  engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
+                                     eopts);
   const auto cost = options.cost_ns;
   engine_->set_state_factory(Symbol("Act"), [this, cost] {
     act_ = std::make_shared<ActState>(cost);
@@ -156,7 +160,11 @@ SteeredService::SteeredService(Options options) : options_(options) {
 
   auto compiled = compile(patterns::sharding(popts));
   CSAW_CHECK(compiled.ok()) << compiled.error().to_string();
-  engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b));
+  EngineOptions eopts;
+  eopts.runtime.trace_sink = options_.trace_sink;
+  eopts.runtime.metrics = options_.metrics;
+  engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
+                                     eopts);
   engine_->set_state(Symbol(popts.front_instance), front_);
   for (const auto& name : patterns::shard_backend_names(popts)) {
     backs_.push_back(std::make_shared<BackState>(options_.cost_ns));

@@ -37,6 +37,10 @@ class CheckpointedService {
   struct Options {
     std::uint64_t cost_ns = kDefaultPacketCostNs;
     std::int64_t timeout_ms = 2000;
+    // Optional observability taps, forwarded to the underlying runtime;
+    // both borrowed and must outlive the service.
+    obs::TraceSink* trace_sink = nullptr;
+    obs::Metrics* metrics = nullptr;
   };
 
   CheckpointedService() : CheckpointedService(make_default_options()) {}
@@ -66,6 +70,9 @@ class SteeredService {
     std::size_t batch_size = 1024;
     std::uint64_t cost_ns = kDefaultPacketCostNs;
     std::int64_t timeout_ms = 2000;
+    // Optional observability taps (borrowed; must outlive the service).
+    obs::TraceSink* trace_sink = nullptr;
+    obs::Metrics* metrics = nullptr;
   };
 
   SteeredService() : SteeredService(make_default_options()) {}

@@ -39,11 +39,29 @@ Result<bool> RuntimeView::remote_prop(const JunctionAddr& at,
 }
 
 Runtime::Runtime(RuntimeOptions options) : options_(options) {
+  if (options_.metrics != nullptr) {
+    auto& m = *options_.metrics;
+    ins_.push_sent = &m.counter("push_sent");
+    ins_.push_acked = &m.counter("push_acked");
+    ins_.push_nacked = &m.counter("push_nacked");
+    ins_.push_timeout = &m.counter("push_timeout");
+    ins_.junction_runs = &m.counter("junction_runs");
+    ins_.junction_scheduled = &m.counter("junction_scheduled");
+    ins_.guard_rejected = &m.counter("guard_rejected");
+    ins_.kv_applied = &m.counter("kv_updates_applied");
+    ins_.instances_started = &m.counter("instances_started");
+    ins_.instances_stopped = &m.counter("instances_stopped");
+    ins_.instances_crashed = &m.counter("instances_crashed");
+    ins_.instances_restarted = &m.counter("instances_restarted");
+    ins_.push_latency_ns = &m.histogram("push_latency_ns");
+    ins_.junction_run_ns = &m.histogram("junction_run_ns");
+  }
   if (options_.transport == Transport::kTcpLoopback) {
     // Envelopes the router releases are pushed through a real loopback TCP
     // connection; the TCP reader thread performs the delivery.
     tcp_ = std::make_unique<TcpLoop>(
-        [this](Envelope&& env) { deliver_local(std::move(env)); });
+        [this](Envelope&& env) { deliver_local(std::move(env)); },
+        options_.metrics);
     router_ = std::make_unique<Router>(
         options_.default_link, options_.seed,
         [this](Envelope&& env) { tcp_->send(env); });
@@ -55,6 +73,21 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
 }
 
 Runtime::~Runtime() { shutdown(); }
+
+void Runtime::trace(obs::TraceEvent::Kind kind, Symbol instance,
+                    Symbol junction, Symbol peer, std::uint64_t seq,
+                    std::uint64_t value_ns) {
+  auto* sink = options_.trace_sink;
+  if (sink == nullptr) return;
+  obs::TraceEvent e;
+  e.kind = kind;
+  e.instance = instance;
+  e.junction = junction;
+  e.peer = peer;
+  e.seq = seq;
+  e.value_ns = value_ns;
+  sink->record(e);
+}
 
 void Runtime::add_instance(InstanceDesc desc) {
   CSAW_CHECK(!instances_.contains(desc.name))
@@ -91,15 +124,27 @@ Status Runtime::start(Symbol instance) {
   for (auto& jrt : inst->junctions) {
     jrt->table = std::make_unique<KvTable>(
         jrt->desc.table_spec, instance.str() + "::" + jrt->desc.name.str());
+    jrt->table->set_observer(options_.trace_sink, ins_.kv_applied, instance,
+                             jrt->desc.name);
     jrt->pending_schedules = 0;
+    jrt->guard_rejections = 0;
   }
   inst->abort.store(false);
   inst->state = InstanceRt::State::kRunning;
+  const bool restarted = inst->started_before;
+  inst->started_before = true;
   // "When an instance is started, its junctions are started concurrently in
   // an arbitrary order" (S6).
   for (auto& jrt : inst->junctions) {
     auto* j = jrt.get();
     j->thread = std::thread([this, inst, j] { junction_loop(*inst, *j); });
+  }
+  if (restarted) {
+    if (ins_.instances_restarted != nullptr) ins_.instances_restarted->add();
+    trace(obs::TraceEvent::Kind::kInstanceRestarted, instance);
+  } else {
+    if (ins_.instances_started != nullptr) ins_.instances_started->add();
+    trace(obs::TraceEvent::Kind::kInstanceStarted, instance);
   }
   return Status::ok_status();
 }
@@ -130,6 +175,13 @@ Status Runtime::stop_locked_state(InstanceRt& inst,
   {
     std::scoped_lock lock(inst.mu);
     inst.state = final_state;
+  }
+  if (final_state == InstanceRt::State::kCrashed) {
+    if (ins_.instances_crashed != nullptr) ins_.instances_crashed->add();
+    trace(obs::TraceEvent::Kind::kInstanceCrashed, inst.desc.name);
+  } else {
+    if (ins_.instances_stopped != nullptr) ins_.instances_stopped->add();
+    trace(obs::TraceEvent::Kind::kInstanceStopped, inst.desc.name);
   }
   return Status::ok_status();
 }
@@ -165,18 +217,32 @@ void Runtime::shutdown() {
   }
 }
 
-Status Runtime::push(const JunctionAddr& to, Update update, Deadline deadline,
-                     Symbol from_instance, const std::atomic<bool>* abort) {
+Status Runtime::push(PushRequest req) {
   const std::size_t payload =
-      update.value.size() + update.key.str().size() + 16;
+      req.update.value.size() + req.update.key.str().size() + 16;
   Envelope env;
   env.kind = Envelope::Kind::kUpdate;
-  env.from_instance = from_instance;
-  env.to = to;
-  env.update = std::move(update);
+  env.from_instance = req.from;
+  env.to = req.to;
+  env.update = std::move(req.update);
+
+  // Timing is only measured when someone will consume it.
+  const bool observed =
+      options_.trace_sink != nullptr || ins_.push_latency_ns != nullptr;
+  const SteadyTime t0 = observed ? steady_now() : SteadyTime{};
+  const auto elapsed_ns = [&] {
+    return observed
+               ? static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<Nanos>(steady_now() - t0)
+                         .count())
+               : 0;
+  };
 
   if (!options_.acks_enabled) {
     env.seq = 0;  // no ack requested
+    if (ins_.push_sent != nullptr) ins_.push_sent->add();
+    trace(obs::TraceEvent::Kind::kPushSent, req.from, req.to.junction,
+          req.to.instance);
     router_->send(std::move(env), payload);
     return Status::ok_status();
   }
@@ -187,6 +253,9 @@ Status Runtime::push(const JunctionAddr& to, Update update, Deadline deadline,
     std::scoped_lock lock(ack_mu_);
     pending_acks_.insert(seq);
   }
+  if (ins_.push_sent != nullptr) ins_.push_sent->add();
+  trace(obs::TraceEvent::Kind::kPushSent, req.from, req.to.junction,
+        req.to.instance, seq);
   router_->send(std::move(env), payload);
 
   std::unique_lock lock(ack_mu_);
@@ -195,20 +264,48 @@ Status Runtime::push(const JunctionAddr& to, Update update, Deadline deadline,
       Status st = it->second;
       ack_results_.erase(it);
       pending_acks_.erase(seq);
+      lock.unlock();
+      const auto dt = elapsed_ns();
+      if (st.ok()) {
+        if (ins_.push_acked != nullptr) ins_.push_acked->add();
+        if (ins_.push_latency_ns != nullptr) ins_.push_latency_ns->record(dt);
+        trace(obs::TraceEvent::Kind::kPushAcked, req.from, req.to.junction,
+              req.to.instance, seq, dt);
+      } else {
+        if (ins_.push_nacked != nullptr) ins_.push_nacked->add();
+        trace(obs::TraceEvent::Kind::kPushNacked, req.from, req.to.junction,
+              req.to.instance, seq, dt);
+      }
       return st;
     }
-    if (abort != nullptr && abort->load(std::memory_order_relaxed)) {
+    if (req.abort != nullptr && req.abort->load(std::memory_order_relaxed)) {
       pending_acks_.erase(seq);
+      lock.unlock();
+      // Sender-side failure: classified with the nacks, not the timeouts.
+      if (ins_.push_nacked != nullptr) ins_.push_nacked->add();
+      trace(obs::TraceEvent::Kind::kPushNacked, req.from, req.to.junction,
+            req.to.instance, seq, elapsed_ns());
       return make_error(Errc::kUnreachable, "sender aborted while pushing");
     }
-    if (deadline.expired()) {
+    if (req.deadline.expired()) {
       pending_acks_.erase(seq);
-      return make_error(Errc::kTimeout,
-                        "no ack from " + to.qualified() + " before deadline");
+      lock.unlock();
+      if (ins_.push_timeout != nullptr) ins_.push_timeout->add();
+      trace(obs::TraceEvent::Kind::kPushTimeout, req.from, req.to.junction,
+            req.to.instance, seq, elapsed_ns());
+      return make_error(
+          Errc::kTimeout,
+          "no ack from " + req.to.qualified() + " before deadline");
     }
-    const auto slice = Deadline::after(kAckPollSlice).min(deadline);
+    const auto slice = Deadline::after(kAckPollSlice).min(req.deadline);
     ack_cv_.wait_until(lock, slice.when());
   }
+}
+
+Status Runtime::push(const JunctionAddr& to, Update update, Deadline deadline,
+                     Symbol from_instance, const std::atomic<bool>* abort) {
+  return push(PushRequest{to, std::move(update), deadline, from_instance,
+                          abort});
 }
 
 Status Runtime::inject(const JunctionAddr& to, Update update) {
@@ -251,6 +348,8 @@ Status Runtime::schedule(Symbol instance, Symbol junction) {
   }
   ++jrt->pending_schedules;
   inst->cv.notify_all();
+  if (ins_.junction_scheduled != nullptr) ins_.junction_scheduled->add();
+  trace(obs::TraceEvent::Kind::kJunctionScheduled, instance, junction);
   return Status::ok_status();
 }
 
@@ -261,6 +360,7 @@ Status Runtime::call(Symbol instance, Symbol junction, Deadline deadline) {
                       "call on unknown instance '" + instance.str() + "'");
   }
   std::uint64_t target;
+  std::uint64_t rejections_before;
   {
     std::scoped_lock lock(inst->mu);
     if (inst->state != InstanceRt::State::kRunning) {
@@ -273,9 +373,12 @@ Status Runtime::call(Symbol instance, Symbol junction, Deadline deadline) {
                         "unknown junction '" + junction.str() + "'");
     }
     target = jrt->completed + 1;
+    rejections_before = jrt->guard_rejections;
     ++jrt->pending_schedules;
     inst->cv.notify_all();
   }
+  if (ins_.junction_scheduled != nullptr) ins_.junction_scheduled->add();
+  trace(obs::TraceEvent::Kind::kJunctionScheduled, instance, junction);
   std::unique_lock lock(inst->mu);
   auto* jrt = find_junction(*inst, junction);
   while (jrt->completed < target) {
@@ -284,6 +387,14 @@ Status Runtime::call(Symbol instance, Symbol junction, Deadline deadline) {
                         "instance '" + instance.str() + "' went down mid-call");
     }
     if (deadline.expired()) {
+      // Distinguish "the guard said no" from "the junction never got a
+      // chance": if the junction evaluated its guard to false at least once
+      // while our request was pending, report kGuardRejected.
+      if (jrt->guard_rejections > rejections_before) {
+        return make_error(Errc::kGuardRejected,
+                          "guard rejected scheduled run of " + instance.str() +
+                              "::" + junction.str());
+      }
       return make_error(Errc::kTimeout, "call to " + instance.str() +
                                             "::" + junction.str() +
                                             " timed out");
@@ -329,6 +440,11 @@ Runtime::JunctionRt* Runtime::find_junction(InstanceRt& inst,
 
 void Runtime::junction_loop(InstanceRt& inst, JunctionRt& jrt) {
   const RuntimeView rtv(this);
+  const bool timed =
+      options_.trace_sink != nullptr || ins_.junction_run_ns != nullptr;
+  // One blocked-on-guard episode emits one trace event, however many idle
+  // polls re-evaluate the guard before it finally passes.
+  bool blocked_traced = false;
   while (true) {
     {
       std::scoped_lock lock(inst.mu);
@@ -337,12 +453,26 @@ void Runtime::junction_loop(InstanceRt& inst, JunctionRt& jrt) {
     if (inst.abort.load(std::memory_order_relaxed)) return;
     jrt.table->apply_pending();
     bool want = false;
+    bool requested = false;
     {
       std::scoped_lock lock(inst.mu);
-      want = jrt.desc.auto_schedule || jrt.pending_schedules > 0;
+      requested = jrt.pending_schedules > 0;
+      want = jrt.desc.auto_schedule || requested;
     }
     if (want && jrt.desc.guard && !jrt.desc.guard(*jrt.table, rtv)) {
       want = false;
+      if (requested) {
+        {
+          std::scoped_lock lock(inst.mu);
+          ++jrt.guard_rejections;
+        }
+        if (!blocked_traced) {
+          blocked_traced = true;
+          if (ins_.guard_rejected != nullptr) ins_.guard_rejected->add();
+          trace(obs::TraceEvent::Kind::kJunctionBlocked, inst.desc.name,
+                jrt.desc.name);
+        }
+      }
     }
     if (!want) {
       std::unique_lock lock(inst.mu);
@@ -350,12 +480,14 @@ void Runtime::junction_loop(InstanceRt& inst, JunctionRt& jrt) {
       inst.cv.wait_for(lock, options_.idle_poll);
       continue;
     }
+    blocked_traced = false;
     if (!jrt.desc.auto_schedule) {
       std::scoped_lock lock(inst.mu);
       if (jrt.pending_schedules == 0) continue;
       --jrt.pending_schedules;
     }
     jrt.table->begin_run();
+    const SteadyTime t0 = timed ? steady_now() : SteadyTime{};
     JunctionEnv env(*this, inst.desc.name, jrt.desc.name, *jrt.table,
                     inst.abort);
     jrt.desc.body(env);
@@ -365,6 +497,14 @@ void Runtime::junction_loop(InstanceRt& inst, JunctionRt& jrt) {
       ++jrt.completed;
     }
     inst.cv.notify_all();
+    if (ins_.junction_runs != nullptr) ins_.junction_runs->add();
+    if (timed) {
+      const auto dt = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<Nanos>(steady_now() - t0).count());
+      if (ins_.junction_run_ns != nullptr) ins_.junction_run_ns->record(dt);
+      trace(obs::TraceEvent::Kind::kJunctionRan, inst.desc.name, jrt.desc.name,
+            {}, 0, dt);
+    }
   }
 }
 

@@ -40,6 +40,8 @@
 #include "compart/message.hpp"
 #include "compart/router.hpp"
 #include "kv/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/result.hpp"
 
 namespace csaw {
@@ -105,6 +107,29 @@ struct RuntimeOptions {
   // the runtime cannot observe changing (e.g. wall-clock).
   Nanos idle_poll = std::chrono::milliseconds(2);
   std::uint64_t seed = 1;
+  // Observability (src/obs). Both pointers are borrowed, may be null, and
+  // must outlive the Runtime; null disables the corresponding hooks (each
+  // hook is a single predictable branch, so disabled runs pay nothing
+  // measurable). `metrics` receives the counters/histograms listed in
+  // DESIGN.md ("Observability"); `trace_sink` receives every TraceEvent.
+  obs::TraceSink* trace_sink = nullptr;
+  obs::Metrics* metrics = nullptr;
+};
+
+// One ack'd update push, with named fields (replaces the old positional
+// `push(to, update, deadline, from, abort)` signature). Designated
+// initializers keep call sites self-describing:
+//   rt.push({.to = addr("g", "j"), .update = Update::assert_prop(kWork),
+//            .deadline = Deadline::after(1s), .from = Symbol("host")});
+struct PushRequest {
+  JunctionAddr to;
+  Update update;
+  // Blocks until ack or this deadline; infinite by default.
+  Deadline deadline = {};
+  // Sending instance: used for link selection/partitions and ack routing.
+  Symbol from;
+  // Optional sender abort flag (a crashing sender bails out of the wait).
+  const std::atomic<bool>* abort = nullptr;
 };
 
 class Runtime {
@@ -132,20 +157,42 @@ class Runtime {
   void shutdown();
 
   // --- messaging -----------------------------------------------------------
-  // Pushes `update` to the junction at `to`, blocking until ack or
-  // deadline. `abort` (optional) lets a crashing sender bail out early.
+  // Pushes `req.update` to the junction at `req.to`, blocking until the
+  // target acked or the deadline expired. Returns:
+  //   ok            -- the target's table applied (or queued) the update
+  //   kUnreachable  -- nacked (target down/unknown), or the sender aborted
+  //   kTimeout      -- no ack before `req.deadline` (lost/partitioned/slow)
+  Status push(PushRequest req);
+
+  // Deprecated positional signature, kept for one PR cycle; forwards to
+  // push(PushRequest).
+  [[deprecated("use push(PushRequest{...}) with named fields")]]
   Status push(const JunctionAddr& to, Update update, Deadline deadline,
               Symbol from_instance, const std::atomic<bool>* abort = nullptr);
+
+  // --- host-side scheduling & injection --------------------------------------
+  // Three entry points with one shared contract -- on success:
+  //   inject()    the update is in the junction's table (applied or queued);
+  //               nothing has run yet.
+  //   schedule()  one future run of the (manual) junction is requested;
+  //               returns without waiting for it.
+  //   call()      that run has *completed* (schedule + block).
+  // All three return kUndefinedName for an unknown instance/junction and
+  // kUnreachable when the instance is not running. call() additionally
+  // distinguishes why a run never completed before the deadline:
+  //   kGuardRejected -- the junction evaluated its guard and the guard said
+  //                     no while our schedule request was pending
+  //   kTimeout       -- the deadline expired without a guard verdict (the
+  //                     junction was busy or the deadline was too tight)
+  //   kUnreachable   -- the instance stopped/crashed mid-call.
 
   // Synchronously injects an update into a junction's table, bypassing the
   // router: models an external client mutating junction state (the paper's
   // "Req is asserted externally to process client request", Fig 13).
   Status inject(const JunctionAddr& to, Update update);
-
-  // --- host-side scheduling -------------------------------------------------
   // Requests one run of a (manual) junction.
   Status schedule(Symbol instance, Symbol junction);
-  // schedule() + block until that run completes; kTimeout on deadline.
+  // schedule() + block until that run completes.
   Status call(Symbol instance, Symbol junction, Deadline deadline = {});
 
   // --- accessors --------------------------------------------------------------
@@ -155,6 +202,11 @@ class Runtime {
   [[nodiscard]] RuntimeView view() const { return RuntimeView(this); }
   Router& router() { return *router_; }
   [[nodiscard]] const RuntimeOptions& options() const { return options_; }
+  // Observability sinks (null when disabled).
+  [[nodiscard]] obs::TraceSink* trace_sink() const {
+    return options_.trace_sink;
+  }
+  [[nodiscard]] obs::Metrics* metrics() const { return options_.metrics; }
 
   // Total completed junction runs (progress metric for benches).
   [[nodiscard]] std::uint64_t runs_completed(Symbol instance,
@@ -169,6 +221,10 @@ class Runtime {
     std::unique_ptr<KvTable> table;
     std::uint64_t pending_schedules = 0;  // guarded by InstanceRt::mu
     std::uint64_t completed = 0;
+    // Guard evaluations that said no while a schedule request was pending
+    // (guarded by InstanceRt::mu); call() diffs this to tell guard
+    // rejection apart from timeout.
+    std::uint64_t guard_rejections = 0;
     std::thread thread;
   };
 
@@ -179,9 +235,34 @@ class Runtime {
     mutable std::mutex mu;
     std::condition_variable cv;
     State state = State::kDown;
+    bool started_before = false;  // distinguishes started vs restarted
     std::atomic<bool> abort{false};
     std::vector<std::unique_ptr<JunctionRt>> junctions;
   };
+
+  // Metric handles resolved once at construction (when options_.metrics is
+  // set); recording is then atomic-only.
+  struct Instruments {
+    obs::Counter* push_sent = nullptr;
+    obs::Counter* push_acked = nullptr;
+    obs::Counter* push_nacked = nullptr;
+    obs::Counter* push_timeout = nullptr;
+    obs::Counter* junction_runs = nullptr;
+    obs::Counter* junction_scheduled = nullptr;
+    obs::Counter* guard_rejected = nullptr;
+    obs::Counter* kv_applied = nullptr;
+    obs::Counter* instances_started = nullptr;
+    obs::Counter* instances_stopped = nullptr;
+    obs::Counter* instances_crashed = nullptr;
+    obs::Counter* instances_restarted = nullptr;
+    obs::Histogram* push_latency_ns = nullptr;
+    obs::Histogram* junction_run_ns = nullptr;
+  };
+
+  // Emits one trace event (no-op when tracing is disabled).
+  void trace(obs::TraceEvent::Kind kind, Symbol instance, Symbol junction = {},
+             Symbol peer = {}, std::uint64_t seq = 0,
+             std::uint64_t value_ns = 0);
 
   InstanceRt* find(Symbol instance) const;
   void deliver_local(Envelope&& env);
@@ -192,6 +273,7 @@ class Runtime {
   Status stop_locked_state(InstanceRt& inst, InstanceRt::State final_state);
 
   RuntimeOptions options_;
+  Instruments ins_;  // all-null when options_.metrics is null
   std::map<Symbol, std::unique_ptr<InstanceRt>> instances_;
   std::unique_ptr<class TcpLoop> tcp_;  // only in kTcpLoopback mode
   std::unique_ptr<Router> router_;
@@ -220,13 +302,38 @@ class JunctionEnv {
     return abort_.load(std::memory_order_relaxed);
   }
 
-  Status push(const JunctionAddr& to, Update update, Deadline deadline) {
-    return rt_.push(to, std::move(update), deadline, self_.instance, &abort_);
+  // Pushes on behalf of this junction: `from` and `abort` are filled in
+  // with the junction's identity and crash flag (caller-set values are
+  // overwritten).
+  Status push(PushRequest req) {
+    req.from = self_.instance;
+    req.abort = &abort_;
+    return rt_.push(std::move(req));
   }
   Status start_instance(Symbol name) { return rt_.start(name); }
   Status stop_instance(Symbol name) { return rt_.stop(name); }
   [[nodiscard]] RuntimeView runtime_view() const { return rt_.view(); }
   [[nodiscard]] Runtime& runtime() { return rt_; }
+
+  // --- observability ------------------------------------------------------
+  // Pattern bodies and app services emit through these without touching
+  // Runtime internals; both return null when the corresponding sink is
+  // disabled.
+  [[nodiscard]] obs::Metrics* metrics() const { return rt_.metrics(); }
+  [[nodiscard]] obs::TraceSink* trace_sink() const { return rt_.trace_sink(); }
+  // Emits one app-defined `custom` event stamped with this junction's
+  // identity; no-op when tracing is disabled.
+  void trace(Symbol label, std::uint64_t value = 0) {
+    auto* sink = rt_.trace_sink();
+    if (sink == nullptr) return;
+    obs::TraceEvent e;
+    e.kind = obs::TraceEvent::Kind::kCustom;
+    e.instance = self_.instance;
+    e.junction = self_.junction;
+    e.label = label;
+    e.value_ns = value;
+    sink->record(e);
+  }
 
  private:
   Runtime& rt_;

@@ -40,7 +40,14 @@ bool write_exact(int fd, const void* buf, std::size_t n) {
 
 }  // namespace
 
-TcpLoop::TcpLoop(DeliverFn deliver) : deliver_(std::move(deliver)) {
+TcpLoop::TcpLoop(DeliverFn deliver, obs::Metrics* metrics)
+    : deliver_(std::move(deliver)) {
+  if (metrics != nullptr) {
+    frames_sent_ = &metrics->counter("tcp_frames_sent");
+    bytes_sent_ = &metrics->counter("tcp_bytes_sent");
+    frames_received_ = &metrics->counter("tcp_frames_received");
+    bytes_received_ = &metrics->counter("tcp_bytes_received");
+  }
   // Loopback listener on an ephemeral port; connect to ourselves; accept.
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   CSAW_CHECK(listener >= 0) << "socket() failed";
@@ -87,6 +94,10 @@ void TcpLoop::send(const Envelope& env) {
   std::scoped_lock lock(write_mu_);
   if (!write_exact(write_fd_, &frame_len, sizeof(frame_len))) return;
   (void)write_exact(write_fd_, payload.data(), payload.size());
+  if (frames_sent_ != nullptr) {
+    frames_sent_->add();
+    bytes_sent_->add(payload.size() + sizeof(frame_len));
+  }
 }
 
 void TcpLoop::reader_loop() {
@@ -97,6 +108,10 @@ void TcpLoop::reader_loop() {
     if (!payload.empty() &&
         !read_exact(read_fd_, payload.data(), payload.size())) {
       return;
+    }
+    if (frames_received_ != nullptr) {
+      frames_received_->add();
+      bytes_received_->add(payload.size() + sizeof(frame_len));
     }
     auto env = decode_envelope(payload);
     if (!env.ok()) continue;  // corrupt frame: drop, like a bad packet

@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "compart/message.hpp"
+#include "obs/metrics.hpp"
 #include "support/result.hpp"
 
 namespace csaw {
@@ -25,7 +26,10 @@ class TcpLoop {
 
   // Establishes the loopback connection; CHECK-fails if sockets are
   // unavailable (the environment cannot provide the transport at all).
-  explicit TcpLoop(DeliverFn deliver);
+  // When `metrics` is non-null, frame/byte counters (tcp_frames_sent,
+  // tcp_bytes_sent, tcp_frames_received, tcp_bytes_received) are registered
+  // there; the registry must outlive this object.
+  explicit TcpLoop(DeliverFn deliver, obs::Metrics* metrics = nullptr);
   ~TcpLoop();
 
   TcpLoop(const TcpLoop&) = delete;
@@ -42,6 +46,11 @@ class TcpLoop {
   int write_fd_ = -1;
   int read_fd_ = -1;
   std::mutex write_mu_;
+  // Borrowed counter handles; all null when metrics are disabled.
+  obs::Counter* frames_sent_ = nullptr;
+  obs::Counter* bytes_sent_ = nullptr;
+  obs::Counter* frames_received_ = nullptr;
+  obs::Counter* bytes_received_ = nullptr;
   std::thread reader_;
 };
 

@@ -450,9 +450,10 @@ struct Interp {
       return EvalResult::fail(make_error(
           Errc::kInvalidProgram, "write to self (idx resolved to self)"));
     }
-    auto st = env->push(*to, Update::write_data(e.data, std::move(*value),
-                                                env->qualified()),
-                        deadline);
+    auto st = env->push({.to = *to,
+                         .update = Update::write_data(e.data, std::move(*value),
+                                                      env->qualified()),
+                         .deadline = deadline});
     if (!st.ok()) return EvalResult::fail(st.error());
     return EvalResult::ok();
   }
@@ -538,7 +539,8 @@ struct Interp {
       }
       auto update = value ? Update::assert_prop(*name, env->qualified())
                           : Update::retract_prop(*name, env->qualified());
-      auto pst = env->push(*to, std::move(update), deadline);
+      auto pst = env->push(
+          {.to = *to, .update = std::move(update), .deadline = deadline});
       if (!pst.ok()) {
         (void)env->table().set_prop_local(*name, *old);
         return EvalResult::fail(pst.error());

@@ -60,6 +60,13 @@ class HostCtx {
   [[nodiscard]] bool aborted() const { return env_.aborted(); }
   Engine& engine() { return engine_; }
 
+  // --- observability -------------------------------------------------------
+  // The runtime's metrics registry (null when metrics are disabled).
+  [[nodiscard]] obs::Metrics* metrics() const { return env_.metrics(); }
+  // Emits a custom trace event attributed to this junction; no-op when
+  // tracing is disabled.
+  void trace(Symbol label, std::uint64_t value = 0) { env_.trace(label, value); }
+
   // Per-instance application state (registered via Engine::set_state*).
   template <typename T>
   T& state() {

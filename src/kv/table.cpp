@@ -248,7 +248,29 @@ Status KvTable::apply_unlocked(const Update& update, bool in_wait) {
   }
   ++counters_.applied;
   if (in_wait) ++counters_.admitted_in_wait;
+  observe_applied(update.key);
   return Status::ok_status();
+}
+
+void KvTable::set_observer(obs::TraceSink* trace, obs::Counter* applied,
+                           Symbol instance, Symbol junction) {
+  std::scoped_lock lock(mu_);
+  trace_ = trace;
+  applied_metric_ = applied;
+  obs_instance_ = instance;
+  obs_junction_ = junction;
+}
+
+void KvTable::observe_applied(Symbol key) {
+  if (applied_metric_ != nullptr) applied_metric_->add();
+  if (trace_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEvent::Kind::kKvApplied;
+    e.instance = obs_instance_;
+    e.junction = obs_junction_;
+    e.label = key;
+    trace_->record(e);
+  }
 }
 
 KvTable::Counters KvTable::counters() const {

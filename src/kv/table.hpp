@@ -33,6 +33,8 @@
 #include <vector>
 
 #include "kv/update.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/clock.hpp"
 #include "support/result.hpp"
 
@@ -119,6 +121,14 @@ class KvTable {
   // the key was never declared here.
   Status enqueue(const Update& update);
 
+  // --- observability -------------------------------------------------------
+  // Taps every applied *remote* update: one kv_applied trace event naming
+  // the key, plus a counter increment. Set by the runtime between
+  // construction and the first junction run; both pointers are borrowed,
+  // may be null, and must outlive the table.
+  void set_observer(obs::TraceSink* trace, obs::Counter* applied,
+                    Symbol instance, Symbol junction);
+
   // --- introspection ------------------------------------------------------
   [[nodiscard]] const std::string& owner() const { return owner_; }
   struct Counters {
@@ -138,6 +148,7 @@ class KvTable {
   bool prop_unlocked(Symbol name) const;
   bool has_prop_unlocked(Symbol name) const;
   Status apply_unlocked(const Update& update, bool in_wait);
+  void observe_applied(Symbol key);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -166,6 +177,11 @@ class KvTable {
   std::vector<const std::unordered_set<Symbol>*> admits_;
   bool interrupted_ = false;
   Counters counters_;
+
+  obs::TraceSink* trace_ = nullptr;
+  obs::Counter* applied_metric_ = nullptr;
+  Symbol obs_instance_;
+  Symbol obs_junction_;
 };
 
 }  // namespace csaw

@@ -1,0 +1,104 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace csaw::obs {
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_symbol(std::ostream& os, Symbol s) {
+  write_escaped(os, s.valid() ? s.str() : std::string());
+}
+
+}  // namespace
+
+void write_trace_json(std::ostream& os, Tracer* tracer,
+                      const Metrics* metrics) {
+  os << "{\n  \"epoch\": \"steady\",\n";
+  os << "  \"dropped\": " << (tracer != nullptr ? tracer->dropped() : 0)
+     << ",\n";
+  os << "  \"events\": [";
+  if (tracer != nullptr) {
+    const auto events = tracer->drain();
+    const auto epoch = tracer->epoch();
+    bool first = true;
+    for (const auto& e : events) {
+      os << (first ? "\n" : ",\n") << "    {\"t_us\": "
+         << std::chrono::duration<double, std::micro>(e.at - epoch).count()
+         << ", \"kind\": \"" << trace_kind_name(e.kind) << "\", "
+         << "\"instance\": ";
+      write_symbol(os, e.instance);
+      os << ", \"junction\": ";
+      write_symbol(os, e.junction);
+      os << ", \"peer\": ";
+      write_symbol(os, e.peer);
+      os << ", \"label\": ";
+      write_symbol(os, e.label);
+      os << ", \"seq\": " << e.seq << ", \"value_ns\": " << e.value_ns << "}";
+      first = false;
+    }
+    if (!first) os << "\n  ";
+  }
+  os << "],\n";
+  os << "  \"metrics\": {\n    \"counters\": {";
+  if (metrics != nullptr) {
+    bool first = true;
+    metrics->for_each_counter([&](const std::string& name, const Counter& c) {
+      os << (first ? "\n" : ",\n") << "      ";
+      write_escaped(os, name);
+      os << ": " << c.value();
+      first = false;
+    });
+    if (!first) os << "\n    ";
+  }
+  os << "},\n    \"histograms\": {";
+  if (metrics != nullptr) {
+    bool first = true;
+    metrics->for_each_histogram(
+        [&](const std::string& name, const Histogram& h) {
+          os << (first ? "\n" : ",\n") << "      ";
+          write_escaped(os, name);
+          os << ": {\"count\": " << h.count() << ", \"mean\": " << h.mean()
+             << ", \"p50\": " << h.quantile(0.50)
+             << ", \"p90\": " << h.quantile(0.90)
+             << ", \"p99\": " << h.quantile(0.99)
+             << ", \"max\": " << h.max_seen() << "}";
+          first = false;
+        });
+    if (!first) os << "\n    ";
+  }
+  os << "}\n  }\n}\n";
+}
+
+Status write_trace_json_file(const std::string& path, Tracer* tracer,
+                             const Metrics* metrics) {
+  std::ofstream out(path);
+  if (!out) {
+    return make_error(Errc::kHostFailure,
+                      "cannot open trace output file '" + path + "'");
+  }
+  write_trace_json(out, tracer, metrics);
+  return Status::ok_status();
+}
+
+}  // namespace csaw::obs

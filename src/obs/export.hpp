@@ -1,0 +1,36 @@
+// JSON export of a run's trace events and metric summaries.
+//
+// Schema (consumed by bench tooling; documented in DESIGN.md):
+//   {
+//     "epoch": "steady",
+//     "dropped": <events overwritten in full rings>,
+//     "events": [{"t_us": 12.5, "kind": "push_sent", "instance": "Act",
+//                 "junction": "j", "peer": "Aud", "label": "",
+//                 "seq": 3, "value_ns": 0}, ...],
+//     "metrics": {
+//       "counters": {"push_sent": 42, ...},
+//       "histograms": {"push_latency_ns": {"count": 42, "mean": ...,
+//                      "p50": ..., "p90": ..., "p99": ..., "max": ...}}
+//     }
+//   }
+// Timestamps are microseconds relative to the tracer's epoch. Either
+// argument may be null; the corresponding section is then empty.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/result.hpp"
+
+namespace csaw::obs {
+
+// Drains `tracer` (if non-null) and writes the combined JSON document.
+void write_trace_json(std::ostream& os, Tracer* tracer, const Metrics* metrics);
+
+// Same, to a file. kHostFailure if the file cannot be opened.
+Status write_trace_json_file(const std::string& path, Tracer* tracer,
+                             const Metrics* metrics);
+
+}  // namespace csaw::obs

@@ -1,0 +1,94 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+
+namespace csaw::obs {
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  if (value < kSub) return static_cast<std::size_t>(value);  // exact
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBits;
+  const std::uint64_t sub = (value >> shift) & (kSub - 1);
+  return (static_cast<std::size_t>(msb - kSubBits) + 1) * kSub +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t index) {
+  if (index < kSub) return index;
+  const std::size_t rest = index - kSub;
+  const int msb = kSubBits + static_cast<int>(rest / kSub);
+  const std::uint64_t sub = rest % kSub;
+  return (std::uint64_t{1} << msb) + (sub << (msb - kSubBits));
+}
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const auto n = count();
+  return n == 0 ? 0.0
+                : static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+                      static_cast<double>(n);
+}
+
+std::uint64_t Histogram::max_seen() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  const auto total = count();
+  if (total == 0) return 0.0;
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  const double target = q * static_cast<double>(total - 1);  // 0-based rank
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const auto n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    if (static_cast<double>(cum + n) > target) {
+      const std::uint64_t lower = bucket_lower(i);
+      const std::uint64_t upper =
+          i + 1 < kBuckets ? bucket_lower(i + 1) : lower + 1;
+      double frac =
+          (target - static_cast<double>(cum) + 0.5) / static_cast<double>(n);
+      frac = frac < 0.0 ? 0.0 : (frac > 1.0 ? 1.0 : frac);
+      return static_cast<double>(lower) +
+             frac * static_cast<double>(upper - lower);
+    }
+    cum += n;
+  }
+  return static_cast<double>(max_seen());
+}
+
+Counter& Metrics::counter(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Metrics::histogram(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace csaw::obs

@@ -1,0 +1,82 @@
+// Runtime observability: counters and log-bucketed latency histograms.
+//
+// A Metrics registry hands out named Counter and Histogram handles with
+// stable addresses; callers resolve a handle once (one mutex acquisition)
+// and then record lock-free through atomics. Histograms are log-linear
+// (power-of-two octaves split into 2^kSubBits linear sub-buckets), so a
+// recorded value lands in a bucket whose width is at most 1/2^kSubBits of
+// its magnitude -- quantile estimates carry that relative error bound,
+// which is plenty for p50/p90/p99 latency reporting.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace csaw::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Histogram {
+ public:
+  static constexpr int kSubBits = 3;  // 8 sub-buckets per octave
+  static constexpr std::size_t kSub = std::size_t{1} << kSubBits;
+  static constexpr std::size_t kBuckets = (64 - kSubBits) * kSub + kSub;
+
+  void record(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] std::uint64_t max_seen() const;
+  // Quantile q in [0,1], linearly interpolated inside the winning bucket.
+  [[nodiscard]] double quantile(double q) const;
+
+  static std::size_t bucket_index(std::uint64_t value);
+  static std::uint64_t bucket_lower(std::size_t index);
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// Named-handle registry. counter()/histogram() create on first use and are
+// safe to call concurrently; returned references stay valid for the
+// registry's lifetime.
+class Metrics {
+ public:
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  template <typename Fn>  // fn(const std::string&, const Counter&)
+  void for_each_counter(Fn&& fn) const {
+    std::scoped_lock lock(mu_);
+    for (const auto& [name, c] : counters_) fn(name, *c);
+  }
+  template <typename Fn>  // fn(const std::string&, const Histogram&)
+  void for_each_histogram(Fn&& fn) const {
+    std::scoped_lock lock(mu_);
+    for (const auto& [name, h] : histograms_) fn(name, *h);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace csaw::obs

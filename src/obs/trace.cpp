@@ -1,0 +1,102 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace csaw::obs {
+
+const char* trace_kind_name(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kJunctionScheduled: return "junction_scheduled";
+    case TraceEvent::Kind::kJunctionRan: return "junction_ran";
+    case TraceEvent::Kind::kJunctionBlocked: return "junction_blocked";
+    case TraceEvent::Kind::kPushSent: return "push_sent";
+    case TraceEvent::Kind::kPushAcked: return "push_acked";
+    case TraceEvent::Kind::kPushNacked: return "push_nacked";
+    case TraceEvent::Kind::kPushTimeout: return "push_timeout";
+    case TraceEvent::Kind::kInstanceStarted: return "instance_started";
+    case TraceEvent::Kind::kInstanceStopped: return "instance_stopped";
+    case TraceEvent::Kind::kInstanceCrashed: return "instance_crashed";
+    case TraceEvent::Kind::kInstanceRestarted: return "instance_restarted";
+    case TraceEvent::Kind::kKvApplied: return "kv_applied";
+    case TraceEvent::Kind::kCustom: return "custom";
+  }
+  return "unknown";
+}
+
+namespace {
+std::atomic<std::uint64_t> next_tracer_id{1};
+}  // namespace
+
+Tracer::Tracer(std::size_t per_thread_capacity)
+    : capacity_(std::max<std::size_t>(per_thread_capacity, 1)),
+      id_(next_tracer_id.fetch_add(1)),
+      epoch_(steady_now()) {}
+
+Tracer::Ring& Tracer::ring_for_this_thread() {
+  // Each thread caches its ring per tracer id. A ring outlives its thread
+  // (the tracer owns it), and a dead tracer's id is never looked up again
+  // (callers must keep sinks alive while recording), so entries are never
+  // invalidated -- only orphaned, which is harmless.
+  struct CacheEntry {
+    std::uint64_t tracer_id;
+    Ring* ring;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const auto& entry : cache) {
+    if (entry.tracer_id == id_) return *entry.ring;
+  }
+  std::scoped_lock lock(registry_mu_);
+  auto ring = std::make_unique<Ring>();
+  ring->slots.resize(capacity_);
+  rings_.push_back(std::move(ring));
+  cache.push_back(CacheEntry{id_, rings_.back().get()});
+  return *rings_.back();
+}
+
+void Tracer::record(const TraceEvent& event) {
+  Ring& ring = ring_for_this_thread();
+  std::scoped_lock lock(ring.mu);
+  TraceEvent stamped = event;
+  if (stamped.at == SteadyTime{}) stamped.at = steady_now();
+  ring.slots[ring.next] = stamped;
+  ring.next = (ring.next + 1) % capacity_;
+  if (ring.size < capacity_) {
+    ++ring.size;
+  } else {
+    ++ring.dropped;  // overwrote the oldest event
+  }
+}
+
+std::vector<TraceEvent> Tracer::drain() {
+  std::vector<TraceEvent> out;
+  std::scoped_lock registry_lock(registry_mu_);
+  for (auto& ring : rings_) {
+    std::scoped_lock lock(ring->mu);
+    // Oldest slot is `next` when full, 0 otherwise.
+    const std::size_t start =
+        ring->size == capacity_ ? ring->next : 0;
+    for (std::size_t i = 0; i < ring->size; ++i) {
+      out.push_back(ring->slots[(start + i) % capacity_]);
+    }
+    ring->next = 0;
+    ring->size = 0;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::scoped_lock registry_lock(registry_mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    std::scoped_lock lock(ring->mu);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+}  // namespace csaw::obs

@@ -1,0 +1,100 @@
+// Runtime observability: structured trace events.
+//
+// The runtime (and anything holding a JunctionEnv) emits typed TraceEvents
+// into a TraceSink. The stock sink is Tracer: per-thread ring buffers of
+// fixed capacity, so recording is one uncontended mutex acquisition plus a
+// slot write -- cheap enough to leave on under load, and bounded: when a
+// ring fills, the oldest events are overwritten (and counted as dropped).
+//
+// Event taxonomy (see DESIGN.md "Observability"):
+//   junction_scheduled / junction_ran / junction_blocked  -- scheduling
+//   push_sent / push_acked / push_nacked / push_timeout   -- messaging
+//   instance_started / _stopped / _crashed / _restarted   -- lifecycle
+//   kv_applied                                            -- table updates
+//   custom                                                -- app-defined
+//
+// Sinks are borrowed (never owned) by the runtime and must outlive it; a
+// null sink disables tracing at the cost of one branch per hook.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/clock.hpp"
+#include "support/symbol.hpp"
+
+namespace csaw::obs {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kJunctionScheduled,
+    kJunctionRan,
+    kJunctionBlocked,  // guard rejected a requested run
+    kPushSent,
+    kPushAcked,
+    kPushNacked,
+    kPushTimeout,
+    kInstanceStarted,
+    kInstanceStopped,
+    kInstanceCrashed,
+    kInstanceRestarted,
+    kKvApplied,
+    kCustom,
+  };
+
+  Kind kind = Kind::kCustom;
+  SteadyTime at{};
+  Symbol instance;  // primary subject
+  Symbol junction;
+  Symbol peer;      // other endpoint: push target instance, update sender...
+  Symbol label;     // kKvApplied: the key; kCustom: app-chosen name
+  std::uint64_t seq = 0;       // push sequence number (correlates send/ack)
+  std::uint64_t value_ns = 0;  // durations/latencies; app payload for custom
+};
+
+// JSON-friendly snake_case name ("push_sent", "junction_ran", ...).
+const char* trace_kind_name(TraceEvent::Kind kind);
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceEvent& event) = 0;
+};
+
+class Tracer : public TraceSink {
+ public:
+  explicit Tracer(std::size_t per_thread_capacity = 1 << 14);
+
+  void record(const TraceEvent& event) override;
+
+  // Removes and returns all buffered events, oldest first (merged across
+  // threads and sorted by timestamp).
+  std::vector<TraceEvent> drain();
+
+  // Events overwritten because a ring was full, since construction.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  // Construction time; exports report timestamps relative to this.
+  [[nodiscard]] SteadyTime epoch() const { return epoch_; }
+
+ private:
+  struct Ring {
+    std::mutex mu;
+    std::vector<TraceEvent> slots;  // capacity fixed at registration
+    std::size_t next = 0;           // insert position
+    std::size_t size = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  Ring& ring_for_this_thread();
+
+  const std::size_t capacity_;
+  const std::uint64_t id_;  // process-unique, keys the thread-local cache
+  SteadyTime epoch_;
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace csaw::obs

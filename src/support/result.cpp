@@ -10,6 +10,7 @@ const char* errc_name(Errc c) {
     case Errc::kTypeMismatch: return "type-mismatch";
     case Errc::kDecode: return "decode";
     case Errc::kTimeout: return "timeout";
+    case Errc::kGuardRejected: return "guard-rejected";
     case Errc::kUnreachable: return "unreachable";
     case Errc::kLifecycle: return "lifecycle";
     case Errc::kVerifyFailed: return "verify-failed";

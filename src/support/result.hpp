@@ -22,6 +22,7 @@ enum class Errc {
   kTypeMismatch,     // serialization type tag mismatch
   kDecode,           // malformed byte stream
   kTimeout,          // deadline expired (otherwise[t])
+  kGuardRejected,    // call()'s junction evaluated its guard to false
   kUnreachable,      // target instance stopped/crashed/partitioned
   kLifecycle,        // start of a started instance, stop of a stopped one
   kVerifyFailed,     // `verify` formula was false (or undecidable)

@@ -63,9 +63,10 @@ TEST(Runtime, PushIsAckedAndDrivesGuardedJunction) {
   Runtime rt;
   rt.add_instance(echo_instance("a", &runs));
   ASSERT_TRUE(rt.start(Symbol("a")).ok());
-  auto st = rt.push(JunctionAddr{Symbol("a"), Symbol("j")},
-                    Update::assert_prop(kWork),
-                    Deadline::after(std::chrono::seconds(5)), Symbol("test"));
+  auto st = rt.push({.to = {Symbol("a"), Symbol("j")},
+                     .update = Update::assert_prop(kWork),
+                     .deadline = Deadline::after(std::chrono::seconds(5)),
+                     .from = Symbol("test")});
   ASSERT_TRUE(st.ok()) << st.error().to_string();
   // The ack means the table applied the update; the run follows shortly.
   for (int i = 0; i < 200 && runs.load() == 0; ++i) {
@@ -77,9 +78,10 @@ TEST(Runtime, PushIsAckedAndDrivesGuardedJunction) {
 TEST(Runtime, PushToDownInstanceNacksWhenConfigured) {
   Runtime rt;  // nack_when_down defaults to true
   rt.add_instance(echo_instance("a"));
-  auto st = rt.push(JunctionAddr{Symbol("a"), Symbol("j")},
-                    Update::assert_prop(kWork),
-                    Deadline::after(std::chrono::seconds(5)), Symbol("test"));
+  auto st = rt.push({.to = {Symbol("a"), Symbol("j")},
+                     .update = Update::assert_prop(kWork),
+                     .deadline = Deadline::after(std::chrono::seconds(5)),
+                     .from = Symbol("test")});
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.error().code, Errc::kUnreachable);
 }
@@ -90,10 +92,10 @@ TEST(Runtime, PushToDownInstanceTimesOutInDistributedMode) {
   Runtime rt(opts);
   rt.add_instance(echo_instance("a"));
   const auto before = steady_now();
-  auto st = rt.push(JunctionAddr{Symbol("a"), Symbol("j")},
-                    Update::assert_prop(kWork),
-                    Deadline::after(std::chrono::milliseconds(80)),
-                    Symbol("test"));
+  auto st = rt.push({.to = {Symbol("a"), Symbol("j")},
+                     .update = Update::assert_prop(kWork),
+                     .deadline = Deadline::after(std::chrono::milliseconds(80)),
+                     .from = Symbol("test")});
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.error().code, Errc::kTimeout);
   EXPECT_GE(steady_now() - before, std::chrono::milliseconds(75));
@@ -103,9 +105,10 @@ TEST(Runtime, PushToUnknownJunctionNacks) {
   Runtime rt;
   rt.add_instance(echo_instance("a"));
   ASSERT_TRUE(rt.start(Symbol("a")).ok());
-  auto st = rt.push(JunctionAddr{Symbol("a"), Symbol("nope")},
-                    Update::assert_prop(kWork),
-                    Deadline::after(std::chrono::seconds(5)), Symbol("test"));
+  auto st = rt.push({.to = {Symbol("a"), Symbol("nope")},
+                     .update = Update::assert_prop(kWork),
+                     .deadline = Deadline::after(std::chrono::seconds(5)),
+                     .from = Symbol("test")});
   EXPECT_FALSE(st.ok());
 }
 
@@ -115,9 +118,10 @@ TEST(Runtime, FireAndForgetModeNeverBlocks) {
   Runtime rt(opts);
   rt.add_instance(echo_instance("a"));
   // Target is down; the push still "succeeds" (failure is undetectable).
-  auto st = rt.push(JunctionAddr{Symbol("a"), Symbol("j")},
-                    Update::assert_prop(kWork), Deadline::infinite(),
-                    Symbol("test"));
+  auto st = rt.push({.to = {Symbol("a"), Symbol("j")},
+                     .update = Update::assert_prop(kWork),
+                     .deadline = Deadline::infinite(),
+                     .from = Symbol("test")});
   EXPECT_TRUE(st.ok());
 }
 
@@ -129,9 +133,10 @@ TEST(Runtime, LinkLatencyDelaysDelivery) {
   rt.add_instance(echo_instance("a", &runs));
   ASSERT_TRUE(rt.start(Symbol("a")).ok());
   const auto before = steady_now();
-  auto st = rt.push(JunctionAddr{Symbol("a"), Symbol("j")},
-                    Update::assert_prop(kWork),
-                    Deadline::after(std::chrono::seconds(5)), Symbol("test"));
+  auto st = rt.push({.to = {Symbol("a"), Symbol("j")},
+                     .update = Update::assert_prop(kWork),
+                     .deadline = Deadline::after(std::chrono::seconds(5)),
+                     .from = Symbol("test")});
   ASSERT_TRUE(st.ok());
   // Round trip: update latency + ack latency.
   EXPECT_GE(steady_now() - before, std::chrono::milliseconds(110));
@@ -144,17 +149,18 @@ TEST(Runtime, PartitionMakesPeerUnreachable) {
   rt.add_instance(echo_instance("a"));
   ASSERT_TRUE(rt.start(Symbol("a")).ok());
   rt.router().set_partition(Symbol("test"), Symbol("a"), true);
-  auto st = rt.push(JunctionAddr{Symbol("a"), Symbol("j")},
-                    Update::assert_prop(kWork),
-                    Deadline::after(std::chrono::milliseconds(60)),
-                    Symbol("test"));
+  auto st = rt.push({.to = {Symbol("a"), Symbol("j")},
+                     .update = Update::assert_prop(kWork),
+                     .deadline = Deadline::after(std::chrono::milliseconds(60)),
+                     .from = Symbol("test")});
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.error().code, Errc::kTimeout);
   // Heal the partition: reachable again.
   rt.router().set_partition(Symbol("test"), Symbol("a"), false);
-  EXPECT_TRUE(rt.push(JunctionAddr{Symbol("a"), Symbol("j")},
-                      Update::assert_prop(kWork),
-                      Deadline::after(std::chrono::seconds(5)), Symbol("test"))
+  EXPECT_TRUE(rt.push({.to = {Symbol("a"), Symbol("j")},
+                       .update = Update::assert_prop(kWork),
+                       .deadline = Deadline::after(std::chrono::seconds(5)),
+                       .from = Symbol("test")})
                   .ok());
 }
 
@@ -165,10 +171,10 @@ TEST(Runtime, DropProbabilityLosesMessages) {
   Runtime rt(opts);
   rt.add_instance(echo_instance("a"));
   ASSERT_TRUE(rt.start(Symbol("a")).ok());
-  auto st = rt.push(JunctionAddr{Symbol("a"), Symbol("j")},
-                    Update::assert_prop(kWork),
-                    Deadline::after(std::chrono::milliseconds(50)),
-                    Symbol("test"));
+  auto st = rt.push({.to = {Symbol("a"), Symbol("j")},
+                     .update = Update::assert_prop(kWork),
+                     .deadline = Deadline::after(std::chrono::milliseconds(50)),
+                     .from = Symbol("test")});
   EXPECT_FALSE(st.ok());
   EXPECT_GE(rt.router().counters().dropped, 1u);
 }
@@ -212,6 +218,41 @@ TEST(Runtime, ManualSchedulingViaCall) {
   }
   EXPECT_EQ(runs.load(), 3);
   EXPECT_EQ(rt.runs_completed(Symbol("m"), Symbol("j")), 3u);
+}
+
+TEST(Runtime, CallDistinguishesGuardRejectionFromTimeout) {
+  // A manual junction whose guard requires Work: calling it while Work is
+  // false must fail with kGuardRejected (the junction saw the request and
+  // said no), not kTimeout (the junction never got a chance).
+  JunctionDesc j;
+  j.name = Symbol("j");
+  j.table_spec.props = {{kWork, false}};
+  j.guard = [](const KvTable& t, const RuntimeView&) { return *t.prop(kWork); };
+  j.body = [](JunctionEnv&) {};
+  j.auto_schedule = false;
+  InstanceDesc d;
+  d.name = Symbol("g");
+  d.type = Symbol("guarded");
+  d.junctions.push_back(std::move(j));
+
+  RuntimeOptions opts;
+  opts.idle_poll = std::chrono::milliseconds(5);  // re-evaluate guard quickly
+  Runtime rt(opts);
+  rt.add_instance(std::move(d));
+  ASSERT_TRUE(rt.start(Symbol("g")).ok());
+
+  auto rejected = rt.call(Symbol("g"), Symbol("j"),
+                          Deadline::after(std::chrono::milliseconds(150)));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, Errc::kGuardRejected);
+
+  // With the guard satisfied, the same call succeeds.
+  ASSERT_TRUE(rt.table(Symbol("g"), Symbol("j"))
+                  .set_prop_local(kWork, true)
+                  .ok());
+  EXPECT_TRUE(rt.call(Symbol("g"), Symbol("j"),
+                      Deadline::after(std::chrono::seconds(5)))
+                  .ok());
 }
 
 TEST(Runtime, RemotePropReadsRequireRunningInstance) {

@@ -9,6 +9,8 @@
 #include "core/builder.hpp"
 #include "core/compile.hpp"
 #include "core/interp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "patterns/snapshot.hpp"
 
 namespace csaw {
@@ -124,6 +126,70 @@ TEST(FaultInjection, RetriedFlagRetriesRemoteRetraction) {
   const auto& aud_stats = fx.engine->stats(addr("Aud", "j"));
   // The retry path ran at least once across 10 half-lossy rounds.
   EXPECT_GT(aud_stats.runs.load(), 0u);
+}
+
+TEST(FaultInjection, TimedOutPushesAreTracedAndCounted) {
+  // Partitioned link + silent failure mode: the snapshot's write/assert to
+  // Aud expires its deadline. Every such push must surface as a
+  // push_timeout event and bump the push_timeout counter.
+  obs::Tracer tracer;
+  obs::Metrics metrics;
+  RuntimeOptions ropts;
+  ropts.nack_when_down = false;
+  ropts.trace_sink = &tracer;
+  ropts.metrics = &metrics;
+  Fixture fx(ropts, /*timeout_ms=*/120);
+  fx.engine->runtime().router().set_partition(Symbol("Act"), Symbol("Aud"),
+                                              true);
+  ASSERT_TRUE(fx.snapshot_once().ok());
+  EXPECT_GE(fx.counters->complaints.load(), 1);
+
+  EXPECT_GE(metrics.counter("push_timeout").value(), 1u);
+  int timeouts = 0, sends = 0;
+  for (const auto& e : tracer.drain()) {
+    if (e.kind == obs::TraceEvent::Kind::kPushTimeout) {
+      ++timeouts;
+      EXPECT_EQ(e.instance, Symbol("Act"));  // the sender
+      EXPECT_EQ(e.peer, Symbol("Aud"));      // the unreachable target
+      EXPECT_GT(e.seq, 0u);                  // ack'd pushes carry a seq
+    }
+    if (e.kind == obs::TraceEvent::Kind::kPushSent) ++sends;
+  }
+  EXPECT_GE(timeouts, 1);
+  EXPECT_GE(sends, timeouts);  // every timeout had a matching send
+}
+
+TEST(FaultInjection, NackedPushesAreTracedAndCounted) {
+  // Crash the auditor with nack-when-down enabled: Act's next write is
+  // refused immediately (the nack path, not the timeout path) and must be
+  // traced as push_nacked.
+  obs::Tracer tracer;
+  obs::Metrics metrics;
+  RuntimeOptions ropts;
+  ropts.nack_when_down = true;
+  ropts.trace_sink = &tracer;
+  ropts.metrics = &metrics;
+  Fixture fx(ropts, /*timeout_ms=*/150);
+  fx.engine->runtime().crash(Symbol("Aud"));
+  ASSERT_TRUE(fx.snapshot_once().ok());
+  EXPECT_GE(fx.counters->complaints.load(), 1);
+
+  EXPECT_GE(metrics.counter("push_nacked").value(), 1u);
+  EXPECT_EQ(metrics.counter("push_timeout").value(), 0u);
+  bool saw_nack = false, saw_crash = false;
+  for (const auto& e : tracer.drain()) {
+    if (e.kind == obs::TraceEvent::Kind::kPushNacked) {
+      saw_nack = true;
+      EXPECT_EQ(e.instance, Symbol("Act"));
+      EXPECT_EQ(e.peer, Symbol("Aud"));
+    }
+    if (e.kind == obs::TraceEvent::Kind::kInstanceCrashed) {
+      saw_crash = true;
+      EXPECT_EQ(e.instance, Symbol("Aud"));
+    }
+  }
+  EXPECT_TRUE(saw_nack);
+  EXPECT_TRUE(saw_crash);
 }
 
 }  // namespace

@@ -119,10 +119,11 @@ TEST(TcpTransport, NackTravelsOverSockets) {
   opts.runtime.transport = Transport::kTcpLoopback;
   Engine engine(std::move(compiled).value(), HostBindings{}, opts);
   ASSERT_TRUE(engine.run_main().ok());
-  auto st = engine.runtime().push(addr("a", "j"),
-                                  Update::assert_prop(Symbol("P")),
-                                  Deadline::after(std::chrono::seconds(5)),
-                                  Symbol("test"));
+  auto st = engine.runtime().push(
+      {.to = addr("a", "j"),
+       .update = Update::assert_prop(Symbol("P")),
+       .deadline = Deadline::after(std::chrono::seconds(5)),
+       .from = Symbol("test")});
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.error().code, Errc::kUnreachable);
 }
