@@ -14,10 +14,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "obs/collect.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -45,39 +47,70 @@ struct Config {
   }
 };
 
-// Optional observability session, enabled by `--trace-out <path>` on the
-// bench command line. When enabled, the bench passes sink()/metrics() into
-// the service under test and calls finish() before exiting, which drains
-// the tracer and writes the combined JSON document (schema: obs/export.hpp).
-// When disabled, sink()/metrics() are null and the run is untraced -- the
-// default, so timing figures are unaffected.
+// Optional observability session, enabled by `--trace-out <path>` and/or
+// `--perfetto-out <path>` on the bench command line. When enabled, the bench
+// passes sink()/metrics() into the service under test and calls finish()
+// before exiting, which drains the tracer once and writes the requested
+// exports: --trace-out gets the combined JSON document (schema:
+// obs/export.hpp), --perfetto-out gets Chrome/Perfetto trace-event JSON
+// (open at https://ui.perfetto.dev; same format csaw-trace merges across
+// instances). When disabled, sink()/metrics() are null and the run is
+// untraced -- the default, so timing figures are unaffected.
 class ObsSession {
  public:
   ObsSession(int argc, char** argv) {
     for (int i = 1; i + 1 < argc; ++i) {
       if (std::strcmp(argv[i], "--trace-out") == 0) path_ = argv[i + 1];
+      if (std::strcmp(argv[i], "--perfetto-out") == 0) {
+        perfetto_path_ = argv[i + 1];
+      }
     }
   }
 
-  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+  [[nodiscard]] bool enabled() const {
+    return !path_.empty() || !perfetto_path_.empty();
+  }
   obs::TraceSink* sink() { return enabled() ? &tracer_ : nullptr; }
   obs::Metrics* metrics() { return enabled() ? &metrics_ : nullptr; }
 
-  // Writes the JSON document; returns false (after printing the error) if
-  // the output file cannot be written.
+  // Writes the requested documents; returns false (after printing the
+  // error) if an output file cannot be written.
   bool finish() {
     if (!enabled()) return true;
-    auto st = obs::write_trace_json_file(path_, &tracer_, &metrics_);
-    if (!st.ok()) {
-      std::fprintf(stderr, "--trace-out: %s\n", st.error().to_string().c_str());
-      return false;
+    // Drain once: occupancy/drop stats must be captured before the drain,
+    // and both exports consume the same event list.
+    const auto buffers = tracer_.buffer_stats();
+    const std::uint64_t dropped = tracer_.dropped();
+    const std::vector<obs::TraceEvent> events = tracer_.drain();
+    bool ok = true;
+    if (!path_.empty()) {
+      std::ofstream out(path_);
+      if (!out) {
+        std::fprintf(stderr, "--trace-out: cannot open %s\n", path_.c_str());
+        ok = false;
+      } else {
+        obs::write_trace_json(out, events, tracer_.epoch(), dropped, buffers,
+                              &metrics_);
+        std::printf("# trace written to %s\n", path_.c_str());
+      }
     }
-    std::printf("# trace written to %s\n", path_.c_str());
-    return true;
+    if (!perfetto_path_.empty()) {
+      auto st = obs::write_perfetto_json_file(perfetto_path_, events);
+      if (!st.ok()) {
+        std::fprintf(stderr, "--perfetto-out: %s\n",
+                     st.error().to_string().c_str());
+        ok = false;
+      } else {
+        std::printf("# perfetto trace written to %s\n",
+                    perfetto_path_.c_str());
+      }
+    }
+    return ok;
   }
 
  private:
   std::string path_;
+  std::string perfetto_path_;
   obs::Tracer tracer_;
   obs::Metrics metrics_;
 };

@@ -87,6 +87,7 @@ CheckpointedService::CheckpointedService(Options options) {
   eopts.runtime.default_link = options.link;
   eopts.runtime.trace_sink = options.trace_sink;
   eopts.runtime.metrics = options.metrics;
+  eopts.runtime.metrics_http_port = options.metrics_http_port;
   engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
                                      eopts);
   const auto cost = options.op_cost_ns;
@@ -125,6 +126,10 @@ Status CheckpointedService::crash_and_resume() {
   auto act = act_;
   std::scoped_lock lock(act->mu);
   return act->store.restore(image);
+}
+
+int CheckpointedService::metrics_http_port() const {
+  return engine_->runtime().metrics_http_port();
 }
 
 std::size_t CheckpointedService::checkpoints_taken() const {
@@ -213,6 +218,7 @@ ShardedService::ShardedService(Options options) : options_(std::move(options)) {
   eopts.runtime.default_link = options_.link;
   eopts.runtime.trace_sink = options_.trace_sink;
   eopts.runtime.metrics = options_.metrics;
+  eopts.runtime.metrics_http_port = options_.metrics_http_port;
   engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
                                      eopts);
   engine_->set_state(Symbol(popts.front_instance), front_);
@@ -251,6 +257,10 @@ Result<Response> ShardedService::request(const Command& command) {
   auto resp = front_->responses.pop(Deadline::after(kCallDeadline));
   if (!resp) return make_error(Errc::kTimeout, "no response from shard");
   return *resp;
+}
+
+int ShardedService::metrics_http_port() const {
+  return engine_->runtime().metrics_http_port();
 }
 
 std::vector<std::uint64_t> ShardedService::shard_counts() const {
@@ -368,6 +378,7 @@ CachedService::CachedService(Options options) : options_(std::move(options)) {
   eopts.runtime.default_link = options_.link;
   eopts.runtime.trace_sink = options_.trace_sink;
   eopts.runtime.metrics = options_.metrics;
+  eopts.runtime.metrics_http_port = options_.metrics_http_port;
   engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
                                      eopts);
   engine_->set_state(Symbol("Cache"), cache_);
@@ -382,6 +393,10 @@ Result<Response> CachedService::request(const Command& command) {
   auto resp = cache_->responses.pop(Deadline::after(kCallDeadline));
   if (!resp) return make_error(Errc::kTimeout, "no response");
   return *resp;
+}
+
+int CachedService::metrics_http_port() const {
+  return engine_->runtime().metrics_http_port();
 }
 
 std::uint64_t CachedService::hits() const { return cache_->hits.load(); }

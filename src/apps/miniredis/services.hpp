@@ -66,6 +66,9 @@ class CheckpointedService : public Service {
     // both borrowed and must outlive the service.
     obs::TraceSink* trace_sink = nullptr;
     obs::Metrics* metrics = nullptr;
+    // -1 = no HTTP endpoint; 0 = ephemeral port; >0 = fixed port. Needs
+    // `metrics` set. The bound port is metrics_http_port().
+    int metrics_http_port = -1;
   };
 
   CheckpointedService() : CheckpointedService(make_default_options()) {}
@@ -85,6 +88,8 @@ class CheckpointedService : public Service {
 
   [[nodiscard]] std::size_t checkpoints_taken() const;
   [[nodiscard]] std::size_t keyspace_size() const;
+  // Bound /metrics port, or -1 when the HTTP endpoint is disabled.
+  [[nodiscard]] int metrics_http_port() const;
 
  private:
   static Options make_default_options();
@@ -112,6 +117,9 @@ class ShardedService : public Service {
     // Optional observability taps (borrowed; must outlive the service).
     obs::TraceSink* trace_sink = nullptr;
     obs::Metrics* metrics = nullptr;
+    // -1 = no HTTP endpoint; 0 = ephemeral port; >0 = fixed port. Needs
+    // `metrics` set. The bound port is metrics_http_port().
+    int metrics_http_port = -1;
   };
 
   ShardedService() : ShardedService(make_default_options()) {}
@@ -128,6 +136,8 @@ class ShardedService : public Service {
   [[nodiscard]] std::size_t shard_of(const Command& command) const;
   // Per-shard processed-request counters.
   [[nodiscard]] std::vector<std::uint64_t> shard_counts() const;
+  // Bound /metrics port, or -1 when the HTTP endpoint is disabled.
+  [[nodiscard]] int metrics_http_port() const;
 
  private:
   struct FrontState;
@@ -151,6 +161,9 @@ class CachedService : public Service {
     // Optional observability taps (borrowed; must outlive the service).
     obs::TraceSink* trace_sink = nullptr;
     obs::Metrics* metrics = nullptr;
+    // -1 = no HTTP endpoint; 0 = ephemeral port; >0 = fixed port. Needs
+    // `metrics` set. The bound port is metrics_http_port().
+    int metrics_http_port = -1;
   };
 
   CachedService() : CachedService(make_default_options()) {}
@@ -164,6 +177,8 @@ class CachedService : public Service {
 
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
+  // Bound /metrics port, or -1 when the HTTP endpoint is disabled.
+  [[nodiscard]] int metrics_http_port() const;
 
  private:
   struct CacheState;

@@ -58,6 +58,7 @@ CheckpointedService::CheckpointedService(Options options) {
   EngineOptions eopts;
   eopts.runtime.trace_sink = options.trace_sink;
   eopts.runtime.metrics = options.metrics;
+  eopts.runtime.metrics_http_port = options.metrics_http_port;
   engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
                                      eopts);
   const auto cost = options.cost_ns;
@@ -93,6 +94,10 @@ Status CheckpointedService::crash_and_resume() {
   auto act = act_;
   std::scoped_lock lock(act->mu);
   return act->pipeline.restore(image);
+}
+
+int CheckpointedService::metrics_http_port() const {
+  return engine_->runtime().metrics_http_port();
 }
 
 std::size_t CheckpointedService::flow_count() const {
@@ -163,6 +168,7 @@ SteeredService::SteeredService(Options options) : options_(options) {
   EngineOptions eopts;
   eopts.runtime.trace_sink = options_.trace_sink;
   eopts.runtime.metrics = options_.metrics;
+  eopts.runtime.metrics_http_port = options_.metrics_http_port;
   engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
                                      eopts);
   engine_->set_state(Symbol(popts.front_instance), front_);
@@ -194,6 +200,10 @@ Status SteeredService::flush() {
     CSAW_TRY(engine_->call("Fnt", "j", Deadline::after(kCallDeadline)));
   }
   return Status::ok_status();
+}
+
+int SteeredService::metrics_http_port() const {
+  return engine_->runtime().metrics_http_port();
 }
 
 std::vector<std::uint64_t> SteeredService::shard_packet_counts() const {

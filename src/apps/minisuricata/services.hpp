@@ -41,6 +41,9 @@ class CheckpointedService {
     // both borrowed and must outlive the service.
     obs::TraceSink* trace_sink = nullptr;
     obs::Metrics* metrics = nullptr;
+    // -1 = no HTTP endpoint; 0 = ephemeral port; >0 = fixed port. Needs
+    // `metrics` set. The bound port is metrics_http_port().
+    int metrics_http_port = -1;
   };
 
   CheckpointedService() : CheckpointedService(make_default_options()) {}
@@ -50,6 +53,8 @@ class CheckpointedService {
   Status checkpoint();
   Status crash_and_resume();
   [[nodiscard]] std::size_t flow_count() const;
+  // Bound /metrics port, or -1 when the HTTP endpoint is disabled.
+  [[nodiscard]] int metrics_http_port() const;
 
  private:
   static Options make_default_options();
@@ -73,6 +78,9 @@ class SteeredService {
     // Optional observability taps (borrowed; must outlive the service).
     obs::TraceSink* trace_sink = nullptr;
     obs::Metrics* metrics = nullptr;
+    // -1 = no HTTP endpoint; 0 = ephemeral port; >0 = fixed port. Needs
+    // `metrics` set. The bound port is metrics_http_port().
+    int metrics_http_port = -1;
   };
 
   SteeredService() : SteeredService(make_default_options()) {}
@@ -83,6 +91,8 @@ class SteeredService {
   Status flush();
 
   [[nodiscard]] std::vector<std::uint64_t> shard_packet_counts() const;
+  // Bound /metrics port, or -1 when the HTTP endpoint is disabled.
+  [[nodiscard]] int metrics_http_port() const;
   [[nodiscard]] std::size_t shard_of(const Packet& p) const {
     return p.tuple.hash() % options_.shards;
   }

@@ -2,9 +2,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "kv/update.hpp"
+#include "obs/trace.hpp"
 #include "support/clock.hpp"
 #include "support/symbol.hpp"
 
@@ -33,6 +35,12 @@ struct Envelope {
   bool nack = false;           // kAck: true if delivery failed
   std::string nack_reason;
   SteadyTime deliver_at{};     // set by the router
+  // Distributed-trace context: the sending push's span plus the sender's
+  // hybrid-logical-clock reading at send time. Acks echo the original
+  // push's context so the sender's clock merges the receiver's time.
+  // Absent when the sender traces nothing (and on frames from builds that
+  // predate the field -- see wire.cpp for the compatibility rule).
+  std::optional<obs::TraceContext> ctx;
 };
 
 }  // namespace csaw

@@ -3,6 +3,7 @@
 #include "compart/tcp.hpp"
 
 #include <algorithm>
+#include <random>
 
 #include "support/check.hpp"
 
@@ -12,7 +13,38 @@ namespace {
 // Poll slice while awaiting acks so that crash/stop abort flags are noticed
 // even under an infinite deadline.
 constexpr auto kAckPollSlice = std::chrono::milliseconds(5);
+
+// The junction run currently executing on this thread, if any: its span is
+// the causal parent of every push the body makes.
+thread_local obs::TraceContext t_active_ctx;
+
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(obs::TraceContext ctx) : saved_(t_active_ctx) {
+    t_active_ctx = ctx;
+  }
+  ~ScopedTraceContext() { t_active_ctx = saved_; }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  obs::TraceContext saved_;
+};
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 }  // namespace
+
+obs::TraceContext Runtime::current_context() { return t_active_ctx; }
+
+std::uint64_t Runtime::new_trace_id() {
+  const auto id = splitmix64(id_base_ + next_id_.fetch_add(1));
+  return id != 0 ? id : 1;
+}
 
 bool RuntimeView::instance_running(Symbol instance) const {
   return rt_->is_running(instance);
@@ -39,6 +71,15 @@ Result<bool> RuntimeView::remote_prop(const JunctionAddr& at,
 }
 
 Runtime::Runtime(RuntimeOptions options) : options_(options) {
+  {
+    std::random_device rd;
+    id_base_ = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }
+  if (options_.metrics_http_port >= 0 && options_.metrics != nullptr) {
+    exposer_ = std::make_unique<obs::HttpExposer>(
+        options_.metrics, dynamic_cast<obs::Tracer*>(options_.trace_sink),
+        options_.metrics_http_port);
+  }
   if (options_.metrics != nullptr) {
     auto& m = *options_.metrics;
     ins_.push_sent = &m.counter("push_sent");
@@ -74,11 +115,17 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
 
 Runtime::~Runtime() { shutdown(); }
 
+void Runtime::record_event(obs::TraceEvent e) {
+  auto* sink = options_.trace_sink;
+  if (sink == nullptr) return;
+  if (!e.hlc.valid()) e.hlc = hlc_.tick();
+  sink->record(e);
+}
+
 void Runtime::trace(obs::TraceEvent::Kind kind, Symbol instance,
                     Symbol junction, Symbol peer, std::uint64_t seq,
                     std::uint64_t value_ns) {
-  auto* sink = options_.trace_sink;
-  if (sink == nullptr) return;
+  if (options_.trace_sink == nullptr) return;
   obs::TraceEvent e;
   e.kind = kind;
   e.instance = instance;
@@ -86,7 +133,7 @@ void Runtime::trace(obs::TraceEvent::Kind kind, Symbol instance,
   e.peer = peer;
   e.seq = seq;
   e.value_ns = value_ns;
-  sink->record(e);
+  record_event(std::move(e));
 }
 
 void Runtime::add_instance(InstanceDesc desc) {
@@ -226,9 +273,39 @@ Status Runtime::push(PushRequest req) {
   env.to = req.to;
   env.update = std::move(req.update);
 
+  // Span of this push within the ambient distributed trace: child of the
+  // junction run executing on this thread (if any), root of a fresh trace
+  // otherwise. The context rides in the envelope so the receiver can chain.
+  const bool tracing = options_.trace_sink != nullptr;
+  obs::TraceContext span;
+  std::uint64_t parent_span = 0;
+  if (tracing) {
+    const obs::TraceContext active = t_active_ctx;
+    span.trace_id = active.valid() ? active.trace_id : new_trace_id();
+    span.span_id = new_trace_id();
+    span.hlc = hlc_.tick();
+    parent_span = active.span_id;
+    env.ctx = span;
+  }
+  const auto push_event = [&](obs::TraceEvent::Kind kind, std::uint64_t seq,
+                              std::uint64_t dt) {
+    if (!tracing) return;
+    obs::TraceEvent e;
+    e.kind = kind;
+    e.instance = req.from;
+    e.junction = req.to.junction;
+    e.peer = req.to.instance;
+    e.seq = seq;
+    e.value_ns = dt;
+    e.trace_id = span.trace_id;
+    e.span_id = span.span_id;
+    e.parent_span = parent_span;
+    if (kind == obs::TraceEvent::Kind::kPushSent) e.hlc = span.hlc;
+    record_event(std::move(e));
+  };
+
   // Timing is only measured when someone will consume it.
-  const bool observed =
-      options_.trace_sink != nullptr || ins_.push_latency_ns != nullptr;
+  const bool observed = tracing || ins_.push_latency_ns != nullptr;
   const SteadyTime t0 = observed ? steady_now() : SteadyTime{};
   const auto elapsed_ns = [&] {
     return observed
@@ -241,8 +318,7 @@ Status Runtime::push(PushRequest req) {
   if (!options_.acks_enabled) {
     env.seq = 0;  // no ack requested
     if (ins_.push_sent != nullptr) ins_.push_sent->add();
-    trace(obs::TraceEvent::Kind::kPushSent, req.from, req.to.junction,
-          req.to.instance);
+    push_event(obs::TraceEvent::Kind::kPushSent, 0, 0);
     router_->send(std::move(env), payload);
     return Status::ok_status();
   }
@@ -254,8 +330,7 @@ Status Runtime::push(PushRequest req) {
     pending_acks_.insert(seq);
   }
   if (ins_.push_sent != nullptr) ins_.push_sent->add();
-  trace(obs::TraceEvent::Kind::kPushSent, req.from, req.to.junction,
-        req.to.instance, seq);
+  push_event(obs::TraceEvent::Kind::kPushSent, seq, 0);
   router_->send(std::move(env), payload);
 
   std::unique_lock lock(ack_mu_);
@@ -269,12 +344,10 @@ Status Runtime::push(PushRequest req) {
       if (st.ok()) {
         if (ins_.push_acked != nullptr) ins_.push_acked->add();
         if (ins_.push_latency_ns != nullptr) ins_.push_latency_ns->record(dt);
-        trace(obs::TraceEvent::Kind::kPushAcked, req.from, req.to.junction,
-              req.to.instance, seq, dt);
+        push_event(obs::TraceEvent::Kind::kPushAcked, seq, dt);
       } else {
         if (ins_.push_nacked != nullptr) ins_.push_nacked->add();
-        trace(obs::TraceEvent::Kind::kPushNacked, req.from, req.to.junction,
-              req.to.instance, seq, dt);
+        push_event(obs::TraceEvent::Kind::kPushNacked, seq, dt);
       }
       return st;
     }
@@ -283,16 +356,14 @@ Status Runtime::push(PushRequest req) {
       lock.unlock();
       // Sender-side failure: classified with the nacks, not the timeouts.
       if (ins_.push_nacked != nullptr) ins_.push_nacked->add();
-      trace(obs::TraceEvent::Kind::kPushNacked, req.from, req.to.junction,
-            req.to.instance, seq, elapsed_ns());
+      push_event(obs::TraceEvent::Kind::kPushNacked, seq, elapsed_ns());
       return make_error(Errc::kUnreachable, "sender aborted while pushing");
     }
     if (req.deadline.expired()) {
       pending_acks_.erase(seq);
       lock.unlock();
       if (ins_.push_timeout != nullptr) ins_.push_timeout->add();
-      trace(obs::TraceEvent::Kind::kPushTimeout, req.from, req.to.junction,
-            req.to.instance, seq, elapsed_ns());
+      push_event(obs::TraceEvent::Kind::kPushTimeout, seq, elapsed_ns());
       return make_error(
           Errc::kTimeout,
           "no ack from " + req.to.qualified() + " before deadline");
@@ -300,12 +371,6 @@ Status Runtime::push(PushRequest req) {
     const auto slice = Deadline::after(kAckPollSlice).min(req.deadline);
     ack_cv_.wait_until(lock, slice.when());
   }
-}
-
-Status Runtime::push(const JunctionAddr& to, Update update, Deadline deadline,
-                     Symbol from_instance, const std::atomic<bool>* abort) {
-  return push(PushRequest{to, std::move(update), deadline, from_instance,
-                          abort});
 }
 
 Status Runtime::inject(const JunctionAddr& to, Update update) {
@@ -486,11 +551,34 @@ void Runtime::junction_loop(InstanceRt& inst, JunctionRt& jrt) {
       if (jrt.pending_schedules == 0) continue;
       --jrt.pending_schedules;
     }
+    // This run's span: child of the most recently delivered traced push (a
+    // cross-instance edge), root of a fresh trace otherwise. The body's own
+    // pushes nest under it via the thread-local context.
+    const bool tracing = options_.trace_sink != nullptr;
+    obs::TraceContext run_ctx;
+    std::uint64_t cause_span = 0;
+    if (tracing) {
+      obs::TraceContext cause;
+      {
+        std::scoped_lock lock(inst.mu);
+        cause = jrt.last_delivered;
+        jrt.last_delivered = {};
+      }
+      run_ctx.trace_id = cause.valid() ? cause.trace_id : new_trace_id();
+      run_ctx.span_id = new_trace_id();
+      // The run span's HLC is taken *before* the body: pushes made inside
+      // the body are its children and must not timestamp before it.
+      run_ctx.hlc = hlc_.tick();
+      cause_span = cause.span_id;
+    }
     jrt.table->begin_run();
     const SteadyTime t0 = timed ? steady_now() : SteadyTime{};
     JunctionEnv env(*this, inst.desc.name, jrt.desc.name, *jrt.table,
                     inst.abort);
-    jrt.desc.body(env);
+    {
+      ScopedTraceContext scope(run_ctx);
+      jrt.desc.body(env);
+    }
     jrt.table->end_run();
     {
       std::scoped_lock lock(inst.mu);
@@ -502,8 +590,16 @@ void Runtime::junction_loop(InstanceRt& inst, JunctionRt& jrt) {
       const auto dt = static_cast<std::uint64_t>(
           std::chrono::duration_cast<Nanos>(steady_now() - t0).count());
       if (ins_.junction_run_ns != nullptr) ins_.junction_run_ns->record(dt);
-      trace(obs::TraceEvent::Kind::kJunctionRan, inst.desc.name, jrt.desc.name,
-            {}, 0, dt);
+      obs::TraceEvent e;
+      e.kind = obs::TraceEvent::Kind::kJunctionRan;
+      e.instance = inst.desc.name;
+      e.junction = jrt.desc.name;
+      e.value_ns = dt;
+      e.trace_id = run_ctx.trace_id;
+      e.span_id = run_ctx.span_id;
+      e.parent_span = cause_span;
+      e.hlc = run_ctx.hlc;  // span start, not record time (see above)
+      record_event(std::move(e));
     }
   }
 }
@@ -511,6 +607,9 @@ void Runtime::junction_loop(InstanceRt& inst, JunctionRt& jrt) {
 void Runtime::deliver_local(Envelope&& env) { deliver(std::move(env)); }
 
 void Runtime::deliver(Envelope&& env) {
+  // Receiving any traced frame advances our hybrid logical clock past the
+  // sender's, which is what keeps cross-instance timestamps causal.
+  if (env.ctx.has_value()) hlc_.merge(env.ctx->hlc);
   if (env.kind == Envelope::Kind::kAck) {
     std::scoped_lock lock(ack_mu_);
     if (pending_acks_.contains(env.seq)) {
@@ -542,6 +641,10 @@ void Runtime::deliver(Envelope&& env) {
     return;
   }
   auto st = jrt->table->enqueue(env.update);
+  if (st.ok() && env.ctx.has_value()) {
+    // The next run of this junction is causally downstream of this push.
+    jrt->last_delivered = *env.ctx;
+  }
   inst->cv.notify_all();
   if (st.ok()) {
     send_ack(env, false, {});
@@ -560,6 +663,12 @@ void Runtime::send_ack(const Envelope& original, bool nack,
   ack.to = JunctionAddr{original.from_instance, Symbol()};
   ack.nack = nack;
   ack.nack_reason = std::move(reason);
+  if (original.ctx.has_value()) {
+    // Echo the push's context with our clock reading, so the sender's HLC
+    // merges the receiver's time when the ack lands.
+    ack.ctx = obs::TraceContext{original.ctx->trace_id, original.ctx->span_id,
+                                hlc_.tick()};
+  }
   router_->send(std::move(ack), 16);
 }
 

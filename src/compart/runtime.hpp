@@ -40,6 +40,8 @@
 #include "compart/message.hpp"
 #include "compart/router.hpp"
 #include "kv/table.hpp"
+#include "obs/expose.hpp"
+#include "obs/hlc.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/result.hpp"
@@ -114,6 +116,11 @@ struct RuntimeOptions {
   // DESIGN.md ("Observability"); `trace_sink` receives every TraceEvent.
   obs::TraceSink* trace_sink = nullptr;
   obs::Metrics* metrics = nullptr;
+  // HTTP exposition of `metrics` (and tracer buffer gauges) on
+  // 127.0.0.1:<port>, serving /metrics in Prometheus text format and
+  // /healthz. -1 disables; 0 binds an ephemeral port (read it back with
+  // Runtime::metrics_http_port()). Requires `metrics` to be set.
+  int metrics_http_port = -1;
 };
 
 // One ack'd update push, with named fields (replaces the old positional
@@ -162,13 +169,13 @@ class Runtime {
   //   ok            -- the target's table applied (or queued) the update
   //   kUnreachable  -- nacked (target down/unknown), or the sender aborted
   //   kTimeout      -- no ack before `req.deadline` (lost/partitioned/slow)
+  //
+  // When tracing is enabled, each push is a span of the current distributed
+  // trace: pushes made from inside a junction body become children of that
+  // run's span, and the context travels to the target in the envelope (over
+  // the wire in TCP mode), so one logical request is one trace however many
+  // instances it hops through.
   Status push(PushRequest req);
-
-  // Deprecated positional signature, kept for one PR cycle; forwards to
-  // push(PushRequest).
-  [[deprecated("use push(PushRequest{...}) with named fields")]]
-  Status push(const JunctionAddr& to, Update update, Deadline deadline,
-              Symbol from_instance, const std::atomic<bool>* abort = nullptr);
 
   // --- host-side scheduling & injection --------------------------------------
   // Three entry points with one shared contract -- on success:
@@ -207,10 +214,21 @@ class Runtime {
     return options_.trace_sink;
   }
   [[nodiscard]] obs::Metrics* metrics() const { return options_.metrics; }
+  // Bound /metrics port (-1 when the HTTP listener is disabled).
+  [[nodiscard]] int metrics_http_port() const {
+    return exposer_ ? exposer_->port() : -1;
+  }
+  // The runtime's hybrid logical clock (merged on every traced receive).
+  [[nodiscard]] obs::HlcClock& hlc() { return hlc_; }
 
   // Total completed junction runs (progress metric for benches).
   [[nodiscard]] std::uint64_t runs_completed(Symbol instance,
                                              Symbol junction) const;
+
+  // The calling thread's active trace context: the span of the junction run
+  // currently executing on it, or an invalid context elsewhere. Pushes made
+  // with an active context become its children.
+  [[nodiscard]] static obs::TraceContext current_context();
 
  private:
   friend class RuntimeView;
@@ -225,6 +243,9 @@ class Runtime {
     // (guarded by InstanceRt::mu); call() diffs this to tell guard
     // rejection apart from timeout.
     std::uint64_t guard_rejections = 0;
+    // Context of the most recently delivered traced update (guarded by
+    // InstanceRt::mu); the next body run adopts it as its causal parent.
+    obs::TraceContext last_delivered;
     std::thread thread;
   };
 
@@ -259,10 +280,15 @@ class Runtime {
     obs::Histogram* junction_run_ns = nullptr;
   };
 
-  // Emits one trace event (no-op when tracing is disabled).
+  // Records one trace event, stamping its HLC from the runtime clock if the
+  // caller left it unset (no-op when tracing is disabled).
+  void record_event(obs::TraceEvent e);
+  // Convenience wrapper for context-free events.
   void trace(obs::TraceEvent::Kind kind, Symbol instance, Symbol junction = {},
              Symbol peer = {}, std::uint64_t seq = 0,
              std::uint64_t value_ns = 0);
+  // Fresh process-unique 64-bit id for traces and spans (never zero).
+  std::uint64_t new_trace_id();
 
   InstanceRt* find(Symbol instance) const;
   void deliver_local(Envelope&& env);
@@ -277,6 +303,14 @@ class Runtime {
   std::map<Symbol, std::unique_ptr<InstanceRt>> instances_;
   std::unique_ptr<class TcpLoop> tcp_;  // only in kTcpLoopback mode
   std::unique_ptr<Router> router_;
+  std::unique_ptr<obs::HttpExposer> exposer_;  // /metrics listener
+
+  // Distributed-trace identity. The id base is drawn from the system RNG at
+  // construction so ids from different processes don't collide when their
+  // traces are merged.
+  obs::HlcClock hlc_;
+  std::uint64_t id_base_ = 0;
+  std::atomic<std::uint64_t> next_id_{1};
 
   // Ack correlation. pending_acks_ holds seqs someone is still waiting for;
   // acks for abandoned seqs (timed-out pushes) are dropped on delivery.
@@ -322,17 +356,20 @@ class JunctionEnv {
   [[nodiscard]] obs::Metrics* metrics() const { return rt_.metrics(); }
   [[nodiscard]] obs::TraceSink* trace_sink() const { return rt_.trace_sink(); }
   // Emits one app-defined `custom` event stamped with this junction's
-  // identity; no-op when tracing is disabled.
+  // identity and the enclosing run's trace context; no-op when tracing is
+  // disabled.
   void trace(Symbol label, std::uint64_t value = 0) {
-    auto* sink = rt_.trace_sink();
-    if (sink == nullptr) return;
+    if (rt_.trace_sink() == nullptr) return;
     obs::TraceEvent e;
     e.kind = obs::TraceEvent::Kind::kCustom;
     e.instance = self_.instance;
     e.junction = self_.junction;
     e.label = label;
     e.value_ns = value;
-    sink->record(e);
+    const auto ctx = Runtime::current_context();
+    e.trace_id = ctx.trace_id;
+    e.span_id = ctx.span_id;
+    rt_.record_event(std::move(e));
   }
 
  private:

@@ -30,6 +30,17 @@ Bytes encode_envelope(const Envelope& env) {
   w.str(env.update.from);
   w.u8(env.nack ? 1 : 0);
   w.str(env.nack_reason);
+  // Trace context travels as an optional trailer so that frames from
+  // untraced senders stay byte-identical to the pre-tracing format: the
+  // trailer is simply absent. Decoders treat "frame ends here" as "no
+  // context", which is also what makes old frames decode cleanly.
+  if (env.ctx.has_value()) {
+    w.u8(1);
+    w.uvarint(env.ctx->trace_id);
+    w.uvarint(env.ctx->span_id);
+    w.uvarint(env.ctx->hlc.physical_us);
+    w.uvarint(env.ctx->hlc.logical);
+  }
   return w.take();
 }
 
@@ -73,6 +84,27 @@ Result<Envelope> decode_envelope(const Bytes& data) {
   auto reason = r.str();
   if (!reason) return reason.error();
   env.nack_reason = std::move(*reason);
+  // Optional trace-context trailer: a frame that ends here (old senders,
+  // untraced senders) decodes with a null context, not an error.
+  if (!r.exhausted()) {
+    auto marker = r.u8();
+    if (!marker) return marker.error();
+    if (*marker != 1) return make_error(Errc::kDecode, "bad trace-ctx marker");
+    obs::TraceContext ctx;
+    auto trace_id = r.uvarint();
+    if (!trace_id) return trace_id.error();
+    ctx.trace_id = *trace_id;
+    auto span_id = r.uvarint();
+    if (!span_id) return span_id.error();
+    ctx.span_id = *span_id;
+    auto physical = r.uvarint();
+    if (!physical) return physical.error();
+    ctx.hlc.physical_us = *physical;
+    auto logical = r.uvarint();
+    if (!logical) return logical.error();
+    ctx.hlc.logical = static_cast<std::uint32_t>(*logical);
+    env.ctx = ctx;
+  }
   if (!r.exhausted()) return make_error(Errc::kDecode, "trailing bytes");
   return env;
 }

@@ -1,0 +1,875 @@
+#include "obs/collect.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "support/check.hpp"
+
+namespace csaw::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mini JSON reader. Only what the trace schema needs: objects, arrays,
+// strings, numbers, bools, null. Unsigned integer literals keep full 64-bit
+// precision (trace/span ids do not survive a double round-trip).
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::uint64_t uint_value = 0;  // exact value when `integral`
+  bool integral = false;
+  std::string str;
+  std::vector<Json> items;                            // kArray
+  std::vector<std::pair<std::string, Json>> fields;   // kObject, file order
+
+  [[nodiscard]] const Json* find(std::string_view key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] std::uint64_t u64_or(std::string_view key,
+                                     std::uint64_t def) const {
+    const Json* v = find(key);
+    if (v == nullptr || v->type != Type::kNumber) return def;
+    return v->integral ? v->uint_value
+                       : static_cast<std::uint64_t>(std::llround(v->number));
+  }
+  [[nodiscard]] double num_or(std::string_view key, double def) const {
+    const Json* v = find(key);
+    return (v != nullptr && v->type == Type::kNumber) ? v->number : def;
+  }
+  [[nodiscard]] std::string_view str_or(std::string_view key,
+                                        std::string_view def) const {
+    const Json* v = find(key);
+    return (v != nullptr && v->type == Type::kString)
+               ? std::string_view(v->str)
+               : def;
+  }
+};
+
+// Propagate-or-assign for Result<T> inside this file.
+#define CSAW_TRY_ASSIGN(dst, expr)                     \
+  do {                                                 \
+    auto csaw_try_r_ = (expr);                         \
+    if (!csaw_try_r_.ok()) return csaw_try_r_.error(); \
+    (dst) = std::move(csaw_try_r_).value();            \
+  } while (false)
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text)
+      : begin_(text.data()), p_(text.data()), end_(text.data() + text.size()) {}
+
+  Result<Json> parse() {
+    Json v;
+    CSAW_TRY_ASSIGN(v, value());
+    skip_ws();
+    if (p_ != end_) return fail("trailing bytes after JSON value");
+    return v;
+  }
+
+ private:
+  Error fail(const std::string& what) const {
+    return make_error(
+        Errc::kDecode,
+        "json: " + what + " at offset " +
+            std::to_string(static_cast<std::size_t>(p_ - begin_)));
+  }
+
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) ++p_;
+  }
+
+  bool consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> value() {
+    skip_ws();
+    if (p_ == end_) return fail("unexpected end of input");
+    switch (*p_) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't':
+      case 'f': return boolean();
+      case 'n': return null_value();
+      default: return number();
+    }
+  }
+
+  Result<Json> object() {
+    ++p_;  // '{'
+    Json v;
+    v.type = Json::Type::kObject;
+    skip_ws();
+    if (consume('}')) return v;
+    while (true) {
+      skip_ws();
+      Json key;
+      CSAW_TRY_ASSIGN(key, string_value());
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' in object");
+      Json val;
+      CSAW_TRY_ASSIGN(val, value());
+      v.fields.emplace_back(std::move(key.str), std::move(val));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return v;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Json> array() {
+    ++p_;  // '['
+    Json v;
+    v.type = Json::Type::kArray;
+    skip_ws();
+    if (consume(']')) return v;
+    while (true) {
+      Json item;
+      CSAW_TRY_ASSIGN(item, value());
+      v.items.push_back(std::move(item));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return v;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<Json> string_value() {
+    if (p_ == end_ || *p_ != '"') return fail("expected string");
+    ++p_;
+    Json v;
+    v.type = Json::Type::kString;
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c != '\\') {
+        v.str.push_back(c);
+        continue;
+      }
+      if (p_ == end_) return fail("unterminated escape");
+      const char esc = *p_++;
+      switch (esc) {
+        case '"': v.str.push_back('"'); break;
+        case '\\': v.str.push_back('\\'); break;
+        case '/': v.str.push_back('/'); break;
+        case 'b': v.str.push_back('\b'); break;
+        case 'f': v.str.push_back('\f'); break;
+        case 'n': v.str.push_back('\n'); break;
+        case 'r': v.str.push_back('\r'); break;
+        case 't': v.str.push_back('\t'); break;
+        case 'u': {
+          if (end_ - p_ < 4) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by our writers; pass them through as-is).
+          if (code < 0x80) {
+            v.str.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            v.str.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            v.str.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            v.str.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            v.str.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            v.str.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    if (!consume('"')) return fail("unterminated string");
+    return v;
+  }
+
+  Result<Json> boolean() {
+    Json v;
+    v.type = Json::Type::kBool;
+    if (end_ - p_ >= 4 && std::string_view(p_, 4) == "true") {
+      v.boolean = true;
+      p_ += 4;
+      return v;
+    }
+    if (end_ - p_ >= 5 && std::string_view(p_, 5) == "false") {
+      v.boolean = false;
+      p_ += 5;
+      return v;
+    }
+    return fail("expected boolean");
+  }
+
+  Result<Json> null_value() {
+    if (end_ - p_ >= 4 && std::string_view(p_, 4) == "null") {
+      p_ += 4;
+      return Json{};
+    }
+    return fail("expected null");
+  }
+
+  Result<Json> number() {
+    const char* start = p_;
+    bool negative = false;
+    if (consume('-')) negative = true;
+    std::uint64_t mag = 0;
+    bool overflow = false;
+    bool any_digit = false;
+    while (p_ != end_ && *p_ >= '0' && *p_ <= '9') {
+      any_digit = true;
+      const std::uint64_t digit = static_cast<std::uint64_t>(*p_ - '0');
+      if (mag > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+        overflow = true;
+      } else {
+        mag = mag * 10 + digit;
+      }
+      ++p_;
+    }
+    if (!any_digit) return fail("expected number");
+    bool fractional = false;
+    if (p_ != end_ && *p_ == '.') {
+      fractional = true;
+      ++p_;
+      while (p_ != end_ && *p_ >= '0' && *p_ <= '9') ++p_;
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      fractional = true;
+      ++p_;
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      while (p_ != end_ && *p_ >= '0' && *p_ <= '9') ++p_;
+    }
+    Json v;
+    v.type = Json::Type::kNumber;
+    v.number = std::strtod(std::string(start, p_).c_str(), nullptr);
+    v.integral = !negative && !fractional && !overflow;
+    v.uint_value = v.integral ? mag : 0;
+    return v;
+  }
+
+  const char* begin_;
+  const char* p_;
+  const char* end_;
+};
+
+// --- event (de)serialization helpers ---------------------------------------
+
+Symbol symbol_or_invalid(std::string_view name) {
+  return name.empty() ? Symbol() : Symbol(name);
+}
+
+// One "events" element (or one shipped line) back into a TraceEvent. `at`
+// is reconstructed relative to an arbitrary zero epoch: only differences
+// within one document are meaningful, which is all merge_events needs.
+Result<TraceEvent> event_from_json(const Json& o) {
+  if (o.type != Json::Type::kObject) {
+    return make_error(Errc::kDecode, "trace event is not a JSON object");
+  }
+  TraceEvent e;
+  const std::string kind_name(o.str_or("kind", ""));
+  if (!trace_kind_from_name(kind_name, &e.kind)) {
+    return make_error(Errc::kDecode,
+                      "unknown trace event kind '" + kind_name + "'");
+  }
+  const double t_us = o.num_or("t_us", 0.0);
+  e.at = SteadyTime{} + std::chrono::duration_cast<Nanos>(
+                            std::chrono::duration<double, std::micro>(t_us));
+  e.instance = symbol_or_invalid(o.str_or("instance", ""));
+  e.junction = symbol_or_invalid(o.str_or("junction", ""));
+  e.peer = symbol_or_invalid(o.str_or("peer", ""));
+  e.label = symbol_or_invalid(o.str_or("label", ""));
+  e.seq = o.u64_or("seq", 0);
+  e.value_ns = o.u64_or("value_ns", 0);
+  e.trace_id = o.u64_or("trace_id", 0);
+  e.span_id = o.u64_or("span_id", 0);
+  e.parent_span = o.u64_or("parent_span", 0);
+  e.hlc.physical_us = o.u64_or("hlc_us", 0);
+  e.hlc.logical = static_cast<std::uint32_t>(o.u64_or("hlc_lc", 0));
+  return e;
+}
+
+double event_t_us(const TraceEvent& e) {
+  return std::chrono::duration<double, std::micro>(e.at - SteadyTime{}).count();
+}
+
+// Cross-process timestamp in microseconds: the HLC when present (wall-clock
+// anchored, causally repaired), else the file-relative time. The logical
+// counter becomes a sub-microsecond fraction so causal order survives the
+// flattening to one axis.
+double causal_ts_us(const TraceEvent& e) {
+  if (e.hlc.valid()) {
+    return static_cast<double>(e.hlc.physical_us) + e.hlc.logical * 1e-3;
+  }
+  return event_t_us(e);
+}
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_event_args(std::ostream& os, const TraceEvent& e) {
+  os << "\"args\": {\"trace_id\": " << e.trace_id
+     << ", \"span_id\": " << e.span_id
+     << ", \"parent_span\": " << e.parent_span
+     << ", \"hlc_us\": " << e.hlc.physical_us
+     << ", \"hlc_lc\": " << e.hlc.logical << ", \"seq\": " << e.seq
+     << ", \"value_ns\": " << e.value_ns << "}";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Offline: parse + merge
+// ---------------------------------------------------------------------------
+
+Result<TraceDoc> parse_trace_json(std::string_view text) {
+  JsonParser parser(text);
+  auto parsed = parser.parse();
+  if (!parsed.ok()) return parsed.error();
+  const Json& root = *parsed;
+  if (root.type != Json::Type::kObject) {
+    return make_error(Errc::kDecode, "trace document root is not an object");
+  }
+  TraceDoc doc;
+  doc.dropped = root.u64_or("dropped", 0);
+  const Json* events = root.find("events");
+  if (events == nullptr) return doc;  // metrics-only document
+  if (events->type != Json::Type::kArray) {
+    return make_error(Errc::kDecode, "\"events\" is not an array");
+  }
+  doc.events.reserve(events->items.size());
+  for (const Json& item : events->items) {
+    auto e = event_from_json(item);
+    if (!e.ok()) return e.error();
+    doc.events.push_back(*std::move(e));
+  }
+  return doc;
+}
+
+Result<TraceDoc> load_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return make_error(Errc::kHostFailure,
+                      "cannot open trace file '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto doc = parse_trace_json(buf.str());
+  if (!doc.ok()) {
+    return make_error(doc.error().code, path + ": " + doc.error().message);
+  }
+  return doc;
+}
+
+std::vector<TraceEvent> merge_events(const std::vector<TraceDoc>& docs) {
+  struct Keyed {
+    TraceEvent event;
+    std::size_t doc;
+    std::size_t pos;
+  };
+  std::vector<Keyed> keyed;
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    for (std::size_t i = 0; i < docs[d].events.size(); ++i) {
+      keyed.push_back(Keyed{docs[d].events[i], d, i});
+    }
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) {
+                     const bool av = a.event.hlc.valid();
+                     const bool bv = b.event.hlc.valid();
+                     if (av != bv) return av;  // HLC-stamped events first
+                     if (av) {
+                       if (a.event.hlc != b.event.hlc) {
+                         return a.event.hlc < b.event.hlc;
+                       }
+                     } else if (event_t_us(a.event) != event_t_us(b.event)) {
+                       return event_t_us(a.event) < event_t_us(b.event);
+                     }
+                     // Deterministic tie-break: file order within file index.
+                     return std::tie(a.doc, a.pos) < std::tie(b.doc, b.pos);
+                   });
+  std::vector<TraceEvent> out;
+  out.reserve(keyed.size());
+  for (auto& k : keyed) out.push_back(std::move(k.event));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Perfetto writer
+// ---------------------------------------------------------------------------
+
+void write_perfetto_json(std::ostream& os,
+                         const std::vector<TraceEvent>& events) {
+  // Stable pid per instance (order of first appearance), tid per junction
+  // within an instance. tid 0 is the instance-level track (lifecycle,
+  // pushes made outside junction bodies).
+  std::vector<Symbol> instances;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> tids;
+  auto pid_of = [&](Symbol inst) {
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      if (instances[i] == inst) return static_cast<int>(i) + 1;
+    }
+    instances.push_back(inst);
+    return static_cast<int>(instances.size());
+  };
+  auto tid_of = [&](Symbol inst, Symbol junction) {
+    if (!junction.valid()) return 0;
+    const auto key = std::make_pair(inst.id(), junction.id());
+    auto it = tids.find(key);
+    if (it != tids.end()) return it->second;
+    // tids within a process count up from 1 in appearance order.
+    int next = 1;
+    for (const auto& [k, v] : tids) {
+      if (k.first == inst.id()) next = std::max(next, v + 1);
+    }
+    tids.emplace(key, next);
+    return next;
+  };
+
+  double min_ts = std::numeric_limits<double>::infinity();
+  for (const TraceEvent& e : events) {
+    min_ts = std::min(min_ts, causal_ts_us(e));
+  }
+  if (!std::isfinite(min_ts)) min_ts = 0.0;
+  auto ts_of = [&](const TraceEvent& e) { return causal_ts_us(e) - min_ts; };
+
+  // Completion time per push span, to give push_sent slices a duration.
+  // Also the set of push spans present at all: a ring-buffer drop can evict
+  // a push while its child run survives, and a flow finish whose start was
+  // dropped must not be emitted (Perfetto rejects dangling finishes).
+  std::map<std::uint64_t, double> push_done_ts;
+  std::set<std::uint64_t> push_spans;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEvent::Kind::kPushSent && e.span_id != 0) {
+      push_spans.insert(e.span_id);
+    }
+    if (e.kind == TraceEvent::Kind::kPushAcked ||
+        e.kind == TraceEvent::Kind::kPushNacked ||
+        e.kind == TraceEvent::Kind::kPushTimeout) {
+      if (e.span_id != 0) push_done_ts.emplace(e.span_id, ts_of(e));
+    }
+  }
+
+  const auto saved_flags = os.flags();
+  const auto saved_precision = os.precision();
+  os.setf(std::ios::fixed);
+  os.precision(3);
+
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  auto sep = [&]() -> std::ostream& {
+    os << (first ? "\n" : ",\n") << "  ";
+    first = false;
+    return os;
+  };
+
+  // Metadata: one "process" per instance, one "thread" per junction.
+  // Passing every event through pid_of/tid_of first keeps ids stable and
+  // lets us emit all metadata up front.
+  for (const TraceEvent& e : events) {
+    (void)tid_of(e.instance, e.junction);
+    (void)pid_of(e.instance);
+  }
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    sep() << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " << (i + 1)
+          << ", \"tid\": 0, \"args\": {\"name\": ";
+    write_json_string(os, instances[i].valid() ? instances[i].str() : "?");
+    os << "}}";
+    sep() << "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " << (i + 1)
+          << ", \"tid\": 0, \"args\": {\"name\": \"(instance)\"}}";
+  }
+  for (const auto& [key, tid] : tids) {
+    int pid = 0;
+    Symbol junction;
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      if (instances[i].id() == key.first) pid = static_cast<int>(i) + 1;
+    }
+    for (const TraceEvent& e : events) {
+      if (e.junction.valid() && e.junction.id() == key.second) {
+        junction = e.junction;
+        break;
+      }
+    }
+    sep() << "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " << pid
+          << ", \"tid\": " << tid << ", \"args\": {\"name\": ";
+    write_json_string(os, junction.valid() ? junction.str() : "?");
+    os << "}}";
+  }
+
+  for (const TraceEvent& e : events) {
+    const int pid = pid_of(e.instance);
+    const int tid = tid_of(e.instance, e.junction);
+    const double ts = ts_of(e);
+    const char* name = trace_kind_name(e.kind);
+    switch (e.kind) {
+      case TraceEvent::Kind::kJunctionRan: {
+        // The HLC stamp is the run's *start* (taken before the body, so the
+        // body's own pushes nest after it); the slice extends value_ns
+        // forward from it.
+        const double dur = std::max(static_cast<double>(e.value_ns) / 1000.0,
+                                    0.001);
+        sep() << "{\"ph\": \"X\", \"name\": ";
+        write_json_string(os, e.junction.valid() ? e.junction.str() : name);
+        os << ", \"cat\": \"junction\", \"pid\": " << pid
+           << ", \"tid\": " << tid << ", \"ts\": " << ts
+           << ", \"dur\": " << dur << ", ";
+        write_event_args(os, e);
+        os << "}";
+        if (e.parent_span != 0 && push_spans.count(e.parent_span) != 0) {
+          // Flow finish bound at the slice start: the start's HLC was taken
+          // after the receive merge()d the sender's clock, so it is after
+          // the sender's flow start however skewed the clocks were.
+          sep() << "{\"ph\": \"f\", \"bp\": \"e\", \"name\": \"push\", "
+                << "\"cat\": \"flow\", \"id\": " << e.parent_span
+                << ", \"pid\": " << pid << ", \"tid\": " << tid
+                << ", \"ts\": " << ts << "}";
+        }
+        break;
+      }
+      case TraceEvent::Kind::kPushSent: {
+        double dur = 1.0;
+        auto it = push_done_ts.find(e.span_id);
+        if (it != push_done_ts.end() && it->second > ts) dur = it->second - ts;
+        sep() << "{\"ph\": \"X\", \"name\": ";
+        // Slice name: "push <target>" reads better than "push_sent".
+        write_json_string(os,
+                          "push " + (e.peer.valid() ? e.peer.str() : "?"));
+        os << ", \"cat\": \"push\", \"pid\": " << pid << ", \"tid\": " << tid
+           << ", \"ts\": " << ts << ", \"dur\": " << dur << ", ";
+        write_event_args(os, e);
+        os << "}";
+        if (e.span_id != 0) {
+          sep() << "{\"ph\": \"s\", \"name\": \"push\", \"cat\": \"flow\", "
+                << "\"id\": " << e.span_id << ", \"pid\": " << pid
+                << ", \"tid\": " << tid << ", \"ts\": " << ts << "}";
+        }
+        break;
+      }
+      default: {
+        sep() << "{\"ph\": \"i\", \"s\": \"t\", \"name\": ";
+        write_json_string(os, name);
+        os << ", \"cat\": \"event\", \"pid\": " << pid << ", \"tid\": " << tid
+           << ", \"ts\": " << ts << ", ";
+        write_event_args(os, e);
+        os << "}";
+        break;
+      }
+    }
+  }
+  if (!first) os << "\n";
+  os << "], \"displayTimeUnit\": \"ms\"}\n";
+
+  os.flags(saved_flags);
+  os.precision(saved_precision);
+}
+
+Status write_perfetto_json_file(const std::string& path,
+                                const std::vector<TraceEvent>& events) {
+  std::ofstream out(path);
+  if (!out) {
+    return make_error(Errc::kHostFailure,
+                      "cannot open perfetto output file '" + path + "'");
+  }
+  write_perfetto_json(out, events);
+  return Status::ok_status();
+}
+
+Status check_perfetto_json(std::string_view text) {
+  JsonParser parser(text);
+  auto parsed = parser.parse();
+  if (!parsed.ok()) return parsed.error();
+  const Json& root = *parsed;
+  if (root.type != Json::Type::kObject) {
+    return make_error(Errc::kVerifyFailed, "root is not a JSON object");
+  }
+  const Json* trace_events = root.find("traceEvents");
+  if (trace_events == nullptr || trace_events->type != Json::Type::kArray) {
+    return make_error(Errc::kVerifyFailed, "missing \"traceEvents\" array");
+  }
+
+  struct Flow {
+    double ts = 0.0;
+    bool seen = false;
+  };
+  std::map<std::uint64_t, Flow> flow_starts;
+  struct Finish {
+    std::uint64_t id;
+    double ts;
+  };
+  std::vector<Finish> flow_finishes;
+  // Earliest timestamp observed per span (the span's start).
+  std::map<std::uint64_t, Hlc> span_hlc;
+  struct ParentRef {
+    std::uint64_t span;
+    std::uint64_t parent;
+    Hlc hlc;
+  };
+  std::vector<ParentRef> parent_refs;
+
+  for (const Json& ev : trace_events->items) {
+    if (ev.type != Json::Type::kObject) {
+      return make_error(Errc::kVerifyFailed,
+                        "traceEvents element is not an object");
+    }
+    const std::string_view ph = ev.str_or("ph", "");
+    if (ph.empty()) {
+      return make_error(Errc::kVerifyFailed, "event without \"ph\"");
+    }
+    const double ts = ev.num_or("ts", -1.0);
+    if (ph != "M" && ts < 0.0) {
+      return make_error(Errc::kVerifyFailed,
+                        "non-metadata event without a non-negative \"ts\"");
+    }
+    if (ph == "s") {
+      const std::uint64_t id = ev.u64_or("id", 0);
+      auto [it, inserted] = flow_starts.emplace(id, Flow{ts, true});
+      if (!inserted) it->second.ts = std::min(it->second.ts, ts);
+    } else if (ph == "f") {
+      flow_finishes.push_back(Finish{ev.u64_or("id", 0), ts});
+    }
+    const Json* args = ev.find("args");
+    if (args != nullptr && args->type == Json::Type::kObject) {
+      const std::uint64_t span = args->u64_or("span_id", 0);
+      const std::uint64_t parent = args->u64_or("parent_span", 0);
+      const Hlc hlc{args->u64_or("hlc_us", 0),
+                    static_cast<std::uint32_t>(args->u64_or("hlc_lc", 0))};
+      if (span != 0 && hlc.valid()) {
+        auto [it, inserted] = span_hlc.emplace(span, hlc);
+        if (!inserted && hlc < it->second) it->second = hlc;
+        if (parent != 0) parent_refs.push_back(ParentRef{span, parent, hlc});
+      }
+    }
+  }
+
+  for (const Finish& f : flow_finishes) {
+    auto it = flow_starts.find(f.id);
+    if (it == flow_starts.end()) {
+      return make_error(Errc::kVerifyFailed,
+                        "flow finish id " + std::to_string(f.id) +
+                            " has no flow start");
+    }
+    if (it->second.ts > f.ts) {
+      return make_error(Errc::kVerifyFailed,
+                        "flow " + std::to_string(f.id) +
+                            " finishes before it starts");
+    }
+  }
+  for (const ParentRef& ref : parent_refs) {
+    auto it = span_hlc.find(ref.parent);
+    if (it == span_hlc.end()) continue;  // parent outside the merged set
+    if (ref.hlc < it->second) {
+      return make_error(Errc::kVerifyFailed,
+                        "span " + std::to_string(ref.span) +
+                            " is timestamped before its parent " +
+                            std::to_string(ref.parent) +
+                            " (HLC order violated)");
+    }
+  }
+  return Status::ok_status();
+}
+
+// ---------------------------------------------------------------------------
+// Live collector socket
+// ---------------------------------------------------------------------------
+
+TraceCollector::TraceCollector(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  CSAW_CHECK(listen_fd_ >= 0) << "trace collector: socket() failed";
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  CSAW_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) == 0)
+      << "trace collector: bind(127.0.0.1:" << port << ") failed";
+  CSAW_CHECK(::listen(listen_fd_, 16) == 0)
+      << "trace collector: listen() failed";
+  socklen_t len = sizeof(addr);
+  CSAW_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                           &len) == 0)
+      << "trace collector: getsockname() failed";
+  port_ = ntohs(addr.sin_port);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+TraceCollector::~TraceCollector() {
+  stopping_.store(true, std::memory_order_release);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::scoped_lock lock(mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::scoped_lock lock(mu_);
+    for (const int fd : conn_fds_) ::close(fd);
+    conn_fds_.clear();
+  }
+  ::close(listen_fd_);
+}
+
+void TraceCollector::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      break;  // listen socket gone
+    }
+    std::scoped_lock lock(mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+}
+
+void TraceCollector::connection_loop(int fd) {
+  std::string pending;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = pending.find('\n', start);
+         nl != std::string::npos; nl = pending.find('\n', start)) {
+      const std::string_view line(pending.data() + start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      JsonParser parser(line);
+      auto parsed = parser.parse();
+      if (!parsed.ok()) {
+        malformed_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      auto event = event_from_json(*parsed);
+      if (!event.ok()) {
+        malformed_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      std::scoped_lock lock(mu_);
+      events_.push_back(*std::move(event));
+    }
+    pending.erase(0, start);
+  }
+}
+
+std::size_t TraceCollector::count() const {
+  std::scoped_lock lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceCollector::take() {
+  std::scoped_lock lock(mu_);
+  return std::exchange(events_, {});
+}
+
+// ---------------------------------------------------------------------------
+// Shipper
+// ---------------------------------------------------------------------------
+
+Result<TraceShipper> TraceShipper::connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return make_error(Errc::kHostFailure, "trace shipper: socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return make_error(Errc::kUnreachable,
+                      "trace shipper: no collector at 127.0.0.1:" +
+                          std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TraceShipper(fd);
+}
+
+TraceShipper::~TraceShipper() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TraceShipper::TraceShipper(TraceShipper&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+Result<std::size_t> TraceShipper::ship(Tracer& tracer) {
+  const SteadyTime epoch = tracer.epoch();
+  const std::vector<TraceEvent> events = tracer.drain();
+  std::ostringstream lines;
+  for (const TraceEvent& e : events) {
+    write_trace_event_json(lines, e, epoch);
+    lines << '\n';
+  }
+  const std::string payload = lines.str();
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n = ::send(fd_, payload.data() + sent, payload.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return make_error(Errc::kHostFailure,
+                        "trace shipper: connection lost mid-ship");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return events.size();
+}
+
+#undef CSAW_TRY_ASSIGN
+
+}  // namespace csaw::obs

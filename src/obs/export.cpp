@@ -32,29 +32,46 @@ void write_symbol(std::ostream& os, Symbol s) {
 
 }  // namespace
 
-void write_trace_json(std::ostream& os, Tracer* tracer,
+void write_trace_event_json(std::ostream& os, const TraceEvent& e,
+                            SteadyTime epoch) {
+  os << "{\"t_us\": "
+     << std::chrono::duration<double, std::micro>(e.at - epoch).count()
+     << ", \"kind\": \"" << trace_kind_name(e.kind) << "\", "
+     << "\"instance\": ";
+  write_symbol(os, e.instance);
+  os << ", \"junction\": ";
+  write_symbol(os, e.junction);
+  os << ", \"peer\": ";
+  write_symbol(os, e.peer);
+  os << ", \"label\": ";
+  write_symbol(os, e.label);
+  os << ", \"seq\": " << e.seq << ", \"value_ns\": " << e.value_ns
+     << ", \"trace_id\": " << e.trace_id << ", \"span_id\": " << e.span_id
+     << ", \"parent_span\": " << e.parent_span
+     << ", \"hlc_us\": " << e.hlc.physical_us << ", \"hlc_lc\": " << e.hlc.logical
+     << "}";
+}
+
+void write_trace_json(std::ostream& os, const std::vector<TraceEvent>& events,
+                      SteadyTime epoch, std::uint64_t dropped,
+                      const std::vector<Tracer::BufferStats>& buffers,
                       const Metrics* metrics) {
   os << "{\n  \"epoch\": \"steady\",\n";
-  os << "  \"dropped\": " << (tracer != nullptr ? tracer->dropped() : 0)
-     << ",\n";
+  os << "  \"dropped\": " << dropped << ",\n";
+  os << "  \"buffers\": [";
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    {\"capacity\": "
+       << buffers[i].capacity << ", \"size\": " << buffers[i].size
+       << ", \"dropped\": " << buffers[i].dropped << "}";
+  }
+  if (!buffers.empty()) os << "\n  ";
+  os << "],\n";
   os << "  \"events\": [";
-  if (tracer != nullptr) {
-    const auto events = tracer->drain();
-    const auto epoch = tracer->epoch();
+  {
     bool first = true;
     for (const auto& e : events) {
-      os << (first ? "\n" : ",\n") << "    {\"t_us\": "
-         << std::chrono::duration<double, std::micro>(e.at - epoch).count()
-         << ", \"kind\": \"" << trace_kind_name(e.kind) << "\", "
-         << "\"instance\": ";
-      write_symbol(os, e.instance);
-      os << ", \"junction\": ";
-      write_symbol(os, e.junction);
-      os << ", \"peer\": ";
-      write_symbol(os, e.peer);
-      os << ", \"label\": ";
-      write_symbol(os, e.label);
-      os << ", \"seq\": " << e.seq << ", \"value_ns\": " << e.value_ns << "}";
+      os << (first ? "\n" : ",\n") << "    ";
+      write_trace_event_json(os, e, epoch);
       first = false;
     }
     if (!first) os << "\n  ";
@@ -88,6 +105,22 @@ void write_trace_json(std::ostream& os, Tracer* tracer,
     if (!first) os << "\n    ";
   }
   os << "}\n  }\n}\n";
+}
+
+void write_trace_json(std::ostream& os, Tracer* tracer,
+                      const Metrics* metrics) {
+  std::vector<TraceEvent> events;
+  std::vector<Tracer::BufferStats> buffers;
+  std::uint64_t dropped = 0;
+  SteadyTime epoch{};
+  if (tracer != nullptr) {
+    // Occupancy is meaningful only before the (destructive) drain.
+    buffers = tracer->buffer_stats();
+    dropped = tracer->dropped();
+    events = tracer->drain();
+    epoch = tracer->epoch();
+  }
+  write_trace_json(os, events, epoch, dropped, buffers, metrics);
 }
 
 Status write_trace_json_file(const std::string& path, Tracer* tracer,

@@ -1,0 +1,159 @@
+#include "obs/expose.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace csaw::obs {
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const auto put =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (put <= 0) return;
+    off += static_cast<std::size_t>(put);
+  }
+}
+
+void respond(int fd, int code, const char* status, const std::string& body,
+             const char* content_type) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << code << ' ' << status << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  send_all(fd, os.str());
+}
+
+// Reads until the end of the request headers; returns the request line's
+// path, or an empty string on malformed/oversized input.
+std::string read_request_path(int fd) {
+  std::string req;
+  char buf[1024];
+  while (req.find("\r\n\r\n") == std::string::npos) {
+    if (req.size() > kMaxRequestBytes) return {};
+    const auto got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got <= 0) return {};
+    req.append(buf, static_cast<std::size_t>(got));
+  }
+  // "GET /path HTTP/1.1"
+  const auto sp1 = req.find(' ');
+  if (sp1 == std::string::npos) return {};
+  const auto sp2 = req.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return {};
+  if (req.substr(0, sp1) != "GET") return {};
+  return req.substr(sp1 + 1, sp2 - sp1 - 1);
+}
+
+}  // namespace
+
+std::string render_prometheus(const Metrics* metrics, const Tracer* tracer) {
+  std::ostringstream os;
+  if (metrics != nullptr) {
+    metrics->for_each_counter([&](const std::string& name, const Counter& c) {
+      os << "# TYPE csaw_" << name << "_total counter\n"
+         << "csaw_" << name << "_total " << c.value() << "\n";
+    });
+    metrics->for_each_histogram(
+        [&](const std::string& name, const Histogram& h) {
+          os << "# TYPE csaw_" << name << " summary\n";
+          for (const double q : {0.5, 0.9, 0.99}) {
+            os << "csaw_" << name << "{quantile=\"" << q << "\"} "
+               << h.quantile(q) << "\n";
+          }
+          os << "csaw_" << name << "_sum "
+             << h.mean() * static_cast<double>(h.count()) << "\n"
+             << "csaw_" << name << "_count " << h.count() << "\n";
+        });
+  }
+  if (tracer != nullptr) {
+    const auto buffers = tracer->buffer_stats();
+    std::uint64_t dropped = 0;
+    std::size_t buffered = 0;
+    std::size_t capacity = 0;
+    for (const auto& b : buffers) {
+      dropped += b.dropped;
+      buffered += b.size;
+      capacity += b.capacity;
+    }
+    os << "# TYPE csaw_trace_dropped_total counter\n"
+       << "csaw_trace_dropped_total " << dropped << "\n"
+       << "# TYPE csaw_trace_buffer_rings gauge\n"
+       << "csaw_trace_buffer_rings " << buffers.size() << "\n"
+       << "# TYPE csaw_trace_buffer_events gauge\n"
+       << "csaw_trace_buffer_events " << buffered << "\n"
+       << "# TYPE csaw_trace_buffer_capacity gauge\n"
+       << "csaw_trace_buffer_capacity " << capacity << "\n";
+    for (std::size_t i = 0; i < buffers.size(); ++i) {
+      os << "csaw_trace_ring_events{ring=\"" << i << "\"} " << buffers[i].size
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+HttpExposer::HttpExposer(const Metrics* metrics, Tracer* tracer, int port)
+    : metrics_(metrics), tracer_(tracer) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  CSAW_CHECK(listen_fd_ >= 0) << "socket() failed";
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  CSAW_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) == 0)
+      << "bind(127.0.0.1:" << port << ") failed";
+  CSAW_CHECK(::listen(listen_fd_, 8) == 0) << "listen() failed";
+  socklen_t len = sizeof(addr);
+  CSAW_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                           &len) == 0)
+      << "getsockname() failed";
+  port_ = ntohs(addr.sin_port);
+  server_ = std::thread([this] { serve_loop(); });
+}
+
+HttpExposer::~HttpExposer() {
+  stopping_.store(true);
+  // shutdown() wakes the blocking accept; close() alone does not on Linux.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (server_.joinable()) server_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+std::string HttpExposer::render_metrics() const {
+  return render_prometheus(metrics_, tracer_);
+}
+
+void HttpExposer::serve_loop() {
+  while (!stopping_.load()) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) return;  // listener shut down
+    const std::string path = read_request_path(conn);
+    if (path == "/metrics") {
+      respond(conn, 200, "OK", render_metrics(),
+              "text/plain; version=0.0.4; charset=utf-8");
+    } else if (path == "/healthz") {
+      respond(conn, 200, "OK", "ok\n", "text/plain");
+    } else if (path.empty()) {
+      respond(conn, 400, "Bad Request", "bad request\n", "text/plain");
+    } else {
+      respond(conn, 404, "Not Found", "not found\n", "text/plain");
+    }
+    ::close(conn);
+  }
+}
+
+}  // namespace csaw::obs

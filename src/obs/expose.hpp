@@ -1,0 +1,55 @@
+// Minimal HTTP exposition of live metrics: GET /metrics returns the
+// Prometheus text format (counters, histogram summaries with p50/p90/p99
+// quantiles, tracer buffer gauges), GET /healthz returns "ok".
+//
+// The listener binds 127.0.0.1 only and follows the same socket idiom as the
+// loopback transport (compart/tcp.cpp): a blocking accept thread, one
+// request per connection, length-bounded reads. It is deliberately not a web
+// server -- just enough HTTP/1.1 for `curl localhost:<port>/metrics` and a
+// Prometheus scraper.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace csaw::obs {
+
+class HttpExposer {
+ public:
+  // Binds 127.0.0.1:<port> (0 = ephemeral; read the outcome back with
+  // port()). `metrics` and `tracer` are borrowed, may be null, and must
+  // outlive this object; null sections are simply absent from /metrics.
+  // CHECK-fails if the socket cannot be bound (no listener, no endpoint).
+  explicit HttpExposer(const Metrics* metrics, Tracer* tracer = nullptr,
+                       int port = 0);
+  ~HttpExposer();
+
+  HttpExposer(const HttpExposer&) = delete;
+  HttpExposer& operator=(const HttpExposer&) = delete;
+
+  [[nodiscard]] int port() const { return port_; }
+
+  // The /metrics body (exposed for tests and one-shot dumps).
+  [[nodiscard]] std::string render_metrics() const;
+
+ private:
+  void serve_loop();
+
+  const Metrics* metrics_;
+  Tracer* tracer_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread server_;
+};
+
+// Renders `metrics` (and optionally `tracer` occupancy/drop gauges) in the
+// Prometheus text exposition format. Counter names gain the conventional
+// "csaw_" prefix and "_total" suffix; histograms export as summaries.
+std::string render_prometheus(const Metrics* metrics, const Tracer* tracer);
+
+}  // namespace csaw::obs

@@ -1,0 +1,52 @@
+#include "obs/hlc.hpp"
+
+#include <chrono>
+
+namespace csaw::obs {
+
+std::uint64_t wall_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+HlcClock::HlcClock() : physical_(wall_now_us) {}
+
+HlcClock::HlcClock(PhysicalFn physical) : physical_(std::move(physical)) {}
+
+Hlc HlcClock::tick() { return advance(Hlc{}); }
+
+Hlc HlcClock::merge(Hlc remote) { return advance(remote); }
+
+Hlc HlcClock::advance(Hlc remote) {
+  const std::uint64_t now = physical_();
+  std::uint64_t observed = last_.load(std::memory_order_acquire);
+  while (true) {
+    const Hlc prev = Hlc::from_packed(observed);
+    Hlc next;
+    next.physical_us = std::max({now, prev.physical_us, remote.physical_us});
+    // The logical counter restarts whenever the physical component moves
+    // forward; otherwise it must exceed every counter already seen at this
+    // physical time (local and, on merge, remote).
+    std::uint32_t logical = 0;
+    if (next.physical_us == prev.physical_us) {
+      logical = prev.logical + 1;
+    }
+    if (remote.valid() && next.physical_us == remote.physical_us) {
+      logical = std::max(logical, remote.logical + 1);
+    }
+    next.logical = logical;
+    if (next.logical > 0xfff) {  // carry a logical burst into the micros
+      next.physical_us += next.logical >> 12;
+      next.logical &= 0xfff;
+    }
+    if (last_.compare_exchange_weak(observed, next.packed(),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      return next;
+    }
+  }
+}
+
+}  // namespace csaw::obs

@@ -1,0 +1,74 @@
+// Hybrid logical clocks (Kulkarni et al.): wall-clock-close timestamps that
+// are also causally consistent across instances whose physical clocks
+// disagree.
+//
+// An Hlc is a (physical microseconds, logical counter) pair. Every locally
+// observed event calls tick(); every received trace context calls merge(),
+// which folds the remote timestamp in so that effects never timestamp before
+// their causes, however skewed the senders' clocks are. The pair packs into
+// one 64-bit word (52-bit micros, 12-bit logical), so both operations are a
+// single CAS loop -- cheap enough to stamp every trace event.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <atomic>
+
+namespace csaw::obs {
+
+struct Hlc {
+  std::uint64_t physical_us = 0;  // wall-clock microseconds (52 bits used)
+  std::uint32_t logical = 0;      // tie-breaker within one microsecond
+
+  friend auto operator<=>(const Hlc&, const Hlc&) = default;
+
+  [[nodiscard]] bool valid() const { return physical_us != 0 || logical != 0; }
+
+  // 52-bit physical | 12-bit logical. Unix-epoch microseconds need 51 bits
+  // today; 52 lasts until ~2112, where 48 would already have overflowed.
+  // A logical burst past 2^12 within one microsecond carries into the
+  // physical field, which keeps packing order-preserving instead of
+  // truncating.
+  [[nodiscard]] std::uint64_t packed() const {
+    const std::uint64_t carry = logical >> 12;
+    return ((physical_us + carry) << 12) | (logical & 0xfff);
+  }
+  static Hlc from_packed(std::uint64_t p) {
+    return Hlc{p >> 12, static_cast<std::uint32_t>(p & 0xfff)};
+  }
+};
+
+class HlcClock {
+ public:
+  // `physical` supplies wall microseconds; the default reads the system
+  // clock. Injectable so tests can impose skew and frozen clocks.
+  using PhysicalFn = std::function<std::uint64_t()>;
+
+  HlcClock();
+  explicit HlcClock(PhysicalFn physical);
+
+  // Timestamp for a local event (including sends): strictly greater than
+  // every timestamp this clock handed out or merged before.
+  Hlc tick();
+
+  // Fold in a remote timestamp on receive, then timestamp the receive
+  // event: the result is strictly greater than both `remote` and everything
+  // local so far.
+  Hlc merge(Hlc remote);
+
+  // Last issued timestamp (no advance).
+  [[nodiscard]] Hlc peek() const {
+    return Hlc::from_packed(last_.load(std::memory_order_acquire));
+  }
+
+ private:
+  Hlc advance(Hlc remote);
+
+  PhysicalFn physical_;
+  std::atomic<std::uint64_t> last_{0};
+};
+
+// Wall-clock microseconds since the Unix epoch (the default PhysicalFn).
+std::uint64_t wall_now_us();
+
+}  // namespace csaw::obs

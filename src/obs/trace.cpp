@@ -24,6 +24,22 @@ const char* trace_kind_name(TraceEvent::Kind kind) {
   return "unknown";
 }
 
+bool trace_kind_from_name(std::string_view name, TraceEvent::Kind* kind) {
+  using Kind = TraceEvent::Kind;
+  for (const Kind k :
+       {Kind::kJunctionScheduled, Kind::kJunctionRan, Kind::kJunctionBlocked,
+        Kind::kPushSent, Kind::kPushAcked, Kind::kPushNacked,
+        Kind::kPushTimeout, Kind::kInstanceStarted, Kind::kInstanceStopped,
+        Kind::kInstanceCrashed, Kind::kInstanceRestarted, Kind::kKvApplied,
+        Kind::kCustom}) {
+    if (name == trace_kind_name(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 namespace {
 std::atomic<std::uint64_t> next_tracer_id{1};
 }  // namespace
@@ -86,6 +102,17 @@ std::vector<TraceEvent> Tracer::drain() {
                    [](const TraceEvent& a, const TraceEvent& b) {
                      return a.at < b.at;
                    });
+  return out;
+}
+
+std::vector<Tracer::BufferStats> Tracer::buffer_stats() const {
+  std::scoped_lock registry_lock(registry_mu_);
+  std::vector<BufferStats> out;
+  out.reserve(rings_.size());
+  for (const auto& ring : rings_) {
+    std::scoped_lock lock(ring->mu);
+    out.push_back(BufferStats{capacity_, ring->size, ring->dropped});
+  }
   return out;
 }
 

@@ -20,12 +20,27 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
+#include "obs/hlc.hpp"
 #include "support/clock.hpp"
 #include "support/symbol.hpp"
 
 namespace csaw::obs {
+
+// Causal identity carried across instance boundaries (and across processes,
+// via the envelope wire format): which distributed trace an event belongs
+// to, which span caused it, and the sender's hybrid logical clock reading.
+// trace_id == 0 means "no context" (an event outside any distributed trace).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  Hlc hlc{};
+
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
 
 struct TraceEvent {
   enum class Kind : std::uint8_t {
@@ -52,10 +67,21 @@ struct TraceEvent {
   Symbol label;     // kKvApplied: the key; kCustom: app-chosen name
   std::uint64_t seq = 0;       // push sequence number (correlates send/ack)
   std::uint64_t value_ns = 0;  // durations/latencies; app payload for custom
+  // Distributed-trace identity (all zero outside any trace). `span_id` is
+  // this event's own span; `parent_span` is the span that caused it (the
+  // push whose update triggered a junction run, or the enclosing run for a
+  // push made from a body). `hlc` orders events across instances whose
+  // steady clocks are incomparable.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  Hlc hlc{};
 };
 
 // JSON-friendly snake_case name ("push_sent", "junction_ran", ...).
 const char* trace_kind_name(TraceEvent::Kind kind);
+// Inverse mapping; false if `name` is not a known kind.
+bool trace_kind_from_name(std::string_view name, TraceEvent::Kind* kind);
 
 class TraceSink {
  public:
@@ -75,6 +101,16 @@ class Tracer : public TraceSink {
 
   // Events overwritten because a ring was full, since construction.
   [[nodiscard]] std::uint64_t dropped() const;
+
+  // Point-in-time occupancy of one per-thread ring. `size` is events
+  // currently buffered (drain resets it); `dropped` is cumulative.
+  struct BufferStats {
+    std::size_t capacity = 0;
+    std::size_t size = 0;
+    std::uint64_t dropped = 0;
+  };
+  // One entry per registered thread ring, in registration order.
+  [[nodiscard]] std::vector<BufferStats> buffer_stats() const;
 
   // Construction time; exports report timestamps relative to this.
   [[nodiscard]] SteadyTime epoch() const { return epoch_; }

@@ -1,0 +1,138 @@
+// Hybrid logical clock: packing, monotonicity, and merge under clock skew.
+#include "obs/hlc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace csaw::obs {
+namespace {
+
+TEST(Hlc, PackedRoundTripPreservesOrder) {
+  const Hlc a{1'700'000'000'000'000ull, 0};
+  const Hlc b{1'700'000'000'000'000ull, 7};
+  const Hlc c{1'700'000'000'000'001ull, 0};
+
+  EXPECT_EQ(Hlc::from_packed(a.packed()), a);
+  EXPECT_EQ(Hlc::from_packed(b.packed()), b);
+  EXPECT_EQ(Hlc::from_packed(c.packed()), c);
+
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a.packed(), b.packed());
+  EXPECT_LT(b.packed(), c.packed());
+}
+
+TEST(Hlc, PackedCarriesLogicalOverflowIntoPhysical) {
+  // logical does not fit in 12 bits: packing must not lose order.
+  const Hlc big{1'000'000, 0x1005};
+  const Hlc max_lc{1'000'000, 0xfff};
+  EXPECT_LT(max_lc.packed(), big.packed());
+  // The carry lands in the physical field: one extra microsecond.
+  EXPECT_EQ(Hlc::from_packed(big.packed()).physical_us, 1'000'001u);
+  EXPECT_EQ(Hlc::from_packed(big.packed()).logical, 0x005u);
+}
+
+TEST(Hlc, PackedHoldsCurrentWallClock) {
+  // Unix-epoch micros in 2026 need 51 bits; the 52-bit field must round-trip
+  // them (a 48-bit field would silently truncate).
+  const Hlc now{wall_now_us(), 3};
+  EXPECT_EQ(Hlc::from_packed(now.packed()), now);
+}
+
+TEST(Hlc, DefaultIsInvalid) {
+  EXPECT_FALSE(Hlc{}.valid());
+  EXPECT_TRUE((Hlc{1, 0}).valid());
+  EXPECT_TRUE((Hlc{0, 1}).valid());
+}
+
+TEST(HlcClock, TickIsStrictlyMonotonic) {
+  HlcClock clock;
+  Hlc prev = clock.tick();
+  for (int i = 0; i < 10'000; ++i) {
+    const Hlc next = clock.tick();
+    ASSERT_LT(prev, next);
+    prev = next;
+  }
+}
+
+TEST(HlcClock, FrozenPhysicalClockStillAdvancesLogically) {
+  HlcClock clock([] { return 42ull; });
+  Hlc prev = clock.tick();
+  EXPECT_EQ(prev.physical_us, 42u);
+  for (int i = 0; i < 100; ++i) {
+    const Hlc next = clock.tick();
+    ASSERT_LT(prev, next);
+    ASSERT_EQ(next.physical_us, 42u);  // only the logical part moves
+    prev = next;
+  }
+}
+
+TEST(HlcClock, MergeAdoptsFastRemoteClock) {
+  HlcClock clock([] { return 1'000ull; });
+  (void)clock.tick();
+  // A remote instance whose wall clock is far ahead: the merged timestamp
+  // must not be before the remote one, or effects would precede causes.
+  const Hlc remote{50'000, 3};
+  const Hlc merged = clock.merge(remote);
+  EXPECT_LT(remote, merged);
+  // And local progress continues from there.
+  EXPECT_LT(merged, clock.tick());
+}
+
+TEST(HlcClock, MergeIgnoresInvalidRemote) {
+  HlcClock clock([] { return 777ull; });
+  const Hlc before = clock.tick();
+  const Hlc merged = clock.merge(Hlc{});
+  EXPECT_LT(before, merged);
+  EXPECT_EQ(merged.physical_us, 777u);
+}
+
+TEST(HlcClock, MonotonicWhenPhysicalClockStepsBackward) {
+  // Simulate NTP stepping the clock back: ticks must never regress.
+  std::atomic<std::uint64_t> now{100'000};
+  HlcClock clock([&now] { return now.load(); });
+  const Hlc high = clock.tick();
+  now.store(50'000);  // clock stepped back 50 ms
+  Hlc prev = high;
+  for (int i = 0; i < 100; ++i) {
+    const Hlc next = clock.tick();
+    ASSERT_LT(prev, next);
+    prev = next;
+  }
+  EXPECT_GE(prev.physical_us, high.physical_us);
+}
+
+TEST(HlcClock, ConcurrentTicksAreUnique) {
+  HlcClock clock;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2'000;
+  std::vector<std::vector<Hlc>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&clock, &got, t] {
+      got[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) got[t].push_back(clock.tick());
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<std::uint64_t> unique;
+  for (const auto& per_thread : got) {
+    Hlc prev{};
+    for (const Hlc& h : per_thread) {
+      ASSERT_LT(prev, h);  // per-thread order
+      unique.insert(h.packed());
+      prev = h;
+    }
+  }
+  EXPECT_EQ(unique.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace csaw::obs

@@ -141,6 +141,13 @@ TEST(Tracer, OverwritesOldestWhenFullAndCountsDrops) {
     e.value_ns = static_cast<std::uint64_t>(i);
     tracer.record(e);
   }
+  // Ring occupancy is observable before the drain...
+  auto stats = tracer.buffer_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].capacity, 8u);
+  EXPECT_EQ(stats[0].size, 8u);
+  EXPECT_EQ(stats[0].dropped, 12u);
+
   const auto events = tracer.drain();
   ASSERT_EQ(events.size(), 8u);
   EXPECT_EQ(tracer.dropped(), 12u);
@@ -148,6 +155,31 @@ TEST(Tracer, OverwritesOldestWhenFullAndCountsDrops) {
   for (std::size_t i = 0; i < events.size(); ++i) {
     EXPECT_EQ(events[i].value_ns, 12 + i);
   }
+  // ...and the drain resets occupancy but keeps the cumulative drop count.
+  stats = tracer.buffer_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].size, 0u);
+  EXPECT_EQ(stats[0].dropped, 12u);
+}
+
+TEST(Tracer, ExportSurfacesBufferStatsAndDrops) {
+  obs::Tracer tracer(/*per_thread_capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::kCustom;
+    e.at = steady_now();
+    tracer.record(e);
+  }
+  std::ostringstream out;
+  obs::write_trace_json(out, &tracer, nullptr);
+  const std::string json = out.str();
+  // Drop counts and per-ring occupancy, captured *before* the destructive
+  // drain emptied the rings.
+  EXPECT_NE(json.find("\"dropped\": 6"), std::string::npos) << json;
+  EXPECT_NE(
+      json.find("{\"capacity\": 4, \"size\": 4, \"dropped\": 6}"),
+      std::string::npos)
+      << json;
 }
 
 // --- runtime hooks --------------------------------------------------------
@@ -261,7 +293,9 @@ TEST(ObsExport, JsonContainsEventsAndMetricSummaries) {
   for (const char* needle :
        {"\"events\"", "\"push_sent\"", "\"push_acked\"", "\"kv_applied\"",
         "\"instance_started\"", "\"counters\"", "\"histograms\"",
-        "\"push_latency_ns\"", "\"p50\"", "\"p99\"", "\"dropped\""}) {
+        "\"push_latency_ns\"", "\"p50\"", "\"p99\"", "\"dropped\"",
+        "\"buffers\"", "\"capacity\"", "\"trace_id\"", "\"span_id\"",
+        "\"hlc_us\""}) {
     EXPECT_NE(json.find(needle), std::string::npos) << "missing " << needle;
   }
   // Balanced braces/brackets -- a cheap structural sanity check that catches

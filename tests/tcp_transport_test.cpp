@@ -8,6 +8,7 @@
 #include "core/builder.hpp"
 #include "core/compile.hpp"
 #include "core/interp.hpp"
+#include "obs/trace.hpp"
 
 namespace csaw {
 namespace {
@@ -52,6 +53,57 @@ TEST(Wire, MalformedFramesRejected) {
   auto good = encode_envelope(Envelope{});
   good.push_back(0);  // trailing garbage
   EXPECT_FALSE(decode_envelope(good).ok());
+}
+
+TEST(Wire, TraceContextRoundtrip) {
+  Envelope env;
+  env.kind = Envelope::Kind::kUpdate;
+  env.seq = 5;
+  env.from_instance = Symbol("f");
+  env.to = addr("g", "j");
+  env.update = Update::assert_prop(Symbol("Work"));
+  env.ctx = obs::TraceContext{
+      0xdeadbeefcafef00dull, 42,
+      obs::Hlc{1'700'000'000'000'123ull, 7}};
+  auto back = decode_envelope(encode_envelope(env));
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  ASSERT_TRUE(back->ctx.has_value());
+  EXPECT_EQ(back->ctx->trace_id, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(back->ctx->span_id, 42u);
+  EXPECT_EQ(back->ctx->hlc.physical_us, 1'700'000'000'000'123ull);
+  EXPECT_EQ(back->ctx->hlc.logical, 7u);
+}
+
+TEST(Wire, FrameWithoutContextDecodesAsNullContext) {
+  // Old senders (and new untraced ones) end the frame after nack_reason;
+  // that must decode as "no context", not as an error. Untraced frames are
+  // byte-identical to the pre-tracing wire format, so encoding without a
+  // context IS the old format.
+  Envelope env;
+  env.seq = 3;
+  env.from_instance = Symbol("f");
+  env.to = addr("g", "j");
+  auto back = decode_envelope(encode_envelope(env));
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_FALSE(back->ctx.has_value());
+}
+
+TEST(Wire, TruncatedOrCorruptContextRejected) {
+  Envelope env;
+  env.ctx = obs::TraceContext{1, 2, obs::Hlc{3'000'000, 4}};
+  const auto bytes = encode_envelope(env);
+  const auto bare = encode_envelope(Envelope{});  // same frame, no trailer
+  ASSERT_GT(bytes.size(), bare.size() + 1);
+  // Chop anywhere inside the trailer (but not at its boundary): error.
+  for (std::size_t len = bare.size() + 1; len < bytes.size(); ++len) {
+    Bytes truncated(bytes.begin(),
+                    bytes.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_FALSE(decode_envelope(truncated).ok()) << "len " << len;
+  }
+  // A corrupt trailer marker is an error too.
+  Bytes bad_marker = bytes;
+  bad_marker[bare.size()] = 9;
+  EXPECT_FALSE(decode_envelope(bad_marker).ok());
 }
 
 TEST(TcpTransport, Fig3HandoffOverRealSockets) {
@@ -104,6 +156,65 @@ TEST(TcpTransport, Fig3HandoffOverRealSockets) {
   }
   EXPECT_EQ(h1.load(), 10);
   EXPECT_EQ(h2.load(), 10);
+}
+
+TEST(TcpTransport, ContextPropagatesAcrossSockets) {
+  // Same Fig 3 handoff, traced: g's junction run must be a child span of
+  // f's push even though the context crossed a real kernel socket.
+  ProgramBuilder p("tcp_ctx");
+  p.type("tau_f")
+      .junction("j")
+      .init_prop("Work", false)
+      .body(e_seq({
+          e_assert(pr("Work"), jref("g", "j")),
+          e_wait({}, f_not(f_prop("Work"))),
+      }));
+  p.type("tau_g")
+      .junction("j")
+      .init_prop("Work", false)
+      .guard(f_prop("Work"))
+      .auto_schedule()
+      .body(e_retract(pr("Work"), jref("f", "j")));
+  p.instance("f", "tau_f", {{"j", {}}});
+  p.instance("g", "tau_g", {{"j", {}}});
+  p.main_body(e_par({e_start(inst("f")), e_start(inst("g"))}));
+  auto compiled = compile(p.build());
+  ASSERT_TRUE(compiled.ok()) << compiled.error().to_string();
+
+  obs::Tracer tracer;
+  EngineOptions opts;
+  opts.runtime.transport = Transport::kTcpLoopback;
+  opts.runtime.trace_sink = &tracer;
+  Engine engine(std::move(compiled).value(), HostBindings{}, opts);
+  ASSERT_TRUE(engine.run_main().ok());
+  ASSERT_TRUE(
+      engine.call("f", "j", Deadline::after(std::chrono::seconds(10))).ok());
+  engine.runtime().shutdown();
+
+  const auto events = tracer.drain();
+  const obs::TraceEvent* push_fg = nullptr;  // f's push of Work to g
+  const obs::TraceEvent* ran_g = nullptr;    // g's resulting run
+  for (const auto& e : events) {
+    if (e.kind == obs::TraceEvent::Kind::kPushSent &&
+        e.instance == Symbol("f") && e.peer == Symbol("g") &&
+        push_fg == nullptr) {
+      push_fg = &e;
+    }
+    if (e.kind == obs::TraceEvent::Kind::kJunctionRan &&
+        e.instance == Symbol("g") && ran_g == nullptr) {
+      ran_g = &e;
+    }
+  }
+  ASSERT_NE(push_fg, nullptr);
+  ASSERT_NE(ran_g, nullptr);
+  EXPECT_NE(push_fg->trace_id, 0u);
+  EXPECT_EQ(ran_g->trace_id, push_fg->trace_id)
+      << "trace id survived the socket hop";
+  EXPECT_EQ(ran_g->parent_span, push_fg->span_id)
+      << "g's run is a child of f's push";
+  // And the HLC ordered the hop: the child run starts after the push.
+  EXPECT_TRUE(push_fg->hlc.valid());
+  EXPECT_LT(push_fg->hlc, ran_g->hlc);
 }
 
 TEST(TcpTransport, NackTravelsOverSockets) {
