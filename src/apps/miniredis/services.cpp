@@ -88,6 +88,8 @@ CheckpointedService::CheckpointedService(Options options) {
   eopts.runtime.trace_sink = options.trace_sink;
   eopts.runtime.metrics = options.metrics;
   eopts.runtime.metrics_http_port = options.metrics_http_port;
+  eopts.runtime.transport = options.transport;
+  eopts.runtime.tcp = options.tcp;
   engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
                                      eopts);
   const auto cost = options.op_cost_ns;
@@ -219,6 +221,8 @@ ShardedService::ShardedService(Options options) : options_(std::move(options)) {
   eopts.runtime.trace_sink = options_.trace_sink;
   eopts.runtime.metrics = options_.metrics;
   eopts.runtime.metrics_http_port = options_.metrics_http_port;
+  eopts.runtime.transport = options_.transport;
+  eopts.runtime.tcp = options_.tcp;
   engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
                                      eopts);
   engine_->set_state(Symbol(popts.front_instance), front_);
@@ -379,6 +383,8 @@ CachedService::CachedService(Options options) : options_(std::move(options)) {
   eopts.runtime.trace_sink = options_.trace_sink;
   eopts.runtime.metrics = options_.metrics;
   eopts.runtime.metrics_http_port = options_.metrics_http_port;
+  eopts.runtime.transport = options_.transport;
+  eopts.runtime.tcp = options_.tcp;
   engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
                                      eopts);
   engine_->set_state(Symbol("Cache"), cache_);

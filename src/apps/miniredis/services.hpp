@@ -69,6 +69,11 @@ class CheckpointedService : public Service {
     // -1 = no HTTP endpoint; 0 = ephemeral port; >0 = fixed port. Needs
     // `metrics` set. The bound port is metrics_http_port().
     int metrics_http_port = -1;
+    // Transport for the underlying runtime: in-process (default), loopback
+    // TCP, or a multi-process TCP mesh configured by `tcp` (listener
+    // address, peer map, frame/queue bounds -- compart/tcp_options.hpp).
+    Transport transport = Transport::kInProcess;
+    TcpOptions tcp{};
   };
 
   CheckpointedService() : CheckpointedService(make_default_options()) {}
@@ -120,6 +125,11 @@ class ShardedService : public Service {
     // -1 = no HTTP endpoint; 0 = ephemeral port; >0 = fixed port. Needs
     // `metrics` set. The bound port is metrics_http_port().
     int metrics_http_port = -1;
+    // Transport for the underlying runtime: in-process (default), loopback
+    // TCP, or a multi-process TCP mesh configured by `tcp` (listener
+    // address, peer map, frame/queue bounds -- compart/tcp_options.hpp).
+    Transport transport = Transport::kInProcess;
+    TcpOptions tcp{};
   };
 
   ShardedService() : ShardedService(make_default_options()) {}
@@ -164,6 +174,11 @@ class CachedService : public Service {
     // -1 = no HTTP endpoint; 0 = ephemeral port; >0 = fixed port. Needs
     // `metrics` set. The bound port is metrics_http_port().
     int metrics_http_port = -1;
+    // Transport for the underlying runtime: in-process (default), loopback
+    // TCP, or a multi-process TCP mesh configured by `tcp` (listener
+    // address, peer map, frame/queue bounds -- compart/tcp_options.hpp).
+    Transport transport = Transport::kInProcess;
+    TcpOptions tcp{};
   };
 
   CachedService() : CachedService(make_default_options()) {}

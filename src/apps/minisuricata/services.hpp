@@ -44,6 +44,11 @@ class CheckpointedService {
     // -1 = no HTTP endpoint; 0 = ephemeral port; >0 = fixed port. Needs
     // `metrics` set. The bound port is metrics_http_port().
     int metrics_http_port = -1;
+    // Transport for the underlying runtime: in-process (default), loopback
+    // TCP, or a multi-process TCP mesh configured by `tcp` (listener
+    // address, peer map, frame/queue bounds -- compart/tcp_options.hpp).
+    Transport transport = Transport::kInProcess;
+    TcpOptions tcp{};
   };
 
   CheckpointedService() : CheckpointedService(make_default_options()) {}
@@ -81,6 +86,11 @@ class SteeredService {
     // -1 = no HTTP endpoint; 0 = ephemeral port; >0 = fixed port. Needs
     // `metrics` set. The bound port is metrics_http_port().
     int metrics_http_port = -1;
+    // Transport for the underlying runtime: in-process (default), loopback
+    // TCP, or a multi-process TCP mesh configured by `tcp` (listener
+    // address, peer map, frame/queue bounds -- compart/tcp_options.hpp).
+    Transport transport = Transport::kInProcess;
+    TcpOptions tcp{};
   };
 
   SteeredService() : SteeredService(make_default_options()) {}

@@ -99,13 +99,31 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
   }
   if (options_.transport == Transport::kTcpLoopback) {
     // Envelopes the router releases are pushed through a real loopback TCP
-    // connection; the TCP reader thread performs the delivery.
-    tcp_ = std::make_unique<TcpLoop>(
+    // connection (a "self" peer on the transport); the transport's event
+    // loop performs the delivery.
+    TcpOptions topts = options_.tcp;
+    topts.loopback_self = true;
+    topts.peers.clear();
+    topts.remote_instances.clear();
+    if (topts.listen_port < 0) topts.listen_port = 0;
+    tcp_ = std::make_unique<TcpTransport>(
         [this](Envelope&& env) { deliver_local(std::move(env)); },
-        options_.metrics);
+        std::move(topts), options_.metrics, options_.trace_sink);
     router_ = std::make_unique<Router>(
         options_.default_link, options_.seed,
-        [this](Envelope&& env) { tcp_->send(env); });
+        [this](Envelope&& env) { (void)tcp_->route(env); });
+  } else if (options_.transport == Transport::kTcpMesh) {
+    tcp_ = std::make_unique<TcpTransport>(
+        [this](Envelope&& env) { deliver_local(std::move(env)); },
+        options_.tcp, options_.metrics, options_.trace_sink);
+    router_ = std::make_unique<Router>(
+        options_.default_link, options_.seed, [this](Envelope&& env) {
+          // Locally-hosted instances are delivered in-process; everything
+          // else rides the mesh. Unroutable envelopes fall through to local
+          // delivery, which nacks unknown instances.
+          if (find(env.to.instance) == nullptr && tcp_->route(env)) return;
+          deliver_local(std::move(env));
+        });
   } else {
     router_ = std::make_unique<Router>(
         options_.default_link, options_.seed,

@@ -39,6 +39,7 @@
 #include "compart/link.hpp"
 #include "compart/message.hpp"
 #include "compart/router.hpp"
+#include "compart/tcp_options.hpp"
 #include "kv/table.hpp"
 #include "obs/expose.hpp"
 #include "obs/hlc.hpp"
@@ -94,11 +95,20 @@ struct InstanceDesc {
 enum class Transport {
   kInProcess,    // router delivers via direct calls (default)
   kTcpLoopback,  // every envelope crosses a real 127.0.0.1 TCP connection
+  kTcpMesh,      // multi-process: remote instances reached via per-peer TCP
+                 // connections configured by RuntimeOptions::tcp
 };
 
 struct RuntimeOptions {
   LinkModel default_link = LinkModel::in_process();
   Transport transport = Transport::kInProcess;
+  // TCP transport configuration (both kTcpLoopback and kTcpMesh): listener
+  // address, peer map, instance placement, frame/queue bounds, reconnect
+  // backoff (see compart/tcp_options.hpp). In kTcpMesh mode, envelopes for
+  // instances not hosted by this runtime are sent to the peer named in
+  // tcp.remote_instances; unroutable envelopes fall back to local delivery,
+  // which nacks them as unknown.
+  TcpOptions tcp{};
   // If true, a push to a stopped/crashed instance nacks at delivery time;
   // if false it vanishes and the sender discovers failure by timeout (the
   // distributed-faithful mode used by the fail-over benches).
@@ -208,6 +218,11 @@ class Runtime {
   KvTable& table(Symbol instance, Symbol junction);
   [[nodiscard]] RuntimeView view() const { return RuntimeView(this); }
   Router& router() { return *router_; }
+  // The TCP transport (null unless transport is kTcpLoopback/kTcpMesh):
+  // bound listener port, dynamic peer registration, per-peer stats.
+  [[nodiscard]] class TcpTransport* tcp_transport() const {
+    return tcp_.get();
+  }
   [[nodiscard]] const RuntimeOptions& options() const { return options_; }
   // Observability sinks (null when disabled).
   [[nodiscard]] obs::TraceSink* trace_sink() const {
@@ -301,7 +316,7 @@ class Runtime {
   RuntimeOptions options_;
   Instruments ins_;  // all-null when options_.metrics is null
   std::map<Symbol, std::unique_ptr<InstanceRt>> instances_;
-  std::unique_ptr<class TcpLoop> tcp_;  // only in kTcpLoopback mode
+  std::unique_ptr<class TcpTransport> tcp_;  // only in TCP transport modes
   std::unique_ptr<Router> router_;
   std::unique_ptr<obs::HttpExposer> exposer_;  // /metrics listener
 

@@ -1,0 +1,70 @@
+// Configuration for the TCP transport (compart/tcp.hpp), split out so that
+// RuntimeOptions can embed it without pulling socket machinery into every
+// runtime user.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/clock.hpp"
+#include "support/symbol.hpp"
+
+namespace csaw {
+
+// Where a peer process listens. Host is a dotted-quad IPv4 literal (the
+// transport does no name resolution; distributed deployments hand it
+// addresses, not names).
+struct TcpPeerAddr {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct TcpOptions {
+  // Listener for inbound peer connections. Port 0 binds an ephemeral port
+  // (read it back with TcpTransport::port()); -1 disables the listener
+  // (a send-only node).
+  std::string listen_host = "127.0.0.1";
+  int listen_port = 0;
+
+  // Outbound peers by name. The transport keeps one connection per peer,
+  // established eagerly and re-established under exponential backoff with
+  // jitter whenever it drops.
+  std::map<std::string, TcpPeerAddr> peers;
+  // Which peer hosts which remote instance: envelopes addressed to an
+  // instance in this map (and not hosted locally) are sent to that peer.
+  std::map<Symbol, std::string> remote_instances;
+
+  // Hard bound on one encoded envelope, enforced on both send (refused,
+  // counted as tcp_send_failures + tcp_frames_oversize) and receive (frame
+  // rejected *before* the payload allocation, connection closed). A corrupt
+  // 4-byte length header can therefore cost at most one bounded allocation.
+  std::size_t max_frame_bytes = std::size_t{4} << 20;  // 4 MiB
+
+  // Envelopes queued per peer while its connection is down or slow. On
+  // overflow the newest envelope is dropped, counted (tcp_queue_drops), and
+  // -- for ack-carrying updates -- nacked back to the local sender so
+  // failover patterns observe kUnreachable instead of waiting out their
+  // deadline.
+  std::size_t send_queue_cap = 1024;
+
+  // Reconnect schedule: first retry after backoff_initial, doubling to
+  // backoff_max, each delay jittered uniformly in [d/2, d].
+  Millis backoff_initial{10};
+  Millis backoff_max{2000};
+
+  // Write coalescing (bench ablation, EXPERIMENTS.md "xproc_shard"):
+  // coalesce=true batches every frame queued at wakeup into one sendmsg;
+  // false writes one frame per syscall. nodelay toggles TCP_NODELAY.
+  bool coalesce = true;
+  bool nodelay = true;
+
+  // Internal: set by Runtime for Transport::kTcpLoopback. The transport
+  // adds a single peer ("self") pointed at its own listener and route()
+  // sends every envelope through it, so all traffic crosses the kernel's
+  // loopback stack exactly as the old single-socket TcpLoop did.
+  bool loopback_self = false;
+};
+
+}  // namespace csaw
