@@ -5,6 +5,7 @@
 // network overhead"). Request latency and per-request back-end work are
 // compared at 2 and 4 replicas.
 #include <memory>
+#include <string_view>
 
 #include "apps/miniredis/command.hpp"
 #include "apps/miniredis/store.hpp"
@@ -40,11 +41,12 @@ struct Deployment {
   std::shared_ptr<FrontState> front = std::make_shared<FrontState>();
   patterns::FailoverOptions opts;
 
-  Deployment(std::size_t backends, bool engage_all) {
+  Deployment(std::size_t backends, bool engage_all,
+             std::int64_t timeout_ms = 1000, std::int64_t reactivate_ms = 3000) {
     opts.backends = backends;
     opts.engage_all = engage_all;
-    opts.timeout_ms = 1000;
-    opts.reactivate_ms = 3000;
+    opts.timeout_ms = timeout_ms;
+    opts.reactivate_ms = reactivate_ms;
     auto compiled = compile(patterns::failover(opts));
     CSAW_CHECK(compiled.ok()) << compiled.error().to_string();
 
@@ -152,9 +154,70 @@ struct Deployment {
   }
 };
 
+// --mttr: mean-time-to-recovery under primary crashes. A steady request
+// stream runs against the fail-over deployment; every few requests the
+// first back-end is kill-switched (Runtime::crash) and the latency of the
+// first request that completes *after* the crash is the observed
+// time-to-recovery (detection via the front's push timeout + engagement of
+// the surviving replica). The crashed back-end is restarted before the next
+// injection so every measurement starts from the same two-replica state.
+int run_mttr() {
+  const auto cfg = Config::from_env();
+  header("MTTR", "fail-over time-to-recovery under primary crashes "
+         "(crash b1 mid-load, measure first post-crash completion)", cfg);
+  const int crashes = Config::env_int("CSAW_BENCH_MTTR_CRASHES", 12);
+  const int warm = Config::env_int("CSAW_BENCH_MTTR_WARM", 8);
+  const int timeout_ms = Config::env_int("CSAW_BENCH_MTTR_TIMEOUT_MS", 200);
+
+  TablePrinter t({"strategy", "crashes", "p50(ms)", "p90(ms)", "p99(ms)",
+                  "max(ms)"});
+  double first_p50 = 0;
+  for (bool engage_all : {true, false}) {
+    Deployment d(2, engage_all, timeout_ms, /*reactivate_ms=*/3 * timeout_ms);
+    Cdf recovery;
+    int req = 0;
+    auto issue = [&](Cdf* lat) {
+      Command c;
+      c.op = req % 4 == 0 ? Command::Op::kSet : Command::Op::kGet;
+      c.key = "k" + std::to_string(req % 64);
+      c.value = "v";
+      ++req;
+      return d.request(c, lat);
+    };
+    for (int i = 0; i < crashes; ++i) {
+      for (int w = 0; w < warm; ++w) CSAW_CHECK(issue(nullptr));
+      d.engine->crash("b1");
+      // First post-crash completion = the recovery latency.
+      CSAW_CHECK(issue(&recovery)) << "no recovery after crash " << i;
+      CSAW_CHECK(d.engine->start_instance("b1").ok());
+      // Let the restarted replica re-register before the next injection.
+      for (int w = 0; w < warm; ++w) CSAW_CHECK(issue(nullptr));
+    }
+    t.add_row({engage_all ? "engage-all" : "first-success",
+               std::to_string(crashes),
+               TablePrinter::fmt(recovery.quantile(0.5), 3),
+               TablePrinter::fmt(recovery.quantile(0.9), 3),
+               TablePrinter::fmt(recovery.quantile(0.99), 3),
+               TablePrinter::fmt(recovery.quantile(1.0), 3)});
+    if (!engage_all) first_p50 = recovery.quantile(0.5);
+    std::printf("# recovery CDF (%s): p10=%.3f p25=%.3f p50=%.3f p75=%.3f "
+                "p90=%.3f p99=%.3f ms\n",
+                engage_all ? "engage-all" : "first-success",
+                recovery.quantile(0.10), recovery.quantile(0.25),
+                recovery.quantile(0.5), recovery.quantile(0.75),
+                recovery.quantile(0.9), recovery.quantile(0.99));
+  }
+  std::printf("%s", t.render().c_str());
+  shape_check(first_p50 < 10.0 * timeout_ms,
+              "recovery completes within a small multiple of the detection "
+              "timeout");
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string_view(argv[1]) == "--mttr") return run_mttr();
   const auto cfg = Config::from_env();
   header("Ablation", "fail-over strategy: engage-all replicas vs "
          "first-success (S7.3's proposed refinement)", cfg);

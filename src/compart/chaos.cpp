@@ -1,0 +1,201 @@
+#include "compart/chaos.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "compart/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace csaw {
+
+namespace {
+
+const char* kind_name(ChaosEvent::Kind k) {
+  switch (k) {
+    case ChaosEvent::Kind::kCrash:
+      return "crash";
+    case ChaosEvent::Kind::kRestart:
+      return "restart";
+    case ChaosEvent::Kind::kPartition:
+      return "partition";
+    case ChaosEvent::Kind::kHeal:
+      return "heal";
+    case ChaosEvent::Kind::kDelay:
+      return "delay";
+    case ChaosEvent::Kind::kDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ChaosEvent::describe() const {
+  std::ostringstream os;
+  os << "@" << step << " " << kind_name(kind) << " " << a.str();
+  switch (kind) {
+    case Kind::kPartition:
+    case Kind::kHeal:
+      os << "|" << b.str();
+      break;
+    case Kind::kDelay:
+      os << "<->" << b.str() << " +"
+         << std::chrono::duration_cast<std::chrono::microseconds>(delay)
+                .count()
+         << "us";
+      break;
+    case Kind::kDrop:
+      os << "<->" << b.str() << " p=" << p;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+std::string ChaosSchedule::describe() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) os << "; ";
+    os << events[i].describe();
+  }
+  return os.str();
+}
+
+ChaosSchedule ChaosSchedule::from_seed(std::uint64_t seed,
+                                       const std::vector<Symbol>& instances,
+                                       const Options& opts) {
+  ChaosSchedule out;
+  if (instances.empty() || opts.episodes <= 0 || opts.steps == 0) return out;
+  Rng rng(seed);
+  const double total_w = opts.crash_weight + opts.partition_weight +
+                         opts.delay_weight + opts.drop_weight;
+  for (int ep = 0; ep < opts.episodes; ++ep) {
+    // Start anywhere in the workload; the hold is clipped so the closing
+    // event (restart/heal) still lands inside [0, steps] and finish() has
+    // little to do on a full run.
+    const std::uint64_t hold = static_cast<std::uint64_t>(rng.range(
+        static_cast<std::int64_t>(opts.min_hold),
+        static_cast<std::int64_t>(std::max(opts.min_hold, opts.max_hold))));
+    const std::uint64_t latest_start =
+        opts.steps > hold ? opts.steps - hold : 0;
+    const std::uint64_t start = rng.below(latest_start + 1);
+
+    double pick = rng.uniform() * (total_w > 0 ? total_w : 1.0);
+    ChaosEvent open;
+    ChaosEvent close;
+    open.step = start;
+    close.step = start + hold;
+    open.a = instances[rng.below(instances.size())];
+    const bool pairable = instances.size() >= 2;
+    if (pairable) {
+      // A distinct second endpoint for the link faults.
+      Symbol b = open.a;
+      while (b == open.a) b = instances[rng.below(instances.size())];
+      open.b = b;
+    }
+    if (pick < opts.crash_weight || !pairable) {
+      open.kind = ChaosEvent::Kind::kCrash;
+      close.kind = ChaosEvent::Kind::kRestart;
+      close.a = open.a;
+    } else if ((pick -= opts.crash_weight) < opts.partition_weight) {
+      open.kind = ChaosEvent::Kind::kPartition;
+      close.kind = ChaosEvent::Kind::kHeal;
+      close.a = open.a;
+      close.b = open.b;
+    } else if ((pick -= opts.partition_weight) < opts.delay_weight) {
+      open.kind = ChaosEvent::Kind::kDelay;
+      open.delay = opts.delay_latency;
+      close.kind = ChaosEvent::Kind::kHeal;
+      close.a = open.a;
+      close.b = open.b;
+    } else {
+      open.kind = ChaosEvent::Kind::kDrop;
+      open.p = opts.drop_prob;
+      close.kind = ChaosEvent::Kind::kHeal;
+      close.a = open.a;
+      close.b = open.b;
+    }
+    out.events.push_back(open);
+    out.events.push_back(close);
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const ChaosEvent& x, const ChaosEvent& y) {
+                     return x.step < y.step;
+                   });
+  return out;
+}
+
+ChaosHarness::ChaosHarness(Runtime& rt, ChaosSchedule schedule)
+    : rt_(rt), schedule_(std::move(schedule)) {
+  std::stable_sort(schedule_.events.begin(), schedule_.events.end(),
+                   [](const ChaosEvent& x, const ChaosEvent& y) {
+                     return x.step < y.step;
+                   });
+}
+
+void ChaosHarness::on_step(std::uint64_t step) {
+  while (next_ < schedule_.events.size() &&
+         schedule_.events[next_].step <= step) {
+    fire(schedule_.events[next_]);
+    ++next_;
+  }
+}
+
+void ChaosHarness::finish() {
+  for (; next_ < schedule_.events.size(); ++next_) {
+    const ChaosEvent& e = schedule_.events[next_];
+    if (e.kind == ChaosEvent::Kind::kRestart ||
+        e.kind == ChaosEvent::Kind::kHeal) {
+      fire(e);
+    }
+  }
+}
+
+void ChaosHarness::fire(const ChaosEvent& e) {
+  switch (e.kind) {
+    case ChaosEvent::Kind::kCrash:
+      rt_.crash(e.a);
+      break;
+    case ChaosEvent::Kind::kRestart:
+      // Already-running is fine: a hand-written schedule may restart an
+      // instance the workload itself brought back.
+      if (!rt_.is_running(e.a)) (void)rt_.start(e.a);
+      break;
+    case ChaosEvent::Kind::kPartition:
+      rt_.router().set_partition(e.a, e.b, true);
+      break;
+    case ChaosEvent::Kind::kHeal:
+      rt_.router().set_partition(e.a, e.b, false);
+      rt_.router().clear_link(e.a, e.b);
+      rt_.router().clear_link(e.b, e.a);
+      break;
+    case ChaosEvent::Kind::kDelay: {
+      LinkModel m;
+      m.latency = e.delay;
+      rt_.router().set_link(e.a, e.b, m);
+      rt_.router().set_link(e.b, e.a, m);
+      break;
+    }
+    case ChaosEvent::Kind::kDrop: {
+      LinkModel m;
+      m.drop_prob = e.p;
+      rt_.router().set_link(e.a, e.b, m);
+      rt_.router().set_link(e.b, e.a, m);
+      break;
+    }
+  }
+  if (rt_.trace_sink() != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceEvent::Kind::kCustom;
+    ev.at = steady_now();
+    ev.instance = e.a;
+    ev.peer = e.b;
+    ev.label = Symbol(std::string("chaos_") + kind_name(e.kind));
+    ev.value_ns = e.step;
+    ev.hlc = rt_.hlc().tick();
+    rt_.trace_sink()->record(ev);
+  }
+}
+
+}  // namespace csaw

@@ -1,0 +1,119 @@
+// Deterministic chaos harness (DESIGN.md "Failure model & recovery").
+//
+// A ChaosSchedule is a list of fault events pinned to workload step numbers:
+// crash instance A at step 40, restart it at step 90, partition A|B between
+// steps 120 and 180, degrade the A->B link for a while. Schedules are either
+// hand-written (a test asserting one precise interleaving) or generated from
+// a single seed (ChaosSchedule::from_seed), so an entire randomized fault
+// run reproduces from one integer: same seed => same schedule => same fault
+// interleaving relative to the workload.
+//
+// ChaosHarness replays a schedule against a Runtime. The driving workload
+// calls on_step(step) at each step boundary; every event whose step has
+// arrived fires *synchronously on the caller's thread* before on_step
+// returns. That is the determinism contract: faults land at exact workload
+// positions, not at wall-clock times, so two runs with the same seed and
+// the same workload make the same sequence of Runtime calls. (Downstream
+// effects -- which in-flight envelope a crash bites, which frame a lossy
+// link eats -- still race with the router/transport threads; tests that
+// assert exact final state restrict themselves to crash/restart/partition/
+// heal, which are exact.)
+//
+// finish() fires every not-yet-fired heal and restart (and skips the rest)
+// so a workload that ends mid-outage still converges to an all-up,
+// fully-connected runtime before the test inspects final state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compart/link.hpp"
+#include "support/clock.hpp"
+#include "support/symbol.hpp"
+
+namespace csaw {
+
+class Runtime;
+
+struct ChaosEvent {
+  enum class Kind : std::uint8_t {
+    kCrash,      // Runtime::crash(a)
+    kRestart,    // Runtime::start(a) (ignored if already running)
+    kPartition,  // Router::set_partition(a, b, true)
+    kHeal,       // undo: unpartition a|b and reset the a<->b link model
+    kDelay,      // both directions of a<->b get `delay` latency
+    kDrop,       // both directions of a<->b drop with probability p
+  };
+  std::uint64_t step = 0;  // fires when on_step(step') sees step' >= step
+  Kind kind = Kind::kCrash;
+  Symbol a;           // target instance (all kinds)
+  Symbol b;           // other endpoint (kPartition/kHeal/kDelay/kDrop)
+  double p = 0.0;     // drop probability (kDrop)
+  Nanos delay{0};     // injected latency (kDelay)
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct ChaosSchedule {
+  std::vector<ChaosEvent> events;  // sorted by step (from_seed guarantees it)
+
+  struct Options {
+    // Workload length the schedule is laid out over.
+    std::uint64_t steps = 1000;
+    // How many fault "episodes" to generate. Each episode is a
+    // crash+restart pair or a partition/delay/drop+heal pair whose
+    // endpoints and duration are drawn from the rng.
+    int episodes = 4;
+    // Minimum / maximum episode duration in steps.
+    std::uint64_t min_hold = 20;
+    std::uint64_t max_hold = 200;
+    // Relative weights of episode kinds (crash : partition : delay : drop).
+    double crash_weight = 0.4;
+    double partition_weight = 0.3;
+    double delay_weight = 0.2;
+    double drop_weight = 0.1;
+    // Injected-fault magnitudes.
+    Nanos delay_latency = std::chrono::milliseconds(5);
+    double drop_prob = 0.3;
+  };
+
+  // Deterministic: the same (seed, opts, instances) triple always yields the
+  // same schedule. `instances` must be non-empty; pair faults need >= 2.
+  static ChaosSchedule from_seed(std::uint64_t seed,
+                                 const std::vector<Symbol>& instances,
+                                 const Options& opts);
+  static ChaosSchedule from_seed(std::uint64_t seed,
+                                 const std::vector<Symbol>& instances) {
+    return from_seed(seed, instances, Options());
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+class ChaosHarness {
+ public:
+  // `rt` is borrowed and must outlive the harness. Events fire strictly in
+  // schedule order; an out-of-order hand-written schedule is sorted here.
+  ChaosHarness(Runtime& rt, ChaosSchedule schedule);
+
+  // Fires every event with event.step <= step that has not fired yet,
+  // synchronously, in order. Call once per workload step (monotone steps).
+  void on_step(std::uint64_t step);
+
+  // Fires pending heals/restarts (skipping pending crashes/partitions/
+  // delays/drops) so the runtime converges to all-up, fully-connected.
+  void finish();
+
+  [[nodiscard]] std::size_t fired() const { return next_; }
+  [[nodiscard]] const ChaosSchedule& schedule() const { return schedule_; }
+
+ private:
+  void fire(const ChaosEvent& e);
+
+  Runtime& rt_;
+  ChaosSchedule schedule_;
+  std::size_t next_ = 0;  // first unfired event
+};
+
+}  // namespace csaw

@@ -1,0 +1,87 @@
+#include "compart/detector.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace csaw {
+
+FailureDetector::FailureDetector(Options options, obs::Metrics* metrics,
+                                 obs::TraceSink* trace_sink)
+    : suspicion_after_(options.heartbeat_interval *
+                       std::max(options.suspect_after_missed, 1)),
+      trace_sink_(trace_sink) {
+  if (metrics != nullptr) {
+    m_heartbeats_ = &metrics->counter("detector_heartbeats");
+    m_suspicions_ = &metrics->counter("detector_suspicions");
+    m_recoveries_ = &metrics->counter("detector_recoveries");
+  }
+}
+
+void FailureDetector::observe(Symbol peer, std::uint64_t epoch,
+                              std::vector<Symbol> running, SteadyTime now) {
+  std::scoped_lock lock(mu_);
+  auto& p = peers_[peer];
+  if (p.suspected) {
+    p.suspected = false;
+    if (m_recoveries_ != nullptr) m_recoveries_->add();
+    if (trace_sink_ != nullptr) {
+      obs::TraceEvent e;
+      e.kind = obs::TraceEvent::Kind::kCustom;
+      e.label = Symbol("detector_recovered");
+      e.peer = peer;
+      trace_sink_->record(e);
+    }
+  }
+  p.last_seen = now;
+  if (epoch > p.epoch) p.epoch = epoch;
+  p.running = std::unordered_set<Symbol>(running.begin(), running.end());
+  ++p.heartbeats;
+  if (m_heartbeats_ != nullptr) m_heartbeats_->add();
+}
+
+void FailureDetector::refresh_locked(Symbol name, PeerState& p,
+                                     SteadyTime now) const {
+  if (p.suspected || now - p.last_seen <= suspicion_after_) return;
+  p.suspected = true;
+  if (m_suspicions_ != nullptr) m_suspicions_->add();
+  if (trace_sink_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEvent::Kind::kCustom;
+    e.label = Symbol("detector_suspected");
+    e.peer = name;
+    e.value_ns = static_cast<std::uint64_t>((now - p.last_seen).count());
+    trace_sink_->record(e);
+  }
+}
+
+bool FailureDetector::instance_alive(Symbol instance, SteadyTime now) const {
+  std::scoped_lock lock(mu_);
+  for (auto& [name, p] : peers_) {
+    refresh_locked(name, p, now);
+    if (!p.suspected && p.running.contains(instance)) return true;
+  }
+  return false;
+}
+
+bool FailureDetector::knows_instance(Symbol instance) const {
+  std::scoped_lock lock(mu_);
+  for (const auto& [name, p] : peers_) {
+    if (p.running.contains(instance)) return true;
+  }
+  return false;
+}
+
+std::vector<FailureDetector::PeerInfo> FailureDetector::peers(
+    SteadyTime now) const {
+  std::scoped_lock lock(mu_);
+  std::vector<PeerInfo> out;
+  out.reserve(peers_.size());
+  for (auto& [name, p] : peers_) {
+    refresh_locked(name, p, now);
+    out.push_back(PeerInfo{name, p.epoch, p.suspected, now - p.last_seen,
+                           p.heartbeats});
+  }
+  return out;
+}
+
+}  // namespace csaw

@@ -24,7 +24,11 @@ struct JunctionAddr {
 };
 
 struct Envelope {
-  enum class Kind { kUpdate, kAck };
+  // kHeartbeat frames carry liveness gossip for the failure detector
+  // (compart/detector.hpp): from_instance names the sending node, epoch is
+  // its authority epoch, and update.value.bytes encodes the list of
+  // instances it currently runs. They are never acked.
+  enum class Kind { kUpdate, kAck, kHeartbeat };
 
   Kind kind = Kind::kUpdate;
   std::uint64_t seq = 0;       // correlates acks with updates
@@ -35,6 +39,11 @@ struct Envelope {
   bool nack = false;           // kAck: true if delivery failed
   std::string nack_reason;
   SteadyTime deliver_at{};     // set by the router
+  // Sender's authority epoch (runtime.hpp "Split-brain prevention"): 0 on
+  // frames from runtimes without durable epochs. A receiver whose epoch is
+  // higher rejects non-zero stale updates; a receiver whose epoch is lower
+  // adopts the frame's.
+  std::uint64_t epoch = 0;
   // Distributed-trace context: the sending push's span plus the sender's
   // hybrid-logical-clock reading at send time. Acks echo the original
   // push's context so the sender's clock merges the receiver's time.

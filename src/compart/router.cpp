@@ -43,6 +43,11 @@ void Router::set_link(Symbol from, Symbol to, LinkModel model) {
   overrides_[{from, to}] = model;
 }
 
+void Router::clear_link(Symbol from, Symbol to) {
+  std::scoped_lock lock(mu_);
+  overrides_.erase({from, to});
+}
+
 void Router::set_partition(Symbol a, Symbol b, bool blocked) {
   std::scoped_lock lock(mu_);
   partitions_[a < b ? std::pair{a, b} : std::pair{b, a}] = blocked;

@@ -37,6 +37,8 @@ class Router {
 
   // Per-instance-pair link override; (a,b) is directional.
   void set_link(Symbol from, Symbol to, LinkModel model);
+  // Removes the (from,to) override so the pair falls back to default_link.
+  void clear_link(Symbol from, Symbol to);
   // Blocks/unblocks both directions between a and b (network partition).
   void set_partition(Symbol a, Symbol b, bool blocked);
 

@@ -3,9 +3,12 @@
 #include "compart/tcp.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <random>
 
+#include "serdes/buffer.hpp"
 #include "support/check.hpp"
+#include "support/io.hpp"
 
 namespace csaw {
 
@@ -94,8 +97,26 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
     ins_.instances_stopped = &m.counter("instances_stopped");
     ins_.instances_crashed = &m.counter("instances_crashed");
     ins_.instances_restarted = &m.counter("instances_restarted");
+    ins_.epoch_rejected = &m.counter("epoch_rejected");
+    ins_.epoch_adopted = &m.counter("epoch_adopted");
+    ins_.wal_recoveries = &m.counter("wal_recoveries");
+    ins_.wal_replayed_records = &m.counter("wal_replayed_records");
+    ins_.wal_tail_torn = &m.counter("wal_tail_torn");
     ins_.push_latency_ns = &m.histogram("push_latency_ns");
     ins_.junction_run_ns = &m.histogram("junction_run_ns");
+  }
+  if (!options_.durability_dir.empty()) {
+    auto st = io::ensure_dir(options_.durability_dir);
+    CSAW_CHECK(st.ok()) << "durability_dir: " << st.error().to_string();
+    // The authority epoch survives restarts -- deliberately NOT bumped here:
+    // a restarted node keeps its pre-crash epoch, so if authority moved on
+    // while it was down, its frames are stale until it learns the new epoch.
+    if (auto bytes = io::read_file(options_.durability_dir + "/epoch");
+        bytes.ok()) {
+      std::string text(bytes->begin(), bytes->end());
+      epoch_.store(std::strtoull(text.c_str(), nullptr, 10),
+                   std::memory_order_relaxed);
+    }
   }
   if (options_.transport == Transport::kTcpLoopback) {
     // Envelopes the router releases are pushed through a real loopback TCP
@@ -129,9 +150,99 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
         options_.default_link, options_.seed,
         [this](Envelope&& env) { deliver_local(std::move(env)); });
   }
+  if (tcp_ != nullptr && options_.tcp.heartbeat_interval.count() > 0) {
+    FailureDetector::Options dopts;
+    dopts.heartbeat_interval = options_.tcp.heartbeat_interval;
+    dopts.suspect_after_missed = options_.tcp.suspect_after_missed;
+    detector_ = std::make_unique<FailureDetector>(dopts, options_.metrics,
+                                                  options_.trace_sink);
+    node_name_ = options_.tcp.node_name.empty()
+                     ? "node@" + std::to_string(tcp_->port())
+                     : options_.tcp.node_name;
+    tcp_->set_heartbeat_source([this] { return make_heartbeat(); });
+  }
 }
 
 Runtime::~Runtime() { shutdown(); }
+
+std::uint64_t Runtime::bump_epoch() {
+  const auto next = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  persist_epoch(next);
+  if (options_.trace_sink != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEvent::Kind::kCustom;
+    e.label = Symbol("epoch_bumped");
+    e.value_ns = next;
+    record_event(std::move(e));
+  }
+  return next;
+}
+
+void Runtime::observe_epoch(std::uint64_t seen) {
+  auto current = epoch_.load(std::memory_order_relaxed);
+  while (seen > current) {
+    if (epoch_.compare_exchange_weak(current, seen,
+                                     std::memory_order_relaxed)) {
+      persist_epoch(seen);
+      if (ins_.epoch_adopted != nullptr) ins_.epoch_adopted->add();
+      if (options_.trace_sink != nullptr) {
+        obs::TraceEvent e;
+        e.kind = obs::TraceEvent::Kind::kCustom;
+        e.label = Symbol("epoch_adopted");
+        e.value_ns = seen;
+        record_event(std::move(e));
+      }
+      return;
+    }
+  }
+}
+
+void Runtime::persist_epoch(std::uint64_t value) {
+  if (options_.durability_dir.empty()) return;
+  auto st = io::write_file_atomic(options_.durability_dir + "/epoch",
+                                  std::to_string(value));
+  // Fail-stop, like the WAL: an epoch we cannot persist is an epoch a
+  // restart would forget, which reopens the split-brain window.
+  CSAW_CHECK(st.ok()) << "epoch persist failed: " << st.error().to_string();
+}
+
+Envelope Runtime::make_heartbeat() {
+  Envelope env;
+  env.kind = Envelope::Kind::kHeartbeat;
+  env.from_instance = Symbol(node_name_);
+  env.epoch = epoch();
+  ByteWriter w;
+  std::vector<Symbol> running;
+  {
+    std::scoped_lock reg_lock(reg_mu_);
+    for (const auto& [name, inst] : instances_) {
+      std::scoped_lock lock(inst->mu);
+      if (inst->state == InstanceRt::State::kRunning) running.push_back(name);
+    }
+  }
+  w.uvarint(running.size());
+  for (const auto name : running) w.str(name.str());
+  env.update.kind = Update::Kind::kWriteData;
+  env.update.key = Symbol("heartbeat");
+  env.update.value.bytes = w.take();
+  return env;
+}
+
+void Runtime::handle_heartbeat(const Envelope& env) {
+  if (detector_ == nullptr) return;
+  ByteReader r(env.update.value.bytes);
+  auto count = r.uvarint();
+  if (!count) return;  // malformed gossip: ignore, the next one will come
+  std::vector<Symbol> running;
+  running.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto name = r.str();
+    if (!name) return;
+    running.emplace_back(*name);
+  }
+  detector_->observe(env.from_instance, env.epoch, std::move(running),
+                     steady_now());
+}
 
 void Runtime::record_event(obs::TraceEvent e) {
   auto* sink = options_.trace_sink;
@@ -155,8 +266,6 @@ void Runtime::trace(obs::TraceEvent::Kind kind, Symbol instance,
 }
 
 void Runtime::add_instance(InstanceDesc desc) {
-  CSAW_CHECK(!instances_.contains(desc.name))
-      << "duplicate instance '" << desc.name << "'";
   auto inst = std::make_unique<InstanceRt>();
   inst->desc = std::move(desc);
   for (const auto& jdesc : inst->desc.junctions) {
@@ -164,6 +273,9 @@ void Runtime::add_instance(InstanceDesc desc) {
     jrt->desc = jdesc;
     inst->junctions.push_back(std::move(jrt));
   }
+  std::scoped_lock lock(reg_mu_);
+  CSAW_CHECK(!instances_.contains(inst->desc.name))
+      << "duplicate instance '" << inst->desc.name << "'";
   instances_.emplace(inst->desc.name, std::move(inst));
 }
 
@@ -185,12 +297,56 @@ Status Runtime::start(Symbol instance) {
   }
   // Fresh tables: restart re-initializes state from the declarations; any
   // durable state must flow back through the architecture (e.g. the
-  // fail-over pattern's Activating protocol), exactly as in the paper.
+  // fail-over pattern's Activating protocol), exactly as in the paper --
+  // UNLESS durability is on, in which case the table recovers its last
+  // acknowledged state (applied values and acked-but-pending updates) from
+  // the WAL + snapshot before the junctions launch.
+  const bool durable = !options_.durability_dir.empty();
   for (auto& jrt : inst->junctions) {
     jrt->table = std::make_unique<KvTable>(
         jrt->desc.table_spec, instance.str() + "::" + jrt->desc.name.str());
     jrt->table->set_observer(options_.trace_sink, ins_.kv_applied, instance,
                              jrt->desc.name);
+    if (durable) {
+      const std::string fname = instance.str() + "__" + jrt->desc.name.str();
+      auto recovered = wal_recover(options_.durability_dir, fname);
+      if (!recovered.ok()) return recovered.error();
+      jrt->table->adopt_recovered(*recovered);
+      Wal::Options wopts;
+      wopts.sync_each_append = options_.wal_sync;
+      wopts.compact_bytes = options_.wal_compact_bytes;
+      auto wal = Wal::open(options_.durability_dir, fname, wopts,
+                           options_.metrics, recovered->last_lsn + 1);
+      if (!wal.ok()) return wal.error();
+      jrt->wal = std::move(*wal);
+      // Reopen compaction: fold the recovered state into a fresh snapshot
+      // and clear the log. Mandatory when the tail was torn -- appending
+      // after damaged bytes would hide every later record from replay.
+      const auto state = jrt->table->durable_state();
+      if (auto st =
+              jrt->wal->compact(state.image, state.pending, state.max_stamp);
+          !st.ok()) {
+        return st;
+      }
+      jrt->table->set_durability(jrt->wal.get());
+      if (ins_.wal_recoveries != nullptr) ins_.wal_recoveries->add();
+      if (ins_.wal_replayed_records != nullptr) {
+        ins_.wal_replayed_records->add(recovered->records_replayed);
+      }
+      if (recovered->tail_torn && ins_.wal_tail_torn != nullptr) {
+        ins_.wal_tail_torn->add();
+      }
+      if (options_.trace_sink != nullptr) {
+        obs::TraceEvent e;
+        e.kind = obs::TraceEvent::Kind::kCustom;
+        e.instance = instance;
+        e.junction = jrt->desc.name;
+        e.label = Symbol(recovered->tail_torn ? "wal_recovered_torn"
+                                              : "wal_recovered");
+        e.value_ns = recovered->records_replayed;
+        record_event(std::move(e));
+      }
+    }
     jrt->pending_schedules = 0;
     jrt->guard_rejections = 0;
   }
@@ -237,6 +393,14 @@ Status Runtime::stop_locked_state(InstanceRt& inst,
   for (auto& jrt : inst.junctions) {
     if (jrt->thread.joinable()) jrt->thread.join();
   }
+  // Close the WALs so another incarnation (this process or a successor
+  // sharing durability_dir) can recover from a quiesced log.
+  for (auto& jrt : inst.junctions) {
+    if (jrt->wal != nullptr) {
+      if (jrt->table != nullptr) jrt->table->set_durability(nullptr);
+      jrt->wal.reset();
+    }
+  }
   {
     std::scoped_lock lock(inst.mu);
     inst.state = final_state;
@@ -268,7 +432,15 @@ void Runtime::crash(Symbol instance) {
 
 bool Runtime::is_running(Symbol instance) const {
   auto* inst = find(instance);
-  if (inst == nullptr) return false;
+  if (inst == nullptr) {
+    // Not hosted here: in a heartbeat-carrying mesh, the failure detector
+    // answers for remote instances (S(i) guards in watchdog patterns work
+    // across processes); without one, unknown means not running.
+    if (detector_ != nullptr) {
+      return detector_->instance_alive(instance, steady_now());
+    }
+    return false;
+  }
   std::scoped_lock lock(inst->mu);
   return inst->state == InstanceRt::State::kRunning;
 }
@@ -290,6 +462,7 @@ Status Runtime::push(PushRequest req) {
   env.from_instance = req.from;
   env.to = req.to;
   env.update = std::move(req.update);
+  env.epoch = epoch();
 
   // Span of this push within the ambient distributed trace: child of the
   // junction run executing on this thread (if any), root of a fresh trace
@@ -509,6 +682,7 @@ std::uint64_t Runtime::runs_completed(Symbol instance, Symbol junction) const {
 }
 
 Runtime::InstanceRt* Runtime::find(Symbol instance) const {
+  std::scoped_lock lock(reg_mu_);
   auto it = instances_.find(instance);
   return it == instances_.end() ? nullptr : it->second.get();
 }
@@ -628,6 +802,16 @@ void Runtime::deliver(Envelope&& env) {
   // Receiving any traced frame advances our hybrid logical clock past the
   // sender's, which is what keeps cross-instance timestamps causal.
   if (env.ctx.has_value()) hlc_.merge(env.ctx->hlc);
+  // Authority-epoch bookkeeping (split-brain prevention): any frame carrying
+  // a higher epoch teaches us the new view; a kUpdate carrying a *lower*
+  // non-zero epoch comes from a node that has not yet learned it lost
+  // authority (e.g. a restarted primary) and is rejected below. Epoch 0 is
+  // "unversioned" -- frames from runtimes without durability pass freely.
+  if (env.epoch != 0) observe_epoch(env.epoch);
+  if (env.kind == Envelope::Kind::kHeartbeat) {
+    handle_heartbeat(env);
+    return;
+  }
   if (env.kind == Envelope::Kind::kAck) {
     std::scoped_lock lock(ack_mu_);
     if (pending_acks_.contains(env.seq)) {
@@ -637,6 +821,22 @@ void Runtime::deliver(Envelope&& env) {
                             : Status::ok_status());
       ack_cv_.notify_all();
     }
+    return;
+  }
+
+  if (env.epoch != 0 && env.epoch < epoch()) {
+    if (ins_.epoch_rejected != nullptr) ins_.epoch_rejected->add();
+    if (options_.trace_sink != nullptr) {
+      obs::TraceEvent e;
+      e.kind = obs::TraceEvent::Kind::kCustom;
+      e.peer = env.from_instance;
+      e.seq = env.seq;
+      e.value_ns = env.epoch;
+      e.label = Symbol("epoch_rejected");
+      record_event(std::move(e));
+    }
+    send_ack(env, true, "stale epoch " + std::to_string(env.epoch) +
+                            " < " + std::to_string(epoch()));
     return;
   }
 
@@ -681,6 +881,7 @@ void Runtime::send_ack(const Envelope& original, bool nack,
   ack.to = JunctionAddr{original.from_instance, Symbol()};
   ack.nack = nack;
   ack.nack_reason = std::move(reason);
+  ack.epoch = epoch();
   if (original.ctx.has_value()) {
     // Echo the push's context with our clock reading, so the sender's HLC
     // merges the receiver's time when the ack lands.

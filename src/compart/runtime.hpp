@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "compart/detector.hpp"
 #include "compart/link.hpp"
 #include "compart/message.hpp"
 #include "compart/router.hpp"
@@ -131,6 +132,21 @@ struct RuntimeOptions {
   // /healthz. -1 disables; 0 binds an ephemeral port (read it back with
   // Runtime::metrics_http_port()). Requires `metrics` to be set.
   int metrics_http_port = -1;
+  // Crash recovery (kv/wal.hpp). When non-empty, every junction table is
+  // backed by a write-ahead log + snapshots under this directory:
+  // `start(i)` recovers each table's acknowledged state (applied values AND
+  // acked-but-pending updates) from disk instead of re-initializing from
+  // the declarations, and the runtime's authority epoch persists in
+  // <dir>/epoch. One directory per OS process -- two live runtimes sharing
+  // it would interleave logs.
+  std::string durability_dir;
+  // fsync the WAL on every state transition (the ack-implies-durable
+  // guarantee). false trades the unsynced suffix on power loss for
+  // throughput; kill -9 alone loses nothing either way.
+  bool wal_sync = true;
+  // Per-table compaction threshold (snapshot + truncate once the log
+  // exceeds this many bytes; 0 = never compact).
+  std::size_t wal_compact_bytes = std::size_t{1} << 20;
 };
 
 // One ack'd update push, with named fields (replaces the old positional
@@ -236,6 +252,26 @@ class Runtime {
   // The runtime's hybrid logical clock (merged on every traced receive).
   [[nodiscard]] obs::HlcClock& hlc() { return hlc_; }
 
+  // --- split-brain prevention ---------------------------------------------
+  // The authority epoch: a view number that advances only on explicit
+  // takeover (bump_epoch, called by failover logic when a spare assumes
+  // authority), never on mere restart. Every outgoing frame carries it;
+  // receivers adopt higher epochs from frames and reject updates carrying
+  // strictly lower non-zero epochs (counted as `epoch_rejected`, traced,
+  // nacked "stale epoch"). A revived primary therefore keeps its persisted
+  // pre-takeover epoch and finds its writes refused until it learns the new
+  // one. Persisted in <durability_dir>/epoch when durability is on.
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bump_epoch();
+
+  // The heartbeat failure detector (null unless the TCP transport runs with
+  // heartbeat_interval > 0). When present, is_running() consults it for
+  // instances not hosted by this runtime, which is what lets watchdog S(i)
+  // guards see remote liveness.
+  [[nodiscard]] FailureDetector* detector() const { return detector_.get(); }
+
   // Total completed junction runs (progress metric for benches).
   [[nodiscard]] std::uint64_t runs_completed(Symbol instance,
                                              Symbol junction) const;
@@ -252,6 +288,7 @@ class Runtime {
   struct JunctionRt {
     JunctionDesc desc;
     std::unique_ptr<KvTable> table;
+    std::unique_ptr<Wal> wal;  // non-null only while durability is on
     std::uint64_t pending_schedules = 0;  // guarded by InstanceRt::mu
     std::uint64_t completed = 0;
     // Guard evaluations that said no while a schedule request was pending
@@ -291,6 +328,11 @@ class Runtime {
     obs::Counter* instances_stopped = nullptr;
     obs::Counter* instances_crashed = nullptr;
     obs::Counter* instances_restarted = nullptr;
+    obs::Counter* epoch_rejected = nullptr;
+    obs::Counter* epoch_adopted = nullptr;
+    obs::Counter* wal_recoveries = nullptr;
+    obs::Counter* wal_replayed_records = nullptr;
+    obs::Counter* wal_tail_torn = nullptr;
     obs::Histogram* push_latency_ns = nullptr;
     obs::Histogram* junction_run_ns = nullptr;
   };
@@ -305,6 +347,14 @@ class Runtime {
   // Fresh process-unique 64-bit id for traces and spans (never zero).
   std::uint64_t new_trace_id();
 
+  // Adopts a higher epoch seen on a frame (persisting it when durable).
+  void observe_epoch(std::uint64_t seen);
+  void persist_epoch(std::uint64_t value);
+  // Builds one kHeartbeat envelope (node name, epoch, running instances).
+  Envelope make_heartbeat();
+  // Feeds a received kHeartbeat to the detector.
+  void handle_heartbeat(const Envelope& env);
+
   InstanceRt* find(Symbol instance) const;
   void deliver_local(Envelope&& env);
   JunctionRt* find_junction(InstanceRt& inst, Symbol junction) const;
@@ -315,10 +365,20 @@ class Runtime {
 
   RuntimeOptions options_;
   Instruments ins_;  // all-null when options_.metrics is null
+  // Guards the *structure* of instances_ (add_instance vs lookups from the
+  // transport thread -- deliver and heartbeat emission start with the TCP
+  // event loop, i.e. before registration is done). InstanceRt pointers are
+  // stable once inserted (never erased), so holders need no further lock.
+  mutable std::mutex reg_mu_;
   std::map<Symbol, std::unique_ptr<InstanceRt>> instances_;
   std::unique_ptr<class TcpTransport> tcp_;  // only in TCP transport modes
   std::unique_ptr<Router> router_;
   std::unique_ptr<obs::HttpExposer> exposer_;  // /metrics listener
+  std::unique_ptr<FailureDetector> detector_;  // only with heartbeats on
+
+  // Authority epoch (see epoch()); persisted under durability_dir.
+  std::atomic<std::uint64_t> epoch_{0};
+  std::string node_name_;  // identity in outgoing heartbeats
 
   // Distributed-trace identity. The id base is drawn from the system RNG at
   // construction so ids from different processes don't collide when their

@@ -236,6 +236,14 @@ TcpTransport::Peer& TcpTransport::ensure_peer_locked(const std::string& name,
   return ref;
 }
 
+void TcpTransport::set_heartbeat_source(std::function<Envelope()> source) {
+  {
+    std::scoped_lock lock(mu_);
+    heartbeat_source_ = std::move(source);
+  }
+  wake();
+}
+
 void TcpTransport::add_peer(const std::string& name, TcpPeerAddr addr) {
   {
     std::scoped_lock lock(mu_);
@@ -574,7 +582,31 @@ void TcpTransport::loop() {
   std::vector<pollfd> pfds;
   std::vector<Meta> meta;
 
+  const Nanos hb_interval = options_.heartbeat_interval;
+
   while (true) {
+    // Heartbeats: fire outside mu_ -- the source callback reads runtime
+    // state whose locks are taken while calling back into send_to (which
+    // locks mu_), so holding mu_ here would invert that order.
+    if (hb_interval.count() > 0) {
+      const SteadyTime now = steady_now();
+      if (now >= next_heartbeat_) {
+        std::function<Envelope()> source;
+        std::vector<std::string> names;
+        {
+          std::scoped_lock lock(mu_);
+          source = heartbeat_source_;
+          names.reserve(peers_.size());
+          for (const auto& [name, p] : peers_) names.push_back(name);
+        }
+        if (source) {
+          const Envelope hb = source();
+          for (const auto& name : names) (void)send_to(name, hb);
+        }
+        next_heartbeat_ = now + hb_interval;
+      }
+    }
+
     pfds.clear();
     meta.clear();
     pfds.push_back({wake_r_, POLLIN, 0});
@@ -585,6 +617,7 @@ void TcpTransport::loop() {
     }
 
     Nanos timeout{-1};
+    if (hb_interval.count() > 0) timeout = next_heartbeat_ - steady_now();
     {
       std::scoped_lock lock(mu_);
       if (stop_) return;

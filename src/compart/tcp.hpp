@@ -102,6 +102,13 @@ class TcpTransport {
   // Bound listener port (0 when the listener is disabled).
   [[nodiscard]] std::uint16_t port() const { return listen_port_; }
 
+  // Installs the heartbeat frame factory (thread-safe). When
+  // TcpOptions::heartbeat_interval > 0, the event loop calls it once per
+  // interval (without holding transport locks) and sends the returned
+  // envelope to every registered peer. Typically set by the Runtime to a
+  // kHeartbeat builder; unset means no heartbeats are emitted.
+  void set_heartbeat_source(std::function<Envelope()> source);
+
   // Dynamic peer registration (thread-safe): used when peer addresses are
   // only known after construction (e.g. two ephemeral-port runtimes in one
   // test binding in sequence).
@@ -192,13 +199,16 @@ class TcpTransport {
   int wake_r_ = -1;
   int wake_w_ = -1;
 
-  mutable std::mutex mu_;  // guards peers_, instance_peers_, stop_
+  mutable std::mutex mu_;  // guards peers_, instance_peers_, stop_,
+                           // heartbeat_source_
   std::map<std::string, std::unique_ptr<Peer>> peers_;
   std::map<Symbol, std::string> instance_peers_;
   bool stop_ = false;
+  std::function<Envelope()> heartbeat_source_;
   Rng jitter_;  // event-loop thread only (after construction)
 
-  std::vector<InConn> conns_;  // event-loop thread only
+  std::vector<InConn> conns_;       // event-loop thread only
+  SteadyTime next_heartbeat_{};     // event-loop thread only
 
   // Borrowed aggregate counter handles; all null when metrics are disabled.
   obs::Counter* frames_sent_ = nullptr;

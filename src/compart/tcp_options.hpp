@@ -54,6 +54,19 @@ struct TcpOptions {
   Millis backoff_initial{10};
   Millis backoff_max{2000};
 
+  // Failure detection (compart/detector.hpp). When heartbeat_interval > 0
+  // the transport's event loop emits one kHeartbeat frame per interval to
+  // every peer; the Runtime supplies the frame (node name, authority epoch,
+  // running-instance list) and feeds received heartbeats to its
+  // FailureDetector. 0 keeps heartbeats off (the default: single-process
+  // and latency-sensitive configurations pay nothing).
+  Millis heartbeat_interval{0};
+  // Peers are suspected after this many silent intervals.
+  int suspect_after_missed = 3;
+  // This node's name in outgoing heartbeats; empty derives "node@<port>"
+  // from the listener.
+  std::string node_name;
+
   // Write coalescing (bench ablation, EXPERIMENTS.md "xproc_shard"):
   // coalesce=true batches every frame queued at wakeup into one sendmsg;
   // false writes one frame per syscall. nodelay toggles TCP_NODELAY.

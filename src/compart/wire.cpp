@@ -18,7 +18,11 @@ Result<Symbol> get_symbol(ByteReader& r) {
 
 Bytes encode_envelope(const Envelope& env) {
   ByteWriter w;
-  w.u8(env.kind == Envelope::Kind::kUpdate ? 0 : 1);
+  switch (env.kind) {
+    case Envelope::Kind::kUpdate: w.u8(0); break;
+    case Envelope::Kind::kAck: w.u8(1); break;
+    case Envelope::Kind::kHeartbeat: w.u8(2); break;
+  }
   w.uvarint(env.seq);
   put_symbol(w, env.from_instance);
   put_symbol(w, env.to.instance);
@@ -30,16 +34,22 @@ Bytes encode_envelope(const Envelope& env) {
   w.str(env.update.from);
   w.u8(env.nack ? 1 : 0);
   w.str(env.nack_reason);
-  // Trace context travels as an optional trailer so that frames from
-  // untraced senders stay byte-identical to the pre-tracing format: the
-  // trailer is simply absent. Decoders treat "frame ends here" as "no
-  // context", which is also what makes old frames decode cleanly.
+  // Optional trailer sections, each introduced by a one-byte tag, so that
+  // frames from senders without the feature stay byte-identical to the
+  // older formats: the section is simply absent. Decoders treat "frame ends
+  // here" as "no more sections", which is also what makes old frames decode
+  // cleanly. Tags must appear in ascending order (1 = trace context,
+  // 2 = authority epoch).
   if (env.ctx.has_value()) {
     w.u8(1);
     w.uvarint(env.ctx->trace_id);
     w.uvarint(env.ctx->span_id);
     w.uvarint(env.ctx->hlc.physical_us);
     w.uvarint(env.ctx->hlc.logical);
+  }
+  if (env.epoch != 0) {
+    w.u8(2);
+    w.uvarint(env.epoch);
   }
   return w.take();
 }
@@ -49,7 +59,8 @@ Result<Envelope> decode_envelope(const Bytes& data) {
   Envelope env;
   auto kind = r.u8();
   if (!kind) return kind.error();
-  env.kind = *kind == 0 ? Envelope::Kind::kUpdate : Envelope::Kind::kAck;
+  if (*kind > 2) return make_error(Errc::kDecode, "bad envelope kind");
+  env.kind = static_cast<Envelope::Kind>(*kind);
   auto seq = r.uvarint();
   if (!seq) return seq.error();
   env.seq = *seq;
@@ -84,28 +95,45 @@ Result<Envelope> decode_envelope(const Bytes& data) {
   auto reason = r.str();
   if (!reason) return reason.error();
   env.nack_reason = std::move(*reason);
-  // Optional trace-context trailer: a frame that ends here (old senders,
-  // untraced senders) decodes with a null context, not an error.
-  if (!r.exhausted()) {
+  // Optional tagged trailer sections: a frame that ends at any point here
+  // (old senders, features disabled) decodes with the defaults, not an
+  // error. Tags must ascend, so an unknown or out-of-order tag is corrupt.
+  std::uint8_t last_tag = 0;
+  while (!r.exhausted()) {
     auto marker = r.u8();
     if (!marker) return marker.error();
-    if (*marker != 1) return make_error(Errc::kDecode, "bad trace-ctx marker");
-    obs::TraceContext ctx;
-    auto trace_id = r.uvarint();
-    if (!trace_id) return trace_id.error();
-    ctx.trace_id = *trace_id;
-    auto span_id = r.uvarint();
-    if (!span_id) return span_id.error();
-    ctx.span_id = *span_id;
-    auto physical = r.uvarint();
-    if (!physical) return physical.error();
-    ctx.hlc.physical_us = *physical;
-    auto logical = r.uvarint();
-    if (!logical) return logical.error();
-    ctx.hlc.logical = static_cast<std::uint32_t>(*logical);
-    env.ctx = ctx;
+    if (*marker <= last_tag) {
+      return make_error(Errc::kDecode, "bad trailer tag order");
+    }
+    last_tag = *marker;
+    switch (*marker) {
+      case 1: {
+        obs::TraceContext ctx;
+        auto trace_id = r.uvarint();
+        if (!trace_id) return trace_id.error();
+        ctx.trace_id = *trace_id;
+        auto span_id = r.uvarint();
+        if (!span_id) return span_id.error();
+        ctx.span_id = *span_id;
+        auto physical = r.uvarint();
+        if (!physical) return physical.error();
+        ctx.hlc.physical_us = *physical;
+        auto logical = r.uvarint();
+        if (!logical) return logical.error();
+        ctx.hlc.logical = static_cast<std::uint32_t>(*logical);
+        env.ctx = ctx;
+        break;
+      }
+      case 2: {
+        auto epoch = r.uvarint();
+        if (!epoch) return epoch.error();
+        env.epoch = *epoch;
+        break;
+      }
+      default:
+        return make_error(Errc::kDecode, "bad trailer tag");
+    }
   }
-  if (!r.exhausted()) return make_error(Errc::kDecode, "trailing bytes");
   return env;
 }
 

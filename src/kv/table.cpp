@@ -52,10 +52,15 @@ KvTable::KvTable(Spec spec, std::string owner)
 void KvTable::apply_pending() {
   std::scoped_lock lock(mu_);
   for (const auto& pending : pending_) {
+    WalRecord unq;
+    unq.kind = WalRecord::Kind::kUnqueue;
+    unq.stamp = pending.stamp;
+    wal_append(std::move(unq));
     // Declared-name failures were rejected at enqueue; apply cannot fail.
     (void)apply_unlocked(pending.update, /*in_wait=*/false);
   }
   pending_.clear();
+  wal_commit();
 }
 
 void KvTable::begin_run() {
@@ -75,11 +80,18 @@ void KvTable::end_run() {
     std::erase_if(pending_, [&](const Pending& p) {
       auto it = locally_written_.find(p.update.key);
       const bool drop = it != locally_written_.end() && p.stamp < it->second;
-      if (drop) ++counters_.dropped_local_priority;
+      if (drop) {
+        ++counters_.dropped_local_priority;
+        WalRecord unq;
+        unq.kind = WalRecord::Kind::kUnqueue;
+        unq.stamp = p.stamp;
+        wal_append(std::move(unq));
+      }
       return drop;
     });
   }
   locally_written_.clear();
+  wal_commit();
 }
 
 Result<bool> KvTable::prop(Symbol name) const {
@@ -102,6 +114,13 @@ Status KvTable::set_prop_local(Symbol name, bool value) {
   it->second = value;
   if (running_) locally_written_[name] = ++epoch_;
   ++counters_.applied;
+  if (wal_ != nullptr) {
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::kApply;
+    rec.update = value ? Update::assert_prop(name) : Update::retract_prop(name);
+    wal_append(std::move(rec));
+    wal_commit();
+  }
   cv_.notify_all();
   return Status::ok_status();
 }
@@ -127,6 +146,13 @@ Status KvTable::save_local(Symbol name, SerializedValue value) {
   defined_.insert(name);
   if (running_) locally_written_[name] = ++epoch_;
   ++counters_.applied;
+  if (wal_ != nullptr) {
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::kApply;
+    rec.update = Update::write_data(name, it->second);
+    wal_append(std::move(rec));
+    wal_commit();
+  }
   cv_.notify_all();
   return Status::ok_status();
 }
@@ -136,9 +162,16 @@ void KvTable::keep(std::span<const Symbol> keys) {
   std::erase_if(pending_, [&](const Pending& p) {
     const bool drop =
         std::find(keys.begin(), keys.end(), p.update.key) != keys.end();
-    if (drop) ++counters_.dropped_keep;
+    if (drop) {
+      ++counters_.dropped_keep;
+      WalRecord unq;
+      unq.kind = WalRecord::Kind::kUnqueue;
+      unq.stamp = p.stamp;
+      wal_append(std::move(unq));
+    }
     return drop;
   });
+  wal_commit();
 }
 
 KvTable::Snapshot KvTable::snapshot() const {
@@ -151,6 +184,13 @@ void KvTable::restore_snapshot(const Snapshot& snap) {
   props_ = snap.props;
   data_ = snap.data;
   defined_ = snap.defined;
+  if (wal_ != nullptr) {
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::kReset;
+    rec.image = durable_state_unlocked().image;
+    wal_append(std::move(rec));
+    wal_commit();
+  }
   cv_.notify_all();
 }
 
@@ -166,9 +206,14 @@ Status KvTable::wait(const std::function<bool(const TableView&)>& pred,
   // Work locally, then wait for its remote retraction) depends on it.
   std::erase_if(pending_, [&](const Pending& p) {
     if (!admit_set.contains(p.update.key)) return false;
+    WalRecord unq;
+    unq.kind = WalRecord::Kind::kUnqueue;
+    unq.stamp = p.stamp;
+    wal_append(std::move(unq));
     (void)apply_unlocked(p.update, /*in_wait=*/true);
     return true;
   });
+  wal_commit();
 
   admits_.push_back(&admit_set);
   auto cleanup = [&] {
@@ -214,11 +259,20 @@ Status KvTable::enqueue(const Update& update) {
   for (const auto* admit : admits_) {
     if (admit->contains(update.key)) {
       auto st = apply_unlocked(update, /*in_wait=*/true);
+      wal_commit();
       cv_.notify_all();
       return st;
     }
   }
   pending_.push_back(Pending{update, ++epoch_});
+  // Log-then-ack: the kQueue record is on disk (synced by wal_commit)
+  // before enqueue returns, so the caller's ack never outruns durability.
+  WalRecord rec;
+  rec.kind = WalRecord::Kind::kQueue;
+  rec.update = update;
+  rec.stamp = epoch_;
+  wal_append(std::move(rec));
+  wal_commit();
   return Status::ok_status();
 }
 
@@ -248,8 +302,97 @@ Status KvTable::apply_unlocked(const Update& update, bool in_wait) {
   }
   ++counters_.applied;
   if (in_wait) ++counters_.admitted_in_wait;
+  if (wal_ != nullptr) {
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::kApply;
+    rec.update = update;
+    wal_append(std::move(rec));
+  }
   observe_applied(update.key);
   return Status::ok_status();
+}
+
+void KvTable::adopt_recovered(const RecoveredState& recovered) {
+  std::scoped_lock lock(mu_);
+  for (const auto& [name, value] : recovered.image.props) {
+    auto it = props_.find(Symbol(name));
+    if (it != props_.end()) it->second = value;
+  }
+  for (const auto& d : recovered.image.data) {
+    const Symbol key(d.key);
+    auto it = data_.find(key);
+    if (it == data_.end()) continue;
+    if (d.defined) {
+      it->second.type = d.type.empty() ? Symbol() : Symbol(d.type);
+      it->second.bytes = d.bytes;
+      defined_.insert(key);
+    } else {
+      it->second = SerializedValue{};
+      defined_.erase(key);
+    }
+  }
+  for (const auto& p : recovered.pending) {
+    const bool is_prop = p.update.kind != Update::Kind::kWriteData;
+    if (is_prop ? !props_.contains(p.update.key)
+                : !data_.contains(p.update.key)) {
+      continue;  // declaration drift: key no longer exists in this program
+    }
+    pending_.push_back(Pending{p.update, p.stamp});
+  }
+  if (recovered.max_stamp > epoch_) epoch_ = recovered.max_stamp;
+}
+
+void KvTable::set_durability(Wal* wal) {
+  std::scoped_lock lock(mu_);
+  wal_ = wal;
+}
+
+KvTable::DurableState KvTable::durable_state() const {
+  std::scoped_lock lock(mu_);
+  return durable_state_unlocked();
+}
+
+KvTable::DurableState KvTable::durable_state_unlocked() const {
+  DurableState out;
+  out.image.props.reserve(props_.size());
+  for (const auto& [name, value] : props_) {
+    out.image.props.emplace_back(name.str(), value);
+  }
+  out.image.data.reserve(data_.size());
+  for (const auto& [name, value] : data_) {
+    TableImage::Datum d;
+    d.key = name.str();
+    d.defined = defined_.contains(name);
+    d.type = value.type.valid() ? value.type.str() : std::string();
+    d.bytes = value.bytes;
+    out.image.data.push_back(std::move(d));
+  }
+  out.pending.reserve(pending_.size());
+  for (const auto& p : pending_) {
+    out.pending.push_back(PendingUpdate{p.stamp, p.update});
+  }
+  out.max_stamp = epoch_;
+  return out;
+}
+
+void KvTable::wal_append(WalRecord rec) {
+  if (wal_ == nullptr) return;
+  auto st = wal_->append(std::move(rec), /*sync_now=*/false);
+  CSAW_CHECK(st.ok()) << owner_
+                      << ": wal append failed: " << st.error().to_string();
+}
+
+void KvTable::wal_commit() {
+  if (wal_ == nullptr) return;
+  auto st = wal_->commit();
+  CSAW_CHECK(st.ok()) << owner_
+                      << ": wal sync failed: " << st.error().to_string();
+  if (wal_->wants_compaction()) {
+    const auto state = durable_state_unlocked();
+    auto cst = wal_->compact(state.image, state.pending, state.max_stamp);
+    CSAW_CHECK(cst.ok()) << owner_ << ": wal compaction failed: "
+                         << cst.error().to_string();
+  }
 }
 
 void KvTable::set_observer(obs::TraceSink* trace, obs::Counter* applied,

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "kv/update.hpp"
+#include "kv/wal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/clock.hpp"
@@ -121,6 +122,31 @@ class KvTable {
   // the key was never declared here.
   Status enqueue(const Update& update);
 
+  // --- durability ----------------------------------------------------------
+  // Everything recovery or compaction needs, captured consistently.
+  struct DurableState {
+    TableImage image;
+    std::vector<PendingUpdate> pending;
+    std::uint64_t max_stamp = 0;
+  };
+
+  // Installs recovered state before the junction first runs: declared keys
+  // take their recovered values (including pending, acked-but-unapplied
+  // updates); recovered keys the current program no longer declares are
+  // dropped. The stamp counter resumes past `max_stamp` so recovered
+  // pending entries keep their ordering relative to new arrivals.
+  void adopt_recovered(const RecoveredState& recovered);
+
+  // Attaches the write-ahead log. From here on every state transition is
+  // appended (and synced) under the table mutex before the mutating call
+  // returns -- which is what makes an ack imply durability. The Wal is
+  // borrowed and must outlive the table (or be detached with nullptr).
+  // WAL I/O failure is fail-stop: a table that cannot persist a transition
+  // aborts rather than acknowledge writes it may lose.
+  void set_durability(Wal* wal);
+
+  [[nodiscard]] DurableState durable_state() const;
+
   // --- observability -------------------------------------------------------
   // Taps every applied *remote* update: one kv_applied trace event naming
   // the key, plus a counter increment. Set by the runtime between
@@ -150,6 +176,12 @@ class KvTable {
   Status apply_unlocked(const Update& update, bool in_wait);
   void observe_applied(Symbol key);
 
+  // WAL plumbing (all called with mu_ held). wal_append buffers a record;
+  // wal_commit syncs buffered records and compacts when the log is due.
+  void wal_append(WalRecord rec);
+  void wal_commit();
+  [[nodiscard]] DurableState durable_state_unlocked() const;
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::string owner_;
@@ -177,6 +209,8 @@ class KvTable {
   std::vector<const std::unordered_set<Symbol>*> admits_;
   bool interrupted_ = false;
   Counters counters_;
+
+  Wal* wal_ = nullptr;
 
   obs::TraceSink* trace_ = nullptr;
   obs::Counter* applied_metric_ = nullptr;

@@ -21,6 +21,7 @@
 
 #include "obs/export.hpp"
 #include "support/check.hpp"
+#include "support/io.hpp"
 
 namespace csaw::obs {
 namespace {
@@ -613,13 +614,11 @@ void write_perfetto_json(std::ostream& os,
 
 Status write_perfetto_json_file(const std::string& path,
                                 const std::vector<TraceEvent>& events) {
-  std::ofstream out(path);
-  if (!out) {
-    return make_error(Errc::kHostFailure,
-                      "cannot open perfetto output file '" + path + "'");
-  }
+  // Atomic replace (support/io): a crash mid-export leaves the previous
+  // trace intact instead of a truncated JSON file.
+  std::ostringstream out;
   write_perfetto_json(out, events);
-  return Status::ok_status();
+  return io::write_file_atomic(path, out.str());
 }
 
 Status check_perfetto_json(std::string_view text) {

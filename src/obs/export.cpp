@@ -1,7 +1,9 @@
 #include "obs/export.hpp"
 
-#include <fstream>
 #include <ostream>
+#include <sstream>
+
+#include "support/io.hpp"
 
 namespace csaw::obs {
 namespace {
@@ -125,13 +127,11 @@ void write_trace_json(std::ostream& os, Tracer* tracer,
 
 Status write_trace_json_file(const std::string& path, Tracer* tracer,
                              const Metrics* metrics) {
-  std::ofstream out(path);
-  if (!out) {
-    return make_error(Errc::kHostFailure,
-                      "cannot open trace output file '" + path + "'");
-  }
+  // Atomic replace (support/io): a crash mid-export leaves the previous
+  // trace intact instead of a truncated JSON file.
+  std::ostringstream out;
   write_trace_json(out, tracer, metrics);
-  return Status::ok_status();
+  return io::write_file_atomic(path, out.str());
 }
 
 }  // namespace csaw::obs

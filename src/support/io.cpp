@@ -1,0 +1,144 @@
+#include "support/io.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace csaw::io {
+namespace {
+
+Error errno_error(const std::string& what) {
+  return make_error(Errc::kHostFailure, what + ": " + std::strerror(errno));
+}
+
+int open_retry(const char* path, int flags, mode_t mode = 0) {
+  int fd;
+  do {
+    fd = ::open(path, flags, mode);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+void close_retry(int fd) {
+  // POSIX leaves fd state unspecified after EINTR on close; on Linux the fd
+  // is closed regardless, so a single call is the safe form.
+  ::close(fd);
+}
+
+std::string dirname_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Status write_all(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const auto put = ::write(fd, p, n);
+    if (put > 0) {
+      p += put;
+      n -= static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    return errno_error("write");
+  }
+  return Status::ok_status();
+}
+
+Status sync_fd(int fd) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return errno_error("fsync");
+  return Status::ok_status();
+}
+
+Status fsync_dir(const std::string& dir) {
+  const int fd = open_retry(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return errno_error("open dir '" + dir + "'");
+  auto st = sync_fd(fd);
+  close_retry(fd);
+  return st;
+}
+
+Status write_file_atomic(const std::string& path, const void* data,
+                        std::size_t n) {
+  // The temp name lives in the target's directory so the rename cannot
+  // cross filesystems, and carries the pid so concurrent writers (two
+  // processes sharing a durability dir) never collide.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = open_retry(tmp.c_str(),
+                            O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return errno_error("open '" + tmp + "'");
+  auto st = write_all(fd, data, n);
+  if (st.ok()) st = sync_fd(fd);
+  close_retry(fd);
+  if (!st.ok()) {
+    (void)::unlink(tmp.c_str());
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    auto err = errno_error("rename '" + tmp + "' -> '" + path + "'");
+    (void)::unlink(tmp.c_str());
+    return err;
+  }
+  return fsync_dir(dirname_of(path));
+}
+
+Status write_file_atomic(const std::string& path, const std::string& data) {
+  return write_file_atomic(path, data.data(), data.size());
+}
+
+Result<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  const int fd = open_retry(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return errno_error("open '" + path + "'");
+  std::vector<std::uint8_t> out;
+  std::uint8_t buf[1 << 16];
+  while (true) {
+    const auto got = ::read(fd, buf, sizeof(buf));
+    if (got > 0) {
+      out.insert(out.end(), buf, buf + got);
+      continue;
+    }
+    if (got == 0) break;
+    if (errno == EINTR) continue;
+    auto err = errno_error("read '" + path + "'");
+    close_retry(fd);
+    return err;
+  }
+  close_retry(fd);
+  return out;
+}
+
+Status ensure_dir(const std::string& dir) {
+  if (dir.empty()) return make_error(Errc::kHostFailure, "empty dir path");
+  // Create each prefix in turn; EEXIST at any level is success.
+  for (std::size_t i = 1; i <= dir.size(); ++i) {
+    if (i != dir.size() && dir[i] != '/') continue;
+    const std::string prefix = dir.substr(0, i);
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return errno_error("mkdir '" + prefix + "'");
+    }
+  }
+  return Status::ok_status();
+}
+
+Status remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return errno_error("unlink '" + path + "'");
+  }
+  return Status::ok_status();
+}
+
+}  // namespace csaw::io

@@ -1,0 +1,53 @@
+// Durable file I/O primitives.
+//
+// Everything the crash-recovery layer writes must survive a kill -9 at any
+// instant, which on POSIX means three disciplines bundled here so callers
+// cannot forget one:
+//   * every read/write retries EINTR (a stray signal must not turn into a
+//     torn record or a spurious failure);
+//   * visible files are replaced atomically (write to a temp name in the
+//     same directory, fsync the fd, rename over the target) so readers see
+//     either the old bytes or the new bytes, never a prefix;
+//   * renames and creates are followed by an fsync of the containing
+//     directory, without which the *name* of a fully-synced file can still
+//     vanish in a crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/result.hpp"
+
+namespace csaw::io {
+
+// EINTR-safe full write to an open fd; kHostFailure on any hard error.
+Status write_all(int fd, const void* data, std::size_t n);
+
+// fsync(fd) retrying EINTR.
+Status sync_fd(int fd);
+
+// Opens `dir`, fsyncs it and closes it, making renames/creates inside it
+// durable. Directories that cannot be opened for reading report the error.
+Status fsync_dir(const std::string& dir);
+
+// Atomically replaces `path` with `data`: writes `path`+unique-suffix in
+// the same directory, fsyncs the file, renames it over `path`, and fsyncs
+// the directory. After a crash at any point, `path` holds either the old
+// content or the new content in full.
+Status write_file_atomic(const std::string& path, const void* data,
+                         std::size_t n);
+Status write_file_atomic(const std::string& path, const std::string& data);
+
+// Whole-file read (EINTR-safe); kHostFailure if the file cannot be opened.
+Result<std::vector<std::uint8_t>> read_file(const std::string& path);
+
+// mkdir -p for one level-at-a-time absolute or relative paths; existing
+// directories are fine.
+Status ensure_dir(const std::string& dir);
+
+// Removes a file if it exists (missing is not an error).
+Status remove_file(const std::string& path);
+
+}  // namespace csaw::io

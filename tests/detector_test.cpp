@@ -1,0 +1,150 @@
+// Unit tests for the failure detector (compart/detector) and the authority-
+// epoch wire plumbing: heartbeat-driven liveness, suspicion after missed
+// intervals, recovery, and the tagged envelope trailer that carries epochs
+// without breaking old decoders.
+#include <gtest/gtest.h>
+
+#include "compart/detector.hpp"
+#include "compart/wire.hpp"
+#include "obs/metrics.hpp"
+
+namespace csaw {
+namespace {
+
+using namespace std::chrono_literals;
+
+FailureDetector::Options fast_opts() {
+  FailureDetector::Options o;
+  o.heartbeat_interval = 10ms;
+  o.suspect_after_missed = 3;
+  return o;
+}
+
+TEST(FailureDetector, SuspectsAfterMissedHeartbeats) {
+  obs::Metrics metrics;
+  FailureDetector d(fast_opts(), &metrics, nullptr);
+  const auto t0 = steady_now();
+  d.observe(Symbol("nodeA"), /*epoch=*/1, {Symbol("primary")}, t0);
+
+  // Fresh: alive.
+  EXPECT_TRUE(d.instance_alive(Symbol("primary"), t0 + 5ms));
+  // Within the suspicion window (3 * 10ms): still alive.
+  EXPECT_TRUE(d.instance_alive(Symbol("primary"), t0 + 25ms));
+  // Past it: suspected, instance no longer considered alive.
+  EXPECT_FALSE(d.instance_alive(Symbol("primary"), t0 + 31ms));
+  EXPECT_EQ(metrics.counter("detector_suspicions").value(), 1u);
+
+  auto peers = d.peers(t0 + 31ms);
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_TRUE(peers[0].suspected);
+  EXPECT_EQ(peers[0].epoch, 1u);
+}
+
+TEST(FailureDetector, RecoversOnNextHeartbeat) {
+  obs::Metrics metrics;
+  FailureDetector d(fast_opts(), &metrics, nullptr);
+  const auto t0 = steady_now();
+  d.observe(Symbol("nodeA"), 1, {Symbol("primary")}, t0);
+  EXPECT_FALSE(d.instance_alive(Symbol("primary"), t0 + 100ms));
+  // A late heartbeat un-suspects the peer.
+  d.observe(Symbol("nodeA"), 1, {Symbol("primary")}, t0 + 101ms);
+  EXPECT_TRUE(d.instance_alive(Symbol("primary"), t0 + 102ms));
+  EXPECT_EQ(metrics.counter("detector_recoveries").value(), 1u);
+}
+
+TEST(FailureDetector, TracksRunningSetPerPeer) {
+  FailureDetector d(fast_opts(), nullptr, nullptr);
+  const auto t0 = steady_now();
+  d.observe(Symbol("nodeA"), 1, {Symbol("a1"), Symbol("a2")}, t0);
+  d.observe(Symbol("nodeB"), 1, {Symbol("b1")}, t0);
+  EXPECT_TRUE(d.instance_alive(Symbol("a2"), t0 + 1ms));
+  EXPECT_TRUE(d.instance_alive(Symbol("b1"), t0 + 1ms));
+  EXPECT_FALSE(d.instance_alive(Symbol("nowhere"), t0 + 1ms));
+  EXPECT_TRUE(d.knows_instance(Symbol("a1")));
+  EXPECT_FALSE(d.knows_instance(Symbol("nowhere")));
+  // An instance stops being advertised (stopped remotely): no longer alive.
+  d.observe(Symbol("nodeA"), 1, {Symbol("a1")}, t0 + 2ms);
+  EXPECT_FALSE(d.instance_alive(Symbol("a2"), t0 + 3ms));
+}
+
+TEST(FailureDetector, KeepsHighestEpochSeen) {
+  FailureDetector d(fast_opts(), nullptr, nullptr);
+  const auto t0 = steady_now();
+  d.observe(Symbol("nodeA"), 5, {}, t0);
+  d.observe(Symbol("nodeA"), 3, {}, t0 + 1ms);  // stale epoch doesn't regress
+  auto peers = d.peers(t0 + 2ms);
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0].epoch, 5u);
+}
+
+TEST(Wire, EpochRoundTrips) {
+  Envelope env;
+  env.kind = Envelope::Kind::kUpdate;
+  env.from_instance = Symbol("a");
+  env.to = JunctionAddr{Symbol("b"), Symbol("j")};
+  env.update = Update::assert_prop(Symbol("P"), "a::j");
+  env.seq = 42;
+  env.epoch = 9;
+  auto decoded = decode_envelope(encode_envelope(env));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded->epoch, 9u);
+  EXPECT_EQ(decoded->seq, 42u);
+  EXPECT_EQ(decoded->kind, Envelope::Kind::kUpdate);
+}
+
+TEST(Wire, EpochZeroIsElided) {
+  Envelope env;
+  env.kind = Envelope::Kind::kAck;
+  env.seq = 1;
+  env.epoch = 0;
+  auto decoded = decode_envelope(encode_envelope(env));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->epoch, 0u);
+}
+
+TEST(Wire, HeartbeatKindRoundTrips) {
+  Envelope env;
+  env.kind = Envelope::Kind::kHeartbeat;
+  env.from_instance = Symbol("node@9");
+  env.epoch = 3;
+  env.update.kind = Update::Kind::kWriteData;
+  env.update.key = Symbol("heartbeat");
+  env.update.value.bytes = Bytes{2, 'h', 'i'};
+  auto decoded = decode_envelope(encode_envelope(env));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded->kind, Envelope::Kind::kHeartbeat);
+  EXPECT_EQ(decoded->epoch, 3u);
+  EXPECT_EQ(decoded->from_instance.str(), "node@9");
+  EXPECT_EQ(decoded->update.value.bytes, (Bytes{2, 'h', 'i'}));
+}
+
+TEST(Wire, TrailerWithBothContextAndEpoch) {
+  Envelope env;
+  env.kind = Envelope::Kind::kUpdate;
+  env.to = JunctionAddr{Symbol("b"), Symbol("j")};
+  env.update = Update::assert_prop(Symbol("P"));
+  obs::TraceContext ctx;
+  ctx.trace_id = 0x1234;
+  ctx.span_id = 0x77;
+  env.ctx = ctx;
+  env.epoch = 11;
+  auto decoded = decode_envelope(encode_envelope(env));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  ASSERT_TRUE(decoded->ctx.has_value());
+  EXPECT_EQ(decoded->ctx->trace_id, 0x1234u);
+  EXPECT_EQ(decoded->epoch, 11u);
+}
+
+TEST(Wire, BadKindRejected) {
+  Envelope env;
+  env.kind = Envelope::Kind::kUpdate;
+  env.to = JunctionAddr{Symbol("b"), Symbol("j")};
+  auto bytes = encode_envelope(env);
+  bytes[0] = 0x7F;  // kind byte is first
+  auto decoded = decode_envelope(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, Errc::kDecode);
+}
+
+}  // namespace
+}  // namespace csaw

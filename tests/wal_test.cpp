@@ -1,0 +1,343 @@
+// Unit tests for the durability layer: EINTR-safe atomic file I/O
+// (support/io), the CRC-framed write-ahead log and its snapshot/compaction
+// machinery (kv/wal), and KvTable's WAL hooks (log-then-ack, recovery of
+// both applied state and the pending queue).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "kv/table.hpp"
+#include "kv/wal.hpp"
+#include "support/io.hpp"
+
+namespace csaw {
+namespace {
+
+// Self-cleaning temp dir per test.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/csaw_wal_test_XXXXXX";
+    char* p = ::mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    path = p;
+  }
+  ~TempDir() {
+    // Tests create a handful of flat files; no recursion needed.
+    std::string cmd = "rm -rf '" + path + "'";
+    (void)std::system(cmd.c_str());
+  }
+};
+
+SerializedValue val(const std::string& s) {
+  return SerializedValue{Symbol("str"), Bytes(s.begin(), s.end())};
+}
+
+TEST(Io, WriteFileAtomicRoundTrip) {
+  TempDir dir;
+  const std::string path = dir.path + "/f";
+  ASSERT_TRUE(io::write_file_atomic(path, "hello").ok());
+  auto got = io::read_file(path);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::string(got->begin(), got->end()), "hello");
+  // Replacement is atomic: rewriting leaves exactly the new content.
+  ASSERT_TRUE(io::write_file_atomic(path, "second").ok());
+  got = io::read_file(path);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::string(got->begin(), got->end()), "second");
+}
+
+TEST(Io, ReadMissingFileFails) {
+  TempDir dir;
+  auto got = io::read_file(dir.path + "/nope");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error().code, Errc::kHostFailure);
+}
+
+TEST(Io, EnsureDirNested) {
+  TempDir dir;
+  ASSERT_TRUE(io::ensure_dir(dir.path + "/a/b/c").ok());
+  ASSERT_TRUE(io::write_file_atomic(dir.path + "/a/b/c/f", "x").ok());
+  // Idempotent.
+  ASSERT_TRUE(io::ensure_dir(dir.path + "/a/b/c").ok());
+}
+
+TEST(Wal, Crc32KnownProperties) {
+  const char a[] = "123456789";
+  // The classic CRC-32 (IEEE, reflected) check value.
+  EXPECT_EQ(wal_crc32(a, 9), 0xCBF43926u);
+  EXPECT_NE(wal_crc32("x", 1), wal_crc32("y", 1));
+}
+
+TEST(Wal, EmptyDirRecoversEmpty) {
+  TempDir dir;
+  auto rec = wal_recover(dir.path, "t");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_FALSE(rec->had_snapshot);
+  EXPECT_FALSE(rec->tail_torn);
+  EXPECT_EQ(rec->records_replayed, 0u);
+  EXPECT_TRUE(rec->image.props.empty());
+  EXPECT_TRUE(rec->pending.empty());
+}
+
+TEST(Wal, AppendRecoverRoundTrip) {
+  TempDir dir;
+  {
+    auto wal = Wal::open(dir.path, "t", {}, nullptr, 1);
+    ASSERT_TRUE(wal.ok());
+    WalRecord r;
+    r.kind = WalRecord::Kind::kApply;
+    r.update = Update::assert_prop(Symbol("P"), "sender");
+    ASSERT_TRUE((*wal)->append(std::move(r)).ok());
+    r = WalRecord{};
+    r.kind = WalRecord::Kind::kApply;
+    r.update = Update::write_data(Symbol("v"), val("payload"), "sender");
+    ASSERT_TRUE((*wal)->append(std::move(r)).ok());
+    r = WalRecord{};
+    r.kind = WalRecord::Kind::kQueue;
+    r.update = Update::retract_prop(Symbol("P"));
+    r.stamp = 7;
+    ASSERT_TRUE((*wal)->append(std::move(r)).ok());
+  }
+  auto rec = wal_recover(dir.path, "t");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->records_replayed, 3u);
+  EXPECT_FALSE(rec->tail_torn);
+  EXPECT_EQ(rec->last_lsn, 3u);
+  ASSERT_EQ(rec->image.props.size(), 1u);
+  EXPECT_EQ(rec->image.props[0].first, "P");
+  EXPECT_TRUE(rec->image.props[0].second);
+  ASSERT_EQ(rec->image.data.size(), 1u);
+  EXPECT_EQ(rec->image.data[0].key, "v");
+  EXPECT_TRUE(rec->image.data[0].defined);
+  EXPECT_EQ(std::string(rec->image.data[0].bytes.begin(),
+                        rec->image.data[0].bytes.end()),
+            "payload");
+  ASSERT_EQ(rec->pending.size(), 1u);
+  EXPECT_EQ(rec->pending[0].stamp, 7u);
+  EXPECT_EQ(rec->pending[0].update.key.str(), "P");
+  EXPECT_EQ(rec->max_stamp, 7u);
+}
+
+TEST(Wal, UnqueueRemovesPending) {
+  TempDir dir;
+  {
+    auto wal = Wal::open(dir.path, "t", {}, nullptr, 1);
+    ASSERT_TRUE(wal.ok());
+    WalRecord q;
+    q.kind = WalRecord::Kind::kQueue;
+    q.update = Update::assert_prop(Symbol("A"));
+    q.stamp = 1;
+    ASSERT_TRUE((*wal)->append(std::move(q)).ok());
+    q = WalRecord{};
+    q.kind = WalRecord::Kind::kQueue;
+    q.update = Update::assert_prop(Symbol("B"));
+    q.stamp = 2;
+    ASSERT_TRUE((*wal)->append(std::move(q)).ok());
+    WalRecord u;
+    u.kind = WalRecord::Kind::kUnqueue;
+    u.stamp = 1;
+    ASSERT_TRUE((*wal)->append(std::move(u)).ok());
+  }
+  auto rec = wal_recover(dir.path, "t");
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ(rec->pending.size(), 1u);
+  EXPECT_EQ(rec->pending[0].update.key.str(), "B");
+}
+
+TEST(Wal, TornTailRecoversPrefix) {
+  TempDir dir;
+  {
+    auto wal = Wal::open(dir.path, "t", {}, nullptr, 1);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 5; ++i) {
+      WalRecord r;
+      r.kind = WalRecord::Kind::kApply;
+      r.update = Update::write_data(Symbol("v"), val("x" + std::to_string(i)));
+      ASSERT_TRUE((*wal)->append(std::move(r)).ok());
+    }
+  }
+  // Tear the last record: chop a few bytes off the end, as a crash mid-write
+  // would.
+  const std::string log = dir.path + "/t.wal";
+  auto bytes = io::read_file(log);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_GT(bytes->size(), 3u);
+  ASSERT_EQ(::truncate(log.c_str(), static_cast<off_t>(bytes->size() - 3)), 0);
+
+  auto rec = wal_recover(dir.path, "t");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->tail_torn);
+  EXPECT_EQ(rec->records_replayed, 4u);
+  ASSERT_EQ(rec->image.data.size(), 1u);
+  EXPECT_EQ(std::string(rec->image.data[0].bytes.begin(),
+                        rec->image.data[0].bytes.end()),
+            "x3");
+}
+
+TEST(Wal, CorruptTailByteStopsReplayAtPrefix) {
+  TempDir dir;
+  {
+    auto wal = Wal::open(dir.path, "t", {}, nullptr, 1);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 3; ++i) {
+      WalRecord r;
+      r.kind = WalRecord::Kind::kApply;
+      r.update = Update::write_data(Symbol("v"), val("y" + std::to_string(i)));
+      ASSERT_TRUE((*wal)->append(std::move(r)).ok());
+    }
+  }
+  // Flip a byte inside the last record's payload: the CRC catches it and
+  // replay keeps the two-record prefix.
+  const std::string log = dir.path + "/t.wal";
+  auto bytes = io::read_file(log);
+  ASSERT_TRUE(bytes.ok());
+  auto damaged = *bytes;
+  damaged[damaged.size() - 2] ^= 0xFF;
+  ASSERT_TRUE(io::write_file_atomic(log, damaged.data(), damaged.size()).ok());
+
+  auto rec = wal_recover(dir.path, "t");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->tail_torn);
+  EXPECT_EQ(rec->records_replayed, 2u);
+  ASSERT_EQ(rec->image.data.size(), 1u);
+  EXPECT_EQ(std::string(rec->image.data[0].bytes.begin(),
+                        rec->image.data[0].bytes.end()),
+            "y1");
+}
+
+TEST(Wal, CompactionSnapshotsAndTruncates) {
+  TempDir dir;
+  std::uint64_t next_lsn = 0;
+  {
+    auto wal = Wal::open(dir.path, "t", {}, nullptr, 1);
+    ASSERT_TRUE(wal.ok());
+    WalRecord r;
+    r.kind = WalRecord::Kind::kApply;
+    r.update = Update::assert_prop(Symbol("P"));
+    ASSERT_TRUE((*wal)->append(std::move(r)).ok());
+
+    TableImage img;
+    img.props.emplace_back("P", true);
+    ASSERT_TRUE((*wal)->compact(img, {}, /*max_stamp=*/0).ok());
+    EXPECT_EQ((*wal)->log_bytes(), 0u);
+
+    // Records appended after the snapshot replay on top of it.
+    r = WalRecord{};
+    r.kind = WalRecord::Kind::kApply;
+    r.update = Update::write_data(Symbol("v"), val("after"));
+    ASSERT_TRUE((*wal)->append(std::move(r)).ok());
+    next_lsn = (*wal)->next_lsn();
+  }
+  auto rec = wal_recover(dir.path, "t");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->had_snapshot);
+  EXPECT_EQ(rec->records_replayed, 1u);  // just the post-snapshot apply
+  EXPECT_EQ(rec->last_lsn, next_lsn - 1);
+  ASSERT_EQ(rec->image.props.size(), 1u);
+  EXPECT_TRUE(rec->image.props[0].second);
+  ASSERT_EQ(rec->image.data.size(), 1u);
+  EXPECT_EQ(std::string(rec->image.data[0].bytes.begin(),
+                        rec->image.data[0].bytes.end()),
+            "after");
+}
+
+TEST(Wal, ResetRecordRestoresImage) {
+  TempDir dir;
+  {
+    auto wal = Wal::open(dir.path, "t", {}, nullptr, 1);
+    ASSERT_TRUE(wal.ok());
+    WalRecord r;
+    r.kind = WalRecord::Kind::kApply;
+    r.update = Update::write_data(Symbol("v"), val("dirty"));
+    ASSERT_TRUE((*wal)->append(std::move(r)).ok());
+    // Transaction rollback: the reset snapshot wins over the earlier apply.
+    WalRecord reset;
+    reset.kind = WalRecord::Kind::kReset;
+    reset.image.props.emplace_back("P", false);
+    reset.image.data.push_back(TableImage::Datum{
+        "v", true, "str", Bytes{'c', 'l', 'e', 'a', 'n'}});
+    ASSERT_TRUE((*wal)->append(std::move(reset)).ok());
+  }
+  auto rec = wal_recover(dir.path, "t");
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ(rec->image.data.size(), 1u);
+  EXPECT_EQ(std::string(rec->image.data[0].bytes.begin(),
+                        rec->image.data[0].bytes.end()),
+            "clean");
+}
+
+// KvTable + Wal integration: mutate a live table through its public
+// surface, recover into a second table, and compare durable states.
+TEST(WalTable, TableRecoversAppliedAndPending) {
+  TempDir dir;
+  KvTable::Spec spec;
+  spec.props = {{Symbol("Ready"), false}, {Symbol("Guard"), false}};
+  spec.data = {Symbol("v"), Symbol("w")};
+  {
+    KvTable table(spec, "t");
+    auto wal = Wal::open(dir.path, "t", {}, nullptr, 1);
+    ASSERT_TRUE(wal.ok());
+    table.set_durability(wal->get());
+
+    ASSERT_TRUE(table.enqueue(Update::assert_prop(Symbol("Ready"))).ok());
+    ASSERT_TRUE(
+        table.enqueue(Update::write_data(Symbol("v"), val("alpha"))).ok());
+    table.apply_pending();  // both applied
+    // A third update stays pending (acked but unapplied).
+    ASSERT_TRUE(
+        table.enqueue(Update::write_data(Symbol("w"), val("queued"))).ok());
+    table.set_durability(nullptr);
+  }
+  auto rec = wal_recover(dir.path, "t");
+  ASSERT_TRUE(rec.ok());
+  KvTable restored(spec, "t2");
+  restored.adopt_recovered(*rec);
+  EXPECT_TRUE(*restored.prop(Symbol("Ready")));
+  ASSERT_TRUE(restored.data_defined(Symbol("v")));
+  auto v = restored.data(Symbol("v"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(std::string(v->bytes.begin(), v->bytes.end()), "alpha");
+  // The acked-but-unapplied write is still pending, and applies on the next
+  // scheduling boundary exactly as it would have pre-crash.
+  EXPECT_FALSE(restored.data_defined(Symbol("w")));
+  restored.apply_pending();
+  ASSERT_TRUE(restored.data_defined(Symbol("w")));
+  auto w = restored.data(Symbol("w"));
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(std::string(w->bytes.begin(), w->bytes.end()), "queued");
+}
+
+TEST(WalTable, UndeclaredRecoveredKeysAreDropped) {
+  TempDir dir;
+  KvTable::Spec wide;
+  wide.props = {{Symbol("Old"), false}};
+  wide.data = {Symbol("gone")};
+  {
+    KvTable table(wide, "t");
+    auto wal = Wal::open(dir.path, "t", {}, nullptr, 1);
+    ASSERT_TRUE(wal.ok());
+    table.set_durability(wal->get());
+    ASSERT_TRUE(table.enqueue(Update::assert_prop(Symbol("Old"))).ok());
+    ASSERT_TRUE(
+        table.enqueue(Update::write_data(Symbol("gone"), val("z"))).ok());
+    table.apply_pending();
+    table.set_durability(nullptr);
+  }
+  auto rec = wal_recover(dir.path, "t");
+  ASSERT_TRUE(rec.ok());
+  // The program evolved: the new spec no longer declares those keys.
+  KvTable::Spec narrow;
+  narrow.props = {{Symbol("New"), true}};
+  narrow.data = {Symbol("v")};
+  KvTable restored(narrow, "t2");
+  restored.adopt_recovered(*rec);
+  EXPECT_FALSE(restored.prop(Symbol("Old")).ok());
+  EXPECT_FALSE(restored.data_defined(Symbol("v")));
+  EXPECT_TRUE(*restored.prop(Symbol("New")));
+}
+
+}  // namespace
+}  // namespace csaw

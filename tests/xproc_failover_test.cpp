@@ -1,0 +1,375 @@
+// Cross-process crash-recovery and watched fail-over over the real TCP
+// transport, with real kill -9. The gtest binary doubles as its own child:
+//
+//   xproc_failover_test                      # gtest runner (parent roles)
+//   xproc_failover_test --primary <listen> <parent> <dir>
+//       hosts instance "primary", claims the authority epoch on first
+//       launch (bump iff epoch==0), then pushes a write workload at the
+//       parent's "spare" instance until killed
+//   xproc_failover_test --store <listen> <parent> <dir>
+//       hosts a durable store instance "s"; on startup reports the
+//       recovered table tip into <dir>/recovered.txt, then serves pushes
+//
+// Covered end to end:
+//   * kill -9 of a durable store mid-workload; on restart exactly the
+//     acknowledged-write prefix is back (modulo the one in-doubt in-flight
+//     write every log-then-ack store has);
+//   * heartbeat failure detection: the watcher's is_running() verdict for
+//     the remote "primary" flips false after the kill;
+//   * split-brain prevention: after the spare's takeover (bump_epoch), the
+//     restarted primary's stale-epoch frames are nacked and counted until
+//     it adopts the new epoch, then it rejoins.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "compart/runtime.hpp"
+#include "compart/tcp.hpp"
+#include "obs/metrics.hpp"
+#include "support/io.hpp"
+
+namespace csaw {
+namespace {
+
+using namespace std::chrono_literals;
+
+const char* g_self = nullptr;  // argv[0], for exec-ing child roles
+
+const Symbol kWork("Work");
+const Symbol kV("v");
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/csaw_xproc_test_XXXXXX";
+    char* p = ::mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    path = p;
+  }
+  ~TempDir() {
+    std::string cmd = "rm -rf '" + path + "'";
+    (void)std::system(cmd.c_str());
+  }
+};
+
+template <typename Cond>
+bool eventually(Cond cond, std::chrono::milliseconds limit = 20s) {
+  const auto deadline = steady_now() + limit;
+  while (steady_now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return cond();
+}
+
+std::uint16_t pick_free_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+// Kills the child in the destructor so a failing ASSERT never leaks a
+// serve-forever process.
+struct Child {
+  pid_t pid = -1;
+  explicit Child(pid_t p) : pid(p) {}
+  Child(const Child&) = delete;
+  Child& operator=(const Child&) = delete;
+  void kill9() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      pid = -1;
+    }
+  }
+  ~Child() { kill9(); }
+};
+
+pid_t spawn_role(const char* role, std::uint16_t listen_port,
+                 std::uint16_t parent_port, const std::string& dir) {
+  char listen_arg[16], parent_arg[16];
+  std::snprintf(listen_arg, sizeof(listen_arg), "%u", listen_port);
+  std::snprintf(parent_arg, sizeof(parent_arg), "%u", parent_port);
+  const pid_t pid = ::fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: only async-signal-safe work between fork and exec.
+    char* const argv[] = {const_cast<char*>(g_self), const_cast<char*>(role),
+                          listen_arg, parent_arg,
+                          const_cast<char*>(dir.c_str()), nullptr};
+    ::execv(g_self, argv);
+    _exit(127);
+  }
+  return pid;
+}
+
+InstanceDesc store_instance(const char* name) {
+  JunctionDesc j;
+  j.name = Symbol("j");
+  j.table_spec.props = {{kWork, false}};
+  j.table_spec.data = {kV};
+  j.guard = [](const KvTable& t, const RuntimeView&) { return *t.prop(kWork); };
+  j.body = [](JunctionEnv& env) {
+    (void)env.table().set_prop_local(kWork, false);
+  };
+  j.auto_schedule = true;
+  InstanceDesc d;
+  d.name = Symbol(name);
+  d.type = Symbol("store");
+  d.junctions.push_back(std::move(j));
+  return d;
+}
+
+SerializedValue str_val(const std::string& s) {
+  return SerializedValue{Symbol("str"), Bytes(s.begin(), s.end())};
+}
+
+Status push_write(Runtime& rt, Symbol to, Symbol from, const std::string& s,
+                  Nanos deadline) {
+  auto st = rt.push({.to = JunctionAddr{to, Symbol("j")},
+                     .update = Update::write_data(kV, str_val(s), from.str()),
+                     .deadline = Deadline::after(deadline),
+                     .from = from});
+  if (!st.ok()) return st;
+  return rt.push({.to = JunctionAddr{to, Symbol("j")},
+                  .update = Update::assert_prop(kWork, from.str()),
+                  .deadline = Deadline::after(deadline),
+                  .from = from});
+}
+
+std::string read_value(Runtime& rt, const char* instance) {
+  auto v = rt.table(Symbol(instance), Symbol("j")).data(kV);
+  if (!v.ok()) return "<undef>";
+  return std::string(v->bytes.begin(), v->bytes.end());
+}
+
+// The recovered table's logical tip: the applied value of `v`, overridden
+// by any recovered pending writes to it (acked but not yet applied --
+// durability-wise they are equivalent).
+std::string recovered_tip(const KvTable::DurableState& st) {
+  std::string tip = "<undef>";
+  for (const auto& d : st.image.data) {
+    if (d.key == kV.str() && d.defined) {
+      tip.assign(d.bytes.begin(), d.bytes.end());
+    }
+  }
+  for (const auto& p : st.pending) {
+    if (p.update.kind == Update::Kind::kWriteData && p.update.key == kV) {
+      tip.assign(p.update.value.bytes.begin(), p.update.value.bytes.end());
+    }
+  }
+  return tip;
+}
+
+}  // namespace
+
+// --- child roles -----------------------------------------------------------
+
+// Durable store host: recover, report the recovered tip, serve until killed.
+int run_store(std::uint16_t listen_port, std::uint16_t parent_port,
+              const std::string& dir) {
+  RuntimeOptions opts;
+  opts.transport = Transport::kTcpMesh;
+  opts.durability_dir = dir;
+  opts.tcp.listen_port = listen_port;
+  opts.tcp.peers["parent"] = TcpPeerAddr{"127.0.0.1", parent_port};
+  opts.tcp.remote_instances[Symbol("front")] = "parent";
+  Runtime rt(opts);
+  rt.add_instance(store_instance("s"));
+  if (!rt.start(Symbol("s")).ok()) return 2;
+  const auto tip =
+      recovered_tip(rt.table(Symbol("s"), Symbol("j")).durable_state());
+  if (!io::write_file_atomic(dir + "/recovered.txt", tip).ok()) return 2;
+  while (true) std::this_thread::sleep_for(1s);
+}
+
+// Primary node: claim the epoch on first launch, then hammer the parent's
+// "spare" instance with writes until killed.
+int run_primary(std::uint16_t listen_port, std::uint16_t parent_port,
+                const std::string& dir) {
+  RuntimeOptions opts;
+  opts.transport = Transport::kTcpMesh;
+  opts.durability_dir = dir;
+  opts.tcp.listen_port = listen_port;
+  opts.tcp.heartbeat_interval = Millis(20);
+  opts.tcp.node_name = "primary-node";
+  opts.tcp.peers["parent"] = TcpPeerAddr{"127.0.0.1", parent_port};
+  opts.tcp.remote_instances[Symbol("spare")] = "parent";
+  Runtime rt(opts);
+  // First incarnation claims authority; a restart keeps the persisted
+  // (now stale) epoch -- exactly the split-brain scenario under test.
+  if (rt.epoch() == 0) rt.bump_epoch();
+  rt.add_instance(store_instance("primary"));
+  if (!rt.start(Symbol("primary")).ok()) return 2;
+  for (std::uint64_t i = 0;; ++i) {
+    (void)push_write(rt, Symbol("spare"), Symbol("primary"),
+                     "k" + std::to_string(i), 500ms);
+    std::this_thread::sleep_for(5ms);
+  }
+}
+
+namespace {
+
+// --- parent-side tests -----------------------------------------------------
+
+TEST(XprocCrashRecovery, Kill9MidWorkloadRestoresAckedPrefix) {
+  TempDir dir;
+  const std::uint16_t store_port = pick_free_port();
+
+  RuntimeOptions opts;
+  opts.transport = Transport::kTcpMesh;
+  opts.tcp.peers["store"] = TcpPeerAddr{"127.0.0.1", store_port};
+  opts.tcp.remote_instances[Symbol("s")] = "store";
+  opts.tcp.backoff_initial = Millis(10);
+  opts.tcp.backoff_max = Millis(200);
+  Runtime rt(opts);
+
+  Child child(spawn_role("--store", store_port, rt.tcp_transport()->port(),
+                         dir.path));
+
+  // Warm up: wait for the mesh, then push acked writes k0..k(N-1).
+  ASSERT_TRUE(eventually([&] {
+    return push_write(rt, Symbol("s"), Symbol("front"), "k0", 1s).ok();
+  })) << "mesh never came up";
+  int last_acked = 0;
+  for (int i = 1; i <= 40; ++i) {
+    if (!push_write(rt, Symbol("s"), Symbol("front"), "k" + std::to_string(i),
+                    2s)
+             .ok()) {
+      break;
+    }
+    last_acked = i;
+    if (i == 25) {
+      // kill -9 mid-workload: the next push (k26) is the in-doubt one.
+      child.kill9();
+    }
+  }
+  ASSERT_GE(last_acked, 25);
+  ASSERT_LT(last_acked, 40) << "pushes kept succeeding after kill -9";
+
+  // Restart with the same durability_dir; the store reports what it
+  // recovered. No acked write may be lost; nothing past the last attempted
+  // write may appear. The single in-flight write at kill time is allowed
+  // either way (it was logged before its ack could be sent, or not at all).
+  ASSERT_TRUE(io::remove_file(dir.path + "/recovered.txt").ok());
+  Child child2(spawn_role("--store", store_port, rt.tcp_transport()->port(),
+                          dir.path));
+  std::string tip;
+  ASSERT_TRUE(eventually([&] {
+    auto got = io::read_file(dir.path + "/recovered.txt");
+    if (!got.ok()) return false;
+    tip.assign(got->begin(), got->end());
+    return true;
+  })) << "restarted store never reported its recovered state";
+  ASSERT_EQ(tip.rfind("k", 0), 0u) << "recovered tip: " << tip;
+  const int recovered = std::atoi(tip.c_str() + 1);
+  EXPECT_GE(recovered, last_acked) << "an acknowledged write was lost";
+  EXPECT_LE(recovered, last_acked + 1)
+      << "a write past the in-doubt window was resurrected";
+
+  // And the recovered store keeps serving: the log tail is appendable.
+  ASSERT_TRUE(eventually([&] {
+    return push_write(rt, Symbol("s"), Symbol("front"), "post-restart", 1s)
+        .ok();
+  })) << "restarted store never accepted new writes";
+}
+
+TEST(XprocFailover, SpareTakesOverAndStaleEpochIsRejected) {
+  TempDir dir;
+  const std::uint16_t primary_port = pick_free_port();
+
+  obs::Metrics metrics;
+  RuntimeOptions opts;
+  opts.transport = Transport::kTcpMesh;
+  opts.metrics = &metrics;
+  opts.tcp.heartbeat_interval = Millis(20);
+  opts.tcp.suspect_after_missed = 5;
+  opts.tcp.node_name = "watcher";
+  opts.tcp.peers["child"] = TcpPeerAddr{"127.0.0.1", primary_port};
+  opts.tcp.remote_instances[Symbol("primary")] = "child";
+  opts.tcp.backoff_initial = Millis(10);
+  opts.tcp.backoff_max = Millis(200);
+  Runtime rt(opts);
+  rt.add_instance(store_instance("spare"));
+  ASSERT_TRUE(rt.start(Symbol("spare")).ok());
+
+  // Phase 1: primary claims epoch 1 and streams writes; the watchdog sees
+  // it alive (S(primary) via heartbeats) and its writes landing.
+  Child child(spawn_role("--primary", primary_port,
+                         rt.tcp_transport()->port(), dir.path));
+  ASSERT_TRUE(eventually([&] { return rt.is_running(Symbol("primary")); }))
+      << "heartbeats never marked the primary alive";
+  ASSERT_TRUE(eventually([&] {
+    return read_value(rt, "spare").rfind("k", 0) == 0;
+  })) << "primary's workload never reached the spare";
+  ASSERT_TRUE(eventually([&] { return rt.epoch() == 1u; }))
+      << "watcher never adopted the primary's epoch";
+
+  // Phase 2: kill -9. The failure detector must flip the verdict -- this is
+  // the watchdog's S(i) guard going false, which triggers fail-over.
+  child.kill9();
+  ASSERT_TRUE(eventually([&] { return !rt.is_running(Symbol("primary")); }))
+      << "failure was never detected";
+  EXPECT_GE(metrics.counter("detector_suspicions").value(), 1u);
+
+  // Takeover: the spare claims authority. From now on epoch-1 frames are
+  // stale.
+  EXPECT_EQ(rt.bump_epoch(), 2u);
+  const std::string at_takeover = read_value(rt, "spare");
+
+  // Phase 3: restart the primary with its old durability dir. It wakes at
+  // its persisted epoch 1, gets rejected (split-brain prevented), adopts
+  // epoch 2 from the nacks, and rejoins as a subordinate writer.
+  Child child2(spawn_role("--primary", primary_port,
+                          rt.tcp_transport()->port(), dir.path));
+  ASSERT_TRUE(eventually([&] {
+    return metrics.counter("epoch_rejected").value() >= 1u;
+  })) << "no stale-epoch frame was rejected";
+  ASSERT_TRUE(eventually([&] {
+    const auto v = read_value(rt, "spare");
+    return v.rfind("k", 0) == 0 && v != at_takeover;
+  })) << "restarted primary never rejoined after adopting the new epoch";
+  // The verdict recovers too: the node is back (at the new epoch).
+  ASSERT_TRUE(eventually([&] { return rt.is_running(Symbol("primary")); }));
+}
+
+}  // namespace
+}  // namespace csaw
+
+// Custom main: child roles must be dispatched before gtest sees argv.
+int main(int argc, char** argv) {
+  csaw::g_self = argv[0];
+  if (argc == 5 && std::strcmp(argv[1], "--store") == 0) {
+    return csaw::run_store(static_cast<std::uint16_t>(std::atoi(argv[2])),
+                           static_cast<std::uint16_t>(std::atoi(argv[3])),
+                           argv[4]);
+  }
+  if (argc == 5 && std::strcmp(argv[1], "--primary") == 0) {
+    return csaw::run_primary(static_cast<std::uint16_t>(std::atoi(argv[2])),
+                             static_cast<std::uint16_t>(std::atoi(argv[3])),
+                             argv[4]);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
