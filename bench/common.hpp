@@ -115,6 +115,59 @@ class ObsSession {
   obs::Metrics metrics_;
 };
 
+// Machine-readable perf snapshot, enabled by `--json-out <path>` on the
+// bench command line. Collects named scalar metrics during the run and
+// writes a flat {"bench":..., "config":..., "metrics": {...}} document on
+// finish() -- the BENCH_*.json artifacts CI uploads per run so throughput
+// and tail-latency regressions are diffable across commits. Disabled (all
+// calls no-ops) when the flag is absent, so human-readable output and
+// timing are unaffected. Keys must be plain identifiers (no escaping done).
+class JsonSnapshot {
+ public:
+  JsonSnapshot(std::string bench, int argc, char** argv, const Config& c)
+      : bench_(std::move(bench)), config_(c) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--json-out") == 0) path_ = argv[i + 1];
+    }
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  void set(const std::string& key, double value) {
+    if (enabled()) metrics_.emplace_back(key, value);
+  }
+
+  // Returns false (after printing the error) if the file cannot be written.
+  bool finish() {
+    if (!enabled()) return true;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "--json-out: cannot open %s\n", path_.c_str());
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << bench_ << "\",\n"
+        << "  \"config\": {\"reps\": " << config_.reps
+        << ", \"ticks\": " << config_.ticks
+        << ", \"tick_ms\": " << config_.tick_ms << "},\n"
+        << "  \"metrics\": {\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      char num[64];
+      std::snprintf(num, sizeof num, "%.9g", metrics_[i].second);
+      out << "    \"" << metrics_[i].first << "\": " << num
+          << (i + 1 < metrics_.size() ? ",\n" : "\n");
+    }
+    out << "  }\n}\n";
+    std::printf("# json snapshot written to %s\n", path_.c_str());
+    return out.good();
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  Config config_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
 inline void header(const std::string& figure, const std::string& what,
                    const Config& c) {
   std::printf("==============================================================\n");

@@ -17,6 +17,7 @@ using namespace csaw::bench;
 int main(int argc, char** argv) {
   const auto cfg = Config::from_env();
   ObsSession obs(argc, argv);
+  JsonSnapshot json("fig23a_redis_checkpoint", argc, argv, cfg);
   header("Fig 23a", "Redis query rate under 15s checkpointing + crash at t=60",
          cfg);
 
@@ -106,7 +107,12 @@ int main(int argc, char** argv) {
               + TablePrinter::fmt(after * to_kqps) + " vs steady "
               + TablePrinter::fmt(steady * to_kqps) + ")");
 
+  json.set("steady_kqps", steady * to_kqps);
+  json.set("checkpoint_dip_kqps", checkpoint_sum * to_kqps);
+  json.set("crash_tick_kqps", mean_at(crash_at) * to_kqps);
+  json.set("post_crash_kqps", after * to_kqps);
+
   // Engines hold borrowed pointers into the session: tear down first.
   service.reset();
-  return obs.finish() ? 0 : 1;
+  return obs.finish() && json.finish() ? 0 : 1;
 }

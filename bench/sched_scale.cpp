@@ -1,0 +1,279 @@
+// Scheduler scale + ablation bench (ROADMAP item 1 acceptance).
+//
+// Phase 1 (scale): 10k+ auto junctions on a fixed event-driven worker pool.
+// Reports thread count (no thread-per-junction), idle CPU over a quiet
+// window (wake-set precision means idle junctions cost zero evals), and
+// push->run latency percentiles while the other ~10k junctions sit idle.
+//
+// Phase 2 (ablation): the same echo workload on a few hundred junctions,
+// run under kPolling (the legacy thread-per-junction 2 ms poller) and
+// kEventDriven in the same process. The poller's p99 is bounded below by
+// its poll period; the event path wakes on the exact key write.
+//
+// Environment overrides: CSAW_BENCH_SCHED_JUNCTIONS (scale-phase junction
+// count), CSAW_BENCH_SCHED_ABLATION (ablation junction count),
+// CSAW_BENCH_SCHED_SAMPLES (latency samples per measurement).
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "compart/runtime.hpp"
+#include "support/clock.hpp"
+
+#include <unistd.h>
+
+using namespace csaw;
+using namespace csaw::bench;
+
+namespace {
+
+const Symbol kWork("Work");
+
+// Process CPU time (user + system) in milliseconds, from /proc/self/stat.
+double process_cpu_ms() {
+  std::FILE* f = std::fopen("/proc/self/stat", "r");
+  if (f == nullptr) return 0.0;
+  char buf[1024];
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  // Skip past the parenthesized comm field (it can contain spaces).
+  const char* p = std::strrchr(buf, ')');
+  if (p == nullptr) return 0.0;
+  ++p;
+  // utime and stime are fields 14 and 15 (1-indexed); after ')' we are at
+  // field 3, so skip 11 fields.
+  long utime = 0, stime = 0;
+  int field = 3;
+  while (*p != '\0' && field < 14) {
+    while (*p == ' ') ++p;
+    while (*p != '\0' && *p != ' ') ++p;
+    ++field;
+  }
+  if (std::sscanf(p, "%ld %ld", &utime, &stime) != 2) return 0.0;
+  const double tick_hz = static_cast<double>(sysconf(_SC_CLK_TCK));
+  return (static_cast<double>(utime + stime) / tick_hz) * 1000.0;
+}
+
+int process_threads() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  int threads = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "Threads: %d", &threads) == 1) break;
+  }
+  std::fclose(f);
+  return threads;
+}
+
+// An auto echo junction: guard `Work`, body retracts it and counts the run.
+// The wake plan is what the analyzer produces for the DSL guard `Work` --
+// exact single-key wake set, no timer fallback -- so idle junctions cost
+// nothing.
+InstanceDesc echo_instance(const std::string& name, std::atomic<long>* runs) {
+  JunctionDesc j;
+  j.name = Symbol("j");
+  j.table_spec.props = {{kWork, false}};
+  j.guard = [](const KvTable& t, const RuntimeView&) { return *t.prop(kWork); };
+  j.body = [runs](JunctionEnv& env) {
+    runs->fetch_add(1, std::memory_order_relaxed);
+    (void)env.table().set_prop_local(kWork, false);
+  };
+  j.auto_schedule = true;
+  j.wake_plan.analyzed = true;
+  j.wake_plan.keys = {kWork};
+  InstanceDesc d;
+  d.name = Symbol(name);
+  d.type = Symbol("echo");
+  d.junctions.push_back(std::move(j));
+  return d;
+}
+
+struct LatencyResult {
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double ops_per_s = 0;
+  int lost = 0;  // samples where no run landed within the grace window
+};
+
+// Closed-loop push->run latency over `samples` injects scattered across the
+// first `span` junctions. The echo body retracts Work, so each sample needs
+// exactly one fresh run; a lost wakeup shows up as `lost`.
+LatencyResult measure_latency(Runtime& rt, std::atomic<long>& runs, int span,
+                              int samples) {
+  Cdf cdf;
+  cdf.reserve(static_cast<std::size_t>(samples));
+  LatencyResult r;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  const auto t_begin = steady_now();
+  for (int s = 0; s < samples; ++s) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    const int idx = static_cast<int>((rng >> 33) % static_cast<unsigned>(span));
+    const Symbol inst("e" + std::to_string(idx));
+    const long before = runs.load(std::memory_order_relaxed);
+    const auto t0 = steady_now();
+    (void)rt.inject({inst, Symbol("j")}, Update::assert_prop(kWork));
+    const auto grace = t0 + Millis(2000);
+    while (runs.load(std::memory_order_relaxed) == before &&
+           steady_now() < grace) {
+      // Yield, don't spin hot: on small CI machines a hot spin starves the
+      // very worker this sample is waiting on and pollutes the tail.
+      std::this_thread::yield();
+    }
+    if (runs.load(std::memory_order_relaxed) == before) {
+      ++r.lost;
+      continue;
+    }
+    cdf.add(to_ms(steady_now() - t0));
+  }
+  const double total_s = to_ms(steady_now() - t_begin) / 1000.0;
+  r.p50_ms = cdf.quantile(0.5);
+  r.p99_ms = cdf.quantile(0.99);
+  r.ops_per_s = total_s > 0 ? cdf.count() / total_s : 0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cfg = Config::from_env();
+  JsonSnapshot json("sched_scale", argc, argv, cfg);
+  const int n_scale = Config::env_int("CSAW_BENCH_SCHED_JUNCTIONS", 10000);
+  const int n_ablate = Config::env_int("CSAW_BENCH_SCHED_ABLATION", 256);
+  const int samples = Config::env_int("CSAW_BENCH_SCHED_SAMPLES", 1000);
+  header("sched_scale",
+         "event-driven scheduler: " + std::to_string(n_scale) +
+             " junctions on a fixed pool + kPolling ablation",
+         cfg);
+
+  // --- Phase 1: scale -------------------------------------------------------
+  const int baseline_threads = process_threads();
+  std::atomic<long> runs{0};
+  double threads_scale = 0, idle_cpu_pct = 0;
+  long idle_evals = 0;
+  LatencyResult scale_lat;
+  {
+    RuntimeOptions opts;
+    opts.scheduler.workers = 4;
+    Runtime rt(opts);
+    const auto t0 = steady_now();
+    for (int i = 0; i < n_scale; ++i) {
+      rt.add_instance(echo_instance("e" + std::to_string(i), &runs));
+    }
+    for (int i = 0; i < n_scale; ++i) {
+      if (!rt.start(Symbol("e" + std::to_string(i))).ok()) {
+        std::fprintf(stderr, "start failed at %d\n", i);
+        return 1;
+      }
+    }
+    const double startup_ms = to_ms(steady_now() - t0);
+    threads_scale = process_threads();
+    std::printf("scale: %d junctions started in %.1f ms; %d threads "
+                "(%d before the runtime)\n",
+                n_scale, startup_ms, static_cast<int>(threads_scale),
+                baseline_threads);
+
+    // Idle window: no traffic. Precise wake sets mean zero evals; the
+    // timer wheel sleeps (no volatile guards pending).
+    std::this_thread::sleep_for(Millis(200));  // drain start-wake evals
+    auto evals_sum = [&rt, n_scale] {
+      long sum = 0;
+      for (int i = 0; i < n_scale; ++i) {
+        sum += static_cast<long>(rt.junction_evals(
+            Symbol("e" + std::to_string(i)), Symbol("j")));
+      }
+      return sum;
+    };
+    const long evals_before = evals_sum();
+    const double cpu_before = process_cpu_ms();
+    const auto idle_t0 = steady_now();
+    std::this_thread::sleep_for(Millis(500));
+    const double idle_wall_ms = to_ms(steady_now() - idle_t0);
+    const double idle_cpu_ms = process_cpu_ms() - cpu_before;
+    idle_evals = evals_sum() - evals_before;
+    idle_cpu_pct = 100.0 * idle_cpu_ms / idle_wall_ms;
+    std::printf("scale: idle window %.0f ms -> %.1f ms CPU (%.1f%% of one "
+                "core), %ld guard evals\n",
+                idle_wall_ms, idle_cpu_ms, idle_cpu_pct, idle_evals);
+
+    scale_lat = measure_latency(rt, runs, n_scale, samples);
+    std::printf("scale: push->run p50 %.3f ms, p99 %.3f ms, %.0f ops/s "
+                "(%d lost)\n",
+                scale_lat.p50_ms, scale_lat.p99_ms, scale_lat.ops_per_s,
+                scale_lat.lost);
+    rt.shutdown();
+  }
+
+  // --- Phase 2: ablation ----------------------------------------------------
+  auto run_mode = [&](SchedulerMode mode, const char* label, double* threads) {
+    RuntimeOptions opts;
+    opts.scheduler.mode = mode;
+    opts.scheduler.workers = 4;  // ignored by kPolling
+    runs.store(0);
+    Runtime rt(opts);
+    for (int i = 0; i < n_ablate; ++i) {
+      rt.add_instance(echo_instance("e" + std::to_string(i), &runs));
+    }
+    for (int i = 0; i < n_ablate; ++i) {
+      (void)rt.start(Symbol("e" + std::to_string(i)));
+    }
+    *threads = process_threads();
+    std::this_thread::sleep_for(Millis(100));
+    auto lat = measure_latency(rt, runs, n_ablate, samples);
+    std::printf("ablation[%s]: %d junctions, %d threads; p50 %.3f ms, "
+                "p99 %.3f ms, %.0f ops/s (%d lost)\n",
+                label, n_ablate, static_cast<int>(*threads), lat.p50_ms,
+                lat.p99_ms, lat.ops_per_s, lat.lost);
+    rt.shutdown();
+    return lat;
+  };
+  double threads_poll = 0, threads_event = 0;
+  const auto poll = run_mode(SchedulerMode::kPolling, "kPolling",
+                             &threads_poll);
+  const auto event = run_mode(SchedulerMode::kEventDriven, "kEventDriven",
+                              &threads_event);
+
+  // --- shape checks ---------------------------------------------------------
+  shape_check(threads_scale < baseline_threads + 64,
+              std::to_string(n_scale) + " junctions on a fixed pool (" +
+                  std::to_string(static_cast<int>(threads_scale)) +
+                  " threads, no thread-per-junction)");
+  shape_check(idle_evals == 0 && idle_cpu_pct < 10.0,
+              "idle CPU near zero (" + TablePrinter::fmt(idle_cpu_pct) +
+                  "% of one core, " + std::to_string(idle_evals) +
+                  " idle evals)");
+  shape_check(scale_lat.lost == 0 && poll.lost == 0 && event.lost == 0,
+              "no lost wakeups in any phase");
+  shape_check(event.p99_ms < poll.p99_ms,
+              "event-driven p99 beats the 2 ms-poll baseline (" +
+                  TablePrinter::fmt(event.p99_ms, 3) + " ms < " +
+                  TablePrinter::fmt(poll.p99_ms, 3) + " ms)");
+  shape_check(threads_event < threads_poll,
+              "poller spends a thread per junction; the pool does not (" +
+                  std::to_string(static_cast<int>(threads_event)) + " vs " +
+                  std::to_string(static_cast<int>(threads_poll)) +
+                  " threads)");
+
+  json.set("junctions_scale", n_scale);
+  json.set("workers", 4);
+  json.set("threads_scale", threads_scale);
+  json.set("idle_cpu_pct", idle_cpu_pct);
+  json.set("idle_evals", static_cast<double>(idle_evals));
+  json.set("p50_scale_ms", scale_lat.p50_ms);
+  json.set("p99_scale_ms", scale_lat.p99_ms);
+  json.set("ops_per_s_scale", scale_lat.ops_per_s);
+  json.set("junctions_ablation", n_ablate);
+  json.set("threads_polling", threads_poll);
+  json.set("threads_event", threads_event);
+  json.set("p50_polling_ms", poll.p50_ms);
+  json.set("p99_polling_ms", poll.p99_ms);
+  json.set("ops_per_s_polling", poll.ops_per_s);
+  json.set("p50_event_ms", event.p50_ms);
+  json.set("p99_event_ms", event.p99_ms);
+  json.set("ops_per_s_event", event.ops_per_s);
+  return json.finish() ? 0 : 1;
+}

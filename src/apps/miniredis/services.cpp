@@ -90,6 +90,7 @@ CheckpointedService::CheckpointedService(Options options) {
   eopts.runtime.metrics_http_port = options.metrics_http_port;
   eopts.runtime.transport = options.transport;
   eopts.runtime.tcp = options.tcp;
+  eopts.runtime.scheduler = options.scheduler;
   engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
                                      eopts);
   const auto cost = options.op_cost_ns;
@@ -223,6 +224,7 @@ ShardedService::ShardedService(Options options) : options_(std::move(options)) {
   eopts.runtime.metrics_http_port = options_.metrics_http_port;
   eopts.runtime.transport = options_.transport;
   eopts.runtime.tcp = options_.tcp;
+  eopts.runtime.scheduler = options_.scheduler;
   engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
                                      eopts);
   engine_->set_state(Symbol(popts.front_instance), front_);
@@ -385,6 +387,7 @@ CachedService::CachedService(Options options) : options_(std::move(options)) {
   eopts.runtime.metrics_http_port = options_.metrics_http_port;
   eopts.runtime.transport = options_.transport;
   eopts.runtime.tcp = options_.tcp;
+  eopts.runtime.scheduler = options_.scheduler;
   engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
                                      eopts);
   engine_->set_state(Symbol("Cache"), cache_);

@@ -74,6 +74,10 @@ class CheckpointedService : public Service {
     // address, peer map, frame/queue bounds -- compart/tcp_options.hpp).
     Transport transport = Transport::kInProcess;
     TcpOptions tcp{};
+    // Guard scheduling for the underlying runtime (worker-pool
+    // event-driven by default; kPolling reproduces the legacy
+    // thread-per-junction poller for ablations).
+    SchedulerOptions scheduler{};
   };
 
   CheckpointedService() : CheckpointedService(make_default_options()) {}
@@ -130,6 +134,10 @@ class ShardedService : public Service {
     // address, peer map, frame/queue bounds -- compart/tcp_options.hpp).
     Transport transport = Transport::kInProcess;
     TcpOptions tcp{};
+    // Guard scheduling for the underlying runtime (worker-pool
+    // event-driven by default; kPolling reproduces the legacy
+    // thread-per-junction poller for ablations).
+    SchedulerOptions scheduler{};
   };
 
   ShardedService() : ShardedService(make_default_options()) {}
@@ -179,6 +187,10 @@ class CachedService : public Service {
     // address, peer map, frame/queue bounds -- compart/tcp_options.hpp).
     Transport transport = Transport::kInProcess;
     TcpOptions tcp{};
+    // Guard scheduling for the underlying runtime (worker-pool
+    // event-driven by default; kPolling reproduces the legacy
+    // thread-per-junction poller for ablations).
+    SchedulerOptions scheduler{};
   };
 
   CachedService() : CachedService(make_default_options()) {}

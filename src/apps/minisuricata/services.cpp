@@ -61,6 +61,7 @@ CheckpointedService::CheckpointedService(Options options) {
   eopts.runtime.metrics_http_port = options.metrics_http_port;
   eopts.runtime.transport = options.transport;
   eopts.runtime.tcp = options.tcp;
+  eopts.runtime.scheduler = options.scheduler;
   engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
                                      eopts);
   const auto cost = options.cost_ns;
@@ -173,6 +174,7 @@ SteeredService::SteeredService(Options options) : options_(options) {
   eopts.runtime.metrics_http_port = options_.metrics_http_port;
   eopts.runtime.transport = options_.transport;
   eopts.runtime.tcp = options_.tcp;
+  eopts.runtime.scheduler = options_.scheduler;
   engine_ = std::make_unique<Engine>(std::move(compiled).value(), std::move(b),
                                      eopts);
   engine_->set_state(Symbol(popts.front_instance), front_);

@@ -49,6 +49,10 @@ class CheckpointedService {
     // address, peer map, frame/queue bounds -- compart/tcp_options.hpp).
     Transport transport = Transport::kInProcess;
     TcpOptions tcp{};
+    // Guard scheduling for the underlying runtime (worker-pool
+    // event-driven by default; kPolling reproduces the legacy
+    // thread-per-junction poller for ablations).
+    SchedulerOptions scheduler{};
   };
 
   CheckpointedService() : CheckpointedService(make_default_options()) {}
@@ -91,6 +95,10 @@ class SteeredService {
     // address, peer map, frame/queue bounds -- compart/tcp_options.hpp).
     Transport transport = Transport::kInProcess;
     TcpOptions tcp{};
+    // Guard scheduling for the underlying runtime (worker-pool
+    // event-driven by default; kPolling reproduces the legacy
+    // thread-per-junction poller for ablations).
+    SchedulerOptions scheduler{};
   };
 
   SteeredService() : SteeredService(make_default_options()) {}

@@ -7,6 +7,7 @@
 #include <random>
 
 #include "serdes/buffer.hpp"
+#include "support/blocking.hpp"
 #include "support/check.hpp"
 #include "support/io.hpp"
 
@@ -20,6 +21,15 @@ constexpr auto kAckPollSlice = std::chrono::milliseconds(5);
 // The junction run currently executing on this thread, if any: its span is
 // the causal parent of every push the body makes.
 thread_local obs::TraceContext t_active_ctx;
+
+// The instance whose junction is evaluating on this thread (event mode: the
+// current eval; polling mode: the loop's whole lifetime). Lets stop()
+// detect self-stop without owning per-junction threads.
+thread_local const void* t_current_inst = nullptr;
+// The entity evaluating on this thread: the change listener suppresses
+// self-wakes for a junction's own writes (the post-run rearm covers them;
+// waking here would double every eval).
+thread_local Scheduler::Entity* t_current_entity = nullptr;
 
 class ScopedTraceContext {
  public:
@@ -77,6 +87,9 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
   {
     std::random_device rd;
     id_base_ = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }
+  if (options_.scheduler.mode == SchedulerMode::kEventDriven) {
+    sched_ = std::make_unique<Scheduler>(options_.scheduler, options_.metrics);
   }
   if (options_.metrics_http_port >= 0 && options_.metrics != nullptr) {
     exposer_ = std::make_unique<obs::HttpExposer>(
@@ -163,7 +176,13 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
   }
 }
 
-Runtime::~Runtime() { shutdown(); }
+Runtime::~Runtime() {
+  shutdown();
+  // Stop the pool while instances_ (whose JunctionRts the entity eval
+  // callbacks point into) is still alive; queued stale entities drain and
+  // bail on the stopped instances.
+  if (sched_ != nullptr) sched_->stop();
+}
 
 std::uint64_t Runtime::bump_epoch() {
   const auto next = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -271,12 +290,26 @@ void Runtime::add_instance(InstanceDesc desc) {
   for (const auto& jdesc : inst->desc.junctions) {
     auto jrt = std::make_unique<JunctionRt>();
     jrt->desc = jdesc;
+    if (sched_ != nullptr) {
+      auto* ip = inst.get();
+      auto* jp = jrt.get();
+      jrt->entity = sched_->add_entity(
+          inst->desc.name.str() + "::" + jrt->desc.name.str(),
+          [this, ip, jp] { return junction_eval(*ip, *jp); });
+    }
     inst->junctions.push_back(std::move(jrt));
   }
   std::scoped_lock lock(reg_mu_);
   CSAW_CHECK(!instances_.contains(inst->desc.name))
       << "duplicate instance '" << inst->desc.name << "'";
+  auto* ip = inst.get();
   instances_.emplace(inst->desc.name, std::move(inst));
+  // Registered after the pool already started (e.g. the chaos harness adds
+  // instances while others run): resolve this instance's wake plan now,
+  // against the registry as it stands. Junctions elsewhere that reference
+  // *this* instance were resolved when it was absent and are already
+  // volatile (polled), so they stay correct, just less precise.
+  if (wake_plans_resolved_) resolve_wake_plan_locked(*ip);
 }
 
 Status Runtime::start(Symbol instance) {
@@ -285,6 +318,10 @@ Status Runtime::start(Symbol instance) {
     return make_error(Errc::kUndefinedName,
                       "start of unknown instance '" + instance.str() + "'");
   }
+  // Before taking inst->mu: wake-plan resolution walks the registry under
+  // reg_mu_, and heartbeat emission takes reg_mu_ -> inst->mu, so the
+  // opposite nesting here would invert the order.
+  ensure_scheduler_started();
   std::scoped_lock lock(inst->mu);
   if (inst->state == InstanceRt::State::kRunning ||
       inst->state == InstanceRt::State::kStopping) {
@@ -307,6 +344,13 @@ Status Runtime::start(Symbol instance) {
         jrt->desc.table_spec, instance.str() + "::" + jrt->desc.name.str());
     jrt->table->set_observer(options_.trace_sink, ins_.kv_applied, instance,
                              jrt->desc.name);
+    if (sched_ != nullptr) {
+      auto* jp = jrt.get();
+      jrt->table->set_change_listener(
+          [this, jp](Symbol key, KvTable::Change change) {
+            on_table_change(*jp, key, change);
+          });
+    }
     if (durable) {
       const std::string fname = instance.str() + "__" + jrt->desc.name.str();
       auto recovered = wal_recover(options_.durability_dir, fname);
@@ -349,6 +393,8 @@ Status Runtime::start(Symbol instance) {
     }
     jrt->pending_schedules = 0;
     jrt->guard_rejections = 0;
+    jrt->eval_active = false;
+    jrt->blocked_traced = false;
   }
   inst->abort.store(false);
   inst->state = InstanceRt::State::kRunning;
@@ -356,9 +402,17 @@ Status Runtime::start(Symbol instance) {
   inst->started_before = true;
   // "When an instance is started, its junctions are started concurrently in
   // an arbitrary order" (S6).
-  for (auto& jrt : inst->junctions) {
-    auto* j = jrt.get();
-    j->thread = std::thread([this, inst, j] { junction_loop(*inst, *j); });
+  if (sched_ != nullptr) {
+    // Initial evals (auto guards may already hold, recovered tables may
+    // carry pending updates), plus the S(i) watchers that just saw this
+    // instance come up.
+    for (auto& jrt : inst->junctions) sched_->wake(jrt->entity);
+    for (auto* watcher : inst->lifecycle_watchers) sched_->wake(watcher);
+  } else {
+    for (auto& jrt : inst->junctions) {
+      auto* j = jrt.get();
+      j->thread = std::thread([this, inst, j] { junction_loop(*inst, *j); });
+    }
   }
   if (restarted) {
     if (ins_.instances_restarted != nullptr) ins_.instances_restarted->add();
@@ -378,6 +432,7 @@ Status Runtime::stop_locked_state(InstanceRt& inst,
       return make_error(Errc::kLifecycle, "instance '" + inst.desc.name.str() +
                                               "' is not running");
     }
+    CSAW_CHECK(t_current_inst != &inst) << "an instance cannot stop itself";
     for (const auto& jrt : inst.junctions) {
       CSAW_CHECK(jrt->thread.get_id() != std::this_thread::get_id())
           << "an instance cannot stop itself";
@@ -390,8 +445,33 @@ Status Runtime::stop_locked_state(InstanceRt& inst,
     inst.cv.notify_all();
   }
   ack_cv_.notify_all();  // unblock the instance's pending pushes
-  for (auto& jrt : inst.junctions) {
-    if (jrt->thread.joinable()) jrt->thread.join();
+  if (sched_ != nullptr) {
+    // Quiesce: no new evals start once the state left kRunning; wait out
+    // the in-flight ones (their blocked waits were interrupted above).
+    // Announced as blocking so that a body stopping *another* instance
+    // does not pin its worker while it drains.
+    std::optional<ScopedBlockingRegion> blocking;
+    std::unique_lock lock(inst.mu);
+    while (true) {
+      bool active = false;
+      for (const auto& jrt : inst.junctions) active |= jrt->eval_active;
+      if (!active) break;
+      if (!blocking.has_value()) blocking.emplace();
+      inst.cv.wait(lock);
+    }
+  } else {
+    for (auto& jrt : inst.junctions) {
+      if (jrt->thread.joinable()) jrt->thread.join();
+    }
+  }
+  // Graceful stop drains acked-but-unapplied updates: an ack promises the
+  // update takes effect unless the instance *crashes*, and the final evals
+  // may have been cut off between ack and apply. Folding them in here also
+  // means the WALs below close over a state with no pending tail.
+  if (final_state == InstanceRt::State::kDown) {
+    for (auto& jrt : inst.junctions) {
+      if (jrt->table != nullptr) jrt->table->apply_pending();
+    }
   }
   // Close the WALs so another incarnation (this process or a successor
   // sharing durability_dir) can recover from a quiesced log.
@@ -404,6 +484,11 @@ Status Runtime::stop_locked_state(InstanceRt& inst,
   {
     std::scoped_lock lock(inst.mu);
     inst.state = final_state;
+    // S(i) guards watching this instance just changed verdict. Under mu:
+    // a late add_instance may be appending a watcher concurrently.
+    if (sched_ != nullptr) {
+      for (auto* watcher : inst.lifecycle_watchers) sched_->wake(watcher);
+    }
   }
   if (final_state == InstanceRt::State::kCrashed) {
     if (ins_.instances_crashed != nullptr) ins_.instances_crashed->add();
@@ -524,6 +609,9 @@ Status Runtime::push(PushRequest req) {
   push_event(obs::TraceEvent::Kind::kPushSent, seq, 0);
   router_->send(std::move(env), payload);
 
+  // Announced lazily: only an ack wait that actually parks is blocking
+  // (in-process acks usually land before the first slice).
+  std::optional<ScopedBlockingRegion> blocking;
   std::unique_lock lock(ack_mu_);
   while (true) {
     if (auto it = ack_results_.find(seq); it != ack_results_.end()) {
@@ -559,6 +647,7 @@ Status Runtime::push(PushRequest req) {
           Errc::kTimeout,
           "no ack from " + req.to.qualified() + " before deadline");
     }
+    if (!blocking.has_value()) blocking.emplace();
     const auto slice = Deadline::after(kAckPollSlice).min(req.deadline);
     ack_cv_.wait_until(lock, slice.when());
   }
@@ -604,6 +693,7 @@ Status Runtime::schedule(Symbol instance, Symbol junction) {
   }
   ++jrt->pending_schedules;
   inst->cv.notify_all();
+  if (sched_ != nullptr) sched_->wake(jrt->entity);
   if (ins_.junction_scheduled != nullptr) ins_.junction_scheduled->add();
   trace(obs::TraceEvent::Kind::kJunctionScheduled, instance, junction);
   return Status::ok_status();
@@ -632,9 +722,14 @@ Status Runtime::call(Symbol instance, Symbol junction, Deadline deadline) {
     rejections_before = jrt->guard_rejections;
     ++jrt->pending_schedules;
     inst->cv.notify_all();
+    if (sched_ != nullptr) sched_->wake(jrt->entity);
   }
   if (ins_.junction_scheduled != nullptr) ins_.junction_scheduled->add();
   trace(obs::TraceEvent::Kind::kJunctionScheduled, instance, junction);
+  // Lazy blocking announcement: a body call()ing another junction must not
+  // pin its worker while it waits (the pool spawns a spare), but the common
+  // already-completed path must not spawn one.
+  std::optional<ScopedBlockingRegion> blocking;
   std::unique_lock lock(inst->mu);
   auto* jrt = find_junction(*inst, junction);
   while (jrt->completed < target) {
@@ -643,6 +738,21 @@ Status Runtime::call(Symbol instance, Symbol junction, Deadline deadline) {
                         "instance '" + instance.str() + "' went down mid-call");
     }
     if (deadline.expired()) {
+      // Deadline edge: a run that consumed our request may be mid-body
+      // right now (its guard passed just before the deadline). Wait out
+      // the in-flight evaluation before classifying -- reporting kTimeout
+      // (or a stale kGuardRejected) for a run that is about to complete
+      // would make the verdict depend on a wakeup race.
+      while (jrt->eval_active && jrt->completed < target &&
+             inst->state == InstanceRt::State::kRunning) {
+        if (!blocking.has_value()) blocking.emplace();
+        inst->cv.wait(lock);
+      }
+      if (jrt->completed >= target) return Status::ok_status();
+      if (inst->state != InstanceRt::State::kRunning) {
+        return make_error(Errc::kUnreachable, "instance '" + instance.str() +
+                                                  "' went down mid-call");
+      }
       // Distinguish "the guard said no" from "the junction never got a
       // chance": if the junction evaluated its guard to false at least once
       // while our request was pending, report kGuardRejected.
@@ -655,8 +765,14 @@ Status Runtime::call(Symbol instance, Symbol junction, Deadline deadline) {
                                             "::" + junction.str() +
                                             " timed out");
     }
-    const auto slice = Deadline::after(kAckPollSlice).min(deadline);
-    inst->cv.wait_until(lock, slice.when());
+    // Woken by eval completions, guard verdicts, and state transitions; no
+    // poll slice needed on either scheduler path.
+    if (!blocking.has_value()) blocking.emplace();
+    if (deadline.is_infinite()) {
+      inst->cv.wait(lock);
+    } else {
+      inst->cv.wait_until(lock, deadline.when());
+    }
   }
   return Status::ok_status();
 }
@@ -681,6 +797,17 @@ std::uint64_t Runtime::runs_completed(Symbol instance, Symbol junction) const {
   return jrt->completed;
 }
 
+std::uint64_t Runtime::junction_evals(Symbol instance, Symbol junction) const {
+  auto* inst = find(instance);
+  CSAW_CHECK(inst != nullptr) << "unknown instance '" << instance << "'";
+  std::scoped_lock lock(inst->mu);
+  auto* jrt = find_junction(*inst, junction);
+  CSAW_CHECK(jrt != nullptr) << "unknown junction '" << junction << "'";
+  return jrt->entity != nullptr
+             ? jrt->entity->eval_count.load(std::memory_order_relaxed)
+             : 0;
+}
+
 Runtime::InstanceRt* Runtime::find(Symbol instance) const {
   std::scoped_lock lock(reg_mu_);
   auto it = instances_.find(instance);
@@ -695,19 +822,70 @@ Runtime::JunctionRt* Runtime::find_junction(InstanceRt& inst,
   return nullptr;
 }
 
-void Runtime::junction_loop(InstanceRt& inst, JunctionRt& jrt) {
-  const RuntimeView rtv(this);
+void Runtime::run_junction_body(InstanceRt& inst, JunctionRt& jrt) {
   const bool timed =
       options_.trace_sink != nullptr || ins_.junction_run_ns != nullptr;
-  // One blocked-on-guard episode emits one trace event, however many idle
-  // polls re-evaluate the guard before it finally passes.
-  bool blocked_traced = false;
+  // This run's span: child of the most recently delivered traced push (a
+  // cross-instance edge), root of a fresh trace otherwise. The body's own
+  // pushes nest under it via the thread-local context.
+  const bool tracing = options_.trace_sink != nullptr;
+  obs::TraceContext run_ctx;
+  std::uint64_t cause_span = 0;
+  if (tracing) {
+    obs::TraceContext cause;
+    {
+      std::scoped_lock lock(inst.mu);
+      cause = jrt.last_delivered;
+      jrt.last_delivered = {};
+    }
+    run_ctx.trace_id = cause.valid() ? cause.trace_id : new_trace_id();
+    run_ctx.span_id = new_trace_id();
+    // The run span's HLC is taken *before* the body: pushes made inside
+    // the body are its children and must not timestamp before it.
+    run_ctx.hlc = hlc_.tick();
+    cause_span = cause.span_id;
+  }
+  jrt.table->begin_run();
+  const SteadyTime t0 = timed ? steady_now() : SteadyTime{};
+  JunctionEnv env(*this, inst.desc.name, jrt.desc.name, *jrt.table,
+                  inst.abort);
+  {
+    ScopedTraceContext scope(run_ctx);
+    jrt.desc.body(env);
+  }
+  jrt.table->end_run();
+  {
+    std::scoped_lock lock(inst.mu);
+    ++jrt.completed;
+  }
+  inst.cv.notify_all();
+  if (ins_.junction_runs != nullptr) ins_.junction_runs->add();
+  if (timed) {
+    const auto dt = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<Nanos>(steady_now() - t0).count());
+    if (ins_.junction_run_ns != nullptr) ins_.junction_run_ns->record(dt);
+    obs::TraceEvent e;
+    e.kind = obs::TraceEvent::Kind::kJunctionRan;
+    e.instance = inst.desc.name;
+    e.junction = jrt.desc.name;
+    e.value_ns = dt;
+    e.trace_id = run_ctx.trace_id;
+    e.span_id = run_ctx.span_id;
+    e.parent_span = cause_span;
+    e.hlc = run_ctx.hlc;  // span start, not record time (see above)
+    record_event(std::move(e));
+  }
+}
+
+void Runtime::junction_loop(InstanceRt& inst, JunctionRt& jrt) {
+  t_current_inst = &inst;
+  const RuntimeView rtv(this);
   while (true) {
     {
       std::scoped_lock lock(inst.mu);
-      if (inst.state != InstanceRt::State::kRunning) return;
+      if (inst.state != InstanceRt::State::kRunning) break;
     }
-    if (inst.abort.load(std::memory_order_relaxed)) return;
+    if (inst.abort.load(std::memory_order_relaxed)) break;
     jrt.table->apply_pending();
     bool want = false;
     bool requested = false;
@@ -723,8 +901,10 @@ void Runtime::junction_loop(InstanceRt& inst, JunctionRt& jrt) {
           std::scoped_lock lock(inst.mu);
           ++jrt.guard_rejections;
         }
-        if (!blocked_traced) {
-          blocked_traced = true;
+        // One blocked-on-guard episode emits one trace event, however many
+        // idle polls re-evaluate the guard before it finally passes.
+        if (!jrt.blocked_traced) {
+          jrt.blocked_traced = true;
           if (ins_.guard_rejected != nullptr) ins_.guard_rejected->add();
           trace(obs::TraceEvent::Kind::kJunctionBlocked, inst.desc.name,
                 jrt.desc.name);
@@ -733,65 +913,190 @@ void Runtime::junction_loop(InstanceRt& inst, JunctionRt& jrt) {
     }
     if (!want) {
       std::unique_lock lock(inst.mu);
-      if (inst.state != InstanceRt::State::kRunning) return;
-      inst.cv.wait_for(lock, options_.idle_poll);
+      if (inst.state != InstanceRt::State::kRunning) break;
+      inst.cv.wait_for(lock, options_.scheduler.idle_poll);
       continue;
     }
-    blocked_traced = false;
-    if (!jrt.desc.auto_schedule) {
+    jrt.blocked_traced = false;
+    {
       std::scoped_lock lock(inst.mu);
-      if (jrt.pending_schedules == 0) continue;
-      --jrt.pending_schedules;
-    }
-    // This run's span: child of the most recently delivered traced push (a
-    // cross-instance edge), root of a fresh trace otherwise. The body's own
-    // pushes nest under it via the thread-local context.
-    const bool tracing = options_.trace_sink != nullptr;
-    obs::TraceContext run_ctx;
-    std::uint64_t cause_span = 0;
-    if (tracing) {
-      obs::TraceContext cause;
-      {
-        std::scoped_lock lock(inst.mu);
-        cause = jrt.last_delivered;
-        jrt.last_delivered = {};
+      if (!jrt.desc.auto_schedule) {
+        if (jrt.pending_schedules == 0) continue;
+        --jrt.pending_schedules;
       }
-      run_ctx.trace_id = cause.valid() ? cause.trace_id : new_trace_id();
-      run_ctx.span_id = new_trace_id();
-      // The run span's HLC is taken *before* the body: pushes made inside
-      // the body are its children and must not timestamp before it.
-      run_ctx.hlc = hlc_.tick();
-      cause_span = cause.span_id;
+      jrt.eval_active = true;  // call()'s deadline-edge grace keys off this
     }
-    jrt.table->begin_run();
-    const SteadyTime t0 = timed ? steady_now() : SteadyTime{};
-    JunctionEnv env(*this, inst.desc.name, jrt.desc.name, *jrt.table,
-                    inst.abort);
-    {
-      ScopedTraceContext scope(run_ctx);
-      jrt.desc.body(env);
-    }
-    jrt.table->end_run();
+    run_junction_body(inst, jrt);
     {
       std::scoped_lock lock(inst.mu);
-      ++jrt.completed;
+      jrt.eval_active = false;
     }
     inst.cv.notify_all();
-    if (ins_.junction_runs != nullptr) ins_.junction_runs->add();
-    if (timed) {
-      const auto dt = static_cast<std::uint64_t>(
-          std::chrono::duration_cast<Nanos>(steady_now() - t0).count());
-      if (ins_.junction_run_ns != nullptr) ins_.junction_run_ns->record(dt);
-      obs::TraceEvent e;
-      e.kind = obs::TraceEvent::Kind::kJunctionRan;
-      e.instance = inst.desc.name;
-      e.junction = jrt.desc.name;
-      e.value_ns = dt;
-      e.trace_id = run_ctx.trace_id;
-      e.span_id = run_ctx.span_id;
-      e.parent_span = cause_span;
-      e.hlc = run_ctx.hlc;  // span start, not record time (see above)
-      record_event(std::move(e));
+  }
+  t_current_inst = nullptr;
+}
+
+// --- event-driven path ------------------------------------------------------
+
+EvalResult Runtime::junction_eval(InstanceRt& inst, JunctionRt& jrt) {
+  {
+    std::scoped_lock lock(inst.mu);
+    // Stale queued wake for a stopped/crashed instance: bail before
+    // touching the table (it may be recovering or gone).
+    if (inst.state != InstanceRt::State::kRunning) return EvalResult::kIdle;
+    jrt.eval_active = true;
+  }
+  t_current_inst = &inst;
+  t_current_entity = jrt.entity;
+  const EvalResult result = junction_eval_inner(inst, jrt);
+  t_current_entity = nullptr;
+  t_current_inst = nullptr;
+  {
+    std::scoped_lock lock(inst.mu);
+    jrt.eval_active = false;
+  }
+  inst.cv.notify_all();  // stop() quiesce and call()'s deadline-edge grace
+  return result;
+}
+
+EvalResult Runtime::junction_eval_inner(InstanceRt& inst, JunctionRt& jrt) {
+  if (inst.abort.load(std::memory_order_relaxed)) return EvalResult::kIdle;
+  jrt.table->apply_pending();
+  bool requested = false;
+  bool want = false;
+  {
+    std::scoped_lock lock(inst.mu);
+    requested = jrt.pending_schedules > 0;
+    want = jrt.desc.auto_schedule || requested;
+  }
+  // Woken only to absorb pending updates (manual junction, no request).
+  if (!want) return EvalResult::kSpurious;
+  const RuntimeView rtv(this);
+  if (jrt.desc.guard && !jrt.desc.guard(*jrt.table, rtv)) {
+    if (requested) {
+      {
+        std::scoped_lock lock(inst.mu);
+        ++jrt.guard_rejections;
+      }
+      // One blocked-on-guard episode emits one trace event, however many
+      // evals re-check the guard before it finally passes.
+      if (!jrt.blocked_traced) {
+        jrt.blocked_traced = true;
+        if (ins_.guard_rejected != nullptr) ins_.guard_rejected->add();
+        trace(obs::TraceEvent::Kind::kJunctionBlocked, inst.desc.name,
+              jrt.desc.name);
+      }
+    }
+    // The wake set cannot see all of this guard's inputs (hand-written
+    // GuardFn, non-hosted remote dep, detector-fed liveness): re-check on
+    // the timer wheel while the junction still wants to run.
+    if (jrt.volatile_guard) {
+      sched_->poll_after(jrt.entity, options_.scheduler.timer_resolution);
+    }
+    return EvalResult::kSpurious;
+  }
+  jrt.blocked_traced = false;
+  if (!jrt.desc.auto_schedule) {
+    std::scoped_lock lock(inst.mu);
+    if (jrt.pending_schedules == 0) return EvalResult::kSpurious;
+    --jrt.pending_schedules;
+  }
+  run_junction_body(inst, jrt);
+  // Auto junctions re-check their guard after every run (the body may have
+  // re-enabled it with a local write, which the listener deliberately does
+  // not self-wake on); manual junctions drain remaining requests.
+  bool more = jrt.desc.auto_schedule;
+  if (!more) {
+    std::scoped_lock lock(inst.mu);
+    more = jrt.pending_schedules > 0;
+  }
+  return more ? EvalResult::kRearm : EvalResult::kIdle;
+}
+
+void Runtime::on_table_change(JunctionRt& jrt, Symbol key,
+                              KvTable::Change change) {
+  // Called with the table mutex held: wake() only touches scheduler-
+  // internal leaf state, never the table or InstanceRt::mu.
+  if (change == KvTable::Change::kEnqueued) {
+    // Pending updates must become visible promptly whether or not they can
+    // flip the guard -- host logic reads tables via rt.table() and remote
+    // guards @-read applied state -- so an enqueue always wakes the owner
+    // to apply_pending, mirroring the old poller's visibility.
+    sched_->wake(jrt.entity);
+    return;
+  }
+  const bool bulk = !key.valid();  // snapshot restore: any key moved
+  if (t_current_entity != jrt.entity &&
+      (bulk || jrt.wake_wildcard || jrt.wake_keys.contains(key))) {
+    sched_->wake(jrt.entity);
+  }
+  // sub_mu: a late add_instance may be appending a subscriber right now.
+  // wake() is lock-cheap (scheduler leaf mutexes only), so holding sub_mu
+  // across the loop is fine.
+  std::scoped_lock sub_lock(jrt.sub_mu);
+  for (const auto& sub : jrt.subscribers) {
+    if (bulk || sub.keys.contains(key)) sched_->wake(sub.entity);
+  }
+}
+
+void Runtime::ensure_scheduler_started() {
+  if (sched_ == nullptr) return;
+  std::call_once(sched_start_once_, [this] {
+    resolve_wake_plans();
+    sched_->start();
+  });
+}
+
+void Runtime::resolve_wake_plans() {
+  std::scoped_lock lock(reg_mu_);
+  for (auto& [name, inst] : instances_) resolve_wake_plan_locked(*inst);
+  wake_plans_resolved_ = true;
+}
+
+void Runtime::resolve_wake_plan_locked(InstanceRt& inst) {
+  for (auto& jrt : inst.junctions) {
+    if (!jrt->desc.guard) continue;  // always schedulable: no wake deps
+    const WakePlan& plan = jrt->desc.wake_plan;
+    if (!plan.analyzed) {
+      // Hand-written GuardFn: any change may matter, and so may state we
+      // cannot observe at all.
+      jrt->wake_wildcard = true;
+      jrt->volatile_guard = true;
+      continue;
+    }
+    jrt->wake_wildcard = plan.wildcard;
+    jrt->wake_keys.insert(plan.keys.begin(), plan.keys.end());
+    for (const auto& dep : plan.remote) {
+      JunctionRt* target = nullptr;
+      if (auto it = instances_.find(dep.at.instance); it != instances_.end()) {
+        target = find_junction(*it->second, dep.at.junction);
+      }
+      if (target == nullptr) {
+        // Hosted on a mesh peer, unknown, or simply not registered yet:
+        // its table never notifies us (or cannot be subscribed to now), so
+        // poll.
+        jrt->volatile_guard = true;
+        continue;
+      }
+      // sub_mu: the target may already be running, with its table listener
+      // iterating this list under the table mutex.
+      std::scoped_lock sub_lock(target->sub_mu);
+      target->subscribers.push_back(JunctionRt::Subscriber{
+          jrt->entity,
+          std::unordered_set<Symbol>(dep.keys.begin(), dep.keys.end())});
+    }
+    for (const Symbol watched : plan.liveness) {
+      if (auto it = instances_.find(watched); it != instances_.end()) {
+        // it->second->mu: the watched instance may be mid-start/stop,
+        // iterating its watcher list. reg_mu_ -> inst.mu matches the
+        // heartbeat path's order.
+        std::scoped_lock watch_lock(it->second->mu);
+        it->second->lifecycle_watchers.push_back(jrt->entity);
+      } else {
+        // Remote liveness is detector-fed and flips without any local
+        // event: poll.
+        jrt->volatile_guard = true;
+      }
     }
   }
 }

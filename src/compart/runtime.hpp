@@ -8,15 +8,22 @@
 // libcompart knows nothing about the DSL).
 //
 // When an instance starts, "its junctions are started concurrently" (paper
-// S6): each junction runs on its own thread --
-//   loop:
-//     apply pending KV updates; if the guard holds and the junction is
-//     scheduled (auto-scheduled, or requested by host logic via
-//     schedule()/call()), run the body;
-//     else block until a message arrives or a schedule request is made.
-// Per-junction threads matter: a junction that blocks for long stretches
-// (the fail-over pattern's reactivate watchdog sits in `wait` for its whole
-// inactivity window) must not starve its siblings.
+// S6). How that concurrency is realized is RuntimeOptions::scheduler's
+// choice:
+//   * kEventDriven (default): junctions are entities on a fixed worker pool
+//     (compart/sched.hpp). Each eval applies pending KV updates, checks the
+//     guard, and runs the body if the junction is scheduled (auto, or
+//     requested via schedule()/call()). Evals are triggered by the events
+//     that can change the verdict -- KV change notifications routed through
+//     each junction's statically-analyzed wake set (JunctionDesc::
+//     wake_plan), schedule requests, instance lifecycle transitions -- so
+//     idle junctions cost zero CPU. Guards the analysis cannot see through
+//     are re-polled by a timer wheel instead. Bodies that block for long
+//     stretches (the fail-over pattern's reactivate watchdog sits in `wait`
+//     for its whole inactivity window) announce it via support/blocking.hpp
+//     and the pool grows a spare so siblings never starve.
+//   * kPolling (ablation; removed next release): the original
+//     thread-per-junction loop that re-checks its guard every idle_poll.
 //
 // Remote updates are ack'd: the pushing junction blocks until the target
 // applied the update (or a deadline/crash intervenes), which is what lets
@@ -34,12 +41,14 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "compart/detector.hpp"
 #include "compart/link.hpp"
 #include "compart/message.hpp"
 #include "compart/router.hpp"
+#include "compart/sched.hpp"
 #include "compart/tcp_options.hpp"
 #include "kv/table.hpp"
 #include "obs/expose.hpp"
@@ -85,6 +94,12 @@ struct JunctionDesc {
   // by KV state); manual junctions run when host logic schedule()s them
   // (front-ends driven by client requests).
   bool auto_schedule = false;
+  // What `guard` observes, from static analysis of its compiled formula
+  // (core/deps.hpp); the event-driven scheduler wakes the junction only on
+  // changes this plan names. Leave default-initialized (analyzed = false)
+  // for hand-written GuardFns: the runtime then assumes any change matters
+  // and timer-polls the guard. Ignored when guard is null.
+  WakePlan wake_plan{};
 };
 
 struct InstanceDesc {
@@ -116,9 +131,12 @@ struct RuntimeOptions {
   bool nack_when_down = true;
   // Fire-and-forget pushes (ablation; breaks otherwise-failure detection).
   bool acks_enabled = true;
-  // Fallback poll period for auto junctions whose guards depend on state
-  // the runtime cannot observe changing (e.g. wall-clock).
-  Nanos idle_poll = std::chrono::milliseconds(2);
+  // How junctions are driven: the event-driven worker pool (default) or
+  // the legacy thread-per-junction poller, plus pool size / poll period /
+  // timer-wheel resolution (compart/sched.hpp). Replaces the old top-level
+  // `idle_poll` knob, which now lives at scheduler.idle_poll and only
+  // applies to kPolling mode.
+  SchedulerOptions scheduler{};
   std::uint64_t seed = 1;
   // Observability (src/obs). Both pointers are borrowed, may be null, and
   // must outlive the Runtime; null disables the corresponding hooks (each
@@ -275,6 +293,11 @@ class Runtime {
   // Total completed junction runs (progress metric for benches).
   [[nodiscard]] std::uint64_t runs_completed(Symbol instance,
                                              Symbol junction) const;
+  // Total scheduler evaluations of the junction (guard checks + runs).
+  // Tests assert wake-set precision with this: an unrelated key write must
+  // not move it. Always 0 in kPolling mode.
+  [[nodiscard]] std::uint64_t junction_evals(Symbol instance,
+                                             Symbol junction) const;
 
   // The calling thread's active trace context: the span of the junction run
   // currently executing on it, or an invalid context elsewhere. Pushes made
@@ -295,10 +318,41 @@ class Runtime {
     // (guarded by InstanceRt::mu); call() diffs this to tell guard
     // rejection apart from timeout.
     std::uint64_t guard_rejections = 0;
+    // A guard/body evaluation is in flight (guarded by InstanceRt::mu).
+    // stop() quiesces on it in event mode; call() uses it at the deadline
+    // edge to avoid misreporting a mid-body run as kTimeout.
+    bool eval_active = false;
     // Context of the most recently delivered traced update (guarded by
     // InstanceRt::mu); the next body run adopts it as its causal parent.
     obs::TraceContext last_delivered;
-    std::thread thread;
+
+    // --- event-driven scheduling (null/empty in kPolling mode) -----------
+    Scheduler::Entity* entity = nullptr;
+    // Resolved from desc.wake_plan before this junction's instance first
+    // starts (at the first runtime-wide start(), or at add_instance for
+    // instances registered after that), immutable once its table listener
+    // is installed: which of this junction's own (applied) keys can flip
+    // its guard...
+    std::unordered_set<Symbol> wake_keys;
+    bool wake_wildcard = false;
+    // ...and whether the guard also depends on state whose changes the
+    // runtime cannot observe (hand GuardFns, non-hosted remote/liveness
+    // deps): such guards are re-polled by the scheduler's timer wheel
+    // while the junction wants to run.
+    bool volatile_guard = false;
+    // Junctions whose guards @-read this junction's table (wake on apply).
+    // Guarded by sub_mu: a late add_instance may subscribe to a junction
+    // whose table listener is concurrently iterating this list.
+    struct Subscriber {
+      Scheduler::Entity* entity;
+      std::unordered_set<Symbol> keys;
+    };
+    std::mutex sub_mu;
+    std::vector<Subscriber> subscribers;
+    // Touched only inside this junction's own (serialized) evals.
+    bool blocked_traced = false;
+
+    std::thread thread;  // kPolling mode only
   };
 
   struct InstanceRt {
@@ -311,6 +365,10 @@ class Runtime {
     bool started_before = false;  // distinguishes started vs restarted
     std::atomic<bool> abort{false};
     std::vector<std::unique_ptr<JunctionRt>> junctions;
+    // Entities whose guards test S(this instance); woken on start/stop.
+    // Guarded by mu: wake-plan resolution for a late-added instance may
+    // append while this instance is starting or stopping.
+    std::vector<Scheduler::Entity*> lifecycle_watchers;
   };
 
   // Metric handles resolved once at construction (when options_.metrics is
@@ -359,6 +417,26 @@ class Runtime {
   void deliver_local(Envelope&& env);
   JunctionRt* find_junction(InstanceRt& inst, Symbol junction) const;
   void junction_loop(InstanceRt& inst, JunctionRt& jrt);
+  // One event-driven evaluation: apply pending, check the guard, maybe run
+  // the body. The scheduler serializes evals per entity.
+  EvalResult junction_eval(InstanceRt& inst, JunctionRt& jrt);
+  EvalResult junction_eval_inner(InstanceRt& inst, JunctionRt& jrt);
+  // One guard-approved body run with tracing/metrics; shared by the event
+  // path (junction_eval_inner) and the polling loop (junction_loop).
+  void run_junction_body(InstanceRt& inst, JunctionRt& jrt);
+  // KvTable change listener (called with the table mutex held): routes the
+  // change through the junction's wake set and its @-subscribers.
+  void on_table_change(JunctionRt& jrt, Symbol key, KvTable::Change change);
+  // Resolves every junction's WakePlan into wake_keys / subscribers /
+  // lifecycle_watchers / volatile_guard, then starts the worker pool.
+  // Runs once, at the first start(); instances registered after that are
+  // resolved individually by add_instance (deps on instances that arrive
+  // even later fall back to volatile polling).
+  void ensure_scheduler_started();
+  void resolve_wake_plans();
+  // Resolves one instance's junctions against the current registry.
+  // Caller holds reg_mu_.
+  void resolve_wake_plan_locked(InstanceRt& inst);
   void deliver(Envelope&& env);
   void send_ack(const Envelope& original, bool nack, std::string reason);
   Status stop_locked_state(InstanceRt& inst, InstanceRt::State final_state);
@@ -371,6 +449,11 @@ class Runtime {
   // stable once inserted (never erased), so holders need no further lock.
   mutable std::mutex reg_mu_;
   std::map<Symbol, std::unique_ptr<InstanceRt>> instances_;
+  // Event-driven worker pool (null in kPolling mode). Entities are added
+  // during add_instance; the pool starts lazily at the first start().
+  std::unique_ptr<Scheduler> sched_;
+  std::once_flag sched_start_once_;
+  bool wake_plans_resolved_ = false;  // under reg_mu_
   std::unique_ptr<class TcpTransport> tcp_;  // only in TCP transport modes
   std::unique_ptr<Router> router_;
   std::unique_ptr<obs::HttpExposer> exposer_;  // /metrics listener

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/simplify.hpp"
 #include "support/check.hpp"
 
 namespace csaw {
@@ -767,7 +768,9 @@ struct Compiler {
 
     FormulaPtr guard;
     CSAW_TRY(process_decls(def.decls, env, j, where, &guard));
-    out.guard = guard;
+    // For-fold expansion leaves constant subtrees (empty set -> false /
+    // !false); fold them so evals and wake-set analysis see pruned guards.
+    out.guard = simplify_formula(guard);
 
     if (def.body == nullptr) return err(where, "junction has no body");
     auto body = compile_expr(def.body, env, j, where);

@@ -1,0 +1,81 @@
+#include "core/deps.hpp"
+
+#include <algorithm>
+
+namespace csaw {
+
+namespace {
+
+void add_key(std::vector<Symbol>& keys, Symbol key) {
+  if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+    keys.push_back(key);
+  }
+}
+
+// Returns false if the formula contains something the analysis cannot pin
+// to a key set (the caller then falls back to wildcard + volatile).
+bool walk(const Formula& f, WakePlan& plan) {
+  switch (f.kind) {
+    case Formula::Kind::kFalse:
+      return true;
+    case Formula::Kind::kProp: {
+      // The keys this read can touch: the plain prop, or -- for an indexed
+      // prop, whose index is an integer read from the table at eval time --
+      // every candidate element's mangled key.
+      std::vector<Symbol> candidates;
+      if (f.index.has_value()) {
+        if (f.index->kind != NameTerm::Kind::kIdx) return false;
+        // The eval also reads the idx variable itself (a local data key),
+        // even for remote props: the index is always resolved locally.
+        add_key(plan.keys, f.index->var);
+        for (const auto& elem : f.index->elements) {
+          candidates.emplace_back(mangle_prop(f.prop, CtValue(elem)));
+        }
+      } else {
+        candidates.push_back(f.prop);
+      }
+      if (f.at.has_value()) {
+        if (f.at->kind != NameTerm::Kind::kConcrete) return false;
+        WakePlan::RemoteDep dep;
+        dep.at = f.at->addr;
+        dep.keys = std::move(candidates);
+        plan.remote.push_back(std::move(dep));
+      } else {
+        for (const Symbol k : candidates) add_key(plan.keys, k);
+      }
+      return true;
+    }
+    case Formula::Kind::kNot:
+      return walk(*f.lhs, plan);
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+      // Short-circuiting does not matter for wakeups: a change to either
+      // side may flip the verdict, so both sides' keys are live.
+      return walk(*f.lhs, plan) && walk(*f.rhs, plan);
+    case Formula::Kind::kRunning:
+      if (f.instance.kind != NameTerm::Kind::kConcrete) return false;
+      add_key(plan.liveness, f.instance.addr.instance);
+      return true;
+    case Formula::Kind::kFor:
+      return false;  // must not survive compilation
+  }
+  return false;
+}
+
+}  // namespace
+
+WakePlan analyze_guard(const CompiledJunction& cj) {
+  WakePlan plan;
+  if (cj.guard == nullptr) {
+    plan.analyzed = true;
+    return plan;
+  }
+  if (!walk(*cj.guard, plan)) {
+    return WakePlan{};  // analyzed = false: wildcard + volatile fallback
+  }
+  plan.analyzed = true;
+  return plan;
+}
+
+}  // namespace csaw

@@ -1,0 +1,31 @@
+// Static guard -> key dependency analysis.
+//
+// Walks a compiled guard formula and extracts everything whose change could
+// flip the guard's verdict:
+//
+//   * local propositions            -> own-table keys
+//   * idx-indexed propositions      -> the idx variable's data key, plus
+//                                      every candidate mangled key
+//                                      (Backend[b1::serve], ...)
+//   * remote reads (gamma@P)        -> (junction address, keys) pairs
+//   * liveness tests (S(i))         -> watched instance names
+//
+// The runtime resolves the resulting WakePlan into change-listener
+// subscriptions at start (compart/runtime.cpp), replacing guard polling
+// with precise wakeups. Anything the analysis cannot pin down -- which
+// after compilation should not occur, since compilation resolves every
+// name -- yields `analyzed = false`, and the runtime falls back to
+// wildcard wakes + timer re-polls, which is always correct.
+#pragma once
+
+#include "compart/sched.hpp"
+#include "core/compile.hpp"
+
+namespace csaw {
+
+// Analyzes `cj.guard`. A null guard (always-schedulable junction) yields an
+// analyzed, empty plan: such junctions only run when scheduled explicitly,
+// so no key change ever needs to wake them.
+WakePlan analyze_guard(const CompiledJunction& cj);
+
+}  // namespace csaw

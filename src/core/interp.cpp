@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "core/deps.hpp"
 #include "support/check.hpp"
 
 namespace csaw {
@@ -735,6 +736,10 @@ void Engine::register_instances() {
       jd.guard = make_guard(cj);
       jd.body = make_body(cj);
       jd.auto_schedule = cj.auto_schedule;
+      // DSL guards are analyzable: the event scheduler wakes this junction
+      // only when a key its guard reads changes (hand-built JunctionDescs
+      // keep the default unanalyzed plan -> wildcard + polling).
+      jd.wake_plan = analyze_guard(cj);
       desc.junctions.push_back(std::move(jd));
     }
     runtime_->add_instance(std::move(desc));

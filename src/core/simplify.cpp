@@ -1,0 +1,96 @@
+#include "core/simplify.hpp"
+
+namespace csaw {
+
+bool formula_is_false(const Formula& f) {
+  return f.kind == Formula::Kind::kFalse;
+}
+
+bool formula_is_true(const Formula& f) {
+  return f.kind == Formula::Kind::kNot && f.lhs != nullptr &&
+         formula_is_false(*f.lhs);
+}
+
+namespace {
+
+// Rebuilds a binary node only when a child actually changed, so untouched
+// subtrees stay shared with the input.
+FormulaPtr rebuild(const FormulaPtr& orig, Formula::Kind kind, FormulaPtr lhs,
+                   FormulaPtr rhs) {
+  if (lhs == orig->lhs && rhs == orig->rhs) return orig;
+  switch (kind) {
+    case Formula::Kind::kNot:
+      return f_not(std::move(lhs));
+    case Formula::Kind::kAnd:
+      return f_and(std::move(lhs), std::move(rhs));
+    case Formula::Kind::kOr:
+      return f_or(std::move(lhs), std::move(rhs));
+    case Formula::Kind::kImplies:
+      return f_implies(std::move(lhs), std::move(rhs));
+    default:
+      return orig;
+  }
+}
+
+}  // namespace
+
+FormulaPtr simplify_formula(FormulaPtr f) {
+  if (f == nullptr) return nullptr;
+  switch (f->kind) {
+    case Formula::Kind::kFalse:
+    case Formula::Kind::kProp:
+    case Formula::Kind::kRunning:
+    case Formula::Kind::kFor:  // only exists pre-compilation; leave alone
+      return f;
+    case Formula::Kind::kNot: {
+      FormulaPtr inner = simplify_formula(f->lhs);
+      // !!F -> F: both err iff F errs, both negate twice otherwise.
+      if (inner->kind == Formula::Kind::kNot) return inner->lhs;
+      // !true -> false. (!false IS the canonical true; keep it.)
+      if (formula_is_true(*inner)) return f_false();
+      return rebuild(f, Formula::Kind::kNot, std::move(inner), nullptr);
+    }
+    case Formula::Kind::kAnd: {
+      FormulaPtr lhs = simplify_formula(f->lhs);
+      FormulaPtr rhs = simplify_formula(f->rhs);
+      // false & F -> false: the eval short-circuits before touching F.
+      if (formula_is_false(*lhs)) return f_false();
+      // true & F -> F; F & true -> F (true never errs, so dropping it
+      // cannot hide or invent an error).
+      if (formula_is_true(*lhs)) return rhs;
+      if (formula_is_true(*rhs)) return lhs;
+      // NOT folded: F & false (F's error must still surface first).
+      return rebuild(f, Formula::Kind::kAnd, std::move(lhs), std::move(rhs));
+    }
+    case Formula::Kind::kOr: {
+      FormulaPtr lhs = simplify_formula(f->lhs);
+      FormulaPtr rhs = simplify_formula(f->rhs);
+      // true | F -> true: short-circuits before touching F.
+      if (formula_is_true(*lhs)) return f_true();
+      // false | F -> F; F | false -> F.
+      if (formula_is_false(*lhs)) return rhs;
+      if (formula_is_false(*rhs)) return lhs;
+      // NOT folded: F | true (an erroring F must keep the guard closed).
+      return rebuild(f, Formula::Kind::kOr, std::move(lhs), std::move(rhs));
+    }
+    case Formula::Kind::kImplies: {
+      FormulaPtr lhs = simplify_formula(f->lhs);
+      FormulaPtr rhs = simplify_formula(f->rhs);
+      // false -> F == true: short-circuits before touching F.
+      if (formula_is_false(*lhs)) return f_true();
+      // true -> F == F.
+      if (formula_is_true(*lhs)) return rhs;
+      // F -> false == !F: identical value and error behavior.
+      if (formula_is_false(*rhs)) {
+        if (lhs->kind == Formula::Kind::kNot) return lhs->lhs;  // !!F -> F
+        return f_not(std::move(lhs));
+      }
+      // NOT folded: F -> true (an erroring F must keep the guard closed).
+      return rebuild(f, Formula::Kind::kImplies, std::move(lhs),
+                     std::move(rhs));
+    }
+  }
+  return f;
+}
+
+}  // namespace csaw

@@ -1,0 +1,32 @@
+// Guard-formula simplification.
+//
+// Compilation expands `for` folds with the paper's identities (empty set ->
+// false / !false), so compiled guards routinely contain constant subtrees:
+// `!false & Ready`, `false | Active`, `Primary -> !false`. Folding them
+// shrinks both the per-eval work and the wake sets the dependency analyzer
+// (core/deps.cpp) extracts -- a pruned branch's propositions never need to
+// wake the junction.
+//
+// Soundness: guard evaluation short-circuits left-to-right and propagates
+// errors (undefined idx, unreachable remote) which the scheduler then reads
+// as "not schedulable". Every rewrite here preserves that three-valued
+// observable behavior exactly -- in particular, a non-constant operand is
+// never *deleted* from the left of a short-circuit (its error must still
+// surface) and `F | true` / `F -> true` are deliberately NOT folded (the
+// fold would turn an erroring guard into a schedulable one).
+#pragma once
+
+#include "core/formula.hpp"
+
+namespace csaw {
+
+// Returns a formula equivalent to `f` under guard-eval semantics (including
+// error propagation), with constant subtrees folded and double negations
+// removed. Null in, null out. Shares unchanged subtrees with the input.
+FormulaPtr simplify_formula(FormulaPtr f);
+
+// True if `f` is the literal constant false / the canonical true (!false).
+bool formula_is_false(const Formula& f);
+bool formula_is_true(const Formula& f);
+
+}  // namespace csaw

@@ -1,8 +1,10 @@
 #include "kv/table.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
+#include "support/blocking.hpp"
 #include "support/check.hpp"
 
 namespace csaw {
@@ -121,6 +123,7 @@ Status KvTable::set_prop_local(Symbol name, bool value) {
     wal_append(std::move(rec));
     wal_commit();
   }
+  notify_change(name, Change::kApplied);
   cv_.notify_all();
   return Status::ok_status();
 }
@@ -153,6 +156,7 @@ Status KvTable::save_local(Symbol name, SerializedValue value) {
     wal_append(std::move(rec));
     wal_commit();
   }
+  notify_change(name, Change::kApplied);
   cv_.notify_all();
   return Status::ok_status();
 }
@@ -191,6 +195,7 @@ void KvTable::restore_snapshot(const Snapshot& snap) {
     wal_append(std::move(rec));
     wal_commit();
   }
+  notify_change(Symbol(), Change::kApplied);  // bulk: any key may have moved
   cv_.notify_all();
 }
 
@@ -221,6 +226,9 @@ Status KvTable::wait(const std::function<bool(const TableView&)>& pred,
   };
 
   const TableView view(this);
+  // Announced lazily: only a wait that actually parks counts as blocking
+  // (a pred that already holds must not spawn a spare scheduler worker).
+  std::optional<ScopedBlockingRegion> blocking;
   while (true) {
     if (interrupted_) {
       cleanup();
@@ -230,6 +238,7 @@ Status KvTable::wait(const std::function<bool(const TableView&)>& pred,
       cleanup();
       return Status::ok_status();
     }
+    if (!blocking.has_value()) blocking.emplace();
     if (deadline.is_infinite()) {
       cv_.wait(lock);
     } else {
@@ -273,6 +282,7 @@ Status KvTable::enqueue(const Update& update) {
   rec.stamp = epoch_;
   wal_append(std::move(rec));
   wal_commit();
+  notify_change(update.key, Change::kEnqueued);
   return Status::ok_status();
 }
 
@@ -309,6 +319,7 @@ Status KvTable::apply_unlocked(const Update& update, bool in_wait) {
     wal_append(std::move(rec));
   }
   observe_applied(update.key);
+  notify_change(update.key, Change::kApplied);
   return Status::ok_status();
 }
 
@@ -393,6 +404,15 @@ void KvTable::wal_commit() {
     CSAW_CHECK(cst.ok()) << owner_ << ": wal compaction failed: "
                          << cst.error().to_string();
   }
+}
+
+void KvTable::set_change_listener(ChangeListener listener) {
+  std::scoped_lock lock(mu_);
+  change_listener_ = std::move(listener);
+}
+
+void KvTable::notify_change(Symbol key, Change change) {
+  if (change_listener_) change_listener_(key, change);
 }
 
 void KvTable::set_observer(obs::TraceSink* trace, obs::Counter* applied,

@@ -155,6 +155,19 @@ class KvTable {
   void set_observer(obs::TraceSink* trace, obs::Counter* applied,
                     Symbol instance, Symbol junction);
 
+  // --- change notification (event-driven scheduler) ------------------------
+  // kEnqueued: an update was queued (pending, not yet visible to reads).
+  // kApplied: a key's visible value changed (remote apply, in-wait admit,
+  // or local write). An invalid key () means "potentially every key"
+  // (snapshot restore).
+  enum class Change { kEnqueued, kApplied };
+  using ChangeListener = std::function<void(Symbol key, Change change)>;
+  // The listener is invoked with the table mutex held: implementations must
+  // not call back into this table and must only do cheap wakeup work
+  // (the scheduler's wake path). Set by the runtime before the junction
+  // first runs; replace with nullptr to detach.
+  void set_change_listener(ChangeListener listener);
+
   // --- introspection ------------------------------------------------------
   [[nodiscard]] const std::string& owner() const { return owner_; }
   struct Counters {
@@ -175,6 +188,7 @@ class KvTable {
   bool has_prop_unlocked(Symbol name) const;
   Status apply_unlocked(const Update& update, bool in_wait);
   void observe_applied(Symbol key);
+  void notify_change(Symbol key, Change change);
 
   // WAL plumbing (all called with mu_ held). wal_append buffers a record;
   // wal_commit syncs buffered records and compacts when the log is due.
@@ -216,6 +230,7 @@ class KvTable {
   obs::Counter* applied_metric_ = nullptr;
   Symbol obs_instance_;
   Symbol obs_junction_;
+  ChangeListener change_listener_;
 };
 
 }  // namespace csaw

@@ -90,6 +90,17 @@ void write_trace_json(std::ostream& os, const std::vector<TraceEvent>& events,
     });
     if (!first) os << "\n    ";
   }
+  os << "},\n    \"gauges\": {";
+  if (metrics != nullptr) {
+    bool first = true;
+    metrics->for_each_gauge([&](const std::string& name, const Gauge& g) {
+      os << (first ? "\n" : ",\n") << "      ";
+      write_escaped(os, name);
+      os << ": " << g.value();
+      first = false;
+    });
+    if (!first) os << "\n    ";
+  }
   os << "},\n    \"histograms\": {";
   if (metrics != nullptr) {
     bool first = true;

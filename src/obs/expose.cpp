@@ -65,6 +65,10 @@ std::string render_prometheus(const Metrics* metrics, const Tracer* tracer) {
       os << "# TYPE csaw_" << name << "_total counter\n"
          << "csaw_" << name << "_total " << c.value() << "\n";
     });
+    metrics->for_each_gauge([&](const std::string& name, const Gauge& g) {
+      os << "# TYPE csaw_" << name << " gauge\n"
+         << "csaw_" << name << " " << g.value() << "\n";
+    });
     metrics->for_each_histogram(
         [&](const std::string& name, const Histogram& h) {
           os << "# TYPE csaw_" << name << " summary\n";

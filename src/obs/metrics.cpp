@@ -80,6 +80,15 @@ Counter& Metrics::counter(std::string_view name) {
   return *it->second;
 }
 
+Gauge& Metrics::gauge(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
 Histogram& Metrics::histogram(std::string_view name) {
   std::scoped_lock lock(mu_);
   auto it = histograms_.find(name);

@@ -30,6 +30,21 @@ class Counter {
   std::atomic<std::uint64_t> v_{0};
 };
 
+// A point-in-time signed level (queue depth, pool size): set or adjust,
+// read last value. Unlike a Counter it can go down.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n = 1) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
 class Histogram {
  public:
   static constexpr int kSubBits = 3;  // 8 sub-buckets per octave
@@ -60,12 +75,18 @@ class Histogram {
 class Metrics {
  public:
   Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
   template <typename Fn>  // fn(const std::string&, const Counter&)
   void for_each_counter(Fn&& fn) const {
     std::scoped_lock lock(mu_);
     for (const auto& [name, c] : counters_) fn(name, *c);
+  }
+  template <typename Fn>  // fn(const std::string&, const Gauge&)
+  void for_each_gauge(Fn&& fn) const {
+    std::scoped_lock lock(mu_);
+    for (const auto& [name, g] : gauges_) fn(name, *g);
   }
   template <typename Fn>  // fn(const std::string&, const Histogram&)
   void for_each_histogram(Fn&& fn) const {
@@ -76,6 +97,7 @@ class Metrics {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 

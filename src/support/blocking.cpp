@@ -1,0 +1,24 @@
+#include "support/blocking.hpp"
+
+namespace csaw {
+
+namespace {
+thread_local BlockingHooks t_hooks;
+thread_local int t_depth = 0;
+}  // namespace
+
+BlockingHooks& thread_blocking_hooks() { return t_hooks; }
+
+ScopedBlockingRegion::ScopedBlockingRegion() {
+  if (t_depth++ == 0 && t_hooks.enter != nullptr) {
+    fired_ = true;
+    t_hooks.enter(t_hooks.ctx);
+  }
+}
+
+ScopedBlockingRegion::~ScopedBlockingRegion() {
+  --t_depth;
+  if (fired_ && t_hooks.exit != nullptr) t_hooks.exit(t_hooks.ctx);
+}
+
+}  // namespace csaw

@@ -1,0 +1,41 @@
+// Thread-local blocking-region hooks.
+//
+// The event-driven scheduler (compart/sched) runs junction bodies on a
+// fixed worker pool. A body that parks for a long stretch -- `wait [t] F`
+// on its KV table, a push awaiting a remote ack, a stop() draining another
+// instance -- would otherwise pin a worker and starve runnable junctions.
+// Layers below the scheduler (kv, compart) cannot depend on it, so they
+// announce blocking through these thread-local hooks instead: the scheduler
+// installs hooks on its worker threads, and everywhere else the hooks are
+// unset and ScopedBlockingRegion is a no-op (host threads may block freely).
+//
+// Contract for hook implementations: enter/exit must not call back into the
+// announcing subsystem (the announcer may hold its own locks, e.g. the KV
+// table mutex around a condvar wait).
+#pragma once
+
+namespace csaw {
+
+struct BlockingHooks {
+  void (*enter)(void* ctx) = nullptr;
+  void (*exit)(void* ctx) = nullptr;
+  void* ctx = nullptr;
+};
+
+// The calling thread's hooks (both null outside scheduler workers).
+BlockingHooks& thread_blocking_hooks();
+
+// Marks the enclosing scope as potentially-blocking. Re-entrant: nested
+// regions only fire the hooks at the outermost level.
+class ScopedBlockingRegion {
+ public:
+  ScopedBlockingRegion();
+  ~ScopedBlockingRegion();
+  ScopedBlockingRegion(const ScopedBlockingRegion&) = delete;
+  ScopedBlockingRegion& operator=(const ScopedBlockingRegion&) = delete;
+
+ private:
+  bool fired_ = false;
+};
+
+}  // namespace csaw

@@ -235,8 +235,12 @@ TEST(Runtime, CallDistinguishesGuardRejectionFromTimeout) {
   d.type = Symbol("guarded");
   d.junctions.push_back(std::move(j));
 
+  // Run on the legacy poller: keeps kPolling-mode coverage of the
+  // guard-rejection classification (the event path is covered by
+  // sched_test).
   RuntimeOptions opts;
-  opts.idle_poll = std::chrono::milliseconds(5);  // re-evaluate guard quickly
+  opts.scheduler.mode = SchedulerMode::kPolling;
+  opts.scheduler.idle_poll = std::chrono::milliseconds(5);
   Runtime rt(opts);
   rt.add_instance(std::move(d));
   ASSERT_TRUE(rt.start(Symbol("g")).ok());

@@ -95,25 +95,30 @@ TEST(Compile, ForUnrollsInOrderWithSeq) {
 }
 
 TEST(Compile, FormulaForFoldIdentities) {
-  // empty & or -> false ; empty & and -> !false (S6).
+  // empty & or -> false ; empty & and -> !false (S6). One identity per
+  // junction: combining them in one guard would let the compile-time
+  // simplifier fold the whole thing away before we can observe the shapes.
   ProgramBuilder p("folds");
   p.config("empty", CtValue(CtList{}));
   p.type("tau")
-      .junction("j")
+      .junction("jor")
       .init_prop("P", false)
-      .guard(f_or(f_for(Formula::Kind::kOr, "x", "empty", f_prop("P")),
-                  f_for(Formula::Kind::kAnd, "x", "empty", f_prop("P"))))
+      .guard(f_for(Formula::Kind::kOr, "x", "empty", f_prop("P")))
       .body(e_skip());
-  p.instance("a", "tau", {{"j", {}}});
+  p.type("tau")
+      .junction("jand")
+      .init_prop("P", false)
+      .guard(f_for(Formula::Kind::kAnd, "x", "empty", f_prop("P")))
+      .body(e_skip());
+  p.instance("a", "tau", {{"jor", {}}, {"jand", {}}});
   p.main_body(e_start(inst("a")));
   auto r = compile(p.build());
   ASSERT_TRUE(r.ok()) << r.error().to_string();
-  const auto& guard = *r->instances[0].junctions[0].guard;
-  // (false | !false)
-  ASSERT_EQ(guard.kind, Formula::Kind::kOr);
-  EXPECT_EQ(guard.lhs->kind, Formula::Kind::kFalse);
-  ASSERT_EQ(guard.rhs->kind, Formula::Kind::kNot);
-  EXPECT_EQ(guard.rhs->lhs->kind, Formula::Kind::kFalse);
+  const auto& jor = *r->find_junction({Symbol("a"), Symbol("jor")})->guard;
+  EXPECT_EQ(jor.kind, Formula::Kind::kFalse);
+  const auto& jand = *r->find_junction({Symbol("a"), Symbol("jand")})->guard;
+  ASSERT_EQ(jand.kind, Formula::Kind::kNot);
+  EXPECT_EQ(jand.lhs->kind, Formula::Kind::kFalse);
 }
 
 TEST(Compile, PropMangling) {
