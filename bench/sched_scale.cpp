@@ -6,9 +6,10 @@
 // push->run latency percentiles while the other ~10k junctions sit idle.
 //
 // Phase 2 (ablation): the same echo workload on a few hundred junctions,
-// run under kPolling (the legacy thread-per-junction 2 ms poller) and
-// kEventDriven in the same process. The poller's p99 is bounded below by
-// its poll period; the event path wakes on the exact key write.
+// with precise wake plans versus unanalyzed guards over state the runtime
+// cannot observe (the wildcard + timer-wheel fallback every guard that
+// defeats core/deps pays). The fallback's p99 is bounded below by the
+// re-poll period; the precise path wakes on the exact key write.
 //
 // Environment overrides: CSAW_BENCH_SCHED_JUNCTIONS (scale-phase junction
 // count), CSAW_BENCH_SCHED_ABLATION (ablation junction count),
@@ -93,6 +94,31 @@ InstanceDesc echo_instance(const std::string& name, std::atomic<long>* runs) {
   return d;
 }
 
+// A fallback echo junction: the guard reads an external atomic the runtime
+// cannot observe, and the wake plan stays default (analyzed = false), which
+// is exactly what the runtime assumes for hand-written GuardFns -- wildcard
+// wakes + timer-wheel re-polls. Flipping the flag is invisible to the
+// runtime, so the flip is only noticed on the next re-poll.
+InstanceDesc fallback_instance(const std::string& name,
+                               std::atomic<long>* runs,
+                               std::atomic<bool>* flag) {
+  JunctionDesc j;
+  j.name = Symbol("j");
+  j.guard = [flag](const KvTable&, const RuntimeView&) {
+    return flag->load(std::memory_order_relaxed);
+  };
+  j.body = [runs, flag](JunctionEnv&) {
+    runs->fetch_add(1, std::memory_order_relaxed);
+    flag->store(false, std::memory_order_relaxed);
+  };
+  j.auto_schedule = true;
+  InstanceDesc d;
+  d.name = Symbol(name);
+  d.type = Symbol("echo_fallback");
+  d.junctions.push_back(std::move(j));
+  return d;
+}
+
 struct LatencyResult {
   double p50_ms = 0;
   double p99_ms = 0;
@@ -147,7 +173,7 @@ int main(int argc, char** argv) {
   const int samples = Config::env_int("CSAW_BENCH_SCHED_SAMPLES", 1000);
   header("sched_scale",
          "event-driven scheduler: " + std::to_string(n_scale) +
-             " junctions on a fixed pool + kPolling ablation",
+             " junctions on a fixed pool + wake-plan fallback ablation",
          cfg);
 
   // --- Phase 1: scale -------------------------------------------------------
@@ -208,11 +234,15 @@ int main(int argc, char** argv) {
     rt.shutdown();
   }
 
-  // --- Phase 2: ablation ----------------------------------------------------
-  auto run_mode = [&](SchedulerMode mode, const char* label, double* threads) {
+  // --- Phase 2: wake-plan ablation ------------------------------------------
+  // Same pool, same workload, two guard flavors: precise single-key wake
+  // plans versus the unanalyzed-guard fallback (wildcard + timer re-polls
+  // every timer_resolution, here 2 ms to mirror the retired poller).
+  LatencyResult event;
+  double threads_event = 0;
+  {
     RuntimeOptions opts;
-    opts.scheduler.mode = mode;
-    opts.scheduler.workers = 4;  // ignored by kPolling
+    opts.scheduler.workers = 4;
     runs.store(0);
     Runtime rt(opts);
     for (int i = 0; i < n_ablate; ++i) {
@@ -221,21 +251,68 @@ int main(int argc, char** argv) {
     for (int i = 0; i < n_ablate; ++i) {
       (void)rt.start(Symbol("e" + std::to_string(i)));
     }
-    *threads = process_threads();
+    threads_event = process_threads();
     std::this_thread::sleep_for(Millis(100));
-    auto lat = measure_latency(rt, runs, n_ablate, samples);
-    std::printf("ablation[%s]: %d junctions, %d threads; p50 %.3f ms, "
+    event = measure_latency(rt, runs, n_ablate, samples);
+    std::printf("ablation[precise]: %d junctions, %d threads; p50 %.3f ms, "
                 "p99 %.3f ms, %.0f ops/s (%d lost)\n",
-                label, n_ablate, static_cast<int>(*threads), lat.p50_ms,
-                lat.p99_ms, lat.ops_per_s, lat.lost);
+                n_ablate, static_cast<int>(threads_event), event.p50_ms,
+                event.p99_ms, event.ops_per_s, event.lost);
     rt.shutdown();
-    return lat;
-  };
-  double threads_poll = 0, threads_event = 0;
-  const auto poll = run_mode(SchedulerMode::kPolling, "kPolling",
-                             &threads_poll);
-  const auto event = run_mode(SchedulerMode::kEventDriven, "kEventDriven",
-                              &threads_event);
+  }
+  LatencyResult fallback;
+  double threads_fallback = 0;
+  {
+    RuntimeOptions opts;
+    opts.scheduler.workers = 4;
+    opts.scheduler.timer_resolution = Millis(2);
+    runs.store(0);
+    auto flags = std::make_unique<std::atomic<bool>[]>(
+        static_cast<std::size_t>(n_ablate));
+    Runtime rt(opts);
+    for (int i = 0; i < n_ablate; ++i) {
+      rt.add_instance(
+          fallback_instance("e" + std::to_string(i), &runs, &flags[i]));
+    }
+    for (int i = 0; i < n_ablate; ++i) {
+      (void)rt.start(Symbol("e" + std::to_string(i)));
+    }
+    threads_fallback = process_threads();
+    std::this_thread::sleep_for(Millis(100));
+    // Closed-loop flip->run latency: the flip is invisible to the runtime
+    // (no inject, no key write), so only the timer wheel can notice it.
+    Cdf cdf;
+    cdf.reserve(static_cast<std::size_t>(samples));
+    std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+    const auto t_begin = steady_now();
+    for (int s = 0; s < samples; ++s) {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      const int idx =
+          static_cast<int>((rng >> 33) % static_cast<unsigned>(n_ablate));
+      const long before = runs.load(std::memory_order_relaxed);
+      const auto t0 = steady_now();
+      flags[idx].store(true, std::memory_order_relaxed);
+      const auto grace = t0 + Millis(2000);
+      while (runs.load(std::memory_order_relaxed) == before &&
+             steady_now() < grace) {
+        std::this_thread::yield();
+      }
+      if (runs.load(std::memory_order_relaxed) == before) {
+        ++fallback.lost;
+        continue;
+      }
+      cdf.add(to_ms(steady_now() - t0));
+    }
+    const double total_s = to_ms(steady_now() - t_begin) / 1000.0;
+    fallback.p50_ms = cdf.quantile(0.5);
+    fallback.p99_ms = cdf.quantile(0.99);
+    fallback.ops_per_s = total_s > 0 ? cdf.count() / total_s : 0;
+    std::printf("ablation[fallback]: %d junctions, %d threads; p50 %.3f ms, "
+                "p99 %.3f ms, %.0f ops/s (%d lost)\n",
+                n_ablate, static_cast<int>(threads_fallback), fallback.p50_ms,
+                fallback.p99_ms, fallback.ops_per_s, fallback.lost);
+    rt.shutdown();
+  }
 
   // --- shape checks ---------------------------------------------------------
   shape_check(threads_scale < baseline_threads + 64,
@@ -246,17 +323,12 @@ int main(int argc, char** argv) {
               "idle CPU near zero (" + TablePrinter::fmt(idle_cpu_pct) +
                   "% of one core, " + std::to_string(idle_evals) +
                   " idle evals)");
-  shape_check(scale_lat.lost == 0 && poll.lost == 0 && event.lost == 0,
+  shape_check(scale_lat.lost == 0 && fallback.lost == 0 && event.lost == 0,
               "no lost wakeups in any phase");
-  shape_check(event.p99_ms < poll.p99_ms,
-              "event-driven p99 beats the 2 ms-poll baseline (" +
+  shape_check(event.p99_ms < fallback.p99_ms,
+              "precise wake plans beat the 2 ms timer-fallback (" +
                   TablePrinter::fmt(event.p99_ms, 3) + " ms < " +
-                  TablePrinter::fmt(poll.p99_ms, 3) + " ms)");
-  shape_check(threads_event < threads_poll,
-              "poller spends a thread per junction; the pool does not (" +
-                  std::to_string(static_cast<int>(threads_event)) + " vs " +
-                  std::to_string(static_cast<int>(threads_poll)) +
-                  " threads)");
+                  TablePrinter::fmt(fallback.p99_ms, 3) + " ms p99)");
 
   json.set("junctions_scale", n_scale);
   json.set("workers", 4);
@@ -267,11 +339,11 @@ int main(int argc, char** argv) {
   json.set("p99_scale_ms", scale_lat.p99_ms);
   json.set("ops_per_s_scale", scale_lat.ops_per_s);
   json.set("junctions_ablation", n_ablate);
-  json.set("threads_polling", threads_poll);
+  json.set("threads_fallback", threads_fallback);
   json.set("threads_event", threads_event);
-  json.set("p50_polling_ms", poll.p50_ms);
-  json.set("p99_polling_ms", poll.p99_ms);
-  json.set("ops_per_s_polling", poll.ops_per_s);
+  json.set("p50_fallback_ms", fallback.p50_ms);
+  json.set("p99_fallback_ms", fallback.p99_ms);
+  json.set("ops_per_s_fallback", fallback.ops_per_s);
   json.set("p50_event_ms", event.p50_ms);
   json.set("p99_event_ms", event.p99_ms);
   json.set("ops_per_s_event", event.ops_per_s);

@@ -74,9 +74,8 @@ class CheckpointedService : public Service {
     // address, peer map, frame/queue bounds -- compart/tcp_options.hpp).
     Transport transport = Transport::kInProcess;
     TcpOptions tcp{};
-    // Guard scheduling for the underlying runtime (worker-pool
-    // event-driven by default; kPolling reproduces the legacy
-    // thread-per-junction poller for ablations).
+    // Event-driven worker-pool sizing / timer-wheel knobs for the
+    // underlying runtime (compart/sched.hpp).
     SchedulerOptions scheduler{};
   };
 
@@ -134,9 +133,8 @@ class ShardedService : public Service {
     // address, peer map, frame/queue bounds -- compart/tcp_options.hpp).
     Transport transport = Transport::kInProcess;
     TcpOptions tcp{};
-    // Guard scheduling for the underlying runtime (worker-pool
-    // event-driven by default; kPolling reproduces the legacy
-    // thread-per-junction poller for ablations).
+    // Event-driven worker-pool sizing / timer-wheel knobs for the
+    // underlying runtime (compart/sched.hpp).
     SchedulerOptions scheduler{};
   };
 
@@ -187,9 +185,8 @@ class CachedService : public Service {
     // address, peer map, frame/queue bounds -- compart/tcp_options.hpp).
     Transport transport = Transport::kInProcess;
     TcpOptions tcp{};
-    // Guard scheduling for the underlying runtime (worker-pool
-    // event-driven by default; kPolling reproduces the legacy
-    // thread-per-junction poller for ablations).
+    // Event-driven worker-pool sizing / timer-wheel knobs for the
+    // underlying runtime (compart/sched.hpp).
     SchedulerOptions scheduler{};
   };
 

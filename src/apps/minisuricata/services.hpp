@@ -49,9 +49,8 @@ class CheckpointedService {
     // address, peer map, frame/queue bounds -- compart/tcp_options.hpp).
     Transport transport = Transport::kInProcess;
     TcpOptions tcp{};
-    // Guard scheduling for the underlying runtime (worker-pool
-    // event-driven by default; kPolling reproduces the legacy
-    // thread-per-junction poller for ablations).
+    // Event-driven worker-pool sizing / timer-wheel knobs for the
+    // underlying runtime (compart/sched.hpp).
     SchedulerOptions scheduler{};
   };
 
@@ -95,9 +94,8 @@ class SteeredService {
     // address, peer map, frame/queue bounds -- compart/tcp_options.hpp).
     Transport transport = Transport::kInProcess;
     TcpOptions tcp{};
-    // Guard scheduling for the underlying runtime (worker-pool
-    // event-driven by default; kPolling reproduces the legacy
-    // thread-per-junction poller for ablations).
+    // Event-driven worker-pool sizing / timer-wheel knobs for the
+    // underlying runtime (compart/sched.hpp).
     SchedulerOptions scheduler{};
   };
 

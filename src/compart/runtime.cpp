@@ -22,8 +22,7 @@ constexpr auto kAckPollSlice = std::chrono::milliseconds(5);
 // the causal parent of every push the body makes.
 thread_local obs::TraceContext t_active_ctx;
 
-// The instance whose junction is evaluating on this thread (event mode: the
-// current eval; polling mode: the loop's whole lifetime). Lets stop()
+// The instance whose junction is evaluating on this thread. Lets stop()
 // detect self-stop without owning per-junction threads.
 thread_local const void* t_current_inst = nullptr;
 // The entity evaluating on this thread: the change listener suppresses
@@ -88,9 +87,7 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
     std::random_device rd;
     id_base_ = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
   }
-  if (options_.scheduler.mode == SchedulerMode::kEventDriven) {
-    sched_ = std::make_unique<Scheduler>(options_.scheduler, options_.metrics);
-  }
+  sched_ = std::make_unique<Scheduler>(options_.scheduler, options_.metrics);
   if (options_.metrics_http_port >= 0 && options_.metrics != nullptr) {
     exposer_ = std::make_unique<obs::HttpExposer>(
         options_.metrics, dynamic_cast<obs::Tracer*>(options_.trace_sink),
@@ -117,6 +114,7 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
     ins_.wal_tail_torn = &m.counter("wal_tail_torn");
     ins_.push_latency_ns = &m.histogram("push_latency_ns");
     ins_.junction_run_ns = &m.histogram("junction_run_ns");
+    ins_.sched_wildcard_guards = &m.gauge("sched_wildcard_guards");
   }
   if (!options_.durability_dir.empty()) {
     auto st = io::ensure_dir(options_.durability_dir);
@@ -181,7 +179,7 @@ Runtime::~Runtime() {
   // Stop the pool while instances_ (whose JunctionRts the entity eval
   // callbacks point into) is still alive; queued stale entities drain and
   // bail on the stopped instances.
-  if (sched_ != nullptr) sched_->stop();
+  sched_->stop();
 }
 
 std::uint64_t Runtime::bump_epoch() {
@@ -290,13 +288,11 @@ void Runtime::add_instance(InstanceDesc desc) {
   for (const auto& jdesc : inst->desc.junctions) {
     auto jrt = std::make_unique<JunctionRt>();
     jrt->desc = jdesc;
-    if (sched_ != nullptr) {
-      auto* ip = inst.get();
-      auto* jp = jrt.get();
-      jrt->entity = sched_->add_entity(
-          inst->desc.name.str() + "::" + jrt->desc.name.str(),
-          [this, ip, jp] { return junction_eval(*ip, *jp); });
-    }
+    auto* ip = inst.get();
+    auto* jp = jrt.get();
+    jrt->entity = sched_->add_entity(
+        inst->desc.name.str() + "::" + jrt->desc.name.str(),
+        [this, ip, jp] { return junction_eval(*ip, *jp); });
     inst->junctions.push_back(std::move(jrt));
   }
   std::scoped_lock lock(reg_mu_);
@@ -328,10 +324,6 @@ Status Runtime::start(Symbol instance) {
     return make_error(Errc::kLifecycle,
                       "instance '" + instance.str() + "' already started");
   }
-  // Previous run's threads (stopped or crashed) may still need reaping.
-  for (auto& jrt : inst->junctions) {
-    if (jrt->thread.joinable()) jrt->thread.join();
-  }
   // Fresh tables: restart re-initializes state from the declarations; any
   // durable state must flow back through the architecture (e.g. the
   // fail-over pattern's Activating protocol), exactly as in the paper --
@@ -344,7 +336,7 @@ Status Runtime::start(Symbol instance) {
         jrt->desc.table_spec, instance.str() + "::" + jrt->desc.name.str());
     jrt->table->set_observer(options_.trace_sink, ins_.kv_applied, instance,
                              jrt->desc.name);
-    if (sched_ != nullptr) {
+    {
       auto* jp = jrt.get();
       jrt->table->set_change_listener(
           [this, jp](Symbol key, KvTable::Change change) {
@@ -395,25 +387,19 @@ Status Runtime::start(Symbol instance) {
     jrt->guard_rejections = 0;
     jrt->eval_active = false;
     jrt->blocked_traced = false;
+    jrt->volatile_repolls = 0;
+    jrt->repoll_anomaly_traced = false;
   }
   inst->abort.store(false);
   inst->state = InstanceRt::State::kRunning;
   const bool restarted = inst->started_before;
   inst->started_before = true;
   // "When an instance is started, its junctions are started concurrently in
-  // an arbitrary order" (S6).
-  if (sched_ != nullptr) {
-    // Initial evals (auto guards may already hold, recovered tables may
-    // carry pending updates), plus the S(i) watchers that just saw this
-    // instance come up.
-    for (auto& jrt : inst->junctions) sched_->wake(jrt->entity);
-    for (auto* watcher : inst->lifecycle_watchers) sched_->wake(watcher);
-  } else {
-    for (auto& jrt : inst->junctions) {
-      auto* j = jrt.get();
-      j->thread = std::thread([this, inst, j] { junction_loop(*inst, *j); });
-    }
-  }
+  // an arbitrary order" (S6): initial evals (auto guards may already hold,
+  // recovered tables may carry pending updates), plus the S(i) watchers
+  // that just saw this instance come up.
+  for (auto& jrt : inst->junctions) sched_->wake(jrt->entity);
+  for (auto* watcher : inst->lifecycle_watchers) sched_->wake(watcher);
   if (restarted) {
     if (ins_.instances_restarted != nullptr) ins_.instances_restarted->add();
     trace(obs::TraceEvent::Kind::kInstanceRestarted, instance);
@@ -433,10 +419,6 @@ Status Runtime::stop_locked_state(InstanceRt& inst,
                                               "' is not running");
     }
     CSAW_CHECK(t_current_inst != &inst) << "an instance cannot stop itself";
-    for (const auto& jrt : inst.junctions) {
-      CSAW_CHECK(jrt->thread.get_id() != std::this_thread::get_id())
-          << "an instance cannot stop itself";
-    }
     inst.state = InstanceRt::State::kStopping;
     inst.abort.store(true);
     for (auto& jrt : inst.junctions) {
@@ -445,7 +427,7 @@ Status Runtime::stop_locked_state(InstanceRt& inst,
     inst.cv.notify_all();
   }
   ack_cv_.notify_all();  // unblock the instance's pending pushes
-  if (sched_ != nullptr) {
+  {
     // Quiesce: no new evals start once the state left kRunning; wait out
     // the in-flight ones (their blocked waits were interrupted above).
     // Announced as blocking so that a body stopping *another* instance
@@ -458,10 +440,6 @@ Status Runtime::stop_locked_state(InstanceRt& inst,
       if (!active) break;
       if (!blocking.has_value()) blocking.emplace();
       inst.cv.wait(lock);
-    }
-  } else {
-    for (auto& jrt : inst.junctions) {
-      if (jrt->thread.joinable()) jrt->thread.join();
     }
   }
   // Graceful stop drains acked-but-unapplied updates: an ack promises the
@@ -486,9 +464,7 @@ Status Runtime::stop_locked_state(InstanceRt& inst,
     inst.state = final_state;
     // S(i) guards watching this instance just changed verdict. Under mu:
     // a late add_instance may be appending a watcher concurrently.
-    if (sched_ != nullptr) {
-      for (auto* watcher : inst.lifecycle_watchers) sched_->wake(watcher);
-    }
+    for (auto* watcher : inst.lifecycle_watchers) sched_->wake(watcher);
   }
   if (final_state == InstanceRt::State::kCrashed) {
     if (ins_.instances_crashed != nullptr) ins_.instances_crashed->add();
@@ -533,9 +509,6 @@ bool Runtime::is_running(Symbol instance) const {
 void Runtime::shutdown() {
   for (auto& [name, inst] : instances_) {
     (void)stop_locked_state(*inst, InstanceRt::State::kDown);
-    for (auto& jrt : inst->junctions) {
-      if (jrt->thread.joinable()) jrt->thread.join();
-    }
   }
 }
 
@@ -693,7 +666,7 @@ Status Runtime::schedule(Symbol instance, Symbol junction) {
   }
   ++jrt->pending_schedules;
   inst->cv.notify_all();
-  if (sched_ != nullptr) sched_->wake(jrt->entity);
+  sched_->wake(jrt->entity);
   if (ins_.junction_scheduled != nullptr) ins_.junction_scheduled->add();
   trace(obs::TraceEvent::Kind::kJunctionScheduled, instance, junction);
   return Status::ok_status();
@@ -722,7 +695,7 @@ Status Runtime::call(Symbol instance, Symbol junction, Deadline deadline) {
     rejections_before = jrt->guard_rejections;
     ++jrt->pending_schedules;
     inst->cv.notify_all();
-    if (sched_ != nullptr) sched_->wake(jrt->entity);
+    sched_->wake(jrt->entity);
   }
   if (ins_.junction_scheduled != nullptr) ins_.junction_scheduled->add();
   trace(obs::TraceEvent::Kind::kJunctionScheduled, instance, junction);
@@ -877,65 +850,6 @@ void Runtime::run_junction_body(InstanceRt& inst, JunctionRt& jrt) {
   }
 }
 
-void Runtime::junction_loop(InstanceRt& inst, JunctionRt& jrt) {
-  t_current_inst = &inst;
-  const RuntimeView rtv(this);
-  while (true) {
-    {
-      std::scoped_lock lock(inst.mu);
-      if (inst.state != InstanceRt::State::kRunning) break;
-    }
-    if (inst.abort.load(std::memory_order_relaxed)) break;
-    jrt.table->apply_pending();
-    bool want = false;
-    bool requested = false;
-    {
-      std::scoped_lock lock(inst.mu);
-      requested = jrt.pending_schedules > 0;
-      want = jrt.desc.auto_schedule || requested;
-    }
-    if (want && jrt.desc.guard && !jrt.desc.guard(*jrt.table, rtv)) {
-      want = false;
-      if (requested) {
-        {
-          std::scoped_lock lock(inst.mu);
-          ++jrt.guard_rejections;
-        }
-        // One blocked-on-guard episode emits one trace event, however many
-        // idle polls re-evaluate the guard before it finally passes.
-        if (!jrt.blocked_traced) {
-          jrt.blocked_traced = true;
-          if (ins_.guard_rejected != nullptr) ins_.guard_rejected->add();
-          trace(obs::TraceEvent::Kind::kJunctionBlocked, inst.desc.name,
-                jrt.desc.name);
-        }
-      }
-    }
-    if (!want) {
-      std::unique_lock lock(inst.mu);
-      if (inst.state != InstanceRt::State::kRunning) break;
-      inst.cv.wait_for(lock, options_.scheduler.idle_poll);
-      continue;
-    }
-    jrt.blocked_traced = false;
-    {
-      std::scoped_lock lock(inst.mu);
-      if (!jrt.desc.auto_schedule) {
-        if (jrt.pending_schedules == 0) continue;
-        --jrt.pending_schedules;
-      }
-      jrt.eval_active = true;  // call()'s deadline-edge grace keys off this
-    }
-    run_junction_body(inst, jrt);
-    {
-      std::scoped_lock lock(inst.mu);
-      jrt.eval_active = false;
-    }
-    inst.cv.notify_all();
-  }
-  t_current_inst = nullptr;
-}
-
 // --- event-driven path ------------------------------------------------------
 
 EvalResult Runtime::junction_eval(InstanceRt& inst, JunctionRt& jrt) {
@@ -991,11 +905,32 @@ EvalResult Runtime::junction_eval_inner(InstanceRt& inst, JunctionRt& jrt) {
     // GuardFn, non-hosted remote dep, detector-fed liveness): re-check on
     // the timer wheel while the junction still wants to run.
     if (jrt.volatile_guard) {
+      // A long stretch of re-polls with the verdict stuck at "no" means the
+      // fallback budget is burning on a guard nothing is flipping: worth one
+      // anomaly event per stuck stretch (counter resets when the guard
+      // finally passes).
+      const auto threshold = options_.scheduler.wildcard_anomaly_repolls;
+      ++jrt.volatile_repolls;
+      if (threshold != 0 && !jrt.repoll_anomaly_traced &&
+          jrt.volatile_repolls >= threshold) {
+        jrt.repoll_anomaly_traced = true;
+        if (options_.trace_sink != nullptr) {
+          obs::TraceEvent e;
+          e.kind = obs::TraceEvent::Kind::kCustom;
+          e.instance = inst.desc.name;
+          e.junction = jrt.desc.name;
+          e.label = Symbol("wildcard_repoll_stuck");
+          e.value_ns = jrt.volatile_repolls;
+          record_event(std::move(e));
+        }
+      }
       sched_->poll_after(jrt.entity, options_.scheduler.timer_resolution);
     }
     return EvalResult::kSpurious;
   }
   jrt.blocked_traced = false;
+  jrt.volatile_repolls = 0;
+  jrt.repoll_anomaly_traced = false;
   if (!jrt.desc.auto_schedule) {
     std::scoped_lock lock(inst.mu);
     if (jrt.pending_schedules == 0) return EvalResult::kSpurious;
@@ -1040,7 +975,6 @@ void Runtime::on_table_change(JunctionRt& jrt, Symbol key,
 }
 
 void Runtime::ensure_scheduler_started() {
-  if (sched_ == nullptr) return;
   std::call_once(sched_start_once_, [this] {
     resolve_wake_plans();
     sched_->start();
@@ -1062,9 +996,15 @@ void Runtime::resolve_wake_plan_locked(InstanceRt& inst) {
       // cannot observe at all.
       jrt->wake_wildcard = true;
       jrt->volatile_guard = true;
+      if (ins_.sched_wildcard_guards != nullptr) {
+        ins_.sched_wildcard_guards->add(1);
+      }
       continue;
     }
     jrt->wake_wildcard = plan.wildcard;
+    if (plan.wildcard && ins_.sched_wildcard_guards != nullptr) {
+      ins_.sched_wildcard_guards->add(1);
+    }
     jrt->wake_keys.insert(plan.keys.begin(), plan.keys.end());
     for (const auto& dep : plan.remote) {
       JunctionRt* target = nullptr;

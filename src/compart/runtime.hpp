@@ -8,22 +8,20 @@
 // libcompart knows nothing about the DSL).
 //
 // When an instance starts, "its junctions are started concurrently" (paper
-// S6). How that concurrency is realized is RuntimeOptions::scheduler's
-// choice:
-//   * kEventDriven (default): junctions are entities on a fixed worker pool
-//     (compart/sched.hpp). Each eval applies pending KV updates, checks the
-//     guard, and runs the body if the junction is scheduled (auto, or
-//     requested via schedule()/call()). Evals are triggered by the events
-//     that can change the verdict -- KV change notifications routed through
-//     each junction's statically-analyzed wake set (JunctionDesc::
-//     wake_plan), schedule requests, instance lifecycle transitions -- so
-//     idle junctions cost zero CPU. Guards the analysis cannot see through
-//     are re-polled by a timer wheel instead. Bodies that block for long
-//     stretches (the fail-over pattern's reactivate watchdog sits in `wait`
-//     for its whole inactivity window) announce it via support/blocking.hpp
-//     and the pool grows a spare so siblings never starve.
-//   * kPolling (ablation; removed next release): the original
-//     thread-per-junction loop that re-checks its guard every idle_poll.
+// S6): junctions are entities on a fixed event-driven worker pool
+// (compart/sched.hpp). Each eval applies pending KV updates, checks the
+// guard, and runs the body if the junction is scheduled (auto, or requested
+// via schedule()/call()). Evals are triggered by the events that can change
+// the verdict -- KV change notifications routed through each junction's
+// statically-analyzed wake set (JunctionDesc::wake_plan), schedule requests,
+// instance lifecycle transitions -- so idle junctions cost zero CPU. Guards
+// the analysis cannot see through are re-polled by a timer wheel instead.
+// Bodies that block for long stretches (the fail-over pattern's reactivate
+// watchdog sits in `wait` for its whole inactivity window) announce it via
+// support/blocking.hpp and the pool grows a spare so siblings never starve.
+// (The legacy thread-per-junction polling mode was an ablation; it is gone,
+// and bench/sched_scale.cpp now ablates against the wildcard+timer fallback
+// instead.)
 //
 // Remote updates are ack'd: the pushing junction blocks until the target
 // applied the update (or a deadline/crash intervenes), which is what lets
@@ -108,6 +106,14 @@ struct InstanceDesc {
   std::vector<JunctionDesc> junctions;
 };
 
+// How strictly the DSL engine treats csaw-lint diagnostics at launch time
+// (RuntimeOptions::validate).
+enum class ValidateMode {
+  kOff,     // no pre-launch analysis
+  kWarn,    // analyze, report to stderr, launch anyway
+  kStrict,  // refuse to launch a program with error-severity diagnostics
+};
+
 enum class Transport {
   kInProcess,    // router delivers via direct calls (default)
   kTcpLoopback,  // every envelope crosses a real 127.0.0.1 TCP connection
@@ -131,12 +137,16 @@ struct RuntimeOptions {
   bool nack_when_down = true;
   // Fire-and-forget pushes (ablation; breaks otherwise-failure detection).
   bool acks_enabled = true;
-  // How junctions are driven: the event-driven worker pool (default) or
-  // the legacy thread-per-junction poller, plus pool size / poll period /
-  // timer-wheel resolution (compart/sched.hpp). Replaces the old top-level
-  // `idle_poll` knob, which now lives at scheduler.idle_poll and only
-  // applies to kPolling mode.
+  // Event-driven worker pool sizing, timer-wheel resolution, and the
+  // wildcard-repoll anomaly threshold (compart/sched.hpp).
   SchedulerOptions scheduler{};
+  // Static validation (core/analyze) of DSL programs before launch. The
+  // runtime itself only sees opaque callables, so enforcement lives in the
+  // DSL engine (core/interp): kWarn prints the analyzer's report to stderr
+  // and launches anyway; kStrict refuses (kInvalidProgram) to launch a
+  // program carrying any error-severity diagnostic. Hand-assembled
+  // InstanceDescs are unaffected.
+  ValidateMode validate = ValidateMode::kOff;
   std::uint64_t seed = 1;
   // Observability (src/obs). Both pointers are borrowed, may be null, and
   // must outlive the Runtime; null disables the corresponding hooks (each
@@ -295,7 +305,7 @@ class Runtime {
                                              Symbol junction) const;
   // Total scheduler evaluations of the junction (guard checks + runs).
   // Tests assert wake-set precision with this: an unrelated key write must
-  // not move it. Always 0 in kPolling mode.
+  // not move it.
   [[nodiscard]] std::uint64_t junction_evals(Symbol instance,
                                              Symbol junction) const;
 
@@ -326,7 +336,7 @@ class Runtime {
     // InstanceRt::mu); the next body run adopts it as its causal parent.
     obs::TraceContext last_delivered;
 
-    // --- event-driven scheduling (null/empty in kPolling mode) -----------
+    // --- event-driven scheduling ------------------------------------------
     Scheduler::Entity* entity = nullptr;
     // Resolved from desc.wake_plan before this junction's instance first
     // starts (at the first runtime-wide start(), or at add_instance for
@@ -351,8 +361,11 @@ class Runtime {
     std::vector<Subscriber> subscribers;
     // Touched only inside this junction's own (serialized) evals.
     bool blocked_traced = false;
-
-    std::thread thread;  // kPolling mode only
+    // Consecutive volatile-guard timer re-polls whose guard verdict did not
+    // change; crossing SchedulerOptions::wildcard_anomaly_repolls emits one
+    // `wildcard_repoll_stuck` trace event. Touched only inside evals.
+    std::uint64_t volatile_repolls = 0;
+    bool repoll_anomaly_traced = false;
   };
 
   struct InstanceRt {
@@ -393,6 +406,10 @@ class Runtime {
     obs::Counter* wal_tail_torn = nullptr;
     obs::Histogram* push_latency_ns = nullptr;
     obs::Histogram* junction_run_ns = nullptr;
+    // Junctions whose wake plans resolved to wildcard+timer fallback (the
+    // runtime twin of csaw-lint's wake-coverage report); set during
+    // wake-plan resolution.
+    obs::Gauge* sched_wildcard_guards = nullptr;
   };
 
   // Records one trace event, stamping its HLC from the runtime clock if the
@@ -416,13 +433,11 @@ class Runtime {
   InstanceRt* find(Symbol instance) const;
   void deliver_local(Envelope&& env);
   JunctionRt* find_junction(InstanceRt& inst, Symbol junction) const;
-  void junction_loop(InstanceRt& inst, JunctionRt& jrt);
   // One event-driven evaluation: apply pending, check the guard, maybe run
   // the body. The scheduler serializes evals per entity.
   EvalResult junction_eval(InstanceRt& inst, JunctionRt& jrt);
   EvalResult junction_eval_inner(InstanceRt& inst, JunctionRt& jrt);
-  // One guard-approved body run with tracing/metrics; shared by the event
-  // path (junction_eval_inner) and the polling loop (junction_loop).
+  // One guard-approved body run with tracing/metrics.
   void run_junction_body(InstanceRt& inst, JunctionRt& jrt);
   // KvTable change listener (called with the table mutex held): routes the
   // change through the junction's wake set and its @-subscribers.
@@ -449,8 +464,8 @@ class Runtime {
   // stable once inserted (never erased), so holders need no further lock.
   mutable std::mutex reg_mu_;
   std::map<Symbol, std::unique_ptr<InstanceRt>> instances_;
-  // Event-driven worker pool (null in kPolling mode). Entities are added
-  // during add_instance; the pool starts lazily at the first start().
+  // Event-driven worker pool. Entities are added during add_instance; the
+  // pool starts lazily at the first start().
   std::unique_ptr<Scheduler> sched_;
   std::once_flag sched_start_once_;
   bool wake_plans_resolved_ = false;  // under reg_mu_

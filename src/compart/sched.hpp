@@ -26,10 +26,6 @@
 //     spare so runnable junctions never starve behind a parked one.
 //     Spares persist until shutdown, so growth is bounded by the peak
 //     number of concurrently blocked bodies.
-//
-// The legacy thread-per-junction poller survives one release as
-// SchedulerOptions::mode = kPolling for ablation runs; see
-// compart/runtime.cpp.
 #pragma once
 
 #include <atomic>
@@ -50,20 +46,17 @@
 
 namespace csaw {
 
-enum class SchedulerMode {
-  kEventDriven,  // worker pool + wake-set analysis (default)
-  kPolling,      // legacy thread-per-junction idle_poll loop (ablation)
-};
-
 struct SchedulerOptions {
-  SchedulerMode mode = SchedulerMode::kEventDriven;
   // Worker pool size; 0 picks max(2, min(8, hardware_concurrency)).
   int workers = 0;
-  // kPolling only: how often an idle junction re-checks its guard.
-  std::chrono::milliseconds idle_poll{2};
-  // kEventDriven only: timer-wheel tick for re-polling volatile guards
-  // (unanalyzed GuardFns, non-hosted remote deps, liveness tests).
+  // Timer-wheel tick for re-polling volatile guards (unanalyzed GuardFns,
+  // non-hosted remote deps, liveness tests).
   std::chrono::milliseconds timer_resolution{1};
+  // After this many consecutive timer re-polls of one volatile guard with
+  // no verdict change, the runtime traces a `wildcard_repoll_stuck` anomaly
+  // event (once per stuck stretch): the junction is burning its re-poll
+  // budget on a guard nothing is flipping. 0 disables.
+  std::uint64_t wildcard_anomaly_repolls = 64;
 };
 
 // What a junction's guard can observe, extracted from its compiled formula

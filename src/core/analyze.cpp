@@ -1,0 +1,596 @@
+#include "core/analyze.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/deps.hpp"
+#include "core/expr.hpp"
+#include "core/simplify.hpp"
+
+namespace csaw {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "note";
+}
+
+std::string Diagnostic::location() const {
+  if (!where.instance.valid()) return "<program>";
+  if (!where.junction.valid()) return where.instance.str();
+  return where.qualified();
+}
+
+int AnalysisReport::errors() const {
+  return static_cast<int>(std::count_if(
+      diagnostics.begin(), diagnostics.end(),
+      [](const Diagnostic& d) { return d.severity == Severity::kError; }));
+}
+
+int AnalysisReport::warnings() const {
+  return static_cast<int>(std::count_if(
+      diagnostics.begin(), diagnostics.end(),
+      [](const Diagnostic& d) { return d.severity == Severity::kWarning; }));
+}
+
+int AnalysisReport::notes() const {
+  return static_cast<int>(std::count_if(
+      diagnostics.begin(), diagnostics.end(),
+      [](const Diagnostic& d) { return d.severity == Severity::kNote; }));
+}
+
+std::string AnalysisReport::to_text() const {
+  std::ostringstream os;
+  os << "program '" << program << "': " << errors() << " error(s), "
+     << warnings() << " warning(s), " << notes() << " note(s)\n";
+  os << "wake coverage: " << guards_analyzed << "/" << guards_total
+     << " guards analyzed, " << wildcard_guards << " wildcard fallback(s)\n";
+  for (const Diagnostic& d : diagnostics) {
+    os << "  " << severity_name(d.severity) << " " << d.code << " "
+       << d.location() << ": " << d.message << "\n";
+    if (!d.detail.empty()) os << "      " << d.detail << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string AnalysisReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"program\":";
+  json_escape(os, program);
+  os << ",\"errors\":" << errors() << ",\"warnings\":" << warnings()
+     << ",\"notes\":" << notes();
+  os << ",\"coverage\":{\"guards\":" << guards_total
+     << ",\"analyzed\":" << guards_analyzed
+     << ",\"wildcard\":" << wildcard_guards << "}";
+  os << ",\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"severity\":\"" << severity_name(d.severity) << "\",\"code\":";
+    json_escape(os, d.code);
+    os << ",\"instance\":";
+    json_escape(os, d.where.instance.valid() ? d.where.instance.str() : "");
+    os << ",\"junction\":";
+    json_escape(os, d.where.junction.valid() ? d.where.junction.str() : "");
+    os << ",\"message\":";
+    json_escape(os, d.message);
+    os << ",\"detail\":";
+    json_escape(os, d.detail);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+namespace {
+
+// --- shared body analysis ---------------------------------------------------
+
+// One remote write the body can perform: `writer` pushes `key` into
+// `target`'s table. Indexed props and idx-variable targets expand to one
+// site per candidate, so a site is always concrete.
+struct WriteSite {
+  enum class Kind { kAssert, kRetract, kData };
+  JunctionAddr writer;
+  JunctionAddr target;
+  std::string key;
+  Kind kind = Kind::kData;
+  // True when an enclosing `otherwise[t]` bounds the push: the sender
+  // cannot block forever on this edge (pass 3 ignores protected edges).
+  bool protected_by_timeout = false;
+};
+
+// The concrete junction addresses a target NameTerm can resolve to. An
+// unqualified instance target resolves to its sole junction, mirroring the
+// interpreter's fill_junction.
+std::vector<JunctionAddr> target_candidates(const CompiledProgram& program,
+                                            const NameTerm& term) {
+  std::vector<JunctionAddr> raw;
+  if (term.kind == NameTerm::Kind::kConcrete) {
+    raw.push_back(term.addr);
+  } else if (term.kind == NameTerm::Kind::kIdx) {
+    raw = term.elements;
+  }
+  std::vector<JunctionAddr> out;
+  for (JunctionAddr a : raw) {
+    if (!a.junction.valid()) {
+      const auto* inst = program.find_instance(a.instance);
+      if (inst != nullptr && inst->junctions.size() == 1) {
+        a = inst->junctions.front().addr;
+      }
+    }
+    out.push_back(a);
+  }
+  return out;
+}
+
+// The table keys a PropRef can resolve to (mangled for indexed props).
+std::vector<std::string> prop_key_candidates(const PropRef& p) {
+  if (!p.index.has_value()) return {p.base.str()};
+  std::vector<std::string> out;
+  if (p.index->kind == NameTerm::Kind::kConcrete) {
+    out.push_back(mangle_prop(p.base, CtValue(p.index->addr)));
+  } else if (p.index->kind == NameTerm::Kind::kIdx) {
+    for (const auto& elem : p.index->elements) {
+      out.push_back(mangle_prop(p.base, CtValue(elem)));
+    }
+  }
+  return out;
+}
+
+void collect_write_sites(const CompiledProgram& program,
+                         const JunctionAddr& writer, const Expr& e,
+                         bool protected_by_timeout,
+                         std::vector<WriteSite>& out) {
+  const auto emit = [&](const NameTerm& target_term,
+                        const std::vector<std::string>& keys,
+                        WriteSite::Kind kind) {
+    for (const JunctionAddr& target : target_candidates(program, target_term)) {
+      for (const std::string& key : keys) {
+        out.push_back(WriteSite{writer, target, key, kind,
+                                protected_by_timeout});
+      }
+    }
+  };
+  switch (e.kind) {
+    case Expr::Kind::kAssert:
+    case Expr::Kind::kRetract:
+      if (e.target.has_value()) {
+        emit(*e.target, prop_key_candidates(e.prop),
+             e.kind == Expr::Kind::kAssert ? WriteSite::Kind::kAssert
+                                           : WriteSite::Kind::kRetract);
+      }
+      return;
+    case Expr::Kind::kWrite:
+      if (e.target.has_value()) {
+        emit(*e.target, {e.data.str()}, WriteSite::Kind::kData);
+      }
+      return;
+    case Expr::Kind::kOtherwise: {
+      // `E1 otherwise[t] E2`: a finite t bounds every push inside E1.
+      const bool finite = e.timeout.kind != TimeRef::Kind::kInfinite;
+      if (!e.children.empty()) {
+        collect_write_sites(program, writer, *e.children[0],
+                            protected_by_timeout || finite, out);
+      }
+      if (e.children.size() > 1) {
+        collect_write_sites(program, writer, *e.children[1],
+                            protected_by_timeout, out);
+      }
+      return;
+    }
+    case Expr::Kind::kCase:
+      for (const CaseArm& arm : e.arms) {
+        if (arm.body != nullptr) {
+          collect_write_sites(program, writer, *arm.body,
+                              protected_by_timeout, out);
+        }
+      }
+      if (e.case_otherwise != nullptr) {
+        collect_write_sites(program, writer, *e.case_otherwise,
+                            protected_by_timeout, out);
+      }
+      return;
+    default:
+      for (const ExprPtr& c : e.children) {
+        collect_write_sites(program, writer, *c, protected_by_timeout, out);
+      }
+      return;
+  }
+}
+
+// Instances a body (or main) can start.
+void collect_started_instances(const Expr& e, std::vector<Symbol>& out) {
+  if (e.kind == Expr::Kind::kStart) {
+    if (e.instance.kind == NameTerm::Kind::kConcrete) {
+      out.push_back(e.instance.addr.instance);
+    } else if (e.instance.kind == NameTerm::Kind::kIdx) {
+      for (const auto& elem : e.instance.elements) {
+        out.push_back(elem.instance);
+      }
+    }
+  }
+  for (const ExprPtr& c : e.children) collect_started_instances(*c, out);
+  for (const CaseArm& arm : e.arms) {
+    if (arm.body != nullptr) collect_started_instances(*arm.body, out);
+  }
+  if (e.case_otherwise != nullptr) {
+    collect_started_instances(*e.case_otherwise, out);
+  }
+}
+
+// S(i) tests with concrete instances in a guard.
+void collect_liveness_tests(const Formula& f, std::vector<Symbol>& out) {
+  switch (f.kind) {
+    case Formula::Kind::kRunning:
+      if (f.instance.kind == NameTerm::Kind::kConcrete) {
+        out.push_back(f.instance.addr.instance);
+      }
+      return;
+    case Formula::Kind::kNot:
+      collect_liveness_tests(*f.lhs, out);
+      return;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+      collect_liveness_tests(*f.lhs, out);
+      collect_liveness_tests(*f.rhs, out);
+      return;
+    default:
+      return;
+  }
+}
+
+struct Analyzer {
+  const CompiledProgram& program;
+  const AnalyzeOptions& options;
+  AnalysisReport report;
+
+  // All write sites in the program, and each guarded junction's local
+  // guard-key set (used by the handshake heuristic and pass 4).
+  std::vector<WriteSite> sites;
+  std::map<JunctionAddr, std::set<std::string>> guard_keys;
+
+  void add(Severity severity, std::string code, JunctionAddr where,
+           std::string message, std::string detail = {}) {
+    for (const std::string& s : options.suppress) {
+      if (s == code) return;
+    }
+    report.diagnostics.push_back(Diagnostic{severity, std::move(code), where,
+                                            std::move(message),
+                                            std::move(detail)});
+  }
+
+  void prepare() {
+    for (const CompiledInstance& inst : program.instances) {
+      for (const CompiledJunction& cj : inst.junctions) {
+        if (cj.body != nullptr) {
+          collect_write_sites(program, cj.addr, *cj.body, false, sites);
+        }
+        if (cj.guard != nullptr) {
+          WakePlan plan = analyze_guard(cj);
+          auto& keys = guard_keys[cj.addr];
+          for (const Symbol k : plan.keys) keys.insert(k.str());
+        }
+      }
+    }
+  }
+
+  // --- pass 1: guard satisfiability ---------------------------------------
+  void pass_guards() {
+    for (const CompiledInstance& inst : program.instances) {
+      for (const CompiledJunction& cj : inst.junctions) {
+        if (cj.guard == nullptr) continue;
+        const FormulaPtr g = simplify_formula(cj.guard);
+        switch (classify_formula(*g, options.max_guard_atoms)) {
+          case FormulaClass::kUnsatisfiable:
+            add(Severity::kError, "CSAW-G001", cj.addr,
+                "guard can never hold: the junction is dead",
+                "guard: " + cj.guard->to_string());
+            break;
+          case FormulaClass::kTautology:
+            if (cj.auto_schedule) {
+              add(Severity::kWarning, "CSAW-G002", cj.addr,
+                  "auto junction guard always holds: the junction re-runs "
+                  "continuously",
+                  "guard: " + cj.guard->to_string());
+            } else {
+              add(Severity::kNote, "CSAW-G002", cj.addr,
+                  "guard always holds (redundant for a manual junction)",
+                  "guard: " + cj.guard->to_string());
+            }
+            break;
+          case FormulaClass::kTooWide:
+            add(Severity::kNote, "CSAW-G003", cj.addr,
+                "guard has too many atoms to enumerate (satisfiability not "
+                "checked)",
+                "guard: " + cj.guard->to_string());
+            break;
+          case FormulaClass::kSatisfiable:
+            break;
+        }
+      }
+    }
+  }
+
+  // True when `writer` only runs after `target` told it to: the writer's
+  // guard reads a local key that the target's body writes into the writer's
+  // table (the request/response Work handshake of the worker patterns).
+  // Such writers are serialized by the target's own protocol, so their
+  // write-backs are not flagged as races.
+  bool handshake_synced(const JunctionAddr& writer,
+                        const JunctionAddr& target) const {
+    const auto it = guard_keys.find(writer);
+    if (it == guard_keys.end() || it->second.empty()) return false;
+    for (const WriteSite& s : sites) {
+      if (s.writer == target && s.target == writer &&
+          it->second.contains(s.key)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // --- pass 2: write-write conflicts --------------------------------------
+  void pass_conflicts() {
+    std::map<std::pair<JunctionAddr, std::string>, std::vector<const WriteSite*>>
+        by_key;
+    for (const WriteSite& s : sites) {
+      by_key[{s.target, s.key}].push_back(&s);
+    }
+    for (const auto& [key, group] : by_key) {
+      std::set<JunctionAddr> writers;
+      bool any_assert = false, any_retract = false, any_data = false;
+      for (const WriteSite* s : group) {
+        writers.insert(s->writer);
+        any_assert |= s->kind == WriteSite::Kind::kAssert;
+        any_retract |= s->kind == WriteSite::Kind::kRetract;
+        any_data |= s->kind == WriteSite::Kind::kData;
+      }
+      if (writers.size() < 2) continue;  // one writer: serialized by its evals
+      // Idempotent convergence: N junctions all asserting (or all
+      // retracting) one prop commute. Divergence needs an assert/retract
+      // mix, or data writes (values are opaque; assume they differ).
+      const bool divergent = (any_assert && any_retract) || any_data;
+      if (!divergent) continue;
+      bool all_synced = true;
+      for (const JunctionAddr& w : writers) {
+        all_synced &= handshake_synced(w, key.first);
+      }
+      if (all_synced) continue;
+      std::ostringstream who;
+      bool first = true;
+      for (const JunctionAddr& w : writers) {
+        if (!first) who << ", ";
+        first = false;
+        who << w.qualified();
+      }
+      add(Severity::kWarning, "CSAW-W001", key.first,
+          "key '" + key.second + "' is written by " +
+              std::to_string(writers.size()) +
+              " junctions with no synchronizing handshake "
+              "(last-writer-wins)",
+          "writers: " + who.str());
+    }
+  }
+
+  // --- pass 3: sync-call cycles -------------------------------------------
+  void pass_cycles() {
+    // Blocking-push graph over unprotected edges; Tarjan SCC. Protected
+    // edges (finite otherwise[t]) cannot wedge: the deadline breaks them.
+    std::vector<JunctionAddr> nodes;
+    std::map<JunctionAddr, std::size_t> index_of;
+    const auto node = [&](const JunctionAddr& a) {
+      auto [it, inserted] = index_of.try_emplace(a, nodes.size());
+      if (inserted) nodes.push_back(a);
+      return it->second;
+    };
+    std::map<std::size_t, std::set<std::size_t>> edges;
+    for (const WriteSite& s : sites) {
+      if (s.protected_by_timeout) continue;
+      edges[node(s.writer)].insert(node(s.target));
+    }
+    // Iterative Tarjan.
+    const std::size_t n = nodes.size();
+    std::vector<int> idx(n, -1), low(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<std::size_t> stack;
+    int counter = 0;
+    std::vector<std::vector<std::size_t>> sccs;
+    struct Frame {
+      std::size_t v;
+      std::set<std::size_t>::const_iterator next;
+    };
+    for (std::size_t root = 0; root < n; ++root) {
+      if (idx[root] != -1) continue;
+      std::vector<Frame> frames;
+      const auto open = [&](std::size_t v) {
+        idx[v] = low[v] = counter++;
+        stack.push_back(v);
+        on_stack[v] = true;
+        frames.push_back(Frame{v, edges[v].begin()});
+      };
+      open(root);
+      while (!frames.empty()) {
+        Frame& f = frames.back();
+        if (f.next != edges[f.v].end()) {
+          const std::size_t w = *f.next++;
+          if (idx[w] == -1) {
+            open(w);
+          } else if (on_stack[w]) {
+            low[f.v] = std::min(low[f.v], idx[w]);
+          }
+        } else {
+          if (low[f.v] == idx[f.v]) {
+            std::vector<std::size_t> scc;
+            while (true) {
+              const std::size_t w = stack.back();
+              stack.pop_back();
+              on_stack[w] = false;
+              scc.push_back(w);
+              if (w == f.v) break;
+            }
+            const bool self_loop = scc.size() == 1 &&
+                                   edges[scc[0]].contains(scc[0]);
+            if (scc.size() > 1 || self_loop) sccs.push_back(std::move(scc));
+          }
+          const std::size_t v = f.v;
+          frames.pop_back();
+          if (!frames.empty()) {
+            low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+          }
+        }
+      }
+    }
+    for (const auto& scc : sccs) {
+      std::vector<std::string> names;
+      names.reserve(scc.size());
+      for (const std::size_t v : scc) names.push_back(nodes[v].qualified());
+      std::sort(names.begin(), names.end());
+      std::ostringstream path;
+      for (const std::string& s : names) path << s << " -> ";
+      path << names.front();
+      // Anchor on the first member (sorted order) for a stable location.
+      JunctionAddr where;
+      for (const std::size_t v : scc) {
+        if (nodes[v].qualified() == names.front()) where = nodes[v];
+      }
+      add(Severity::kWarning, "CSAW-C001", where,
+          "blocking pushes form a cycle with no otherwise[t] bound "
+          "(potential deadlock)",
+          "cycle: " + path.str());
+    }
+  }
+
+  // --- pass 4: liveness reachability --------------------------------------
+  void pass_liveness() {
+    // Fixpoint of "can ever be started": seeded by main, extended by the
+    // bodies of junctions in already-startable instances. Host code can
+    // start anything, which is why never-started is a warning, not an error.
+    std::set<Symbol> startable;
+    std::vector<Symbol> seeds;
+    if (program.main_body != nullptr) {
+      collect_started_instances(*program.main_body, seeds);
+    }
+    for (const Symbol s : seeds) startable.insert(s);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const CompiledInstance& inst : program.instances) {
+        if (!startable.contains(inst.name)) continue;
+        for (const CompiledJunction& cj : inst.junctions) {
+          if (cj.body == nullptr) continue;
+          std::vector<Symbol> started;
+          collect_started_instances(*cj.body, started);
+          for (const Symbol s : started) {
+            changed |= startable.insert(s).second;
+          }
+        }
+      }
+    }
+    for (const CompiledInstance& inst : program.instances) {
+      for (const CompiledJunction& cj : inst.junctions) {
+        if (cj.guard == nullptr) continue;
+        std::vector<Symbol> watched;
+        collect_liveness_tests(*cj.guard, watched);
+        std::set<Symbol> seen;
+        for (const Symbol w : watched) {
+          if (startable.contains(w) || !seen.insert(w).second) continue;
+          add(Severity::kWarning, "CSAW-L001", cj.addr,
+              "S(" + w.str() + ") can never hold: no start path reaches "
+              "instance '" + w.str() + "'");
+        }
+      }
+    }
+    for (const CompiledInstance& inst : program.instances) {
+      if (startable.contains(inst.name)) continue;
+      add(Severity::kWarning, "CSAW-L002",
+          JunctionAddr{inst.name, Symbol()},
+          "instance is never started: its " +
+              std::to_string(inst.junctions.size()) +
+              " junction(s) are unreachable (unless host code starts it)");
+    }
+  }
+
+  // --- pass 5: wake-set coverage ------------------------------------------
+  void pass_wake_coverage() {
+    for (const CompiledInstance& inst : program.instances) {
+      for (const CompiledJunction& cj : inst.junctions) {
+        if (cj.guard == nullptr) continue;
+        ++report.guards_total;
+        std::string defeated;
+        const WakePlan plan = analyze_guard(cj, &defeated);
+        if (plan.analyzed) {
+          ++report.guards_analyzed;
+          continue;
+        }
+        ++report.wildcard_guards;
+        add(Severity::kNote, "CSAW-K001", cj.addr,
+            "guard falls back to wildcard wakes + timer re-polls",
+            "defeated by: " + defeated);
+      }
+    }
+  }
+
+  AnalysisReport run() {
+    report.program = program.name;
+    prepare();
+    pass_guards();
+    pass_conflicts();
+    pass_cycles();
+    pass_liveness();
+    pass_wake_coverage();
+    return std::move(report);
+  }
+};
+
+}  // namespace
+
+AnalysisReport analyze_program(const CompiledProgram& program,
+                               const AnalyzeOptions& options) {
+  Analyzer a{program, options, {}, {}, {}};
+  return a.run();
+}
+
+}  // namespace csaw

@@ -1,0 +1,95 @@
+// Static architecture verification over compiled C-Saw programs (csaw-lint).
+//
+// The paper's pitch is that architecture expressed as guards + synced tables
+// is *analyzable*; this module is where that claim is cashed in. Five passes
+// run over a CompiledProgram -- after template expansion and name
+// resolution, so every junction address and table key is concrete:
+//
+//   1. Guard satisfiability (CSAW-G00x): bounded truth-table evaluation of
+//      each junction guard over its atomic observations. An unsatisfiable
+//      guard is a dead junction (error); a tautological guard on an auto
+//      junction is a busy loop (warning).
+//   2. Write-write conflicts (CSAW-W001): two junctions whose bodies can
+//      push divergent values for the same key of the same target table
+//      (assert vs retract of one prop, or two `write`s of one datum), with
+//      no synchronizing handshake between them -- last-writer-wins
+//      nondeterminism the runtime will never flag.
+//   3. Sync-call cycles (CSAW-C001): cycles in the blocking-push graph
+//      (assert/retract/write with a target block on the ack) where no edge
+//      is protected by a finite `otherwise[t]`. Such a cycle can deadlock;
+//      today the scheduler's timers merely time it out.
+//   4. Liveness reachability (CSAW-L00x): the start-fixpoint from `main`.
+//      S(i) watchers over instances nothing ever starts can never fire, and
+//      the junctions of a never-started instance are unreachable. Mutual
+//      start dependencies (A starts B, B starts A, nobody starts either)
+//      land in the same fixpoint.
+//   5. Wake-set coverage (CSAW-K001): every guard the wake-set analysis
+//      (core/deps) cannot see through falls back to wildcard wakes + timer
+//      re-polls; each fallback is reported with the defeating sub-formula,
+//      so the fallback budget is tracked instead of silently paid (the
+//      runtime mirrors the count in the `sched_wildcard_guards` gauge).
+//
+// Severity policy: only defects that make the program provably wrong are
+// errors (a kStrict runtime refuses to launch on them); structural hazards
+// whose benignity may be a host-logic invariant are warnings; cost/coverage
+// findings are notes. Diagnostics carry stable codes -- suppressible via
+// AnalyzeOptions::suppress or `csaw-lint --suppress CODE`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/compile.hpp"
+
+namespace csaw {
+
+enum class Severity { kNote, kWarning, kError };
+
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kNote;
+  std::string code;    // stable machine identifier, e.g. "CSAW-G001"
+  JunctionAddr where;  // instance (and junction, when junction-scoped);
+                       // default-constructed for program-level findings
+  std::string message;
+  std::string detail;  // supporting evidence: sub-formula, key, cycle path
+
+  [[nodiscard]] std::string location() const;  // "A::j", "A", or "<program>"
+};
+
+struct AnalyzeOptions {
+  // Diagnostic codes to drop from the report.
+  std::vector<std::string> suppress;
+  // Pass 1 gives up (kTooWide note) past this many distinct guard atoms.
+  std::size_t max_guard_atoms = 16;
+};
+
+struct AnalysisReport {
+  std::string program;
+  std::vector<Diagnostic> diagnostics;
+
+  // Wake-set coverage (pass 5): how many junction guards exist, how many
+  // the dependency analysis resolved to precise wake sets, and how many
+  // fall back to wildcard+timer. `wildcard_guards` is the lint-time twin of
+  // the runtime's `sched_wildcard_guards` gauge.
+  std::size_t guards_total = 0;
+  std::size_t guards_analyzed = 0;
+  std::size_t wildcard_guards = 0;
+
+  [[nodiscard]] int errors() const;
+  [[nodiscard]] int warnings() const;
+  [[nodiscard]] int notes() const;
+
+  // Stable human-readable rendering (golden-file friendly: deterministic
+  // order, no pointers/timestamps).
+  [[nodiscard]] std::string to_text() const;
+  // Machine-readable rendering (one JSON object).
+  [[nodiscard]] std::string to_json() const;
+};
+
+AnalysisReport analyze_program(const CompiledProgram& program,
+                               const AnalyzeOptions& options = {});
+
+}  // namespace csaw

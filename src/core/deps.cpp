@@ -12,9 +12,15 @@ void add_key(std::vector<Symbol>& keys, Symbol key) {
   }
 }
 
+// Records the first sub-formula the analysis gave up on (for the lint-time
+// wake-coverage report); `defeated` may be null.
+void blame(const Formula& f, std::string* defeated) {
+  if (defeated != nullptr && defeated->empty()) *defeated = f.to_string();
+}
+
 // Returns false if the formula contains something the analysis cannot pin
 // to a key set (the caller then falls back to wildcard + volatile).
-bool walk(const Formula& f, WakePlan& plan) {
+bool walk(const Formula& f, WakePlan& plan, std::string* defeated) {
   switch (f.kind) {
     case Formula::Kind::kFalse:
       return true;
@@ -24,7 +30,10 @@ bool walk(const Formula& f, WakePlan& plan) {
       // every candidate element's mangled key.
       std::vector<Symbol> candidates;
       if (f.index.has_value()) {
-        if (f.index->kind != NameTerm::Kind::kIdx) return false;
+        if (f.index->kind != NameTerm::Kind::kIdx) {
+          blame(f, defeated);
+          return false;
+        }
         // The eval also reads the idx variable itself (a local data key),
         // even for remote props: the index is always resolved locally.
         add_key(plan.keys, f.index->var);
@@ -35,7 +44,10 @@ bool walk(const Formula& f, WakePlan& plan) {
         candidates.push_back(f.prop);
       }
       if (f.at.has_value()) {
-        if (f.at->kind != NameTerm::Kind::kConcrete) return false;
+        if (f.at->kind != NameTerm::Kind::kConcrete) {
+          blame(f, defeated);
+          return false;
+        }
         WakePlan::RemoteDep dep;
         dep.at = f.at->addr;
         dep.keys = std::move(candidates);
@@ -46,32 +58,41 @@ bool walk(const Formula& f, WakePlan& plan) {
       return true;
     }
     case Formula::Kind::kNot:
-      return walk(*f.lhs, plan);
+      return walk(*f.lhs, plan, defeated);
     case Formula::Kind::kAnd:
     case Formula::Kind::kOr:
     case Formula::Kind::kImplies:
       // Short-circuiting does not matter for wakeups: a change to either
       // side may flip the verdict, so both sides' keys are live.
-      return walk(*f.lhs, plan) && walk(*f.rhs, plan);
+      return walk(*f.lhs, plan, defeated) && walk(*f.rhs, plan, defeated);
     case Formula::Kind::kRunning:
-      if (f.instance.kind != NameTerm::Kind::kConcrete) return false;
+      if (f.instance.kind != NameTerm::Kind::kConcrete) {
+        blame(f, defeated);
+        return false;
+      }
       add_key(plan.liveness, f.instance.addr.instance);
       return true;
     case Formula::Kind::kFor:
+      blame(f, defeated);
       return false;  // must not survive compilation
   }
+  blame(f, defeated);
   return false;
 }
 
 }  // namespace
 
 WakePlan analyze_guard(const CompiledJunction& cj) {
+  return analyze_guard(cj, nullptr);
+}
+
+WakePlan analyze_guard(const CompiledJunction& cj, std::string* defeated) {
   WakePlan plan;
   if (cj.guard == nullptr) {
     plan.analyzed = true;
     return plan;
   }
-  if (!walk(*cj.guard, plan)) {
+  if (!walk(*cj.guard, plan, defeated)) {
     return WakePlan{};  // analyzed = false: wildcard + volatile fallback
   }
   plan.analyzed = true;

@@ -18,6 +18,8 @@
 // wildcard wakes + timer re-polls, which is always correct.
 #pragma once
 
+#include <string>
+
 #include "compart/sched.hpp"
 #include "core/compile.hpp"
 
@@ -27,5 +29,11 @@ namespace csaw {
 // analyzed, empty plan: such junctions only run when scheduled explicitly,
 // so no key change ever needs to wake them.
 WakePlan analyze_guard(const CompiledJunction& cj);
+
+// Same, reporting blame: when the plan comes back `analyzed = false`,
+// `*defeated` names the sub-formula the analysis could not pin to a key set
+// (the input to csaw-lint's wake-coverage report, core/analyze pass 5).
+// Left untouched on success.
+WakePlan analyze_guard(const CompiledJunction& cj, std::string* defeated);
 
 }  // namespace csaw

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "core/analyze.hpp"
 #include "core/deps.hpp"
 #include "support/check.hpp"
 
@@ -789,7 +790,35 @@ BodyFn Engine::make_body(const CompiledJunction& cj) {
   };
 }
 
+Status Engine::ensure_validated() {
+  if (options_.runtime.validate == ValidateMode::kOff) {
+    return Status::ok_status();
+  }
+  std::call_once(validate_once_, [this] {
+    const AnalysisReport report = analyze_program(program_);
+    const bool strict = options_.runtime.validate == ValidateMode::kStrict;
+    if (!report.diagnostics.empty()) {
+      std::fprintf(stderr, "%s", report.to_text().c_str());
+    }
+    if (strict && report.errors() > 0) {
+      std::string first;
+      for (const auto& d : report.diagnostics) {
+        if (d.severity == Severity::kError) {
+          first = d.code + " at " + d.location();
+          break;
+        }
+      }
+      validate_status_ = make_error(
+          Errc::kInvalidProgram,
+          "program '" + program_.name + "' failed strict validation: " +
+              std::to_string(report.errors()) + " error(s), first: " + first);
+    }
+  });
+  return validate_status_;
+}
+
 Status Engine::run_main(Deadline deadline) {
+  if (auto st = ensure_validated(); !st.ok()) return st;
   Interp interp{*this, nullptr, nullptr, nullptr, nullptr, options_, deadline};
   auto r = interp.eval(*program_.main_body);
   if (r.flow == Flow::kFail) return r.error;
@@ -814,6 +843,7 @@ std::shared_ptr<void> Engine::state_for(Symbol instance) {
 }
 
 Status Engine::start_with_state(Symbol instance) {
+  if (auto st = ensure_validated(); !st.ok()) return st;
   {
     std::scoped_lock lock(state_mu_);
     if (auto it = state_factories_.find(instance);

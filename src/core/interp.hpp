@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -172,6 +173,11 @@ class Engine {
   BodyFn make_body(const CompiledJunction& cj);
   GuardFn make_guard(const CompiledJunction& cj);
   std::shared_ptr<void> state_for(Symbol instance);
+  // RuntimeOptions::validate enforcement: runs core/analyze over the
+  // program once, before the first run_main / start. kWarn prints the
+  // report to stderr; kStrict returns kInvalidProgram when the report
+  // carries error-severity diagnostics.
+  Status ensure_validated();
 
   CompiledProgram program_;
   HostBindings bindings_;
@@ -181,6 +187,8 @@ class Engine {
   std::mutex state_mu_;
   std::map<Symbol, std::shared_ptr<void>> states_;
   std::map<Symbol, std::function<std::shared_ptr<void>()>> state_factories_;
+  std::once_flag validate_once_;
+  Status validate_status_ = Status::ok_status();
 };
 
 // --- formula evaluation (exposed for guards, tests, semantics checks) -------

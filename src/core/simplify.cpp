@@ -1,5 +1,8 @@
 #include "core/simplify.hpp"
 
+#include <algorithm>
+#include <cstdint>
+
 namespace csaw {
 
 bool formula_is_false(const Formula& f) {
@@ -91,6 +94,94 @@ FormulaPtr simplify_formula(FormulaPtr f) {
     }
   }
   return f;
+}
+
+void formula_atoms(const Formula& f, std::vector<std::string>& out) {
+  switch (f.kind) {
+    case Formula::Kind::kFalse:
+      return;
+    case Formula::Kind::kProp:
+    case Formula::Kind::kRunning: {
+      std::string name = f.to_string();
+      if (std::find(out.begin(), out.end(), name) == out.end()) {
+        out.push_back(std::move(name));
+      }
+      return;
+    }
+    case Formula::Kind::kNot:
+      formula_atoms(*f.lhs, out);
+      return;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+      formula_atoms(*f.lhs, out);
+      formula_atoms(*f.rhs, out);
+      return;
+    case Formula::Kind::kFor:
+      // Pre-compilation only; classify_formula treats it as unenumerable.
+      return;
+  }
+}
+
+namespace {
+
+// Two-valued evaluation under one truth assignment. `bits` indexes into
+// `atoms` by the atom's printed form; returns false (and sets *ok = false)
+// on a node that has no truth value (kFor).
+bool eval_assignment(const Formula& f, const std::vector<std::string>& atoms,
+                     std::uint64_t bits, bool* ok) {
+  switch (f.kind) {
+    case Formula::Kind::kFalse:
+      return false;
+    case Formula::Kind::kProp:
+    case Formula::Kind::kRunning: {
+      const std::string name = f.to_string();
+      const auto it = std::find(atoms.begin(), atoms.end(), name);
+      if (it == atoms.end()) {
+        *ok = false;
+        return false;
+      }
+      const auto i = static_cast<std::size_t>(it - atoms.begin());
+      return (bits >> i) & 1u;
+    }
+    case Formula::Kind::kNot:
+      return !eval_assignment(*f.lhs, atoms, bits, ok);
+    case Formula::Kind::kAnd:
+      return eval_assignment(*f.lhs, atoms, bits, ok) &&
+             eval_assignment(*f.rhs, atoms, bits, ok);
+    case Formula::Kind::kOr:
+      return eval_assignment(*f.lhs, atoms, bits, ok) ||
+             eval_assignment(*f.rhs, atoms, bits, ok);
+    case Formula::Kind::kImplies:
+      return !eval_assignment(*f.lhs, atoms, bits, ok) ||
+             eval_assignment(*f.rhs, atoms, bits, ok);
+    case Formula::Kind::kFor:
+      *ok = false;
+      return false;
+  }
+  *ok = false;
+  return false;
+}
+
+}  // namespace
+
+FormulaClass classify_formula(const Formula& f, std::size_t max_atoms) {
+  std::vector<std::string> atoms;
+  formula_atoms(f, atoms);
+  if (atoms.size() > max_atoms || atoms.size() >= 63) {
+    return FormulaClass::kTooWide;
+  }
+  bool any_true = false;
+  bool any_false = false;
+  const std::uint64_t n = std::uint64_t{1} << atoms.size();
+  for (std::uint64_t bits = 0; bits < n; ++bits) {
+    bool ok = true;
+    const bool v = eval_assignment(f, atoms, bits, &ok);
+    if (!ok) return FormulaClass::kTooWide;  // unenumerable node (kFor)
+    (v ? any_true : any_false) = true;
+    if (any_true && any_false) return FormulaClass::kSatisfiable;
+  }
+  return any_true ? FormulaClass::kTautology : FormulaClass::kUnsatisfiable;
 }
 
 }  // namespace csaw

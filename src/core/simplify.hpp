@@ -16,6 +16,10 @@
 // fold would turn an erroring guard into a schedulable one).
 #pragma once
 
+#include <cstddef>
+#include <string>
+#include <vector>
+
 #include "core/formula.hpp"
 
 namespace csaw {
@@ -28,5 +32,29 @@ FormulaPtr simplify_formula(FormulaPtr f);
 // True if `f` is the literal constant false / the canonical true (!false).
 bool formula_is_false(const Formula& f);
 bool formula_is_true(const Formula& f);
+
+// --- bounded truth-table classification (core/analyze pass 1) --------------
+//
+// A compiled guard's atoms are its atomic observations: plain/indexed/remote
+// proposition reads and S(i) liveness tests, identified by printed form (two
+// occurrences of `Backend[tgt]` are the same atom). Classification
+// enumerates every assignment of the atoms and evaluates the formula
+// two-valued. The three-valued error dimension is deliberately ignored:
+// errors only ever keep a guard *closed* at runtime, so an unsatisfiable
+// verdict here is sound evidence the guard can never open.
+enum class FormulaClass {
+  kUnsatisfiable,  // false under every assignment: the guard is dead
+  kSatisfiable,    // true under some assignment, false under another
+  kTautology,      // true under every assignment
+  kTooWide,        // more atoms than `max_atoms`: not enumerated
+};
+
+// Collects the distinct atoms of `f` (printed form, first-seen order).
+void formula_atoms(const Formula& f, std::vector<std::string>& out);
+
+// Classifies `f` by exhaustive enumeration over at most `max_atoms` atoms
+// (2^n evaluations). A constant formula has zero atoms and classifies in
+// one evaluation.
+FormulaClass classify_formula(const Formula& f, std::size_t max_atoms = 16);
 
 }  // namespace csaw

@@ -1,0 +1,326 @@
+// Tests for core/analyze (the csaw-lint passes): seeded-defect fixtures with
+// golden-file reports, a clean bill of health over the shipped-app programs,
+// and the RuntimeOptions::validate launch gate.
+//
+// Golden files live in tests/fixtures/analyze/. Each fixture program seeds
+// exactly one class of defect; the test compares the full to_text() report
+// (deterministic order by construction) against the checked-in golden.
+// Regenerate after an intentional report change with:
+//   CSAW_UPDATE_GOLDEN=1 ./build/tests/analyze_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/analyze.hpp"
+#include "core/builder.hpp"
+#include "core/compile.hpp"
+#include "core/interp.hpp"
+#include "core/simplify.hpp"
+#include "patterns/caching.hpp"
+#include "patterns/failover.hpp"
+#include "patterns/sharding.hpp"
+#include "patterns/snapshot.hpp"
+#include "patterns/watched_failover.hpp"
+
+namespace csaw {
+namespace {
+
+CompiledProgram must_compile(ProgramSpec spec) {
+  auto r = compile(std::move(spec));
+  CSAW_CHECK(r.ok()) << "fixture failed to compile: " << r.error().to_string();
+  return std::move(*r);
+}
+
+// --- seeded-defect fixtures -------------------------------------------------
+
+// CSAW-G001 (dead guard, error) + CSAW-G002 (auto tautology, warning).
+ProgramSpec dead_guard_spec() {
+  ProgramBuilder p("dead_guard");
+  p.type("tau")
+      .junction("never")
+      .init_prop("P", false)
+      .guard(f_and(f_prop("P"), f_not(f_prop("P"))))
+      .body(e_skip());
+  p.type("tau")
+      .junction("spin")
+      .init_prop("Q", false)
+      .guard(f_or(f_prop("Q"), f_not(f_prop("Q"))))
+      .auto_schedule()
+      .body(e_skip());
+  p.instance("a", "tau", {{"never", {}}, {"spin", {}}});
+  p.main_body(e_start(inst("a")));
+  return p.build();
+}
+
+// CSAW-W001: assert and retract of the same key race on one target table.
+ProgramSpec key_race_spec() {
+  ProgramBuilder p("key_race");
+  p.type("store").junction("cell").init_prop("Flag", false).body(e_skip());
+  p.type("setter")
+      .junction("run")
+      .init_prop("Flag", false)
+      .auto_schedule()
+      .body(e_assert(pr("Flag"), jref("s", "cell")));
+  p.type("clearer")
+      .junction("run")
+      .init_prop("Flag", false)
+      .auto_schedule()
+      .body(e_retract(pr("Flag"), jref("s", "cell")));
+  p.instance("s", "store", {{"cell", {}}});
+  p.instance("w1", "setter", {{"run", {}}});
+  p.instance("w2", "clearer", {{"run", {}}});
+  p.main_body(
+      e_par({e_start(inst("s")), e_start(inst("w1")), e_start(inst("w2"))}));
+  return p.build();
+}
+
+// CSAW-C001: mutual blocking pushes with no otherwise[t] bound.
+ProgramSpec call_cycle_spec() {
+  ProgramBuilder p("call_cycle");
+  p.type("ping").junction("j").init_prop("P", false).body(
+      e_assert(pr("P"), jref("b", "j")));
+  p.type("pong").junction("j").init_prop("P", false).body(
+      e_assert(pr("P"), jref("a", "j")));
+  p.instance("a", "ping", {{"j", {}}});
+  p.instance("b", "pong", {{"j", {}}});
+  p.main_body(e_par({e_start(inst("a")), e_start(inst("b"))}));
+  return p.build();
+}
+
+// CSAW-L001 (S(i) watcher over a never-started instance) + CSAW-L002 (the
+// never-started instance's junctions are unreachable).
+ProgramSpec unreachable_spec() {
+  ProgramBuilder p("unreachable");
+  p.type("watcher")
+      .junction("watch")
+      .init_prop("P", false)
+      .guard(f_running(inst("ghost")))
+      .body(e_skip());
+  p.type("ghost_t").junction("idle").init_prop("P", false).body(e_skip());
+  p.instance("w", "watcher", {{"watch", {}}});
+  p.instance("ghost", "ghost_t", {{"idle", {}}});
+  p.main_body(e_start(inst("w")));
+  return p.build();
+}
+
+// CSAW-K001: a runtime-indexed remote read defeats the wake-set analysis,
+// so the junction falls back to wildcard wakes + timer re-polls.
+ProgramSpec wildcard_spec() {
+  ProgramBuilder p("wildcard");
+  p.type("store").junction("cell").init_prop("P", false).body(e_skip());
+  p.type("poller")
+      .junction("scan")
+      .idx("t", SetRef::lit({CtValue(addr("s", "cell"))}))
+      .guard(f_prop_at(idxvar("t"), "P"))
+      .body(e_skip());
+  p.instance("s", "store", {{"cell", {}}});
+  p.instance("a", "poller", {{"scan", {}}});
+  p.main_body(e_par({e_start(inst("s")), e_start(inst("a"))}));
+  return p.build();
+}
+
+// --- golden-file plumbing ---------------------------------------------------
+
+std::string golden_path(const std::string& name) {
+  return std::string(CSAW_SOURCE_DIR) + "/tests/fixtures/analyze/" + name +
+         ".txt";
+}
+
+void check_golden(const std::string& name, const AnalysisReport& report) {
+  const std::string path = golden_path(name);
+  const std::string text = report.to_text();
+  if (std::getenv("CSAW_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << text;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with CSAW_UPDATE_GOLDEN=1)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(text, want.str()) << "report drifted from " << path;
+}
+
+bool has_code(const AnalysisReport& r, std::string_view code) {
+  for (const auto& d : r.diagnostics) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+// --- pass 1 unit coverage (classify_formula) --------------------------------
+
+TEST(Classify, ConstantsAndLiterals) {
+  EXPECT_EQ(classify_formula(*f_false()), FormulaClass::kUnsatisfiable);
+  EXPECT_EQ(classify_formula(*f_true()), FormulaClass::kTautology);
+  EXPECT_EQ(classify_formula(*f_prop("P")), FormulaClass::kSatisfiable);
+}
+
+TEST(Classify, ContradictionAndTautology) {
+  EXPECT_EQ(classify_formula(*f_and(f_prop("P"), f_not(f_prop("P")))),
+            FormulaClass::kUnsatisfiable);
+  EXPECT_EQ(classify_formula(*f_or(f_prop("P"), f_not(f_prop("P")))),
+            FormulaClass::kTautology);
+  // P -> (Q -> P) is a tautology with two distinct atoms.
+  EXPECT_EQ(classify_formula(*f_implies(f_prop("P"),
+                                        f_implies(f_prop("Q"), f_prop("P")))),
+            FormulaClass::kTautology);
+}
+
+TEST(Classify, SameAtomByPrintedForm) {
+  // Two occurrences of the same printed atom are one truth-table column.
+  std::vector<std::string> atoms;
+  formula_atoms(*f_and(f_prop("P"), f_or(f_prop("P"), f_prop("Q"))), atoms);
+  EXPECT_EQ(atoms.size(), 2u);
+}
+
+TEST(Classify, TooWideGivesUp) {
+  FormulaPtr f = f_prop("A0");
+  for (int i = 1; i < 20; ++i) {
+    f = f_or(std::move(f), f_prop("A" + std::to_string(i)));
+  }
+  EXPECT_EQ(classify_formula(*f, 16), FormulaClass::kTooWide);
+  EXPECT_EQ(classify_formula(*f, 32), FormulaClass::kSatisfiable);
+}
+
+// --- seeded defects, golden reports -----------------------------------------
+
+TEST(AnalyzeGolden, DeadGuard) {
+  auto program = must_compile(dead_guard_spec());
+  auto report = analyze_program(program);
+  EXPECT_EQ(report.errors(), 1);
+  EXPECT_TRUE(has_code(report, "CSAW-G001"));
+  EXPECT_TRUE(has_code(report, "CSAW-G002"));
+  check_golden("dead_guard", report);
+}
+
+TEST(AnalyzeGolden, KeyRace) {
+  auto program = must_compile(key_race_spec());
+  auto report = analyze_program(program);
+  EXPECT_EQ(report.errors(), 0);
+  EXPECT_TRUE(has_code(report, "CSAW-W001"));
+  check_golden("key_race", report);
+}
+
+TEST(AnalyzeGolden, CallCycle) {
+  auto program = must_compile(call_cycle_spec());
+  auto report = analyze_program(program);
+  EXPECT_EQ(report.errors(), 0);
+  EXPECT_TRUE(has_code(report, "CSAW-C001"));
+  check_golden("call_cycle", report);
+}
+
+TEST(AnalyzeGolden, Unreachable) {
+  auto program = must_compile(unreachable_spec());
+  auto report = analyze_program(program);
+  EXPECT_EQ(report.errors(), 0);
+  EXPECT_TRUE(has_code(report, "CSAW-L001"));
+  EXPECT_TRUE(has_code(report, "CSAW-L002"));
+  check_golden("unreachable", report);
+}
+
+TEST(AnalyzeGolden, WildcardFallback) {
+  auto program = must_compile(wildcard_spec());
+  auto report = analyze_program(program);
+  EXPECT_EQ(report.errors(), 0);
+  EXPECT_TRUE(has_code(report, "CSAW-K001"));
+  EXPECT_EQ(report.wildcard_guards, 1u);
+  check_golden("wildcard", report);
+}
+
+// --- report mechanics -------------------------------------------------------
+
+TEST(Analyze, SuppressDropsDiagnostics) {
+  auto program = must_compile(dead_guard_spec());
+  AnalyzeOptions opts;
+  opts.suppress = {"CSAW-G001", "CSAW-G002"};
+  auto report = analyze_program(program, opts);
+  EXPECT_FALSE(has_code(report, "CSAW-G001"));
+  EXPECT_FALSE(has_code(report, "CSAW-G002"));
+  EXPECT_EQ(report.errors(), 0);
+}
+
+TEST(Analyze, JsonCarriesCodesAndCoverage) {
+  auto program = must_compile(dead_guard_spec());
+  auto report = analyze_program(program);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"CSAW-G001\""), std::string::npos);
+  EXPECT_NE(json.find("\"coverage\""), std::string::npos);
+  EXPECT_NE(json.find("\"program\":\"dead_guard\""), std::string::npos);
+}
+
+// --- clean bill: the programs the shipped apps compile ----------------------
+
+TEST(AnalyzeCleanBill, ShippedAppProgramsHaveZeroErrors) {
+  struct Shipped {
+    const char* name;
+    ProgramSpec spec;
+  };
+  patterns::ShardingOptions shard4;
+  shard4.backends = 4;
+  patterns::SnapshotOptions audit;
+  audit.timeout_ms = 2000;
+  Shipped programs[] = {
+      // miniredis: checkpointed / sharded / cached store.
+      {"miniredis-checkpoint", patterns::remote_snapshot({})},
+      {"miniredis-shard", patterns::sharding(shard4)},
+      {"miniredis-cache", patterns::caching({})},
+      // minisuricata: checkpointed / steered pipeline.
+      {"minisuricata-steer", patterns::sharding(shard4)},
+      // minicurl: remote audit.
+      {"minicurl-audit", patterns::remote_snapshot(audit)},
+      // remaining pattern library entries.
+      {"parallel-sharding", patterns::parallel_sharding({})},
+      {"failover", patterns::failover({})},
+      {"watched-failover", patterns::watched_failover({})},
+  };
+  for (auto& s : programs) {
+    auto program = must_compile(std::move(s.spec));
+    auto report = analyze_program(program);
+    EXPECT_EQ(report.errors(), 0)
+        << s.name << " report:\n"
+        << report.to_text();
+    // Every shipped guard resolves to a precise wake set; the wildcard
+    // fallback budget stays at zero (EXPERIMENTS.md wildcard-coverage note).
+    EXPECT_EQ(report.wildcard_guards, 0u) << s.name;
+  }
+}
+
+// --- RuntimeOptions::validate launch gate -----------------------------------
+
+TEST(ValidateMode, StrictRefusesProgramWithErrors) {
+  EngineOptions opts;
+  opts.runtime.validate = ValidateMode::kStrict;
+  Engine engine(must_compile(dead_guard_spec()), {}, opts);
+  Status st = engine.run_main();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, Errc::kInvalidProgram);
+  EXPECT_NE(st.error().message.find("CSAW-G001"), std::string::npos)
+      << st.error().to_string();
+  // The gate also covers DSL-level starts after the refused main.
+  Status again = engine.start_instance("a");
+  EXPECT_FALSE(again.ok());
+}
+
+TEST(ValidateMode, WarnReportsButLaunches) {
+  EngineOptions opts;
+  opts.runtime.validate = ValidateMode::kWarn;
+  Engine engine(must_compile(key_race_spec()), {}, opts);
+  EXPECT_TRUE(engine.run_main().ok());
+}
+
+TEST(ValidateMode, StrictAllowsCleanProgram) {
+  EngineOptions opts;
+  opts.runtime.validate = ValidateMode::kStrict;
+  Engine engine(must_compile(patterns::caching({})), {}, opts);
+  // caching's program has warnings at most; kStrict only refuses errors.
+  EXPECT_TRUE(engine.run_main().ok());
+}
+
+}  // namespace
+}  // namespace csaw

@@ -235,13 +235,7 @@ TEST(Runtime, CallDistinguishesGuardRejectionFromTimeout) {
   d.type = Symbol("guarded");
   d.junctions.push_back(std::move(j));
 
-  // Run on the legacy poller: keeps kPolling-mode coverage of the
-  // guard-rejection classification (the event path is covered by
-  // sched_test).
-  RuntimeOptions opts;
-  opts.scheduler.mode = SchedulerMode::kPolling;
-  opts.scheduler.idle_poll = std::chrono::milliseconds(5);
-  Runtime rt(opts);
+  Runtime rt;
   rt.add_instance(std::move(d));
   ASSERT_TRUE(rt.start(Symbol("g")).ok());
 

@@ -1,8 +1,8 @@
 // Event-driven scheduler tests: wake-set precision (an unrelated key write
 // must not evaluate a subscriber), wildcard fallback for hand-written
 // guards, no lost wakeups under sustained load, blocked-worker pool growth,
-// call() deadline-edge accounting, polling-mode ablation parity, and the
-// guard-formula simplifier feeding the dependency analyzer.
+// call() deadline-edge accounting, and the guard-formula simplifier
+// feeding the dependency analyzer.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -302,22 +302,7 @@ TEST(SchedCall, GuardOpeningAtTheDeadlineNeverReportsTimeout) {
   }
 }
 
-// --- mode ablation ---------------------------------------------------------
-
-TEST(SchedModes, PollingModeStillServes) {
-  RuntimeOptions opts;
-  opts.scheduler.mode = SchedulerMode::kPolling;
-  opts.scheduler.idle_poll = 1ms;
-  std::atomic<int> runs{0};
-  Runtime rt(opts);
-  rt.add_instance(echo_instance("a", &runs));
-  ASSERT_TRUE(rt.start(Symbol("a")).ok());
-  ASSERT_TRUE(push_assert(rt, "a", kWork).ok());
-  EXPECT_TRUE(eventually([&] { return runs.load() >= 1; }));
-  // No event scheduler: the eval counter is a scheduler-entity concept.
-  EXPECT_EQ(rt.junction_evals(Symbol("a"), Symbol("j")), 0u);
-  ASSERT_TRUE(rt.stop(Symbol("a")).ok());
-}
+// --- late registration ------------------------------------------------------
 
 TEST(SchedModes, InstancesAddedAfterPoolStartWork) {
   // The chaos harness interleaves add_instance and start; entities must be
@@ -333,6 +318,87 @@ TEST(SchedModes, InstancesAddedAfterPoolStartWork) {
   ASSERT_TRUE(push_assert(rt, "b", kWork).ok());
   EXPECT_TRUE(eventually([&] { return runs_a.load() >= 1; }));
   EXPECT_TRUE(eventually([&] { return runs_b.load() >= 1; }));
+}
+
+// --- wildcard fallback accounting -------------------------------------------
+
+TEST(SchedFallback, WildcardGaugeCountsUnanalyzedGuards) {
+  // Two guarded junctions: one with a precise analyzed wake plan, one
+  // hand-written (unanalyzed). Only the latter is a wildcard fallback, and
+  // the gauge is the analyzer's runtime twin: it must read exactly 1 after
+  // wake-plan resolution.
+  obs::Metrics metrics;
+  RuntimeOptions opts;
+  opts.metrics = &metrics;
+  Runtime rt(opts);
+
+  rt.add_instance(echo_instance("fallback"));  // hand guard, no wake plan
+  {
+    JunctionDesc j;
+    j.name = Symbol("j");
+    j.table_spec.props = {{kWork, false}};
+    j.guard = [](const KvTable& t, const RuntimeView&) {
+      return *t.prop(kWork);
+    };
+    j.wake_plan.analyzed = true;
+    j.wake_plan.keys = {kWork};
+    j.auto_schedule = true;
+    InstanceDesc d;
+    d.name = Symbol("precise");
+    d.type = Symbol("precise");
+    d.junctions.push_back(std::move(j));
+    rt.add_instance(std::move(d));
+  }
+  ASSERT_TRUE(rt.start(Symbol("fallback")).ok());  // resolves wake plans
+  ASSERT_TRUE(rt.start(Symbol("precise")).ok());
+  EXPECT_EQ(metrics.gauge("sched_wildcard_guards").value(), 1);
+}
+
+TEST(SchedFallback, StuckRepollTracesOneAnomalyPerStretch) {
+  // A wildcard guard whose verdict nothing flips re-polls on the timer
+  // wheel forever. After `wildcard_anomaly_repolls` fruitless re-polls the
+  // runtime emits one `wildcard_repoll_stuck` custom event -- once per
+  // stuck stretch, not per re-poll.
+  obs::Tracer tracer;
+  RuntimeOptions opts;
+  opts.trace_sink = &tracer;
+  opts.scheduler.timer_resolution = 1ms;
+  opts.scheduler.wildcard_anomaly_repolls = 8;
+  std::atomic<int> runs{0};
+  Runtime rt(opts);
+  rt.add_instance(echo_instance("a", &runs));  // Work=false: guard stuck
+  ASSERT_TRUE(rt.start(Symbol("a")).ok());
+
+  std::vector<obs::TraceEvent> anomalies;
+  auto drain_anomalies = [&] {
+    for (auto& e : tracer.drain()) {
+      if (e.kind == obs::TraceEvent::Kind::kCustom &&
+          e.label == Symbol("wildcard_repoll_stuck")) {
+        anomalies.push_back(e);
+      }
+    }
+  };
+  ASSERT_TRUE(eventually([&] {
+    drain_anomalies();
+    return !anomalies.empty();
+  }));
+  EXPECT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].instance, Symbol("a"));
+  EXPECT_GE(anomalies[0].value_ns, 8u);
+
+  // Give the re-poll loop time to fire well past the threshold again: the
+  // stretch is still the same one, so no second event may appear.
+  std::this_thread::sleep_for(50ms);
+  drain_anomalies();
+  EXPECT_EQ(anomalies.size(), 1u);
+
+  // The guard passing ends the stretch and re-arms the detector.
+  ASSERT_TRUE(push_assert(rt, "a", kWork).ok());
+  ASSERT_TRUE(eventually([&] { return runs.load() >= 1; }));
+  ASSERT_TRUE(eventually([&] {
+    drain_anomalies();
+    return anomalies.size() == 2u;
+  }));
 }
 
 // --- guard-formula simplifier ---------------------------------------------
