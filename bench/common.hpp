@@ -22,6 +22,7 @@
 #include "obs/collect.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "support/clock.hpp"
 #include "support/stats.hpp"
@@ -47,15 +48,17 @@ struct Config {
   }
 };
 
-// Optional observability session, enabled by `--trace-out <path>` and/or
-// `--perfetto-out <path>` on the bench command line. When enabled, the bench
-// passes sink()/metrics() into the service under test and calls finish()
-// before exiting, which drains the tracer once and writes the requested
-// exports: --trace-out gets the combined JSON document (schema:
-// obs/export.hpp), --perfetto-out gets Chrome/Perfetto trace-event JSON
-// (open at https://ui.perfetto.dev; same format csaw-trace merges across
-// instances). When disabled, sink()/metrics() are null and the run is
-// untraced -- the default, so timing figures are unaffected.
+// Optional observability session, enabled by `--trace-out <path>`,
+// `--perfetto-out <path>` and/or `--profile-out <path>` on the bench command
+// line. When enabled, the bench passes sink()/metrics()/profiler() into the
+// service under test and calls finish() before exiting, which drains the
+// tracer once and writes the requested exports: --trace-out gets the
+// combined JSON document (schema: obs/export.hpp), --perfetto-out gets
+// Chrome/Perfetto trace-event JSON (open at https://ui.perfetto.dev; same
+// format csaw-trace merges across instances), --profile-out gets a
+// CostProfile document (schema: obs/profile.hpp; merge/diff with
+// csaw-profile). When disabled, the taps are null and the run is
+// uninstrumented -- the default, so timing figures are unaffected.
 class ObsSession {
  public:
   ObsSession(int argc, char** argv) {
@@ -63,6 +66,9 @@ class ObsSession {
       if (std::strcmp(argv[i], "--trace-out") == 0) path_ = argv[i + 1];
       if (std::strcmp(argv[i], "--perfetto-out") == 0) {
         perfetto_path_ = argv[i + 1];
+      }
+      if (std::strcmp(argv[i], "--profile-out") == 0) {
+        profile_path_ = argv[i + 1];
       }
     }
   }
@@ -72,11 +78,28 @@ class ObsSession {
   }
   obs::TraceSink* sink() { return enabled() ? &tracer_ : nullptr; }
   obs::Metrics* metrics() { return enabled() ? &metrics_ : nullptr; }
+  // Non-null only under --profile-out: cost profiling is opt-in separately
+  // from tracing so the profile run can stay trace-free (and vice versa).
+  obs::Profiler* profiler() {
+    return profile_path_.empty() ? nullptr : &profiler_;
+  }
 
   // Writes the requested documents; returns false (after printing the
   // error) if an output file cannot be written.
   bool finish() {
-    if (!enabled()) return true;
+    bool prof_ok = true;
+    if (!profile_path_.empty()) {
+      const auto st =
+          obs::write_cost_profile_file(profile_path_, profiler_.snapshot());
+      if (!st.ok()) {
+        std::fprintf(stderr, "--profile-out: %s\n",
+                     st.error().to_string().c_str());
+        prof_ok = false;
+      } else {
+        std::printf("# cost profile written to %s\n", profile_path_.c_str());
+      }
+    }
+    if (!enabled()) return prof_ok;
     // Drain once: occupancy/drop stats must be captured before the drain,
     // and both exports consume the same event list.
     const auto buffers = tracer_.buffer_stats();
@@ -105,14 +128,16 @@ class ObsSession {
                     perfetto_path_.c_str());
       }
     }
-    return ok;
+    return ok && prof_ok;
   }
 
  private:
   std::string path_;
   std::string perfetto_path_;
+  std::string profile_path_;
   obs::Tracer tracer_;
   obs::Metrics metrics_;
+  obs::Profiler profiler_;
 };
 
 // Machine-readable perf snapshot, enabled by `--json-out <path>` on the

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
         miniredis::CheckpointedService::Options sopts;
         sopts.trace_sink = obs.sink();
         sopts.metrics = obs.metrics();
+        sopts.profiler = obs.profiler();
         service = std::make_unique<miniredis::CheckpointedService>(sopts);
         miniredis::WorkloadOptions wopts;
         wopts.keyspace = 6000;

@@ -15,6 +15,13 @@
 //      silently or by wedging;
 //   3. after respawning the child on the same port, pushes recover via the
 //      transport's exponential-backoff reconnect (tcp_reconnects >= 1).
+//
+// With CSAW_PROFILE_DIR=<dir> in the environment, both processes run the
+// continuous cost profiler and write per-process CostProfile documents
+// (<dir>/profile_parent.json, <dir>/profile_shard.json) at clean shutdown --
+// the final child teardown switches from SIGKILL to SIGTERM so its runtime
+// destructor gets to write the file. Merge them with:
+//   csaw-profile merge <dir>/profile_parent.json <dir>/profile_shard.json
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <signal.h>
@@ -40,6 +47,15 @@ namespace {
 
 constexpr int kShards = 2;
 const char* kShardNames[kShards] = {"shard0", "shard1"};
+
+// CSAW_PROFILE_DIR=<dir> -> "<dir>/profile_<role>.json", else "".
+std::string profile_path(const char* role) {
+  const char* dir = std::getenv("CSAW_PROFILE_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  return std::string(dir) + "/profile_" + role + ".json";
+}
+
+volatile sig_atomic_t g_stop = 0;
 
 std::uint16_t pick_free_port() {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -76,6 +92,13 @@ int run_shard_host(std::uint16_t listen_port, std::uint16_t parent_port) {
   RuntimeOptions opts;
   opts.transport = Transport::kTcpMesh;
   opts.tcp.listen_port = listen_port;
+  // Names align with the parent's peer map so merged link rows pair up
+  // ("parent" -> "shard" with "shard" -> "parent").
+  opts.tcp.node_name = "shard";
+  opts.profile_out = profile_path("shard");
+  // Heartbeats carry the RTT echo the profiler's per-link rtt_ns feeds on;
+  // only worth the traffic when a profile was requested.
+  if (!opts.profile_out.empty()) opts.tcp.heartbeat_interval = Millis(50);
   // Reverse route: acks for the front-end's pushes (from = "front").
   opts.tcp.peers["parent"] = TcpPeerAddr{"127.0.0.1", parent_port};
   opts.tcp.remote_instances[Symbol("front")] = "parent";
@@ -84,8 +107,11 @@ int run_shard_host(std::uint16_t listen_port, std::uint16_t parent_port) {
     rt.add_instance(shard_instance(name));
     if (!rt.start(Symbol(name)).ok()) return 2;
   }
-  // Serve until the parent kills this process.
-  while (true) std::this_thread::sleep_for(1s);
+  // Serve until the parent kills (SIGKILL: crash phases) or terminates
+  // (SIGTERM: clean shutdown, lets ~Runtime write profile_out) us.
+  ::signal(SIGTERM, [](int) { g_stop = 1; });
+  while (g_stop == 0) std::this_thread::sleep_for(50ms);
+  return 0;
 }
 
 pid_t spawn_shard_host(const char* self, std::uint16_t listen_port,
@@ -147,6 +173,9 @@ int main(int argc, char** argv) {
   RuntimeOptions opts;
   opts.transport = Transport::kTcpMesh;
   opts.metrics = &metrics;
+  opts.tcp.node_name = "parent";
+  opts.profile_out = profile_path("parent");
+  if (!opts.profile_out.empty()) opts.tcp.heartbeat_interval = Millis(50);
   opts.tcp.peers["shard"] = TcpPeerAddr{"127.0.0.1", shard_port};
   for (const char* name : kShardNames) {
     opts.tcp.remote_instances[Symbol(name)] = "shard";
@@ -210,8 +239,15 @@ int main(int argc, char** argv) {
   const auto reconnects = metrics.counter("tcp_reconnects").value();
   std::printf("[front] phase 3: 200 writes acked after restart, tcp_reconnects=%llu\n",
               static_cast<unsigned long long>(reconnects));
-  ::kill(child, SIGKILL);
+  // Final teardown: clean SIGTERM when profiling (the child's runtime
+  // destructor writes its profile_out), SIGKILL otherwise.
+  const bool profiling = !profile_path("shard").empty();
+  ::kill(child, profiling ? SIGTERM : SIGKILL);
   ::waitpid(child, nullptr, 0);
+  if (profiling) {
+    std::printf("[front] shard profile written to %s\n",
+                profile_path("shard").c_str());
+  }
   if (reconnects < 1) {
     std::fprintf(stderr, "FAIL: expected at least one recorded reconnect\n");
     return 1;

@@ -87,6 +87,8 @@ CheckpointedService::CheckpointedService(Options options) {
   eopts.runtime.default_link = options.link;
   eopts.runtime.trace_sink = options.trace_sink;
   eopts.runtime.metrics = options.metrics;
+  eopts.runtime.profiler = options.profiler;
+  eopts.runtime.profile_out = options.profile_out;
   eopts.runtime.metrics_http_port = options.metrics_http_port;
   eopts.runtime.transport = options.transport;
   eopts.runtime.tcp = options.tcp;
@@ -221,6 +223,8 @@ ShardedService::ShardedService(Options options) : options_(std::move(options)) {
   eopts.runtime.default_link = options_.link;
   eopts.runtime.trace_sink = options_.trace_sink;
   eopts.runtime.metrics = options_.metrics;
+  eopts.runtime.profiler = options_.profiler;
+  eopts.runtime.profile_out = options_.profile_out;
   eopts.runtime.metrics_http_port = options_.metrics_http_port;
   eopts.runtime.transport = options_.transport;
   eopts.runtime.tcp = options_.tcp;
@@ -384,6 +388,8 @@ CachedService::CachedService(Options options) : options_(std::move(options)) {
   eopts.runtime.default_link = options_.link;
   eopts.runtime.trace_sink = options_.trace_sink;
   eopts.runtime.metrics = options_.metrics;
+  eopts.runtime.profiler = options_.profiler;
+  eopts.runtime.profile_out = options_.profile_out;
   eopts.runtime.metrics_http_port = options_.metrics_http_port;
   eopts.runtime.transport = options_.transport;
   eopts.runtime.tcp = options_.tcp;

@@ -66,6 +66,11 @@ class CheckpointedService : public Service {
     // both borrowed and must outlive the service.
     obs::TraceSink* trace_sink = nullptr;
     obs::Metrics* metrics = nullptr;
+    // Optional continuous cost profiler (borrowed; must outlive the
+    // service), and/or a CostProfile JSON path the runtime writes at
+    // teardown (compart/runtime.hpp).
+    obs::Profiler* profiler = nullptr;
+    std::string profile_out;
     // -1 = no HTTP endpoint; 0 = ephemeral port; >0 = fixed port. Needs
     // `metrics` set. The bound port is metrics_http_port().
     int metrics_http_port = -1;
@@ -125,6 +130,11 @@ class ShardedService : public Service {
     // Optional observability taps (borrowed; must outlive the service).
     obs::TraceSink* trace_sink = nullptr;
     obs::Metrics* metrics = nullptr;
+    // Optional continuous cost profiler (borrowed; must outlive the
+    // service), and/or a CostProfile JSON path the runtime writes at
+    // teardown (compart/runtime.hpp).
+    obs::Profiler* profiler = nullptr;
+    std::string profile_out;
     // -1 = no HTTP endpoint; 0 = ephemeral port; >0 = fixed port. Needs
     // `metrics` set. The bound port is metrics_http_port().
     int metrics_http_port = -1;
@@ -177,6 +187,11 @@ class CachedService : public Service {
     // Optional observability taps (borrowed; must outlive the service).
     obs::TraceSink* trace_sink = nullptr;
     obs::Metrics* metrics = nullptr;
+    // Optional continuous cost profiler (borrowed; must outlive the
+    // service), and/or a CostProfile JSON path the runtime writes at
+    // teardown (compart/runtime.hpp).
+    obs::Profiler* profiler = nullptr;
+    std::string profile_out;
     // -1 = no HTTP endpoint; 0 = ephemeral port; >0 = fixed port. Needs
     // `metrics` set. The bound port is metrics_http_port().
     int metrics_http_port = -1;

@@ -58,6 +58,8 @@ CheckpointedService::CheckpointedService(Options options) {
   EngineOptions eopts;
   eopts.runtime.trace_sink = options.trace_sink;
   eopts.runtime.metrics = options.metrics;
+  eopts.runtime.profiler = options.profiler;
+  eopts.runtime.profile_out = options.profile_out;
   eopts.runtime.metrics_http_port = options.metrics_http_port;
   eopts.runtime.transport = options.transport;
   eopts.runtime.tcp = options.tcp;
@@ -171,6 +173,8 @@ SteeredService::SteeredService(Options options) : options_(options) {
   EngineOptions eopts;
   eopts.runtime.trace_sink = options_.trace_sink;
   eopts.runtime.metrics = options_.metrics;
+  eopts.runtime.profiler = options_.profiler;
+  eopts.runtime.profile_out = options_.profile_out;
   eopts.runtime.metrics_http_port = options_.metrics_http_port;
   eopts.runtime.transport = options_.transport;
   eopts.runtime.tcp = options_.tcp;

@@ -41,6 +41,11 @@ class CheckpointedService {
     // both borrowed and must outlive the service.
     obs::TraceSink* trace_sink = nullptr;
     obs::Metrics* metrics = nullptr;
+    // Optional continuous cost profiler (borrowed; must outlive the
+    // service), and/or a CostProfile JSON path the runtime writes at
+    // teardown (compart/runtime.hpp).
+    obs::Profiler* profiler = nullptr;
+    std::string profile_out;
     // -1 = no HTTP endpoint; 0 = ephemeral port; >0 = fixed port. Needs
     // `metrics` set. The bound port is metrics_http_port().
     int metrics_http_port = -1;
@@ -86,6 +91,11 @@ class SteeredService {
     // Optional observability taps (borrowed; must outlive the service).
     obs::TraceSink* trace_sink = nullptr;
     obs::Metrics* metrics = nullptr;
+    // Optional continuous cost profiler (borrowed; must outlive the
+    // service), and/or a CostProfile JSON path the runtime writes at
+    // teardown (compart/runtime.hpp).
+    obs::Profiler* profiler = nullptr;
+    std::string profile_out;
     // -1 = no HTTP endpoint; 0 = ephemeral port; >0 = fixed port. Needs
     // `metrics` set. The bound port is metrics_http_port().
     int metrics_http_port = -1;

@@ -3,9 +3,11 @@
 #include "compart/tcp.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <random>
 
+#include "obs/profile.hpp"
 #include "serdes/buffer.hpp"
 #include "support/blocking.hpp"
 #include "support/check.hpp"
@@ -88,6 +90,11 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
     id_base_ = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
   }
   sched_ = std::make_unique<Scheduler>(options_.scheduler, options_.metrics);
+  profiler_ = options_.profiler;
+  if (profiler_ == nullptr && !options_.profile_out.empty()) {
+    owned_profiler_ = std::make_unique<obs::Profiler>();
+    profiler_ = owned_profiler_.get();
+  }
   if (options_.metrics_http_port >= 0 && options_.metrics != nullptr) {
     exposer_ = std::make_unique<obs::HttpExposer>(
         options_.metrics, dynamic_cast<obs::Tracer*>(options_.trace_sink),
@@ -114,6 +121,7 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
     ins_.wal_tail_torn = &m.counter("wal_tail_torn");
     ins_.push_latency_ns = &m.histogram("push_latency_ns");
     ins_.junction_run_ns = &m.histogram("junction_run_ns");
+    ins_.tcp_rtt_us = &m.histogram("tcp_rtt_us");
     ins_.sched_wildcard_guards = &m.gauge("sched_wildcard_guards");
   }
   if (!options_.durability_dir.empty()) {
@@ -140,14 +148,14 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
     if (topts.listen_port < 0) topts.listen_port = 0;
     tcp_ = std::make_unique<TcpTransport>(
         [this](Envelope&& env) { deliver_local(std::move(env)); },
-        std::move(topts), options_.metrics, options_.trace_sink);
+        std::move(topts), options_.metrics, options_.trace_sink, profiler_);
     router_ = std::make_unique<Router>(
         options_.default_link, options_.seed,
         [this](Envelope&& env) { (void)tcp_->route(env); });
   } else if (options_.transport == Transport::kTcpMesh) {
     tcp_ = std::make_unique<TcpTransport>(
         [this](Envelope&& env) { deliver_local(std::move(env)); },
-        options_.tcp, options_.metrics, options_.trace_sink);
+        options_.tcp, options_.metrics, options_.trace_sink, profiler_);
     router_ = std::make_unique<Router>(
         options_.default_link, options_.seed, [this](Envelope&& env) {
           // Locally-hosted instances are delivered in-process; everything
@@ -161,16 +169,26 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
         options_.default_link, options_.seed,
         [this](Envelope&& env) { deliver_local(std::move(env)); });
   }
+  // Node identity: explicit name, else listener-derived, else "local".
+  // Needed beyond heartbeats now -- every cost-profile row carries it.
+  node_name_ = !options_.tcp.node_name.empty()
+                   ? options_.tcp.node_name
+                   : (tcp_ != nullptr ? "node@" + std::to_string(tcp_->port())
+                                      : "local");
+  if (profiler_ != nullptr) profiler_->set_node(node_name_);
   if (tcp_ != nullptr && options_.tcp.heartbeat_interval.count() > 0) {
     FailureDetector::Options dopts;
     dopts.heartbeat_interval = options_.tcp.heartbeat_interval;
     dopts.suspect_after_missed = options_.tcp.suspect_after_missed;
     detector_ = std::make_unique<FailureDetector>(dopts, options_.metrics,
                                                   options_.trace_sink);
-    node_name_ = options_.tcp.node_name.empty()
-                     ? "node@" + std::to_string(tcp_->port())
-                     : options_.tcp.node_name;
     tcp_->set_heartbeat_source([this] { return make_heartbeat(); });
+  }
+  if (exposer_ != nullptr && profiler_ != nullptr) {
+    // Safe capture: the exposer's accept thread joins in ~Runtime before
+    // the members this callback reads are torn down (exposer_ is declared
+    // after tcp_/instances_, so it is destroyed first).
+    exposer_->set_profile_source([this] { return cost_profile_json(); });
   }
 }
 
@@ -180,6 +198,19 @@ Runtime::~Runtime() {
   // callbacks point into) is still alive; queued stale entities drain and
   // bail on the stopped instances.
   sched_->stop();
+  if (profiler_ != nullptr) {
+    // Table rows were folded per-instance at stop time (shutdown above);
+    // link totals live in the transport, which is still up here.
+    for (const auto& row : live_link_costs()) profiler_->fold_link(row);
+    if (!options_.profile_out.empty()) {
+      const auto st = obs::write_cost_profile_file(options_.profile_out,
+                                                   profiler_->snapshot());
+      if (!st.ok()) {
+        std::fprintf(stderr, "csaw: profile_out: %s\n",
+                     st.error().to_string().c_str());
+      }
+    }
+  }
 }
 
 std::uint64_t Runtime::bump_epoch() {
@@ -239,6 +270,22 @@ Envelope Runtime::make_heartbeat() {
   }
   w.uvarint(running.size());
   for (const auto name : running) w.str(name.str());
+  // Trailing RTT probe (cost profiling): our steady clock at send, then an
+  // echo of every peer heartbeat we have seen -- the sender's original
+  // timestamp plus how long we held it. Receivers that predate this field
+  // parse the running list and ignore the rest, so the wire stays
+  // compatible in both directions.
+  const std::uint64_t now = steady_ns();
+  w.uvarint(now);
+  {
+    std::scoped_lock hb_lock(hb_mu_);
+    w.uvarint(hb_seen_.size());
+    for (const auto& [node, seen] : hb_seen_) {
+      w.str(node);
+      w.uvarint(seen.origin_ts_ns);
+      w.uvarint(now >= seen.recv_ns ? now - seen.recv_ns : 0);
+    }
+  }
   env.update.kind = Update::Kind::kWriteData;
   env.update.key = Symbol("heartbeat");
   env.update.value.bytes = w.take();
@@ -246,7 +293,10 @@ Envelope Runtime::make_heartbeat() {
 }
 
 void Runtime::handle_heartbeat(const Envelope& env) {
-  if (detector_ == nullptr) return;
+  if (detector_ == nullptr && profiler_ == nullptr &&
+      ins_.tcp_rtt_us == nullptr) {
+    return;
+  }
   ByteReader r(env.update.value.bytes);
   auto count = r.uvarint();
   if (!count) return;  // malformed gossip: ignore, the next one will come
@@ -257,8 +307,40 @@ void Runtime::handle_heartbeat(const Envelope& env) {
     if (!name) return;
     running.emplace_back(*name);
   }
-  detector_->observe(env.from_instance, env.epoch, std::move(running),
-                     steady_now());
+  if (detector_ != nullptr) {
+    detector_->observe(env.from_instance, env.epoch, std::move(running),
+                       steady_now());
+  }
+  // Trailing RTT probe (absent on heartbeats from older builds). Record
+  // when the sender minted its timestamp so our next heartbeat can echo it,
+  // then look for an echo of *our* name: origin and now are both our steady
+  // clock, so rtt = elapsed minus the remote hold -- no cross-host clock
+  // agreement needed.
+  auto origin = r.uvarint();
+  if (!origin) return;
+  const std::string from = env.from_instance.str();
+  {
+    std::scoped_lock hb_lock(hb_mu_);
+    auto& seen = hb_seen_[from];
+    seen.origin_ts_ns = *origin;
+    seen.recv_ns = steady_ns();
+  }
+  auto echoes = r.uvarint();
+  if (!echoes) return;
+  for (std::uint64_t i = 0; i < *echoes; ++i) {
+    auto node = r.str();
+    auto echo_ts = r.uvarint();
+    auto hold = r.uvarint();
+    if (!node || !echo_ts || !hold) return;
+    if (*node != node_name_) continue;
+    const std::uint64_t now = steady_ns();
+    // Underflow guard: a stale echo from before a restart (fresh steady
+    // epoch) or a hold overlapping our send is noise, not a sample.
+    if (now < *echo_ts + *hold) continue;
+    const std::uint64_t rtt = now - *echo_ts - *hold;
+    if (profiler_ != nullptr) profiler_->record_rtt(from, rtt);
+    if (ins_.tcp_rtt_us != nullptr) ins_.tcp_rtt_us->record(rtt / 1000);
+  }
 }
 
 void Runtime::record_event(obs::TraceEvent e) {
@@ -293,6 +375,12 @@ void Runtime::add_instance(InstanceDesc desc) {
     jrt->entity = sched_->add_entity(
         inst->desc.name.str() + "::" + jrt->desc.name.str(),
         [this, ip, jp] { return junction_eval(*ip, *jp); });
+    if (profiler_ != nullptr) {
+      // Slot survives restarts (and this Runtime): costs accumulate across
+      // the junction's whole lifetime, not per incarnation.
+      jrt->entity->prof = profiler_->junction(inst->desc.name.str(),
+                                              jrt->desc.name.str());
+    }
     inst->junctions.push_back(std::move(jrt));
   }
   std::scoped_lock lock(reg_mu_);
@@ -450,6 +538,23 @@ Status Runtime::stop_locked_state(InstanceRt& inst,
     for (auto& jrt : inst.junctions) {
       if (jrt->table != nullptr) jrt->table->apply_pending();
     }
+  }
+  // Fold this incarnation's table costs into the profiler before the WAL
+  // handles (whose cumulative byte totals the rows carry) close below; a
+  // restart swaps in fresh tables, so waiting for ~Runtime would lose them.
+  if (profiler_ != nullptr) {
+    obs::TableCost row;
+    row.node = profiler_->node();
+    row.instance = inst.desc.name.str();
+    for (const auto& jrt : inst.junctions) {
+      if (jrt->table == nullptr) continue;
+      row.keys += jrt->table->key_count();
+      row.writes += jrt->table->counters().applied;
+      if (jrt->wal != nullptr) {
+        row.wal_bytes += jrt->wal->total_appended_bytes();
+      }
+    }
+    profiler_->fold_table(row);
   }
   // Close the WALs so another incarnation (this process or a successor
   // sharing durability_dir) can recover from a quiesced log.
@@ -781,6 +886,51 @@ std::uint64_t Runtime::junction_evals(Symbol instance, Symbol junction) const {
              : 0;
 }
 
+std::vector<obs::TableCost> Runtime::live_table_costs() const {
+  std::vector<obs::TableCost> rows;
+  if (profiler_ == nullptr) return rows;
+  // reg_mu_ -> inst->mu nests in the heartbeat path's order.
+  std::scoped_lock reg_lock(reg_mu_);
+  for (const auto& [name, inst] : instances_) {
+    std::scoped_lock lock(inst->mu);
+    if (inst->state != InstanceRt::State::kRunning) continue;
+    obs::TableCost row;
+    row.node = profiler_->node();
+    row.instance = name.str();
+    for (const auto& jrt : inst->junctions) {
+      if (jrt->table == nullptr) continue;
+      row.keys += jrt->table->key_count();
+      row.writes += jrt->table->counters().applied;
+      if (jrt->wal != nullptr) {
+        row.wal_bytes += jrt->wal->total_appended_bytes();
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<obs::LinkCost> Runtime::live_link_costs() const {
+  std::vector<obs::LinkCost> rows;
+  if (profiler_ == nullptr || tcp_ == nullptr) return rows;
+  for (const auto& [peer, stats] : tcp_->peer_stats()) {
+    obs::LinkCost row;
+    row.node = profiler_->node();
+    row.peer = peer;
+    row.frames_sent = stats.frames_sent;
+    row.bytes_sent = stats.bytes_sent;
+    row.queue_drops = stats.queue_drops;
+    row.reconnects = stats.reconnects;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string Runtime::cost_profile_json() const {
+  if (profiler_ == nullptr) return {};
+  return profiler_->snapshot_json(live_table_costs(), live_link_costs());
+}
+
 Runtime::InstanceRt* Runtime::find(Symbol instance) const {
   std::scoped_lock lock(reg_mu_);
   auto it = instances_.find(instance);
@@ -796,8 +946,10 @@ Runtime::JunctionRt* Runtime::find_junction(InstanceRt& inst,
 }
 
 void Runtime::run_junction_body(InstanceRt& inst, JunctionRt& jrt) {
-  const bool timed =
-      options_.trace_sink != nullptr || ins_.junction_run_ns != nullptr;
+  obs::JunctionProfile* prof =
+      jrt.entity != nullptr ? jrt.entity->prof : nullptr;
+  const bool timed = options_.trace_sink != nullptr ||
+                     ins_.junction_run_ns != nullptr || prof != nullptr;
   // This run's span: child of the most recently delivered traced push (a
   // cross-instance edge), root of a fresh trace otherwise. The body's own
   // pushes nest under it via the thread-local context.
@@ -833,10 +985,14 @@ void Runtime::run_junction_body(InstanceRt& inst, JunctionRt& jrt) {
   }
   inst.cv.notify_all();
   if (ins_.junction_runs != nullptr) ins_.junction_runs->add();
+  if (prof != nullptr) prof->fires.fetch_add(1, std::memory_order_relaxed);
   if (timed) {
     const auto dt = static_cast<std::uint64_t>(
         std::chrono::duration_cast<Nanos>(steady_now() - t0).count());
     if (ins_.junction_run_ns != nullptr) ins_.junction_run_ns->record(dt);
+    if (prof != nullptr) {
+      prof->body_wall_ns.fetch_add(dt, std::memory_order_relaxed);
+    }
     obs::TraceEvent e;
     e.kind = obs::TraceEvent::Kind::kJunctionRan;
     e.instance = inst.desc.name;

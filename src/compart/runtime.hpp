@@ -57,6 +57,12 @@
 
 namespace csaw {
 
+namespace obs {
+class Profiler;     // obs/profile.hpp
+struct TableCost;   // per-instance KV cost row
+struct LinkCost;    // per-peer transport cost row
+}  // namespace obs
+
 class Runtime;
 class JunctionEnv;
 
@@ -160,6 +166,16 @@ struct RuntimeOptions {
   // /healthz. -1 disables; 0 binds an ephemeral port (read it back with
   // Runtime::metrics_http_port()). Requires `metrics` to be set.
   int metrics_http_port = -1;
+  // Continuous cost profiling (obs/profile.hpp). `profiler` is borrowed,
+  // may be null, and must outlive the Runtime. When set, the scheduler and
+  // transport record per-junction CPU/queue-delay and per-link RTT/queue-
+  // depth into it, and the /metrics listener (if any) also serves the live
+  // CostProfile at /profile. When `profiler` is null but `profile_out`
+  // names a file, the runtime owns a private profiler and writes the final
+  // CostProfile JSON there at destruction (the common single-runtime case;
+  // pass an external profiler to span several runtimes in one artifact).
+  obs::Profiler* profiler = nullptr;
+  std::string profile_out;
   // Crash recovery (kv/wal.hpp). When non-empty, every junction table is
   // backed by a write-ahead log + snapshots under this directory:
   // `start(i)` recovers each table's acknowledged state (applied values AND
@@ -273,6 +289,13 @@ class Runtime {
     return options_.trace_sink;
   }
   [[nodiscard]] obs::Metrics* metrics() const { return options_.metrics; }
+  // The cost profiler (borrowed or runtime-owned; null when profiling is
+  // off -- neither RuntimeOptions::profiler nor profile_out was set).
+  [[nodiscard]] obs::Profiler* profiler() const { return profiler_; }
+  // Live CostProfile snapshot as JSON -- this runtime's junction slots plus
+  // current table/link rows; empty string when profiling is off. Also what
+  // GET /profile serves.
+  [[nodiscard]] std::string cost_profile_json() const;
   // Bound /metrics port (-1 when the HTTP listener is disabled).
   [[nodiscard]] int metrics_http_port() const {
     return exposer_ ? exposer_->port() : -1;
@@ -406,6 +429,9 @@ class Runtime {
     obs::Counter* wal_tail_torn = nullptr;
     obs::Histogram* push_latency_ns = nullptr;
     obs::Histogram* junction_run_ns = nullptr;
+    // Heartbeat-echo round trips per peer link (microseconds); fed by
+    // handle_heartbeat, mirrored in the cost profile's per-link rtt_ns.
+    obs::Histogram* tcp_rtt_us = nullptr;
     // Junctions whose wake plans resolved to wildcard+timer fallback (the
     // runtime twin of csaw-lint's wake-coverage report); set during
     // wake-plan resolution.
@@ -425,10 +451,18 @@ class Runtime {
   // Adopts a higher epoch seen on a frame (persisting it when durable).
   void observe_epoch(std::uint64_t seen);
   void persist_epoch(std::uint64_t value);
-  // Builds one kHeartbeat envelope (node name, epoch, running instances).
+  // Builds one kHeartbeat envelope (node name, epoch, running instances,
+  // and -- trailing, ignored by older receivers -- an RTT probe: our steady
+  // timestamp plus echoes of every peer heartbeat we have seen).
   Envelope make_heartbeat();
-  // Feeds a received kHeartbeat to the detector.
+  // Feeds a received kHeartbeat to the detector and closes the RTT loop:
+  // an echo of our own timestamp, minus the remote hold time, is one
+  // round trip measured entirely on our steady clock.
   void handle_heartbeat(const Envelope& env);
+
+  // Cost-profile row assembly (all no-ops / empty when profiler_ is null).
+  [[nodiscard]] std::vector<obs::TableCost> live_table_costs() const;
+  [[nodiscard]] std::vector<obs::LinkCost> live_link_costs() const;
 
   InstanceRt* find(Symbol instance) const;
   void deliver_local(Envelope&& env);
@@ -458,6 +492,20 @@ class Runtime {
 
   RuntimeOptions options_;
   Instruments ins_;  // all-null when options_.metrics is null
+  // Cost profiling. Declared before the scheduler/transport members so the
+  // owned profiler (whose slots their hot paths record into) is destroyed
+  // after them. profiler_ aliases options_.profiler or owned_profiler_.
+  std::unique_ptr<obs::Profiler> owned_profiler_;
+  obs::Profiler* profiler_ = nullptr;
+  // Last heartbeat seen from each peer node, for the RTT echo: the sender's
+  // steady timestamp as received, and our steady clock at receipt (the
+  // difference at echo time is the hold we report back).
+  struct HbSeen {
+    std::uint64_t origin_ts_ns = 0;
+    std::uint64_t recv_ns = 0;
+  };
+  std::mutex hb_mu_;
+  std::map<std::string, HbSeen> hb_seen_;
   // Guards the *structure* of instances_ (add_instance vs lookups from the
   // transport thread -- deliver and heartbeat emission start with the TCP
   // event loop, i.e. before registration is done). InstanceRt pointers are

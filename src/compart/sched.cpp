@@ -2,10 +2,20 @@
 
 #include <algorithm>
 
+#include "obs/profile.hpp"
 #include "support/blocking.hpp"
 #include "support/check.hpp"
 
 namespace csaw {
+namespace {
+
+// Blocked-time attribution: the entity whose eval is running on this worker
+// and the steady timestamp of the outermost blocking-region entry. Written
+// only by the owning worker thread.
+thread_local Scheduler::Entity* t_running_entity = nullptr;
+thread_local std::uint64_t t_block_started_ns = 0;
+
+}  // namespace
 
 Scheduler::Scheduler(SchedulerOptions options, obs::Metrics* metrics)
     : options_(options),
@@ -24,6 +34,8 @@ Scheduler::Scheduler(SchedulerOptions options, obs::Metrics* metrics)
     workers_blocked_ = &metrics->gauge("sched_workers_blocked");
     workers_busy_ = &metrics->gauge("sched_workers_busy");
     wake_to_eval_ = &metrics->histogram("sched_wake_to_eval_ns");
+    queue_delay_us_ = &metrics->histogram("sched_queue_delay_us");
+    body_cpu_us_ = &metrics->histogram("sched_body_cpu_us");
   }
 }
 
@@ -190,17 +202,37 @@ void Scheduler::wake(Entity* entity) {
 
 void Scheduler::run_entity(Entity* entity) {
   entity->state.store(kRunning, std::memory_order_release);
+  obs::JunctionProfile* prof = entity->prof;
   const auto woke = entity->wake_ns.exchange(0, std::memory_order_relaxed);
-  if (woke != 0 && wake_to_eval_ != nullptr) {
+  if (woke != 0 && (wake_to_eval_ != nullptr || prof != nullptr)) {
     const auto now = steady_now().time_since_epoch().count();
     if (now > woke) {
-      wake_to_eval_->record(static_cast<std::uint64_t>(now - woke));
+      const auto delay = static_cast<std::uint64_t>(now - woke);
+      if (wake_to_eval_ != nullptr) wake_to_eval_->record(delay);
+      if (queue_delay_us_ != nullptr) queue_delay_us_->record(delay / 1000);
+      if (prof != nullptr) prof->queue_delay_ns.record(delay);
     }
   }
   if (evals_ != nullptr) evals_->add();
   if (workers_busy_ != nullptr) workers_busy_->add();
   entity->eval_count.fetch_add(1, std::memory_order_relaxed);
+  // Thread-CPU delta around the eval: pure compute, since the CPU clock
+  // does not advance while the body blocks (blocked time is attributed
+  // separately via the blocking hooks below).
+  const bool timed = prof != nullptr || body_cpu_us_ != nullptr;
+  const std::uint64_t cpu0 = timed ? thread_cpu_ns() : 0;
+  t_running_entity = entity;
   const EvalResult result = entity->eval();
+  t_running_entity = nullptr;
+  if (timed) {
+    const std::uint64_t cpu = thread_cpu_ns() - cpu0;
+    if (body_cpu_us_ != nullptr) body_cpu_us_->record(cpu / 1000);
+    if (prof != nullptr) {
+      prof->evals.fetch_add(1, std::memory_order_relaxed);
+      prof->body_cpu_ns.fetch_add(cpu, std::memory_order_relaxed);
+      prof->body_cpu_hist_ns.record(cpu);
+    }
+  }
   if (workers_busy_ != nullptr) workers_busy_->sub();
   if (result == EvalResult::kSpurious && spurious_ != nullptr) {
     spurious_->add();
@@ -257,6 +289,9 @@ void Scheduler::worker_main() {
 void Scheduler::on_worker_block() {
   blocked_.fetch_add(1, std::memory_order_seq_cst);
   if (workers_blocked_ != nullptr) workers_blocked_->add();
+  if (t_running_entity != nullptr && t_running_entity->prof != nullptr) {
+    t_block_started_ns = steady_ns();
+  }
   std::scoped_lock lock(spawn_mu_);
   if (stopping_.load()) return;
   // Keep the pool's *unblocked* head-count at the configured size: a body
@@ -268,6 +303,13 @@ void Scheduler::on_worker_block() {
 void Scheduler::on_worker_unblock() {
   blocked_.fetch_sub(1, std::memory_order_seq_cst);
   if (workers_blocked_ != nullptr) workers_blocked_->sub();
+  if (t_block_started_ns != 0) {
+    if (t_running_entity != nullptr && t_running_entity->prof != nullptr) {
+      t_running_entity->prof->blocked_ns.fetch_add(
+          steady_ns() - t_block_started_ns, std::memory_order_relaxed);
+    }
+    t_block_started_ns = 0;
+  }
 }
 
 // --- timer wheel ------------------------------------------------------------

@@ -44,6 +44,10 @@
 #include "support/clock.hpp"
 #include "support/symbol.hpp"
 
+namespace csaw::obs {
+struct JunctionProfile;  // obs/profile.hpp
+}  // namespace csaw::obs
+
 namespace csaw {
 
 struct SchedulerOptions {
@@ -112,6 +116,9 @@ class Scheduler {
     std::atomic<std::int64_t> wake_ns{0};
     // Total evals, readable by tests asserting wake-set precision.
     std::atomic<std::uint64_t> eval_count{0};
+    // Cost-profile slot (obs/profile.hpp), set once at wiring time when a
+    // Profiler is attached; null means no per-junction attribution.
+    obs::JunctionProfile* prof = nullptr;
     // Guarded by the scheduler's timer mutex: one pending wheel entry max.
     bool timer_armed = false;
   };
@@ -220,6 +227,8 @@ class Scheduler {
   obs::Gauge* workers_blocked_ = nullptr;   // workers inside blocking waits
   obs::Gauge* workers_busy_ = nullptr;      // workers currently in an eval
   obs::Histogram* wake_to_eval_ = nullptr;  // queue latency, ns
+  obs::Histogram* queue_delay_us_ = nullptr;  // queue latency, us (profile twin)
+  obs::Histogram* body_cpu_us_ = nullptr;     // per-eval thread CPU, us
 };
 
 }  // namespace csaw

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <random>
 
+#include "obs/profile.hpp"
 #include "support/check.hpp"
 
 namespace csaw {
@@ -125,11 +126,13 @@ bool make_addr(const std::string& host, std::uint16_t port, sockaddr_in* out) {
 }  // namespace
 
 TcpTransport::TcpTransport(DeliverFn deliver, TcpOptions options,
-                           obs::Metrics* metrics, obs::TraceSink* trace_sink)
+                           obs::Metrics* metrics, obs::TraceSink* trace_sink,
+                           obs::Profiler* profiler)
     : deliver_(std::move(deliver)),
       options_(std::move(options)),
       trace_sink_(trace_sink),
       metrics_(metrics),
+      profiler_(profiler),
       jitter_([] {
         std::random_device rd;
         return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
@@ -231,6 +234,9 @@ TcpTransport::Peer& TcpTransport::ensure_peer_locked(const std::string& name,
     p->m_reconnects = &metrics_->counter("tcp_peer_" + name + "_reconnects");
     p->m_queue_drops = &metrics_->counter("tcp_peer_" + name + "_queue_drops");
   }
+  if (profiler_ != nullptr) {
+    p->prof_depth = profiler_->link_queue_depth(name);
+  }
   auto& ref = *p;
   peers_.emplace(name, std::move(p));
   return ref;
@@ -304,6 +310,8 @@ bool TcpTransport::send_to(const std::string& peer, const Envelope& env) {
       std::memcpy(frame.data(), &len, sizeof(len));
       std::memcpy(frame.data() + sizeof(len), payload.data(), payload.size());
       p.queue.push_back(std::move(frame));
+      // Depth *after* the push: the backlog this frame joins.
+      if (p.prof_depth != nullptr) p.prof_depth->record(p.queue.size());
     }
   }
   if (drop_reason == nullptr) {

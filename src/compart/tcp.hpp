@@ -49,6 +49,10 @@
 #include "support/result.hpp"
 #include "support/rng.hpp"
 
+namespace csaw::obs {
+class Profiler;  // obs/profile.hpp
+}  // namespace csaw::obs
+
 namespace csaw {
 
 // Blocking socket I/O helpers shared by the transport's handshake-free
@@ -90,10 +94,13 @@ class TcpTransport {
   // retried forever under backoff. When `metrics` is non-null the counters
   // documented in DESIGN.md "Transport" are registered there; when
   // `trace_sink` is non-null, corrupt/oversize/dropped frames emit custom
-  // trace events. Both are borrowed and must outlive this object.
+  // trace events. When `profiler` is non-null, each send samples the peer's
+  // queue depth into the cost profile's per-link percentiles. All three are
+  // borrowed and must outlive this object.
   TcpTransport(DeliverFn deliver, TcpOptions options,
                obs::Metrics* metrics = nullptr,
-               obs::TraceSink* trace_sink = nullptr);
+               obs::TraceSink* trace_sink = nullptr,
+               obs::Profiler* profiler = nullptr);
   ~TcpTransport();
 
   TcpTransport(const TcpTransport&) = delete;
@@ -160,6 +167,8 @@ class TcpTransport {
     obs::Counter* m_bytes_sent = nullptr;
     obs::Counter* m_reconnects = nullptr;
     obs::Counter* m_queue_drops = nullptr;
+    // Cost-profile send-queue-depth histogram; null without a profiler.
+    obs::Histogram* prof_depth = nullptr;
   };
 
   // One accepted inbound connection with its incremental frame parser.
@@ -193,6 +202,7 @@ class TcpTransport {
   TcpOptions options_;
   obs::TraceSink* trace_sink_ = nullptr;
   obs::Metrics* metrics_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
 
   int listen_fd_ = -1;
   std::uint16_t listen_port_ = 0;

@@ -441,6 +441,11 @@ KvTable::Counters KvTable::counters() const {
   return counters_;
 }
 
+std::size_t KvTable::key_count() const {
+  std::scoped_lock lock(mu_);
+  return props_.size() + defined_.size();
+}
+
 std::string KvTable::debug_string() const {
   std::scoped_lock lock(mu_);
   std::ostringstream os;

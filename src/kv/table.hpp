@@ -178,6 +178,10 @@ class KvTable {
   };
   [[nodiscard]] Counters counters() const;
 
+  // Live key count (declared props + defined data) for the cost profile's
+  // per-table rows.
+  [[nodiscard]] std::size_t key_count() const;
+
   // Full-content dump for tests and checkpoint inspection.
   [[nodiscard]] std::string debug_string() const;
 

@@ -502,6 +502,7 @@ Status Wal::append(WalRecord rec, bool sync_now) {
   }
   ++next_lsn_;
   log_bytes_ += framed.size();
+  total_appended_.fetch_add(framed.size(), std::memory_order_relaxed);
   dirty_ = true;
   if (m_appends_ != nullptr) m_appends_->add();
   if (m_bytes_ != nullptr) m_bytes_->add(framed.size());

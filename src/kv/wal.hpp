@@ -26,6 +26,7 @@
 // table's mutex; it performs no locking of its own.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -132,6 +133,12 @@ class Wal {
   [[nodiscard]] bool wants_compaction() const;
 
   [[nodiscard]] std::size_t log_bytes() const { return log_bytes_; }
+  // Cumulative bytes appended over the log's lifetime -- unlike log_bytes()
+  // it is never reset by compaction, and it is readable from any thread
+  // (the cost profiler samples it outside the table mutex).
+  [[nodiscard]] std::uint64_t total_appended_bytes() const {
+    return total_appended_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t next_lsn() const { return next_lsn_; }
 
  private:
@@ -143,6 +150,7 @@ class Wal {
   Options options_;
   int fd_ = -1;
   std::size_t log_bytes_ = 0;
+  std::atomic<std::uint64_t> total_appended_{0};
   std::uint64_t next_lsn_ = 1;
   bool dirty_ = false;  // appended since last sync
 

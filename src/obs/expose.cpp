@@ -141,6 +141,16 @@ std::string HttpExposer::render_metrics() const {
   return render_prometheus(metrics_, tracer_);
 }
 
+void HttpExposer::set_profile_source(std::function<std::string()> source) {
+  std::scoped_lock lock(profile_mu_);
+  profile_source_ = std::move(source);
+}
+
+std::function<std::string()> HttpExposer::profile_source() const {
+  std::scoped_lock lock(profile_mu_);
+  return profile_source_;
+}
+
 void HttpExposer::serve_loop() {
   while (!stopping_.load()) {
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
@@ -151,6 +161,13 @@ void HttpExposer::serve_loop() {
               "text/plain; version=0.0.4; charset=utf-8");
     } else if (path == "/healthz") {
       respond(conn, 200, "OK", "ok\n", "text/plain");
+    } else if (path == "/profile") {
+      if (auto source = profile_source()) {
+        respond(conn, 200, "OK", source(), "application/json");
+      } else {
+        respond(conn, 404, "Not Found", "no profiler attached\n",
+                "text/plain");
+      }
     } else if (path.empty()) {
       respond(conn, 400, "Bad Request", "bad request\n", "text/plain");
     } else {

@@ -1,6 +1,8 @@
 // Minimal HTTP exposition of live metrics: GET /metrics returns the
 // Prometheus text format (counters, histogram summaries with p50/p90/p99
-// quantiles, tracer buffer gauges), GET /healthz returns "ok".
+// quantiles, tracer buffer gauges), GET /healthz returns "ok", and -- when
+// the runtime attaches a cost profiler -- GET /profile returns the live
+// CostProfile JSON (obs/profile.hpp).
 //
 // The listener binds 127.0.0.1 only and follows the same socket idiom as the
 // loopback transport (compart/tcp.cpp): a blocking accept thread, one
@@ -10,6 +12,8 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -36,11 +40,20 @@ class HttpExposer {
   // The /metrics body (exposed for tests and one-shot dumps).
   [[nodiscard]] std::string render_metrics() const;
 
+  // Installs (or clears, with nullptr) the /profile body producer. Safe to
+  // call while the server runs; the callback must be thread-safe (it is
+  // invoked from the accept thread) and is typically the runtime's live
+  // CostProfile snapshot.
+  void set_profile_source(std::function<std::string()> source);
+
  private:
   void serve_loop();
+  [[nodiscard]] std::function<std::string()> profile_source() const;
 
   const Metrics* metrics_;
   Tracer* tracer_;
+  mutable std::mutex profile_mu_;
+  std::function<std::string()> profile_source_;  // under profile_mu_
   int listen_fd_ = -1;
   int port_ = -1;
   std::atomic<bool> stopping_{false};

@@ -54,6 +54,9 @@ class Histogram {
   void record(std::uint64_t value);
 
   [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] double mean() const;
   [[nodiscard]] std::uint64_t max_seen() const;
   // Quantile q in [0,1], linearly interpolated inside the winning bucket.

@@ -213,6 +213,16 @@ ProgramSpec failover(const FailoverOptions& o) {
   }
 
   // --- tau_b :: serve(t, self, selfset)  (Fig 14) ---------------------------
+  //
+  // csaw-lint CSAW-W001 (accepted; suppressed with justification in the
+  // tool's registry): serve's Activating/Active props are written by both
+  // the front-end (f::b asserts Activating to recruit a spare) and the
+  // backend's own reactivate watchdog (which retracts both when the backend
+  // goes quiet). That write-write race IS the takeover protocol --
+  // last-writer-wins decides whether the recruit or the reaper acted last,
+  // and the runtime's authority-epoch fence nacks whichever side lost
+  // authority in the meantime, so a stale retract cannot undo a newer
+  // takeover.
   {
     std::vector<CaseArm> arms;
     arms.push_back(case_arm(
@@ -278,6 +288,15 @@ ProgramSpec failover(const FailoverOptions& o) {
           t, e_skip()));
 
   // --- tau_b :: reactivate(t)  (Fig 14) --------------------------------------
+  //
+  // csaw-lint CSAW-C001 (accepted; suppressed with justification in the
+  // tool's registry): serve pushes RecentlyActive here, and reactivate
+  // pushes retractions back to serve -- a blocking-push cycle on paper. It
+  // cannot deadlock in practice because the cycle is never closed at the
+  // same time: reactivate only pushes from inside the otherwise[t] arm,
+  // i.e. after its `wait` sat a whole inactivity window in which serve (the
+  // would-be other half of the cycle) made no push, and the wait itself
+  // bounds how long serve's RecentlyActive push can block against it.
   p.type("tau_b")
       .junction("reactivate")
       .param("t", ParamDecl::Kind::kTime)

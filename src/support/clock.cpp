@@ -1,6 +1,15 @@
 #include "support/clock.hpp"
 
+#include <ctime>
+
 namespace csaw {
+
+std::uint64_t thread_cpu_ns() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
 
 Nanos Deadline::remaining() const {
   if (is_infinite()) return Nanos::max();

@@ -22,6 +22,19 @@ inline double to_ms(Nanos d) {
   return std::chrono::duration<double, std::milli>(d).count();
 }
 
+// Steady clock as a raw nanosecond count (for wire-encodable timestamps
+// that are only ever compared within the process that minted them).
+inline std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<Nanos>(steady_now().time_since_epoch())
+          .count());
+}
+
+// The calling thread's CPU time (CLOCK_THREAD_CPUTIME_ID). Does not advance
+// while the thread is blocked, so deltas around a body run measure pure
+// compute and never double-count waiting.
+std::uint64_t thread_cpu_ns();
+
 // A deadline that may be infinite. Composable: nested `otherwise` scopes take
 // the tighter of the two deadlines.
 class Deadline {

@@ -1,13 +1,16 @@
 // csaw-lint: static architecture verification over compiled C-Saw programs.
 //
-//   csaw-lint [--json] [--suppress CODE]... PROGRAM [PROGRAM ...]
+//   csaw-lint [--json] [--werror] [--suppress CODE]... PROGRAM [PROGRAM ...]
 //       Compiles each named program (the registry below: the pattern
 //       libraries and the programs the shipped apps instantiate) and runs
 //       the core/analyze passes over it -- guard satisfiability, write-write
 //       conflicts, blocking-push cycles, liveness reachability, wake-set
 //       coverage. Text report to stdout (or one JSON object per program
 //       with --json). Exit 0 when no program has error-severity
-//       diagnostics, 1 otherwise, 2 on usage/unknown-program.
+//       diagnostics, 1 otherwise, 2 on usage/unknown-program. With
+//       --werror, warnings also fail -- every *accepted* warning must then
+//       carry a registry suppression with a written justification, which
+//       the text report annotates.
 //
 //   csaw-lint --list
 //       Prints the registry.
@@ -31,10 +34,21 @@ namespace {
 
 using csaw::ProgramSpec;
 
+// A registry-level suppression: a diagnostic code this program is *known*
+// to trigger, with the justification for why it is acceptable. Applied on
+// top of any --suppress flags, and annotated in the report so the bill of
+// accepted risks stays visible. This is what lets CI run --werror over the
+// whole registry without wallpapering real findings.
+struct Suppression {
+  const char* code;
+  const char* why;
+};
+
 struct Entry {
   const char* name;
   const char* what;
   std::function<ProgramSpec()> spec;
+  std::vector<Suppression> suppressions;
 };
 
 // Exactly the ProgramSpecs the shipped apps compile (same pattern options),
@@ -70,7 +84,19 @@ std::vector<Entry> registry() {
       {"parallel-sharding", "parallel sharding pattern (3 backends)",
        [] { return csaw::patterns::parallel_sharding({}); }},
       {"failover", "fail-over pattern (2 backends)",
-       [] { return csaw::patterns::failover({}); }},
+       [] { return csaw::patterns::failover({}); },
+       // Both findings are load-bearing properties of the paper's Fig 14
+       // pattern, not oversights (see the matching comments in
+       // src/patterns/failover.cpp):
+       {{"CSAW-W001",
+         "Activating/Active are written by both f::b and b*::reactivate by "
+         "design: last-writer-wins is the takeover protocol (the front-end's "
+         "assert and the watchdog's retract race intentionally; the epoch "
+         "fence rejects the loser's stale writes)"},
+        {"CSAW-C001",
+         "the reactivate<->serve push cycle is the liveness loop of Fig 14; "
+         "it cannot deadlock because reactivate's wait bounds the blocking "
+         "push with the pattern's inactivity timeout"}}},
       {"watched-failover", "watched fail-over pattern",
        [] { return csaw::patterns::watched_failover({}); }},
   };
@@ -78,7 +104,7 @@ std::vector<Entry> registry() {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--json] [--suppress CODE]... PROGRAM...\n"
+               "usage: %s [--json] [--werror] [--suppress CODE]... PROGRAM...\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -89,6 +115,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   bool json = false;
   bool list = false;
+  bool werror = false;
   csaw::AnalyzeOptions aopts;
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
@@ -97,6 +124,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--list") {
       list = true;
+    } else if (arg == "--werror") {
+      werror = true;
     } else if (arg == "--suppress") {
       if (i + 1 >= argc) return usage(argv[0]);
       aopts.suppress.emplace_back(argv[++i]);
@@ -135,7 +164,12 @@ int main(int argc, char** argv) {
                    name.c_str(), compiled.error().to_string().c_str());
       return 1;
     }
-    csaw::AnalysisReport report = csaw::analyze_program(*compiled, aopts);
+    // Registry suppressions stack on top of any --suppress flags.
+    csaw::AnalyzeOptions popts = aopts;
+    for (const auto& s : entry->suppressions) {
+      popts.suppress.emplace_back(s.code);
+    }
+    csaw::AnalysisReport report = csaw::analyze_program(*compiled, popts);
     // Programs share a spec (e.g. the two remote_snapshot apps); report
     // under the registry name so CI artifacts are distinguishable.
     report.program = name;
@@ -144,8 +178,12 @@ int main(int argc, char** argv) {
       first_json = false;
     } else {
       std::printf("%s", report.to_text().c_str());
+      for (const auto& s : entry->suppressions) {
+        std::printf("  suppressed %s (registry): %s\n", s.code, s.why);
+      }
     }
     if (report.errors() > 0) worst = 1;
+    if (werror && report.warnings() > 0) worst = 1;
   }
   if (json) std::printf("]\n");
   return worst;

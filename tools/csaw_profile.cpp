@@ -1,0 +1,193 @@
+// csaw-profile: merge per-process CostProfile artifacts into one
+// cluster-wide cost model, and diff profiles or bench snapshots for
+// regressions.
+//
+//   csaw-profile merge -o merged.json node1.json node2.json ...
+//       Loads each CostProfile (RuntimeOptions::profile_out, or a saved
+//       GET /profile body) and merges them: rows keyed by
+//       (node, instance, junction) / (node, peer) / (node, instance) sum
+//       their totals exactly, histogram percentiles merge count-weighted,
+//       and the duration is the longest input span. Omitting -o prints the
+//       merged profile to stdout.
+//
+//   csaw-profile show profile.json
+//       Renders a human-readable cost table: per-junction CPU per eval and
+//       queue-delay p99, per-link RTT p99 and bytes/sec.
+//
+//   csaw-profile --diff BEFORE.json AFTER.json [--threshold PCT]
+//                [--min-abs X]
+//       Compares two documents of the same kind -- either CostProfiles or
+//       bench snapshots (the benches' --json-out format, e.g.
+//       BENCH_sched.json) -- and flags metrics that moved toward "worse" by
+//       more than the threshold (default 25%) AND by more than the
+//       --min-abs absolute floor (same unit as the metric; damps noise on
+//       near-zero values). Exit 0 when clean, 1 when regressions were
+//       found, 2 on usage/parse errors. This is the CI perf gate.
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/profile.hpp"
+#include "support/io.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage:\n"
+            << "  " << argv0 << " merge [-o OUT.json] IN.json [IN.json ...]\n"
+            << "  " << argv0 << " show PROFILE.json\n"
+            << "  " << argv0
+            << " --diff BEFORE.json AFTER.json [--threshold PCT]"
+               " [--min-abs X]\n";
+  return 2;
+}
+
+int run_merge(const char* argv0, const std::vector<std::string>& args) {
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o" || args[i] == "--out") {
+      if (i + 1 >= args.size()) return usage(argv0);
+      out_path = args[++i];
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      std::cerr << argv0 << ": unknown option '" << args[i] << "'\n";
+      return 2;
+    } else {
+      inputs.push_back(args[i]);
+    }
+  }
+  if (inputs.empty()) return usage(argv0);
+
+  std::vector<csaw::obs::CostProfile> profiles;
+  for (const std::string& path : inputs) {
+    auto p = csaw::obs::load_cost_profile(path);
+    if (!p.ok()) {
+      std::cerr << argv0 << ": " << path << ": " << p.error().to_string()
+                << "\n";
+      return 2;
+    }
+    profiles.push_back(*std::move(p));
+  }
+  const auto merged = csaw::obs::merge_profiles(profiles);
+  if (out_path.empty()) {
+    std::cout << csaw::obs::cost_profile_json(merged) << "\n";
+  } else {
+    if (auto st = csaw::obs::write_cost_profile_file(out_path, merged);
+        !st.ok()) {
+      std::cerr << argv0 << ": " << st.error().to_string() << "\n";
+      return 2;
+    }
+    std::cerr << "merged " << inputs.size() << " profile(s) ("
+              << merged.nodes.size() << " node(s), " << merged.junctions.size()
+              << " junction(s)) into " << out_path << "\n";
+  }
+  return 0;
+}
+
+int run_show(const char* argv0, const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage(argv0);
+  auto p = csaw::obs::load_cost_profile(args[0]);
+  if (!p.ok()) {
+    std::cerr << argv0 << ": " << args[0] << ": " << p.error().to_string()
+              << "\n";
+    return 2;
+  }
+  const double dur_s = static_cast<double>(p->duration_ns) / 1e9;
+  std::cout << "profile: " << p->nodes.size() << " node(s), "
+            << std::fixed << std::setprecision(2) << dur_s << "s\n";
+  if (!p->junctions.empty()) {
+    std::cout << "\njunctions (cpu/eval us, q-delay p99 us, blocked ms):\n";
+    for (const auto& j : p->junctions) {
+      const double cpu_per_eval =
+          j.evals > 0 ? static_cast<double>(j.body_cpu_ns) /
+                            static_cast<double>(j.evals) / 1e3
+                      : 0.0;
+      std::cout << "  " << j.node << "/" << j.instance << "::" << j.junction
+                << "  evals=" << j.evals << " fires=" << j.fires
+                << " cpu/eval=" << std::setprecision(2) << cpu_per_eval
+                << " qd_p99=" << j.queue_delay_ns.p99 / 1e3
+                << " blocked=" << static_cast<double>(j.blocked_ns) / 1e6
+                << "\n";
+    }
+  }
+  if (!p->links.empty()) {
+    std::cout << "\nlinks (rtt p99 us, bytes/s, depth p99):\n";
+    for (const auto& l : p->links) {
+      const double bps =
+          dur_s > 0.0 ? static_cast<double>(l.bytes_sent) / dur_s : 0.0;
+      std::cout << "  " << l.node << " -> " << l.peer
+                << "  frames=" << l.frames_sent << " rtt_p99="
+                << std::setprecision(2) << l.rtt_ns.p99 / 1e3
+                << " bytes/s=" << std::setprecision(0) << bps
+                << " depth_p99=" << std::setprecision(2)
+                << l.send_queue_depth.p99 << "\n";
+    }
+  }
+  if (!p->tables.empty()) {
+    std::cout << "\ntables (keys, writes/s, wal bytes/s):\n";
+    for (const auto& t : p->tables) {
+      const double wps =
+          dur_s > 0.0 ? static_cast<double>(t.writes) / dur_s : 0.0;
+      const double wal_bps =
+          dur_s > 0.0 ? static_cast<double>(t.wal_bytes) / dur_s : 0.0;
+      std::cout << "  " << t.node << "/" << t.instance << "  keys=" << t.keys
+                << " writes/s=" << std::setprecision(1) << wps
+                << " wal_bytes/s=" << std::setprecision(0) << wal_bps << "\n";
+    }
+  }
+  return 0;
+}
+
+int run_diff(const char* argv0, const std::vector<std::string>& args) {
+  csaw::obs::DiffOptions opts;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threshold") {
+      if (i + 1 >= args.size()) return usage(argv0);
+      opts.threshold_pct = std::strtod(args[++i].c_str(), nullptr);
+    } else if (args[i] == "--min-abs") {
+      if (i + 1 >= args.size()) return usage(argv0);
+      opts.min_abs = std::strtod(args[++i].c_str(), nullptr);
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      std::cerr << argv0 << ": unknown option '" << args[i] << "'\n";
+      return 2;
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.size() != 2) return usage(argv0);
+
+  std::string texts[2];
+  for (int i = 0; i < 2; ++i) {
+    auto bytes = csaw::io::read_file(paths[i]);
+    if (!bytes.ok()) {
+      std::cerr << argv0 << ": " << paths[i] << ": "
+                << bytes.error().to_string() << "\n";
+      return 2;
+    }
+    texts[i].assign(bytes->begin(), bytes->end());
+  }
+  auto diff = csaw::obs::diff_documents(texts[0], texts[1], opts);
+  if (!diff.ok()) {
+    std::cerr << argv0 << ": " << diff.error().to_string() << "\n";
+    return 2;
+  }
+  std::cout << csaw::obs::render_diff(*diff);
+  return diff->regressions.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string verb = argv[1];
+  std::vector<std::string> rest(argv + 2, argv + argc);
+  if (verb == "merge") return run_merge(argv[0], rest);
+  if (verb == "show") return run_show(argv[0], rest);
+  if (verb == "diff" || verb == "--diff") return run_diff(argv[0], rest);
+  std::cerr << argv[0] << ": unknown command '" << verb << "'\n";
+  return usage(argv[0]);
+}
