@@ -1,0 +1,170 @@
+// Ablation (ours): chain vs quorum replication behind miniredis, across
+// the per-table consistency knob (eventual / read-your-writes /
+// linearizable) and the quorum's W/R tuning, on the paper's 90/10 skewed
+// read-heavy workload (S10.1). The shape claims: eventual reads served
+// locally beat linearizable reads routed through the architecture, and a
+// wider write quorum costs write throughput but never read correctness.
+//
+// Environment overrides: CSAW_BENCH_REPL_N (requests per cell),
+// CSAW_BENCH_REPL_KEYS (keyspace). `--json-out <path>` writes the
+// BENCH_replication.json snapshot CI diffs with csaw-profile --diff
+// (*_kqps higher-better, p99_* lower-better).
+#include <string>
+#include <vector>
+
+#include "apps/miniredis/services.hpp"
+#include "apps/miniredis/workload.hpp"
+#include "bench/common.hpp"
+#include "compart/consistency.hpp"
+
+using namespace csaw;
+using namespace csaw::bench;
+using miniredis::Command;
+using miniredis::ReplicatedService;
+using Mode = miniredis::ReplicatedService::Mode;
+
+namespace {
+
+struct Cell {
+  double kqps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+// One measurement cell: n requests of a fresh 90/10-skewed workload against
+// a fresh service, all at `level`. Read-your-writes runs with one session
+// (the client whose writes must be visible to its own reads).
+Cell run_cell(ReplicatedService::Options opts, Consistency level,
+              std::size_t keyspace, int n) {
+  opts.consistency = level;
+  ReplicatedService svc(std::move(opts));
+  ReplicatedService::Session session;
+  const bool ryw = level == Consistency::kReadYourWrites;
+
+  miniredis::WorkloadOptions wopts;
+  wopts.keyspace = keyspace;
+  wopts.get_fraction = 0.9;
+  wopts.popularity = miniredis::WorkloadOptions::Popularity::kSkewed90_10;
+  miniredis::Workload workload(wopts, /*seed=*/17);
+
+  Cell cell;
+  Cdf latency;
+  const auto t0 = steady_now();
+  for (int i = 0; i < n; ++i) {
+    const Command cmd = workload.next();
+    const auto before = steady_now();
+    auto r = svc.request(cmd, ryw ? &session : nullptr, level);
+    CSAW_CHECK(r.ok()) << r.error().to_string();
+    latency.add(
+        to_ms(std::chrono::duration_cast<Nanos>(steady_now() - before)));
+  }
+  const double total_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(steady_now() -
+                                                                t0)
+          .count();
+  cell.kqps = total_s > 0 ? static_cast<double>(n) / total_s / 1000.0 : 0;
+  cell.p50_ms = latency.quantile(0.5);
+  cell.p99_ms = latency.quantile(0.99);
+  return cell;
+}
+
+ReplicatedService::Options base_options(Mode mode) {
+  auto o = ReplicatedService::make_default_options();
+  o.mode = mode;
+  o.replicas = 3;
+  o.op_cost_ns = 0;
+  o.timeout_ms = 2000;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = Config::from_env();
+  header("Replication",
+         "chain vs quorum x consistency level x W/R, 90/10 skewed reads",
+         cfg);
+  const int n = Config::env_int("CSAW_BENCH_REPL_N", 1500);
+  const std::size_t keys =
+      static_cast<std::size_t>(Config::env_int("CSAW_BENCH_REPL_KEYS", 64));
+  JsonSnapshot json("replication", argc, argv, cfg);
+
+  TablePrinter t({"mode", "W", "R", "consistency", "kqps", "p50(ms)",
+                  "p99(ms)"});
+
+  // Chain (3 nodes, head-write/tail-read) across the consistency knob.
+  Cell chain_eventual;
+  Cell chain_lin;
+  for (auto level : {Consistency::kEventual, Consistency::kReadYourWrites,
+                     Consistency::kLinearizable}) {
+    const Cell c = run_cell(base_options(Mode::kChain), level, keys, n);
+    t.add_row({"chain", "-", "-", std::string(consistency_name(level)),
+               TablePrinter::fmt(c.kqps, 1), TablePrinter::fmt(c.p50_ms, 3),
+               TablePrinter::fmt(c.p99_ms, 3)});
+    const std::string tag =
+        level == Consistency::kEventual       ? "eventual"
+        : level == Consistency::kReadYourWrites ? "ryw"
+                                                : "lin";
+    json.set("chain_" + tag + "_kqps", c.kqps);
+    json.set("p99_chain_" + tag + "_ms", c.p99_ms);
+    if (level == Consistency::kEventual) chain_eventual = c;
+    if (level == Consistency::kLinearizable) chain_lin = c;
+  }
+
+  // Quorum: W/R ablation at eventual (R governs the read fan) plus the
+  // consistency knob at the durable W=2 point.
+  Cell quorum_w1_eventual;
+  Cell quorum_w3_eventual;
+  Cell quorum_w2_eventual;
+  Cell quorum_w2_lin;
+  struct WrPoint {
+    std::size_t w, r;
+  };
+  for (const auto [w, r] : {WrPoint{1, 1}, WrPoint{2, 1}, WrPoint{2, 2},
+                            WrPoint{3, 1}}) {
+    auto o = base_options(Mode::kQuorum);
+    o.write_quorum = w;
+    o.read_quorum = r;
+    const Cell c = run_cell(o, Consistency::kEventual, keys, n);
+    t.add_row({"quorum", std::to_string(w), std::to_string(r), "eventual",
+               TablePrinter::fmt(c.kqps, 1), TablePrinter::fmt(c.p50_ms, 3),
+               TablePrinter::fmt(c.p99_ms, 3)});
+    json.set("quorum_w" + std::to_string(w) + "r" + std::to_string(r) +
+                 "_eventual_kqps",
+             c.kqps);
+    if (w == 1) quorum_w1_eventual = c;
+    if (w == 3) quorum_w3_eventual = c;
+    if (w == 2 && r == 1) quorum_w2_eventual = c;
+  }
+  for (auto level :
+       {Consistency::kReadYourWrites, Consistency::kLinearizable}) {
+    auto o = base_options(Mode::kQuorum);
+    o.write_quorum = 2;
+    const Cell c = run_cell(o, level, keys, n);
+    const std::string tag =
+        level == Consistency::kReadYourWrites ? "ryw" : "lin";
+    t.add_row({"quorum", "2", "1", std::string(consistency_name(level)),
+               TablePrinter::fmt(c.kqps, 1), TablePrinter::fmt(c.p50_ms, 3),
+               TablePrinter::fmt(c.p99_ms, 3)});
+    json.set("quorum_w2r1_" + tag + "_kqps", c.kqps);
+    json.set("p99_quorum_" + tag + "_ms", c.p99_ms);
+    if (level == Consistency::kLinearizable) quorum_w2_lin = c;
+  }
+
+  std::printf("%s", t.render().c_str());
+
+  // Shape checks, not absolute numbers: local eventual reads beat
+  // through-the-architecture linearizable reads in both modes, and relaxing
+  // the write quorum never hurts.
+  shape_check(chain_eventual.kqps > chain_lin.kqps,
+              "chain: eventual local reads outrun the full-relay "
+              "linearizable read");
+  shape_check(quorum_w2_eventual.kqps > quorum_w2_lin.kqps,
+              "quorum: eventual local reads outrun leader-routed "
+              "linearizable reads");
+  shape_check(quorum_w1_eventual.kqps >= quorum_w3_eventual.kqps * 0.8,
+              "quorum: W=1 writes are at least as cheap as W=3 (modulo "
+              "run-to-run jitter)");
+  if (!json.finish()) return 1;
+  return 0;
+}

@@ -11,19 +11,29 @@
 //   ShardedService       -- Fig 5 N-ary sharding by key hash (djb2),
 //                           object-size class, or a custom chooser
 //   CachedService        -- Fig 7 inline cache in front of the store
+//   ReplicatedService    -- chain or quorum replication (patterns/chain,
+//                           patterns/quorum) with per-table consistency
+//                           knobs: eventual / read-your-writes (HLC token) /
+//                           linearizable (epoch leader)
 #pragma once
 
 #include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "apps/miniredis/command.hpp"
 #include "apps/miniredis/store.hpp"
+#include "compart/consistency.hpp"
 #include "core/interp.hpp"
+#include "obs/hlc.hpp"
 #include "patterns/caching.hpp"
+#include "patterns/chain.hpp"
+#include "patterns/quorum.hpp"
 #include "patterns/sharding.hpp"
 #include "patterns/snapshot.hpp"
 
@@ -225,6 +235,145 @@ class CachedService : public Service {
   Options options_;
   std::shared_ptr<CacheState> cache_;
   std::shared_ptr<FunState> fun_;
+  std::unique_ptr<Engine> engine_;
+};
+
+// --- replication (chain / quorum, ROADMAP item 3) ---------------------------------
+
+// miniredis behind the chain or quorum replication pattern, with per-table
+// consistency knobs (compart/consistency.hpp):
+//
+//   kEventual       -- reads served locally by any live replica.
+//   kReadYourWrites -- each Session carries an HLC token per key it wrote
+//                      (stamped by the acknowledged write); a replica serves
+//                      the read only if its applied stamp for the key is
+//                      at-or-after the token, else routing falls through to
+//                      the epoch leader (head / leader replica), which holds
+//                      every acknowledged write by construction.
+//   kLinearizable   -- reads routed through the architecture and serialized
+//                      with writes at the epoch leader (chain: full relay,
+//                      response from the tail; quorum: leader read).
+//
+// Writes always traverse the architecture. Chain: a client ack means every
+// live chain node applied the command (the per-hop ack cascades from the
+// tail). Quorum: a client ack means at least `write_quorum` replicas
+// applied it; reads with `read_quorum` > 1 fan out and merge by HLC
+// last-writer-wins, repairing any replica that answered with a stale stamp.
+//
+// Failure handling is epoch-fenced control-plane reconfiguration: on a
+// failed call the service consults the runtime's liveness view
+// (`is_running`, fed by the failure detector in mesh deployments), bumps
+// the service epoch, compiles the surviving replica set as a fresh
+// incarnation of the pattern, rebinds the surviving replica states, and
+// retries. Replica stores live outside the engine, so no acknowledged
+// write is lost across incarnations.
+class ReplicatedService : public Service {
+ public:
+  enum class Mode { kChain, kQuorum };
+
+  // Client session: the read-your-writes token (per-key HLC stamps of the
+  // session's acknowledged writes). Sessions may be shared across threads.
+  class Session {
+   public:
+    // The session's token for `key` (invalid Hlc when it never wrote it).
+    [[nodiscard]] obs::Hlc token(const std::string& key) const;
+
+   private:
+    friend class ReplicatedService;
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, obs::Hlc> last_write_;
+  };
+
+  struct Options {
+    Mode mode = Mode::kChain;
+    std::size_t replicas = 3;
+    // Quorum tuning (quorum mode). W is strict: writes fail (and are NOT
+    // acknowledged) while fewer than `write_quorum` replicas are reachable.
+    // R only applies to eventual reads; it is clamped to the live count.
+    std::size_t write_quorum = 2;
+    std::size_t read_quorum = 1;
+    // Per-table read consistency default; overridable per request.
+    Consistency consistency = Consistency::kEventual;
+    std::uint64_t op_cost_ns = kDefaultOpCostNs;
+    std::int64_t timeout_ms = 2000;
+    LinkModel link = LinkModel::in_process();
+    // Optional observability taps (borrowed; must outlive the service).
+    obs::TraceSink* trace_sink = nullptr;
+    obs::Metrics* metrics = nullptr;
+    obs::Profiler* profiler = nullptr;
+    std::string profile_out;
+    // -1 = no HTTP endpoint; 0 = ephemeral port; >0 = fixed port. Needs
+    // `metrics` set.
+    int metrics_http_port = -1;
+    // Event-driven worker-pool sizing / timer-wheel knobs for the
+    // underlying runtime (compart/sched.hpp).
+    SchedulerOptions scheduler{};
+  };
+
+  ReplicatedService() : ReplicatedService(make_default_options()) {}
+  explicit ReplicatedService(Options options);
+  static Options make_default_options();
+
+  // Table-default consistency, no session (kEventual/kLinearizable).
+  Result<Response> request(const Command& command) override;
+  // Session-scoped request (read-your-writes tokens), optionally overriding
+  // the table's consistency level for this call.
+  Result<Response> request(const Command& command, Session& session);
+  Result<Response> request(const Command& command, Session* session,
+                           std::optional<Consistency> consistency);
+
+  [[nodiscard]] std::string name() const override {
+    return options_.mode == Mode::kChain ? "chain" : "quorum";
+  }
+
+  // --- control plane -------------------------------------------------------
+  // Crash replica `i` (0-based). Its store is lost; the next failed call
+  // (or an explicit reconfigure()) excises it.
+  Status crash_replica(std::size_t i);
+  // Bump the epoch and compile the surviving replica set as a fresh
+  // incarnation. No-op error when no replica survives.
+  Status reconfigure();
+  // Re-arm fan-out membership for replicas the runtime reports running
+  // again (after a partition heals, quorum mode).
+  void refresh_membership();
+  // Service epoch (incarnation count; also the runtime's authority epoch).
+  [[nodiscard]] std::uint64_t epoch() const;
+  [[nodiscard]] std::size_t live_replicas() const;
+  // Per-replica applied-command counters (index = original replica slot).
+  [[nodiscard]] std::vector<std::uint64_t> replica_applied() const;
+  // The underlying runtime (chaos-harness hookup in tests).
+  Runtime& runtime();
+
+ private:
+  struct FrontState;
+  struct RepState;
+  struct Gather;
+
+  void build_engine();
+  Status reconfigure_locked(bool force);
+  void merge_survivors(const std::vector<std::size_t>& live);
+  Result<Response> through_architecture(const Command& command, bool is_read,
+                                        std::vector<bool> members,
+                                        std::size_t required, obs::Hlc stamp,
+                                        bool require_leader);
+  // Serves the read from a live replica's store when one qualifies (for
+  // read-your-writes: its applied stamp covers the session token); nullopt
+  // falls the caller through to the leader / chain read.
+  std::optional<Response> local_read(const Command& command,
+                                     const Session* session);
+  [[nodiscard]] std::size_t leader_slot() const;  // lowest live original slot
+  [[nodiscard]] std::size_t live_index_of(std::size_t slot) const;
+
+  Options options_;
+  mutable std::mutex mu_;  // serializes requests and reconfiguration
+  std::uint64_t epoch_ = 0;
+  std::size_t rr_ = 0;  // read round-robin cursor
+  std::shared_ptr<FrontState> front_;
+  std::vector<std::shared_ptr<RepState>> reps_;  // original slots, fixed
+  std::vector<bool> alive_;                      // per original slot
+  std::vector<std::size_t> live_slots_;          // instance order -> slot
+  std::vector<std::string> rep_names_;           // instance order -> name
+  std::shared_ptr<Gather> gather_;
   std::unique_ptr<Engine> engine_;
 };
 

@@ -1,0 +1,54 @@
+// Per-table consistency levels for the replication patterns (ROADMAP item
+// 3). The level is a *routing* choice, not a topology one: chain and quorum
+// ship every write through the architecture, and the level decides which
+// replica a read may be served from.
+//
+//   kEventual       -- any replica serves the read; staleness is bounded
+//                      only by replication lag.
+//   kReadYourWrites -- the client session carries an HLC token (obs/hlc)
+//                      stamped by its last acknowledged write; a replica may
+//                      serve the read only if its applied watermark for the
+//                      key is at-or-after that timestamp, else routing falls
+//                      through to the epoch leader (which has every acked
+//                      write by construction).
+//   kLinearizable   -- reads are routed through the epoch leader and
+//                      serialized with writes (chain: the full head-to-tail
+//                      relay, response from the tail; quorum: a
+//                      leader-inclusive read quorum).
+//
+// Lives in compart (the layer below core and the pattern library) so
+// RuntimeOptions, patterns/chain, patterns/quorum and the miniredis service
+// Options can all name the same knob without a layering cycle.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace csaw {
+
+enum class Consistency {
+  kEventual,
+  kReadYourWrites,
+  kLinearizable,
+};
+
+constexpr std::string_view consistency_name(Consistency c) {
+  switch (c) {
+    case Consistency::kEventual:
+      return "eventual";
+    case Consistency::kReadYourWrites:
+      return "read-your-writes";
+    case Consistency::kLinearizable:
+      return "linearizable";
+  }
+  return "eventual";
+}
+
+constexpr std::optional<Consistency> parse_consistency(std::string_view s) {
+  if (s == "eventual") return Consistency::kEventual;
+  if (s == "read-your-writes" || s == "ryw") return Consistency::kReadYourWrites;
+  if (s == "linearizable" || s == "lin") return Consistency::kLinearizable;
+  return std::nullopt;
+}
+
+}  // namespace csaw

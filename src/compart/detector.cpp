@@ -21,6 +21,14 @@ void FailureDetector::observe(Symbol peer, std::uint64_t epoch,
                               std::vector<Symbol> running, SteadyTime now) {
   std::scoped_lock lock(mu_);
   auto& p = peers_[peer];
+  // A frame carrying an epoch older than the peer's best-known one is a
+  // stale writer (a pre-takeover straggler, or a flapping peer that came
+  // back before its old frames drained). It must not refresh last_seen or
+  // clear suspicion: otherwise a peer flapping faster than
+  // suspect_after_missed keeps wiping its own suspicion with stale frames
+  // and `detector_suspected` is never re-emitted. Epoch 0 is unversioned
+  // (single-epoch deployments) and always counts.
+  if (epoch != 0 && epoch < p.epoch) return;
   if (p.suspected) {
     p.suspected = false;
     if (m_recoveries_ != nullptr) m_recoveries_->add();

@@ -365,8 +365,18 @@ void Runtime::trace(obs::TraceEvent::Kind kind, Symbol instance,
 }
 
 void Runtime::add_instance(InstanceDesc desc) {
+  // The whole registration -- duplicate check, scheduler entity creation,
+  // registry insert, incremental wake-plan resolution -- happens under
+  // reg_mu_, so concurrent add_instance calls (the chaos harness, dynamic
+  // membership) serialize instead of racing the wake-plan path. The lock
+  // must precede entity creation: a losing duplicate would otherwise have
+  // already registered entities whose eval callbacks capture an InstanceRt
+  // about to be destroyed.
+  std::scoped_lock lock(reg_mu_);
   auto inst = std::make_unique<InstanceRt>();
   inst->desc = std::move(desc);
+  CSAW_CHECK(!instances_.contains(inst->desc.name))
+      << "duplicate instance '" << inst->desc.name << "'";
   for (const auto& jdesc : inst->desc.junctions) {
     auto jrt = std::make_unique<JunctionRt>();
     jrt->desc = jdesc;
@@ -383,9 +393,6 @@ void Runtime::add_instance(InstanceDesc desc) {
     }
     inst->junctions.push_back(std::move(jrt));
   }
-  std::scoped_lock lock(reg_mu_);
-  CSAW_CHECK(!instances_.contains(inst->desc.name))
-      << "duplicate instance '" << inst->desc.name << "'";
   auto* ip = inst.get();
   instances_.emplace(inst->desc.name, std::move(inst));
   // Registered after the pool already started (e.g. the chaos harness adds

@@ -47,6 +47,7 @@
 #include "compart/message.hpp"
 #include "compart/router.hpp"
 #include "compart/sched.hpp"
+#include "compart/consistency.hpp"
 #include "compart/tcp_options.hpp"
 #include "kv/table.hpp"
 #include "obs/expose.hpp"
@@ -191,6 +192,11 @@ struct RuntimeOptions {
   // Per-table compaction threshold (snapshot + truncate once the log
   // exceeds this many bytes; 0 = never compact).
   std::size_t wal_compact_bytes = std::size_t{1} << 20;
+  // Default consistency level for replicated tables hosted on this runtime
+  // (core/consistency.hpp). The runtime itself only moves updates; the
+  // replication services (apps/miniredis ReplicatedService) read this as
+  // the table-level default and allow per-session overrides on top.
+  Consistency default_consistency = Consistency::kEventual;
 };
 
 // One ack'd update push, with named fields (replaces the old positional
@@ -217,8 +223,11 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  // Registration (not thread-safe against concurrent operation; do it
-  // before starting instances).
+  // Registration. Thread-safe: the registry lock is held across the whole
+  // operation (duplicate check, scheduler entity creation, and -- when the
+  // pool already started -- incremental wake-plan resolution), so
+  // concurrent add_instance calls and post-start registration are safe.
+  // Registering a duplicate name is a fatal CSAW_CHECK.
   void add_instance(InstanceDesc desc);
 
   // --- lifecycle ----------------------------------------------------------

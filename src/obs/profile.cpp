@@ -123,17 +123,23 @@ HistSummary summarize(const Histogram& h) {
 }
 
 HistSummary merge_summaries(const HistSummary& a, const HistSummary& b) {
-  if (a.count == 0) return b;
-  if (b.count == 0) return a;
+  // Exact totals merge unconditionally; the count-weighted percentile
+  // average only ever divides by the weight of inputs that actually carry
+  // samples. A zero-count summary (idle junction, fresh link) contributes
+  // nothing -- in particular two of them merge to count 0 with zero
+  // percentiles, never 0/0 NaN poisoning the merged document and --diff.
   HistSummary m;
   m.count = a.count + b.count;
   m.sum = a.sum + b.sum;
   m.max = std::max(a.max, b.max);
   const double wa = static_cast<double>(a.count);
   const double wb = static_cast<double>(b.count);
-  m.p50 = (a.p50 * wa + b.p50 * wb) / (wa + wb);
-  m.p90 = (a.p90 * wa + b.p90 * wb) / (wa + wb);
-  m.p99 = (a.p99 * wa + b.p99 * wb) / (wa + wb);
+  const double w = wa + wb;
+  if (w > 0.0) {
+    m.p50 = (a.p50 * wa + b.p50 * wb) / w;
+    m.p90 = (a.p90 * wa + b.p90 * wb) / w;
+    m.p99 = (a.p99 * wa + b.p99 * wb) / w;
+  }
   return m;
 }
 

@@ -1,0 +1,125 @@
+#include "patterns/chain.hpp"
+
+#include "patterns/common.hpp"
+
+namespace csaw::patterns {
+
+std::vector<std::string> chain_replica_names(const ChainOptions& o) {
+  return replica_instance_names(o.replica_prefix, o.replicas);
+}
+
+ProgramSpec chain(const ChainOptions& o) {
+  ProgramBuilder p("chain");
+  const auto reps = chain_replica_names(o);
+
+  // One config set per hop target keeps every write single-writer: the
+  // front-end only ever addresses the head, node i only ever addresses node
+  // i+1. (A skip-over re-route inside one program would make downstream
+  // keys multi-writer -- exactly what CSAW-W001 exists to flag; re-routing
+  // is the control plane's job, via a new epoch + incarnation.)
+  p.config("Head", CtValue(CtList{CtValue(addr(reps.front(), o.junction))}));
+  p.function(o.complain).body(e_host(o.complain));
+
+  // def tau_Front :: (t) <|   (the Fig 5 front-end shape, chain head as the
+  //   | init data n            sole target)
+  //   | set Head | for h in Head init prop !Work[h]
+  //   |_Ingest_|; save(..., n);
+  //   for h in Head .
+  //     <| write(n, h); assert [h] Work[h]; wait [] !Work[h]
+  //     |> otherwise[t] complain();
+  p.type("tau_Front")
+      .junction(o.junction)
+      .param("t", ParamDecl::Kind::kTime)
+      .init_data("n")
+      .set_decl("Head")
+      .for_init_prop("h", SetRef::named(Symbol("Head")), "Work", false)
+      .body(e_seq({
+          e_host(o.ingest),
+          e_save("n", o.pack_request),
+          e_for("h", SetRef::named(Symbol("Head")), Expr::Kind::kSeq,
+                e_otherwise(
+                    e_txn(e_seq({
+                        e_write("n", var("h")),
+                        e_assert(pr_idx("Work", var("h")), var("h")),
+                        e_wait({}, f_not(f_prop_idx("Work", var("h")))),
+                    })),
+                    TimeRef::variable(Symbol("t")), e_call(o.complain))),
+      }));
+
+  // def tau_Link :: (t, self, selfset, pred, succset) <|
+  //   | for s in selfset init prop !Work[s]   (inbound, asserted by pred)
+  //   | for d in succset init prop !Work[d]   (outbound wait mirror)
+  //   | init prop !Retried | init data n
+  //   | guard (or s in selfset: Work[s])
+  //   restore(n, ...); |_H_apply_|;
+  //   for d in succset .                      (empty at the tail: skip)
+  //     <| write(n, d); assert [d] Work[d]; wait [] !Work[d]
+  //     |> otherwise[t] complain();
+  //   retract [] Retried;
+  //   case { Work[self] => retract [pred] Work[self]
+  //                        otherwise[t] if !Retried then assert [] Retried;
+  //                                     else complain();
+  //          reconsider | otherwise => skip }
+  //
+  // The downstream relay runs BEFORE the upstream ack retraction: node i's
+  // Work[self] release tells its predecessor "me and my whole suffix have
+  // applied", which is the per-hop ack that cascades tail -> head.
+  std::vector<CaseArm> arms;
+  arms.push_back(case_arm(
+      f_prop_idx("Work", var("self")),
+      e_otherwise(
+          e_retract(pr_idx("Work", var("self")), var("pred")),
+          TimeRef::variable(Symbol("t")),
+          e_if(f_not(f_prop("Retried")), e_assert(pr("Retried")),
+               e_call(o.complain))),
+      Terminator::kReconsider));
+  p.type("tau_Link")
+      .junction(o.junction)
+      .param("t", ParamDecl::Kind::kTime)
+      .param("self", ParamDecl::Kind::kJunction)
+      .param("selfset", ParamDecl::Kind::kSet)
+      .param("pred", ParamDecl::Kind::kJunction)
+      .param("succset", ParamDecl::Kind::kSet)
+      .for_init_prop("s", SetRef::named(Symbol("selfset")), "Work", false)
+      .for_init_prop("d", SetRef::named(Symbol("succset")), "Work", false)
+      .init_prop("Retried", false)
+      .init_data("n")
+      .guard(f_for(Formula::Kind::kOr, "s", "selfset",
+                   f_prop_idx("Work", var("s"))))
+      .auto_schedule()
+      .body(e_seq({
+          e_restore("n", o.unpack_request),
+          e_host(o.h_apply),
+          e_for("d", SetRef::named(Symbol("succset")), Expr::Kind::kSeq,
+                e_otherwise(
+                    e_txn(e_seq({
+                        e_write("n", var("d")),
+                        e_assert(pr_idx("Work", var("d")), var("d")),
+                        e_wait({}, f_not(f_prop_idx("Work", var("d")))),
+                    })),
+                    TimeRef::variable(Symbol("t")), e_call(o.complain))),
+          e_retract(pr("Retried")),
+          e_case(std::move(arms), e_skip()),
+      }));
+
+  p.instance(o.front_instance, "tau_Front",
+             {{o.junction, {CtValue(o.timeout_ms)}}});
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    const CtValue self(addr(reps[i], o.junction));
+    const CtValue pred(i == 0 ? addr(o.front_instance, o.junction)
+                              : addr(reps[i - 1], o.junction));
+    CtList succ;
+    if (i + 1 < reps.size()) succ.emplace_back(addr(reps[i + 1], o.junction));
+    p.instance(reps[i], "tau_Link",
+               {{o.junction,
+                 {CtValue(o.timeout_ms), self, CtValue(CtList{self}), pred,
+                  CtValue(succ)}}});
+  }
+
+  std::vector<ExprPtr> starts{e_start(inst(o.front_instance))};
+  for (const auto& r : reps) starts.push_back(e_start(inst(r)));
+  p.main_body(e_par(std::move(starts)));
+  return p.build();
+}
+
+}  // namespace csaw::patterns

@@ -42,4 +42,43 @@ void add_worker_junction(TypeBuilder type, const WorkerJunctionNames& n) {
   }));
 }
 
+void add_replica_junction(TypeBuilder type, const WorkerJunctionNames& n) {
+  std::vector<CaseArm> arms;
+  arms.push_back(case_arm(
+      f_prop_idx("Work", var("self")),
+      e_otherwise(
+          e_retract(pr_idx("Work", var("self")),
+                    jref(n.front_instance, n.junction)),
+          TimeRef::variable(Symbol("t")),
+          e_if(f_not(f_prop("Retried")), e_assert(pr("Retried")),
+               e_call(n.complain))),
+      Terminator::kReconsider));
+  type.junction(n.junction)
+      .param("t", ParamDecl::Kind::kTime)
+      .param("self", ParamDecl::Kind::kJunction)
+      .param("selfset", ParamDecl::Kind::kSet)
+      .for_init_prop("s", SetRef::named(Symbol("selfset")), "Work", false)
+      .init_prop("Retried", false)
+      .init_data("n")
+      .guard(f_for(Formula::Kind::kOr, "s", "selfset",
+                   f_prop_idx("Work", var("s"))))
+      .auto_schedule()
+      .body(e_seq({
+          e_restore("n", n.unpack_request),
+          e_host(n.h_work),
+          e_retract(pr("Retried")),
+          e_case(std::move(arms), e_skip()),
+      }));
+}
+
+std::vector<std::string> replica_instance_names(const std::string& prefix,
+                                                std::size_t n) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    names.push_back(prefix + std::to_string(i));
+  }
+  return names;
+}
+
 }  // namespace csaw::patterns

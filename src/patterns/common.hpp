@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/builder.hpp"
 
@@ -37,5 +38,34 @@ struct WorkerJunctionNames {
 // Work retraction (Fig 7's tau_Fun); the write+retract share a transactional
 // block so a failed handoff rolls back cleanly.
 void add_worker_junction(TypeBuilder type, const WorkerJunctionNames& names);
+
+// Builds the *self-keyed* replica junction shared by S7.1's parallel
+// sharding back-end and the replication patterns (patterns/quorum,
+// patterns/chain's tail): the worker junction above, but keyed by an
+// indexed Work[self] proposition so one front-end can address N replicas
+// through one prop family:
+//
+//   :: (t, self, selfset) <|
+//   | for s in selfset init prop !Work[s] | init prop !Retried | init data n
+//   | guard (or s in selfset: Work[s])
+//   restore(n, ...); |_H_|; retract [] Retried;
+//   case {
+//     Work[self] => retract [Front] Work[self]
+//             otherwise[t] if !Retried then assert [] Retried;
+//                          else complain();
+//             reconsider
+//     otherwise => skip
+//   }
+//
+// The instance passes itself as `self` (a junction address) and `{self}` as
+// `selfset`; the Work[self] retraction is synced, releasing both the
+// replica's own guard and the front-end's wait mirror in one update.
+// pack_response is ignored (replication responses flow host-side).
+void add_replica_junction(TypeBuilder type, const WorkerJunctionNames& names);
+
+// Replica instance names <prefix>1..<prefix>N, shared by the replication
+// patterns and the services that set per-replica host state.
+std::vector<std::string> replica_instance_names(const std::string& prefix,
+                                                std::size_t n);
 
 }  // namespace csaw::patterns

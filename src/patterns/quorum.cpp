@@ -1,0 +1,93 @@
+#include "patterns/quorum.hpp"
+
+#include "patterns/common.hpp"
+
+namespace csaw::patterns {
+
+std::vector<std::string> quorum_replica_names(const QuorumOptions& o) {
+  return replica_instance_names(o.replica_prefix, o.replicas);
+}
+
+ProgramSpec quorum(const QuorumOptions& o) {
+  ProgramBuilder p("quorum");
+  const auto reps = quorum_replica_names(o);
+
+  CtList rep_addrs;
+  for (const auto& r : reps) rep_addrs.emplace_back(addr(r, o.junction));
+  p.config("Reps", CtValue(rep_addrs));
+  p.function(o.complain).body(e_host(o.complain));
+
+  // def tau_Front :: (t) <|   (Fig 6's fan-out with a W-counting tally)
+  //   | init data n
+  //   | set Reps
+  //   | for r in Reps init prop ActiveReplica[r]
+  //   | for r in Reps init prop !Work[r]
+  //   | subset tgt of Reps
+  //   | init prop !HaveQuorum
+  //   |_ChooseSet_|{tgt}; save(..., n);
+  //   retract [] HaveQuorum;
+  //   for b in tgt +
+  //     if ActiveReplica[b] then
+  //       <| < write(n, b); assert [b] Work[b]; wait [] !Work[b] >;
+  //          |_CountAck_|{HaveQuorum};
+  //       |> otherwise[t] retract [] ActiveReplica[b];
+  //   if !HaveQuorum then complain();
+  //
+  // CountAck runs outside the transactional hop so a rolled-back handoff
+  // can never have been tallied; a replica counts if and only if its synced
+  // Work[b] retraction (= it applied the command) came back in time.
+  auto fan_body = e_if(
+      f_prop_idx("ActiveReplica", var("b")),
+      e_otherwise(
+          e_seq({
+              e_txn(e_seq({
+                  e_write("n", var("b")),
+                  e_assert(pr_idx("Work", var("b")), var("b")),
+                  e_wait({}, f_not(f_prop_idx("Work", var("b")))),
+              })),
+              e_host(o.count_ack, {Symbol("HaveQuorum")}),
+          }),
+          TimeRef::variable(Symbol("t")),
+          e_retract(pr_idx("ActiveReplica", var("b")))));
+
+  p.type("tau_Front")
+      .junction(o.junction)
+      .param("t", ParamDecl::Kind::kTime)
+      .init_data("n")
+      .set_decl("Reps")
+      .for_init_prop("r", SetRef::named(Symbol("Reps")), "ActiveReplica", true)
+      .for_init_prop("r", SetRef::named(Symbol("Reps")), "Work", false)
+      .subset("tgt", SetRef::named(Symbol("Reps")))
+      .init_prop("HaveQuorum", false)
+      .body(e_seq({
+          e_host(o.choose_set, {Symbol("tgt")}),
+          e_save("n", o.pack_request),
+          e_retract(pr("HaveQuorum")),
+          e_for("b", SetRef::named(Symbol("tgt")), Expr::Kind::kPar,
+                std::move(fan_body)),
+          e_if(f_not(f_prop("HaveQuorum")), e_call(o.complain)),
+      }));
+
+  // Replica: the shared self-keyed worker junction (patterns/common.hpp) --
+  // the same shape as parallel sharding's back-end and Fig 4's auditor.
+  add_replica_junction(p.type("tau_Rep"),
+                       WorkerJunctionNames{o.front_instance, o.junction,
+                                           o.h_replica, o.unpack_request,
+                                           /*pack_response=*/"", o.complain});
+
+  p.instance(o.front_instance, "tau_Front",
+             {{o.junction, {CtValue(o.timeout_ms)}}});
+  for (const auto& r : reps) {
+    const CtValue self(addr(r, o.junction));
+    p.instance(r, "tau_Rep",
+               {{o.junction,
+                 {CtValue(o.timeout_ms), self, CtValue(CtList{self})}}});
+  }
+
+  std::vector<ExprPtr> starts{e_start(inst(o.front_instance))};
+  for (const auto& r : reps) starts.push_back(e_start(inst(r)));
+  p.main_body(e_par(std::move(starts)));
+  return p.build();
+}
+
+}  // namespace csaw::patterns

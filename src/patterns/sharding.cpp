@@ -127,36 +127,12 @@ ProgramSpec parallel_sharding(const ParallelShardingOptions& o) {
           e_if(f_not(f_prop("HaveAtLeastOne")), e_call(o.complain)),
       }));
 
-  // Back-end: the worker junction keyed by its own Work[self] proposition.
-  {
-    std::vector<CaseArm> arms;
-    arms.push_back(case_arm(
-        f_prop_idx("Work", var("self")),
-        e_otherwise(
-            e_retract(pr_idx("Work", var("self")),
-                      jref(o.front_instance, o.junction)),
-            TimeRef::variable(Symbol("t")),
-            e_if(f_not(f_prop("Retried")), e_assert(pr("Retried")),
-                 e_call(o.complain))),
-        Terminator::kReconsider));
-    p.type("tau_Back")
-        .junction(o.junction)
-        .param("t", ParamDecl::Kind::kTime)
-        .param("self", ParamDecl::Kind::kJunction)
-        .param("selfset", ParamDecl::Kind::kSet)
-        .for_init_prop("s", SetRef::named(Symbol("selfset")), "Work", false)
-        .init_prop("Retried", false)
-        .init_data("n")
-        .guard(f_for(Formula::Kind::kOr, "s", "selfset",
-                     f_prop_idx("Work", var("s"))))
-        .auto_schedule()
-        .body(e_seq({
-            e_restore("n", o.unpack_request),
-            e_host(o.h_back),
-            e_retract(pr("Retried")),
-            e_case(std::move(arms), e_skip()),
-        }));
-  }
+  // Back-end: the shared replica junction, keyed by its own Work[self]
+  // proposition (patterns/common.hpp; also the quorum pattern's replica).
+  add_replica_junction(p.type("tau_Back"),
+                       WorkerJunctionNames{o.front_instance, o.junction,
+                                           o.h_back, o.unpack_request,
+                                           /*pack_response=*/"", o.complain});
 
   p.instance(o.front_instance, "tau_Front",
              {{o.junction, {CtValue(o.timeout_ms)}}});

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "compart/runtime.hpp"
 
@@ -49,6 +52,53 @@ TEST(Runtime, LifecycleRules) {
   // Restart is allowed.
   ASSERT_TRUE(rt.start(Symbol("a")).ok());
   EXPECT_TRUE(rt.is_running(Symbol("a")));
+}
+
+TEST(Runtime, ConcurrentRegistrationIsSafe) {
+  // Regression: add_instance built scheduler entities *before* taking the
+  // registry lock, so concurrent registration (dynamic membership, the
+  // chaos harness) raced the wake-plan path -- TSan flagged it, and a
+  // losing duplicate left entities whose callbacks dangled. The whole
+  // operation is now serialized under the registry lock; this hammers it
+  // from many threads, including post-start registration.
+  Runtime rt;
+  rt.add_instance(echo_instance("seed"));
+  ASSERT_TRUE(rt.start(Symbol("seed")).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 16;
+  std::atomic<int> runs{0};
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&rt, &runs, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const std::string name = "w" + std::to_string(t * kPerThread + i);
+          rt.add_instance(echo_instance(name, &runs));
+          ASSERT_TRUE(rt.start(Symbol(name)).ok());
+        }
+      });
+    }
+  }
+  // Every registered instance is live and its guarded junction still fires.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const Symbol name("w" + std::to_string(t * kPerThread + i));
+      ASSERT_TRUE(rt.is_running(name));
+      ASSERT_TRUE(rt.push({.to = JunctionAddr{name, Symbol("j")},
+                           .update = Update::assert_prop(kWork),
+                           .deadline = Deadline::after(std::chrono::seconds(5)),
+                           .from = Symbol("test")})
+                      .ok());
+    }
+  }
+  // The acks mean the tables applied every assert; the runs follow shortly.
+  constexpr int kExpected = kThreads * kPerThread;
+  for (int i = 0; i < 500 && runs.load() < kExpected; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(runs.load(), kExpected);
 }
 
 TEST(Runtime, UnknownInstanceErrors) {

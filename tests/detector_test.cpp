@@ -67,6 +67,35 @@ TEST(FailureDetector, TracksRunningSetPerPeer) {
   EXPECT_FALSE(d.instance_alive(Symbol("a2"), t0 + 3ms));
 }
 
+TEST(FailureDetector, StaleEpochFrameNeitherRefreshesNorUnsuspects) {
+  // Regression: a heartbeat carrying an epoch older than the peer's
+  // best-known one (a pre-takeover straggler, or a flapping peer's old
+  // frames draining late) used to refresh last_seen and clear suspicion,
+  // so a fast-flapping peer could wipe its own suspicion forever.
+  obs::Metrics metrics;
+  FailureDetector d(fast_opts(), &metrics, nullptr);
+  const auto t0 = steady_now();
+  d.observe(Symbol("nodeA"), 5, {Symbol("primary")}, t0);
+  EXPECT_FALSE(d.instance_alive(Symbol("primary"), t0 + 100ms));
+  EXPECT_EQ(metrics.counter("detector_suspicions").value(), 1u);
+
+  // The stale-epoch straggler changes nothing: still suspected, no
+  // recovery emitted, last_seen not refreshed.
+  d.observe(Symbol("nodeA"), 3, {Symbol("primary")}, t0 + 101ms);
+  EXPECT_FALSE(d.instance_alive(Symbol("primary"), t0 + 102ms));
+  EXPECT_EQ(metrics.counter("detector_recoveries").value(), 0u);
+
+  // A current-epoch heartbeat recovers the peer as usual.
+  d.observe(Symbol("nodeA"), 5, {Symbol("primary")}, t0 + 103ms);
+  EXPECT_TRUE(d.instance_alive(Symbol("primary"), t0 + 104ms));
+  EXPECT_EQ(metrics.counter("detector_recoveries").value(), 1u);
+
+  // Epoch 0 frames are unversioned (single-epoch deployments) and always
+  // count as liveness evidence.
+  d.observe(Symbol("nodeA"), 0, {Symbol("primary")}, t0 + 200ms);
+  EXPECT_TRUE(d.instance_alive(Symbol("primary"), t0 + 201ms));
+}
+
 TEST(FailureDetector, KeepsHighestEpochSeen) {
   FailureDetector d(fast_opts(), nullptr, nullptr);
   const auto t0 = steady_now();

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -328,6 +329,57 @@ TEST(ProfileTest, DiffFlagsCostProfileRegressions) {
   ASSERT_TRUE(diff.ok());
   EXPECT_TRUE(diff->regressions.empty());
   EXPECT_FALSE(diff->improvements.empty());
+}
+
+TEST(ProfileTest, MergeOfIdleProfilesProducesNoNaN) {
+  // Regression: merging two zero-count summaries used to compute the
+  // count-weighted percentile average as 0/0, poisoning the merged document
+  // with NaN (which json rejects and --diff chokes on).
+  obs::HistSummary idle_a;
+  obs::HistSummary idle_b;
+  const auto m = obs::merge_summaries(idle_a, idle_b);
+  EXPECT_EQ(m.count, 0u);
+  EXPECT_FALSE(std::isnan(m.p50));
+  EXPECT_FALSE(std::isnan(m.p90));
+  EXPECT_FALSE(std::isnan(m.p99));
+  EXPECT_EQ(m.p50, 0.0);
+
+  // A zero-count input must not drag down the carrying side's percentiles.
+  obs::HistSummary busy;
+  busy.count = 4;
+  busy.sum = 400;
+  busy.max = 200;
+  busy.p50 = 100.0;
+  busy.p90 = 180.0;
+  busy.p99 = 198.0;
+  const auto carried = obs::merge_summaries(idle_a, busy);
+  EXPECT_EQ(carried.count, 4u);
+  EXPECT_EQ(carried.p50, 100.0);
+  EXPECT_EQ(carried.p99, 198.0);
+
+  // End to end: two idle profiles (fresh junction, no evals) merge to a
+  // document that round-trips through json and diffs cleanly against
+  // itself -- the CI perf gate path for a quiescent run.
+  auto idle_profile = [](const std::string& node) {
+    obs::CostProfile p;
+    p.nodes = {node};
+    p.duration_ns = 1'000'000;
+    obs::JunctionCost j;
+    j.node = node;
+    j.instance = "i";
+    j.junction = "j";
+    p.junctions.push_back(j);
+    return p;
+  };
+  const auto merged =
+      obs::merge_profiles({idle_profile("n0"), idle_profile("n1")});
+  const std::string text = obs::cost_profile_json(merged);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  auto parsed = obs::parse_cost_profile(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  auto diff = obs::diff_documents(text, text, {});
+  ASSERT_TRUE(diff.ok()) << diff.error().to_string();
+  EXPECT_TRUE(diff->regressions.empty());
 }
 
 TEST(ProfileTest, DiffHandlesBenchSnapshotsAndMinAbs) {

@@ -1,0 +1,298 @@
+// Tests for the replication patterns deployed behind miniredis
+// (ReplicatedService over patterns/chain and patterns/quorum): basic
+// serving, the per-table consistency knobs (eventual / read-your-writes /
+// linearizable), HLC last-writer-wins read repair, and the chaos stories --
+// chain head crash mid-write, quorum partition with W unreachable,
+// read-your-writes across replica failover. The headline property
+// throughout: zero lost acknowledged writes at the configured W.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/miniredis/services.hpp"
+#include "apps/miniredis/workload.hpp"
+#include "compart/chaos.hpp"
+#include "obs/collect.hpp"
+#include "obs/trace.hpp"
+
+namespace csaw {
+namespace {
+
+using miniredis::Command;
+using miniredis::ReplicatedService;
+using Mode = miniredis::ReplicatedService::Mode;
+
+Command set_cmd(const std::string& k, const std::string& v) {
+  Command c;
+  c.op = Command::Op::kSet;
+  c.key = k;
+  c.value = v;
+  return c;
+}
+
+Command get_cmd(const std::string& k) {
+  Command c;
+  c.op = Command::Op::kGet;
+  c.key = k;
+  return c;
+}
+
+Command del_cmd(const std::string& k) {
+  Command c;
+  c.op = Command::Op::kDel;
+  c.key = k;
+  return c;
+}
+
+ReplicatedService::Options fast_options(Mode mode) {
+  ReplicatedService::Options o;
+  o.mode = mode;
+  o.op_cost_ns = 0;
+  o.timeout_ms = 300;  // fan/relay hops fail fast under faults
+  return o;
+}
+
+void exercise_kv(ReplicatedService& svc) {
+  for (int i = 0; i < 16; ++i) {
+    auto r = svc.request(set_cmd("k" + std::to_string(i), "v" + std::to_string(i)));
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+  }
+  for (int i = 0; i < 16; ++i) {
+    auto r = svc.request(get_cmd("k" + std::to_string(i)));
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_TRUE(r->found);
+    EXPECT_EQ(r->value, "v" + std::to_string(i));
+  }
+  auto miss = svc.request(get_cmd("absent"));
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->found);
+  auto del = svc.request(del_cmd("k3"));
+  ASSERT_TRUE(del.ok());
+  auto gone = svc.request(get_cmd("k3"));
+  ASSERT_TRUE(gone.ok());
+  EXPECT_FALSE(gone->found);
+}
+
+TEST(Replication, ChainServesRequests) {
+  ReplicatedService svc(fast_options(Mode::kChain));
+  EXPECT_EQ(svc.name(), "chain");
+  exercise_kv(svc);
+  // A chain ack means the write reached EVERY node: all three applied all
+  // 17 mutations (16 SETs + 1 DEL).
+  for (auto count : svc.replica_applied()) EXPECT_EQ(count, 17u);
+}
+
+TEST(Replication, QuorumServesRequests) {
+  auto opts = fast_options(Mode::kQuorum);
+  opts.write_quorum = 2;
+  ReplicatedService svc(opts);
+  EXPECT_EQ(svc.name(), "quorum");
+  exercise_kv(svc);
+  // The fan-out reaches all live replicas even though only W=2 acks gate.
+  for (auto count : svc.replica_applied()) EXPECT_GE(count, 2u);
+}
+
+TEST(Replication, LinearizableReadsServeLatestInBothModes) {
+  for (const Mode mode : {Mode::kChain, Mode::kQuorum}) {
+    auto opts = fast_options(mode);
+    opts.consistency = Consistency::kLinearizable;
+    ReplicatedService svc(opts);
+    for (int i = 0; i < 8; ++i) {
+      const std::string v = "v" + std::to_string(i);
+      ASSERT_TRUE(svc.request(set_cmd("key", v)).ok());
+      auto r = svc.request(get_cmd("key"));
+      ASSERT_TRUE(r.ok()) << r.error().to_string();
+      EXPECT_TRUE(r->found);
+      EXPECT_EQ(r->value, v);  // reads serialize with writes at the leader
+    }
+  }
+}
+
+TEST(Replication, PerRequestConsistencyOverridesTableDefault) {
+  auto opts = fast_options(Mode::kChain);
+  opts.consistency = Consistency::kEventual;  // table default
+  ReplicatedService svc(opts);
+  ASSERT_TRUE(svc.request(set_cmd("k", "v")).ok());
+  auto lin = svc.request(get_cmd("k"), nullptr, Consistency::kLinearizable);
+  ASSERT_TRUE(lin.ok());
+  EXPECT_TRUE(lin->found);
+  EXPECT_EQ(lin->value, "v");
+}
+
+// --- chaos: chain head crash mid-write ---------------------------------------
+
+TEST(Replication, ChainHeadCrashReconfiguresWithoutLosingAckedWrites) {
+  ReplicatedService svc(fast_options(Mode::kChain));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(svc.request(set_cmd("k" + std::to_string(i), "acked")).ok());
+  }
+  ASSERT_TRUE(svc.crash_replica(0).ok());  // the head dies
+  // The write that finds the head dead fails over in-line: the service
+  // excises the head, bumps the epoch, and retries against the survivors.
+  auto r = svc.request(set_cmd("after-crash", "v"));
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(svc.epoch(), 1u);
+  EXPECT_EQ(svc.live_replicas(), 2u);
+  // Zero lost acked writes: everything acknowledged before the crash is
+  // still served by the surviving chain, at every consistency level.
+  for (int i = 0; i < 10; ++i) {
+    for (auto level : {Consistency::kEventual, Consistency::kLinearizable}) {
+      auto read = svc.request(get_cmd("k" + std::to_string(i)), nullptr, level);
+      ASSERT_TRUE(read.ok()) << read.error().to_string();
+      EXPECT_TRUE(read->found);
+      EXPECT_EQ(read->value, "acked");
+    }
+  }
+  // A second failure leaves a chain of one, still serving.
+  ASSERT_TRUE(svc.crash_replica(1).ok());
+  ASSERT_TRUE(svc.reconfigure().ok());
+  EXPECT_EQ(svc.live_replicas(), 1u);
+  auto last = svc.request(get_cmd("after-crash"));
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->value, "v");
+}
+
+// --- chaos: quorum partition with W unreachable -------------------------------
+
+TEST(Replication, QuorumPartitionWithWUnreachableRejectsThenHeals) {
+  auto opts = fast_options(Mode::kQuorum);
+  opts.write_quorum = 2;
+  ReplicatedService svc(opts);
+  ASSERT_TRUE(svc.request(set_cmd("k", "before")).ok());
+
+  // Cut Rep2 and Rep3 off from the front-end: only the leader is reachable,
+  // so W=2 cannot be met and writes must NOT be acknowledged.
+  ChaosSchedule schedule;
+  schedule.events.push_back(
+      {1, ChaosEvent::Kind::kPartition, Symbol("Fnt"), Symbol("Rep2")});
+  schedule.events.push_back(
+      {1, ChaosEvent::Kind::kPartition, Symbol("Fnt"), Symbol("Rep3")});
+  schedule.events.push_back(
+      {2, ChaosEvent::Kind::kHeal, Symbol("Fnt"), Symbol("Rep2")});
+  schedule.events.push_back(
+      {2, ChaosEvent::Kind::kHeal, Symbol("Fnt"), Symbol("Rep3")});
+  ChaosHarness chaos(svc.runtime(), schedule);
+  chaos.on_step(1);
+
+  auto rejected = svc.request(set_cmd("k", "during-partition"));
+  EXPECT_FALSE(rejected.ok());
+
+  chaos.finish();  // fires the scheduled heals for both partitions
+  svc.refresh_membership();  // control plane re-arms ActiveReplica[...]
+
+  auto healed = svc.request(set_cmd("k", "after-heal"));
+  ASSERT_TRUE(healed.ok()) << healed.error().to_string();
+  auto read = svc.request(get_cmd("k"), nullptr, Consistency::kLinearizable);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->found);
+  EXPECT_EQ(read->value, "after-heal");
+}
+
+// --- quorum read fan-out: HLC last-writer-wins + read repair -------------------
+
+TEST(Replication, QuorumReadFanRepairsStaleReplica) {
+  auto opts = fast_options(Mode::kQuorum);
+  opts.write_quorum = 2;
+  opts.read_quorum = 2;  // eventual reads fan to R=2 and LWW-merge
+  ReplicatedService svc(opts);
+
+  // Make Rep3 stale: partition it away, write (acked by leader+Rep2), heal.
+  ChaosSchedule schedule;
+  schedule.events.push_back(
+      {1, ChaosEvent::Kind::kPartition, Symbol("Fnt"), Symbol("Rep3")});
+  schedule.events.push_back(
+      {2, ChaosEvent::Kind::kHeal, Symbol("Fnt"), Symbol("Rep3")});
+  ChaosHarness chaos(svc.runtime(), schedule);
+  chaos.on_step(1);
+  ASSERT_TRUE(svc.request(set_cmd("k", "fresh")).ok());
+  chaos.finish();  // fires the scheduled heal
+  svc.refresh_membership();
+
+  const auto applied_before = svc.replica_applied();
+  // R=2 fan-reads rotate through replica pairs; within three reads one pair
+  // includes the stale Rep3, whose older stamp loses the LWW merge and
+  // triggers an inline repair write at the winner's stamp.
+  for (int i = 0; i < 3; ++i) {
+    auto r = svc.request(get_cmd("k"));
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_TRUE(r->found);
+    EXPECT_EQ(r->value, "fresh");  // the stale copy never wins
+  }
+  const auto applied_after = svc.replica_applied();
+  EXPECT_GT(applied_after[2], applied_before[2]);  // Rep3 got repaired
+}
+
+// --- read-your-writes ---------------------------------------------------------
+
+TEST(Replication, ReadYourWritesSurvivesReplicaFailover) {
+  auto opts = fast_options(Mode::kQuorum);
+  opts.write_quorum = 2;
+  opts.consistency = Consistency::kReadYourWrites;
+  ReplicatedService svc(opts);
+
+  ReplicatedService::Session session;
+  ASSERT_TRUE(svc.request(set_cmd("mine", "v1"), session).ok());
+  EXPECT_TRUE(session.token("mine").valid());
+
+  // Kill the leader (a guaranteed acker) and fail over: the session token
+  // must still be honored by the surviving incarnation.
+  ASSERT_TRUE(svc.crash_replica(0).ok());
+  ASSERT_TRUE(svc.reconfigure().ok());
+  auto r = svc.request(get_cmd("mine"), session);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_TRUE(r->found);
+  EXPECT_EQ(r->value, "v1");
+
+  // And the token keeps advancing across the new epoch.
+  ASSERT_TRUE(svc.request(set_cmd("mine", "v2"), session).ok());
+  auto r2 = svc.request(get_cmd("mine"), session);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->value, "v2");
+}
+
+// The acceptance workload: a read-replica deployment under the paper's
+// 90/10 skew, every read session-scoped. Read-your-writes holds at every
+// step, and the collected trace passes the causality checker (HLC order,
+// flow arrows bind, no span before its parent).
+TEST(Replication, ReadYourWritesSkewedWorkloadPassesCausalityChecker) {
+  for (const Mode mode : {Mode::kChain, Mode::kQuorum}) {
+    obs::Tracer tracer;
+    auto opts = fast_options(mode);
+    opts.write_quorum = 2;
+    opts.consistency = Consistency::kReadYourWrites;
+    opts.trace_sink = &tracer;
+    ReplicatedService svc(opts);
+
+    miniredis::WorkloadOptions wopts;
+    wopts.keyspace = 64;
+    wopts.get_fraction = 0.9;
+    wopts.popularity = miniredis::WorkloadOptions::Popularity::kSkewed90_10;
+    miniredis::Workload workload(wopts, /*seed=*/7);
+
+    ReplicatedService::Session session;
+    std::unordered_map<std::string, std::string> written;
+    for (int step = 0; step < 400; ++step) {
+      const Command cmd = workload.next();
+      auto r = svc.request(cmd, session);
+      ASSERT_TRUE(r.ok()) << r.error().to_string();
+      if (cmd.op == Command::Op::kSet) {
+        written[cmd.key] = cmd.value;
+      } else if (auto it = written.find(cmd.key); it != written.end()) {
+        // Read-your-writes: the session always sees its own latest write.
+        EXPECT_TRUE(r->found) << "step " << step << " key " << cmd.key;
+        EXPECT_EQ(r->value, it->second) << "step " << step;
+      }
+    }
+
+    std::ostringstream perfetto;
+    obs::write_perfetto_json(perfetto, tracer.drain());
+    auto st = obs::check_perfetto_json(perfetto.str());
+    EXPECT_TRUE(st.ok()) << st.error().to_string();
+  }
+}
+
+}  // namespace
+}  // namespace csaw

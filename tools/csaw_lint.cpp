@@ -25,7 +25,9 @@
 #include "core/analyze.hpp"
 #include "core/compile.hpp"
 #include "patterns/caching.hpp"
+#include "patterns/chain.hpp"
 #include "patterns/failover.hpp"
+#include "patterns/quorum.hpp"
 #include "patterns/sharding.hpp"
 #include "patterns/snapshot.hpp"
 #include "patterns/watched_failover.hpp"
@@ -99,6 +101,15 @@ std::vector<Entry> registry() {
          "push with the pattern's inactivity timeout"}}},
       {"watched-failover", "watched fail-over pattern",
        [] { return csaw::patterns::watched_failover({}); }},
+      // The replication patterns lint clean with NO suppressions: each
+      // chain/quorum incarnation is single-writer per table key and every
+      // blocking push is bounded by otherwise[t] (re-routing around a dead
+      // replica is the control plane's job, via an epoch bump + a fresh
+      // incarnation -- see src/patterns/chain.hpp).
+      {"chain", "chain replication pattern (3 nodes, head-write/tail-read)",
+       [] { return csaw::patterns::chain({}); }},
+      {"quorum", "quorum replication pattern (3 replicas, W/R host-tunable)",
+       [] { return csaw::patterns::quorum({}); }},
   };
 }
 
