@@ -15,6 +15,12 @@
 //                           patterns/quorum) with per-table consistency
 //                           knobs: eventual / read-your-writes (HLC token) /
 //                           linearizable (epoch leader)
+//   RebalancedService    -- dynamic membership + live bucket handoff
+//                           (patterns/rebalance): fixed hash buckets routed
+//                           by a versioned BucketMap, shards added at
+//                           runtime, buckets streamed between owners while
+//                           writes continue (kWrongOwner fencing + journaled
+//                           handoff phases that survive crashes)
 #pragma once
 
 #include <atomic>
@@ -29,11 +35,13 @@
 #include "apps/miniredis/command.hpp"
 #include "apps/miniredis/store.hpp"
 #include "compart/consistency.hpp"
+#include "compart/membership.hpp"
 #include "core/interp.hpp"
 #include "obs/hlc.hpp"
 #include "patterns/caching.hpp"
 #include "patterns/chain.hpp"
 #include "patterns/quorum.hpp"
+#include "patterns/rebalance.hpp"
 #include "patterns/sharding.hpp"
 #include "patterns/snapshot.hpp"
 
@@ -374,6 +382,144 @@ class ReplicatedService : public Service {
   std::vector<std::size_t> live_slots_;          // instance order -> slot
   std::vector<std::string> rep_names_;           // instance order -> name
   std::shared_ptr<Gather> gather_;
+  std::unique_ptr<Engine> engine_;
+};
+
+// --- rebalance (dynamic membership + live handoff, ROADMAP item 2) ----------------
+
+// miniredis behind the rebalance pattern (patterns/rebalance): keys hash
+// into a fixed set of buckets, a versioned BucketMap (compart/membership)
+// assigns each bucket an owning shard, and shards can be added at runtime
+// with buckets handed off *live* -- the donor keeps serving the bucket while
+// the mover streams its contents, then ownership flips under an epoch bump.
+//
+// Fencing. Every shard re-checks ownership against the authority routing
+// table inside H_shard; a request routed by a stale client view is refused
+// with a kWrongOwner nack carrying the authority's routing version. The
+// client (request()) adopts the newer table and retries under capped
+// exponential backoff with jitter, which bounds the routing-error window to
+// roughly one drain + one backoff step. Acked writes are never lost: a
+// write is acknowledged only after it was applied by the shard that owns
+// the bucket *under the version the flip published*, and the handoff drains
+// in-flight requests (a short exclusive window) before flipping.
+//
+// Crash safety. Every handoff phase transition (prepare -> streaming ->
+// draining -> flip) is journaled to `journal_dir` with write_file_atomic
+// before it takes effect. Recovery (constructor or recover()) applies one
+// rule: a journal short of the flip record aborts the handoff -- the
+// receiver's partial bucket copy is purged so deleted keys cannot resurrect
+// -- while a flip record re-applies the flip (idempotent install of the
+// journaled map) and then clears the journal. The routing map itself is
+// persisted at every install, so a restarted control plane resumes with
+// the newest published ownership.
+class RebalancedService : public Service {
+ public:
+  struct Options {
+    std::size_t shards = 2;    // initial shard count
+    std::size_t buckets = 16;  // fixed bucket count (never changes)
+    std::uint64_t op_cost_ns = kDefaultOpCostNs;
+    std::int64_t timeout_ms = 2000;
+    LinkModel link = LinkModel::in_process();
+    // kWrongOwner client retry policy: capped exponential backoff with
+    // jitter in [backoff/2, backoff], doubling up to backoff_max.
+    int max_retries = 10;
+    std::chrono::nanoseconds backoff_initial = std::chrono::milliseconds(1);
+    std::chrono::nanoseconds backoff_max = std::chrono::milliseconds(32);
+    // Handoff streaming: keys per chunk, and how many delta rounds to chase
+    // concurrent writers before draining.
+    std::size_t chunk_keys = 64;
+    int max_delta_rounds = 4;
+    // Directory for the handoff journal + persisted routing map. Empty =
+    // volatile (no files; crash recovery across process restarts disabled,
+    // in-process aborts still work).
+    std::string journal_dir;
+    // Optional observability taps (borrowed; must outlive the service).
+    obs::TraceSink* trace_sink = nullptr;
+    obs::Metrics* metrics = nullptr;
+    obs::Profiler* profiler = nullptr;
+    std::string profile_out;
+    // Event-driven worker-pool sizing / timer-wheel knobs for the
+    // underlying runtime (compart/sched.hpp).
+    SchedulerOptions scheduler{};
+  };
+
+  RebalancedService() : RebalancedService(make_default_options()) {}
+  explicit RebalancedService(Options options);
+  static Options make_default_options();
+
+  Result<Response> request(const Command& command) override;
+  [[nodiscard]] std::string name() const override { return "rebalanced"; }
+
+  // --- control plane -------------------------------------------------------
+  // Membership join: adds one empty shard (it owns no buckets until a
+  // handoff assigns it some) and recompiles the architecture around the
+  // grown shard set. Requests are excluded only for the rebuild itself.
+  Status add_shard();
+  // One live bucket handoff: stream `bucket` from its current owner to
+  // shard `to_shard`, then flip ownership under a bumped routing version.
+  Status handoff(std::size_t bucket, std::size_t to_shard);
+  // Handoffs until ownership is spread evenly over all current shards.
+  Status rebalance();
+  // Crash / restart shard `i`'s instance (its store survives -- it models
+  // infrastructure outside the instance; a mid-handoff crash is what the
+  // journal + abort rule are for).
+  Status crash_shard(std::size_t i);
+  Status restart_shard(std::size_t i);
+  // Journal-driven recovery: abort an interrupted handoff (journal short of
+  // the flip) or re-apply a journaled flip. The constructor runs this when
+  // journal_dir holds a journal; tests call it after crash injections.
+  Status recover();
+
+  // --- introspection -------------------------------------------------------
+  [[nodiscard]] std::size_t shard_count() const;
+  [[nodiscard]] std::uint64_t routing_version() const;
+  [[nodiscard]] std::vector<std::size_t> owned_buckets(std::size_t i) const;
+  [[nodiscard]] std::uint64_t wrong_owner_nacks() const;
+  [[nodiscard]] std::uint64_t client_retries() const;
+  [[nodiscard]] std::uint64_t handoffs_completed() const;
+  [[nodiscard]] std::uint64_t handoffs_aborted() const;
+  // Client-observed routing-error windows, one per retry episode: first
+  // kWrongOwner nack to the next successful response (bench p99 input).
+  [[nodiscard]] std::vector<std::chrono::nanoseconds> routing_error_windows()
+      const;
+  // The underlying runtime (chaos-harness hookup in tests).
+  Runtime& runtime();
+
+ private:
+  struct ControlBlock;
+  struct FrontState;
+  struct ShardState;
+  struct MoverState;
+
+  void build_engine_locked();
+  Status handoff_locked(std::size_t bucket, std::size_t to_shard);
+  Status stream_keys_locked(ShardState& donor, std::size_t to_shard,
+                            std::size_t bucket,
+                            const std::vector<std::string>& keys);
+  void abort_handoff_locked(std::size_t bucket, std::size_t to_shard);
+  Status journal_locked(std::uint8_t phase, std::size_t bucket,
+                        std::size_t from, std::size_t to,
+                        std::uint64_t version);
+  void journal_clear_locked();
+  void persist_routing_locked();
+  Status recover_locked();
+  [[nodiscard]] std::string journal_path() const;
+  [[nodiscard]] std::string shard_name(std::size_t i) const;
+  [[nodiscard]] std::size_t shard_index(const std::string& name) const;
+  void trace_handoff(const char* label, std::uint64_t value);
+
+  Options options_;
+  // Lock order: ctl_mu_ (control plane / handoff state machine) before
+  // req_mu_ (request serialization + engine rebuild exclusion). request()
+  // takes only req_mu_; handoff takes ctl_mu_ and acquires req_mu_ just for
+  // the drain-and-flip window, so requests keep flowing while a bucket
+  // streams.
+  mutable std::mutex ctl_mu_;
+  mutable std::mutex req_mu_;
+  std::shared_ptr<ControlBlock> control_;
+  std::shared_ptr<FrontState> front_;
+  std::vector<std::shared_ptr<ShardState>> shards_;
+  std::shared_ptr<MoverState> mover_;
   std::unique_ptr<Engine> engine_;
 };
 

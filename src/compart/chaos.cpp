@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "compart/runtime.hpp"
+#include "compart/tcp.hpp"
 #include "support/rng.hpp"
 
 namespace csaw {
@@ -24,6 +25,10 @@ const char* kind_name(ChaosEvent::Kind k) {
       return "delay";
     case ChaosEvent::Kind::kDrop:
       return "drop";
+    case ChaosEvent::Kind::kKillConn:
+      return "kill_conn";
+    case ChaosEvent::Kind::kReconnectStorm:
+      return "reconnect_storm";
   }
   return "?";
 }
@@ -68,8 +73,10 @@ ChaosSchedule ChaosSchedule::from_seed(std::uint64_t seed,
   ChaosSchedule out;
   if (instances.empty() || opts.episodes <= 0 || opts.steps == 0) return out;
   Rng rng(seed);
+  const double kill_w = opts.peers.empty() ? 0.0 : opts.kill_conn_weight;
   const double total_w = opts.crash_weight + opts.partition_weight +
-                         opts.delay_weight + opts.drop_weight;
+                         opts.delay_weight + opts.drop_weight + kill_w +
+                         opts.storm_weight;
   for (int ep = 0; ep < opts.episodes; ++ep) {
     // Start anywhere in the workload; the hold is clipped so the closing
     // event (restart/heal) still lands inside [0, steps] and finish() has
@@ -109,12 +116,26 @@ ChaosSchedule ChaosSchedule::from_seed(std::uint64_t seed,
       close.kind = ChaosEvent::Kind::kHeal;
       close.a = open.a;
       close.b = open.b;
-    } else {
+    } else if ((pick -= opts.delay_weight) < opts.drop_weight) {
       open.kind = ChaosEvent::Kind::kDrop;
       open.p = opts.drop_prob;
       close.kind = ChaosEvent::Kind::kHeal;
       close.a = open.a;
       close.b = open.b;
+    } else if ((pick -= opts.drop_weight) < kill_w) {
+      // Single-event episode: the transport's jittered backoff reconnect is
+      // the heal. Target is a transport peer NAME, not an instance.
+      open.kind = ChaosEvent::Kind::kKillConn;
+      open.a = Symbol(opts.peers[rng.below(opts.peers.size())]);
+      open.b = Symbol();
+      out.events.push_back(open);
+      continue;
+    } else {
+      open.kind = ChaosEvent::Kind::kReconnectStorm;
+      open.a = Symbol();
+      open.b = Symbol();
+      out.events.push_back(open);
+      continue;
     }
     out.events.push_back(open);
     out.events.push_back(close);
@@ -184,6 +205,18 @@ void ChaosHarness::fire(const ChaosEvent& e) {
       rt_.router().set_link(e.b, e.a, m);
       break;
     }
+    case ChaosEvent::Kind::kKillConn:
+      // No-op without a TCP transport: the in-proc router has no
+      // connections to kill.
+      if (auto* tcp = rt_.tcp_transport(); tcp != nullptr) {
+        (void)tcp->kill_peer_connection(e.a.str());
+      }
+      break;
+    case ChaosEvent::Kind::kReconnectStorm:
+      if (auto* tcp = rt_.tcp_transport(); tcp != nullptr) {
+        tcp->kill_all_connections();
+      }
+      break;
   }
   if (rt_.trace_sink() != nullptr) {
     obs::TraceEvent ev;

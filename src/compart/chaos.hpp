@@ -44,10 +44,15 @@ struct ChaosEvent {
     kHeal,       // undo: unpartition a|b and reset the a<->b link model
     kDelay,      // both directions of a<->b get `delay` latency
     kDrop,       // both directions of a<->b drop with probability p
+    // TCP-level faults (no-ops without a TcpTransport): rebalance chaos
+    // stories exercise the real socket path, not just the in-proc router.
+    kKillConn,        // TcpTransport::kill_peer_connection(a) -- `a` is the
+                      // peer NAME (transport namespace, not an instance)
+    kReconnectStorm,  // TcpTransport::kill_all_connections()
   };
   std::uint64_t step = 0;  // fires when on_step(step') sees step' >= step
   Kind kind = Kind::kCrash;
-  Symbol a;           // target instance (all kinds)
+  Symbol a;           // target instance (peer name for kKillConn)
   Symbol b;           // other endpoint (kPartition/kHeal/kDelay/kDrop)
   double p = 0.0;     // drop probability (kDrop)
   Nanos delay{0};     // injected latency (kDelay)
@@ -73,6 +78,14 @@ struct ChaosSchedule {
     double partition_weight = 0.3;
     double delay_weight = 0.2;
     double drop_weight = 0.1;
+    // TCP-fault episode weights, off by default (in-proc runtimes have no
+    // transport to bite). kKillConn additionally needs `peers` non-empty.
+    // These episodes are single events: the transport's own backoff
+    // machinery is the "heal".
+    double kill_conn_weight = 0.0;
+    double storm_weight = 0.0;
+    // Transport peer names kKillConn episodes draw their target from.
+    std::vector<std::string> peers;
     // Injected-fault magnitudes.
     Nanos delay_latency = std::chrono::milliseconds(5);
     double drop_prob = 0.3;

@@ -47,6 +47,11 @@ void FailureDetector::observe(Symbol peer, std::uint64_t epoch,
   if (m_heartbeats_ != nullptr) m_heartbeats_->add();
 }
 
+bool FailureDetector::forget(Symbol peer) {
+  std::scoped_lock lock(mu_);
+  return peers_.erase(peer) > 0;
+}
+
 void FailureDetector::refresh_locked(Symbol name, PeerState& p,
                                      SteadyTime now) const {
   if (p.suspected || now - p.last_seen <= suspicion_after_) return;

@@ -52,6 +52,13 @@ class FailureDetector {
   void observe(Symbol peer, std::uint64_t epoch, std::vector<Symbol> running,
                SteadyTime now);
 
+  // Drop all state for `peer`. Used when a peer leaves the cluster
+  // deliberately (TcpTransport::remove_peer): a departed peer must stop
+  // contributing instance-alive evidence and must not keep flapping between
+  // suspected/recovered as its final frames drain. Returns whether the peer
+  // was known.
+  bool forget(Symbol peer);
+
   // True iff some fresh (un-suspected) peer advertises `instance` as
   // running. Unknown instances are not alive.
   [[nodiscard]] bool instance_alive(Symbol instance, SteadyTime now) const;

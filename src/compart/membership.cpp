@@ -1,0 +1,58 @@
+#include "compart/membership.hpp"
+
+#include "serdes/registry.hpp"
+#include "support/rng.hpp"
+
+namespace csaw {
+
+namespace {
+constexpr const char* kWireType = "compart.BucketMap";
+}  // namespace
+
+std::size_t BucketMap::bucket_of(std::string_view key,
+                                 std::size_t buckets) {
+  if (buckets == 0) return 0;
+  return static_cast<std::size_t>(djb2(key) % buckets);
+}
+
+std::size_t BucketMap::bucket_of(std::string_view key) const {
+  return bucket_of(key, owners.size());
+}
+
+const std::string& BucketMap::owner_of(std::string_view key) const {
+  static const std::string kEmpty;
+  if (owners.empty()) return kEmpty;
+  return owners[bucket_of(key)];
+}
+
+std::vector<std::size_t> BucketMap::buckets_of(std::string_view owner) const {
+  std::vector<std::size_t> out;
+  for (std::size_t b = 0; b < owners.size(); ++b) {
+    if (owners[b] == owner) out.push_back(b);
+  }
+  return out;
+}
+
+BucketMap BucketMap::even(std::uint64_t version,
+                          const std::vector<std::string>& owners,
+                          std::size_t buckets) {
+  BucketMap m;
+  m.version = version;
+  m.owners.resize(buckets);
+  if (owners.empty()) return m;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    m.owners[b] = owners[b % owners.size()];
+  }
+  return m;
+}
+
+Bytes BucketMap::encode() const {
+  return pack(kWireType, *this).bytes;
+}
+
+Result<BucketMap> BucketMap::decode(const Bytes& bytes) {
+  SerializedValue sv{Symbol(kWireType), bytes};
+  return unpack<BucketMap>(kWireType, sv);
+}
+
+}  // namespace csaw

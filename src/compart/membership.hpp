@@ -1,0 +1,120 @@
+// Dynamic cluster membership: the replicated bucket routing table.
+//
+// The runtime's unit of data placement for live resharding is a fixed set of
+// hash buckets (vbucket style): every key hashes (djb2, the same hash the
+// sharding pattern uses) into one of `buckets()` slots, and a BucketMap
+// assigns each slot an owning instance. The map is *versioned by the
+// persisted authority epoch* (compart/runtime.hpp "split-brain prevention"),
+// so stale routes are fenced exactly like stale writers: a client or peer
+// holding version v must be refused by an owner whose table has advanced to
+// v' > v, and a RoutingTable only ever adopts a strictly newer map
+// (adopt-if-newer), never regresses.
+//
+// The map is deliberately tiny and value-typed: control planes install a new
+// map atomically at ownership flips (the rebalance handoff's last step), and
+// replicas/clients refresh by copying the whole thing -- no incremental
+// protocol to corrupt mid-crash.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serdes/archive.hpp"
+#include "support/result.hpp"
+#include "support/symbol.hpp"
+
+namespace csaw {
+
+struct BucketMap {
+  // Routing epoch. 0 = never installed; real maps carry the authority epoch
+  // at which they were published, so "newer map" and "newer writer" are the
+  // same ordering.
+  std::uint64_t version = 0;
+  // bucket index -> owning instance name. size() is the (fixed) bucket
+  // count; resharding reassigns owners, it never changes the bucket count.
+  std::vector<std::string> owners;
+
+  [[nodiscard]] std::size_t buckets() const { return owners.size(); }
+
+  // Which bucket `key` lives in (djb2 mod bucket count; 0 when empty).
+  [[nodiscard]] std::size_t bucket_of(std::string_view key) const;
+  static std::size_t bucket_of(std::string_view key, std::size_t buckets);
+
+  // The owner of `key`'s bucket (empty string when the map is empty).
+  [[nodiscard]] const std::string& owner_of(std::string_view key) const;
+
+  // All buckets currently assigned to `owner`.
+  [[nodiscard]] std::vector<std::size_t> buckets_of(
+      std::string_view owner) const;
+
+  // An even round-robin assignment of `buckets` slots over `owners`.
+  static BucketMap even(std::uint64_t version,
+                        const std::vector<std::string>& owners,
+                        std::size_t buckets);
+
+  // Wire/persistence form (serdes-framed; decode rejects garbage).
+  [[nodiscard]] Bytes encode() const;
+  static Result<BucketMap> decode(const Bytes& bytes);
+};
+
+template <typename Ar>
+void serdes_fields(Ar& ar, BucketMap& m) {
+  ar.field(m.version);
+  ar.field(m.owners);
+}
+
+// Thread-safe holder of the locally-known newest BucketMap. Shared by the
+// request path (owner_of on every routed command), the control plane
+// (install at flips), and refresh paths (adopt from an authority or a
+// kWrongOwner nack carrying a newer version).
+class RoutingTable {
+ public:
+  RoutingTable() = default;
+  explicit RoutingTable(BucketMap initial) : map_(std::move(initial)) {}
+
+  [[nodiscard]] BucketMap snapshot() const {
+    std::scoped_lock lock(mu_);
+    return map_;
+  }
+  [[nodiscard]] std::uint64_t version() const {
+    std::scoped_lock lock(mu_);
+    return map_.version;
+  }
+  [[nodiscard]] std::size_t buckets() const {
+    std::scoped_lock lock(mu_);
+    return map_.buckets();
+  }
+  [[nodiscard]] std::string owner_of(std::string_view key) const {
+    std::scoped_lock lock(mu_);
+    return map_.owner_of(key);
+  }
+  [[nodiscard]] std::string owner_of_bucket(std::size_t bucket) const {
+    std::scoped_lock lock(mu_);
+    return bucket < map_.owners.size() ? map_.owners[bucket] : std::string();
+  }
+
+  // Adopts `map` iff it is strictly newer than what we hold (the stale-route
+  // fence). Returns whether it was adopted.
+  bool adopt(BucketMap map) {
+    std::scoped_lock lock(mu_);
+    if (map.version <= map_.version) return false;
+    map_ = std::move(map);
+    return true;
+  }
+
+  // Unconditional install -- the authority's own publish path (its version
+  // is the epoch it just bumped, by construction newer than anything seen).
+  void install(BucketMap map) {
+    std::scoped_lock lock(mu_);
+    map_ = std::move(map);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  BucketMap map_;
+};
+
+}  // namespace csaw

@@ -226,6 +226,13 @@ std::uint64_t Runtime::bump_epoch() {
   return next;
 }
 
+bool Runtime::remove_peer(const std::string& peer) {
+  bool removed = false;
+  if (tcp_ != nullptr) removed = tcp_->remove_peer(peer);
+  if (detector_ != nullptr) removed = detector_->forget(Symbol(peer)) || removed;
+  return removed;
+}
+
 void Runtime::observe_epoch(std::uint64_t seen) {
   auto current = epoch_.load(std::memory_order_relaxed);
   while (seen > current) {

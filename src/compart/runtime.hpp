@@ -292,6 +292,12 @@ class Runtime {
   [[nodiscard]] class TcpTransport* tcp_transport() const {
     return tcp_.get();
   }
+  // Removes a peer from the cluster: transport routes and queued frames go
+  // first (TcpTransport::remove_peer), then the failure detector forgets it
+  // so a departed peer neither contributes instance-alive evidence nor keeps
+  // flapping detector_* counters as its last frames drain. No-op (returns
+  // false) without a TCP transport or when the peer is unknown to both.
+  bool remove_peer(const std::string& peer);
   [[nodiscard]] const RuntimeOptions& options() const { return options_; }
   // Observability sinks (null when disabled).
   [[nodiscard]] obs::TraceSink* trace_sink() const {

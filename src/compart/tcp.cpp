@@ -203,6 +203,9 @@ TcpTransport::~TcpTransport() {
   for (auto& [name, p] : peers_) {
     if (p->fd >= 0) ::close(p->fd);
   }
+  for (auto& p : doomed_) {
+    if (p->fd >= 0) ::close(p->fd);
+  }
   for (auto& c : conns_) {
     if (c.fd >= 0) ::close(c.fd);
   }
@@ -261,6 +264,74 @@ void TcpTransport::add_peer(const std::string& name, TcpPeerAddr addr) {
 void TcpTransport::map_instance(Symbol instance, const std::string& peer) {
   std::scoped_lock lock(mu_);
   instance_peers_[instance] = peer;
+}
+
+bool TcpTransport::remove_peer(const std::string& name) {
+  bool known = false;
+  std::size_t dropped = 0;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = peers_.find(name);
+    if (it != peers_.end()) {
+      known = true;
+      Peer& p = *it->second;
+      dropped = p.queue.size();
+      if (dropped > 0) {
+        p.queue_drops += dropped;
+        if (p.m_queue_drops != nullptr) p.m_queue_drops->add(dropped);
+        if (queue_drops_ != nullptr) queue_drops_->add(dropped);
+      }
+      p.queue.clear();
+      p.write_off = 0;
+      // The fd stays open until the event loop (its owner) closes it; the
+      // peer is unreachable by name from this point on.
+      doomed_.push_back(std::move(it->second));
+      peers_.erase(it);
+    }
+    for (auto mit = instance_peers_.begin(); mit != instance_peers_.end();) {
+      if (mit->second == name) {
+        mit = instance_peers_.erase(mit);
+      } else {
+        ++mit;
+      }
+    }
+  }
+  wake();
+  if (known) trace_anomaly("tcp_peer_removed", dropped);
+  return known;
+}
+
+void TcpTransport::unmap_instance(Symbol instance) {
+  std::scoped_lock lock(mu_);
+  instance_peers_.erase(instance);
+}
+
+bool TcpTransport::kill_peer_connection(const std::string& name) {
+  bool known = false;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = peers_.find(name);
+    if (it != peers_.end()) {
+      known = true;
+      it->second->kill = true;
+    }
+  }
+  wake();
+  if (known) trace_anomaly("tcp_conn_killed", 0);
+  return known;
+}
+
+void TcpTransport::kill_all_connections() {
+  std::size_t n = 0;
+  {
+    std::scoped_lock lock(mu_);
+    for (auto& [name, p] : peers_) {
+      p->kill = true;
+      ++n;
+    }
+  }
+  wake();
+  trace_anomaly("tcp_reconnect_storm", n);
 }
 
 bool TcpTransport::routes_instance(Symbol instance) const {
@@ -629,6 +700,21 @@ void TcpTransport::loop() {
     {
       std::scoped_lock lock(mu_);
       if (stop_) return;
+      // Deferred work owned by this thread: close fds of removed peers (no
+      // other thread may close an fd this loop could be polling) and drop
+      // chaos-killed connections so backoff/reconnect takes over.
+      for (auto& p : doomed_) {
+        if (p->fd >= 0) ::close(p->fd);
+      }
+      doomed_.clear();
+      for (auto& [name, p] : peers_) {
+        if (p->kill) {
+          p->kill = false;
+          if (p->state != Peer::State::kIdle) {
+            poison_locked(*p, /*count_send_failure=*/false);
+          }
+        }
+      }
       const SteadyTime now = steady_now();
       for (auto& [name, p] : peers_) {
         if (p->state == Peer::State::kIdle && now >= p->retry_at) {

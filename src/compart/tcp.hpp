@@ -122,6 +122,28 @@ class TcpTransport {
   void add_peer(const std::string& name, TcpPeerAddr addr);
   void map_instance(Symbol instance, const std::string& peer);
 
+  // Dynamic peer removal (thread-safe): the peer leaves the routing maps
+  // immediately (send_to/route start failing fast), instance mappings
+  // pointing at it are dropped, queued frames are discarded (counted as
+  // queue drops; the push layer's ack/deadline machinery surfaces the loss),
+  // and the connection fd is closed by the event loop, which owns all peer
+  // fds. Returns whether the peer was known. Callers that also run a
+  // failure detector must purge it separately (Runtime::remove_peer does
+  // both).
+  bool remove_peer(const std::string& name);
+  // Removes one instance->peer mapping (no-op when absent).
+  void unmap_instance(Symbol instance);
+
+  // Fault injection for the chaos harness (thread-safe): drops the peer's
+  // current connection without forgetting the peer, so the normal
+  // backoff/reconnect machinery runs -- what a mid-handoff network blip
+  // looks like at the socket level. Queued frames are kept and go out whole
+  // on the next connection. Returns whether the peer was known.
+  bool kill_peer_connection(const std::string& name);
+  // kill_peer_connection for every registered peer: a reconnect storm, with
+  // each peer retrying under its own jittered backoff.
+  void kill_all_connections();
+
   // Queues `env` for `peer`. Returns false only if the peer is unknown;
   // a true return means the transport took responsibility for the envelope
   // -- including dropping it with a synthesized local nack when the queue
@@ -162,6 +184,7 @@ class TcpTransport {
     std::uint64_t bytes_sent = 0;
     std::uint64_t reconnects = 0;
     std::uint64_t queue_drops = 0;
+    bool kill = false;  // chaos: event loop drops the connection, keeps peer
     // Borrowed per-peer counter handles; null when metrics are disabled.
     obs::Counter* m_frames_sent = nullptr;
     obs::Counter* m_bytes_sent = nullptr;
@@ -212,6 +235,9 @@ class TcpTransport {
   mutable std::mutex mu_;  // guards peers_, instance_peers_, stop_,
                            // heartbeat_source_
   std::map<std::string, std::unique_ptr<Peer>> peers_;
+  // Peers removed via remove_peer, awaiting their fd close on the event
+  // loop thread (which may be polling the fd right now). Guarded by mu_.
+  std::vector<std::unique_ptr<Peer>> doomed_;
   std::map<Symbol, std::string> instance_peers_;
   bool stop_ = false;
   std::function<Envelope()> heartbeat_source_;

@@ -1,0 +1,142 @@
+#include "patterns/rebalance.hpp"
+
+#include "patterns/common.hpp"
+
+namespace csaw::patterns {
+
+std::vector<std::string> rebalance_shard_names(const RebalanceOptions& o) {
+  std::vector<std::string> names;
+  names.reserve(o.shards);
+  for (std::size_t i = 1; i <= o.shards; ++i) {
+    names.push_back(o.shard_prefix + std::to_string(i));
+  }
+  return names;
+}
+
+ProgramSpec rebalance(const RebalanceOptions& o) {
+  ProgramBuilder p("rebalance");
+  const auto shards = rebalance_shard_names(o);
+
+  CtList shard_addrs;
+  CtList ingest_addrs;
+  for (const auto& s : shards) {
+    shard_addrs.emplace_back(addr(s, o.junction));
+    ingest_addrs.emplace_back(addr(s, o.ingest_junction));
+  }
+  p.config("Shards", CtValue(shard_addrs));
+  p.config("Ingests", CtValue(ingest_addrs));
+  p.function(o.complain).body(e_host(o.complain));
+
+  // def tau_Front :: (t) <|  (Fig 5's front-end; Route consults the
+  // routing table instead of a static hash)
+  //   | init prop !Work  | init data n  | init data m
+  //   | idx tgt of {Shd1.j, ..., ShdN.j}
+  //   |_Route_|{tgt}; save(..., n);
+  //   < write(n, tgt); assert [tgt] Work; wait [m] !Work;
+  //     restore(m, ...) >
+  //   otherwise[t] complain();
+  p.type("tau_Front")
+      .junction(o.junction)
+      .param("t", ParamDecl::Kind::kTime)
+      .init_prop("Work", false)
+      .init_data("n")
+      .init_data("m")
+      .idx("tgt", SetRef::named(Symbol("Shards")))
+      .body(e_seq({
+          e_host(o.route, {Symbol("tgt")}),
+          e_save("n", o.pack_request),
+          e_otherwise(
+              e_fate(e_seq({
+                  e_write("n", idxvar("tgt")),
+                  e_assert(pr("Work"), idxvar("tgt")),
+                  e_wait({Symbol("m")}, f_not(f_prop("Work"))),
+                  e_restore("m", o.deliver_response),
+              })),
+              TimeRef::variable(Symbol("t")), e_call(o.complain)),
+      }));
+
+  // def tau_Shard ::
+  //   junction j      -- the shared worker junction (tau_Back / tau_Fun)
+  //   junction ingest -- tau_Auditing with the mover as its "actual":
+  //     | init prop !Inbound | init prop !IngRetried | init data c
+  //     | guard Inbound
+  //     restore(c, ...); retract [] IngRetried;
+  //     case {
+  //       Inbound => retract [Mov.m] Inbound otherwise[t]
+  //                    if !IngRetried then assert [] IngRetried;
+  //                    else complain();
+  //                  reconsider
+  //       otherwise => skip
+  //     }
+  auto shard = p.type("tau_Shard");
+  add_worker_junction(shard, WorkerJunctionNames{o.front_instance, o.junction,
+                                                 o.h_shard, o.unpack_request,
+                                                 o.pack_response, o.complain});
+
+  std::vector<CaseArm> ingest_arms;
+  ingest_arms.push_back(case_arm(
+      f_prop("Inbound"),
+      e_otherwise(e_retract(pr("Inbound"),
+                            jref(o.mover_instance, o.mover_junction)),
+                  TimeRef::variable(Symbol("t")),
+                  e_if(f_not(f_prop("IngRetried")), e_assert(pr("IngRetried")),
+                       e_call(o.complain))),
+      Terminator::kReconsider));
+
+  shard.junction(o.ingest_junction)
+      .param("t", ParamDecl::Kind::kTime)
+      .init_prop("Inbound", false)
+      .init_prop("IngRetried", false)
+      .init_data("c")
+      .guard(f_prop("Inbound"))
+      .auto_schedule()
+      .body(e_seq({
+          e_restore("c", o.ingest_chunk),
+          e_retract(pr("IngRetried")),
+          e_case(std::move(ingest_arms), e_skip()),
+      }));
+
+  // def tau_Mover :: (t) <|  (tau_Actual with an idx choice: one run ships
+  // one chunk to one receiver; the control plane loops it and journals the
+  // handoff phase between runs)
+  //   | init prop !Inbound  | init data c
+  //   | idx tgt of {Shd1.ingest, ..., ShdN.ingest}
+  //   |_NextChunk_|{tgt}; save(..., c);
+  //   < write(c, tgt); assert [tgt] Inbound; wait [] !Inbound; >
+  //   otherwise[t] complain();
+  p.type("tau_Mover")
+      .junction(o.mover_junction)
+      .param("t", ParamDecl::Kind::kTime)
+      .init_prop("Inbound", false)
+      .init_data("c")
+      .idx("tgt", SetRef::named(Symbol("Ingests")))
+      .body(e_seq({
+          e_host(o.next_chunk, {Symbol("tgt")}),
+          e_save("c", o.pack_chunk),
+          e_otherwise(
+              e_fate(e_seq({
+                  e_write("c", idxvar("tgt")),
+                  e_assert(pr("Inbound"), idxvar("tgt")),
+                  e_wait({}, f_not(f_prop("Inbound"))),
+              })),
+              TimeRef::variable(Symbol("t")), e_call(o.complain)),
+      }));
+
+  p.instance(o.front_instance, "tau_Front",
+             {{o.junction, {CtValue(o.timeout_ms)}}});
+  for (const auto& s : shards) {
+    p.instance(s, "tau_Shard",
+               {{o.junction, {CtValue(o.timeout_ms)}},
+                {o.ingest_junction, {CtValue(o.timeout_ms)}}});
+  }
+  p.instance(o.mover_instance, "tau_Mover",
+             {{o.mover_junction, {CtValue(o.timeout_ms)}}});
+
+  std::vector<ExprPtr> starts{e_start(inst(o.front_instance))};
+  for (const auto& s : shards) starts.push_back(e_start(inst(s)));
+  starts.push_back(e_start(inst(o.mover_instance)));
+  p.main_body(e_par(std::move(starts)));
+  return p.build();
+}
+
+}  // namespace csaw::patterns

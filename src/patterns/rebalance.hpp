@@ -1,0 +1,79 @@
+// Live bucket handoff ("rebalance") architecture.
+//
+// The sharding pattern (Fig 5) with a third role: a mover that streams one
+// bucket's contents from its old owner to its new owner while the front-end
+// keeps routing requests. Three junction types:
+//
+//   tau_Front.j   -- Fig 5's front-end verbatim: |_Route_|{tgt} picks the
+//                    owning shard from the routing table (host-side choice,
+//                    exactly as abstract as S5.2 promises), then the
+//                    write/assert/wait/restore round trip.
+//   tau_Shard.j   -- the shared worker junction (tau_Back); the host block
+//                    is where ownership is re-checked against the routing
+//                    version, turning stale routes into kWrongOwner nacks.
+//   tau_Shard.ingest -- handoff intake, tau_Auditing-shaped: guarded by
+//                    Inbound, restores one chunk (snapshot slice or delta
+//                    record) into the local store, then retracts the
+//                    mover's Inbound with the retry-once escalation.
+//   tau_Mover.m   -- the handoff pump: |_NextChunk_|{tgt} picks the next
+//                    chunk and the receiving shard's ingest junction, then
+//                    write/assert/wait like tau_Actual. One junction run
+//                    moves exactly one chunk; the control plane calls it in
+//                    a loop and journals phase transitions between calls,
+//                    which is what makes donor/receiver crashes resumable.
+//
+// The acknowledgement-as-evidence reading: a chunk is "transferred" only
+// once the receiver's ingest junction has retracted Inbound -- the mover
+// never advances its cursor on anything weaker, so a crash mid-stream
+// re-sends at-least-once and the ingest side is idempotent by construction
+// (chunks carry absolute key/value state, not increments).
+//
+// Required host bindings:
+//   block "Route"{tgt}        -- pops a request, picks the owner shard index
+//   saver "pack_request"      -- serializes the pending request into n
+//   block "H_shard"           -- shard work incl. ownership/version check
+//   restorer "unpack_request" -- shard intake of n
+//   saver "pack_response"     -- shard serializes response into m
+//   restorer "deliver_response" -- front-end hands the response back
+//   block "NextChunk"{tgt}    -- picks the next handoff chunk + receiver
+//   saver "pack_chunk"        -- serializes the chunk into c
+//   restorer "ingest_chunk"   -- receiver applies the chunk
+//   block "complain"
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+
+namespace csaw::patterns {
+
+struct RebalanceOptions {
+  std::string front_instance = "Fnt";
+  std::string shard_prefix = "Shd";  // shards are Shd1..ShdN
+  std::size_t shards = 2;
+  std::string junction = "j";
+  std::string ingest_junction = "ingest";
+  std::string mover_instance = "Mov";
+  std::string mover_junction = "m";
+  std::int64_t timeout_ms = 500;
+
+  std::string route = "Route";
+  std::string pack_request = "pack_request";
+  std::string h_shard = "H_shard";
+  std::string unpack_request = "unpack_request";
+  std::string pack_response = "pack_response";
+  std::string deliver_response = "deliver_response";
+  std::string next_chunk = "NextChunk";
+  std::string pack_chunk = "pack_chunk";
+  std::string ingest_chunk = "ingest_chunk";
+  std::string complain = "complain";
+};
+
+ProgramSpec rebalance(const RebalanceOptions& options = {});
+
+// Names of the shard instances for the given options.
+std::vector<std::string> rebalance_shard_names(const RebalanceOptions& options);
+
+}  // namespace csaw::patterns

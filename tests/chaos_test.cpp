@@ -143,6 +143,74 @@ TEST(ChaosSchedule, EventsSortedAndPaired) {
   EXPECT_EQ(closes, 6);
 }
 
+TEST(ChaosSchedule, ConnectionFaultsAreSingleEventEpisodes) {
+  // kKillConn / kReconnectStorm episodes have no paired close event: the
+  // transport's jittered-backoff reconnect is the heal.
+  ChaosSchedule::Options opts;
+  opts.episodes = 16;
+  opts.crash_weight = 0.0;
+  opts.partition_weight = 0.0;
+  opts.delay_weight = 0.0;
+  opts.drop_weight = 0.0;
+  opts.kill_conn_weight = 0.5;
+  opts.storm_weight = 0.5;
+  opts.peers = {"p1", "p2"};
+  auto s = ChaosSchedule::from_seed(42, kAll, opts);
+  ASSERT_EQ(s.events.size(), 16u);
+  bool saw_kill = false, saw_storm = false;
+  for (const auto& e : s.events) {
+    if (e.kind == ChaosEvent::Kind::kKillConn) {
+      saw_kill = true;
+      // Targets are transport peer NAMES from opts.peers, not instances.
+      EXPECT_TRUE(e.a == Symbol("p1") || e.a == Symbol("p2")) << e.describe();
+    } else {
+      ASSERT_EQ(e.kind, ChaosEvent::Kind::kReconnectStorm) << e.describe();
+      saw_storm = true;
+    }
+  }
+  EXPECT_TRUE(saw_kill);
+  EXPECT_TRUE(saw_storm);
+  // Seed determinism holds for the connection-fault kinds too.
+  EXPECT_EQ(s.describe(), ChaosSchedule::from_seed(42, kAll, opts).describe());
+}
+
+TEST(ChaosSchedule, KillConnWeightIgnoredWithoutPeerNames) {
+  // With no peer names to target, the kill_conn weight must not produce
+  // untargetable events; the weight collapses out of the distribution.
+  ChaosSchedule::Options opts;
+  opts.episodes = 8;
+  opts.crash_weight = 0.0;
+  opts.partition_weight = 0.0;
+  opts.delay_weight = 0.0;
+  opts.drop_weight = 0.0;
+  opts.kill_conn_weight = 1.0;
+  opts.storm_weight = 0.0;
+  auto s = ChaosSchedule::from_seed(7, kAll, opts);
+  for (const auto& e : s.events) {
+    EXPECT_NE(e.kind, ChaosEvent::Kind::kKillConn) << e.describe();
+  }
+}
+
+TEST(ChaosHarness, ConnectionFaultsAreNoOpsWithoutTcp) {
+  // An in-process runtime has no TCP connections to kill; the harness must
+  // fire the events as no-ops (trace only), not crash.
+  Runtime rt;
+  rt.add_instance(sink_instance(Symbol("a")));
+  ASSERT_TRUE(rt.start(Symbol("a")).ok());
+  ChaosSchedule s;
+  ChaosEvent kill;
+  kill.step = 0;
+  kill.kind = ChaosEvent::Kind::kKillConn;
+  kill.a = Symbol("peer-b");
+  ChaosEvent storm;
+  storm.step = 0;
+  storm.kind = ChaosEvent::Kind::kReconnectStorm;
+  s.events = {kill, storm};
+  ChaosHarness chaos(rt, s);
+  chaos.on_step(0);
+  EXPECT_TRUE(rt.is_running(Symbol("a")));
+}
+
 TEST(ChaosHarness, ExactScheduleFires) {
   Runtime rt;
   for (const auto& name : kAll) {

@@ -96,6 +96,37 @@ TEST(FailureDetector, StaleEpochFrameNeitherRefreshesNorUnsuspects) {
   EXPECT_TRUE(d.instance_alive(Symbol("primary"), t0 + 201ms));
 }
 
+TEST(FailureDetector, ForgetPurgesDepartedPeer) {
+  // Regression for dynamic membership: a peer removed from the cluster
+  // (TcpTransport::remove_peer -> Runtime::remove_peer -> forget) must be
+  // purged from the suspicion map. Before forget() existed, a departed
+  // peer's entry aged into "suspected" forever, and its last queued frames
+  // draining late would flap it back through detector_recoveries.
+  obs::Metrics metrics;
+  FailureDetector d(fast_opts(), &metrics, nullptr);
+  const auto t0 = steady_now();
+  d.observe(Symbol("nodeA"), 1, {Symbol("primary")}, t0);
+  EXPECT_FALSE(d.instance_alive(Symbol("primary"), t0 + 100ms));
+  EXPECT_EQ(metrics.counter("detector_suspicions").value(), 1u);
+
+  EXPECT_TRUE(d.forget(Symbol("nodeA")));
+  EXPECT_FALSE(d.forget(Symbol("nodeA")));  // already gone
+  EXPECT_FALSE(d.knows_instance(Symbol("primary")));
+  EXPECT_TRUE(d.peers(t0 + 101ms).empty());
+
+  // The departed peer emits no further suspicion/recovery flaps however
+  // long we keep querying.
+  EXPECT_FALSE(d.instance_alive(Symbol("primary"), t0 + 500ms));
+  EXPECT_EQ(metrics.counter("detector_suspicions").value(), 1u);
+  EXPECT_EQ(metrics.counter("detector_recoveries").value(), 0u);
+
+  // A heartbeat after removal is a fresh registration (re-join), not a
+  // recovery of the old suspected entry.
+  d.observe(Symbol("nodeA"), 2, {Symbol("primary")}, t0 + 600ms);
+  EXPECT_TRUE(d.instance_alive(Symbol("primary"), t0 + 601ms));
+  EXPECT_EQ(metrics.counter("detector_recoveries").value(), 0u);
+}
+
 TEST(FailureDetector, KeepsHighestEpochSeen) {
   FailureDetector d(fast_opts(), nullptr, nullptr);
   const auto t0 = steady_now();

@@ -511,6 +511,90 @@ TEST(TcpTransportMesh, PartialWriteOnDeadPeerPoisonsAndFramingSurvives) {
   ::close(lfd);
 }
 
+TEST(TcpTransportMesh, RemovePeerPurgesRoutesAndDropsQueue) {
+  // Dynamic membership leave: the peer disappears from the routing maps
+  // immediately, its queued frames are discarded as counted queue drops,
+  // and subsequent routes fail fast instead of queueing for a ghost.
+  obs::Metrics metrics;
+  obs::Tracer tracer;
+  Collector got;
+  DeadPort dead;  // never connects: frames stay queued until removal
+  TcpOptions opts;
+  opts.listen_port = -1;
+  opts.peers["b"] = TcpPeerAddr{"127.0.0.1", dead.port()};
+  opts.remote_instances[Symbol("g")] = "b";
+  opts.backoff_initial = Millis(50);
+  TcpTransport a(got.fn(), opts, &metrics, &tracer);
+
+  ASSERT_TRUE(a.route(test_envelope(1)));
+  ASSERT_TRUE(a.route(test_envelope(2)));
+  EXPECT_FALSE(a.remove_peer("nobody"));
+  EXPECT_TRUE(a.remove_peer("b"));
+
+  EXPECT_FALSE(a.routes_instance(Symbol("g")));
+  EXPECT_FALSE(a.route(test_envelope(3)));
+  EXPECT_FALSE(a.send_to("b", test_envelope(4)));
+  EXPECT_EQ(a.peer_stats().count("b"), 0u);
+  EXPECT_EQ(metrics.counter("tcp_queue_drops").value(), 2u);
+  EXPECT_EQ(metrics.counter("tcp_peer_b_queue_drops").value(), 2u);
+  bool traced = false;
+  for (const auto& e : tracer.drain()) {
+    if (e.label == Symbol("tcp_peer_removed")) traced = true;
+  }
+  EXPECT_TRUE(traced) << "peer removal must emit a trace event";
+
+  // Re-join under the same name works (membership is dynamic both ways).
+  Collector got_b;
+  TcpTransport b(got_b.fn(), TcpOptions{}, nullptr);
+  a.add_peer("b", TcpPeerAddr{"127.0.0.1", b.port()});
+  a.map_instance(Symbol("g"), "b");
+  ASSERT_TRUE(a.route(test_envelope(5)));
+  ASSERT_TRUE(eventually([&] { return got_b.count() >= 1; }));
+  EXPECT_EQ(got_b.take()[0].seq, 5u);
+}
+
+TEST(TcpTransportMesh, KilledConnectionReconnectsAndRetransmitsWhole) {
+  // Chaos kKillConn: the connection drops but the peer stays registered, so
+  // the jittered-backoff reconnect machinery heals the link and queued
+  // frames go out whole on the new connection.
+  obs::Metrics metrics;
+  obs::Tracer tracer;
+  Collector got_b;
+  TcpTransport b(got_b.fn(), TcpOptions{}, nullptr);
+  TcpOptions opts;
+  opts.listen_port = -1;
+  opts.peers["b"] = TcpPeerAddr{"127.0.0.1", b.port()};
+  opts.remote_instances[Symbol("g")] = "b";
+  opts.backoff_initial = Millis(10);
+  Collector got_a;
+  TcpTransport a(got_a.fn(), opts, &metrics, &tracer);
+
+  ASSERT_TRUE(a.route(test_envelope(1)));
+  ASSERT_TRUE(eventually([&] { return got_b.count() >= 1; }));
+  (void)got_b.take();
+
+  EXPECT_FALSE(a.kill_peer_connection("nobody"));
+  EXPECT_TRUE(a.kill_peer_connection("b"));
+  ASSERT_TRUE(a.route(test_envelope(2)));
+  ASSERT_TRUE(eventually([&] { return got_b.count() >= 1; }))
+      << "traffic must resume after the killed connection reconnects";
+  EXPECT_EQ(got_b.take()[0].seq, 2u);
+  EXPECT_GE(metrics.counter("tcp_reconnects").value(), 1u);
+
+  // Reconnect storm: every peer's connection drops and heals the same way.
+  a.kill_all_connections();
+  ASSERT_TRUE(a.route(test_envelope(3)));
+  ASSERT_TRUE(eventually([&] { return got_b.count() >= 1; }));
+  EXPECT_EQ(got_b.take()[0].seq, 3u);
+  bool killed = false, storm = false;
+  for (const auto& e : tracer.drain()) {
+    if (e.label == Symbol("tcp_conn_killed")) killed = true;
+    if (e.label == Symbol("tcp_reconnect_storm")) storm = true;
+  }
+  EXPECT_TRUE(killed);
+  EXPECT_TRUE(storm);
+}
+
 // --- runtime-level mesh: push/ack across two runtimes ----------------------
 
 InstanceDesc noop_instance(const char* name, Symbol prop) {

@@ -1,0 +1,257 @@
+// Cross-process dynamic membership smoke over the real TCP transport, with
+// real fork+exec children. The gtest binary doubles as its own child:
+//
+//   xproc_membership_test                        # gtest runner (parent)
+//   xproc_membership_test --member <listen> <parent> <name>
+//       hosts one store instance <name>, heartbeats as node <name>, serves
+//       pushes until killed
+//
+// Covered end to end:
+//   * scale-out 2 -> 4: two members join AT RUNTIME via
+//     TcpTransport::add_peer/map_instance (no restart, no config reload),
+//     heartbeats mark them alive, and writes routed to them are acked;
+//   * scale-in: a killed member is removed via Runtime::remove_peer -- the
+//     transport drops its routes, the failure detector forgets it (no
+//     further detector_* flaps), and routing to it fails fast.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compart/runtime.hpp"
+#include "compart/tcp.hpp"
+#include "obs/metrics.hpp"
+
+namespace csaw {
+namespace {
+
+using namespace std::chrono_literals;
+
+const char* g_self = nullptr;  // argv[0], for exec-ing child roles
+
+const Symbol kWork("Work");
+const Symbol kV("v");
+
+template <typename Cond>
+bool eventually(Cond cond, std::chrono::milliseconds limit = 20s) {
+  const auto deadline = steady_now() + limit;
+  while (steady_now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return cond();
+}
+
+std::uint16_t pick_free_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+// Kills the child in the destructor so a failing ASSERT never leaks a
+// serve-forever process.
+struct Child {
+  pid_t pid = -1;
+  explicit Child(pid_t p) : pid(p) {}
+  Child(const Child&) = delete;
+  Child& operator=(const Child&) = delete;
+  void kill9() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      pid = -1;
+    }
+  }
+  ~Child() { kill9(); }
+};
+
+pid_t spawn_member(std::uint16_t listen_port, std::uint16_t parent_port,
+                   const std::string& name) {
+  char listen_arg[16], parent_arg[16];
+  std::snprintf(listen_arg, sizeof(listen_arg), "%u", listen_port);
+  std::snprintf(parent_arg, sizeof(parent_arg), "%u", parent_port);
+  const pid_t pid = ::fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: only async-signal-safe work between fork and exec.
+    char* const argv[] = {const_cast<char*>(g_self),
+                          const_cast<char*>("--member"), listen_arg,
+                          parent_arg, const_cast<char*>(name.c_str()),
+                          nullptr};
+    ::execv(g_self, argv);
+    _exit(127);
+  }
+  return pid;
+}
+
+InstanceDesc store_instance(const std::string& name) {
+  JunctionDesc j;
+  j.name = Symbol("j");
+  j.table_spec.props = {{kWork, false}};
+  j.table_spec.data = {kV};
+  j.guard = [](const KvTable& t, const RuntimeView&) { return *t.prop(kWork); };
+  j.body = [](JunctionEnv& env) {
+    (void)env.table().set_prop_local(kWork, false);
+  };
+  j.auto_schedule = true;
+  InstanceDesc d;
+  d.name = Symbol(name);
+  d.type = Symbol("store");
+  d.junctions.push_back(std::move(j));
+  return d;
+}
+
+Status push_write(Runtime& rt, Symbol to, const std::string& s,
+                  Nanos deadline) {
+  const Symbol from("hub");
+  auto st = rt.push(
+      {.to = JunctionAddr{to, Symbol("j")},
+       .update = Update::write_data(
+           kV, SerializedValue{Symbol("str"), Bytes(s.begin(), s.end())},
+           from.str()),
+       .deadline = Deadline::after(deadline),
+       .from = from});
+  if (!st.ok()) return st;
+  return rt.push({.to = JunctionAddr{to, Symbol("j")},
+                  .update = Update::assert_prop(kWork, from.str()),
+                  .deadline = Deadline::after(deadline),
+                  .from = from});
+}
+
+}  // namespace
+
+// --- child role ------------------------------------------------------------
+
+// Member node: host one store instance, heartbeat as <name>, serve forever.
+int run_member(std::uint16_t listen_port, std::uint16_t parent_port,
+               const std::string& name) {
+  RuntimeOptions opts;
+  opts.transport = Transport::kTcpMesh;
+  opts.tcp.listen_port = listen_port;
+  opts.tcp.node_name = name;
+  opts.tcp.heartbeat_interval = Millis(20);
+  opts.tcp.peers["parent"] = TcpPeerAddr{"127.0.0.1", parent_port};
+  // Acks are routed by the originating instance; the parent pushes as "hub".
+  opts.tcp.remote_instances[Symbol("hub")] = "parent";
+  Runtime rt(opts);
+  rt.add_instance(store_instance(name));
+  if (!rt.start(Symbol(name)).ok()) return 2;
+  while (true) std::this_thread::sleep_for(1s);
+}
+
+namespace {
+
+// --- parent-side test ------------------------------------------------------
+
+TEST(XprocMembership, ScaleOutTwoToFourThenRemoveDepartedPeer) {
+  obs::Metrics metrics;
+  RuntimeOptions opts;
+  opts.transport = Transport::kTcpMesh;
+  opts.metrics = &metrics;
+  opts.tcp.node_name = "parent";
+  opts.tcp.heartbeat_interval = Millis(20);
+  opts.tcp.suspect_after_missed = 5;
+  opts.tcp.backoff_initial = Millis(10);
+  opts.tcp.backoff_max = Millis(200);
+  Runtime rt(opts);
+  auto* tcp = rt.tcp_transport();
+  ASSERT_NE(tcp, nullptr);
+
+  // Phase 1: the initial 2-member cluster. Even these join dynamically --
+  // nothing about the membership is baked into RuntimeOptions.
+  std::vector<std::uint16_t> ports;
+  std::vector<std::unique_ptr<Child>> members;
+  auto join = [&](const std::string& name) {
+    const std::uint16_t port = pick_free_port();
+    ports.push_back(port);
+    members.push_back(
+        std::make_unique<Child>(spawn_member(port, tcp->port(), name)));
+    tcp->add_peer(name, TcpPeerAddr{"127.0.0.1", port});
+    tcp->map_instance(Symbol(name), name);
+  };
+  join("m1");
+  join("m2");
+  for (const char* name : {"m1", "m2"}) {
+    ASSERT_TRUE(eventually([&] { return rt.is_running(Symbol(name)); }))
+        << name << " never became alive via heartbeats";
+    ASSERT_TRUE(eventually([&] {
+      return push_write(rt, Symbol(name), "hello", 1s).ok();
+    })) << name << " never acked a routed write";
+  }
+
+  // Phase 2: scale-out 2 -> 4 at runtime. add_peer/map_instance on the live
+  // transport is the whole join protocol; heartbeats do the rest.
+  join("m3");
+  join("m4");
+  for (const char* name : {"m1", "m2", "m3", "m4"}) {
+    ASSERT_TRUE(eventually([&] { return rt.is_running(Symbol(name)); }))
+        << name << " not alive after scale-out";
+    ASSERT_TRUE(eventually([&] {
+      return push_write(rt, Symbol(name), std::string("post-grow-") + name, 1s)
+          .ok();
+    })) << name << " not serving after scale-out";
+  }
+  EXPECT_EQ(tcp->peer_stats().size(), 4u);
+
+  // Phase 3: scale-in. Kill m4, let the detector notice, then remove it
+  // from the cluster for good.
+  members[3]->kill9();
+  ASSERT_TRUE(eventually([&] { return !rt.is_running(Symbol("m4")); }))
+      << "killed member never suspected";
+  EXPECT_GE(metrics.counter("detector_suspicions").value(), 1u);
+
+  EXPECT_TRUE(rt.remove_peer("m4"));
+  EXPECT_FALSE(rt.remove_peer("m4"));  // already gone
+  EXPECT_EQ(tcp->peer_stats().count("m4"), 0u);
+  EXPECT_FALSE(rt.is_running(Symbol("m4")));
+  EXPECT_FALSE(push_write(rt, Symbol("m4"), "ghost", 100ms).ok());
+
+  // The departed peer stops flapping detector counters: both totals are
+  // stable over many would-be heartbeat intervals.
+  const auto suspicions = metrics.counter("detector_suspicions").value();
+  const auto recoveries = metrics.counter("detector_recoveries").value();
+  std::this_thread::sleep_for(300ms);
+  EXPECT_EQ(metrics.counter("detector_suspicions").value(), suspicions);
+  EXPECT_EQ(metrics.counter("detector_recoveries").value(), recoveries);
+
+  // The survivors keep serving.
+  for (const char* name : {"m1", "m2", "m3"}) {
+    EXPECT_TRUE(push_write(rt, Symbol(name), "post-remove", 1s).ok()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace csaw
+
+// Custom main: the child role must be dispatched before gtest sees argv.
+int main(int argc, char** argv) {
+  csaw::g_self = argv[0];
+  if (argc == 5 && std::strcmp(argv[1], "--member") == 0) {
+    return csaw::run_member(static_cast<std::uint16_t>(std::atoi(argv[2])),
+                            static_cast<std::uint16_t>(std::atoi(argv[3])),
+                            argv[4]);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -28,6 +28,7 @@
 #include "patterns/chain.hpp"
 #include "patterns/failover.hpp"
 #include "patterns/quorum.hpp"
+#include "patterns/rebalance.hpp"
 #include "patterns/sharding.hpp"
 #include "patterns/snapshot.hpp"
 #include "patterns/watched_failover.hpp"
@@ -110,6 +111,17 @@ std::vector<Entry> registry() {
        [] { return csaw::patterns::chain({}); }},
       {"quorum", "quorum replication pattern (3 replicas, W/R host-tunable)",
        [] { return csaw::patterns::quorum({}); }},
+      // Rebalance lints clean with NO suppressions: the front/worker pair is
+      // the sharding shape, and the mover/ingest pair is the remote-snapshot
+      // shape -- single writer per prop family, every blocking push bounded
+      // by otherwise[t], ownership conflicts handled host-side via routing
+      // versions (kWrongOwner), not shared props.
+      {"rebalance", "live bucket handoff pattern (4 shards + mover)",
+       [] {
+         csaw::patterns::RebalanceOptions o;
+         o.shards = 4;
+         return csaw::patterns::rebalance(o);
+       }},
   };
 }
 
